@@ -1,0 +1,101 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * slice width (1/2/4-bit) at the L = 16 design point;
+//! * NBVE vector length L beyond the paper's sweep (to 32/64);
+//! * scratchpad capacity sensitivity of the Figure 5 headline;
+//! * batch-size sensitivity of the recurrent workloads.
+
+use bpvec_dnn::{BitwidthPolicy, Network, NetworkId};
+use bpvec_hwmodel::dse::{evaluate, DesignPoint};
+use bpvec_hwmodel::TechnologyProfile;
+use bpvec_sim::memory::ScratchpadSpec;
+use bpvec_sim::{simulate, AcceleratorConfig, DramSpec, SimConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_slice_width_ablation(c: &mut Criterion) {
+    let tech = TechnologyProfile::nm45();
+    let mut group = c.benchmark_group("ablation_slice_width");
+    for s in [1u32, 2, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(s), &s, |b, &s| {
+            b.iter(|| evaluate(DesignPoint { slice_bits: s, lanes: 16 }, &tech).norm_power)
+        });
+    }
+    group.finish();
+    println!("slice-width ablation (power/area per MAC, L = 16):");
+    for s in [1u32, 2, 4] {
+        let p = evaluate(DesignPoint { slice_bits: s, lanes: 16 }, &tech);
+        println!("  {s}-bit: {:.2}x power, {:.2}x area", p.norm_power, p.norm_area);
+    }
+}
+
+fn bench_lane_extension(c: &mut Criterion) {
+    let tech = TechnologyProfile::nm45();
+    let mut group = c.benchmark_group("ablation_lanes_beyond_16");
+    for lanes in [16u32, 32, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(lanes), &lanes, |b, &l| {
+            b.iter(|| evaluate(DesignPoint { slice_bits: 2, lanes: l }, &tech).norm_power)
+        });
+    }
+    group.finish();
+    println!("L saturation beyond the paper's sweep (2-bit slicing):");
+    for lanes in [8u32, 16, 32, 64] {
+        let p = evaluate(DesignPoint { slice_bits: 2, lanes }, &tech);
+        println!("  L={lanes:<3}: {:.3}x power", p.norm_power);
+    }
+}
+
+fn bench_scratchpad_sensitivity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_scratchpad");
+    group.sample_size(10);
+    for kb in [56u64, 112, 224, 448] {
+        group.bench_with_input(BenchmarkId::from_parameter(kb), &kb, |b, &kb| {
+            b.iter(|| {
+                let mut accel = AcceleratorConfig::bpvec();
+                accel.scratchpad = ScratchpadSpec {
+                    capacity_bytes: kb * 1024,
+                };
+                let net = Network::build(NetworkId::ResNet18, BitwidthPolicy::Homogeneous8);
+                simulate(&net, &SimConfig::new(accel, DramSpec::ddr4())).latency_s
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_recurrent_batch_sensitivity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_recurrent_batch");
+    group.sample_size(10);
+    for batch in [1u64, 4, 12, 32, 128] {
+        group.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |b, &batch| {
+            b.iter(|| {
+                let mut cfg =
+                    SimConfig::new(AcceleratorConfig::bpvec(), DramSpec::ddr4());
+                cfg.batch_recurrent = batch;
+                let net = Network::build(NetworkId::Lstm, BitwidthPolicy::Homogeneous8);
+                simulate(&net, &cfg).latency_s
+            })
+        });
+    }
+    group.finish();
+    println!("LSTM latency/inference vs batch (BPVeC + DDR4):");
+    for batch in [1u64, 4, 12, 32, 128] {
+        let mut cfg = SimConfig::new(AcceleratorConfig::bpvec(), DramSpec::ddr4());
+        cfg.batch_recurrent = batch;
+        let net = Network::build(NetworkId::Lstm, BitwidthPolicy::Homogeneous8);
+        let r = simulate(&net, &cfg);
+        println!(
+            "  batch {batch:>3}: {:.2} ms/inf, {:.0}% memory-bound",
+            r.latency_s * 1e3,
+            100.0 * r.memory_bound_fraction()
+        );
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_slice_width_ablation,
+    bench_lane_extension,
+    bench_scratchpad_sensitivity,
+    bench_recurrent_batch_sensitivity
+);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Criterion micro-benchmarks of the functional CVU engine: dot-product
+//! throughput across composition modes (homogeneous 8-bit vs the
+//! heterogeneous quantized modes of Figure 3).
+
+use bpvec_core::{BitWidth, Cvu, CvuConfig, Signedness};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::{Rng, SeedableRng};
+
+fn vectors(n: usize, bits: u32, seed: u64) -> (Vec<i32>, Vec<i32>) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let hi = (1i32 << (bits - 1)) - 1;
+    let lo = -(1i32 << (bits - 1));
+    (
+        (0..n).map(|_| rng.gen_range(lo..=hi)).collect(),
+        (0..n).map(|_| rng.gen_range(lo..=hi)).collect(),
+    )
+}
+
+fn bench_dot_product_modes(c: &mut Criterion) {
+    let cvu = Cvu::new(CvuConfig::paper_default());
+    let mut group = c.benchmark_group("cvu_dot_product");
+    let n = 4096;
+    for (label, bx, bw) in [
+        ("8b x 8b", 8u32, 8u32),
+        ("8b x 4b", 8, 4),
+        ("8b x 2b", 8, 2),
+        ("4b x 4b", 4, 4),
+        ("2b x 2b", 2, 2),
+    ] {
+        let (xs, ws) = vectors(n, bx.min(bw), 42);
+        let bxw = BitWidth::new(bx).expect("valid");
+        let bww = BitWidth::new(bw).expect("valid");
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(label), &(), |b, ()| {
+            b.iter(|| {
+                cvu.dot_product(&xs, &ws, bxw, bww, Signedness::Signed)
+                    .expect("valid operands")
+                    .value
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_slice_decomposition(c: &mut Criterion) {
+    use bpvec_core::bitslice::{decompose_vector, SliceWidth};
+    let (xs, _) = vectors(4096, 8, 7);
+    let mut group = c.benchmark_group("bit_slicing");
+    for s in [1u32, 2, 4] {
+        let sw = SliceWidth::new(s).expect("valid");
+        group.bench_with_input(BenchmarkId::new("decompose", s), &sw, |b, &sw| {
+            b.iter(|| {
+                decompose_vector(&xs, BitWidth::INT8, sw, Signedness::Signed)
+                    .expect("in range")
+                    .len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dot_product_modes, bench_slice_decomposition);
+criterion_main!(benches);

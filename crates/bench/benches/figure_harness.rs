@@ -1,0 +1,51 @@
+//! Criterion benchmarks wrapping every figure/table generator, so
+//! `cargo bench` exercises the full experiment pipeline end to end (and
+//! prints each figure's geomeans once per run for quick inspection).
+
+use bpvec_bench::figure9;
+use bpvec_hwmodel::{Figure4, TechnologyProfile};
+use bpvec_sim::experiments::{
+    figure5, figure6_baseline, figure6_bpvec, figure7, figure8_bitfusion, figure8_bpvec,
+};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    group.bench_function("fig4_dse", |b| {
+        b.iter(|| Figure4::generate(&TechnologyProfile::nm45()))
+    });
+    group.bench_function("fig5", |b| b.iter(|| figure5().geomean_speedup));
+    group.bench_function("fig6", |b| {
+        b.iter(|| (figure6_baseline().geomean_speedup, figure6_bpvec().geomean_speedup))
+    });
+    group.bench_function("fig7", |b| b.iter(|| figure7().geomean_speedup));
+    group.bench_function("fig8", |b| {
+        b.iter(|| {
+            (
+                figure8_bitfusion().geomean_speedup,
+                figure8_bpvec().geomean_speedup,
+            )
+        })
+    });
+    group.bench_function("fig9", |b| b.iter(|| (figure9(false).1, figure9(true).1)));
+    group.finish();
+
+    // Print the headline series once for convenient inspection in bench logs.
+    let f5 = figure5();
+    let f6 = figure6_bpvec();
+    let f7 = figure7();
+    let f8 = figure8_bpvec();
+    let (_, f9d, f9h) = figure9(false);
+    println!(
+        "geomeans: fig5 {:.2}x/{:.2}x, fig6 {:.2}x/{:.2}x, fig7 {:.2}x/{:.2}x, fig8 {:.2}x/{:.2}x, fig9a {:.1}x/{:.1}x",
+        f5.geomean_speedup, f5.geomean_energy,
+        f6.geomean_speedup, f6.geomean_energy,
+        f7.geomean_speedup, f7.geomean_energy,
+        f8.geomean_speedup, f8.geomean_energy,
+        f9d, f9h,
+    );
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

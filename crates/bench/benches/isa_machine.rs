@@ -1,0 +1,44 @@
+//! Criterion benchmarks of the ISA layer: lowering throughput and
+//! instruction-level machine execution across precisions.
+
+use bpvec_core::BitWidth;
+use bpvec_dnn::layer::{Layer, LayerKind};
+use bpvec_isa::{lower_layer, Machine, MachineConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn resnet_layer(bits: u32) -> Layer {
+    let bw = BitWidth::new(bits).expect("valid");
+    Layer::new(
+        "layer2.0.conv1",
+        LayerKind::Conv2d {
+            in_channels: 64,
+            out_channels: 128,
+            kernel: (3, 3),
+            stride: (2, 2),
+            padding: (1, 1),
+            input_hw: (56, 56),
+        },
+    )
+    .with_bits(bw, bw)
+}
+
+fn bench_lowering(c: &mut Criterion) {
+    let layer = resnet_layer(8);
+    c.bench_function("isa_lower_resnet_layer", |b| {
+        b.iter(|| lower_layer(&layer, 57_344, 4).len())
+    });
+}
+
+fn bench_machine_execution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("isa_machine_execute");
+    for bits in [8u32, 4, 2] {
+        let program = lower_layer(&resnet_layer(bits), 57_344, 4);
+        group.bench_with_input(BenchmarkId::from_parameter(bits), &program, |b, p| {
+            b.iter(|| Machine::run_fresh(MachineConfig::bpvec_ddr4(), p).cycles)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lowering, bench_machine_execution);
+criterion_main!(benches);

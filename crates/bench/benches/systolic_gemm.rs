@@ -1,0 +1,38 @@
+//! Criterion benchmarks of the bit-true systolic array: GEMM wall-clock and
+//! modeled cycle counts across bitwidth modes.
+
+use bpvec_core::{BitWidth, Signedness};
+use bpvec_dnn::Tensor;
+use bpvec_sim::systolic::{ArrayConfig, SystolicArray};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::{Rng, SeedableRng};
+
+fn matrix(m: usize, n: usize, bits: u32, seed: u64) -> Tensor {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let hi = (1i32 << (bits - 1)) - 1;
+    let lo = -(1i32 << (bits - 1));
+    Tensor::from_fn(&[m, n], |_| rng.gen_range(lo..=hi))
+}
+
+fn bench_systolic_gemm(c: &mut Criterion) {
+    let arr = SystolicArray::new(ArrayConfig::paper_default());
+    let (m, k, n) = (16, 256, 16);
+    let mut group = c.benchmark_group("systolic_gemm_16x256x16");
+    group.throughput(Throughput::Elements((m * k * n) as u64));
+    for bits in [8u32, 4, 2] {
+        let a = matrix(m, k, bits, 1);
+        let b = matrix(k, n, bits, 2);
+        let bw = BitWidth::new(bits).expect("valid");
+        group.bench_with_input(BenchmarkId::from_parameter(bits), &(), |bench, ()| {
+            bench.iter(|| {
+                arr.gemm(&a, &b, bw, bw, Signedness::Signed)
+                    .expect("valid operands")
+                    .cycles
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_systolic_gemm);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Extension experiment: BPVeC's speedup over the TPU-like baseline as a
+//! function of off-chip bandwidth — the continuous version of the
+//! DDR4 (16 GB/s) vs HBM2 (256 GB/s) split in Figures 5/6, locating each
+//! workload's memory→compute crossover.
+
+use bpvec_dnn::{BitwidthPolicy, NetworkId};
+use bpvec_sim::experiments::bandwidth_sweep;
+
+fn main() {
+    println!("BPVeC speedup over TPU-like baseline vs off-chip bandwidth (GB/s),");
+    println!("homogeneous 8-bit (DDR4 = 16, HBM2 = 256):\n");
+    let bands = [4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0];
+    print!("{:<14}", "network");
+    for b in bands {
+        print!("{:>7.0}", b);
+    }
+    println!();
+    for id in NetworkId::ALL {
+        let sweep = bandwidth_sweep(id, BitwidthPolicy::Homogeneous8);
+        print!("{:<14}", id.name());
+        for (_, s) in sweep {
+            print!("{s:>6.2}x");
+        }
+        println!();
+    }
+    println!("\nCNNs cross to compute-bound by ~16-32 GB/s; the recurrent models'");
+    println!("weight streams need hundreds of GB/s — the Figure 5/6 mechanism");
+}

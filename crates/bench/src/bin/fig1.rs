@@ -1,0 +1,64 @@
+//! Regenerates **Figure 1**: the design-space taxonomy of DNN accelerators
+//! (functional-unit type × bit flexibility × composability) and where this
+//! repository's implementations sit in it.
+//!
+//! Each cell is backed by executable code in this repository, so the
+//! taxonomy is printed together with the module that realizes it.
+
+fn main() {
+    println!("Figure 1: the accelerator landscape (each cell -> where it lives here)\n");
+    println!(
+        "{:<34} {:>8} {:>9} {:>10}  implemented by",
+        "design point (examples)", "units", "bitwidth", "composed"
+    );
+    let rows = [
+        (
+            "TPU, Eyeriss",
+            "scalar",
+            "fixed",
+            "-",
+            "bpvec_hwmodel::units::conventional_mac + sim TPU-like baseline",
+        ),
+        (
+            "Brainwave, ISAAC",
+            "vector",
+            "fixed",
+            "-",
+            "bpvec_sim::systolic (fixed 8-bit mode)",
+        ),
+        (
+            "Stripes, UNPU",
+            "scalar",
+            "flexible",
+            "temporal",
+            "bpvec_core::bitserial (ActivationSerial)",
+        ),
+        (
+            "Loom",
+            "scalar",
+            "flexible",
+            "temporal",
+            "bpvec_core::bitserial (FullySerial)",
+        ),
+        (
+            "BitFusion",
+            "scalar",
+            "flexible",
+            "spatial",
+            "bpvec_hwmodel::units::bitfusion_fusion_unit + sim baseline",
+        ),
+        (
+            "BPVeC (this paper)",
+            "vector",
+            "flexible",
+            "spatial",
+            "bpvec_core::cvu + bpvec_sim (the vacancy the paper fills)",
+        ),
+    ];
+    for (name, units, bits, comp, module) in rows {
+        println!("{name:<34} {units:>8} {bits:>9} {comp:>10}  {module}");
+    }
+    println!();
+    println!("run `cargo run -p bpvec-bench --bin temporal_vs_spatial` for the");
+    println!("quantitative comparison across these styles");
+}

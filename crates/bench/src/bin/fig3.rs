@@ -1,0 +1,38 @@
+//! Regenerates **Figure 3**: the Composable Vector Unit's composition modes
+//! — homogeneous 8-bit (all 16 NBVEs cooperate) and heterogeneous quantized
+//! (clusters of NBVEs run in parallel).
+
+use bpvec_core::{BitWidth, Composition, SliceWidth};
+
+fn main() {
+    println!("Figure 3: CVU composition modes (16 NBVEs, 2-bit slicing, L = 16)");
+    println!(
+        "{:<10} {:>14} {:>10} {:>12} {:>12}",
+        "mode", "NBVEs/cluster", "clusters", "elems/cycle", "vs 8bx8b"
+    );
+    let combos = [(8u32, 8u32), (8, 4), (8, 2), (4, 4), (4, 2), (2, 2)];
+    for (bx, bw) in combos {
+        let c = Composition::plan(
+            16,
+            SliceWidth::BIT2,
+            BitWidth::new(bx).expect("valid"),
+            BitWidth::new(bw).expect("valid"),
+        )
+        .expect("fits the paper CVU");
+        println!(
+            "{:<10} {:>14} {:>10} {:>12} {:>11}x",
+            format!("{bx}b x {bw}b"),
+            c.nbves_per_cluster(),
+            c.clusters(),
+            c.clusters() * 16,
+            c.throughput_multiplier()
+        );
+    }
+    println!();
+    println!("shift assignments for the 8b x 2b cluster of Figure 3(c):");
+    let c = Composition::plan(16, SliceWidth::BIT2, BitWidth::INT8, BitWidth::INT2)
+        .expect("fits");
+    for (j, k, shift) in c.assignments() {
+        println!("  NBVE(x-slice {j}, w-slice {k}) -> << {shift}");
+    }
+}

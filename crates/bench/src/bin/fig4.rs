@@ -1,0 +1,65 @@
+//! Regenerates **Figure 4**: power/area per 8-bit MAC for 1-bit and 2-bit
+//! slicing across NBVE vector lengths, normalized to a conventional digital
+//! 8-bit MAC, with the multiplication/addition/shifting/register breakdown.
+
+use bpvec_hwmodel::dse::{evaluate, paper, DesignPoint, Figure4};
+use bpvec_hwmodel::TechnologyProfile;
+
+fn main() {
+    let tech = TechnologyProfile::nm45();
+    let fig = Figure4::generate(&tech);
+    println!("Figure 4: design-space exploration (normalized to conventional 8-bit MAC)");
+    println!(
+        "{:<16} {:>7} {:>9} {:>9} {:>9} {:>9} || {:>7} {:>9}",
+        "config", "power", "mult", "add", "shift", "reg", "area", "paper P/A"
+    );
+    for (series, ppow, parea) in [
+        (&fig.one_bit, paper::ONE_BIT_POWER, paper::ONE_BIT_AREA),
+        (&fig.two_bit, paper::TWO_BIT_POWER, paper::TWO_BIT_AREA),
+    ] {
+        for (i, p) in series.iter().enumerate() {
+            println!(
+                "{:<16} {:>6.2}x {:>9.3} {:>9.3} {:>9.3} {:>9.3} || {:>6.2}x {:>4.2}/{:<4.2}",
+                format!("{}-bit L={}", p.design.slice_bits, p.design.lanes),
+                p.norm_power,
+                p.power_breakdown.multiplication,
+                p.power_breakdown.addition,
+                p.power_breakdown.shifting,
+                p.power_breakdown.registering,
+                p.norm_area,
+                ppow[i],
+                parea[i],
+            );
+        }
+        println!();
+    }
+    // The 4-bit slicing ablation the paper discusses in §III-B(3).
+    println!("4-bit slicing ablation (cheaper aggregation, coarser granularity):");
+    for lanes in [1u32, 4, 16] {
+        let p = evaluate(
+            DesignPoint {
+                slice_bits: 4,
+                lanes,
+            },
+            &tech,
+        );
+        println!(
+            "  4-bit L={:<3} power {:>5.2}x area {:>5.2}x (aggregation {:.2}x)",
+            lanes,
+            p.norm_power,
+            p.norm_area,
+            p.power_breakdown.addition + p.power_breakdown.shifting,
+        );
+    }
+    println!();
+    println!(
+        "headline: 2-bit L=16 spends {:.1}x less power / {:.1}x less area than a",
+        1.0 / fig.two_bit[4].norm_power,
+        1.0 / fig.two_bit[4].norm_area
+    );
+    println!(
+        "conventional MAC (paper: 2.0x / 1.7x), and {:.1}x less power than the",
+        fig.two_bit[0].norm_power / fig.two_bit[4].norm_power
+    );
+    println!("BitFusion-style L=1 fusion unit (paper: 2.4x)");
+}

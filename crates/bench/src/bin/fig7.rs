@@ -1,0 +1,35 @@
+//! Regenerates **Figure 7**: BPVeC vs BitFusion, both with DDR4,
+//! heterogeneous (Table I) bitwidths.
+
+use bpvec_sim::experiments::{figure7, paper};
+
+fn main() {
+    let f = figure7();
+    if std::env::args().any(|a| a == "--csv") {
+        print!("{}", f.to_csv());
+        return;
+    }
+    println!("Figure 7: {} normalized to {}", f.evaluated, f.baseline);
+    println!(
+        "{:<14} {:>9} {:>14} {:>9} {:>14}",
+        "network", "speedup", "paper", "energy", "paper"
+    );
+    for (i, r) in f.rows.iter().enumerate() {
+        println!(
+            "{:<14} {:>8.2}x {:>13.2}x {:>8.2}x {:>13.2}x",
+            r.network.name(),
+            r.speedup,
+            paper::FIG7_SPEEDUP[i],
+            r.energy_reduction,
+            paper::FIG7_ENERGY[i],
+        );
+    }
+    println!(
+        "{:<14} {:>8.2}x {:>13.2}x {:>8.2}x {:>13.2}x",
+        "GEOMEAN",
+        f.geomean_speedup,
+        paper::FIG7_GEOMEAN.0,
+        f.geomean_energy,
+        paper::FIG7_GEOMEAN.1,
+    );
+}

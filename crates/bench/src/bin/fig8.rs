@@ -1,0 +1,39 @@
+//! Regenerates **Figure 8**: BitFusion and BPVeC with HBM2, both normalized
+//! to BitFusion with DDR4, heterogeneous bitwidths.
+
+use bpvec_sim::experiments::{figure8_bitfusion, figure8_bpvec, paper};
+
+fn main() {
+    let bf = figure8_bitfusion();
+    let bp = figure8_bpvec();
+    println!("Figure 8: HBM2 study, normalized to {}", bf.baseline);
+    println!(
+        "{:<14} {:>14} {:>14} {:>14} {:>14}",
+        "network", "BF speedup", "BF energy", "BPVeC speedup", "BPVeC energy"
+    );
+    for (b, p) in bf.rows.iter().zip(&bp.rows) {
+        println!(
+            "{:<14} {:>13.2}x {:>13.2}x {:>13.2}x {:>13.2}x",
+            b.network.name(),
+            b.speedup,
+            b.energy_reduction,
+            p.speedup,
+            p.energy_reduction,
+        );
+    }
+    println!(
+        "{:<14} {:>13.2}x {:>13.2}x {:>13.2}x {:>13.2}x",
+        "GEOMEAN",
+        bf.geomean_speedup,
+        bf.geomean_energy,
+        bp.geomean_speedup,
+        bp.geomean_energy,
+    );
+    println!(
+        "paper GEOMEAN  {:>12.2}x {:>13.2}x {:>13.2}x {:>13.2}x",
+        paper::FIG8_BITFUSION_GEOMEAN.0,
+        paper::FIG8_BITFUSION_GEOMEAN.1,
+        paper::FIG8_BPVEC_GEOMEAN.0,
+        paper::FIG8_BPVEC_GEOMEAN.1,
+    );
+}

@@ -1,0 +1,45 @@
+//! Regenerates **Figure 9**: BPVeC performance-per-Watt relative to the
+//! RTX 2080 Ti GPU model — (a) homogeneous INT8, (b) heterogeneous INT4.
+
+use bpvec_bench::{figure9, paper_fig9};
+
+fn main() {
+    for (het, title, pd, ph, gm) in [
+        (
+            false,
+            "Figure 9(a): homogeneous INT8",
+            paper_fig9::HOM_DDR4,
+            paper_fig9::HOM_HBM2,
+            paper_fig9::HOM_GEOMEAN,
+        ),
+        (
+            true,
+            "Figure 9(b): heterogeneous INT4",
+            paper_fig9::HET_DDR4,
+            paper_fig9::HET_HBM2,
+            paper_fig9::HET_GEOMEAN,
+        ),
+    ] {
+        let (rows, gm_d, gm_h) = figure9(het);
+        println!("{title} (perf-per-Watt vs RTX 2080 Ti)");
+        println!(
+            "{:<14} {:>12} {:>12} {:>12} {:>12}",
+            "network", "DDR4", "paper", "HBM2", "paper"
+        );
+        for (i, r) in rows.iter().enumerate() {
+            println!(
+                "{:<14} {:>11.1}x {:>11.1}x {:>11.1}x {:>11.1}x",
+                r.network.name(),
+                r.ddr4_ratio,
+                pd[i],
+                r.hbm2_ratio,
+                ph[i],
+            );
+        }
+        println!(
+            "{:<14} {:>11.1}x {:>11.1}x {:>11.1}x {:>11.1}x",
+            "GEOMEAN", gm_d, gm.0, gm_h, gm.1
+        );
+        println!();
+    }
+}

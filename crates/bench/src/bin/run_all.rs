@@ -1,0 +1,52 @@
+//! Regenerates the entire evaluation in one run: every table and figure,
+//! plus the extension experiments — the command behind EXPERIMENTS.md.
+
+use bpvec_bench::figure9;
+use bpvec_sim::experiments::{
+    figure5, figure6_baseline, figure6_bpvec, figure7, figure8_bitfusion, figure8_bpvec,
+};
+
+fn main() {
+    println!("BPVeC full evaluation (geomeans; run the per-figure binaries for rows)\n");
+    let f5 = figure5();
+    println!(
+        "fig5  {:<38} speedup {:>5.2}x (paper 1.39)  energy {:>5.2}x (paper 1.43)",
+        format!("{} vs {}", f5.evaluated, f5.baseline),
+        f5.geomean_speedup,
+        f5.geomean_energy
+    );
+    let f6b = figure6_baseline();
+    let f6 = figure6_bpvec();
+    println!(
+        "fig6  {:<38} speedup {:>5.2}x (paper 1.06)  energy {:>5.2}x (paper 1.34)",
+        "TPU-like + HBM2 vs TPU-like + DDR4", f6b.geomean_speedup, f6b.geomean_energy
+    );
+    println!(
+        "fig6  {:<38} speedup {:>5.2}x (paper 2.11)  energy {:>5.2}x (paper 2.28)",
+        "BPVeC + HBM2 vs TPU-like + DDR4", f6.geomean_speedup, f6.geomean_energy
+    );
+    let f7 = figure7();
+    println!(
+        "fig7  {:<38} speedup {:>5.2}x (paper 1.45)  energy {:>5.2}x (paper 1.13)",
+        "BPVeC vs BitFusion (DDR4, het)", f7.geomean_speedup, f7.geomean_energy
+    );
+    let f8b = figure8_bitfusion();
+    let f8 = figure8_bpvec();
+    println!(
+        "fig8  {:<38} speedup {:>5.2}x (paper 1.45)  energy {:>5.2}x (paper 2.26)",
+        "BitFusion + HBM2 vs BitFusion + DDR4", f8b.geomean_speedup, f8b.geomean_energy
+    );
+    println!(
+        "fig8  {:<38} speedup {:>5.2}x (paper 3.48)  energy {:>5.2}x (paper 2.66)",
+        "BPVeC + HBM2 vs BitFusion + DDR4", f8.geomean_speedup, f8.geomean_energy
+    );
+    let (_, hom_d, hom_h) = figure9(false);
+    let (_, het_d, het_h) = figure9(true);
+    println!(
+        "fig9a perf/W vs RTX 2080 Ti (INT8)           DDR4 {hom_d:>6.1}x (paper 33.7)  HBM2 {hom_h:>6.1}x (paper 31.1)"
+    );
+    println!(
+        "fig9b perf/W vs RTX 2080 Ti (INT4)           DDR4 {het_d:>6.1}x (paper 28.0)  HBM2 {het_h:>6.1}x (paper 29.8)"
+    );
+    println!("\nsee EXPERIMENTS.md for the full paper-vs-measured record");
+}

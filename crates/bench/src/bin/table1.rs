@@ -1,0 +1,45 @@
+//! Regenerates **Table I**: the six benchmark networks with model size,
+//! operation counts and heterogeneous bitwidths.
+
+use bpvec_dnn::models::paper::TABLE1;
+use bpvec_dnn::{BitwidthPolicy, Network, NetworkId};
+
+fn main() {
+    println!("Table I: Evaluated DNN models");
+    println!(
+        "{:<14} {:>6} {:>14} {:>14} {:>12}  heterogeneous bitwidths",
+        "Model", "Type", "Size MB (INT8)", "paper MB", "GOps (b=1)"
+    );
+    for (i, id) in NetworkId::ALL.into_iter().enumerate() {
+        let net = Network::build(id, BitwidthPolicy::Heterogeneous);
+        let kind = if id.is_recurrent() { "RNN" } else { "CNN" };
+        let bits: Vec<String> = {
+            let compute: Vec<_> = net.compute_layers().collect();
+            let first = compute.first().unwrap().weight_bits;
+            let last = compute.last().unwrap().weight_bits;
+            let inner = compute
+                .get(1)
+                .map(|l| l.weight_bits)
+                .unwrap_or(first);
+            if first.bits() == 8 {
+                vec![format!("first/last {first}, rest {inner}")]
+            } else {
+                vec![format!("all layers {last}")]
+            }
+        };
+        println!(
+            "{:<14} {:>6} {:>14.1} {:>14.1} {:>12.2}  {}",
+            id.name(),
+            kind,
+            net.model_size_int8_mb(),
+            TABLE1[i].1,
+            net.total_gops(),
+            bits.join("")
+        );
+    }
+    println!();
+    println!(
+        "note: the paper's GOps column uses its own batch accounting; per-inference"
+    );
+    println!("GOps are shown here, and both are recorded in EXPERIMENTS.md");
+}

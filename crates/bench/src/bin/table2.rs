@@ -1,0 +1,74 @@
+//! Regenerates **Table II**: the evaluated hardware platforms, plus the
+//! cost-model cross-check that the unit counts fit one 250 mW core budget.
+
+use bpvec_gpumodel::{GpuPrecision, GpuSpec};
+use bpvec_hwmodel::units::{bitfusion_fusion_unit, conventional_mac, cvu_cost, CvuGeometry};
+use bpvec_hwmodel::TechnologyProfile;
+use bpvec_sim::AcceleratorConfig;
+
+fn main() {
+    println!("Table II: Evaluated platforms");
+    println!(
+        "{:<12} {:>8} {:>12} {:>10} {:>10} {:>10}",
+        "Chip", "# MACs", "Architecture", "On-chip", "Freq", "Node"
+    );
+    for c in [
+        AcceleratorConfig::tpu_like(),
+        AcceleratorConfig::bitfusion(),
+        AcceleratorConfig::bpvec(),
+    ] {
+        println!(
+            "{:<12} {:>8} {:>12} {:>9}KB {:>7}MHz {:>9}",
+            c.design.name(),
+            c.mac_units,
+            "Systolic",
+            c.scratchpad.capacity_bytes / 1024,
+            c.freq_mhz,
+            "45 nm"
+        );
+    }
+    let gpu = GpuSpec::rtx_2080_ti();
+    println!(
+        "{:<12} {:>8} {:>12} {:>10} {:>7}MHz {:>9}",
+        "RTX 2080 TI",
+        format!("{} TC", gpu.tensor_cores),
+        "Turing",
+        "11GB GDDR6",
+        gpu.clock_mhz,
+        "12 nm"
+    );
+    println!(
+        "  GPU peak: {:.1} INT8 TOPS / {:.1} INT4 TOPS",
+        2.0 * gpu.peak_gmacs(GpuPrecision::Int8) / 1e3,
+        2.0 * gpu.peak_gmacs(GpuPrecision::Int4) / 1e3,
+    );
+
+    println!();
+    println!("Cost-model cross-check (per-MAC power at 45 nm, 500 MHz):");
+    let t = TechnologyProfile::nm45();
+    let conv = conventional_mac(&t);
+    let cvu = cvu_cost(&CvuGeometry::paper_default(), &t);
+    let bf = bitfusion_fusion_unit(&t);
+    let conv_p = conv.per_mac().total().power;
+    println!(
+        "  conventional MAC : {:>7.2} uW/MAC ({:.3} pJ/MAC)",
+        conv_p,
+        conv.energy_per_mac_pj()
+    );
+    println!(
+        "  BitFusion unit   : {:>7.2} uW/MAC ({:.2}x conventional)",
+        bf.per_mac().total().power,
+        bf.per_mac().total().power / conv_p
+    );
+    println!(
+        "  BPVeC CVU lane   : {:>7.2} uW/MAC ({:.2}x conventional)",
+        cvu.per_mac().total().power,
+        cvu.per_mac().total().power / conv_p
+    );
+    println!(
+        "  units per 250 mW : TPU-like {:.0}, BitFusion {:.0}, BPVeC {:.0}  (Table II: 512/448/1024)",
+        250_000.0 / conv_p,
+        250_000.0 / bf.per_mac().total().power,
+        250_000.0 / cvu.per_mac().total().power,
+    );
+}

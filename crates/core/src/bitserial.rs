@@ -1,0 +1,263 @@
+//! Temporal (bit-serial) composability — the other axis of the paper's
+//! Figure 1 taxonomy.
+//!
+//! Stripes \[10\], Loom \[18\] and UNPU \[11\] exploit reduced bitwidths
+//! *temporally*: activations stream one bit per cycle through bit-parallel
+//! weight lanes, so an `L`-lane engine completes an `L`-element dot-product
+//! in `bwx` cycles (Stripes) or `bwx·bww` cycles when both operands
+//! serialize (Loom). The paper positions BPVeC against this style
+//! ("the data-level parallelism compensates for bit-serial individual
+//! operations", §V), so this module provides a bit-true model of both
+//! variants for ablation studies.
+
+use serde::{Deserialize, Serialize};
+
+use crate::bitslice::{decompose_vector, subvector, BitWidth, Signedness, SliceWidth};
+use crate::error::CoreError;
+
+/// Which operands are serialized over time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SerialMode {
+    /// Stripes-style: activations bit-serial, weights bit-parallel —
+    /// `bwx` cycles per `L`-chunk.
+    ActivationSerial,
+    /// Loom-style: both operands bit-serial — `bwx·bww` cycles per chunk.
+    FullySerial,
+}
+
+/// A bit-serial vector engine: `lanes` single-bit (or bit×word) multipliers
+/// that complete one narrow partial product per cycle and accumulate
+/// shifted partial sums over time.
+///
+/// ```
+/// use bpvec_core::bitserial::{BitSerialEngine, SerialMode};
+/// use bpvec_core::{BitWidth, Signedness};
+/// let eng = BitSerialEngine::new(16, SerialMode::ActivationSerial);
+/// let out = eng.dot(&[3, -2, 1], &[1, 2, 3],
+///                   BitWidth::INT4, BitWidth::INT4, Signedness::Signed)?;
+/// assert_eq!(out.value, 3 - 4 + 3);
+/// assert_eq!(out.cycles, 4); // one chunk x 4 activation bits
+/// # Ok::<(), bpvec_core::CoreError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BitSerialEngine {
+    lanes: usize,
+    mode: SerialMode,
+}
+
+/// Result of a bit-serial dot-product.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BitSerialOutput {
+    /// The exact dot-product value.
+    pub value: i64,
+    /// Cycles consumed (temporal cost of the serialization).
+    pub cycles: u64,
+}
+
+impl BitSerialEngine {
+    /// Creates an engine with `lanes` parallel lanes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes == 0`.
+    #[must_use]
+    pub fn new(lanes: usize, mode: SerialMode) -> Self {
+        assert!(lanes > 0, "a bit-serial engine needs at least one lane");
+        BitSerialEngine { lanes, mode }
+    }
+
+    /// The number of parallel lanes.
+    #[must_use]
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// The serialization mode.
+    #[must_use]
+    pub fn mode(&self) -> SerialMode {
+        self.mode
+    }
+
+    /// Cycles needed for an `n`-element dot-product at the given bitwidths.
+    #[must_use]
+    pub fn cycles_for(&self, n: usize, bwx: BitWidth, bww: BitWidth) -> u64 {
+        let chunks = n.div_ceil(self.lanes) as u64;
+        let per_chunk = match self.mode {
+            SerialMode::ActivationSerial => u64::from(bwx.bits()),
+            SerialMode::FullySerial => u64::from(bwx.bits()) * u64::from(bww.bits()),
+        };
+        chunks * per_chunk
+    }
+
+    /// Computes the dot-product bit-serially, cycle-by-cycle.
+    ///
+    /// Each cycle processes one activation bit-plane (and, in
+    /// [`SerialMode::FullySerial`], one weight bit-plane) across the lanes,
+    /// shifting the running accumulator — exactly the Stripes/Loom datapath.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::LengthMismatch`] — operand vectors differ in length.
+    /// * [`CoreError::ValueOutOfRange`] — an element exceeds its bitwidth.
+    pub fn dot(
+        &self,
+        xs: &[i32],
+        ws: &[i32],
+        bwx: BitWidth,
+        bww: BitWidth,
+        signedness: Signedness,
+    ) -> Result<BitSerialOutput, CoreError> {
+        if xs.len() != ws.len() {
+            return Err(CoreError::LengthMismatch {
+                left: xs.len(),
+                right: ws.len(),
+            });
+        }
+        let mut value = 0i64;
+        let mut cycles = 0u64;
+        for (xc, wc) in xs.chunks(self.lanes).zip(ws.chunks(self.lanes)) {
+            let xsl = decompose_vector(xc, bwx, SliceWidth::BIT1, signedness)?;
+            match self.mode {
+                SerialMode::ActivationSerial => {
+                    // One cycle per activation bit-plane; the weight side is
+                    // a full-width multiply-free AND/add array.
+                    for j in 0..bwx.bits() as usize {
+                        let plane = subvector(&xsl, j);
+                        // Validate weights at their declared width once per
+                        // chunk (cheap, first plane only).
+                        if j == 0 {
+                            for &w in wc {
+                                bww.check(w, signedness)?;
+                            }
+                        }
+                        let partial: i64 = plane
+                            .iter()
+                            .zip(wc)
+                            .map(|(&b, &w)| (b as i64) * (w as i64))
+                            .sum();
+                        value += partial << (j as u32);
+                        cycles += 1;
+                    }
+                }
+                SerialMode::FullySerial => {
+                    let wsl = decompose_vector(wc, bww, SliceWidth::BIT1, signedness)?;
+                    for j in 0..bwx.bits() as usize {
+                        let xplane = subvector(&xsl, j);
+                        for k in 0..bww.bits() as usize {
+                            let wplane = subvector(&wsl, k);
+                            let partial: i64 = xplane
+                                .iter()
+                                .zip(&wplane)
+                                .map(|(&a, &b)| (a as i64) * (b as i64))
+                                .sum();
+                            value += partial << (j as u32 + k as u32);
+                            cycles += 1;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(BitSerialOutput { value, cycles })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dotprod::dot_exact;
+    use proptest::prelude::*;
+
+    #[test]
+    fn activation_serial_matches_exact() {
+        let eng = BitSerialEngine::new(4, SerialMode::ActivationSerial);
+        let xs = [-128, 127, 3, -7, 55];
+        let ws = [1, -2, 100, -100, 13];
+        let out = eng
+            .dot(&xs, &ws, BitWidth::INT8, BitWidth::INT8, Signedness::Signed)
+            .unwrap();
+        assert_eq!(out.value, dot_exact(&xs, &ws).unwrap());
+        // 2 chunks x 8 bit-planes.
+        assert_eq!(out.cycles, 16);
+    }
+
+    #[test]
+    fn fully_serial_matches_exact_and_costs_product_of_widths() {
+        let eng = BitSerialEngine::new(8, SerialMode::FullySerial);
+        let xs: Vec<i32> = (0..8).map(|i| i - 4).collect();
+        let ws: Vec<i32> = (0..8).map(|i| 3 - i).collect();
+        let out = eng
+            .dot(&xs, &ws, BitWidth::INT4, BitWidth::INT4, Signedness::Signed)
+            .unwrap();
+        assert_eq!(out.value, dot_exact(&xs, &ws).unwrap());
+        assert_eq!(out.cycles, 16); // 1 chunk x 4 x 4
+    }
+
+    #[test]
+    fn reduced_activation_width_cuts_cycles_linearly() {
+        let eng = BitSerialEngine::new(16, SerialMode::ActivationSerial);
+        assert_eq!(eng.cycles_for(64, BitWidth::INT8, BitWidth::INT8), 32);
+        assert_eq!(eng.cycles_for(64, BitWidth::INT4, BitWidth::INT8), 16);
+        assert_eq!(eng.cycles_for(64, BitWidth::INT2, BitWidth::INT8), 8);
+    }
+
+    #[test]
+    fn weight_width_only_matters_when_fully_serial() {
+        let a = BitSerialEngine::new(16, SerialMode::ActivationSerial);
+        let f = BitSerialEngine::new(16, SerialMode::FullySerial);
+        assert_eq!(
+            a.cycles_for(16, BitWidth::INT8, BitWidth::INT2),
+            a.cycles_for(16, BitWidth::INT8, BitWidth::INT8)
+        );
+        assert!(
+            f.cycles_for(16, BitWidth::INT8, BitWidth::INT2)
+                < f.cycles_for(16, BitWidth::INT8, BitWidth::INT8)
+        );
+    }
+
+    #[test]
+    fn out_of_range_weight_is_rejected() {
+        let eng = BitSerialEngine::new(4, SerialMode::ActivationSerial);
+        assert!(matches!(
+            eng.dot(&[1], &[9], BitWidth::INT8, BitWidth::INT4, Signedness::Signed),
+            Err(CoreError::ValueOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one lane")]
+    fn zero_lanes_panics() {
+        let _ = BitSerialEngine::new(0, SerialMode::ActivationSerial);
+    }
+
+    proptest! {
+        /// Both serial modes are bit-true against the exact dot product for
+        /// all bitwidths, signedness and lengths.
+        #[test]
+        fn bitserial_is_bit_true(
+            mode in prop_oneof![
+                Just(SerialMode::ActivationSerial),
+                Just(SerialMode::FullySerial)
+            ],
+            lanes in 1usize..=32,
+            bx in 1u32..=8,
+            bw in 1u32..=8,
+            signed in proptest::bool::ANY,
+            seed in proptest::num::u64::ANY,
+        ) {
+            use rand::{Rng, SeedableRng};
+            let signedness = if signed { Signedness::Signed } else { Signedness::Unsigned };
+            let bwx = BitWidth::new(bx).unwrap();
+            let bww = BitWidth::new(bw).unwrap();
+            let (xlo, xhi) = bwx.range(signedness);
+            let (wlo, whi) = bww.range(signedness);
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let n = rng.gen_range(0..80);
+            let xs: Vec<i32> = (0..n).map(|_| rng.gen_range(xlo..=xhi)).collect();
+            let ws: Vec<i32> = (0..n).map(|_| rng.gen_range(wlo..=whi)).collect();
+            let eng = BitSerialEngine::new(lanes, mode);
+            let out = eng.dot(&xs, &ws, bwx, bww, signedness).unwrap();
+            prop_assert_eq!(out.value, dot_exact(&xs, &ws).unwrap());
+            prop_assert_eq!(out.cycles, eng.cycles_for(n, bwx, bww));
+        }
+    }
+}

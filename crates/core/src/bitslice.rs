@@ -1,0 +1,570 @@
+//! Bit-slicing algebra (paper §II, Equations 1–4).
+//!
+//! A digital value is the sum of its bit groups weighted by powers of two.
+//! This module decomposes `b`-bit operands into `s`-bit slices so that a wide
+//! multiplication can be rewritten as a shift-add combination of narrow
+//! multiplications — the property the CVU exploits to interleave bit-level
+//! parallelism with data-level parallelism.
+//!
+//! Two number systems are supported:
+//!
+//! * [`Signedness::Unsigned`] — the paper's presentation: every slice is an
+//!   unsigned `s`-bit magnitude.
+//! * [`Signedness::Signed`] — two's complement, the form real quantized DNNs
+//!   use: the *most significant* slice is interpreted as a signed `s`-bit
+//!   value, all lower slices remain unsigned. This is the standard
+//!   BitFusion-style signed decomposition and keeps every narrow multiplier at
+//!   `(s+1)`-bit signed precision.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::error::CoreError;
+
+/// Maximum operand bitwidth supported by the paper's CVU (INT8 era).
+pub const MAX_BITWIDTH: u32 = 8;
+
+/// An operand bitwidth in `1..=8` bits.
+///
+/// The newtype guarantees (per C-NEWTYPE / C-VALIDATE) that every bitwidth
+/// flowing through the model is in the range the hardware supports.
+///
+/// ```
+/// use bpvec_core::BitWidth;
+/// let b = BitWidth::new(4)?;
+/// assert_eq!(b.bits(), 4);
+/// assert!(BitWidth::new(9).is_err());
+/// # Ok::<(), bpvec_core::CoreError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct BitWidth(u32);
+
+impl BitWidth {
+    /// The 8-bit width used in the homogeneous mode (and by the baselines).
+    pub const INT8: BitWidth = BitWidth(8);
+    /// The 4-bit width used by the heterogeneous-quantization workloads.
+    pub const INT4: BitWidth = BitWidth(4);
+    /// The 2-bit width (the narrowest datatype evaluated in the paper).
+    pub const INT2: BitWidth = BitWidth(2);
+
+    /// Creates a bitwidth.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidBitWidth`] unless `1 <= bits <= 8`.
+    pub fn new(bits: u32) -> Result<Self, CoreError> {
+        if (1..=MAX_BITWIDTH).contains(&bits) {
+            Ok(BitWidth(bits))
+        } else {
+            Err(CoreError::InvalidBitWidth { bits })
+        }
+    }
+
+    /// The number of bits.
+    #[must_use]
+    pub fn bits(self) -> u32 {
+        self.0
+    }
+
+    /// Inclusive value range representable at this width.
+    #[must_use]
+    pub fn range(self, signedness: Signedness) -> (i32, i32) {
+        match signedness {
+            Signedness::Unsigned => (0, (1i32 << self.0) - 1),
+            Signedness::Signed => (-(1i32 << (self.0 - 1)), (1i32 << (self.0 - 1)) - 1),
+        }
+    }
+
+    /// Checks that `value` fits at this width.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ValueOutOfRange`] if it does not.
+    pub fn check(self, value: i32, signedness: Signedness) -> Result<(), CoreError> {
+        let (lo, hi) = self.range(signedness);
+        if (lo..=hi).contains(&value) {
+            Ok(())
+        } else {
+            Err(CoreError::ValueOutOfRange {
+                value,
+                bits: self.0,
+                signed: signedness == Signedness::Signed,
+            })
+        }
+    }
+}
+
+impl fmt::Display for BitWidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}b", self.0)
+    }
+}
+
+impl TryFrom<u32> for BitWidth {
+    type Error = CoreError;
+
+    fn try_from(bits: u32) -> Result<Self, Self::Error> {
+        BitWidth::new(bits)
+    }
+}
+
+/// A slice (bit-group) width: the operand width of the narrow multipliers.
+///
+/// The paper explores 1-bit and 2-bit slicing in Figure 4 (and mentions 4-bit
+/// as a utilization-losing alternative); 8 is allowed so the "no slicing"
+/// degenerate case can be expressed in ablations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SliceWidth(u32);
+
+impl SliceWidth {
+    /// 1-bit slicing (multipliers degenerate to AND gates).
+    pub const BIT1: SliceWidth = SliceWidth(1);
+    /// 2-bit slicing — the paper's chosen design point.
+    pub const BIT2: SliceWidth = SliceWidth(2);
+    /// 4-bit slicing (ablation).
+    pub const BIT4: SliceWidth = SliceWidth(4);
+    /// 8-bit "slicing" — a conventional, non-composable unit.
+    pub const BIT8: SliceWidth = SliceWidth(8);
+
+    /// Creates a slice width.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidSliceWidth`] unless `bits` is 1, 2, 4 or 8.
+    pub fn new(bits: u32) -> Result<Self, CoreError> {
+        match bits {
+            1 | 2 | 4 | 8 => Ok(SliceWidth(bits)),
+            _ => Err(CoreError::InvalidSliceWidth { bits }),
+        }
+    }
+
+    /// The number of bits per slice.
+    #[must_use]
+    pub fn bits(self) -> u32 {
+        self.0
+    }
+
+    /// Number of slices needed to cover `width` (i.e. `ceil(width / slice)`).
+    #[must_use]
+    pub fn slices_for(self, width: BitWidth) -> u32 {
+        width.bits().div_ceil(self.0)
+    }
+}
+
+impl fmt::Display for SliceWidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}b-slice", self.0)
+    }
+}
+
+impl TryFrom<u32> for SliceWidth {
+    type Error = CoreError;
+
+    fn try_from(bits: u32) -> Result<Self, Self::Error> {
+        SliceWidth::new(bits)
+    }
+}
+
+/// Whether operands are interpreted as two's-complement or unsigned.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub enum Signedness {
+    /// Two's-complement operands (real quantized DNN tensors).
+    #[default]
+    Signed,
+    /// Unsigned operands (the paper's presentation, and e.g. post-ReLU
+    /// activations under asymmetric quantization).
+    Unsigned,
+}
+
+impl fmt::Display for Signedness {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Signedness::Signed => f.write_str("signed"),
+            Signedness::Unsigned => f.write_str("unsigned"),
+        }
+    }
+}
+
+/// One bit-slice of a value: a narrow magnitude plus its significance shift.
+///
+/// The slice's contribution to the original value is `value << shift`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Slice {
+    /// The (small) slice value. Unsigned slices are in `0..2^s`; a signed
+    /// most-significant slice is in `-2^(s-1)..2^(s-1)`.
+    pub value: i32,
+    /// Left-shift giving this slice's significance (a multiple of the slice
+    /// width).
+    pub shift: u32,
+    /// True for the most-significant slice of a signed value: the only slice
+    /// a signed-aware narrow multiplier must treat as two's complement.
+    pub signed: bool,
+}
+
+impl Slice {
+    /// The slice's weighted contribution, `value * 2^shift`.
+    #[must_use]
+    pub fn contribution(self) -> i64 {
+        (self.value as i64) << self.shift
+    }
+}
+
+/// A value decomposed into slices, least-significant first.
+///
+/// Invariant: `sum(slice.contribution()) == original value`.
+///
+/// ```
+/// use bpvec_core::{BitWidth, Signedness, SliceWidth, SlicedValue};
+/// let sv = SlicedValue::decompose(-77, BitWidth::INT8, SliceWidth::BIT2, Signedness::Signed)?;
+/// assert_eq!(sv.slices().len(), 4);
+/// assert_eq!(sv.reconstruct(), -77);
+/// # Ok::<(), bpvec_core::CoreError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SlicedValue {
+    slices: Vec<Slice>,
+    original: i32,
+    width: BitWidth,
+    slice_width: SliceWidth,
+    signedness: Signedness,
+}
+
+impl SlicedValue {
+    /// Decomposes `value` (declared `width`, `signedness`) into
+    /// `ceil(width/slice_width)` slices.
+    ///
+    /// For signed values the top slice carries the sign (two's-complement
+    /// weighting); all other slices are unsigned. See the module docs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ValueOutOfRange`] if `value` does not fit in the
+    /// declared width.
+    pub fn decompose(
+        value: i32,
+        width: BitWidth,
+        slice_width: SliceWidth,
+        signedness: Signedness,
+    ) -> Result<Self, CoreError> {
+        width.check(value, signedness)?;
+        let s = slice_width.bits();
+        let n = slice_width.slices_for(width);
+        // Work on the two's-complement bit pattern padded to n*s bits.
+        let total_bits = n * s;
+        let mask = if total_bits >= 32 {
+            u32::MAX
+        } else {
+            (1u32 << total_bits) - 1
+        };
+        let pattern = (value as u32) & mask;
+        let slice_mask = (1u32 << s) - 1;
+        let mut slices = Vec::with_capacity(n as usize);
+        for k in 0..n {
+            let raw = (pattern >> (k * s)) & slice_mask;
+            let is_top = k == n - 1;
+            let (v, signed) = if signedness == Signedness::Signed && is_top {
+                // Sign-extend the top slice.
+                let sign_bit = 1u32 << (s - 1);
+                let v = if raw & sign_bit != 0 {
+                    (raw as i32) - (1i32 << s)
+                } else {
+                    raw as i32
+                };
+                (v, true)
+            } else {
+                (raw as i32, false)
+            };
+            slices.push(Slice {
+                value: v,
+                shift: k * s,
+                signed,
+            });
+        }
+        Ok(SlicedValue {
+            slices,
+            original: value,
+            width,
+            slice_width,
+            signedness,
+        })
+    }
+
+    /// The slices, least significant first.
+    #[must_use]
+    pub fn slices(&self) -> &[Slice] {
+        &self.slices
+    }
+
+    /// The value that was decomposed.
+    #[must_use]
+    pub fn original(&self) -> i32 {
+        self.original
+    }
+
+    /// The declared operand width.
+    #[must_use]
+    pub fn width(&self) -> BitWidth {
+        self.width
+    }
+
+    /// The slice width used for the decomposition.
+    #[must_use]
+    pub fn slice_width(&self) -> SliceWidth {
+        self.slice_width
+    }
+
+    /// The declared signedness.
+    #[must_use]
+    pub fn signedness(&self) -> Signedness {
+        self.signedness
+    }
+
+    /// Recombines the slices (`sum(value_k << shift_k)`).
+    ///
+    /// This is the shift-add reduction the CVU's global stage performs; by the
+    /// type's invariant it always equals [`Self::original`].
+    #[must_use]
+    pub fn reconstruct(&self) -> i64 {
+        self.slices.iter().map(|s| s.contribution()).sum()
+    }
+}
+
+/// Decomposes every element of a vector with shared parameters.
+///
+/// # Errors
+///
+/// Fails with [`CoreError::ValueOutOfRange`] on the first element that does
+/// not fit in `width`.
+pub fn decompose_vector(
+    values: &[i32],
+    width: BitWidth,
+    slice_width: SliceWidth,
+    signedness: Signedness,
+) -> Result<Vec<SlicedValue>, CoreError> {
+    values
+        .iter()
+        .map(|&v| SlicedValue::decompose(v, width, slice_width, signedness))
+        .collect()
+}
+
+/// Extracts the `k`-th slice value of each element — the bit-sliced
+/// *sub-vector* an NBVE consumes (paper Figure 2, shaded groups).
+///
+/// # Panics
+///
+/// Panics if `k` is out of range for any element (all elements produced by
+/// [`decompose_vector`] share the same slice count, so this cannot happen for
+/// its output).
+#[must_use]
+pub fn subvector(sliced: &[SlicedValue], k: usize) -> Vec<i32> {
+    sliced.iter().map(|sv| sv.slices()[k].value).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn bitwidth_rejects_out_of_range() {
+        assert!(BitWidth::new(0).is_err());
+        assert!(BitWidth::new(9).is_err());
+        for b in 1..=8 {
+            assert_eq!(BitWidth::new(b).unwrap().bits(), b);
+        }
+    }
+
+    #[test]
+    fn slicewidth_accepts_powers_of_two_only() {
+        for b in [1u32, 2, 4, 8] {
+            assert_eq!(SliceWidth::new(b).unwrap().bits(), b);
+        }
+        for b in [0u32, 3, 5, 6, 7, 9, 16] {
+            assert!(SliceWidth::new(b).is_err());
+        }
+    }
+
+    #[test]
+    fn ranges_match_twos_complement() {
+        assert_eq!(BitWidth::INT8.range(Signedness::Signed), (-128, 127));
+        assert_eq!(BitWidth::INT8.range(Signedness::Unsigned), (0, 255));
+        assert_eq!(BitWidth::INT2.range(Signedness::Signed), (-2, 1));
+        assert_eq!(BitWidth::INT2.range(Signedness::Unsigned), (0, 3));
+        assert_eq!(
+            BitWidth::new(1).unwrap().range(Signedness::Signed),
+            (-1, 0)
+        );
+    }
+
+    #[test]
+    fn paper_example_4bit_value_into_2bit_slices() {
+        // Figure 2a: a 4-bit element is two 2-bit slices,
+        // x = 2^2 * bsl_msb + 2^0 * bsl_lsb.
+        let sv = SlicedValue::decompose(
+            0b1110,
+            BitWidth::new(4).unwrap(),
+            SliceWidth::BIT2,
+            Signedness::Unsigned,
+        )
+        .unwrap();
+        assert_eq!(sv.slices().len(), 2);
+        assert_eq!(sv.slices()[0].value, 0b10);
+        assert_eq!(sv.slices()[0].shift, 0);
+        assert_eq!(sv.slices()[1].value, 0b11);
+        assert_eq!(sv.slices()[1].shift, 2);
+        assert_eq!(sv.reconstruct(), 0b1110);
+    }
+
+    #[test]
+    fn signed_top_slice_carries_sign() {
+        let sv = SlicedValue::decompose(-1, BitWidth::INT8, SliceWidth::BIT2, Signedness::Signed)
+            .unwrap();
+        // -1 = 0b11111111: slices 3,3,3 unsigned + top slice -1.
+        assert_eq!(
+            sv.slices().iter().map(|s| s.value).collect::<Vec<_>>(),
+            vec![3, 3, 3, -1]
+        );
+        assert!(sv.slices()[3].signed);
+        assert_eq!(sv.reconstruct(), -1);
+    }
+
+    #[test]
+    fn narrow_width_single_slice_is_identity() {
+        for v in -2..=1 {
+            let sv =
+                SlicedValue::decompose(v, BitWidth::INT2, SliceWidth::BIT2, Signedness::Signed)
+                    .unwrap();
+            assert_eq!(sv.slices().len(), 1);
+            assert_eq!(sv.slices()[0].value, v);
+            assert_eq!(sv.reconstruct(), v as i64);
+        }
+    }
+
+    #[test]
+    fn odd_width_pads_to_slice_multiple() {
+        // 3-bit signed value with 2-bit slices: 2 slices covering 4 bits.
+        for v in -4..=3 {
+            let sv = SlicedValue::decompose(
+                v,
+                BitWidth::new(3).unwrap(),
+                SliceWidth::BIT2,
+                Signedness::Signed,
+            )
+            .unwrap();
+            assert_eq!(sv.slices().len(), 2);
+            assert_eq!(sv.reconstruct(), v as i64, "value {v}");
+        }
+    }
+
+    #[test]
+    fn out_of_range_is_rejected() {
+        assert!(matches!(
+            SlicedValue::decompose(128, BitWidth::INT8, SliceWidth::BIT2, Signedness::Signed),
+            Err(CoreError::ValueOutOfRange { .. })
+        ));
+        assert!(matches!(
+            SlicedValue::decompose(-1, BitWidth::INT8, SliceWidth::BIT2, Signedness::Unsigned),
+            Err(CoreError::ValueOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn subvector_extracts_slice_lanes() {
+        let xs = vec![5, -3, 100, -128];
+        let sliced =
+            decompose_vector(&xs, BitWidth::INT8, SliceWidth::BIT2, Signedness::Signed).unwrap();
+        let lane0 = subvector(&sliced, 0);
+        assert_eq!(lane0, vec![5 & 3, (-3i32 & 3), 100 & 3, 0]);
+        // Reconstruct each element from its lanes.
+        for (i, sv) in sliced.iter().enumerate() {
+            assert_eq!(sv.reconstruct(), xs[i] as i64);
+        }
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(BitWidth::INT8.to_string(), "8b");
+        assert_eq!(SliceWidth::BIT2.to_string(), "2b-slice");
+        assert_eq!(Signedness::Signed.to_string(), "signed");
+    }
+
+    fn arb_width() -> impl Strategy<Value = BitWidth> {
+        (1u32..=8).prop_map(|b| BitWidth::new(b).unwrap())
+    }
+
+    fn arb_slice_width() -> impl Strategy<Value = SliceWidth> {
+        prop_oneof![
+            Just(SliceWidth::BIT1),
+            Just(SliceWidth::BIT2),
+            Just(SliceWidth::BIT4),
+            Just(SliceWidth::BIT8),
+        ]
+    }
+
+    proptest! {
+        /// Decompose-then-reconstruct is the identity for every width,
+        /// slicing, signedness and in-range value.
+        #[test]
+        fn roundtrip_identity(
+            width in arb_width(),
+            sw in arb_slice_width(),
+            signed in proptest::bool::ANY,
+            raw in proptest::num::i32::ANY,
+        ) {
+            let signedness = if signed { Signedness::Signed } else { Signedness::Unsigned };
+            let (lo, hi) = width.range(signedness);
+            let span = (hi - lo + 1) as i64;
+            let v = (lo as i64 + (raw as i64 - lo as i64).rem_euclid(span)) as i32;
+            let sv = SlicedValue::decompose(v, width, sw, signedness).unwrap();
+            prop_assert_eq!(sv.reconstruct(), v as i64);
+        }
+
+        /// Every non-top slice is an unsigned s-bit magnitude; the top slice
+        /// fits the signed s-bit range when the value is signed.
+        #[test]
+        fn slice_ranges_hold(
+            width in arb_width(),
+            sw in arb_slice_width(),
+            raw in proptest::num::i32::ANY,
+        ) {
+            let (lo, hi) = width.range(Signedness::Signed);
+            let span = (hi - lo + 1) as i64;
+            let v = (lo as i64 + (raw as i64 - lo as i64).rem_euclid(span)) as i32;
+            let sv = SlicedValue::decompose(v, width, sw, Signedness::Signed).unwrap();
+            let s = sw.bits();
+            let n = sv.slices().len();
+            for (k, slice) in sv.slices().iter().enumerate() {
+                if k == n - 1 {
+                    prop_assert!(slice.signed);
+                    prop_assert!(slice.value >= -(1 << (s - 1)) && slice.value < (1 << (s - 1)));
+                } else {
+                    prop_assert!(!slice.signed);
+                    prop_assert!(slice.value >= 0 && slice.value < (1 << s));
+                }
+                prop_assert_eq!(slice.shift, k as u32 * s);
+            }
+        }
+
+        /// Products decompose: x*w == sum over slice pairs of
+        /// (xs_j * ws_k) << (shift_j + shift_k) — the core identity behind
+        /// Equation 2.
+        #[test]
+        fn product_decomposition_identity(
+            sw in arb_slice_width(),
+            x in -128i32..=127,
+            w in -128i32..=127,
+        ) {
+            let xs = SlicedValue::decompose(x, BitWidth::INT8, sw, Signedness::Signed).unwrap();
+            let ws = SlicedValue::decompose(w, BitWidth::INT8, sw, Signedness::Signed).unwrap();
+            let mut acc = 0i64;
+            for a in xs.slices() {
+                for b in ws.slices() {
+                    acc += ((a.value as i64) * (b.value as i64)) << (a.shift + b.shift);
+                }
+            }
+            prop_assert_eq!(acc, (x as i64) * (w as i64));
+        }
+    }
+}

@@ -1,0 +1,273 @@
+//! Composition calculus: how a CVU's NBVEs are grouped at runtime.
+//!
+//! Given the CVU geometry and the layer's operand bitwidths `(bx, bw)`, the
+//! composition determines (paper §III-A):
+//!
+//! * how many NBVEs form one **cluster** — one NBVE per
+//!   (x-slice, w-slice) significance pair, `ceil(bx/s) · ceil(bw/s)` total;
+//! * how many clusters operate **in parallel** — the throughput multiplier of
+//!   the heterogeneous quantized mode;
+//! * which **shift** each NBVE's output receives before the two-level
+//!   aggregation (private shift-add inside the cluster, global add across
+//!   clusters' contributions to different output scalars).
+
+use serde::{Deserialize, Serialize};
+
+use crate::bitslice::{BitWidth, SliceWidth};
+use crate::error::CoreError;
+
+/// A runtime grouping of a CVU's NBVEs for operand bitwidths `(bx, bw)`.
+///
+/// ```
+/// use bpvec_core::{BitWidth, Composition, SliceWidth};
+/// // Paper Figure 3c: 8-bit inputs x 2-bit weights on 16 NBVEs.
+/// let c = Composition::plan(16, SliceWidth::BIT2, BitWidth::INT8, BitWidth::INT2)?;
+/// assert_eq!(c.nbves_per_cluster(), 4);
+/// assert_eq!(c.clusters(), 4);
+/// assert_eq!(c.throughput_multiplier(), 4);
+/// # Ok::<(), bpvec_core::CoreError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Composition {
+    slice_width: SliceWidth,
+    bwx: BitWidth,
+    bww: BitWidth,
+    x_slices: u32,
+    w_slices: u32,
+    clusters: usize,
+    idle_nbves: usize,
+}
+
+impl Composition {
+    /// Plans a composition of `total_nbves` engines with `slice_width`
+    /// multipliers for operands of widths `bwx` × `bww`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::CompositionTooLarge`] if a single cluster would
+    /// need more NBVEs than the CVU has (i.e. the operands are too wide for
+    /// this CVU geometry).
+    pub fn plan(
+        total_nbves: usize,
+        slice_width: SliceWidth,
+        bwx: BitWidth,
+        bww: BitWidth,
+    ) -> Result<Self, CoreError> {
+        let x_slices = slice_width.slices_for(bwx);
+        let w_slices = slice_width.slices_for(bww);
+        let per_cluster = (x_slices * w_slices) as usize;
+        if per_cluster > total_nbves {
+            return Err(CoreError::CompositionTooLarge {
+                required: per_cluster,
+                available: total_nbves,
+            });
+        }
+        let clusters = total_nbves / per_cluster;
+        let idle_nbves = total_nbves - clusters * per_cluster;
+        Ok(Composition {
+            slice_width,
+            bwx,
+            bww,
+            x_slices,
+            w_slices,
+            clusters,
+            idle_nbves,
+        })
+    }
+
+    /// The slice width the NBVE multipliers operate at.
+    #[must_use]
+    pub fn slice_width(&self) -> SliceWidth {
+        self.slice_width
+    }
+
+    /// The first operand's bitwidth.
+    #[must_use]
+    pub fn x_width(&self) -> BitWidth {
+        self.bwx
+    }
+
+    /// The second operand's bitwidth.
+    #[must_use]
+    pub fn w_width(&self) -> BitWidth {
+        self.bww
+    }
+
+    /// Number of slices each `X` element is cut into.
+    #[must_use]
+    pub fn x_slices(&self) -> u32 {
+        self.x_slices
+    }
+
+    /// Number of slices each `W` element is cut into.
+    #[must_use]
+    pub fn w_slices(&self) -> u32 {
+        self.w_slices
+    }
+
+    /// NBVEs cooperating on one dot-product (one per significance pair).
+    #[must_use]
+    pub fn nbves_per_cluster(&self) -> usize {
+        (self.x_slices * self.w_slices) as usize
+    }
+
+    /// Independent clusters operating in parallel.
+    #[must_use]
+    pub fn clusters(&self) -> usize {
+        self.clusters
+    }
+
+    /// NBVEs left idle because the cluster size does not divide the total
+    /// (a real utilization loss for e.g. 3-slice operands on 16 NBVEs).
+    #[must_use]
+    pub fn idle_nbves(&self) -> usize {
+        self.idle_nbves
+    }
+
+    /// Throughput relative to the widest (one-cluster) composition of the
+    /// same CVU — the paper's "2× boost" in Figure 2b and "16× higher
+    /// performance" for 2-bit × 2-bit (§III-A).
+    #[must_use]
+    pub fn throughput_multiplier(&self) -> usize {
+        self.clusters
+    }
+
+    /// The output shift of the NBVE handling x-slice `j`, w-slice `k`:
+    /// `s·j + s·k` (Equation 4 exponent with `α = β = s`).
+    #[must_use]
+    pub fn shift_for(&self, j: u32, k: u32) -> u32 {
+        self.slice_width.bits() * (j + k)
+    }
+
+    /// Iterates over the (j, k, shift) assignments of one cluster, row-major
+    /// over x-slices then w-slices — the order Figure 3a draws the NBVEs in.
+    pub fn assignments(&self) -> impl Iterator<Item = (u32, u32, u32)> + '_ {
+        let w_slices = self.w_slices;
+        (0..self.x_slices).flat_map(move |j| {
+            (0..w_slices).map(move |k| (j, k, self.shift_for(j, k)))
+        })
+    }
+
+    /// Hardware utilization of the NBVE array in `0.0..=1.0`.
+    #[must_use]
+    pub fn utilization(&self) -> f64 {
+        let used = self.clusters * self.nbves_per_cluster();
+        used as f64 / (used + self.idle_nbves) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn plan(bx: u32, bw: u32) -> Composition {
+        Composition::plan(
+            16,
+            SliceWidth::BIT2,
+            BitWidth::new(bx).unwrap(),
+            BitWidth::new(bw).unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn homogeneous_8bit_uses_all_16_nbves_as_one_cluster() {
+        // Figure 3b.
+        let c = plan(8, 8);
+        assert_eq!(c.nbves_per_cluster(), 16);
+        assert_eq!(c.clusters(), 1);
+        assert_eq!(c.idle_nbves(), 0);
+        assert_eq!(c.throughput_multiplier(), 1);
+        assert!((c.utilization() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn heterogeneous_8x2_forms_four_clusters_of_four() {
+        // Figure 3c.
+        let c = plan(8, 2);
+        assert_eq!(c.nbves_per_cluster(), 4);
+        assert_eq!(c.clusters(), 4);
+        assert_eq!(c.throughput_multiplier(), 4);
+    }
+
+    #[test]
+    fn two_by_two_decomposes_into_16_independent_engines() {
+        let c = plan(2, 2);
+        assert_eq!(c.nbves_per_cluster(), 1);
+        assert_eq!(c.clusters(), 16);
+        assert_eq!(c.throughput_multiplier(), 16);
+    }
+
+    #[test]
+    fn four_by_four_gives_4x() {
+        let c = plan(4, 4);
+        assert_eq!(c.nbves_per_cluster(), 4);
+        assert_eq!(c.clusters(), 4);
+    }
+
+    #[test]
+    fn odd_widths_round_up_and_may_idle_nbves() {
+        // 6-bit x 6-bit with 2-bit slices: 3x3 = 9 NBVEs per cluster;
+        // 16 / 9 = 1 cluster, 7 idle.
+        let c = plan(6, 6);
+        assert_eq!(c.nbves_per_cluster(), 9);
+        assert_eq!(c.clusters(), 1);
+        assert_eq!(c.idle_nbves(), 7);
+        assert!(c.utilization() < 1.0);
+    }
+
+    #[test]
+    fn too_wide_for_cvu_is_an_error() {
+        // 8x8 with 1-bit slices needs 64 NBVEs; a 16-NBVE CVU cannot host it.
+        let err = Composition::plan(16, SliceWidth::BIT1, BitWidth::INT8, BitWidth::INT8);
+        assert!(matches!(
+            err,
+            Err(CoreError::CompositionTooLarge {
+                required: 64,
+                available: 16
+            })
+        ));
+    }
+
+    #[test]
+    fn shifts_follow_equation_4() {
+        let c = plan(8, 2);
+        let shifts: Vec<u32> = c.assignments().map(|(_, _, s)| s).collect();
+        // x-slices j = 0..4, w-slices k = 0..1 -> shifts 2(j+k).
+        assert_eq!(shifts, vec![0, 2, 4, 6]);
+        let c = plan(4, 4);
+        let shifts: Vec<u32> = c.assignments().map(|(_, _, s)| s).collect();
+        assert_eq!(shifts, vec![0, 2, 2, 4]);
+    }
+
+    proptest! {
+        /// Cluster accounting is conservative: used + idle == total, and the
+        /// throughput multiplier never exceeds the NBVE count.
+        #[test]
+        fn accounting_invariants(
+            total in 1usize..=64,
+            s in prop_oneof![Just(1u32), Just(2), Just(4)],
+            bx in 1u32..=8,
+            bw in 1u32..=8,
+        ) {
+            let sw = SliceWidth::new(s).unwrap();
+            let bxw = BitWidth::new(bx).unwrap();
+            let bww = BitWidth::new(bw).unwrap();
+            match Composition::plan(total, sw, bxw, bww) {
+                Ok(c) => {
+                    prop_assert_eq!(
+                        c.clusters() * c.nbves_per_cluster() + c.idle_nbves(), total);
+                    prop_assert!(c.throughput_multiplier() <= total);
+                    prop_assert!(c.clusters() >= 1);
+                    let n_assign = c.assignments().count();
+                    prop_assert_eq!(n_assign, c.nbves_per_cluster());
+                }
+                Err(CoreError::CompositionTooLarge { required, available }) => {
+                    prop_assert!(required > available);
+                }
+                Err(e) => return Err(TestCaseError::fail(format!("unexpected error {e}"))),
+            }
+        }
+    }
+}

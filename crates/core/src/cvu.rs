@@ -1,0 +1,472 @@
+//! The Composable Vector Unit (paper Figure 3).
+//!
+//! A CVU owns `num_nbves` [`Nbve`]s and executes vector dot-products by
+//! (1) bit-slicing the operand vectors, (2) dispatching each (x-slice,
+//! w-slice) sub-vector pair to one NBVE of a cluster, (3) shifting each
+//! NBVE's scalar by its significance, and (4) aggregating — privately inside
+//! each cluster, then globally across clusters into a 64-bit accumulator.
+//!
+//! Vectors longer than one composition's per-cycle capacity are processed in
+//! multiple cycles, mirroring how the systolic array streams a long
+//! dot-product through the same physical unit.
+
+use serde::{Deserialize, Serialize};
+
+use crate::bitslice::{decompose_vector, subvector, BitWidth, Signedness, SliceWidth};
+use crate::compose::Composition;
+use crate::error::CoreError;
+use crate::nbve::{Nbve, ACCUMULATOR_BITS};
+use crate::stats::ExecutionStats;
+
+/// Static geometry of a CVU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CvuConfig {
+    /// Number of NBVEs in the unit.
+    pub num_nbves: usize,
+    /// Multiplier lanes per NBVE (the paper's `L`).
+    pub lanes: usize,
+    /// Multiplier operand width (the paper's bit-slice size).
+    pub slice_width: SliceWidth,
+    /// Maximum supported operand bitwidth (8 in the paper).
+    pub max_bitwidth: BitWidth,
+}
+
+impl CvuConfig {
+    /// The paper's chosen design point (§III-A): 2-bit slicing, 8-bit maximum
+    /// operands, hence `(8/2)² = 16` NBVEs, each with `L = 16` lanes.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        CvuConfig {
+            num_nbves: 16,
+            lanes: 16,
+            slice_width: SliceWidth::BIT2,
+            max_bitwidth: BitWidth::INT8,
+        }
+    }
+
+    /// A CVU geometry derived from a slice width, keeping the full-width
+    /// composition exactly one cluster: `(max/s)²` NBVEs of `lanes` lanes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CoreError::InvalidSliceWidth`]/[`CoreError::InvalidBitWidth`]
+    /// from the component constructors.
+    pub fn for_slicing(slice_bits: u32, max_bits: u32, lanes: usize) -> Result<Self, CoreError> {
+        let slice_width = SliceWidth::new(slice_bits)?;
+        let max_bitwidth = BitWidth::new(max_bits)?;
+        let per_side = slice_width.slices_for(max_bitwidth) as usize;
+        Ok(CvuConfig {
+            num_nbves: per_side * per_side,
+            lanes,
+            slice_width,
+            max_bitwidth,
+        })
+    }
+
+    /// Element pairs processed per cycle in the widest (one-cluster) mode.
+    #[must_use]
+    pub fn base_lanes_per_cycle(&self) -> usize {
+        self.lanes
+    }
+
+    /// Total narrow multipliers in the unit.
+    #[must_use]
+    pub fn total_multipliers(&self) -> usize {
+        self.num_nbves * self.lanes
+    }
+}
+
+impl Default for CvuConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// Result of one CVU dot-product execution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DotProductOutput {
+    /// The exact dot-product value (64-bit accumulator).
+    pub value: i64,
+    /// Cycles the CVU needed (ceil(n / per-cycle capacity)).
+    pub cycles: u64,
+    /// Element pairs the unit could have processed in those cycles.
+    pub capacity: u64,
+    /// The composition used.
+    pub composition: Composition,
+    /// Lane-level statistics.
+    pub stats: ExecutionStats,
+}
+
+/// A Composable Vector Unit: `num_nbves` NBVEs that are dynamically composed
+/// or decomposed at bit granularity (paper §III-A).
+///
+/// See the [crate-level example](crate) for typical use.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cvu {
+    config: CvuConfig,
+    nbve: Nbve,
+}
+
+impl Cvu {
+    /// Creates a CVU with the given geometry.
+    #[must_use]
+    pub fn new(config: CvuConfig) -> Self {
+        let nbve = Nbve::new(config.slice_width, config.lanes);
+        Cvu { config, nbve }
+    }
+
+    /// The unit's static configuration.
+    #[must_use]
+    pub fn config(&self) -> &CvuConfig {
+        &self.config
+    }
+
+    /// Plans the composition for operand bitwidths `(bwx, bww)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::CompositionTooLarge`] if the bitwidths exceed
+    /// what this CVU can compose, or [`CoreError::InvalidBitWidth`] if they
+    /// exceed [`CvuConfig::max_bitwidth`].
+    pub fn compose(&self, bwx: BitWidth, bww: BitWidth) -> Result<Composition, CoreError> {
+        if bwx > self.config.max_bitwidth || bww > self.config.max_bitwidth {
+            return Err(CoreError::InvalidBitWidth {
+                bits: bwx.bits().max(bww.bits()),
+            });
+        }
+        Composition::plan(self.config.num_nbves, self.config.slice_width, bwx, bww)
+    }
+
+    /// Element pairs processed per cycle under bitwidths `(bwx, bww)`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Cvu::compose`].
+    pub fn throughput_per_cycle(&self, bwx: BitWidth, bww: BitWidth) -> Result<usize, CoreError> {
+        Ok(self.compose(bwx, bww)?.clusters() * self.config.lanes)
+    }
+
+    /// Executes a full vector dot-product, bit-true.
+    ///
+    /// The vectors are processed `clusters × L` elements per cycle: each
+    /// cluster takes one `L`-chunk, slices it, distributes the slice
+    /// sub-vectors over its NBVEs, shift-adds privately, and the CVU
+    /// accumulates cluster outputs globally.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::LengthMismatch`] — operand vectors differ in length.
+    /// * [`CoreError::ValueOutOfRange`] — an element exceeds its bitwidth.
+    /// * [`CoreError::CompositionTooLarge`] / [`CoreError::InvalidBitWidth`] —
+    ///   the bitwidths do not fit this CVU.
+    pub fn dot_product(
+        &self,
+        xs: &[i32],
+        ws: &[i32],
+        bwx: BitWidth,
+        bww: BitWidth,
+        signedness: Signedness,
+    ) -> Result<DotProductOutput, CoreError> {
+        self.dot_product_mixed(xs, ws, bwx, bww, signedness, signedness)
+    }
+
+    /// Executes a dot-product with *per-operand* signedness — the form real
+    /// quantized inference needs (post-ReLU activations are unsigned while
+    /// weights stay two's complement).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Cvu::dot_product`].
+    pub fn dot_product_mixed(
+        &self,
+        xs: &[i32],
+        ws: &[i32],
+        bwx: BitWidth,
+        bww: BitWidth,
+        sx: Signedness,
+        sw: Signedness,
+    ) -> Result<DotProductOutput, CoreError> {
+        if xs.len() != ws.len() {
+            return Err(CoreError::LengthMismatch {
+                left: xs.len(),
+                right: ws.len(),
+            });
+        }
+        let composition = self.compose(bwx, bww)?;
+        let lanes = self.config.lanes;
+        let chunk_per_cycle = composition.clusters() * lanes;
+        let mut value = 0i64;
+        let mut stats = ExecutionStats::new();
+        let mut cycles = 0u64;
+
+        for cycle_chunk in xs.chunks(chunk_per_cycle).zip(ws.chunks(chunk_per_cycle)) {
+            let (xc, wc) = cycle_chunk;
+            cycles += 1;
+            stats.cycles += 1;
+            // Every multiplier lane is clocked each cycle, whether or not its
+            // NBVE has real work (idle NBVEs still burn the slot).
+            stats.lane_slots += self.config.total_multipliers() as u64;
+            // Each cluster takes one L-sized sub-chunk of this cycle's chunk.
+            for (xl, wl) in xc.chunks(lanes).zip(wc.chunks(lanes)) {
+                value = value
+                    .checked_add(self.cluster_dot(xl, wl, &composition, sx, sw, &mut stats)?)
+                    .ok_or(CoreError::AccumulatorOverflow {
+                        required_bits: ACCUMULATOR_BITS + 1,
+                        provided_bits: ACCUMULATOR_BITS,
+                    })?;
+                stats.element_pairs += xl.len() as u64;
+            }
+        }
+
+        // Handle the empty-vector case: zero cycles, zero value.
+        if xs.is_empty() {
+            cycles = 0;
+        }
+
+        Ok(DotProductOutput {
+            value,
+            cycles,
+            capacity: cycles * chunk_per_cycle as u64,
+            composition,
+            stats,
+        })
+    }
+
+    /// One cluster's work for one cycle: slice an `L`-chunk and run every
+    /// (j, k) significance pair on one NBVE, shift-adding the outputs.
+    fn cluster_dot(
+        &self,
+        xs: &[i32],
+        ws: &[i32],
+        composition: &Composition,
+        sx: Signedness,
+        sw: Signedness,
+        stats: &mut ExecutionStats,
+    ) -> Result<i64, CoreError> {
+        let xsl = decompose_vector(xs, composition.x_width(), self.config.slice_width, sx)?;
+        let wsl = decompose_vector(ws, composition.w_width(), self.config.slice_width, sw)?;
+        let mut cluster_sum = 0i64;
+        for (j, k, shift) in composition.assignments() {
+            let xsub = subvector(&xsl, j as usize);
+            let wsub = subvector(&wsl, k as usize);
+            let out = self.nbve.dot(&xsub, &wsub)?;
+            stats.active_lane_slots += out.active_lanes as u64;
+            stats.slice_products += xsub.len() as u64;
+            stats.zero_slice_products += xsub
+                .iter()
+                .zip(&wsub)
+                .filter(|&(&a, &b)| a == 0 || b == 0)
+                .count() as u64;
+            cluster_sum += out.value << shift;
+        }
+        Ok(cluster_sum)
+    }
+}
+
+impl Default for Cvu {
+    fn default() -> Self {
+        Cvu::new(CvuConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dotprod::dot_exact;
+    use proptest::prelude::*;
+
+    fn paper_cvu() -> Cvu {
+        Cvu::new(CvuConfig::paper_default())
+    }
+
+    #[test]
+    fn config_paper_default_matches_section_3a() {
+        let c = CvuConfig::paper_default();
+        assert_eq!(c.num_nbves, 16);
+        assert_eq!(c.lanes, 16);
+        assert_eq!(c.slice_width, SliceWidth::BIT2);
+        assert_eq!(c.total_multipliers(), 256);
+    }
+
+    #[test]
+    fn for_slicing_derives_square_geometry() {
+        let c = CvuConfig::for_slicing(1, 8, 4).unwrap();
+        assert_eq!(c.num_nbves, 64);
+        let c = CvuConfig::for_slicing(4, 8, 16).unwrap();
+        assert_eq!(c.num_nbves, 4);
+    }
+
+    #[test]
+    fn homogeneous_8bit_single_cycle_for_l_elements() {
+        let cvu = paper_cvu();
+        let xs: Vec<i32> = (0..16).map(|i| i * 5 - 40).collect();
+        let ws: Vec<i32> = (0..16).map(|i| 60 - i * 7).collect();
+        let out = cvu
+            .dot_product(&xs, &ws, BitWidth::INT8, BitWidth::INT8, Signedness::Signed)
+            .unwrap();
+        assert_eq!(out.value, dot_exact(&xs, &ws).unwrap());
+        assert_eq!(out.cycles, 1);
+        assert_eq!(out.composition.clusters(), 1);
+    }
+
+    #[test]
+    fn long_vector_takes_multiple_cycles() {
+        let cvu = paper_cvu();
+        let xs: Vec<i32> = (0..100).map(|i| (i % 255) - 127).collect();
+        let ws: Vec<i32> = (0..100).map(|i| ((i * 7) % 255) - 127).collect();
+        let out = cvu
+            .dot_product(&xs, &ws, BitWidth::INT8, BitWidth::INT8, Signedness::Signed)
+            .unwrap();
+        assert_eq!(out.value, dot_exact(&xs, &ws).unwrap());
+        assert_eq!(out.cycles, 7); // ceil(100 / 16)
+    }
+
+    #[test]
+    fn het_mode_4x4_quadruples_per_cycle_capacity() {
+        let cvu = paper_cvu();
+        assert_eq!(
+            cvu.throughput_per_cycle(BitWidth::INT4, BitWidth::INT4).unwrap(),
+            64
+        );
+        let xs: Vec<i32> = (0..64).map(|i| (i % 15) - 8).collect();
+        let ws: Vec<i32> = (0..64).map(|i| ((i * 3) % 15) - 8).collect();
+        let out = cvu
+            .dot_product(&xs, &ws, BitWidth::INT4, BitWidth::INT4, Signedness::Signed)
+            .unwrap();
+        assert_eq!(out.cycles, 1);
+        assert_eq!(out.value, dot_exact(&xs, &ws).unwrap());
+    }
+
+    #[test]
+    fn het_mode_2x2_gives_16x() {
+        let cvu = paper_cvu();
+        assert_eq!(
+            cvu.throughput_per_cycle(BitWidth::INT2, BitWidth::INT2).unwrap(),
+            256
+        );
+    }
+
+    #[test]
+    fn unsigned_mode_matches_reference() {
+        let cvu = paper_cvu();
+        let xs: Vec<i32> = (0..48).map(|i| (i * 11) % 256).collect();
+        let ws: Vec<i32> = (0..48).map(|i| (i * 29) % 256).collect();
+        let out = cvu
+            .dot_product(
+                &xs,
+                &ws,
+                BitWidth::INT8,
+                BitWidth::INT8,
+                Signedness::Unsigned,
+            )
+            .unwrap();
+        assert_eq!(out.value, dot_exact(&xs, &ws).unwrap());
+    }
+
+    #[test]
+    fn wider_than_max_bitwidth_is_rejected_by_cvu() {
+        // A CVU configured for 4-bit maximum cannot take 8-bit operands.
+        let cvu = Cvu::new(CvuConfig::for_slicing(2, 4, 8).unwrap());
+        assert!(cvu
+            .dot_product(&[1], &[1], BitWidth::INT8, BitWidth::INT8, Signedness::Signed)
+            .is_err());
+    }
+
+    #[test]
+    fn out_of_range_element_is_rejected() {
+        let cvu = paper_cvu();
+        assert!(matches!(
+            cvu.dot_product(&[5], &[1], BitWidth::INT2, BitWidth::INT2, Signedness::Signed),
+            Err(CoreError::ValueOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_dot_product_is_zero_in_zero_cycles() {
+        let cvu = paper_cvu();
+        let out = cvu
+            .dot_product(&[], &[], BitWidth::INT8, BitWidth::INT8, Signedness::Signed)
+            .unwrap();
+        assert_eq!(out.value, 0);
+        assert_eq!(out.cycles, 0);
+    }
+
+    #[test]
+    fn stats_show_full_lane_utilization_for_aligned_lengths() {
+        let cvu = paper_cvu();
+        let xs = vec![1i32; 32];
+        let ws = vec![1i32; 32];
+        let out = cvu
+            .dot_product(&xs, &ws, BitWidth::INT8, BitWidth::INT8, Signedness::Signed)
+            .unwrap();
+        assert_eq!(out.value, 32);
+        assert_eq!(out.cycles, 2);
+        assert_eq!(out.stats.element_pairs, 32);
+    }
+
+    fn arb_signedness() -> impl Strategy<Value = Signedness> {
+        prop_oneof![Just(Signedness::Signed), Just(Signedness::Unsigned)]
+    }
+
+    proptest! {
+        /// The CVU is bit-true against the exact dot product for every
+        /// bitwidth combination, signedness and vector length — the crate's
+        /// central correctness property (paper Equations 1 vs 4).
+        #[test]
+        fn cvu_matches_exact_dot_product(
+            bx in 1u32..=8,
+            bw in 1u32..=8,
+            signedness in arb_signedness(),
+            seed in proptest::num::u64::ANY,
+        ) {
+            use rand::{Rng, SeedableRng};
+            let cvu = paper_cvu();
+            let bwx = BitWidth::new(bx).unwrap();
+            let bww = BitWidth::new(bw).unwrap();
+            let (xlo, xhi) = bwx.range(signedness);
+            let (wlo, whi) = bww.range(signedness);
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let n = rng.gen_range(0..200);
+            let xs: Vec<i32> = (0..n).map(|_| rng.gen_range(xlo..=xhi)).collect();
+            let ws: Vec<i32> = (0..n).map(|_| rng.gen_range(wlo..=whi)).collect();
+            let out = cvu.dot_product(&xs, &ws, bwx, bww, signedness).unwrap();
+            prop_assert_eq!(out.value, dot_exact(&xs, &ws).unwrap());
+        }
+
+        /// Cycle counts follow the composition: ceil(n / (clusters * L)).
+        #[test]
+        fn cycles_match_composition(
+            bx in 1u32..=8,
+            bw in 1u32..=8,
+            n in 0usize..400,
+        ) {
+            let cvu = paper_cvu();
+            let bwx = BitWidth::new(bx).unwrap();
+            let bww = BitWidth::new(bw).unwrap();
+            let xs = vec![0i32; n];
+            let ws = vec![0i32; n];
+            let out = cvu.dot_product(&xs, &ws, bwx, bww, Signedness::Signed).unwrap();
+            let per_cycle = cvu.throughput_per_cycle(bwx, bww).unwrap();
+            prop_assert_eq!(out.cycles, n.div_ceil(per_cycle) as u64);
+        }
+
+        /// Alternate CVU geometries (1-bit and 4-bit slicing) are also
+        /// bit-true.
+        #[test]
+        fn alternate_slicings_are_bit_true(
+            slice in prop_oneof![Just(1u32), Just(4u32)],
+            seed in proptest::num::u64::ANY,
+        ) {
+            use rand::{Rng, SeedableRng};
+            let cvu = Cvu::new(CvuConfig::for_slicing(slice, 8, 8).unwrap());
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let n = rng.gen_range(0..100);
+            let xs: Vec<i32> = (0..n).map(|_| rng.gen_range(-128..=127)).collect();
+            let ws: Vec<i32> = (0..n).map(|_| rng.gen_range(-128..=127)).collect();
+            let out = cvu
+                .dot_product(&xs, &ws, BitWidth::INT8, BitWidth::INT8, Signedness::Signed)
+                .unwrap();
+            prop_assert_eq!(out.value, dot_exact(&xs, &ws).unwrap());
+        }
+    }
+}

@@ -1,0 +1,278 @@
+//! Reference dot-product formulations (paper §II, Equations 1–4).
+//!
+//! These functions are the mathematical ground truth the hardware model is
+//! verified against. Each mirrors one rewriting step in the paper:
+//!
+//! 1. [`dot_exact`] — `X·W = Σᵢ xᵢ·wᵢ` (Equation 1, left-hand side).
+//! 2. [`dot_bitwise_conventional`] — expand each product over bit pairs and
+//!    shift *inside* the element sum (Equation 2) — the "complex left-shift
+//!    followed by wide addition" a conventional unit performs.
+//! 3. [`dot_bitwise_clustered`] — swap the `Σᵢ` and `Σⱼₖ` operators so bit
+//!    pairs of equal significance cluster across the vector (Equation 3).
+//! 4. [`dot_slice_clustered`] — the generalized `α`/`β`-bit-slice form
+//!    (Equation 4); with `α = β = 1` it reduces to Equation 3.
+//!
+//! All four produce identical results for all in-range inputs — property
+//! tests in this module and exhaustive tests in `tests/` assert it.
+
+use crate::bitslice::{decompose_vector, subvector, BitWidth, Signedness, SliceWidth};
+use crate::error::CoreError;
+
+/// Exact 64-bit dot product: `Σᵢ xᵢ·wᵢ` (Equation 1).
+///
+/// # Errors
+///
+/// Returns [`CoreError::LengthMismatch`] if the vectors differ in length.
+///
+/// ```
+/// let d = bpvec_core::dotprod::dot_exact(&[1, 2, 3], &[4, -5, 6])?;
+/// assert_eq!(d, 1 * 4 - 2 * 5 + 3 * 6);
+/// # Ok::<(), bpvec_core::CoreError>(())
+/// ```
+pub fn dot_exact(xs: &[i32], ws: &[i32]) -> Result<i64, CoreError> {
+    check_lengths(xs, ws)?;
+    Ok(xs
+        .iter()
+        .zip(ws)
+        .map(|(&x, &w)| (x as i64) * (w as i64))
+        .sum())
+}
+
+fn check_lengths(xs: &[i32], ws: &[i32]) -> Result<(), CoreError> {
+    if xs.len() != ws.len() {
+        return Err(CoreError::LengthMismatch {
+            left: xs.len(),
+            right: ws.len(),
+        });
+    }
+    Ok(())
+}
+
+/// Equation 2: per-element bitwise expansion with the shift applied inside
+/// the element sum (conventional order of operations).
+///
+/// `X·W = Σᵢ Σⱼ Σₖ 2^(j+k) · xᵢ[j] · wᵢ[k]`
+///
+/// # Errors
+///
+/// Returns [`CoreError::LengthMismatch`] on unequal lengths or
+/// [`CoreError::ValueOutOfRange`] if any element exceeds its declared width.
+pub fn dot_bitwise_conventional(
+    xs: &[i32],
+    ws: &[i32],
+    bwx: BitWidth,
+    bww: BitWidth,
+    signedness: Signedness,
+) -> Result<i64, CoreError> {
+    check_lengths(xs, ws)?;
+    let xsl = decompose_vector(xs, bwx, SliceWidth::BIT1, signedness)?;
+    let wsl = decompose_vector(ws, bww, SliceWidth::BIT1, signedness)?;
+    let mut total = 0i64;
+    for (xv, wv) in xsl.iter().zip(&wsl) {
+        // Conventional order: finish each element's product before summing.
+        let mut product = 0i64;
+        for a in xv.slices() {
+            for b in wv.slices() {
+                product += ((a.value as i64) * (b.value as i64)) << (a.shift + b.shift);
+            }
+        }
+        total += product;
+    }
+    Ok(total)
+}
+
+/// Equation 3: cluster bit pairs of equal significance across the vector and
+/// factor the power-of-two out of the inner sum.
+///
+/// `X·W = Σⱼ Σₖ 2^(j+k) · (Σᵢ xᵢ[j] · wᵢ[k])`
+///
+/// The inner `Σᵢ` is exactly what one 1-bit NBVE computes.
+///
+/// # Errors
+///
+/// Same conditions as [`dot_bitwise_conventional`].
+pub fn dot_bitwise_clustered(
+    xs: &[i32],
+    ws: &[i32],
+    bwx: BitWidth,
+    bww: BitWidth,
+    signedness: Signedness,
+) -> Result<i64, CoreError> {
+    dot_slice_clustered(xs, ws, bwx, bww, SliceWidth::BIT1, SliceWidth::BIT1, signedness)
+}
+
+/// Equation 4: the generalized bit-slice clustering with slice widths `α`
+/// (for `X`) and `β` (for `W`).
+///
+/// `X·W = Σⱼ Σₖ 2^(αj+βk) · (Σᵢ xᵢ[αj..α(j+1)] · wᵢ[βk..β(k+1)])`
+///
+/// Each inner sum is the narrow dot-product one NBVE produces; the outer
+/// shift-add is the CVU's composition stage.
+///
+/// # Errors
+///
+/// Returns [`CoreError::LengthMismatch`] on unequal lengths or
+/// [`CoreError::ValueOutOfRange`] if any element exceeds its declared width.
+pub fn dot_slice_clustered(
+    xs: &[i32],
+    ws: &[i32],
+    bwx: BitWidth,
+    bww: BitWidth,
+    alpha: SliceWidth,
+    beta: SliceWidth,
+    signedness: Signedness,
+) -> Result<i64, CoreError> {
+    check_lengths(xs, ws)?;
+    let xsl = decompose_vector(xs, bwx, alpha, signedness)?;
+    let wsl = decompose_vector(ws, bww, beta, signedness)?;
+    let nx = alpha.slices_for(bwx) as usize;
+    let nw = beta.slices_for(bww) as usize;
+    let mut total = 0i64;
+    for j in 0..nx {
+        let xsub = subvector(&xsl, j);
+        for k in 0..nw {
+            let wsub = subvector(&wsl, k);
+            // The narrow dot-product an NBVE computes...
+            let narrow: i64 = xsub
+                .iter()
+                .zip(&wsub)
+                .map(|(&a, &b)| (a as i64) * (b as i64))
+                .sum();
+            // ...then one shift per (j, k) significance pair, amortized over
+            // the whole vector.
+            total += narrow << (alpha.bits() * j as u32 + beta.bits() * k as u32);
+        }
+    }
+    Ok(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn length_mismatch_is_reported() {
+        assert!(matches!(
+            dot_exact(&[1, 2], &[1]),
+            Err(CoreError::LengthMismatch { left: 2, right: 1 })
+        ));
+    }
+
+    #[test]
+    fn empty_vectors_dot_to_zero() {
+        assert_eq!(dot_exact(&[], &[]).unwrap(), 0);
+        assert_eq!(
+            dot_slice_clustered(
+                &[],
+                &[],
+                BitWidth::INT8,
+                BitWidth::INT8,
+                SliceWidth::BIT2,
+                SliceWidth::BIT2,
+                Signedness::Signed
+            )
+            .unwrap(),
+            0
+        );
+    }
+
+    #[test]
+    fn figure2a_example_fixed_bitwidth() {
+        // Fig. 2a: two 4-bit x 4-bit elements, 2-bit slices.
+        let xs = [0b1011, 0b0110];
+        let ws = [0b0111, 0b1001];
+        let exact = dot_exact(&xs, &ws).unwrap();
+        let sliced = dot_slice_clustered(
+            &xs,
+            &ws,
+            BitWidth::new(4).unwrap(),
+            BitWidth::new(4).unwrap(),
+            SliceWidth::BIT2,
+            SliceWidth::BIT2,
+            Signedness::Unsigned,
+        )
+        .unwrap();
+        assert_eq!(sliced, exact);
+        assert_eq!(exact, 11 * 7 + 6 * 9);
+    }
+
+    #[test]
+    fn figure2b_example_flexible_bitwidth() {
+        // Fig. 2b: four 4-bit inputs x four 2-bit weights.
+        let xs = [0b1011, 0b0110, 0b1111, 0b0001];
+        let ws = [0b01, 0b10, 0b11, 0b00];
+        let exact = dot_exact(&xs, &ws).unwrap();
+        let sliced = dot_slice_clustered(
+            &xs,
+            &ws,
+            BitWidth::new(4).unwrap(),
+            BitWidth::INT2,
+            SliceWidth::BIT2,
+            SliceWidth::BIT2,
+            Signedness::Unsigned,
+        )
+        .unwrap();
+        assert_eq!(sliced, exact);
+    }
+
+    #[test]
+    fn equations_agree_on_mixed_signs() {
+        let xs = [-128, 127, -1, 0, 64, -64];
+        let ws = [127, -128, -1, -1, 3, -3];
+        let exact = dot_exact(&xs, &ws).unwrap();
+        let eq2 =
+            dot_bitwise_conventional(&xs, &ws, BitWidth::INT8, BitWidth::INT8, Signedness::Signed)
+                .unwrap();
+        let eq3 =
+            dot_bitwise_clustered(&xs, &ws, BitWidth::INT8, BitWidth::INT8, Signedness::Signed)
+                .unwrap();
+        let eq4 = dot_slice_clustered(
+            &xs,
+            &ws,
+            BitWidth::INT8,
+            BitWidth::INT8,
+            SliceWidth::BIT2,
+            SliceWidth::BIT2,
+            Signedness::Signed,
+        )
+        .unwrap();
+        assert_eq!(eq2, exact);
+        assert_eq!(eq3, exact);
+        assert_eq!(eq4, exact);
+    }
+
+    proptest! {
+        /// All four formulations agree, across bitwidths, slicings and
+        /// signedness (the Fig. 2 identity, generalized).
+        #[test]
+        fn formulations_agree(
+            bwx in 1u32..=8,
+            bww in 1u32..=8,
+            signed in proptest::bool::ANY,
+            alpha in prop_oneof![Just(1u32), Just(2), Just(4)],
+            beta in prop_oneof![Just(1u32), Just(2), Just(4)],
+            seed in proptest::num::u64::ANY,
+        ) {
+            use rand::{Rng, SeedableRng};
+            let signedness = if signed { Signedness::Signed } else { Signedness::Unsigned };
+            let bx = BitWidth::new(bwx).unwrap();
+            let bw = BitWidth::new(bww).unwrap();
+            let (xlo, xhi) = bx.range(signedness);
+            let (wlo, whi) = bw.range(signedness);
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let n = rng.gen_range(0..48);
+            let xs: Vec<i32> = (0..n).map(|_| rng.gen_range(xlo..=xhi)).collect();
+            let ws: Vec<i32> = (0..n).map(|_| rng.gen_range(wlo..=whi)).collect();
+            let exact = dot_exact(&xs, &ws).unwrap();
+            let a = SliceWidth::new(alpha).unwrap();
+            let b = SliceWidth::new(beta).unwrap();
+            prop_assert_eq!(
+                dot_bitwise_conventional(&xs, &ws, bx, bw, signedness).unwrap(), exact);
+            prop_assert_eq!(
+                dot_bitwise_clustered(&xs, &ws, bx, bw, signedness).unwrap(), exact);
+            prop_assert_eq!(
+                dot_slice_clustered(&xs, &ws, bx, bw, a, b, signedness).unwrap(), exact);
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! Narrow-Bitwidth Vector Engine (paper Figure 3a).
+//!
+//! An NBVE is a spatial array of `L` narrow multipliers whose outputs are
+//! summed by a private adder tree. It consumes one bit-sliced sub-vector of
+//! `X` and one of `W` and produces the single scalar `Σᵢ xᵢ[slice]·wᵢ[slice]`.
+//!
+//! Besides the arithmetic, this model tracks the *bit growth* through the
+//! adder tree so the hardware-model crate can size adders exactly and so
+//! tests can prove that the configured datapath never overflows.
+
+use serde::{Deserialize, Serialize};
+
+use crate::bitslice::SliceWidth;
+use crate::error::CoreError;
+
+/// Worst-case bit budget of the CVU-internal accumulators (the paper's
+/// systolic columns accumulate into 64-bit registers).
+pub const ACCUMULATOR_BITS: u32 = 64;
+
+/// Bit-growth report for an NBVE's datapath at a given configuration.
+///
+/// All widths are for two's-complement (signed) representation, the widest
+/// case: a signed-top-slice multiply produces an `(s+1)`-bit × `(s+1)`-bit
+/// signed product.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AdderTreeReport {
+    /// Bits of each multiplier output.
+    pub product_bits: u32,
+    /// Bits of the adder-tree root (after `ceil(log2(L))` doubling levels).
+    pub sum_bits: u32,
+    /// Number of adder levels in the tree.
+    pub levels: u32,
+}
+
+/// A Narrow-Bitwidth Vector Engine: `lanes` multipliers of
+/// `slice_width x slice_width` bits plus a private adder tree.
+///
+/// ```
+/// use bpvec_core::{Nbve, SliceWidth};
+/// let nbve = Nbve::new(SliceWidth::BIT2, 16);
+/// let out = nbve.dot(&[1, 2, 3], &[3, 2, 1])?;
+/// assert_eq!(out.value, 10);
+/// # Ok::<(), bpvec_core::CoreError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Nbve {
+    slice_width: SliceWidth,
+    lanes: usize,
+}
+
+/// Result of one NBVE evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NbveOutput {
+    /// The narrow dot-product scalar.
+    pub value: i64,
+    /// Multiplier lanes that carried real work (the rest idled).
+    pub active_lanes: usize,
+    /// Bits needed to represent the worst-case value at the tree root for
+    /// this configuration.
+    pub root_bits: u32,
+}
+
+impl Nbve {
+    /// Creates an NBVE with `lanes` multipliers of `slice_width` operands.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes == 0`; an NBVE without multipliers is meaningless and
+    /// constructing one is a programming error, not a runtime condition.
+    #[must_use]
+    pub fn new(slice_width: SliceWidth, lanes: usize) -> Self {
+        assert!(lanes > 0, "an NBVE needs at least one multiplier lane");
+        Nbve { slice_width, lanes }
+    }
+
+    /// The slice width of the multiplier operands.
+    #[must_use]
+    pub fn slice_width(&self) -> SliceWidth {
+        self.slice_width
+    }
+
+    /// The vector length `L` (number of multiplier lanes).
+    #[must_use]
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Worst-case bit growth through this NBVE's datapath.
+    ///
+    /// Signed-aware slices occupy `s+1` bits, so products need `2(s+1)` bits
+    /// minus one (two's-complement multiply of n-bit × m-bit fits n+m bits);
+    /// each adder level adds one bit.
+    #[must_use]
+    pub fn adder_tree_report(&self) -> AdderTreeReport {
+        let s = self.slice_width.bits();
+        let product_bits = 2 * (s + 1);
+        let levels = (self.lanes as u32).next_power_of_two().trailing_zeros();
+        AdderTreeReport {
+            product_bits,
+            sum_bits: product_bits + levels,
+            levels,
+        }
+    }
+
+    /// Computes the narrow dot-product of two slice sub-vectors.
+    ///
+    /// Inputs must already be bit-slices: each element must fit the signed
+    /// `(s+1)`-bit slice domain `[-2^(s-1), 2^s - 1]` (which covers both an
+    /// unsigned `s`-bit slice and a signed top slice). Vectors longer than
+    /// `L` are folded over the lanes in multiple "beats", mirroring temporal
+    /// reuse of the same engine.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::LengthMismatch`] — operand vectors differ in length.
+    /// * [`CoreError::ValueOutOfRange`] — an input is not a valid slice value.
+    pub fn dot(&self, xs: &[i32], ws: &[i32]) -> Result<NbveOutput, CoreError> {
+        if xs.len() != ws.len() {
+            return Err(CoreError::LengthMismatch {
+                left: xs.len(),
+                right: ws.len(),
+            });
+        }
+        let s = self.slice_width.bits();
+        let lo = -(1i32 << (s - 1));
+        let hi = (1i32 << s) - 1;
+        for &v in xs.iter().chain(ws.iter()) {
+            if v < lo || v > hi {
+                return Err(CoreError::ValueOutOfRange {
+                    value: v,
+                    bits: s + 1,
+                    signed: true,
+                });
+            }
+        }
+        let mut value = 0i64;
+        for (x, w) in xs.iter().zip(ws) {
+            value += (*x as i64) * (*w as i64);
+        }
+        let report = self.adder_tree_report();
+        Ok(NbveOutput {
+            value,
+            active_lanes: xs.len().min(self.lanes),
+            root_bits: report.sum_bits,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn dot_matches_reference() {
+        let nbve = Nbve::new(SliceWidth::BIT2, 16);
+        let xs = vec![3, 2, 1, 0, 3, 3];
+        let ws = vec![1, 2, 3, 3, 0, 1];
+        let out = nbve.dot(&xs, &ws).unwrap();
+        assert_eq!(out.value, 3 + 4 + 3 + 3);
+        assert_eq!(out.active_lanes, 6);
+    }
+
+    #[test]
+    fn signed_top_slices_are_accepted() {
+        let nbve = Nbve::new(SliceWidth::BIT2, 4);
+        // 2-bit signed slices span -2..=1, unsigned span 0..=3; the multiplier
+        // domain is the union -2..=3.
+        let out = nbve.dot(&[-2, 3], &[3, -2]).unwrap();
+        assert_eq!(out.value, -12);
+    }
+
+    #[test]
+    fn out_of_domain_slice_is_rejected() {
+        let nbve = Nbve::new(SliceWidth::BIT2, 4);
+        assert!(nbve.dot(&[4], &[0]).is_err());
+        assert!(nbve.dot(&[0], &[-3]).is_err());
+    }
+
+    #[test]
+    fn length_mismatch_is_rejected() {
+        let nbve = Nbve::new(SliceWidth::BIT2, 4);
+        assert!(matches!(
+            nbve.dot(&[1, 2], &[1]),
+            Err(CoreError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn adder_tree_growth_l16_2bit() {
+        // Paper design point: 2-bit slices, L = 16.
+        let report = Nbve::new(SliceWidth::BIT2, 16).adder_tree_report();
+        assert_eq!(report.product_bits, 6); // 3b x 3b signed products
+        assert_eq!(report.levels, 4);
+        assert_eq!(report.sum_bits, 10);
+    }
+
+    #[test]
+    fn adder_tree_growth_l1_has_no_levels() {
+        let report = Nbve::new(SliceWidth::BIT2, 1).adder_tree_report();
+        assert_eq!(report.levels, 0);
+        assert_eq!(report.sum_bits, report.product_bits);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one multiplier lane")]
+    fn zero_lanes_panics() {
+        let _ = Nbve::new(SliceWidth::BIT2, 0);
+    }
+
+    proptest! {
+        /// The reported root width is always sufficient: no in-domain input
+        /// of length <= L can exceed `sum_bits` (signed representation).
+        #[test]
+        fn root_width_is_sufficient(
+            lanes in 1usize..=32,
+            s in prop_oneof![Just(1u32), Just(2), Just(4)],
+            seed in proptest::num::u64::ANY,
+        ) {
+            use rand::{Rng, SeedableRng};
+            let sw = SliceWidth::new(s).unwrap();
+            let nbve = Nbve::new(sw, lanes);
+            let report = nbve.adder_tree_report();
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let lo = -(1i32 << (s - 1));
+            let hi = (1i32 << s) - 1;
+            let xs: Vec<i32> = (0..lanes).map(|_| rng.gen_range(lo..=hi)).collect();
+            let ws: Vec<i32> = (0..lanes).map(|_| rng.gen_range(lo..=hi)).collect();
+            let out = nbve.dot(&xs, &ws).unwrap();
+            let bound = 1i64 << (report.sum_bits - 1);
+            prop_assert!(out.value < bound && out.value >= -bound,
+                "value {} exceeds {} bits", out.value, report.sum_bits);
+        }
+    }
+}

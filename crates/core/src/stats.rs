@@ -1,0 +1,117 @@
+//! Execution statistics for CVU runs.
+
+use serde::{Deserialize, Serialize};
+
+/// Aggregate statistics across one or more CVU executions.
+///
+/// The simulator crate accumulates these per layer to derive utilization and
+/// effective throughput.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ExecutionStats {
+    /// Total CVU cycles consumed.
+    pub cycles: u64,
+    /// Total multiplier-lane slots available over those cycles.
+    pub lane_slots: u64,
+    /// Multiplier-lane slots that carried real element pairs.
+    pub active_lane_slots: u64,
+    /// Element pairs (multiply-accumulates at operand granularity) processed.
+    pub element_pairs: u64,
+    /// Narrow slice-level products evaluated (one per multiplier firing).
+    pub slice_products: u64,
+    /// Slice-level products with at least one zero operand — the
+    /// "ineffectual" computations a Laconic-style design would skip.
+    pub zero_slice_products: u64,
+}
+
+impl ExecutionStats {
+    /// Creates empty statistics (same as `Default`).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fraction of multiplier lanes doing useful work, `0.0..=1.0`
+    /// (1.0 when no cycles have been recorded).
+    #[must_use]
+    pub fn lane_utilization(&self) -> f64 {
+        if self.lane_slots == 0 {
+            1.0
+        } else {
+            self.active_lane_slots as f64 / self.lane_slots as f64
+        }
+    }
+
+    /// Average operand-granularity MACs per cycle.
+    #[must_use]
+    pub fn macs_per_cycle(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.element_pairs as f64 / self.cycles as f64
+        }
+    }
+
+    /// Fraction of slice-level products that were *effectual* (both
+    /// operands non-zero); 1.0 when nothing has been recorded. The
+    /// complement is the energy-saving opportunity of bit-sparsity-aware
+    /// designs (Laconic, ISCA 2019).
+    #[must_use]
+    pub fn effectual_fraction(&self) -> f64 {
+        if self.slice_products == 0 {
+            1.0
+        } else {
+            1.0 - self.zero_slice_products as f64 / self.slice_products as f64
+        }
+    }
+
+    /// Merges another run's statistics into this one.
+    pub fn merge(&mut self, other: &ExecutionStats) {
+        self.cycles += other.cycles;
+        self.lane_slots += other.lane_slots;
+        self.active_lane_slots += other.active_lane_slots;
+        self.element_pairs += other.element_pairs;
+        self.slice_products += other.slice_products;
+        self.zero_slice_products += other.zero_slice_products;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_of_empty_stats_is_full() {
+        assert_eq!(ExecutionStats::new().lane_utilization(), 1.0);
+        assert_eq!(ExecutionStats::new().macs_per_cycle(), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_fields() {
+        let mut a = ExecutionStats {
+            cycles: 2,
+            lane_slots: 512,
+            active_lane_slots: 256,
+            element_pairs: 256,
+            slice_products: 100,
+            zero_slice_products: 25,
+        };
+        let b = ExecutionStats {
+            cycles: 2,
+            lane_slots: 512,
+            active_lane_slots: 512,
+            element_pairs: 512,
+            slice_products: 100,
+            zero_slice_products: 15,
+        };
+        a.merge(&b);
+        assert_eq!(a.cycles, 4);
+        assert_eq!(a.lane_utilization(), 0.75);
+        assert_eq!(a.macs_per_cycle(), 192.0);
+        assert!((a.effectual_fraction() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn effectual_fraction_defaults_to_one() {
+        assert_eq!(ExecutionStats::new().effectual_fraction(), 1.0);
+    }
+}

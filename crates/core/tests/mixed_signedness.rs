@@ -1,0 +1,152 @@
+//! Integration tests for per-operand signedness (unsigned post-ReLU
+//! activations × signed weights — the standard quantized-inference layout)
+//! and for the zero-slice activity accounting.
+
+use bpvec_core::dotprod::dot_exact;
+use bpvec_core::{BitWidth, Cvu, CvuConfig, Signedness};
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+
+#[test]
+fn unsigned_activations_signed_weights_match_reference() {
+    let cvu = Cvu::new(CvuConfig::paper_default());
+    let xs: Vec<i32> = (0..100).map(|i| (i * 13) % 256).collect(); // u8
+    let ws: Vec<i32> = (0..100).map(|i| ((i * 7) % 255) - 127).collect(); // i8
+    let out = cvu
+        .dot_product_mixed(
+            &xs,
+            &ws,
+            BitWidth::INT8,
+            BitWidth::INT8,
+            Signedness::Unsigned,
+            Signedness::Signed,
+        )
+        .unwrap();
+    assert_eq!(out.value, dot_exact(&xs, &ws).unwrap());
+}
+
+#[test]
+fn signed_activations_unsigned_weights_match_reference() {
+    let cvu = Cvu::new(CvuConfig::paper_default());
+    let xs: Vec<i32> = (0..60).map(|i| (i % 16) - 8).collect();
+    let ws: Vec<i32> = (0..60).map(|i| i % 4).collect();
+    let out = cvu
+        .dot_product_mixed(
+            &xs,
+            &ws,
+            BitWidth::INT4,
+            BitWidth::INT2,
+            Signedness::Signed,
+            Signedness::Unsigned,
+        )
+        .unwrap();
+    assert_eq!(out.value, dot_exact(&xs, &ws).unwrap());
+}
+
+#[test]
+fn signedness_is_validated_per_operand() {
+    let cvu = Cvu::new(CvuConfig::paper_default());
+    // 200 fits unsigned 8-bit but not signed 8-bit.
+    assert!(cvu
+        .dot_product_mixed(
+            &[200],
+            &[-1],
+            BitWidth::INT8,
+            BitWidth::INT8,
+            Signedness::Unsigned,
+            Signedness::Signed,
+        )
+        .is_ok());
+    assert!(cvu
+        .dot_product_mixed(
+            &[200],
+            &[-1],
+            BitWidth::INT8,
+            BitWidth::INT8,
+            Signedness::Signed,
+            Signedness::Signed,
+        )
+        .is_err());
+}
+
+#[test]
+fn zero_vectors_are_fully_ineffectual() {
+    let cvu = Cvu::new(CvuConfig::paper_default());
+    let out = cvu
+        .dot_product(
+            &vec![0; 64],
+            &vec![0; 64],
+            BitWidth::INT8,
+            BitWidth::INT8,
+            Signedness::Signed,
+        )
+        .unwrap();
+    assert_eq!(out.value, 0);
+    assert_eq!(out.stats.effectual_fraction(), 0.0);
+}
+
+#[test]
+fn sparse_weights_report_low_effectual_fraction() {
+    // 2-bit weights where 75% of elements are zero: most slice products are
+    // ineffectual — the bit-sparsity opportunity Laconic exploits.
+    let cvu = Cvu::new(CvuConfig::paper_default());
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let xs: Vec<i32> = (0..256).map(|_| rng.gen_range(-128..=127)).collect();
+    let ws: Vec<i32> = (0..256)
+        .map(|i| if i % 4 == 0 { rng.gen_range(-2..=1) } else { 0 })
+        .collect();
+    let out = cvu
+        .dot_product(&xs, &ws, BitWidth::INT8, BitWidth::INT2, Signedness::Signed)
+        .unwrap();
+    assert_eq!(out.value, dot_exact(&xs, &ws).unwrap());
+    assert!(
+        out.stats.effectual_fraction() < 0.4,
+        "effectual {} should reflect the sparsity",
+        out.stats.effectual_fraction()
+    );
+}
+
+proptest! {
+    /// Mixed-signedness execution is bit-true for every width pair.
+    #[test]
+    fn mixed_signedness_is_bit_true(
+        bx in 1u32..=8,
+        bw in 1u32..=8,
+        sx_signed in proptest::bool::ANY,
+        sw_signed in proptest::bool::ANY,
+        seed in proptest::num::u64::ANY,
+    ) {
+        let cvu = Cvu::new(CvuConfig::paper_default());
+        let sx = if sx_signed { Signedness::Signed } else { Signedness::Unsigned };
+        let sw = if sw_signed { Signedness::Signed } else { Signedness::Unsigned };
+        let bwx = BitWidth::new(bx).unwrap();
+        let bww = BitWidth::new(bw).unwrap();
+        let (xlo, xhi) = bwx.range(sx);
+        let (wlo, whi) = bww.range(sw);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let n = rng.gen_range(0..150);
+        let xs: Vec<i32> = (0..n).map(|_| rng.gen_range(xlo..=xhi)).collect();
+        let ws: Vec<i32> = (0..n).map(|_| rng.gen_range(wlo..=whi)).collect();
+        let out = cvu.dot_product_mixed(&xs, &ws, bwx, bww, sx, sw).unwrap();
+        prop_assert_eq!(out.value, dot_exact(&xs, &ws).unwrap());
+    }
+
+    /// Slice-product accounting is exhaustive: every multiplier firing is
+    /// counted, and zero counts never exceed totals.
+    #[test]
+    fn slice_product_accounting_is_consistent(
+        seed in proptest::num::u64::ANY,
+        n in 0usize..200,
+    ) {
+        let cvu = Cvu::new(CvuConfig::paper_default());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let xs: Vec<i32> = (0..n).map(|_| rng.gen_range(-128..=127)).collect();
+        let ws: Vec<i32> = (0..n).map(|_| rng.gen_range(-128..=127)).collect();
+        let out = cvu
+            .dot_product(&xs, &ws, BitWidth::INT8, BitWidth::INT8, Signedness::Signed)
+            .unwrap();
+        // 16 slice pairs per element at 8-bit/2-bit slicing.
+        prop_assert_eq!(out.stats.slice_products, 16 * n as u64);
+        prop_assert!(out.stats.zero_slice_products <= out.stats.slice_products);
+    }
+}

@@ -1,0 +1,371 @@
+//! Layer descriptors and their shape arithmetic.
+//!
+//! Every experiment in the paper reduces a network to, per layer: the number
+//! of multiply-accumulates, the operand bitwidths, and the weight /
+//! activation data volumes. This module computes those quantities exactly
+//! from the layer geometry.
+
+use bpvec_core::BitWidth;
+use serde::{Deserialize, Serialize};
+
+/// The operation a layer performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LayerKind {
+    /// 2-D convolution over NCHW activations with OIHW weights.
+    Conv2d {
+        /// Input channels.
+        in_channels: usize,
+        /// Output channels.
+        out_channels: usize,
+        /// Kernel height/width.
+        kernel: (usize, usize),
+        /// Stride.
+        stride: (usize, usize),
+        /// Zero padding (symmetric).
+        padding: (usize, usize),
+        /// Input spatial size (height, width).
+        input_hw: (usize, usize),
+    },
+    /// Fully-connected (dense) layer.
+    FullyConnected {
+        /// Input features.
+        in_features: usize,
+        /// Output features.
+        out_features: usize,
+    },
+    /// Max/average pooling (no MACs; moves data).
+    Pool {
+        /// Channels.
+        channels: usize,
+        /// Kernel size.
+        kernel: (usize, usize),
+        /// Stride.
+        stride: (usize, usize),
+        /// Input spatial size.
+        input_hw: (usize, usize),
+    },
+    /// One recurrent layer unrolled over a sequence: `gates` stacked
+    /// affine maps of `[x_t, h_{t-1}] -> hidden` per timestep
+    /// (1 gate = vanilla RNN, 4 gates = LSTM, 3 = GRU).
+    Recurrent {
+        /// Input feature size.
+        input_size: usize,
+        /// Hidden state size.
+        hidden_size: usize,
+        /// Number of gate matrices (1 RNN, 3 GRU, 4 LSTM).
+        gates: usize,
+        /// Sequence length the layer is evaluated over.
+        seq_len: usize,
+    },
+}
+
+/// A named, bitwidth-annotated layer of a network.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Layer {
+    /// Human-readable layer name (unique within a network).
+    pub name: String,
+    /// The operation.
+    pub kind: LayerKind,
+    /// Activation (input) operand bitwidth.
+    pub act_bits: BitWidth,
+    /// Weight operand bitwidth.
+    pub weight_bits: BitWidth,
+}
+
+impl Layer {
+    /// Creates a layer with 8-bit operands (the homogeneous default).
+    #[must_use]
+    pub fn new(name: impl Into<String>, kind: LayerKind) -> Self {
+        Layer {
+            name: name.into(),
+            kind,
+            act_bits: BitWidth::INT8,
+            weight_bits: BitWidth::INT8,
+        }
+    }
+
+    /// Sets both operand bitwidths (builder style).
+    #[must_use]
+    pub fn with_bits(mut self, act: BitWidth, weight: BitWidth) -> Self {
+        self.act_bits = act;
+        self.weight_bits = weight;
+        self
+    }
+
+    /// Output spatial size for spatial layers.
+    #[must_use]
+    pub fn output_hw(&self) -> Option<(usize, usize)> {
+        match self.kind {
+            LayerKind::Conv2d {
+                kernel,
+                stride,
+                padding,
+                input_hw,
+                ..
+            } => Some((
+                (input_hw.0 + 2 * padding.0 - kernel.0) / stride.0 + 1,
+                (input_hw.1 + 2 * padding.1 - kernel.1) / stride.1 + 1,
+            )),
+            LayerKind::Pool {
+                kernel,
+                stride,
+                input_hw,
+                ..
+            } => Some((
+                (input_hw.0 - kernel.0) / stride.0 + 1,
+                (input_hw.1 - kernel.1) / stride.1 + 1,
+            )),
+            _ => None,
+        }
+    }
+
+    /// Multiply-accumulate operations per inference (batch 1).
+    #[must_use]
+    pub fn macs(&self) -> u64 {
+        match self.kind {
+            LayerKind::Conv2d {
+                in_channels,
+                out_channels,
+                kernel,
+                ..
+            } => {
+                let (oh, ow) = self.output_hw().expect("conv has spatial output");
+                (oh * ow * out_channels * in_channels * kernel.0 * kernel.1) as u64
+            }
+            LayerKind::FullyConnected {
+                in_features,
+                out_features,
+            } => (in_features * out_features) as u64,
+            LayerKind::Pool { .. } => 0,
+            LayerKind::Recurrent {
+                input_size,
+                hidden_size,
+                gates,
+                seq_len,
+            } => (gates * hidden_size * (input_size + hidden_size) * seq_len) as u64,
+        }
+    }
+
+    /// Weight parameter count (biases are negligible and excluded, matching
+    /// the paper's "model size" accounting granularity).
+    #[must_use]
+    pub fn params(&self) -> u64 {
+        match self.kind {
+            LayerKind::Conv2d {
+                in_channels,
+                out_channels,
+                kernel,
+                ..
+            } => (out_channels * in_channels * kernel.0 * kernel.1) as u64,
+            LayerKind::FullyConnected {
+                in_features,
+                out_features,
+            } => (in_features * out_features) as u64,
+            LayerKind::Pool { .. } => 0,
+            LayerKind::Recurrent {
+                input_size,
+                hidden_size,
+                gates,
+                ..
+            } => (gates * hidden_size * (input_size + hidden_size)) as u64,
+        }
+    }
+
+    /// Input activation element count (batch 1).
+    #[must_use]
+    pub fn input_elems(&self) -> u64 {
+        match self.kind {
+            LayerKind::Conv2d {
+                in_channels,
+                input_hw,
+                ..
+            } => (in_channels * input_hw.0 * input_hw.1) as u64,
+            LayerKind::FullyConnected { in_features, .. } => in_features as u64,
+            LayerKind::Pool {
+                channels, input_hw, ..
+            } => (channels * input_hw.0 * input_hw.1) as u64,
+            LayerKind::Recurrent {
+                input_size,
+                seq_len,
+                ..
+            } => (input_size * seq_len) as u64,
+        }
+    }
+
+    /// Output activation element count (batch 1).
+    #[must_use]
+    pub fn output_elems(&self) -> u64 {
+        match self.kind {
+            LayerKind::Conv2d { out_channels, .. } => {
+                let (oh, ow) = self.output_hw().expect("conv has spatial output");
+                (out_channels * oh * ow) as u64
+            }
+            LayerKind::FullyConnected { out_features, .. } => out_features as u64,
+            LayerKind::Pool { channels, .. } => {
+                let (oh, ow) = self.output_hw().expect("pool has spatial output");
+                (channels * oh * ow) as u64
+            }
+            LayerKind::Recurrent {
+                hidden_size,
+                seq_len,
+                ..
+            } => (hidden_size * seq_len) as u64,
+        }
+    }
+
+    /// Weight footprint in bytes at this layer's weight bitwidth
+    /// (bit-packed, rounded up to whole bytes).
+    #[must_use]
+    pub fn weight_bytes(&self) -> u64 {
+        (self.params() * u64::from(self.weight_bits.bits())).div_ceil(8)
+    }
+
+    /// Input activation footprint in bytes at this layer's activation
+    /// bitwidth.
+    #[must_use]
+    pub fn input_bytes(&self) -> u64 {
+        (self.input_elems() * u64::from(self.act_bits.bits())).div_ceil(8)
+    }
+
+    /// Output activation footprint in bytes (written at the activation
+    /// bitwidth after requantization).
+    #[must_use]
+    pub fn output_bytes(&self) -> u64 {
+        (self.output_elems() * u64::from(self.act_bits.bits())).div_ceil(8)
+    }
+
+    /// The length of the dot-product this layer's output elements reduce
+    /// over (the `K` dimension a vector engine streams).
+    #[must_use]
+    pub fn reduction_len(&self) -> u64 {
+        match self.kind {
+            LayerKind::Conv2d {
+                in_channels,
+                kernel,
+                ..
+            } => (in_channels * kernel.0 * kernel.1) as u64,
+            LayerKind::FullyConnected { in_features, .. } => in_features as u64,
+            LayerKind::Pool { .. } => 0,
+            LayerKind::Recurrent {
+                input_size,
+                hidden_size,
+                ..
+            } => (input_size + hidden_size) as u64,
+        }
+    }
+
+    /// True for layers that perform MACs (pooling does not).
+    #[must_use]
+    pub fn is_compute(&self) -> bool {
+        self.macs() > 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn conv(
+        in_c: usize,
+        out_c: usize,
+        k: usize,
+        s: usize,
+        p: usize,
+        hw: usize,
+    ) -> Layer {
+        Layer::new(
+            "conv",
+            LayerKind::Conv2d {
+                in_channels: in_c,
+                out_channels: out_c,
+                kernel: (k, k),
+                stride: (s, s),
+                padding: (p, p),
+                input_hw: (hw, hw),
+            },
+        )
+    }
+
+    #[test]
+    fn alexnet_conv1_shapes() {
+        // AlexNet conv1: 3->64, 11x11, stride 4, pad 2, 224 input -> 55x55.
+        let l = conv(3, 64, 11, 4, 2, 224);
+        assert_eq!(l.output_hw(), Some((55, 55)));
+        assert_eq!(l.macs(), 55 * 55 * 64 * 3 * 11 * 11);
+        assert_eq!(l.params(), 64 * 3 * 11 * 11);
+    }
+
+    #[test]
+    fn resnet_conv3x3_same_padding_preserves_hw() {
+        let l = conv(64, 64, 3, 1, 1, 56);
+        assert_eq!(l.output_hw(), Some((56, 56)));
+        assert_eq!(l.reduction_len(), 64 * 9);
+    }
+
+    #[test]
+    fn fully_connected_macs_equal_params() {
+        let l = Layer::new(
+            "fc",
+            LayerKind::FullyConnected {
+                in_features: 4096,
+                out_features: 1000,
+            },
+        );
+        assert_eq!(l.macs(), 4096 * 1000);
+        assert_eq!(l.macs(), l.params());
+        assert_eq!(l.reduction_len(), 4096);
+    }
+
+    #[test]
+    fn pooling_has_no_macs() {
+        let l = Layer::new(
+            "pool",
+            LayerKind::Pool {
+                channels: 64,
+                kernel: (3, 3),
+                stride: (2, 2),
+                input_hw: (55, 55),
+            },
+        );
+        assert_eq!(l.macs(), 0);
+        assert!(!l.is_compute());
+        assert_eq!(l.output_hw(), Some((27, 27)));
+    }
+
+    #[test]
+    fn lstm_counts_four_gates_over_sequence() {
+        let l = Layer::new(
+            "lstm",
+            LayerKind::Recurrent {
+                input_size: 512,
+                hidden_size: 512,
+                gates: 4,
+                seq_len: 10,
+            },
+        );
+        assert_eq!(l.params(), 4 * 512 * 1024);
+        assert_eq!(l.macs(), l.params() * 10);
+    }
+
+    #[test]
+    fn byte_footprints_scale_with_bitwidth() {
+        let l8 = conv(3, 64, 11, 4, 2, 224);
+        let l4 = l8.clone().with_bits(BitWidth::INT4, BitWidth::INT4);
+        assert_eq!(l8.weight_bytes(), l8.params());
+        assert_eq!(l4.weight_bytes(), l8.params().div_ceil(2));
+        assert_eq!(l4.input_bytes() * 2, l8.input_bytes());
+    }
+
+    #[test]
+    fn sub_byte_footprints_round_up() {
+        let l = Layer::new(
+            "tiny",
+            LayerKind::FullyConnected {
+                in_features: 3,
+                out_features: 1,
+            },
+        )
+        .with_bits(BitWidth::INT2, BitWidth::INT2);
+        assert_eq!(l.weight_bytes(), 1); // 6 bits -> 1 byte
+    }
+}

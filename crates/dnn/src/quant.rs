@@ -1,0 +1,158 @@
+//! Symmetric linear quantization to 1..=8-bit integers.
+//!
+//! The paper's heterogeneous workloads use deep-quantized layers (4-bit and
+//! below) following PACT/WRPN-style quantization \[4, 8, 13\]. This module
+//! implements the standard symmetric scheme those works share:
+//! `q = clamp(round(x / scale))` with `scale = max|x| / qmax`.
+
+use bpvec_core::{BitWidth, Signedness};
+use serde::{Deserialize, Serialize};
+
+use crate::tensor::Tensor;
+
+/// Quantization parameters: a scale and the integer range.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QuantParams {
+    /// Real-value step per integer unit.
+    pub scale: f32,
+    /// Declared integer bitwidth.
+    pub bits: BitWidth,
+    /// Signed or unsigned integer range.
+    pub signedness: Signedness,
+}
+
+impl QuantParams {
+    /// Derives parameters covering `[-max_abs, max_abs]` (signed) or
+    /// `[0, max_abs]` (unsigned) at the given width.
+    ///
+    /// A `max_abs` of zero yields a scale of 1 (all values quantize to 0).
+    #[must_use]
+    pub fn fit(max_abs: f32, bits: BitWidth, signedness: Signedness) -> Self {
+        let (_, hi) = bits.range(signedness);
+        let scale = if max_abs > 0.0 && hi > 0 {
+            max_abs / hi as f32
+        } else {
+            1.0
+        };
+        QuantParams {
+            scale,
+            bits,
+            signedness,
+        }
+    }
+
+    /// Quantizes one real value to the integer grid (round-to-nearest,
+    /// clamped to the representable range).
+    #[must_use]
+    pub fn quantize(&self, x: f32) -> i32 {
+        let (lo, hi) = self.bits.range(self.signedness);
+        let q = (x / self.scale).round() as i64;
+        q.clamp(lo as i64, hi as i64) as i32
+    }
+
+    /// Maps a quantized integer back to its real value.
+    #[must_use]
+    pub fn dequantize(&self, q: i32) -> f32 {
+        q as f32 * self.scale
+    }
+
+    /// Quantizes a slice of reals into a [`Tensor`] of the given shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len()` does not match the shape's element count.
+    #[must_use]
+    pub fn quantize_tensor(&self, shape: &[usize], values: &[f32]) -> Tensor {
+        let expect: usize = shape.iter().product();
+        assert_eq!(values.len(), expect, "value count does not match shape");
+        Tensor::from_data(shape, values.iter().map(|&x| self.quantize(x)).collect())
+    }
+}
+
+/// Quantizes `values` with a scale fitted to their own maximum magnitude —
+/// the per-tensor calibration the paper's workloads assume.
+#[must_use]
+pub fn quantize_fitted(
+    shape: &[usize],
+    values: &[f32],
+    bits: BitWidth,
+    signedness: Signedness,
+) -> (Tensor, QuantParams) {
+    let max_abs = values.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+    let params = QuantParams::fit(max_abs, bits, signedness);
+    (params.quantize_tensor(shape, values), params)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn fit_covers_the_extremes() {
+        let p = QuantParams::fit(2.54, BitWidth::INT8, Signedness::Signed);
+        assert_eq!(p.quantize(2.54), 127);
+        assert_eq!(p.quantize(-2.54), -127);
+        assert_eq!(p.quantize(0.0), 0);
+    }
+
+    #[test]
+    fn clamping_handles_outliers() {
+        let p = QuantParams::fit(1.0, BitWidth::INT4, Signedness::Signed);
+        assert_eq!(p.quantize(100.0), 7);
+        assert_eq!(p.quantize(-100.0), -8);
+    }
+
+    #[test]
+    fn unsigned_range_is_nonnegative() {
+        let p = QuantParams::fit(1.0, BitWidth::INT4, Signedness::Unsigned);
+        assert_eq!(p.quantize(-5.0), 0);
+        assert_eq!(p.quantize(1.0), 15);
+    }
+
+    #[test]
+    fn zero_tensor_quantizes_without_dividing_by_zero() {
+        let p = QuantParams::fit(0.0, BitWidth::INT8, Signedness::Signed);
+        assert_eq!(p.quantize(0.0), 0);
+        assert_eq!(p.scale, 1.0);
+    }
+
+    #[test]
+    fn quantize_tensor_matches_elementwise() {
+        let vals = [0.5f32, -0.25, 1.0, -1.0];
+        let (t, p) = quantize_fitted(&[2, 2], &vals, BitWidth::INT8, Signedness::Signed);
+        for (q, &v) in t.as_slice().iter().zip(&vals) {
+            assert_eq!(*q, p.quantize(v));
+        }
+    }
+
+    proptest! {
+        /// Quantization error is bounded by half a step for in-range values.
+        #[test]
+        fn roundtrip_error_bounded(
+            bits in 2u32..=8,
+            x in -1.0f32..1.0,
+        ) {
+            let b = BitWidth::new(bits).unwrap();
+            let p = QuantParams::fit(1.0, b, Signedness::Signed);
+            let err = (p.dequantize(p.quantize(x)) - x).abs();
+            prop_assert!(err <= p.scale * 0.5 + 1e-6,
+                "err {err} > half-step {}", p.scale * 0.5);
+        }
+
+        /// Quantized values always fit the declared range (the property the
+        /// CVU relies on to accept the operands).
+        #[test]
+        fn quantized_values_fit_declared_width(
+            bits in 1u32..=8,
+            signed in proptest::bool::ANY,
+            x in proptest::num::f32::NORMAL,
+        ) {
+            let b = BitWidth::new(bits).unwrap();
+            let s = if signed { Signedness::Signed } else { Signedness::Unsigned };
+            let p = QuantParams::fit(3.0, b, s);
+            let q = p.quantize(x);
+            prop_assert!(b.check(q, s).is_ok());
+        }
+    }
+}

@@ -1,0 +1,394 @@
+//! Exact integer reference implementations of the DNN kernels.
+//!
+//! These are the ground truth the CVU functional model and the systolic
+//! simulator are validated against: plain nested-loop convolution, GEMM /
+//! GEMV and recurrent cells over `i32` tensors with `i64` accumulation,
+//! plus the fixed-point requantization that closes the loop between layers.
+
+use bpvec_core::{BitWidth, Signedness};
+
+use crate::tensor::Tensor;
+
+/// 2-D convolution: `input` NCHW `[c_in, h, w]` (batch folded out),
+/// `weights` OIHW `[c_out, c_in, kh, kw]`, zero padding, i64 accumulation
+/// narrowed to `i32` (safe for quantized operand ranges).
+///
+/// # Panics
+///
+/// Panics if tensor ranks/channel counts disagree.
+#[must_use]
+pub fn conv2d(
+    input: &Tensor,
+    weights: &Tensor,
+    stride: (usize, usize),
+    padding: (usize, usize),
+) -> Tensor {
+    let ish = input.shape();
+    let wsh = weights.shape();
+    assert_eq!(ish.len(), 3, "input must be [c, h, w]");
+    assert_eq!(wsh.len(), 4, "weights must be [o, i, kh, kw]");
+    assert_eq!(ish[0], wsh[1], "channel mismatch");
+    let (c_in, h, w) = (ish[0], ish[1], ish[2]);
+    let (c_out, _, kh, kw) = (wsh[0], wsh[1], wsh[2], wsh[3]);
+    let oh = (h + 2 * padding.0 - kh) / stride.0 + 1;
+    let ow = (w + 2 * padding.1 - kw) / stride.1 + 1;
+    let mut out = Tensor::zeros(&[c_out, oh, ow]);
+    for oc in 0..c_out {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc = 0i64;
+                for ic in 0..c_in {
+                    for ky in 0..kh {
+                        for kx in 0..kw {
+                            let iy = (oy * stride.0 + ky) as isize - padding.0 as isize;
+                            let ix = (ox * stride.1 + kx) as isize - padding.1 as isize;
+                            if iy < 0 || ix < 0 || iy >= h as isize || ix >= w as isize {
+                                continue;
+                            }
+                            let xv = input[&[ic, iy as usize, ix as usize]] as i64;
+                            let wv = weights[&[oc, ic, ky, kx]] as i64;
+                            acc += xv * wv;
+                        }
+                    }
+                }
+                out[&[oc, oy, ox]] = i32::try_from(acc).expect("accumulator fits i32");
+            }
+        }
+    }
+    out
+}
+
+/// Matrix-vector product: `weights` `[out, in] · x[in] -> [out]` with i64
+/// accumulation.
+///
+/// # Panics
+///
+/// Panics on shape mismatch.
+#[must_use]
+pub fn gemv(weights: &Tensor, x: &Tensor) -> Tensor {
+    let wsh = weights.shape();
+    assert_eq!(wsh.len(), 2, "weights must be [out, in]");
+    assert_eq!(x.len(), wsh[1], "input length mismatch");
+    let (out_f, in_f) = (wsh[0], wsh[1]);
+    let mut out = Tensor::zeros(&[out_f]);
+    for o in 0..out_f {
+        let row = &weights.as_slice()[o * in_f..(o + 1) * in_f];
+        let acc: i64 = row
+            .iter()
+            .zip(x.as_slice())
+            .map(|(&a, &b)| (a as i64) * (b as i64))
+            .sum();
+        out.as_mut_slice()[o] = i32::try_from(acc).expect("accumulator fits i32");
+    }
+    out
+}
+
+/// Matrix-matrix product `a[m,k] · b[k,n] -> [m,n]` with i64 accumulation.
+///
+/// # Panics
+///
+/// Panics on shape mismatch.
+#[must_use]
+pub fn gemm(a: &Tensor, b: &Tensor) -> Tensor {
+    let (ash, bsh) = (a.shape(), b.shape());
+    assert_eq!(ash.len(), 2);
+    assert_eq!(bsh.len(), 2);
+    assert_eq!(ash[1], bsh[0], "inner dimension mismatch");
+    let (m, k, n) = (ash[0], ash[1], bsh[1]);
+    let mut out = Tensor::zeros(&[m, n]);
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0i64;
+            for p in 0..k {
+                acc += (a[&[i, p]] as i64) * (b[&[p, j]] as i64);
+            }
+            out[&[i, j]] = i32::try_from(acc).expect("accumulator fits i32");
+        }
+    }
+    out
+}
+
+/// ReLU over a quantized tensor.
+#[must_use]
+pub fn relu(t: &Tensor) -> Tensor {
+    Tensor::from_data(
+        t.shape(),
+        t.as_slice().iter().map(|&v| v.max(0)).collect(),
+    )
+}
+
+/// 2-D max pooling over `[c, h, w]`.
+///
+/// # Panics
+///
+/// Panics if the input is not rank 3.
+#[must_use]
+pub fn maxpool2d(input: &Tensor, kernel: (usize, usize), stride: (usize, usize)) -> Tensor {
+    let ish = input.shape();
+    assert_eq!(ish.len(), 3, "input must be [c, h, w]");
+    let (c, h, w) = (ish[0], ish[1], ish[2]);
+    let oh = (h - kernel.0) / stride.0 + 1;
+    let ow = (w - kernel.1) / stride.1 + 1;
+    let mut out = Tensor::zeros(&[c, oh, ow]);
+    for ch in 0..c {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut best = i32::MIN;
+                for ky in 0..kernel.0 {
+                    for kx in 0..kernel.1 {
+                        best = best.max(input[&[ch, oy * stride.0 + ky, ox * stride.1 + kx]]);
+                    }
+                }
+                out[&[ch, oy, ox]] = best;
+            }
+        }
+    }
+    out
+}
+
+/// Requantizes a wide accumulator tensor back to `bits` by a power-of-two
+/// right shift with round-half-away rounding and clamping — the fixed-point
+/// scaling step between quantized layers.
+#[must_use]
+pub fn requantize(t: &Tensor, shift: u32, bits: BitWidth, signedness: Signedness) -> Tensor {
+    let (lo, hi) = bits.range(signedness);
+    let half = if shift == 0 { 0i64 } else { 1i64 << (shift - 1) };
+    Tensor::from_data(
+        t.shape(),
+        t.as_slice()
+            .iter()
+            .map(|&v| {
+                let v = v as i64;
+                let rounded = if v >= 0 { v + half } else { v - half } >> shift;
+                rounded.clamp(lo as i64, hi as i64) as i32
+            })
+            .collect(),
+    )
+}
+
+/// One vanilla-RNN step: `h' = clip(W_ih·x + W_hh·h)` requantized to
+/// `bits` (hard-tanh style integer nonlinearity).
+///
+/// # Panics
+///
+/// Panics on shape mismatch.
+#[must_use]
+pub fn rnn_step(
+    w_ih: &Tensor,
+    w_hh: &Tensor,
+    x: &Tensor,
+    h: &Tensor,
+    shift: u32,
+    bits: BitWidth,
+) -> Tensor {
+    let a = gemv(w_ih, x);
+    let b = gemv(w_hh, h);
+    let sum = Tensor::from_data(
+        a.shape(),
+        a.as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .map(|(&p, &q)| p.saturating_add(q))
+            .collect(),
+    );
+    requantize(&sum, shift, bits, Signedness::Signed)
+}
+
+/// One quantized LSTM step over pre-concatenated gate weights
+/// `w` `[4*hidden, input+hidden]`: returns `(h', c')`.
+///
+/// Gate nonlinearities use integer piecewise approximations (hard sigmoid /
+/// hard tanh in fixed point), keeping the whole cell exactly reproducible.
+///
+/// # Panics
+///
+/// Panics on shape mismatch.
+#[must_use]
+pub fn lstm_step(
+    w: &Tensor,
+    x: &Tensor,
+    h: &Tensor,
+    c: &Tensor,
+    shift: u32,
+    bits: BitWidth,
+) -> (Tensor, Tensor) {
+    let hidden = h.len();
+    assert_eq!(w.shape()[0], 4 * hidden, "gate rows");
+    assert_eq!(w.shape()[1], x.len() + hidden, "gate cols");
+    // Concatenate [x, h].
+    let mut xh = Vec::with_capacity(x.len() + hidden);
+    xh.extend_from_slice(x.as_slice());
+    xh.extend_from_slice(h.as_slice());
+    let xh = Tensor::from_data(&[x.len() + hidden], xh);
+    let gates = gemv(w, &xh);
+    lstm_recombine(&gates, c, shift, bits)
+}
+
+/// The LSTM cell's post-GEMV recombination: applies the fixed-point hard
+/// sigmoid/tanh to the pre-activation `gates` (`[4*hidden]`, order
+/// i/f/g/o) and updates the cell state. Split out from [`lstm_step`] so an
+/// accelerator can compute the gate GEMV itself and share this exact
+/// nonlinearity (bit-true equivalence between reference and accelerator).
+///
+/// # Panics
+///
+/// Panics if `gates.len() != 4 * c.len()`.
+#[must_use]
+pub fn lstm_recombine(
+    gates: &Tensor,
+    c: &Tensor,
+    shift: u32,
+    bits: BitWidth,
+) -> (Tensor, Tensor) {
+    let hidden = c.len();
+    assert_eq!(gates.len(), 4 * hidden, "gate vector length");
+    let (lo, hi) = bits.range(Signedness::Signed);
+    let q = |v: i64| -> i64 {
+        let half = if shift == 0 { 0 } else { 1i64 << (shift - 1) };
+        (if v >= 0 { v + half } else { v - half }) >> shift
+    };
+    // Hard sigmoid in the quantized domain: clamp(q(v)/2 + hi/2, 0, hi).
+    let hard_sigmoid = |v: i32| -> i64 { (q(v as i64) / 2 + hi as i64 / 2).clamp(0, hi as i64) };
+    let hard_tanh = |v: i32| -> i64 { q(v as i64).clamp(lo as i64, hi as i64) };
+    let g = gates.as_slice();
+    let mut h_new = Tensor::zeros(&[hidden]);
+    let mut c_new = Tensor::zeros(&[hidden]);
+    for j in 0..hidden {
+        let i_g = hard_sigmoid(g[j]);
+        let f_g = hard_sigmoid(g[hidden + j]);
+        let g_g = hard_tanh(g[2 * hidden + j]);
+        let o_g = hard_sigmoid(g[3 * hidden + j]);
+        let c_prev = c.as_slice()[j] as i64;
+        // Scale products back down by hi (the fixed-point unit).
+        let c_next = (f_g * c_prev + i_g * g_g) / hi.max(1) as i64;
+        let c_next = c_next.clamp(lo as i64 * 4, hi as i64 * 4);
+        let h_next = (o_g * c_next.clamp(lo as i64, hi as i64)) / hi.max(1) as i64;
+        c_new.as_mut_slice()[j] = c_next as i32;
+        h_new.as_mut_slice()[j] = h_next.clamp(lo as i64, hi as i64) as i32;
+    }
+    (h_new, c_new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv2d_identity_kernel_passes_input_through() {
+        let input = Tensor::from_fn(&[1, 4, 4], |i| (i[1] * 4 + i[2]) as i32);
+        let weights = Tensor::from_data(&[1, 1, 1, 1], vec![1]);
+        let out = conv2d(&input, &weights, (1, 1), (0, 0));
+        assert_eq!(out, input);
+    }
+
+    #[test]
+    fn conv2d_known_3x3_sum_kernel() {
+        // All-ones 3x3 kernel over all-ones input with padding 1: interior
+        // outputs 9, corners 4, edges 6.
+        let input = Tensor::from_data(&[1, 3, 3], vec![1; 9]);
+        let weights = Tensor::from_data(&[1, 1, 3, 3], vec![1; 9]);
+        let out = conv2d(&input, &weights, (1, 1), (1, 1));
+        assert_eq!(out.shape(), &[1, 3, 3]);
+        assert_eq!(out[&[0, 1, 1]], 9);
+        assert_eq!(out[&[0, 0, 0]], 4);
+        assert_eq!(out[&[0, 0, 1]], 6);
+    }
+
+    #[test]
+    fn conv2d_stride_downsamples() {
+        let input = Tensor::from_fn(&[1, 4, 4], |_| 1);
+        let weights = Tensor::from_data(&[2, 1, 2, 2], vec![1, 1, 1, 1, -1, -1, -1, -1]);
+        let out = conv2d(&input, &weights, (2, 2), (0, 0));
+        assert_eq!(out.shape(), &[2, 2, 2]);
+        assert!(out.as_slice()[..4].iter().all(|&v| v == 4));
+        assert!(out.as_slice()[4..].iter().all(|&v| v == -4));
+    }
+
+    #[test]
+    fn gemv_matches_manual() {
+        let w = Tensor::from_data(&[2, 3], vec![1, 2, 3, -1, 0, 2]);
+        let x = Tensor::from_data(&[3], vec![4, 5, 6]);
+        let y = gemv(&w, &x);
+        assert_eq!(y.as_slice(), &[4 + 10 + 18, -4 + 12]);
+    }
+
+    #[test]
+    fn gemm_matches_gemv_per_column() {
+        let a = Tensor::from_data(&[2, 2], vec![1, 2, 3, 4]);
+        let b = Tensor::from_data(&[2, 2], vec![5, 6, 7, 8]);
+        let c = gemm(&a, &b);
+        assert_eq!(c.as_slice(), &[19, 22, 43, 50]);
+    }
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let t = Tensor::from_data(&[4], vec![-3, 0, 2, -1]);
+        assert_eq!(relu(&t).as_slice(), &[0, 0, 2, 0]);
+    }
+
+    #[test]
+    fn maxpool_picks_window_maxima() {
+        let t = Tensor::from_fn(&[1, 4, 4], |i| (i[1] * 4 + i[2]) as i32);
+        let out = maxpool2d(&t, (2, 2), (2, 2));
+        assert_eq!(out.as_slice(), &[5, 7, 13, 15]);
+    }
+
+    #[test]
+    fn requantize_rounds_half_away_and_clamps() {
+        let t = Tensor::from_data(&[4], vec![6, -6, 1000, -1000]);
+        let q = requantize(&t, 2, BitWidth::INT4, Signedness::Signed);
+        // 6/4 = 1.5 -> 2 (away from zero); 1000 >> 2 clamps to 7.
+        assert_eq!(q.as_slice(), &[2, -2, 7, -8]);
+    }
+
+    #[test]
+    fn requantize_zero_shift_is_clamp_only() {
+        let t = Tensor::from_data(&[2], vec![5, -100]);
+        let q = requantize(&t, 0, BitWidth::INT4, Signedness::Signed);
+        assert_eq!(q.as_slice(), &[5, -8]);
+    }
+
+    #[test]
+    fn rnn_step_is_deterministic_and_in_range() {
+        let w_ih = Tensor::from_fn(&[4, 4], |i| ((i[0] + i[1]) % 5) as i32 - 2);
+        let w_hh = Tensor::from_fn(&[4, 4], |i| ((i[0] * i[1]) % 3) as i32 - 1);
+        let x = Tensor::from_data(&[4], vec![1, -2, 3, 0]);
+        let h0 = Tensor::zeros(&[4]);
+        let h1 = rnn_step(&w_ih, &w_hh, &x, &h0, 2, BitWidth::INT4);
+        let h2 = rnn_step(&w_ih, &w_hh, &x, &h1, 2, BitWidth::INT4);
+        let (lo, hi) = BitWidth::INT4.range(Signedness::Signed);
+        for &v in h1.as_slice().iter().chain(h2.as_slice()) {
+            assert!(v >= lo && v <= hi);
+        }
+        // Same inputs, same outputs.
+        assert_eq!(h1, rnn_step(&w_ih, &w_hh, &x, &h0, 2, BitWidth::INT4));
+    }
+
+    #[test]
+    fn lstm_step_preserves_ranges_over_time() {
+        let hidden = 6;
+        let w = Tensor::from_fn(&[4 * hidden, 2 * hidden], |i| {
+            ((i[0] * 7 + i[1] * 3) % 15) as i32 - 7
+        });
+        let x = Tensor::from_data(&[hidden], vec![3, -3, 1, 0, 2, -1]);
+        let mut h = Tensor::zeros(&[hidden]);
+        let mut c = Tensor::zeros(&[hidden]);
+        let (lo, hi) = BitWidth::INT4.range(Signedness::Signed);
+        for _ in 0..20 {
+            let (h2, c2) = lstm_step(&w, &x, &h, &c, 3, BitWidth::INT4);
+            h = h2;
+            c = c2;
+            for &v in h.as_slice() {
+                assert!(v >= lo && v <= hi, "h {v} escaped range");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "channel mismatch")]
+    fn conv_channel_mismatch_panics() {
+        let input = Tensor::zeros(&[2, 3, 3]);
+        let weights = Tensor::zeros(&[1, 3, 1, 1]);
+        let _ = conv2d(&input, &weights, (1, 1), (0, 0));
+    }
+}

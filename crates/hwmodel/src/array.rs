@@ -1,0 +1,229 @@
+//! Whole-accelerator cost model: a 2-D systolic array of compute units plus
+//! the operand delivery-aggregation fabric (paper §III-C).
+//!
+//! The paper's Table II packs 512 / 448 / 1024 MAC-equivalents into the same
+//! 250 mW core budget; this module closes the loop by costing the *entire*
+//! core — units, row input-broadcast buses, column accumulators and
+//! pipeline registers — and verifying the budget is actually met at the
+//! stated unit counts.
+
+use serde::{Deserialize, Serialize};
+
+use crate::components::{adder, register, ComponentCost};
+use crate::tech::TechnologyProfile;
+use crate::units::{bitfusion_fusion_unit, conventional_mac, cvu_cost, CvuGeometry, UnitCost};
+
+/// Bit width of the systolic column accumulators (paper §III-C: "accumulate
+/// using 64-bit registers").
+pub const COLUMN_ACCUMULATOR_BITS: u32 = 64;
+
+/// A systolic array organization of one of the three evaluated designs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ArrayGeometry {
+    /// Unit rows.
+    pub rows: u32,
+    /// Unit columns.
+    pub cols: u32,
+    /// Operand bits delivered per lane per cycle (8 for all designs).
+    pub operand_bits: u32,
+    /// Vector lanes per unit (1 for scalar units, `L` for CVUs).
+    pub lanes_per_unit: u32,
+}
+
+impl ArrayGeometry {
+    /// Total units.
+    #[must_use]
+    pub fn units(&self) -> u32 {
+        self.rows * self.cols
+    }
+}
+
+/// Cost summary of a complete accelerator core.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CoreCost {
+    /// Compute units.
+    pub units: ComponentCost,
+    /// Row input-broadcast buses and operand pipeline registers.
+    pub delivery: ComponentCost,
+    /// Column accumulators (adder + 64-bit register per column).
+    pub aggregation: ComponentCost,
+    /// 8-bit MAC-equivalents per cycle at full width.
+    pub macs_per_cycle: f64,
+}
+
+impl CoreCost {
+    /// Total core (area, power).
+    #[must_use]
+    pub fn total(&self) -> ComponentCost {
+        self.units + self.delivery + self.aggregation
+    }
+
+    /// Core power in milliwatts.
+    #[must_use]
+    pub fn power_mw(&self) -> f64 {
+        self.total().power / 1000.0
+    }
+
+    /// Core area in mm².
+    #[must_use]
+    pub fn area_mm2(&self) -> f64 {
+        self.total().area / 1e6
+    }
+}
+
+fn delivery_cost(geom: &ArrayGeometry, tech: &TechnologyProfile) -> ComponentCost {
+    // Per row: a broadcast bus pipeline register of lane-width operand bits;
+    // per unit: local operand latch.
+    let row_bits = geom.operand_bits * geom.lanes_per_unit;
+    let row_regs = register(row_bits, tech).scale(f64::from(geom.rows));
+    let unit_latches = register(row_bits, tech).scale(f64::from(geom.units()));
+    row_regs + unit_latches
+}
+
+fn aggregation_cost(geom: &ArrayGeometry, tech: &TechnologyProfile) -> ComponentCost {
+    // Per column: a 64-bit accumulator adder + register.
+    let per_col = adder(COLUMN_ACCUMULATOR_BITS, tech) + register(COLUMN_ACCUMULATOR_BITS, tech);
+    per_col.scale(f64::from(geom.cols))
+}
+
+fn core(unit: UnitCost, geom: ArrayGeometry, tech: &TechnologyProfile) -> CoreCost {
+    CoreCost {
+        units: unit.total().scale(f64::from(geom.units())),
+        delivery: delivery_cost(&geom, tech),
+        aggregation: aggregation_cost(&geom, tech),
+        macs_per_cycle: unit.macs_per_cycle * f64::from(geom.units()),
+    }
+}
+
+/// The Table II TPU-like core: 512 conventional MACs as a 16×32 array.
+#[must_use]
+pub fn tpu_like_core(tech: &TechnologyProfile) -> CoreCost {
+    core(
+        conventional_mac(tech),
+        ArrayGeometry {
+            rows: 16,
+            cols: 32,
+            operand_bits: 8,
+            lanes_per_unit: 1,
+        },
+        tech,
+    )
+}
+
+/// The Table II BitFusion core: 448 fusion units as a 16×28 array.
+#[must_use]
+pub fn bitfusion_core(tech: &TechnologyProfile) -> CoreCost {
+    core(
+        bitfusion_fusion_unit(tech),
+        ArrayGeometry {
+            rows: 16,
+            cols: 28,
+            operand_bits: 8,
+            lanes_per_unit: 1,
+        },
+        tech,
+    )
+}
+
+/// The Table II BPVeC core: 64 CVUs (1024 lanes) as an 8×8 array.
+#[must_use]
+pub fn bpvec_core(tech: &TechnologyProfile) -> CoreCost {
+    core(
+        cvu_cost(&CvuGeometry::paper_default(), tech),
+        ArrayGeometry {
+            rows: 8,
+            cols: 8,
+            operand_bits: 8,
+            lanes_per_unit: 16,
+        },
+        tech,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> TechnologyProfile {
+        TechnologyProfile::nm45()
+    }
+
+    #[test]
+    fn all_cores_meet_the_250mw_budget_within_tolerance() {
+        // Table II sizes each design for a 250 mW core. Our independently
+        // calibrated cost model must land near that for all three (±30%) —
+        // the cross-check that unit counts, Figure 4 and Table II cohere.
+        for (name, core) in [
+            ("tpu", tpu_like_core(&t())),
+            ("bitfusion", bitfusion_core(&t())),
+            ("bpvec", bpvec_core(&t())),
+        ] {
+            let mw = core.power_mw();
+            assert!(
+                (175.0..=325.0).contains(&mw),
+                "{name} core power {mw:.1} mW vs 250 mW budget"
+            );
+        }
+    }
+
+    #[test]
+    fn throughput_matches_table2_unit_counts() {
+        assert_eq!(tpu_like_core(&t()).macs_per_cycle, 512.0);
+        assert_eq!(bitfusion_core(&t()).macs_per_cycle, 448.0);
+        assert_eq!(bpvec_core(&t()).macs_per_cycle, 1024.0);
+    }
+
+    #[test]
+    fn bpvec_amortizes_result_aggregation_over_vector_lanes() {
+        // Per MAC-equivalent, the vectorized design spends far less on the
+        // operand delivery-aggregation fabric: a CVU emits one scalar per
+        // 16-lane dot-product, so the array needs 4x fewer accumulator
+        // columns per MAC than the scalar designs — the paper's
+        // "amortizes the cost ... across the elements of the vector".
+        let bp = bpvec_core(&t());
+        let tpu = tpu_like_core(&t());
+        let bp_agg_per_mac = bp.aggregation.power / bp.macs_per_cycle;
+        let tpu_agg_per_mac = tpu.aggregation.power / tpu.macs_per_cycle;
+        assert!(
+            bp_agg_per_mac < 0.5 * tpu_agg_per_mac,
+            "bpvec {bp_agg_per_mac} vs tpu {tpu_agg_per_mac}"
+        );
+    }
+
+    #[test]
+    fn aggregation_scales_with_columns_only() {
+        let wide = ArrayGeometry {
+            rows: 4,
+            cols: 32,
+            operand_bits: 8,
+            lanes_per_unit: 1,
+        };
+        let tall = ArrayGeometry {
+            rows: 32,
+            cols: 4,
+            operand_bits: 8,
+            lanes_per_unit: 1,
+        };
+        let a = aggregation_cost(&wide, &t());
+        let b = aggregation_cost(&tall, &t());
+        assert!((a.power / b.power - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn units_dominate_the_core() {
+        // The fabric is overhead, not the main cost, in every design.
+        for core in [tpu_like_core(&t()), bitfusion_core(&t()), bpvec_core(&t())] {
+            let total = core.total().power;
+            assert!(core.units.power > 0.7 * total);
+        }
+    }
+
+    #[test]
+    fn core_areas_are_plausible_for_45nm() {
+        // Sub-mm2 cores at 45 nm for a few hundred 8-bit MACs.
+        for core in [tpu_like_core(&t()), bitfusion_core(&t()), bpvec_core(&t())] {
+            let mm2 = core.area_mm2();
+            assert!((0.05..5.0).contains(&mm2), "area {mm2} mm2");
+        }
+    }
+}

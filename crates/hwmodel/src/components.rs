@@ -1,0 +1,384 @@
+//! Datapath building blocks and their gate-level costs.
+//!
+//! Every block is decomposed into primitive cells of the
+//! [`TechnologyProfile`]; the decompositions follow textbook structures:
+//!
+//! * **array multiplier** `n×m`: `n·m` AND gates for partial products, a
+//!   reduction of `n·(m−1)` adders (half adders suffice for tiny arrays) and,
+//!   for wide arrays, a final carry-propagate row — with a signed-handling
+//!   overhead and a power-only glitch factor that grows with operand width;
+//! * **carry-propagate adder** of width `w`: `w` full adders (power scaled
+//!   by the adder-activity factor);
+//! * **balanced adder tree** over `k` equal-width inputs: each level halves
+//!   the operand count and grows the width by one bit;
+//! * **shifted (carry-save) aggregation tree** over `k` inputs placed at
+//!   different significance offsets: 3:2-compressor cost proportional to the
+//!   *significant* input bits, plus one final CPA over the full span — the
+//!   structure the CVU's global aggregation uses;
+//! * **barrel shifter**: one 2:1-mux row per shift stage over the operand's
+//!   significant bits (offsets are pre-wired; the muxes select);
+//! * **register**: one flip-flop per bit.
+
+use serde::{Deserialize, Serialize};
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul};
+
+use crate::tech::TechnologyProfile;
+
+/// An (area, power) cost pair. Units follow [`TechnologyProfile`]:
+/// µm² and µW @ 500 MHz.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ComponentCost {
+    /// Silicon area, µm².
+    pub area: f64,
+    /// Dynamic power at 500 MHz, µW.
+    pub power: f64,
+}
+
+impl ComponentCost {
+    /// The zero cost.
+    pub const ZERO: ComponentCost = ComponentCost {
+        area: 0.0,
+        power: 0.0,
+    };
+
+    /// Creates a cost pair.
+    #[must_use]
+    pub fn new(area: f64, power: f64) -> Self {
+        ComponentCost { area, power }
+    }
+
+    /// Scales both area and power by `factor`.
+    #[must_use]
+    pub fn scale(self, factor: f64) -> Self {
+        ComponentCost {
+            area: self.area * factor,
+            power: self.power * factor,
+        }
+    }
+
+    /// Scales only the power term (for activity/glitch factors).
+    #[must_use]
+    pub fn scale_power(self, factor: f64) -> Self {
+        ComponentCost {
+            area: self.area,
+            power: self.power * factor,
+        }
+    }
+}
+
+impl Add for ComponentCost {
+    type Output = ComponentCost;
+
+    fn add(self, rhs: ComponentCost) -> ComponentCost {
+        ComponentCost {
+            area: self.area + rhs.area,
+            power: self.power + rhs.power,
+        }
+    }
+}
+
+impl AddAssign for ComponentCost {
+    fn add_assign(&mut self, rhs: ComponentCost) {
+        self.area += rhs.area;
+        self.power += rhs.power;
+    }
+}
+
+impl Mul<f64> for ComponentCost {
+    type Output = ComponentCost;
+
+    fn mul(self, rhs: f64) -> ComponentCost {
+        self.scale(rhs)
+    }
+}
+
+impl Sum for ComponentCost {
+    fn sum<I: Iterator<Item = ComponentCost>>(iter: I) -> ComponentCost {
+        iter.fold(ComponentCost::ZERO, |a, b| a + b)
+    }
+}
+
+fn fa(tech: &TechnologyProfile) -> ComponentCost {
+    ComponentCost::new(tech.fa_area, tech.fa_power)
+}
+
+fn ha(tech: &TechnologyProfile) -> ComponentCost {
+    ComponentCost::new(tech.ha_area, tech.ha_power)
+}
+
+fn and2(tech: &TechnologyProfile) -> ComponentCost {
+    ComponentCost::new(tech.and_area, tech.and_power)
+}
+
+fn ff_bit(tech: &TechnologyProfile) -> ComponentCost {
+    ComponentCost::new(tech.ff_area, tech.ff_power)
+}
+
+fn mux_bit(tech: &TechnologyProfile) -> ComponentCost {
+    ComponentCost::new(tech.mux_area, tech.mux_power)
+}
+
+fn log2_ceil(k: u32) -> u32 {
+    if k <= 1 {
+        0
+    } else {
+        32 - (k - 1).leading_zeros()
+    }
+}
+
+/// Cost of an `n×m` array multiplier (signed when `signed` is set).
+///
+/// A 1×1 "multiplier" degenerates to a single AND gate — the paper's point
+/// that 1-bit slicing makes multipliers almost free. Tiny arrays
+/// (`n + m <= 4`) reduce with half adders; wide arrays additionally pay a
+/// final carry-propagate row and a power-only glitch factor.
+#[must_use]
+pub fn multiplier(n: u32, m: u32, signed: bool, tech: &TechnologyProfile) -> ComponentCost {
+    let partial_products = and2(tech).scale((n * m) as f64);
+    let mut cost = partial_products;
+    if n * m > 1 {
+        let reduction_cells = n.min(m) * (n.max(m) - 1);
+        let reduction = if n + m <= 4 {
+            ha(tech).scale(reduction_cells as f64)
+        } else {
+            // Wide arrays pay a final fast carry-propagate row whose cost
+            // grows with the product width.
+            let cpa_extra = 2 * (n + m).saturating_sub(6);
+            fa(tech).scale((reduction_cells + cpa_extra) as f64)
+        };
+        cost += reduction;
+        if signed {
+            cost = cost.scale(tech.sign_overhead);
+        }
+    }
+    let glitch = 1.0 + tech.glitch_coef * f64::from((n + m).saturating_sub(4));
+    cost.scale_power(glitch)
+}
+
+/// Cost of a carry-propagate adder of width `w` bits (power carries the
+/// adder-activity factor).
+#[must_use]
+pub fn adder(w: u32, tech: &TechnologyProfile) -> ComponentCost {
+    fa(tech).scale(w as f64).scale_power(tech.adder_activity)
+}
+
+/// Cost of a balanced adder tree summing `k` equal-significance inputs of
+/// `input_width` bits.
+///
+/// Returns the cost and the output width. Levels: `ceil(log2 k)`; level `i`
+/// (1-based) holds `floor(remaining / 2)` adders of the current width.
+/// Aggregation structures carry the technology's wiring overhead.
+#[must_use]
+pub fn adder_tree(k: u32, input_width: u32, tech: &TechnologyProfile) -> (ComponentCost, u32) {
+    if k <= 1 {
+        return (ComponentCost::ZERO, input_width);
+    }
+    let mut cost = ComponentCost::ZERO;
+    let mut remaining = k;
+    let mut width = input_width;
+    while remaining > 1 {
+        let pairs = remaining / 2;
+        cost += adder(width, tech).scale(pairs as f64);
+        remaining = remaining.div_ceil(2);
+        width += 1;
+    }
+    (cost.scale(tech.wiring_overhead), width)
+}
+
+/// Cost of a *local* carry-save compressor tree summing `k` equal-width
+/// inputs: `(k−2)` rows of 3:2 compressors over the input width plus one
+/// final carry-propagate adder over the grown output — the structure an
+/// NBVE's private adder tree synthesizes to. Local trees are compact, so no
+/// wiring overhead applies.
+///
+/// Returns the cost and the output width `input_width + ceil(log2 k)`.
+#[must_use]
+pub fn compressor_tree(k: u32, input_width: u32, tech: &TechnologyProfile) -> (ComponentCost, u32) {
+    let out_width = input_width + log2_ceil(k);
+    if k <= 1 {
+        return (ComponentCost::ZERO, out_width);
+    }
+    let compressors = fa(tech).scale((k.saturating_sub(2) * input_width) as f64);
+    let final_cpa = fa(tech).scale(out_width as f64);
+    let cost = (compressors + final_cpa).scale_power(tech.adder_activity);
+    (cost, out_width)
+}
+
+/// Cost of a carry-save aggregation tree over `k` inputs of `input_width`
+/// significant bits placed at significance offsets spanning `max_shift`
+/// bits — the CVU's *global* tree, which sums NBVE outputs after shifting.
+///
+/// Because shifted operands only partially overlap, the 3:2-compressor cost
+/// is proportional to the significant bits per operand
+/// (`input_width + log2 k` growth), not to the full shifted span; only the
+/// final carry-propagate adder pays for the whole span.
+///
+/// Returns the cost and the final output width.
+#[must_use]
+pub fn shifted_adder_tree(
+    k: u32,
+    input_width: u32,
+    max_shift: u32,
+    tech: &TechnologyProfile,
+) -> (ComponentCost, u32) {
+    let out_width = input_width + max_shift + log2_ceil(k);
+    if k <= 1 {
+        return (ComponentCost::ZERO, out_width);
+    }
+    let compressor_width = input_width + log2_ceil(k);
+    let compressors = fa(tech).scale(((k - 2) * compressor_width) as f64);
+    let final_cpa = fa(tech).scale(out_width as f64);
+    let cost = (compressors + final_cpa)
+        .scale(tech.wiring_overhead)
+        .scale_power(tech.adder_activity);
+    (cost, out_width)
+}
+
+/// Cost of the shift-select network for one value of `width` significant
+/// bits choosing among `distinct_shifts` pre-wired offsets
+/// (`ceil(log2)` mux stages; a single fixed shift is free wiring).
+#[must_use]
+pub fn barrel_shifter(width: u32, distinct_shifts: u32, tech: &TechnologyProfile) -> ComponentCost {
+    if distinct_shifts <= 1 {
+        return ComponentCost::ZERO;
+    }
+    let stages = log2_ceil(distinct_shifts);
+    mux_bit(tech).scale((width * stages) as f64)
+}
+
+/// Cost of a `bits`-wide pipeline/accumulator register.
+#[must_use]
+pub fn register(bits: u32, tech: &TechnologyProfile) -> ComponentCost {
+    ff_bit(tech).scale(bits as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> TechnologyProfile {
+        TechnologyProfile::nm45()
+    }
+
+    #[test]
+    fn one_by_one_multiplier_is_an_and_gate() {
+        let c = multiplier(1, 1, true, &t());
+        assert!((c.area - t().and_area).abs() < 1e-12);
+        // 1x1 sees no glitch factor (n+m-4 saturates to 0).
+        assert!((c.power - t().and_power).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multiplier_cost_grows_quadratically() {
+        let m2 = multiplier(2, 2, false, &t());
+        let m4 = multiplier(4, 4, false, &t());
+        let m8 = multiplier(8, 8, false, &t());
+        assert!(m4.area > 2.0 * m2.area);
+        assert!(m8.area > 3.0 * m4.area);
+    }
+
+    #[test]
+    fn wide_multiplier_power_glitches_beyond_area_ratio() {
+        let m2 = multiplier(2, 2, false, &t());
+        let m8 = multiplier(8, 8, false, &t());
+        assert!(
+            m8.power / m2.power > m8.area / m2.area,
+            "glitch factor must make power grow faster than area"
+        );
+    }
+
+    #[test]
+    fn signed_overhead_applies_above_one_bit() {
+        let unsigned = multiplier(8, 8, false, &t());
+        let signed = multiplier(8, 8, true, &t());
+        assert!((signed.area / unsigned.area - t().sign_overhead).abs() < 1e-9);
+    }
+
+    #[test]
+    fn adder_power_includes_activity() {
+        let a = adder(8, &t());
+        assert!((a.power - 8.0 * t().fa_power * t().adder_activity).abs() < 1e-9);
+        assert!((a.area - 8.0 * t().fa_area).abs() < 1e-9);
+    }
+
+    #[test]
+    fn adder_tree_single_input_is_free() {
+        let (c, w) = adder_tree(1, 8, &t());
+        assert_eq!(c, ComponentCost::ZERO);
+        assert_eq!(w, 8);
+    }
+
+    #[test]
+    fn adder_tree_widths_grow_one_bit_per_level() {
+        let (_, w) = adder_tree(16, 4, &t());
+        assert_eq!(w, 8); // 4 levels over 16 inputs
+        let (_, w) = adder_tree(3, 4, &t());
+        assert_eq!(w, 6); // 2 levels over 3 inputs
+    }
+
+    #[test]
+    fn adder_tree_cost_counts_every_level() {
+        // 4 inputs of 4 bits: level 1 = 2 adders x 4b, level 2 = 1 adder x 5b.
+        let (c, _) = adder_tree(4, 4, &t());
+        let expect = (adder(4, &t()).scale(2.0) + adder(5, &t())).scale(t().wiring_overhead);
+        assert!((c.area - expect.area).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shifted_tree_output_spans_the_full_shift_range() {
+        let (_, w) = shifted_adder_tree(16, 8, 12, &t());
+        assert_eq!(w, 8 + 12 + 4);
+    }
+
+    #[test]
+    fn shifted_tree_is_cheaper_than_full_width_balanced_tree() {
+        // The CSA/overlap argument: aggregating 64 shifted 8-bit values must
+        // cost less than a balanced tree of 64 full-span (22-bit) values.
+        let (csa, _) = shifted_adder_tree(64, 8, 14, &t());
+        let (full, _) = adder_tree(64, 22, &t());
+        assert!(csa.power < full.power);
+    }
+
+    #[test]
+    fn shifted_tree_single_input_is_free() {
+        let (c, w) = shifted_adder_tree(1, 8, 12, &t());
+        assert_eq!(c, ComponentCost::ZERO);
+        assert_eq!(w, 20);
+    }
+
+    #[test]
+    fn barrel_shifter_free_for_fixed_shift() {
+        assert_eq!(barrel_shifter(20, 1, &t()), ComponentCost::ZERO);
+        assert_eq!(barrel_shifter(20, 0, &t()), ComponentCost::ZERO);
+    }
+
+    #[test]
+    fn barrel_shifter_stage_count_is_log2() {
+        let one_stage = barrel_shifter(10, 2, &t());
+        let three_stages = barrel_shifter(10, 7, &t());
+        assert!((three_stages.area / one_stage.area - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cost_arithmetic_behaves() {
+        let a = ComponentCost::new(1.0, 2.0);
+        let b = ComponentCost::new(3.0, 4.0);
+        let s: ComponentCost = [a, b].into_iter().sum();
+        assert_eq!(s, ComponentCost::new(4.0, 6.0));
+        assert_eq!(a * 2.0, ComponentCost::new(2.0, 4.0));
+        let mut c = a;
+        c += b;
+        assert_eq!(c, s);
+        assert_eq!(a.scale_power(2.0), ComponentCost::new(1.0, 4.0));
+    }
+
+    #[test]
+    fn log2_ceil_values() {
+        assert_eq!(log2_ceil(1), 0);
+        assert_eq!(log2_ceil(2), 1);
+        assert_eq!(log2_ceil(3), 2);
+        assert_eq!(log2_ceil(16), 4);
+        assert_eq!(log2_ceil(17), 5);
+    }
+}

@@ -1,0 +1,308 @@
+//! Design-space exploration (paper Figure 4 and §III-B).
+//!
+//! Sweeps slice width × NBVE vector length and reports power/area per
+//! 8b×8b MAC normalized to the conventional digital 8-bit MAC, with the
+//! multiplication/addition/shifting/registering breakdown of Figure 4.
+
+use serde::{Deserialize, Serialize};
+
+use crate::tech::TechnologyProfile;
+use crate::units::{conventional_mac, cvu_cost, CostBreakdown, CvuGeometry};
+
+/// One configuration in the sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DesignPoint {
+    /// Bit-slice width (1, 2 or 4).
+    pub slice_bits: u32,
+    /// NBVE vector length `L`.
+    pub lanes: u32,
+}
+
+/// A swept design point with its normalized metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DsePoint {
+    /// The configuration.
+    pub design: DesignPoint,
+    /// Power per 8b MAC relative to the conventional MAC (lower is better).
+    pub norm_power: f64,
+    /// Area per 8b MAC relative to the conventional MAC.
+    pub norm_area: f64,
+    /// Per-category normalized *power* breakdown (sums to `norm_power`).
+    pub power_breakdown: NormalizedBreakdown,
+    /// Per-category normalized *area* breakdown (sums to `norm_area`).
+    pub area_breakdown: NormalizedBreakdown,
+}
+
+/// Figure 4's four stacked categories, normalized to the conventional MAC.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct NormalizedBreakdown {
+    /// Multiplication cells.
+    pub multiplication: f64,
+    /// Adder trees and accumulator adders.
+    pub addition: f64,
+    /// Alignment shifters.
+    pub shifting: f64,
+    /// Pipeline/accumulator registers.
+    pub registering: f64,
+}
+
+impl NormalizedBreakdown {
+    fn from_costs(per_mac: &CostBreakdown, norm_area: f64, norm_power: f64) -> (Self, Self) {
+        let power = NormalizedBreakdown {
+            multiplication: per_mac.multiplication.power / norm_power,
+            addition: per_mac.addition.power / norm_power,
+            shifting: per_mac.shifting.power / norm_power,
+            registering: per_mac.registering.power / norm_power,
+        };
+        let area = NormalizedBreakdown {
+            multiplication: per_mac.multiplication.area / norm_area,
+            addition: per_mac.addition.area / norm_area,
+            shifting: per_mac.shifting.area / norm_area,
+            registering: per_mac.registering.area / norm_area,
+        };
+        (power, area)
+    }
+
+    /// Sum of the four categories.
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.multiplication + self.addition + self.shifting + self.registering
+    }
+
+    /// The largest category's name and value.
+    #[must_use]
+    pub fn dominant(&self) -> (&'static str, f64) {
+        let cats = [
+            ("multiplication", self.multiplication),
+            ("addition", self.addition),
+            ("shifting", self.shifting),
+            ("registering", self.registering),
+        ];
+        cats.into_iter()
+            .fold(("multiplication", f64::MIN), |best, c| {
+                if c.1 > best.1 {
+                    c
+                } else {
+                    best
+                }
+            })
+    }
+}
+
+/// Evaluates one design point against the conventional MAC baseline.
+#[must_use]
+pub fn evaluate(design: DesignPoint, tech: &TechnologyProfile) -> DsePoint {
+    let baseline = conventional_mac(tech).total();
+    let geom = CvuGeometry {
+        slice_bits: design.slice_bits,
+        max_bits: 8,
+        lanes: design.lanes,
+    };
+    let unit = cvu_cost(&geom, tech);
+    let per_mac = unit.per_mac();
+    let total = per_mac.total();
+    let norm_power = total.power / baseline.power;
+    let norm_area = total.area / baseline.area;
+    let (power_breakdown, area_breakdown) =
+        NormalizedBreakdown::from_costs(&per_mac, baseline.area, baseline.power);
+    DsePoint {
+        design,
+        norm_power,
+        norm_area,
+        power_breakdown,
+        area_breakdown,
+    }
+}
+
+/// Sweeps `slice_bits × lanes` and returns one [`DsePoint`] per combination.
+#[must_use]
+pub fn sweep(slice_widths: &[u32], lane_counts: &[u32], tech: &TechnologyProfile) -> Vec<DsePoint> {
+    let mut out = Vec::with_capacity(slice_widths.len() * lane_counts.len());
+    for &s in slice_widths {
+        for &l in lane_counts {
+            out.push(evaluate(DesignPoint { slice_bits: s, lanes: l }, tech));
+        }
+    }
+    out
+}
+
+/// The exact Figure 4 sweep: slice widths {1, 2}, `L ∈ {1, 2, 4, 8, 16}`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Figure4 {
+    /// The 1-bit-slicing series, `L = 1, 2, 4, 8, 16`.
+    pub one_bit: Vec<DsePoint>,
+    /// The 2-bit-slicing series, `L = 1, 2, 4, 8, 16`.
+    pub two_bit: Vec<DsePoint>,
+}
+
+impl Figure4 {
+    /// Runs the Figure 4 design-space exploration.
+    #[must_use]
+    pub fn generate(tech: &TechnologyProfile) -> Self {
+        let lanes = [1u32, 2, 4, 8, 16];
+        Figure4 {
+            one_bit: lanes
+                .iter()
+                .map(|&l| evaluate(DesignPoint { slice_bits: 1, lanes: l }, tech))
+                .collect(),
+            two_bit: lanes
+                .iter()
+                .map(|&l| evaluate(DesignPoint { slice_bits: 2, lanes: l }, tech))
+                .collect(),
+        }
+    }
+}
+
+/// The paper's reported Figure 4 series, used as calibration targets and in
+/// EXPERIMENTS.md comparisons. Values are normalized power/area per MAC.
+pub mod paper {
+    /// 1-bit slicing normalized power, L = 1, 2, 4, 8, 16.
+    pub const ONE_BIT_POWER: [f64; 5] = [3.60, 2.25, 1.58, 1.31, 1.17];
+    /// 2-bit slicing normalized power.
+    pub const TWO_BIT_POWER: [f64; 5] = [1.18, 0.77, 0.56, 0.51, 0.49];
+    /// 1-bit slicing normalized area (chart labels).
+    pub const ONE_BIT_AREA: [f64; 5] = [3.5, 2.3, 1.5, 1.2, 1.0];
+    /// 2-bit slicing normalized area (chart labels).
+    pub const TWO_BIT_AREA: [f64; 5] = [1.4, 1.1, 0.8, 0.7, 0.6];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig4() -> Figure4 {
+        Figure4::generate(&TechnologyProfile::nm45())
+    }
+
+    #[test]
+    fn series_decrease_monotonically_with_lanes() {
+        let f = fig4();
+        for series in [&f.one_bit, &f.two_bit] {
+            for w in series.windows(2) {
+                assert!(w[1].norm_power < w[0].norm_power);
+                assert!(w[1].norm_area < w[0].norm_area);
+            }
+        }
+    }
+
+    #[test]
+    fn improvement_saturates_at_large_l() {
+        // Paper observation 2: the gain from L=8 -> L=16 is much smaller than
+        // from L=1 -> L=2.
+        let f = fig4();
+        for series in [&f.one_bit, &f.two_bit] {
+            let early_gain = series[0].norm_power / series[1].norm_power;
+            let late_gain = series[3].norm_power / series[4].norm_power;
+            assert!(late_gain < early_gain);
+            assert!(late_gain < 1.3, "late gain {late_gain} should be small");
+        }
+    }
+
+    #[test]
+    fn one_bit_slicing_never_beats_conventional() {
+        // Paper observation 3: 1-bit slicing provides no benefit.
+        for p in fig4().one_bit {
+            assert!(
+                p.norm_power >= 0.95,
+                "1-bit L={} power {} unexpectedly good",
+                p.design.lanes,
+                p.norm_power
+            );
+        }
+    }
+
+    #[test]
+    fn two_bit_l16_hits_paper_design_point() {
+        // Paper: 2.0x power and 1.7x area improvement at s=2, L=16.
+        let p = fig4().two_bit[4];
+        assert!(
+            (0.40..=0.62).contains(&p.norm_power),
+            "2-bit L=16 power {} outside paper band (target 0.49)",
+            p.norm_power
+        );
+        assert!(
+            (0.47..=0.72).contains(&p.norm_area),
+            "2-bit L=16 area {} outside paper band (target 0.6)",
+            p.norm_area
+        );
+    }
+
+    #[test]
+    fn two_bit_l1_matches_bitfusion_overhead() {
+        // Paper: the L=1 point (BitFusion-style) carries ~40% area overhead
+        // and ~2.4x the power of the L=16 CVU.
+        let f = fig4();
+        let l1 = f.two_bit[0];
+        let l16 = f.two_bit[4];
+        assert!(
+            l1.norm_area > 1.15,
+            "2-bit L=1 area {} should exceed conventional",
+            l1.norm_area
+        );
+        let power_ratio = l1.norm_power / l16.norm_power;
+        assert!(
+            (1.8..=3.2).contains(&power_ratio),
+            "L=1/L=16 power ratio {power_ratio} (paper: 2.4)"
+        );
+    }
+
+    #[test]
+    fn one_bit_l1_is_much_worse_than_conventional() {
+        let p = fig4().one_bit[0];
+        assert!(
+            p.norm_power > 2.8,
+            "1-bit L=1 power {} (paper: 3.6)",
+            p.norm_power
+        );
+    }
+
+    #[test]
+    fn addition_dominates_the_breakdown() {
+        // Paper observation 1: the adder tree ranks first in power/area.
+        for p in fig4().one_bit.iter().chain(&fig4().two_bit) {
+            let (name, _) = p.power_breakdown.dominant();
+            assert_eq!(name, "addition", "L={} s={}", p.design.lanes, p.design.slice_bits);
+        }
+    }
+
+    #[test]
+    fn breakdowns_sum_to_totals() {
+        for p in fig4().one_bit.iter().chain(&fig4().two_bit) {
+            assert!((p.power_breakdown.total() - p.norm_power).abs() < 1e-9);
+            assert!((p.area_breakdown.total() - p.norm_area).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn one_bit_always_costs_more_than_two_bit() {
+        let f = fig4();
+        for (a, b) in f.one_bit.iter().zip(&f.two_bit) {
+            assert!(a.norm_power > b.norm_power);
+            assert!(a.norm_area > b.norm_area);
+        }
+    }
+
+    #[test]
+    fn four_bit_slicing_has_cheaper_aggregation_but_pricier_multipliers() {
+        // Paper §III-B(3) claims 4-bit slicing lowers overall power/area.
+        // Under an array-multiplier model the aggregation (addition +
+        // shifting) is indeed cheaper — fewer, shallower trees — but the
+        // multiplier cost grows with slice width ((B/s)² s(s−1) reduction
+        // cells), which offsets part of that saving. We assert the
+        // aggregation-side claim, which is the mechanism the paper argues
+        // from; the total-cost delta is recorded in EXPERIMENTS.md.
+        let t = TechnologyProfile::nm45();
+        let two = evaluate(DesignPoint { slice_bits: 2, lanes: 16 }, &t);
+        let four = evaluate(DesignPoint { slice_bits: 4, lanes: 16 }, &t);
+        let agg2 = two.power_breakdown.addition + two.power_breakdown.shifting;
+        let agg4 = four.power_breakdown.addition + four.power_breakdown.shifting;
+        assert!(agg4 < agg2);
+        assert!(four.power_breakdown.multiplication > two.power_breakdown.multiplication);
+    }
+
+    #[test]
+    fn sweep_covers_cartesian_product() {
+        let pts = sweep(&[1, 2, 4], &[1, 4, 16], &TechnologyProfile::nm45());
+        assert_eq!(pts.len(), 9);
+    }
+}

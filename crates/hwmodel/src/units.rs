@@ -1,0 +1,429 @@
+//! Costs of complete compute units: conventional MAC, NBVE, CVU, and the
+//! BitFusion-style fusion unit.
+
+use serde::{Deserialize, Serialize};
+
+use crate::components::{
+    adder, barrel_shifter, compressor_tree, multiplier, register, shifted_adder_tree,
+    ComponentCost,
+};
+use crate::tech::TechnologyProfile;
+
+/// Core clock of every evaluated ASIC design (paper Table II).
+pub const CLOCK_MHZ: f64 = 500.0;
+
+/// Per-category cost breakdown matching Figure 4's stacking:
+/// multiplication, addition, shifting, registering.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct CostBreakdown {
+    /// Narrow/wide multiplier cells.
+    pub multiplication: ComponentCost,
+    /// Private and global adder trees plus accumulator adders.
+    pub addition: ComponentCost,
+    /// Significance-alignment shifters.
+    pub shifting: ComponentCost,
+    /// Pipeline and accumulator registers.
+    pub registering: ComponentCost,
+}
+
+impl CostBreakdown {
+    /// Sum of all categories.
+    #[must_use]
+    pub fn total(&self) -> ComponentCost {
+        self.multiplication + self.addition + self.shifting + self.registering
+    }
+
+    /// Scales every category (e.g. to express per-MAC costs).
+    #[must_use]
+    pub fn scale(&self, factor: f64) -> Self {
+        CostBreakdown {
+            multiplication: self.multiplication.scale(factor),
+            addition: self.addition.scale(factor),
+            shifting: self.shifting.scale(factor),
+            registering: self.registering.scale(factor),
+        }
+    }
+
+    /// Component-wise sum with another breakdown.
+    #[must_use]
+    pub fn merge(&self, other: &CostBreakdown) -> Self {
+        CostBreakdown {
+            multiplication: self.multiplication + other.multiplication,
+            addition: self.addition + other.addition,
+            shifting: self.shifting + other.shifting,
+            registering: self.registering + other.registering,
+        }
+    }
+}
+
+/// The cost of one complete compute unit together with its per-cycle
+/// throughput in 8-bit MAC equivalents.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UnitCost {
+    /// Cost breakdown for the whole unit.
+    pub breakdown: CostBreakdown,
+    /// 8b×8b MAC-equivalent operations completed per cycle.
+    pub macs_per_cycle: f64,
+}
+
+impl UnitCost {
+    /// Total (area, power) of the unit.
+    #[must_use]
+    pub fn total(&self) -> ComponentCost {
+        self.breakdown.total()
+    }
+
+    /// Cost breakdown normalized per MAC-equivalent operation.
+    #[must_use]
+    pub fn per_mac(&self) -> CostBreakdown {
+        self.breakdown.scale(1.0 / self.macs_per_cycle)
+    }
+
+    /// Energy per MAC-equivalent operation in picojoules at
+    /// [`CLOCK_MHZ`]: `P/f` divided by ops per cycle.
+    #[must_use]
+    pub fn energy_per_mac_pj(&self) -> f64 {
+        // µW / MHz = pJ per cycle.
+        (self.total().power / CLOCK_MHZ) / self.macs_per_cycle
+    }
+}
+
+/// A conventional, self-sufficient digital 8-bit MAC unit — the
+/// normalization baseline of Figure 4 and the compute unit of the TPU-like
+/// baseline accelerator.
+///
+/// Structure: an 8×8 signed multiplier, a 24-bit accumulation adder, a
+/// 24-bit accumulator register and two 8-bit operand pipeline registers (the
+/// systolic pass-throughs).
+#[must_use]
+pub fn conventional_mac(tech: &TechnologyProfile) -> UnitCost {
+    let mult = multiplier(8, 8, true, tech);
+    let acc_add = adder(24, tech);
+    let regs = register(24, tech) + register(16, tech);
+    UnitCost {
+        breakdown: CostBreakdown {
+            multiplication: mult,
+            addition: acc_add,
+            shifting: ComponentCost::ZERO,
+            registering: regs,
+        },
+        macs_per_cycle: 1.0,
+    }
+}
+
+/// Geometry of a composable vector unit for the cost model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CvuGeometry {
+    /// Bit-slice width `s` (the narrow multipliers' operand width).
+    pub slice_bits: u32,
+    /// Maximum operand bitwidth `B` (8 in the paper).
+    pub max_bits: u32,
+    /// NBVE vector length `L`.
+    pub lanes: u32,
+}
+
+impl CvuGeometry {
+    /// The paper's design point: 2-bit slices, 8-bit operands, `L = 16`.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        CvuGeometry {
+            slice_bits: 2,
+            max_bits: 8,
+            lanes: 16,
+        }
+    }
+
+    /// Slices per operand, `ceil(B/s)`.
+    #[must_use]
+    pub fn slices_per_operand(&self) -> u32 {
+        self.max_bits.div_ceil(self.slice_bits)
+    }
+
+    /// NBVEs in the CVU, `(B/s)²`.
+    #[must_use]
+    pub fn num_nbves(&self) -> u32 {
+        let n = self.slices_per_operand();
+        n * n
+    }
+}
+
+/// Cost of a single NBVE: `L` signed `s×s` slice multipliers plus the
+/// private carry-save adder tree. The NBVE output feeds the global
+/// aggregation combinationally; only the CVU output is registered.
+///
+/// Returns the cost breakdown and the tree's output width.
+#[must_use]
+pub fn nbve_cost(geom: &CvuGeometry, tech: &TechnologyProfile) -> (CostBreakdown, u32) {
+    let s = geom.slice_bits;
+    // Signed-aware slice multipliers operate on (s+1)-bit signed domains;
+    // model them as s×s arrays with the signed overhead (1×1 stays an AND).
+    let mults = multiplier(s, s, true, tech).scale(geom.lanes as f64);
+    let product_width = 2 * s;
+    let (tree, root_width) = compressor_tree(geom.lanes, product_width, tech);
+    (
+        CostBreakdown {
+            multiplication: mults,
+            addition: tree,
+            shifting: ComponentCost::ZERO,
+            registering: ComponentCost::ZERO,
+        },
+        root_width,
+    )
+}
+
+/// Cost of a full CVU (paper Figure 3a): `(B/s)²` NBVEs, one runtime
+/// barrel shifter per NBVE, the global adder tree and the 32-bit output
+/// accumulator stage.
+///
+/// `macs_per_cycle` is the widest-mode throughput `L` (8-bit × 8-bit MACs).
+#[must_use]
+pub fn cvu_cost(geom: &CvuGeometry, tech: &TechnologyProfile) -> UnitCost {
+    let n = geom.slices_per_operand();
+    let num_nbves = geom.num_nbves();
+    let (nbve, root_width) = nbve_cost(geom, tech);
+    let mut breakdown = nbve.scale(num_nbves as f64);
+
+    // Runtime-flexible shift selection: the 2n-1 distinct significance sums
+    // (shift amounts are multiples of s in 0..=2(n-1)s) are pre-wired as
+    // offsets into the global tree; one mux network per significance group
+    // selects the active offset when the composition is reconfigured. Only
+    // the root_width significant bits pass through the muxes.
+    let max_shift = 2 * (n - 1) * geom.slice_bits;
+    let distinct_shifts = 2 * n - 1;
+    let shifters = barrel_shifter(root_width, distinct_shifts, tech).scale(distinct_shifts as f64);
+    breakdown.shifting += shifters;
+
+    // Global aggregation across NBVE outputs: a carry-save tree over the
+    // shifted (partially overlapping) operands.
+    let (global_tree, global_width) = shifted_adder_tree(num_nbves, root_width, max_shift, tech);
+    breakdown.addition += global_tree;
+
+    // Output accumulation: 32-bit adder + register (the systolic column
+    // accumulators are wider, but live outside the unit in both designs).
+    breakdown.addition += adder(32.max(global_width), tech);
+    breakdown.registering += register(32.max(global_width), tech);
+
+    UnitCost {
+        breakdown,
+        macs_per_cycle: geom.lanes as f64,
+    }
+}
+
+
+/// Ablation: a *flat* CVU that feeds all `n²·L` slice products into one
+/// global shifted aggregation tree, with no private per-NBVE trees — the
+/// organization the paper's two-level scheme is implicitly compared against
+/// (§III-B observation 1/2: private trees amortize aggregation).
+#[must_use]
+pub fn cvu_cost_flat(geom: &CvuGeometry, tech: &TechnologyProfile) -> UnitCost {
+    let s = geom.slice_bits;
+    let n = geom.slices_per_operand();
+    let num_nbves = geom.num_nbves();
+    let total_products = num_nbves * geom.lanes;
+    let mults =
+        multiplier(s, s, true, tech).scale(f64::from(total_products));
+    // Every product is shifted individually, then one huge carry-save tree
+    // aggregates all of them.
+    let product_width = 2 * s;
+    let max_shift = 2 * (n - 1) * geom.slice_bits;
+    let distinct_shifts = 2 * n - 1;
+    let shifters = barrel_shifter(product_width, distinct_shifts, tech)
+        .scale(f64::from(total_products));
+    let (global_tree, global_width) =
+        shifted_adder_tree(total_products, product_width, max_shift, tech);
+    let mut breakdown = CostBreakdown {
+        multiplication: mults,
+        addition: global_tree,
+        shifting: shifters,
+        registering: ComponentCost::ZERO,
+    };
+    breakdown.addition += adder(32.max(global_width), tech);
+    breakdown.registering += register(32.max(global_width), tech);
+    UnitCost {
+        breakdown,
+        macs_per_cycle: f64::from(geom.lanes),
+    }
+}
+
+/// A BitFusion-style fusion unit: scalar spatial bit-level composability,
+/// i.e. exactly a CVU with `L = 1` (paper §III-B observation 4).
+#[must_use]
+pub fn bitfusion_fusion_unit(tech: &TechnologyProfile) -> UnitCost {
+    cvu_cost(
+        &CvuGeometry {
+            slice_bits: 2,
+            max_bits: 8,
+            lanes: 1,
+        },
+        tech,
+    )
+}
+
+/// MAC-equivalent throughput multiplier when operating at reduced operand
+/// bitwidths on a bit-composable unit (CVU or fusion unit): the number of
+/// parallel clusters, `(B/s)² / (ceil(bx/s)·ceil(bw/s))`.
+#[must_use]
+pub fn throughput_multiplier(geom: &CvuGeometry, bx: u32, bw: u32) -> f64 {
+    let per_cluster = bx.div_ceil(geom.slice_bits) * bw.div_ceil(geom.slice_bits);
+    (geom.num_nbves() / per_cluster) as f64
+}
+
+/// Energy per operand-level MAC (pJ) when a bit-composable unit runs at
+/// bitwidths `(bx, bw)`: the unit's full power is spent every cycle, but the
+/// cycle completes `clusters × L` narrower MACs.
+#[must_use]
+pub fn composable_energy_per_mac_pj(
+    unit: &UnitCost,
+    geom: &CvuGeometry,
+    bx: u32,
+    bw: u32,
+) -> f64 {
+    let ops = unit.macs_per_cycle * throughput_multiplier(geom, bx, bw);
+    (unit.total().power / CLOCK_MHZ) / ops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> TechnologyProfile {
+        TechnologyProfile::nm45()
+    }
+
+    #[test]
+    fn conventional_mac_has_no_shifting() {
+        let mac = conventional_mac(&t());
+        assert_eq!(mac.breakdown.shifting, ComponentCost::ZERO);
+        assert!(mac.total().area > 0.0);
+        assert_eq!(mac.macs_per_cycle, 1.0);
+    }
+
+    #[test]
+    fn paper_geometry_counts() {
+        let g = CvuGeometry::paper_default();
+        assert_eq!(g.slices_per_operand(), 4);
+        assert_eq!(g.num_nbves(), 16);
+    }
+
+    #[test]
+    fn one_bit_geometry_needs_64_nbves() {
+        let g = CvuGeometry {
+            slice_bits: 1,
+            max_bits: 8,
+            lanes: 4,
+        };
+        assert_eq!(g.num_nbves(), 64);
+    }
+
+    #[test]
+    fn cvu_power_grows_sublinearly_with_lanes() {
+        // Doubling L doubles multipliers but amortizes shifters/global tree,
+        // so total cost must grow by less than 2x.
+        let c8 = cvu_cost(
+            &CvuGeometry {
+                slice_bits: 2,
+                max_bits: 8,
+                lanes: 8,
+            },
+            &t(),
+        );
+        let c16 = cvu_cost(&CvuGeometry::paper_default(), &t());
+        assert!(c16.total().power < 2.0 * c8.total().power);
+        assert!(c16.total().power > c8.total().power);
+    }
+
+    #[test]
+    fn per_mac_cost_decreases_with_lanes() {
+        let mut last = f64::INFINITY;
+        for lanes in [1u32, 2, 4, 8, 16] {
+            let c = cvu_cost(
+                &CvuGeometry {
+                    slice_bits: 2,
+                    max_bits: 8,
+                    lanes,
+                },
+                &t(),
+            );
+            let per_mac = c.per_mac().total().power;
+            assert!(per_mac < last, "L={lanes}: {per_mac} !< {last}");
+            last = per_mac;
+        }
+    }
+
+    #[test]
+    fn bitfusion_unit_is_the_l1_cvu() {
+        let bf = bitfusion_fusion_unit(&t());
+        assert_eq!(bf.macs_per_cycle, 1.0);
+        let l1 = cvu_cost(
+            &CvuGeometry {
+                slice_bits: 2,
+                max_bits: 8,
+                lanes: 1,
+            },
+            &t(),
+        );
+        assert_eq!(bf.total(), l1.total());
+    }
+
+
+    #[test]
+    fn two_level_aggregation_beats_flat_at_the_paper_design_point() {
+        // DESIGN.md ablation: the private-tree + global-tree organization
+        // must be cheaper than one flat aggregation over all 256 shifted
+        // products (the "amortize the cost of add-tree" claim, §III-B(2)).
+        let geom = CvuGeometry::paper_default();
+        let two_level = cvu_cost(&geom, &t());
+        let flat = cvu_cost_flat(&geom, &t());
+        assert!(
+            two_level.total().power < flat.total().power,
+            "two-level {} vs flat {}",
+            two_level.total().power,
+            flat.total().power
+        );
+        assert!(two_level.total().area < flat.total().area);
+    }
+
+    #[test]
+    fn flat_and_two_level_converge_at_l1() {
+        // With one lane per NBVE there is nothing to amortize: the flat
+        // organization costs about the same (within the register delta).
+        let geom = CvuGeometry {
+            slice_bits: 2,
+            max_bits: 8,
+            lanes: 1,
+        };
+        let two_level = cvu_cost(&geom, &t()).total().power;
+        let flat = cvu_cost_flat(&geom, &t()).total().power;
+        let ratio = flat / two_level;
+        assert!((0.6..=1.4).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn throughput_multiplier_matches_composition_rules() {
+        let g = CvuGeometry::paper_default();
+        assert_eq!(throughput_multiplier(&g, 8, 8), 1.0);
+        assert_eq!(throughput_multiplier(&g, 8, 2), 4.0);
+        assert_eq!(throughput_multiplier(&g, 4, 4), 4.0);
+        assert_eq!(throughput_multiplier(&g, 2, 2), 16.0);
+        assert_eq!(throughput_multiplier(&g, 8, 4), 2.0);
+    }
+
+    #[test]
+    fn reduced_bitwidth_reduces_energy_per_mac() {
+        let g = CvuGeometry::paper_default();
+        let unit = cvu_cost(&g, &t());
+        let e8 = composable_energy_per_mac_pj(&unit, &g, 8, 8);
+        let e4 = composable_energy_per_mac_pj(&unit, &g, 4, 4);
+        let e2 = composable_energy_per_mac_pj(&unit, &g, 2, 2);
+        assert!((e8 / e4 - 4.0).abs() < 1e-9);
+        assert!((e8 / e2 - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_per_mac_is_physical() {
+        // A 45 nm 8-bit MAC costs on the order of 0.1-2 pJ.
+        let mac = conventional_mac(&t());
+        let e = mac.energy_per_mac_pj();
+        assert!(e > 0.05 && e < 5.0, "energy {e} pJ out of plausible range");
+    }
+}

@@ -1,0 +1,337 @@
+//! The BPVeC instruction set and its binary encoding.
+//!
+//! Instructions are fixed-width 128-bit words (two `u64`s): an 8-bit opcode
+//! plus operand fields. The encoding is exact and total on the instruction
+//! set — every instruction round-trips — and decoding rejects malformed
+//! words with a typed error rather than panicking, since programs may come
+//! from disk.
+
+use bpvec_core::BitWidth;
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// Which address space a DMA instruction touches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MemorySpace {
+    /// Off-chip DRAM.
+    Dram,
+    /// The on-chip scratchpad.
+    Scratchpad,
+}
+
+/// One machine instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Instruction {
+    /// Reconfigures the CVU array's composition for the following compute:
+    /// the architectural form of the paper's dynamic bit-level
+    /// composability.
+    SetPrecision {
+        /// Activation operand bitwidth.
+        act_bits: BitWidth,
+        /// Weight operand bitwidth.
+        weight_bits: BitWidth,
+    },
+    /// DMA a tile from DRAM into the scratchpad.
+    LoadTile {
+        /// Destination scratchpad offset in bytes.
+        dst_offset: u32,
+        /// Length in bytes (bit-packed payload).
+        bytes: u32,
+        /// Which double buffer the tile lands in (0/1).
+        buffer: u8,
+    },
+    /// DMA a tile from the scratchpad back to DRAM.
+    StoreTile {
+        /// Source scratchpad offset in bytes.
+        src_offset: u32,
+        /// Length in bytes.
+        bytes: u32,
+        /// Which double buffer the tile leaves from (0/1).
+        buffer: u8,
+    },
+    /// A blocked matrix multiply `C[m,n] += A[m,k] · B[k,n]` on the systolic
+    /// array at the current precision.
+    MatMul {
+        /// Output rows.
+        m: u32,
+        /// Reduction length.
+        k: u32,
+        /// Output columns.
+        n: u32,
+    },
+    /// Waits for all outstanding DMA before continuing (buffer swap point).
+    Barrier,
+}
+
+const OP_SET_PRECISION: u8 = 0x01;
+const OP_LOAD_TILE: u8 = 0x02;
+const OP_STORE_TILE: u8 = 0x03;
+const OP_MATMUL: u8 = 0x04;
+const OP_BARRIER: u8 = 0x05;
+
+/// Error from decoding a malformed instruction word.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DecodeInstructionError {
+    /// Unknown opcode byte.
+    UnknownOpcode {
+        /// The rejected opcode.
+        opcode: u8,
+    },
+    /// A bitwidth field held an unsupported value.
+    InvalidBitWidth {
+        /// The rejected field value.
+        bits: u8,
+    },
+    /// A buffer field held something other than 0/1.
+    InvalidBuffer {
+        /// The rejected field value.
+        buffer: u8,
+    },
+}
+
+impl fmt::Display for DecodeInstructionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeInstructionError::UnknownOpcode { opcode } => {
+                write!(f, "unknown opcode {opcode:#04x}")
+            }
+            DecodeInstructionError::InvalidBitWidth { bits } => {
+                write!(f, "bitwidth field {bits} is outside 1..=8")
+            }
+            DecodeInstructionError::InvalidBuffer { buffer } => {
+                write!(f, "buffer field {buffer} is not 0 or 1")
+            }
+        }
+    }
+}
+
+impl Error for DecodeInstructionError {}
+
+impl Instruction {
+    /// Encodes to the fixed 128-bit word.
+    #[must_use]
+    pub fn encode(&self) -> [u64; 2] {
+        match *self {
+            Instruction::SetPrecision {
+                act_bits,
+                weight_bits,
+            } => [
+                u64::from(OP_SET_PRECISION)
+                    | (u64::from(act_bits.bits()) << 8)
+                    | (u64::from(weight_bits.bits()) << 16),
+                0,
+            ],
+            Instruction::LoadTile {
+                dst_offset,
+                bytes,
+                buffer,
+            } => [
+                u64::from(OP_LOAD_TILE)
+                    | (u64::from(buffer) << 8)
+                    | (u64::from(dst_offset) << 32),
+                u64::from(bytes),
+            ],
+            Instruction::StoreTile {
+                src_offset,
+                bytes,
+                buffer,
+            } => [
+                u64::from(OP_STORE_TILE)
+                    | (u64::from(buffer) << 8)
+                    | (u64::from(src_offset) << 32),
+                u64::from(bytes),
+            ],
+            Instruction::MatMul { m, k, n } => [
+                u64::from(OP_MATMUL) | (u64::from(m) << 32),
+                u64::from(k) | (u64::from(n) << 32),
+            ],
+            Instruction::Barrier => [u64::from(OP_BARRIER), 0],
+        }
+    }
+
+    /// Decodes a 128-bit word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeInstructionError`] for unknown opcodes or malformed
+    /// fields.
+    pub fn decode(word: [u64; 2]) -> Result<Self, DecodeInstructionError> {
+        let opcode = (word[0] & 0xff) as u8;
+        match opcode {
+            OP_SET_PRECISION => {
+                let act = ((word[0] >> 8) & 0xff) as u8;
+                let wgt = ((word[0] >> 16) & 0xff) as u8;
+                let act_bits = BitWidth::new(u32::from(act))
+                    .map_err(|_| DecodeInstructionError::InvalidBitWidth { bits: act })?;
+                let weight_bits = BitWidth::new(u32::from(wgt))
+                    .map_err(|_| DecodeInstructionError::InvalidBitWidth { bits: wgt })?;
+                Ok(Instruction::SetPrecision {
+                    act_bits,
+                    weight_bits,
+                })
+            }
+            OP_LOAD_TILE | OP_STORE_TILE => {
+                let buffer = ((word[0] >> 8) & 0xff) as u8;
+                if buffer > 1 {
+                    return Err(DecodeInstructionError::InvalidBuffer { buffer });
+                }
+                let offset = (word[0] >> 32) as u32;
+                let bytes = (word[1] & 0xffff_ffff) as u32;
+                Ok(if opcode == OP_LOAD_TILE {
+                    Instruction::LoadTile {
+                        dst_offset: offset,
+                        bytes,
+                        buffer,
+                    }
+                } else {
+                    Instruction::StoreTile {
+                        src_offset: offset,
+                        bytes,
+                        buffer,
+                    }
+                })
+            }
+            OP_MATMUL => Ok(Instruction::MatMul {
+                m: (word[0] >> 32) as u32,
+                k: (word[1] & 0xffff_ffff) as u32,
+                n: (word[1] >> 32) as u32,
+            }),
+            OP_BARRIER => Ok(Instruction::Barrier),
+            other => Err(DecodeInstructionError::UnknownOpcode { opcode: other }),
+        }
+    }
+
+    /// True for DMA instructions.
+    #[must_use]
+    pub fn is_dma(&self) -> bool {
+        matches!(
+            self,
+            Instruction::LoadTile { .. } | Instruction::StoreTile { .. }
+        )
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Instruction::SetPrecision {
+                act_bits,
+                weight_bits,
+            } => write!(f, "setp   {act_bits} x {weight_bits}"),
+            Instruction::LoadTile {
+                dst_offset,
+                bytes,
+                buffer,
+            } => write!(f, "ld.t   sp[{dst_offset:#x}] <- dram, {bytes} B (buf {buffer})"),
+            Instruction::StoreTile {
+                src_offset,
+                bytes,
+                buffer,
+            } => write!(f, "st.t   dram <- sp[{src_offset:#x}], {bytes} B (buf {buffer})"),
+            Instruction::MatMul { m, k, n } => write!(f, "gemm   {m} x {k} x {n}"),
+            Instruction::Barrier => f.write_str("bar"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn examples() -> Vec<Instruction> {
+        vec![
+            Instruction::SetPrecision {
+                act_bits: BitWidth::INT8,
+                weight_bits: BitWidth::INT2,
+            },
+            Instruction::LoadTile {
+                dst_offset: 0x1000,
+                bytes: 4096,
+                buffer: 1,
+            },
+            Instruction::StoreTile {
+                src_offset: 0xbeef,
+                bytes: 17,
+                buffer: 0,
+            },
+            Instruction::MatMul {
+                m: 64,
+                k: 576,
+                n: 784,
+            },
+            Instruction::Barrier,
+        ]
+    }
+
+    #[test]
+    fn every_instruction_round_trips() {
+        for inst in examples() {
+            assert_eq!(Instruction::decode(inst.encode()).unwrap(), inst);
+        }
+    }
+
+    #[test]
+    fn unknown_opcode_is_rejected() {
+        assert!(matches!(
+            Instruction::decode([0xff, 0]),
+            Err(DecodeInstructionError::UnknownOpcode { opcode: 0xff })
+        ));
+    }
+
+    #[test]
+    fn malformed_bitwidth_is_rejected() {
+        // SetPrecision with a 9-bit activation field.
+        let word = [u64::from(0x01u8) | (9u64 << 8) | (8u64 << 16), 0];
+        assert!(matches!(
+            Instruction::decode(word),
+            Err(DecodeInstructionError::InvalidBitWidth { bits: 9 })
+        ));
+    }
+
+    #[test]
+    fn malformed_buffer_is_rejected() {
+        let word = [u64::from(0x02u8) | (7u64 << 8), 16];
+        assert!(matches!(
+            Instruction::decode(word),
+            Err(DecodeInstructionError::InvalidBuffer { buffer: 7 })
+        ));
+    }
+
+    #[test]
+    fn display_is_assembly_like() {
+        let asm: Vec<String> = examples().iter().map(|i| i.to_string()).collect();
+        assert!(asm[0].starts_with("setp"));
+        assert!(asm[1].contains("ld.t"));
+        assert!(asm[3].contains("gemm   64 x 576 x 784"));
+    }
+
+    proptest! {
+        /// Arbitrary field values round-trip (the encoding is lossless over
+        /// the whole operand domain).
+        #[test]
+        fn roundtrip_arbitrary_fields(
+            op in 0usize..5,
+            a in proptest::num::u32::ANY,
+            b in proptest::num::u32::ANY,
+            c in proptest::num::u32::ANY,
+            bits1 in 1u32..=8,
+            bits2 in 1u32..=8,
+            buffer in 0u8..=1,
+        ) {
+            let inst = match op {
+                0 => Instruction::SetPrecision {
+                    act_bits: BitWidth::new(bits1).unwrap(),
+                    weight_bits: BitWidth::new(bits2).unwrap(),
+                },
+                1 => Instruction::LoadTile { dst_offset: a, bytes: b, buffer },
+                2 => Instruction::StoreTile { src_offset: a, bytes: b, buffer },
+                3 => Instruction::MatMul { m: a, k: b, n: c },
+                _ => Instruction::Barrier,
+            };
+            prop_assert_eq!(Instruction::decode(inst.encode()).unwrap(), inst);
+        }
+    }
+}

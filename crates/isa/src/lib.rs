@@ -1,0 +1,31 @@
+//! # `bpvec-isa` — the accelerator's instruction set and machine model
+//!
+//! The paper's evaluation infrastructure descends from BitFusion, whose
+//! accelerator is driven by an instruction stream (load/store tiles,
+//! set-precision, block matrix-multiply). This crate provides that missing
+//! substrate for BPVeC:
+//!
+//! * [`inst`] — the instruction set: tile DMA (`LoadTile`/`StoreTile`),
+//!   dynamic recomposition (`SetPrecision` — the architectural hook for the
+//!   CVU's bit-level reconfiguration), blocked `MatMul`, and `Barrier`;
+//!   with a fixed 128-bit binary encoding and exact round-tripping;
+//! * [`program`] — the lowering pass: a [`bpvec_dnn::Network`] layer plus
+//!   its tiling decision (from `bpvec-sim::tiling`) becomes a loop nest of
+//!   instructions;
+//! * [`machine`] — an instruction-level machine model: a scratchpad with
+//!   explicit double buffering, a DMA timeline and a compute timeline. It
+//!   executes programs and reports cycles and DRAM traffic — and its
+//!   results are cross-validated against the analytical engine
+//!   (`bpvec-sim::engine`), closing the loop between the two abstraction
+//!   levels.
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod inst;
+pub mod machine;
+pub mod program;
+
+pub use inst::{DecodeInstructionError, Instruction, MemorySpace};
+pub use machine::{Machine, MachineConfig, RunReport};
+pub use program::{lower_layer, lower_network, Program};

@@ -1,0 +1,425 @@
+//! Lowering: network layers → instruction streams.
+//!
+//! Each compute layer becomes the loop nest its tiling decision implies
+//! (weight-stationary, double-buffered): weights load once per
+//! (output-channel × input-channel) tile pair, inputs re-load per
+//! output-channel pass, partial sums spill when input channels are tiled —
+//! the same schedule `bpvec-sim::tiling` costs analytically, now made
+//! explicit instruction by instruction.
+
+use bpvec_dnn::layer::{Layer, LayerKind};
+use bpvec_dnn::Network;
+use bpvec_sim::tiling;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::inst::Instruction;
+
+/// An instruction stream plus provenance metadata.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Program {
+    /// Human-readable origin (network/layer names).
+    pub name: String,
+    /// The instructions in issue order.
+    pub instructions: Vec<Instruction>,
+}
+
+impl Program {
+    /// Number of instructions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.instructions.len()
+    }
+
+    /// True for an empty program.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.instructions.is_empty()
+    }
+
+    /// Total bytes moved by DMA instructions (load + store).
+    #[must_use]
+    pub fn dma_bytes(&self) -> u64 {
+        self.instructions
+            .iter()
+            .map(|i| match *i {
+                Instruction::LoadTile { bytes, .. } | Instruction::StoreTile { bytes, .. } => {
+                    u64::from(bytes)
+                }
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Total MACs issued by `MatMul` instructions.
+    #[must_use]
+    pub fn matmul_macs(&self) -> u64 {
+        self.instructions
+            .iter()
+            .map(|i| match *i {
+                Instruction::MatMul { m, k, n } => u64::from(m) * u64::from(k) * u64::from(n),
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Encodes the whole program to binary words.
+    #[must_use]
+    pub fn encode(&self) -> Vec<[u64; 2]> {
+        self.instructions.iter().map(Instruction::encode).collect()
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "; {} ({} instructions)", self.name, self.len())?;
+        for inst in &self.instructions {
+            writeln!(f, "  {inst}")?;
+        }
+        Ok(())
+    }
+}
+
+fn bytes(elems: u64, bits: u32) -> u32 {
+    u32::try_from((elems * u64::from(bits)).div_ceil(8)).expect("tile fits u32")
+}
+
+/// Lowers one layer at batch `b` under `working_bytes` of scratchpad.
+///
+/// Pooling layers become pure DMA (activations in, pooled activations out).
+#[must_use]
+pub fn lower_layer(layer: &Layer, working_bytes: u64, b: u64) -> Program {
+    let mut code = vec![Instruction::SetPrecision {
+        act_bits: layer.act_bits,
+        weight_bits: layer.weight_bits,
+    }];
+    let ab = layer.act_bits.bits();
+    let wb = layer.weight_bits.bits();
+    match layer.kind {
+        LayerKind::Conv2d {
+            in_channels,
+            out_channels,
+            kernel,
+            stride,
+            input_hw,
+            ..
+        } => {
+            let t = tiling::layer_tiling(layer, working_bytes, b);
+            let (oh, ow) = layer.output_hw().expect("conv output");
+            lower_conv_nest(
+                &mut code,
+                ConvNest {
+                    in_c: in_channels,
+                    out_c: out_channels,
+                    kh: kernel.0,
+                    kw: kernel.1,
+                    stride: stride.0,
+                    in_w: input_hw.1,
+                    oh,
+                    ow,
+                    oc_t: t.oc_tile,
+                    ic_t: t.ic_tile,
+                    oh_t: t.oh_tile,
+                    ab,
+                    wb,
+                    b,
+                },
+            );
+        }
+        LayerKind::FullyConnected {
+            in_features,
+            out_features,
+        } => {
+            let t = tiling::layer_tiling(layer, working_bytes, b);
+            lower_conv_nest(
+                &mut code,
+                ConvNest {
+                    in_c: in_features,
+                    out_c: out_features,
+                    kh: 1,
+                    kw: 1,
+                    stride: 1,
+                    in_w: 1,
+                    oh: 1,
+                    ow: 1,
+                    oc_t: t.oc_tile,
+                    ic_t: t.ic_tile,
+                    oh_t: t.oh_tile,
+                    ab,
+                    wb,
+                    b,
+                },
+            );
+        }
+        LayerKind::Pool {
+            channels, input_hw, ..
+        } => {
+            let (oh, ow) = layer.output_hw().expect("pool output");
+            code.push(Instruction::LoadTile {
+                dst_offset: 0,
+                bytes: bytes(b * (channels * input_hw.0 * input_hw.1) as u64, ab),
+                buffer: 0,
+            });
+            code.push(Instruction::StoreTile {
+                src_offset: 0,
+                bytes: bytes(b * (channels * oh * ow) as u64, ab),
+                buffer: 0,
+            });
+            code.push(Instruction::Barrier);
+        }
+        LayerKind::Recurrent {
+            input_size,
+            hidden_size,
+            gates,
+            seq_len,
+        } => {
+            let w_bytes = u64::from(bytes(
+                (gates * hidden_size * (input_size + hidden_size)) as u64,
+                wb,
+            ));
+            let half = (working_bytes / 2).max(1);
+            let chunks = w_bytes.div_ceil(half);
+            let on_chip = w_bytes <= working_bytes;
+            for t in 0..seq_len {
+                // Stream the weight matrix (in buffer-sized chunks) unless
+                // it fits on chip, in which case only the first step loads.
+                if t == 0 || !on_chip {
+                    let mut remaining = w_bytes;
+                    for c in 0..chunks {
+                        let this = remaining.min(half);
+                        remaining -= this;
+                        code.push(Instruction::LoadTile {
+                            dst_offset: 0,
+                            bytes: u32::try_from(this).expect("chunk fits u32"),
+                            buffer: (c % 2) as u8,
+                        });
+                    }
+                }
+                // x_t and h_{t-1} in, h_t (and c_t) out.
+                code.push(Instruction::LoadTile {
+                    dst_offset: 0,
+                    bytes: bytes(b * (input_size + hidden_size) as u64, ab),
+                    buffer: 0,
+                });
+                code.push(Instruction::MatMul {
+                    m: (gates * hidden_size) as u32,
+                    k: (input_size + hidden_size) as u32,
+                    n: u32::try_from(b).expect("batch fits u32"),
+                });
+                code.push(Instruction::StoreTile {
+                    src_offset: 0,
+                    bytes: bytes(b * hidden_size as u64, ab),
+                    buffer: 0,
+                });
+                code.push(Instruction::Barrier);
+            }
+        }
+    }
+    Program {
+        name: layer.name.clone(),
+        instructions: code,
+    }
+}
+
+struct ConvNest {
+    in_c: usize,
+    out_c: usize,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    in_w: usize,
+    oh: usize,
+    ow: usize,
+    oc_t: usize,
+    ic_t: usize,
+    oh_t: usize,
+    ab: u32,
+    wb: u32,
+    b: u64,
+}
+
+fn lower_conv_nest(code: &mut Vec<Instruction>, n: ConvNest) {
+    let n_oc = n.out_c.div_ceil(n.oc_t);
+    let n_ic = n.in_c.div_ceil(n.ic_t);
+    let n_oh = n.oh.div_ceil(n.oh_t);
+    for oc in 0..n_oc {
+        let oc_size = n.oc_t.min(n.out_c - oc * n.oc_t);
+        for ic in 0..n_ic {
+            let ic_size = n.ic_t.min(n.in_c - ic * n.ic_t);
+            // Weight tile: stationary across the spatial loop.
+            code.push(Instruction::LoadTile {
+                dst_offset: 0,
+                bytes: bytes((oc_size * ic_size * n.kh * n.kw) as u64, n.wb),
+                buffer: 0,
+            });
+            for ohi in 0..n_oh {
+                let oh_size = n.oh_t.min(n.oh - ohi * n.oh_t);
+                let in_rows = (oh_size - 1) * n.stride + n.kh;
+                code.push(Instruction::LoadTile {
+                    dst_offset: 0,
+                    bytes: bytes(n.b * (ic_size * in_rows * n.in_w) as u64, n.ab),
+                    buffer: (ohi % 2) as u8,
+                });
+                // Partial sums spill when input channels are tiled.
+                let out_bytes = bytes(n.b * (oc_size * oh_size * n.ow) as u64, n.ab);
+                if n_ic > 1 && ic > 0 {
+                    code.push(Instruction::LoadTile {
+                        dst_offset: 0,
+                        bytes: out_bytes,
+                        buffer: (ohi % 2) as u8,
+                    });
+                }
+                code.push(Instruction::MatMul {
+                    m: oc_size as u32,
+                    k: (ic_size * n.kh * n.kw) as u32,
+                    n: u32::try_from(n.b * (oh_size * n.ow) as u64).expect("tile fits u32"),
+                });
+                code.push(Instruction::StoreTile {
+                    src_offset: 0,
+                    bytes: out_bytes,
+                    buffer: (ohi % 2) as u8,
+                });
+                code.push(Instruction::Barrier);
+            }
+        }
+    }
+}
+
+/// Lowers a whole network into one program per layer.
+#[must_use]
+pub fn lower_network(network: &Network, working_bytes: u64, b: u64) -> Vec<Program> {
+    network
+        .layers
+        .iter()
+        .map(|l| lower_layer(l, working_bytes, b))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bpvec_core::BitWidth;
+    use bpvec_dnn::{BitwidthPolicy, NetworkId};
+
+    const WORKING: u64 = 57_344;
+
+    fn conv(ic: usize, oc: usize, k: usize, hw: usize) -> Layer {
+        Layer::new(
+            "conv",
+            LayerKind::Conv2d {
+                in_channels: ic,
+                out_channels: oc,
+                kernel: (k, k),
+                stride: (1, 1),
+                padding: (k / 2, k / 2),
+                input_hw: (hw, hw),
+            },
+        )
+    }
+
+    #[test]
+    fn program_macs_equal_layer_macs() {
+        let l = conv(64, 64, 3, 28);
+        let p = lower_layer(&l, WORKING, 4);
+        assert_eq!(p.matmul_macs(), l.macs() * 4);
+    }
+
+    #[test]
+    fn program_traffic_tracks_the_tiling_estimate() {
+        // The instruction stream's DMA bytes must match the analytic
+        // estimate up to halo overlap (the analytic model ignores the
+        // kernel-height halo rows each spatial tile re-reads).
+        for l in [conv(64, 64, 3, 28), conv(16, 128, 1, 14), conv(3, 64, 7, 56)] {
+            let analytic = tiling::layer_traffic(&l, WORKING, 4);
+            let program = lower_layer(&l, WORKING, 4).dma_bytes();
+            assert!(
+                program >= analytic,
+                "program {program} cannot beat the halo-free estimate {analytic}"
+            );
+            assert!(
+                program < 2 * analytic,
+                "program {program} too far above estimate {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn first_instruction_sets_the_layer_precision() {
+        let l = conv(8, 8, 3, 8).with_bits(BitWidth::INT4, BitWidth::INT2);
+        let p = lower_layer(&l, WORKING, 1);
+        assert_eq!(
+            p.instructions[0],
+            Instruction::SetPrecision {
+                act_bits: BitWidth::INT4,
+                weight_bits: BitWidth::INT2,
+            }
+        );
+    }
+
+    #[test]
+    fn partial_sum_spills_appear_only_when_input_channels_tile() {
+        // Small layer: everything fits, one (oc, ic) pass, no psum loads.
+        let small = lower_layer(&conv(8, 8, 3, 8), WORKING, 1);
+        let loads = small
+            .instructions
+            .iter()
+            .filter(|i| matches!(i, Instruction::LoadTile { .. }))
+            .count();
+        assert_eq!(loads, 2, "weight tile + input tile only:\n{small}");
+    }
+
+    #[test]
+    fn recurrent_program_streams_weights_every_step() {
+        let l = Layer::new(
+            "rnn",
+            LayerKind::Recurrent {
+                input_size: 512,
+                hidden_size: 512,
+                gates: 1,
+                seq_len: 3,
+            },
+        );
+        let p = lower_layer(&l, WORKING, 1);
+        let w_bytes = (2 * 512 * 512) as u64;
+        assert!(p.dma_bytes() >= 3 * w_bytes);
+        assert_eq!(p.matmul_macs(), l.macs());
+    }
+
+    #[test]
+    fn tiny_recurrent_layer_loads_weights_once() {
+        let l = Layer::new(
+            "rnn-small",
+            LayerKind::Recurrent {
+                input_size: 32,
+                hidden_size: 32,
+                gates: 1,
+                seq_len: 10,
+            },
+        );
+        let p = lower_layer(&l, WORKING, 1);
+        let w_bytes = (2 * 32 * 32) as u64;
+        assert!(p.dma_bytes() < w_bytes + 10 * 200);
+    }
+
+    #[test]
+    fn whole_network_lowers_with_one_program_per_layer() {
+        let net = Network::build(NetworkId::ResNet18, BitwidthPolicy::Heterogeneous);
+        let progs = lower_network(&net, WORKING, 1);
+        assert_eq!(progs.len(), net.layers.len());
+        let total_macs: u64 = progs.iter().map(Program::matmul_macs).sum();
+        assert_eq!(total_macs, net.total_macs());
+    }
+
+    #[test]
+    fn programs_encode_to_binary_and_display_as_assembly() {
+        let p = lower_layer(&conv(8, 8, 3, 8), WORKING, 1);
+        let words = p.encode();
+        assert_eq!(words.len(), p.len());
+        for (word, inst) in words.iter().zip(&p.instructions) {
+            assert_eq!(&Instruction::decode(*word).unwrap(), inst);
+        }
+        let asm = p.to_string();
+        assert!(asm.contains("setp"));
+        assert!(asm.contains("gemm"));
+    }
+}

@@ -1,0 +1,232 @@
+//! The three evaluated ASIC platforms (paper Table II).
+//!
+//! All three share a 250 mW core power budget, 500 MHz clock, a 112 KB
+//! scratchpad and a 2-D systolic organization; they differ in the compute
+//! unit and hence in how many 8-bit-MAC-equivalents fit the budget:
+//!
+//! | design    | unit                      | MAC-equivalents |
+//! |-----------|---------------------------|-----------------|
+//! | TPU-like  | conventional 8-bit MAC    | 512             |
+//! | BitFusion | scalar fusion unit (L=1)  | 448             |
+//! | BPVeC     | CVU lane (64 CVUs × L=16) | 1024            |
+//!
+//! The counts are Table II's; they are cross-checked against the
+//! `bpvec-hwmodel` per-unit power in this module's tests (the ~2.0× and
+//! ~2.3× per-MAC power advantages are exactly what lets BPVeC pack 2×/2.28×
+//! the units of the baselines).
+
+use bpvec_core::BitWidth;
+use bpvec_hwmodel::units::CvuGeometry;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::memory::ScratchpadSpec;
+
+/// Which accelerator design a configuration models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Design {
+    /// TPU-like systolic baseline with conventional 8-bit MACs.
+    TpuLike,
+    /// BitFusion: scalar spatial bit-level composability.
+    BitFusion,
+    /// BPVeC: bit-parallel vector composability (this paper).
+    Bpvec,
+}
+
+impl Design {
+    /// The design's display name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Design::TpuLike => "TPU-like",
+            Design::BitFusion => "BitFusion",
+            Design::Bpvec => "BPVeC",
+        }
+    }
+
+    /// True if the design recomposes at bit granularity (gains throughput
+    /// from reduced bitwidths).
+    #[must_use]
+    pub fn is_bit_composable(self) -> bool {
+        !matches!(self, Design::TpuLike)
+    }
+}
+
+impl fmt::Display for Design {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A concrete accelerator configuration (one column of Table II).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AcceleratorConfig {
+    /// The design style.
+    pub design: Design,
+    /// 8-bit-MAC-equivalent compute units.
+    pub mac_units: u64,
+    /// Core clock, MHz.
+    pub freq_mhz: f64,
+    /// Core (MAC-array) power budget, mW.
+    pub core_power_mw: f64,
+    /// Scratchpad + NoC power at 500 MHz (CACTI-P-style estimate), mW.
+    pub sram_power_mw: f64,
+    /// On-chip scratchpad.
+    pub scratchpad: ScratchpadSpec,
+}
+
+impl AcceleratorConfig {
+    /// Table II's TPU-like baseline: 512 conventional MACs.
+    #[must_use]
+    pub fn tpu_like() -> Self {
+        AcceleratorConfig {
+            design: Design::TpuLike,
+            mac_units: 512,
+            freq_mhz: 500.0,
+            core_power_mw: 250.0,
+            sram_power_mw: 300.0,
+            scratchpad: ScratchpadSpec::paper_default(),
+        }
+    }
+
+    /// Table II's BitFusion configuration: 448 fusion units.
+    #[must_use]
+    pub fn bitfusion() -> Self {
+        AcceleratorConfig {
+            design: Design::BitFusion,
+            mac_units: 448,
+            freq_mhz: 500.0,
+            core_power_mw: 250.0,
+            sram_power_mw: 300.0,
+            scratchpad: ScratchpadSpec::paper_default(),
+        }
+    }
+
+    /// Table II's BPVeC configuration: 1024 CVU lanes (64 CVUs, L = 16).
+    #[must_use]
+    pub fn bpvec() -> Self {
+        AcceleratorConfig {
+            design: Design::Bpvec,
+            mac_units: 1024,
+            freq_mhz: 500.0,
+            core_power_mw: 250.0,
+            sram_power_mw: 300.0,
+            scratchpad: ScratchpadSpec::paper_default(),
+        }
+    }
+
+    /// The CVU/fusion-unit geometry behind a bit-composable design.
+    #[must_use]
+    pub fn geometry(&self) -> Option<CvuGeometry> {
+        match self.design {
+            Design::TpuLike => None,
+            Design::BitFusion => Some(CvuGeometry {
+                slice_bits: 2,
+                max_bits: 8,
+                lanes: 1,
+            }),
+            Design::Bpvec => Some(CvuGeometry::paper_default()),
+        }
+    }
+
+    /// Operand-level MACs completed per cycle at bitwidths `(bx, bw)`.
+    ///
+    /// The TPU-like design processes narrow operands at 8-bit rates; the
+    /// bit-composable designs re-cluster and gain the composition's
+    /// throughput multiplier.
+    #[must_use]
+    pub fn macs_per_cycle(&self, bx: BitWidth, bw: BitWidth) -> f64 {
+        let base = self.mac_units as f64;
+        match self.geometry() {
+            None => base,
+            Some(geom) => {
+                base * bpvec_hwmodel::units::throughput_multiplier(
+                    &geom,
+                    bx.bits(),
+                    bw.bits(),
+                )
+            }
+        }
+    }
+
+    /// Peak throughput at bitwidths `(bx, bw)`, in MACs per second.
+    #[must_use]
+    pub fn macs_per_second(&self, bx: BitWidth, bw: BitWidth) -> f64 {
+        self.macs_per_cycle(bx, bw) * self.freq_mhz * 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bpvec_hwmodel::units::{
+        bitfusion_fusion_unit, conventional_mac, cvu_cost, CvuGeometry,
+    };
+    use bpvec_hwmodel::TechnologyProfile;
+
+    #[test]
+    fn table2_unit_counts() {
+        assert_eq!(AcceleratorConfig::tpu_like().mac_units, 512);
+        assert_eq!(AcceleratorConfig::bitfusion().mac_units, 448);
+        assert_eq!(AcceleratorConfig::bpvec().mac_units, 1024);
+        for c in [
+            AcceleratorConfig::tpu_like(),
+            AcceleratorConfig::bitfusion(),
+            AcceleratorConfig::bpvec(),
+        ] {
+            assert_eq!(c.freq_mhz, 500.0);
+            assert_eq!(c.core_power_mw, 250.0);
+            assert_eq!(c.scratchpad.capacity_bytes, 112 * 1024);
+        }
+    }
+
+    #[test]
+    fn unit_counts_are_consistent_with_the_cost_model() {
+        // Table II packs units under one 250 mW budget, so the count ratios
+        // must match the hwmodel's per-MAC power ratios (within ~20%).
+        let t = TechnologyProfile::nm45();
+        let conv = conventional_mac(&t).per_mac().total().power;
+        let cvu = cvu_cost(&CvuGeometry::paper_default(), &t)
+            .per_mac()
+            .total()
+            .power;
+        let bf = bitfusion_fusion_unit(&t).per_mac().total().power;
+        let model_bpvec_vs_tpu = conv / cvu; // how many more lanes fit
+        let table_bpvec_vs_tpu = 1024.0 / 512.0;
+        assert!(
+            (model_bpvec_vs_tpu / table_bpvec_vs_tpu - 1.0).abs() < 0.25,
+            "model {model_bpvec_vs_tpu:.2} vs table {table_bpvec_vs_tpu:.2}"
+        );
+        let model_bpvec_vs_bf = bf / cvu;
+        let table_bpvec_vs_bf = 1024.0 / 448.0;
+        assert!(
+            (model_bpvec_vs_bf / table_bpvec_vs_bf - 1.0).abs() < 0.30,
+            "model {model_bpvec_vs_bf:.2} vs table {table_bpvec_vs_bf:.2}"
+        );
+    }
+
+    #[test]
+    fn tpu_like_gains_nothing_from_narrow_operands() {
+        let c = AcceleratorConfig::tpu_like();
+        assert_eq!(c.macs_per_cycle(BitWidth::INT8, BitWidth::INT8), 512.0);
+        assert_eq!(c.macs_per_cycle(BitWidth::INT4, BitWidth::INT4), 512.0);
+        assert_eq!(c.macs_per_cycle(BitWidth::INT2, BitWidth::INT2), 512.0);
+    }
+
+    #[test]
+    fn composable_designs_scale_with_bitwidth() {
+        let bf = AcceleratorConfig::bitfusion();
+        let bp = AcceleratorConfig::bpvec();
+        assert_eq!(bf.macs_per_cycle(BitWidth::INT4, BitWidth::INT4), 1792.0);
+        assert_eq!(bp.macs_per_cycle(BitWidth::INT4, BitWidth::INT4), 4096.0);
+        assert_eq!(bp.macs_per_cycle(BitWidth::INT2, BitWidth::INT2), 16384.0);
+        assert_eq!(bp.macs_per_cycle(BitWidth::INT8, BitWidth::INT2), 4096.0);
+    }
+
+    #[test]
+    fn peak_throughput_at_500mhz() {
+        let bp = AcceleratorConfig::bpvec();
+        // 1024 lanes x 500 MHz = 512 GMAC/s at 8-bit.
+        assert!((bp.macs_per_second(BitWidth::INT8, BitWidth::INT8) - 512e9).abs() < 1.0);
+    }
+}

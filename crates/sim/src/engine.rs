@@ -1,0 +1,319 @@
+//! Per-layer and network-level performance/energy simulation.
+//!
+//! The methodology mirrors the (modified) BitFusion simulator the paper
+//! uses: for every layer, compute time follows from the design's effective
+//! MAC throughput at the layer's bitwidths, memory time from the tiled DRAM
+//! traffic at the memory's sustained bandwidth; double buffering overlaps
+//! the two, so the layer takes the maximum. Energy sums the on-chip power
+//! (MAC-array budget plus the CACTI-style scratchpad/NoC power) over the
+//! layer latency and the DRAM access energy of the traffic.
+
+use bpvec_dnn::{Network, NetworkId};
+use serde::{Deserialize, Serialize};
+
+use crate::accel::AcceleratorConfig;
+use crate::memory::DramSpec;
+use crate::tiling;
+
+/// Whether a layer's time is dominated by compute or by the memory system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Boundedness {
+    /// Compute time exceeds memory time.
+    Compute,
+    /// Memory time exceeds compute time.
+    Memory,
+}
+
+/// Simulation parameters: the platform and the batching regime.
+///
+/// Batch sizes follow inference-serving practice (and the throughput regime
+/// the paper's GPU comparison implies): small batches for the CNNs, larger
+/// for the recurrent models whose GEMV streams are otherwise hopelessly
+/// bandwidth-bound on every platform.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct SimConfig {
+    /// The accelerator platform.
+    pub accel: AcceleratorConfig,
+    /// The off-chip memory system.
+    pub dram: DramSpec,
+    /// Batch size for the CNN workloads.
+    pub batch_cnn: u64,
+    /// Batch size for the RNN/LSTM workloads.
+    pub batch_recurrent: u64,
+}
+
+impl SimConfig {
+    /// Creates a configuration with the evaluation's default batching
+    /// (CNNs at 16, recurrent models at 12).
+    #[must_use]
+    pub fn new(accel: AcceleratorConfig, dram: DramSpec) -> Self {
+        SimConfig {
+            accel,
+            dram,
+            batch_cnn: 16,
+            batch_recurrent: 12,
+        }
+    }
+
+    fn batch_for(&self, id: NetworkId) -> u64 {
+        if id.is_recurrent() {
+            self.batch_recurrent
+        } else {
+            self.batch_cnn
+        }
+    }
+}
+
+/// Simulation outcome for one layer (whole-batch quantities).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerResult {
+    /// Layer name.
+    pub name: String,
+    /// MACs executed (batch total).
+    pub macs: u64,
+    /// Compute time, seconds.
+    pub compute_s: f64,
+    /// DRAM traffic, bytes.
+    pub traffic_bytes: u64,
+    /// Memory time, seconds.
+    pub memory_s: f64,
+    /// Layer latency after overlap: `max(compute, memory)`.
+    pub latency_s: f64,
+    /// Which side bounds the layer.
+    pub bound: Boundedness,
+    /// Core energy over the layer's latency, joules.
+    pub core_energy_j: f64,
+    /// DRAM access energy, joules.
+    pub dram_energy_j: f64,
+}
+
+/// Simulation outcome for a whole network, normalized per inference.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetworkResult {
+    /// The simulated network.
+    pub network: NetworkId,
+    /// Batch size the run used.
+    pub batch: u64,
+    /// Per-layer results (batch totals).
+    pub layers: Vec<LayerResult>,
+    /// Latency per inference, seconds.
+    pub latency_s: f64,
+    /// Energy per inference, joules.
+    pub energy_j: f64,
+    /// MACs per inference.
+    pub macs: u64,
+}
+
+impl NetworkResult {
+    /// Operations (2 × MACs) per second, in Giga-ops.
+    #[must_use]
+    pub fn gops(&self) -> f64 {
+        2.0 * self.macs as f64 / self.latency_s / 1e9
+    }
+
+    /// Performance-per-Watt in GOPS/W (ops per joule / 1e9).
+    #[must_use]
+    pub fn gops_per_watt(&self) -> f64 {
+        2.0 * self.macs as f64 / self.energy_j / 1e9
+    }
+
+    /// Fraction of layers (weighted by latency) that are memory-bound.
+    #[must_use]
+    pub fn memory_bound_fraction(&self) -> f64 {
+        let total: f64 = self.layers.iter().map(|l| l.latency_s).sum();
+        if total == 0.0 {
+            return 0.0;
+        }
+        self.layers
+            .iter()
+            .filter(|l| l.bound == Boundedness::Memory)
+            .map(|l| l.latency_s)
+            .sum::<f64>()
+            / total
+    }
+}
+
+/// Simulates a network on a platform; see the module docs for the model.
+#[must_use]
+pub fn simulate(network: &Network, config: &SimConfig) -> NetworkResult {
+    let b = config.batch_for(network.id);
+    let working = config.accel.scratchpad.working_bytes();
+    let core_power_w = (config.accel.core_power_mw + config.accel.sram_power_mw) * 1e-3;
+    let mut layers = Vec::new();
+    let mut latency = 0.0f64;
+    let mut energy = 0.0f64;
+    for layer in &network.layers {
+        let macs = layer.macs() * b;
+        let traffic = tiling::layer_traffic(layer, working, b);
+        let compute_s = if macs == 0 {
+            0.0
+        } else {
+            macs as f64
+                / config
+                    .accel
+                    .macs_per_second(layer.act_bits, layer.weight_bits)
+        };
+        let memory_s = config.dram.transfer_time_s(traffic);
+        let latency_s = compute_s.max(memory_s);
+        let bound = if compute_s >= memory_s {
+            Boundedness::Compute
+        } else {
+            Boundedness::Memory
+        };
+        // The core burns its budget for the whole layer (clock tree, SRAM
+        // and leakage do not gate off while the layer waits on memory).
+        let core_energy_j = core_power_w * latency_s;
+        let dram_energy_j = config.dram.access_energy_j(traffic);
+        latency += latency_s;
+        energy += core_energy_j + dram_energy_j;
+        layers.push(LayerResult {
+            name: layer.name.clone(),
+            macs,
+            compute_s,
+            traffic_bytes: traffic,
+            memory_s,
+            latency_s,
+            bound,
+            core_energy_j,
+            dram_energy_j,
+        });
+    }
+    NetworkResult {
+        network: network.id,
+        batch: b,
+        layers,
+        latency_s: latency / b as f64,
+        energy_j: energy / b as f64,
+        macs: network.total_macs(),
+    }
+}
+
+/// Geometric mean of a nonempty slice.
+///
+/// # Panics
+///
+/// Panics if `values` is empty.
+#[must_use]
+pub fn geomean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "geomean of no values");
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bpvec_dnn::{BitwidthPolicy, Network, NetworkId};
+
+    fn cfg(accel: AcceleratorConfig, dram: DramSpec) -> SimConfig {
+        SimConfig::new(accel, dram)
+    }
+
+    fn hom(id: NetworkId) -> Network {
+        Network::build(id, BitwidthPolicy::Homogeneous8)
+    }
+
+    #[test]
+    fn latency_is_sum_of_layer_maxima() {
+        let n = hom(NetworkId::AlexNet);
+        let r = simulate(&n, &cfg(AcceleratorConfig::tpu_like(), DramSpec::ddr4()));
+        let sum: f64 = r.layers.iter().map(|l| l.latency_s).sum();
+        assert!((r.latency_s * r.batch as f64 - sum).abs() < 1e-12);
+        for l in &r.layers {
+            assert!((l.latency_s - l.compute_s.max(l.memory_s)).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn recurrent_models_are_memory_bound_on_ddr4() {
+        for id in [NetworkId::Rnn, NetworkId::Lstm] {
+            let n = hom(id);
+            let r = simulate(&n, &cfg(AcceleratorConfig::bpvec(), DramSpec::ddr4()));
+            assert!(
+                r.memory_bound_fraction() > 0.9,
+                "{id}: {}",
+                r.memory_bound_fraction()
+            );
+        }
+    }
+
+    #[test]
+    fn resnet50_is_mostly_compute_bound_on_ddr4_baseline() {
+        let n = hom(NetworkId::ResNet50);
+        let r = simulate(&n, &cfg(AcceleratorConfig::tpu_like(), DramSpec::ddr4()));
+        assert!(
+            r.memory_bound_fraction() < 0.35,
+            "{}",
+            r.memory_bound_fraction()
+        );
+    }
+
+    #[test]
+    fn hbm2_never_slows_anything_down() {
+        for id in NetworkId::ALL {
+            let n = hom(id);
+            for accel in [AcceleratorConfig::tpu_like(), AcceleratorConfig::bpvec()] {
+                let ddr = simulate(&n, &cfg(accel, DramSpec::ddr4()));
+                let hbm = simulate(&n, &cfg(accel, DramSpec::hbm2()));
+                assert!(hbm.latency_s <= ddr.latency_s * 1.0000001, "{id}");
+                assert!(hbm.energy_j <= ddr.energy_j * 1.0000001, "{id}");
+            }
+        }
+    }
+
+    #[test]
+    fn bpvec_is_never_slower_than_the_baseline() {
+        for id in NetworkId::ALL {
+            let n = hom(id);
+            for dram in [DramSpec::ddr4(), DramSpec::hbm2()] {
+                let base = simulate(&n, &cfg(AcceleratorConfig::tpu_like(), dram));
+                let bp = simulate(&n, &cfg(AcceleratorConfig::bpvec(), dram));
+                assert!(bp.latency_s <= base.latency_s * 1.0000001, "{id}");
+            }
+        }
+    }
+
+    #[test]
+    fn heterogeneous_bitwidths_speed_up_composable_designs_only() {
+        let hom_net = hom(NetworkId::ResNet50);
+        let het_net = Network::build(NetworkId::ResNet50, BitwidthPolicy::Heterogeneous);
+        let dram = DramSpec::hbm2();
+        let base_hom = simulate(&hom_net, &cfg(AcceleratorConfig::tpu_like(), dram));
+        let base_het = simulate(&het_net, &cfg(AcceleratorConfig::tpu_like(), dram));
+        // The TPU-like design only gains the traffic reduction.
+        let tpu_gain = base_hom.latency_s / base_het.latency_s;
+        let bp_hom = simulate(&hom_net, &cfg(AcceleratorConfig::bpvec(), dram));
+        let bp_het = simulate(&het_net, &cfg(AcceleratorConfig::bpvec(), dram));
+        let bp_gain = bp_hom.latency_s / bp_het.latency_s;
+        assert!(
+            bp_gain > tpu_gain * 1.5,
+            "BPVeC gain {bp_gain} vs TPU gain {tpu_gain}"
+        );
+    }
+
+    #[test]
+    fn energy_components_are_positive_and_sum() {
+        let n = hom(NetworkId::ResNet18);
+        let r = simulate(&n, &cfg(AcceleratorConfig::bpvec(), DramSpec::ddr4()));
+        let sum: f64 = r
+            .layers
+            .iter()
+            .map(|l| l.core_energy_j + l.dram_energy_j)
+            .sum();
+        assert!((r.energy_j * r.batch as f64 - sum).abs() < 1e-12);
+        assert!(r.energy_j > 0.0);
+        assert!(r.gops_per_watt() > 0.0);
+    }
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[3.0]) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "geomean of no values")]
+    fn geomean_empty_panics() {
+        let _ = geomean(&[]);
+    }
+}

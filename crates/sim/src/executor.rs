@@ -1,0 +1,602 @@
+//! Bit-true execution of whole (small) networks on the systolic CVU array.
+//!
+//! The analytical engine ([`crate::engine`]) answers "how fast / how much
+//! energy"; this module answers "is the arithmetic actually right" for a
+//! complete multi-layer pipeline: every convolution, dense and recurrent
+//! layer is lowered to GEMMs on the [`crate::systolic::SystolicArray`]
+//! (im2col for convolutions), with fixed-point requantization and ReLU
+//! between layers — exactly the integer pipeline a deployed quantized model
+//! runs — and validated against `bpvec-dnn`'s reference operators.
+//!
+//! Execution is intended for scaled-down networks (the full Table I models
+//! would take hours bit-true); the integration tests run multi-layer CNN
+//! and recurrent pipelines through it.
+
+use bpvec_core::{BitWidth, CoreError, Signedness};
+use bpvec_dnn::layer::{Layer, LayerKind};
+use bpvec_dnn::reference;
+use bpvec_dnn::Tensor;
+
+use crate::systolic::SystolicArray;
+
+/// Deterministic synthetic quantized weights for a layer stack.
+///
+/// Values are derived from `seed` with a splitmix-style hash and fit each
+/// layer's declared signed weight range, so any two runs (and the reference
+/// pipeline) see identical parameters.
+#[derive(Debug, Clone)]
+pub struct WeightStore {
+    weights: Vec<Tensor>,
+}
+
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl WeightStore {
+    /// Synthesizes weights for every compute layer of `layers`.
+    #[must_use]
+    pub fn synthesize(layers: &[Layer], seed: u64) -> Self {
+        let mut weights = Vec::new();
+        for (li, layer) in layers.iter().enumerate() {
+            let (lo, hi) = layer.weight_bits.range(Signedness::Signed);
+            let span = (hi - lo + 1) as u64;
+            let shape: Vec<usize> = match layer.kind {
+                LayerKind::Conv2d {
+                    in_channels,
+                    out_channels,
+                    kernel,
+                    ..
+                } => vec![out_channels, in_channels, kernel.0, kernel.1],
+                LayerKind::FullyConnected {
+                    in_features,
+                    out_features,
+                } => vec![out_features, in_features],
+                LayerKind::Recurrent {
+                    input_size,
+                    hidden_size,
+                    gates,
+                    ..
+                } => vec![gates * hidden_size, input_size + hidden_size],
+                LayerKind::Pool { .. } => vec![0],
+            };
+            let mut i = 0u64;
+            let t = Tensor::from_fn(&shape, |_| {
+                let v = lo + (mix(seed ^ (li as u64) << 32 ^ i) % span) as i32;
+                i += 1;
+                v
+            });
+            weights.push(t);
+        }
+        WeightStore { weights }
+    }
+
+    /// The weights of layer `index`.
+    #[must_use]
+    pub fn layer(&self, index: usize) -> &Tensor {
+        &self.weights[index]
+    }
+}
+
+/// Per-layer record of a bit-true execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerTrace {
+    /// Layer name.
+    pub name: String,
+    /// Systolic-array cycles the layer's GEMMs took (0 for pooling).
+    pub cycles: u64,
+    /// Operand-level MACs performed.
+    pub macs: u64,
+    /// The requantization shift applied to the layer's accumulators.
+    pub requant_shift: u32,
+}
+
+/// Result of executing a layer stack bit-true.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecutionTrace {
+    /// The final activation tensor.
+    pub output: Tensor,
+    /// Per-layer records.
+    pub layers: Vec<LayerTrace>,
+}
+
+impl ExecutionTrace {
+    /// Total array cycles over all layers.
+    #[must_use]
+    pub fn total_cycles(&self) -> u64 {
+        self.layers.iter().map(|l| l.cycles).sum()
+    }
+}
+
+/// Executes layer stacks bit-true on a systolic array of CVUs.
+#[derive(Debug, Clone)]
+pub struct NetworkExecutor {
+    array: SystolicArray,
+}
+
+
+/// The bitwidth a layer's output must be requantized to: the next compute
+/// layer's declared activation width (pooling passes values through), or
+/// the layer's own width for the final layer.
+fn output_bits(layers: &[Layer], li: usize) -> BitWidth {
+    layers[li + 1..]
+        .iter()
+        .find(|l| l.is_compute())
+        .map_or(layers[li].act_bits, |l| l.act_bits)
+}
+
+/// Chooses the smallest right-shift that brings `t`'s extremes into the
+/// signed `bits` range — the per-tensor fixed-point calibration step.
+fn requant_shift_for(t: &Tensor, bits: BitWidth) -> u32 {
+    let (_, hi) = bits.range(Signedness::Signed);
+    let mut shift = 0u32;
+    let mut max = i64::from(t.max_abs());
+    while max > i64::from(hi) {
+        max >>= 1;
+        shift += 1;
+    }
+    shift
+}
+
+impl NetworkExecutor {
+    /// Creates an executor over `array`.
+    #[must_use]
+    pub fn new(array: SystolicArray) -> Self {
+        NetworkExecutor { array }
+    }
+
+    /// Executes `layers` on `input` with `weights`, bit-true.
+    ///
+    /// Convolutions/dense layers run as im2col GEMMs on the array, are
+    /// requantized to the layer's activation bitwidth (per-tensor calibrated
+    /// shift) and pass through ReLU (except after the final layer).
+    /// Recurrent layers run their gate GEMVs on the array per timestep.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CoreError`] from the array (operand range/composition).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input`'s shape does not match the first layer or the
+    /// layer stack is internally inconsistent (programming errors, not
+    /// runtime conditions).
+    pub fn execute(
+        &self,
+        layers: &[Layer],
+        input: &Tensor,
+        weights: &WeightStore,
+    ) -> Result<ExecutionTrace, CoreError> {
+        let mut act = input.clone();
+        let mut traces = Vec::new();
+        for (li, layer) in layers.iter().enumerate() {
+            let last = li == layers.len() - 1;
+            let out_bits = output_bits(layers, li);
+            let w = weights.layer(li);
+            let (out, cycles, shift) = match layer.kind {
+                LayerKind::Conv2d {
+                    in_channels,
+                    kernel,
+                    stride,
+                    padding,
+                    ..
+                } => {
+                    let (acc, cycles) =
+                        self.conv_on_array(layer, &act, w, in_channels, kernel, stride, padding)?;
+                    let shift = requant_shift_for(&acc, out_bits);
+                    let q = reference::requantize(&acc, shift, out_bits, Signedness::Signed);
+                    let q = if last { q } else { reference::relu(&q) };
+                    (q, cycles, shift)
+                }
+                LayerKind::FullyConnected { in_features, .. } => {
+                    let mut x = act.clone();
+                    x.reshape(&[in_features, 1]);
+                    let run = self.array.gemm(
+                        w,
+                        &x,
+                        layer.weight_bits,
+                        layer.act_bits,
+                        Signedness::Signed,
+                    )?;
+                    let mut acc = run.output;
+                    acc.reshape(&[w.shape()[0]]);
+                    let shift = requant_shift_for(&acc, out_bits);
+                    let q = reference::requantize(&acc, shift, out_bits, Signedness::Signed);
+                    let q = if last { q } else { reference::relu(&q) };
+                    (q, run.cycles, shift)
+                }
+                LayerKind::Pool { kernel, stride, .. } => {
+                    (reference::maxpool2d(&act, kernel, stride), 0, 0)
+                }
+                LayerKind::Recurrent {
+                    input_size,
+                    hidden_size,
+                    gates,
+                    seq_len,
+                } => self.recurrent_on_array(
+                    layer, &act, w, input_size, hidden_size, gates, seq_len,
+                )?,
+            };
+            traces.push(LayerTrace {
+                name: layer.name.clone(),
+                cycles,
+                macs: layer.macs(),
+                requant_shift: shift,
+            });
+            act = out;
+        }
+        Ok(ExecutionTrace {
+            output: act,
+            layers: traces,
+        })
+    }
+
+    /// Reference execution of the identical pipeline (same weights, same
+    /// requantization) without the accelerator — the ground truth
+    /// [`Self::execute`] must match bit-for-bit.
+    #[must_use]
+    pub fn execute_reference(
+        &self,
+        layers: &[Layer],
+        input: &Tensor,
+        weights: &WeightStore,
+    ) -> Tensor {
+        let mut act = input.clone();
+        for (li, layer) in layers.iter().enumerate() {
+            let last = li == layers.len() - 1;
+            let out_bits = output_bits(layers, li);
+            let w = weights.layer(li);
+            act = match layer.kind {
+                LayerKind::Conv2d {
+                    stride, padding, ..
+                } => {
+                    let acc = reference::conv2d(&act, w, stride, padding);
+                    let shift = requant_shift_for(&acc, out_bits);
+                    let q = reference::requantize(&acc, shift, out_bits, Signedness::Signed);
+                    if last {
+                        q
+                    } else {
+                        reference::relu(&q)
+                    }
+                }
+                LayerKind::FullyConnected { .. } => {
+                    let acc = reference::gemv(w, &act);
+                    let shift = requant_shift_for(&acc, out_bits);
+                    let q = reference::requantize(&acc, shift, out_bits, Signedness::Signed);
+                    if last {
+                        q
+                    } else {
+                        reference::relu(&q)
+                    }
+                }
+                LayerKind::Pool { kernel, stride, .. } => {
+                    reference::maxpool2d(&act, kernel, stride)
+                }
+                LayerKind::Recurrent {
+                    input_size,
+                    hidden_size,
+                    gates,
+                    seq_len,
+                } => reference_recurrent(layer, &act, w, input_size, hidden_size, gates, seq_len),
+            };
+        }
+        act
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn conv_on_array(
+        &self,
+        layer: &Layer,
+        act: &Tensor,
+        w: &Tensor,
+        in_channels: usize,
+        kernel: (usize, usize),
+        stride: (usize, usize),
+        padding: (usize, usize),
+    ) -> Result<(Tensor, u64), CoreError> {
+        let (kh, kw) = kernel;
+        let ish = act.shape();
+        assert_eq!(ish[0], in_channels, "activation channels");
+        let (h, wdt) = (ish[1], ish[2]);
+        let oh = (h + 2 * padding.0 - kh) / stride.0 + 1;
+        let ow = (wdt + 2 * padding.1 - kw) / stride.1 + 1;
+        // im2col with zero padding.
+        let cols = Tensor::from_fn(&[in_channels * kh * kw, oh * ow], |idx| {
+            let (row, col) = (idx[0], idx[1]);
+            let c = row / (kh * kw);
+            let ky = (row / kw) % kh;
+            let kx = row % kw;
+            let oy = col / ow;
+            let ox = col % ow;
+            let iy = (oy * stride.0 + ky) as isize - padding.0 as isize;
+            let ix = (ox * stride.1 + kx) as isize - padding.1 as isize;
+            if iy < 0 || ix < 0 || iy >= h as isize || ix >= wdt as isize {
+                0
+            } else {
+                act[&[c, iy as usize, ix as usize]]
+            }
+        });
+        let mut wmat = w.clone();
+        let oc = w.shape()[0];
+        wmat.reshape(&[oc, in_channels * kh * kw]);
+        let run = self.array.gemm(
+            &wmat,
+            &cols,
+            layer.weight_bits,
+            layer.act_bits,
+            Signedness::Signed,
+        )?;
+        let mut out = run.output;
+        out.reshape(&[oc, oh, ow]);
+        Ok((out, run.cycles))
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn recurrent_on_array(
+        &self,
+        layer: &Layer,
+        act: &Tensor,
+        w: &Tensor,
+        input_size: usize,
+        hidden_size: usize,
+        gates: usize,
+        seq_len: usize,
+    ) -> Result<(Tensor, u64, u32), CoreError> {
+        assert_eq!(act.shape(), &[seq_len, input_size], "recurrent input");
+        let shift = recurrent_shift(layer, input_size, hidden_size);
+        let mut h = Tensor::zeros(&[hidden_size]);
+        let mut c = Tensor::zeros(&[hidden_size]);
+        let mut outputs = Tensor::zeros(&[seq_len, hidden_size]);
+        let mut cycles = 0u64;
+        for t in 0..seq_len {
+            let mut xh = Vec::with_capacity(input_size + hidden_size);
+            xh.extend((0..input_size).map(|i| act[&[t, i]]));
+            xh.extend_from_slice(h.as_slice());
+            let xh = Tensor::from_data(&[input_size + hidden_size, 1], xh);
+            let run = self.array.gemm(
+                w,
+                &xh,
+                layer.weight_bits,
+                layer.act_bits,
+                Signedness::Signed,
+            )?;
+            cycles += run.cycles;
+            let mut pre = run.output;
+            pre.reshape(&[gates * hidden_size]);
+            h = if gates == 4 {
+                let (h2, c2) = reference::lstm_recombine(&pre, &c, shift, layer.act_bits);
+                c = c2;
+                h2
+            } else {
+                reference::requantize(&pre, shift, layer.act_bits, Signedness::Signed)
+            };
+            for (i, &v) in h.as_slice().iter().enumerate() {
+                outputs[&[t, i]] = v;
+            }
+        }
+        Ok((outputs, cycles, shift))
+    }
+}
+
+/// Fixed requantization shift for a recurrent layer, sized to the
+/// worst-case gate pre-activation magnitude (weights and state at full
+/// scale over the reduction length).
+fn recurrent_shift(layer: &Layer, input_size: usize, hidden_size: usize) -> u32 {
+    let (_, w_hi) = layer.weight_bits.range(Signedness::Signed);
+    let (_, a_hi) = layer.act_bits.range(Signedness::Signed);
+    let worst = (input_size + hidden_size) as i64 * i64::from(w_hi + 1) * i64::from(a_hi + 1);
+    let mut shift = 0u32;
+    let mut m = worst;
+    while m > i64::from(a_hi) {
+        m >>= 1;
+        shift += 1;
+    }
+    // Keep some signal: the worst case is pessimistic by the averaging of
+    // random signs, so back off a few bits.
+    shift.saturating_sub(3)
+}
+
+fn reference_recurrent(
+    layer: &Layer,
+    act: &Tensor,
+    w: &Tensor,
+    input_size: usize,
+    hidden_size: usize,
+    gates: usize,
+    seq_len: usize,
+) -> Tensor {
+    let shift = recurrent_shift(layer, input_size, hidden_size);
+    let mut h = Tensor::zeros(&[hidden_size]);
+    let mut c = Tensor::zeros(&[hidden_size]);
+    let mut outputs = Tensor::zeros(&[seq_len, hidden_size]);
+    for t in 0..seq_len {
+        let x = Tensor::from_data(
+            &[input_size],
+            (0..input_size).map(|i| act[&[t, i]]).collect(),
+        );
+        if gates == 4 {
+            let (h2, c2) = reference::lstm_step(w, &x, &h, &c, shift, layer.act_bits);
+            h = h2;
+            c = c2;
+        } else {
+            let mut xh = Vec::with_capacity(input_size + hidden_size);
+            xh.extend_from_slice(x.as_slice());
+            xh.extend_from_slice(h.as_slice());
+            let xh = Tensor::from_data(&[input_size + hidden_size], xh);
+            let pre = reference::gemv(w, &xh);
+            h = reference::requantize(&pre, shift, layer.act_bits, Signedness::Signed);
+        }
+        for (i, &v) in h.as_slice().iter().enumerate() {
+            outputs[&[t, i]] = v;
+        }
+    }
+    outputs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::systolic::ArrayConfig;
+    use bpvec_dnn::layer::{Layer, LayerKind};
+
+    fn executor() -> NetworkExecutor {
+        NetworkExecutor::new(SystolicArray::new(ArrayConfig {
+            rows: 4,
+            cols: 4,
+            cvu: bpvec_core::CvuConfig::paper_default(),
+        }))
+    }
+
+    fn conv(name: &str, ic: usize, oc: usize, k: usize, s: usize, p: usize, hw: usize) -> Layer {
+        Layer::new(
+            name,
+            LayerKind::Conv2d {
+                in_channels: ic,
+                out_channels: oc,
+                kernel: (k, k),
+                stride: (s, s),
+                padding: (p, p),
+                input_hw: (hw, hw),
+            },
+        )
+    }
+
+    fn input(c: usize, hw: usize, seed: u64) -> Tensor {
+        Tensor::from_fn(&[c, hw, hw], |idx| {
+            (mix(seed ^ (idx[0] * 10_000 + idx[1] * 100 + idx[2]) as u64) % 200) as i32 - 100
+        })
+    }
+
+    #[test]
+    fn single_conv_layer_matches_reference() {
+        let layers = vec![conv("c1", 3, 8, 3, 1, 1, 8)];
+        let ws = WeightStore::synthesize(&layers, 11);
+        let x = input(3, 8, 1);
+        let ex = executor();
+        let trace = ex.execute(&layers, &x, &ws).unwrap();
+        assert_eq!(trace.output, ex.execute_reference(&layers, &x, &ws));
+        assert!(trace.total_cycles() > 0);
+    }
+
+    #[test]
+    fn cnn_pipeline_conv_pool_conv_fc_matches_reference() {
+        let layers = vec![
+            conv("c1", 3, 8, 3, 1, 1, 8),
+            Layer::new(
+                "p1",
+                LayerKind::Pool {
+                    channels: 8,
+                    kernel: (2, 2),
+                    stride: (2, 2),
+                    input_hw: (8, 8),
+                },
+            ),
+            conv("c2", 8, 6, 3, 1, 0, 4),
+            Layer::new(
+                "fc",
+                LayerKind::FullyConnected {
+                    in_features: 6 * 2 * 2,
+                    out_features: 10,
+                },
+            ),
+        ];
+        let ws = WeightStore::synthesize(&layers, 22);
+        let mut x = input(3, 8, 2);
+        let ex = executor();
+        let trace = ex.execute(&layers, &x, &ws).unwrap();
+        let expect = ex.execute_reference(&layers, &x, &ws);
+        assert_eq!(trace.output, expect);
+        assert_eq!(trace.layers.len(), 4);
+        assert_eq!(trace.layers[1].cycles, 0, "pooling uses no array cycles");
+        // The fc layer consumed a flattened view; make sure shapes ended 1-D.
+        x.reshape(&[3 * 8 * 8]);
+        assert_eq!(trace.output.shape(), &[10]);
+    }
+
+    #[test]
+    fn heterogeneous_bitwidths_execute_and_match() {
+        use bpvec_core::BitWidth;
+        let layers = vec![
+            conv("c1", 3, 8, 3, 1, 1, 8), // 8-bit boundary layer
+            conv("c2", 8, 8, 3, 1, 1, 8).with_bits(BitWidth::INT4, BitWidth::INT4),
+            conv("c3", 8, 4, 1, 1, 0, 8).with_bits(BitWidth::INT4, BitWidth::INT4),
+        ];
+        let ws = WeightStore::synthesize(&layers, 33);
+        let x = input(3, 8, 3);
+        let ex = executor();
+        let trace = ex.execute(&layers, &x, &ws).unwrap();
+        assert_eq!(trace.output, ex.execute_reference(&layers, &x, &ws));
+    }
+
+    #[test]
+    fn vanilla_rnn_sequence_matches_reference() {
+        let layers = vec![Layer::new(
+            "rnn",
+            LayerKind::Recurrent {
+                input_size: 12,
+                hidden_size: 12,
+                gates: 1,
+                seq_len: 6,
+            },
+        )];
+        let ws = WeightStore::synthesize(&layers, 44);
+        let x = Tensor::from_fn(&[6, 12], |idx| {
+            (mix(900 ^ (idx[0] * 64 + idx[1]) as u64) % 255) as i32 - 127
+        });
+        let ex = executor();
+        let trace = ex.execute(&layers, &x, &ws).unwrap();
+        assert_eq!(trace.output, ex.execute_reference(&layers, &x, &ws));
+        assert_eq!(trace.output.shape(), &[6, 12]);
+    }
+
+    #[test]
+    fn lstm_sequence_matches_reference() {
+        let layers = vec![Layer::new(
+            "lstm",
+            LayerKind::Recurrent {
+                input_size: 10,
+                hidden_size: 10,
+                gates: 4,
+                seq_len: 5,
+            },
+        )
+        .with_bits(bpvec_core::BitWidth::INT4, bpvec_core::BitWidth::INT4)];
+        let ws = WeightStore::synthesize(&layers, 55);
+        let x = Tensor::from_fn(&[5, 10], |idx| {
+            (mix(901 ^ (idx[0] * 32 + idx[1]) as u64) % 15) as i32 - 7
+        });
+        let ex = executor();
+        let trace = ex.execute(&layers, &x, &ws).unwrap();
+        assert_eq!(trace.output, ex.execute_reference(&layers, &x, &ws));
+    }
+
+    #[test]
+    fn weight_store_is_deterministic_and_in_range() {
+        let layers = vec![conv("c", 4, 4, 3, 1, 1, 4).with_bits(
+            bpvec_core::BitWidth::INT4,
+            bpvec_core::BitWidth::INT2,
+        )];
+        let a = WeightStore::synthesize(&layers, 7);
+        let b = WeightStore::synthesize(&layers, 7);
+        assert_eq!(a.layer(0), b.layer(0));
+        for &v in a.layer(0).as_slice() {
+            assert!((-2..=1).contains(&v), "2-bit weight {v}");
+        }
+        let c = WeightStore::synthesize(&layers, 8);
+        assert_ne!(a.layer(0), c.layer(0), "different seed, different weights");
+    }
+
+    #[test]
+    fn strided_padded_convolutions_match_reference() {
+        let layers = vec![conv("c", 3, 5, 5, 2, 2, 9)];
+        let ws = WeightStore::synthesize(&layers, 66);
+        let x = input(3, 9, 4);
+        let ex = executor();
+        let trace = ex.execute(&layers, &x, &ws).unwrap();
+        assert_eq!(trace.output, ex.execute_reference(&layers, &x, &ws));
+        assert_eq!(trace.output.shape(), &[5, 5, 5]);
+    }
+}

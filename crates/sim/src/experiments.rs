@@ -1,0 +1,372 @@
+//! The paper's accelerator-vs-accelerator experiments (Figures 5–8).
+//!
+//! Each function reproduces one figure: it simulates every Table I network
+//! on the relevant platform pair and returns per-network speedup and energy
+//! reduction relative to the figure's normalization baseline, plus the
+//! geometric mean — exactly the series the paper plots. The paper's
+//! reported values ship alongside in [`paper`] for EXPERIMENTS.md.
+
+use bpvec_dnn::{BitwidthPolicy, Network, NetworkId};
+use serde::{Deserialize, Serialize};
+
+use crate::accel::AcceleratorConfig;
+use crate::engine::{geomean, simulate, SimConfig};
+use crate::memory::DramSpec;
+
+/// One bar pair of a comparison figure.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ComparisonRow {
+    /// The workload.
+    pub network: NetworkId,
+    /// Latency ratio `baseline / evaluated` (higher is better).
+    pub speedup: f64,
+    /// Energy ratio `baseline / evaluated` (higher is better).
+    pub energy_reduction: f64,
+}
+
+/// A complete figure: per-network rows plus geometric means.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Comparison {
+    /// What is being evaluated (e.g. "BPVeC + DDR4").
+    pub evaluated: String,
+    /// What it is normalized to (e.g. "TPU-like + DDR4").
+    pub baseline: String,
+    /// Per-network results in Table I order.
+    pub rows: Vec<ComparisonRow>,
+    /// Geometric-mean speedup.
+    pub geomean_speedup: f64,
+    /// Geometric-mean energy reduction.
+    pub geomean_energy: f64,
+}
+
+impl Comparison {
+    /// Looks up one network's row.
+    #[must_use]
+    pub fn row(&self, id: NetworkId) -> Option<&ComparisonRow> {
+        self.rows.iter().find(|r| r.network == id)
+    }
+
+    /// Renders the comparison as CSV (`network,speedup,energy_reduction`
+    /// plus a GEOMEAN row) for downstream plotting.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("network,speedup,energy_reduction\n");
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{},{:.4},{:.4}\n",
+                r.network.name(),
+                r.speedup,
+                r.energy_reduction
+            ));
+        }
+        out.push_str(&format!(
+            "GEOMEAN,{:.4},{:.4}\n",
+            self.geomean_speedup, self.geomean_energy
+        ));
+        out
+    }
+}
+
+fn compare(
+    policy: BitwidthPolicy,
+    baseline: (AcceleratorConfig, DramSpec),
+    evaluated: (AcceleratorConfig, DramSpec),
+) -> Comparison {
+    let mut rows = Vec::new();
+    for id in NetworkId::ALL {
+        let net = Network::build(id, policy);
+        let base = simulate(&net, &SimConfig::new(baseline.0, baseline.1));
+        let eval = simulate(&net, &SimConfig::new(evaluated.0, evaluated.1));
+        rows.push(ComparisonRow {
+            network: id,
+            speedup: base.latency_s / eval.latency_s,
+            energy_reduction: base.energy_j / eval.energy_j,
+        });
+    }
+    let geomean_speedup = geomean(&rows.iter().map(|r| r.speedup).collect::<Vec<_>>());
+    let geomean_energy = geomean(&rows.iter().map(|r| r.energy_reduction).collect::<Vec<_>>());
+    Comparison {
+        evaluated: format!("{} + {}", evaluated.0.design, evaluated.1.name),
+        baseline: format!("{} + {}", baseline.0.design, baseline.1.name),
+        rows,
+        geomean_speedup,
+        geomean_energy,
+    }
+}
+
+/// Figure 5: BPVeC vs the TPU-like baseline, both on DDR4, homogeneous
+/// 8-bit. Paper geomeans: 1.39× speedup, 1.43× energy.
+#[must_use]
+pub fn figure5() -> Comparison {
+    compare(
+        BitwidthPolicy::Homogeneous8,
+        (AcceleratorConfig::tpu_like(), DramSpec::ddr4()),
+        (AcceleratorConfig::bpvec(), DramSpec::ddr4()),
+    )
+}
+
+/// Figure 6, "baseline" series: the TPU-like design with HBM2, normalized
+/// to itself with DDR4. Paper geomeans: ≈1.06× speedup, 1.34× energy.
+#[must_use]
+pub fn figure6_baseline() -> Comparison {
+    compare(
+        BitwidthPolicy::Homogeneous8,
+        (AcceleratorConfig::tpu_like(), DramSpec::ddr4()),
+        (AcceleratorConfig::tpu_like(), DramSpec::hbm2()),
+    )
+}
+
+/// Figure 6, BPVeC series: BPVeC with HBM2 normalized to the TPU-like
+/// baseline with DDR4. Paper geomeans: 2.11× speedup, 2.28× energy.
+#[must_use]
+pub fn figure6_bpvec() -> Comparison {
+    compare(
+        BitwidthPolicy::Homogeneous8,
+        (AcceleratorConfig::tpu_like(), DramSpec::ddr4()),
+        (AcceleratorConfig::bpvec(), DramSpec::hbm2()),
+    )
+}
+
+/// Figure 7: BPVeC vs BitFusion, both on DDR4, heterogeneous bitwidths.
+/// Paper geomeans: 1.45× speedup, 1.13× energy.
+#[must_use]
+pub fn figure7() -> Comparison {
+    compare(
+        BitwidthPolicy::Heterogeneous,
+        (AcceleratorConfig::bitfusion(), DramSpec::ddr4()),
+        (AcceleratorConfig::bpvec(), DramSpec::ddr4()),
+    )
+}
+
+/// Figure 8, BitFusion series: BitFusion with HBM2 normalized to BitFusion
+/// with DDR4. Paper geomeans: 1.45× speedup, 2.26× energy.
+#[must_use]
+pub fn figure8_bitfusion() -> Comparison {
+    compare(
+        BitwidthPolicy::Heterogeneous,
+        (AcceleratorConfig::bitfusion(), DramSpec::ddr4()),
+        (AcceleratorConfig::bitfusion(), DramSpec::hbm2()),
+    )
+}
+
+/// Figure 8, BPVeC series: BPVeC with HBM2 normalized to BitFusion with
+/// DDR4. Paper geomeans: 3.48× speedup, 2.66× energy.
+#[must_use]
+pub fn figure8_bpvec() -> Comparison {
+    compare(
+        BitwidthPolicy::Heterogeneous,
+        (AcceleratorConfig::bitfusion(), DramSpec::ddr4()),
+        (AcceleratorConfig::bpvec(), DramSpec::hbm2()),
+    )
+}
+
+
+/// Sweeps off-chip bandwidth and reports BPVeC's speedup over the TPU-like
+/// baseline at each point — locating the bandwidth where each workload's
+/// bottleneck crosses from memory to compute (the mechanism behind the
+/// DDR4-vs-HBM2 split of Figures 5/6).
+///
+/// Returns `(bandwidth GB/s, speedup)` pairs; DRAM access energy is held at
+/// the DDR4 figure so only bandwidth varies.
+#[must_use]
+pub fn bandwidth_sweep(id: NetworkId, policy: BitwidthPolicy) -> Vec<(f64, f64)> {
+    let net = Network::build(id, policy);
+    [4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0]
+        .iter()
+        .map(|&gbps| {
+            let dram = DramSpec {
+                name: "sweep",
+                bandwidth_gb_s: gbps,
+                energy_pj_per_bit: 15.0,
+            };
+            let base = simulate(&net, &SimConfig::new(AcceleratorConfig::tpu_like(), dram));
+            let bp = simulate(&net, &SimConfig::new(AcceleratorConfig::bpvec(), dram));
+            (gbps, base.latency_s / bp.latency_s)
+        })
+        .collect()
+}
+
+/// The paper's reported per-figure series (Table I network order), used by
+/// the bench harness to print paper-vs-measured tables.
+pub mod paper {
+    /// Figure 5: BPVeC speedup over the DDR4 baseline.
+    pub const FIG5_SPEEDUP: [f64; 6] = [1.5, 1.8, 1.7, 1.6, 1.0, 1.0];
+    /// Figure 5: BPVeC energy reduction.
+    pub const FIG5_ENERGY: [f64; 6] = [1.5, 1.7, 1.7, 1.6, 1.1, 1.1];
+    /// Figure 5 geomeans (speedup, energy).
+    pub const FIG5_GEOMEAN: (f64, f64) = (1.39, 1.43);
+    /// Figure 6: BPVeC + HBM2 speedup over baseline + DDR4.
+    pub const FIG6_BPVEC_SPEEDUP: [f64; 6] = [1.8, 2.0, 2.1, 2.1, 2.3, 2.4];
+    /// Figure 6 geomeans for the BPVeC series (speedup, energy).
+    pub const FIG6_BPVEC_GEOMEAN: (f64, f64) = (2.11, 2.28);
+    /// Figure 6 geomeans for the baseline-with-HBM2 series.
+    pub const FIG6_BASELINE_GEOMEAN: (f64, f64) = (1.06, 1.34);
+    /// Figure 7: BPVeC speedup over BitFusion (DDR4, heterogeneous).
+    pub const FIG7_SPEEDUP: [f64; 6] = [1.96, 1.62, 1.77, 1.32, 1.13, 1.11];
+    /// Figure 7: energy reduction.
+    pub const FIG7_ENERGY: [f64; 6] = [1.2, 1.1, 1.1, 1.1, 1.2, 1.1];
+    /// Figure 7 geomeans.
+    pub const FIG7_GEOMEAN: (f64, f64) = (1.45, 1.13);
+    /// Figure 8: BPVeC + HBM2 speedup over BitFusion + DDR4.
+    pub const FIG8_BPVEC_SPEEDUP: [f64; 6] = [3.0, 2.9, 2.9, 3.5, 4.5, 4.5];
+    /// Figure 8 geomeans for the BPVeC series.
+    pub const FIG8_BPVEC_GEOMEAN: (f64, f64) = (3.48, 2.66);
+    /// Figure 8 geomeans for the BitFusion-with-HBM2 series.
+    pub const FIG8_BITFUSION_GEOMEAN: (f64, f64) = (1.45, 2.26);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig5_shape_matches_paper() {
+        let f = figure5();
+        // Headline: ~40% speedup and energy reduction overall.
+        assert!(
+            (1.15..=1.85).contains(&f.geomean_speedup),
+            "geomean speedup {} (paper 1.39)",
+            f.geomean_speedup
+        );
+        assert!(
+            (1.05..=1.95).contains(&f.geomean_energy),
+            "geomean energy {} (paper 1.43)",
+            f.geomean_energy
+        );
+        // CNNs benefit; bandwidth-starved recurrent models do not.
+        for id in [NetworkId::AlexNet, NetworkId::InceptionV1, NetworkId::ResNet18] {
+            assert!(f.row(id).unwrap().speedup > 1.25, "{id}");
+        }
+        for id in [NetworkId::Rnn, NetworkId::Lstm] {
+            let s = f.row(id).unwrap().speedup;
+            assert!(s < 1.2, "{id} speedup {s} should be ~1.0");
+        }
+    }
+
+    #[test]
+    fn fig6_shape_matches_paper() {
+        let base = figure6_baseline();
+        let bp = figure6_bpvec();
+        // The baseline barely benefits from HBM2...
+        assert!(
+            base.geomean_speedup < 1.5,
+            "baseline HBM2 speedup {} (paper 1.06)",
+            base.geomean_speedup
+        );
+        // ...while BPVeC converts the bandwidth into ~2x.
+        assert!(
+            (1.75..=2.75).contains(&bp.geomean_speedup),
+            "BPVeC HBM2 speedup {} (paper 2.11)",
+            bp.geomean_speedup
+        );
+        // Our DRAM-energy accounting is more pessimistic on DDR4 than the
+        // paper's (see EXPERIMENTS.md), so the HBM2 energy win overshoots.
+        assert!(
+            (1.8..=5.5).contains(&bp.geomean_energy),
+            "BPVeC HBM2 energy {} (paper 2.28)",
+            bp.geomean_energy
+        );
+        // RNN/LSTM see the largest gains (bandwidth-hungry).
+        let rnn = bp.row(NetworkId::Rnn).unwrap().speedup;
+        let cnn_min = [NetworkId::AlexNet, NetworkId::ResNet18]
+            .iter()
+            .map(|&id| bp.row(id).unwrap().speedup)
+            .fold(f64::INFINITY, f64::min);
+        assert!(rnn >= cnn_min * 0.95, "rnn {rnn} vs cnn min {cnn_min}");
+    }
+
+    #[test]
+    fn fig7_shape_matches_paper() {
+        let f = figure7();
+        assert!(
+            (1.2..=1.9).contains(&f.geomean_speedup),
+            "geomean speedup {} (paper 1.45)",
+            f.geomean_speedup
+        );
+        assert!(
+            (1.0..=1.45).contains(&f.geomean_energy),
+            "geomean energy {} (paper 1.13)",
+            f.geomean_energy
+        );
+        // CNNs gain more than the bandwidth-bound recurrent models.
+        let cnn = f.row(NetworkId::AlexNet).unwrap().speedup;
+        let rnn = f.row(NetworkId::Rnn).unwrap().speedup;
+        assert!(cnn > rnn, "cnn {cnn} vs rnn {rnn}");
+        assert!(rnn < 1.35, "rnn {rnn} should be near 1.1");
+    }
+
+    #[test]
+    fn fig8_shape_matches_paper() {
+        let bf = figure8_bitfusion();
+        let bp = figure8_bpvec();
+        assert!(
+            (2.4..=4.6).contains(&bp.geomean_speedup),
+            "BPVeC geomean speedup {} (paper 3.48)",
+            bp.geomean_speedup
+        );
+        assert!(
+            bp.geomean_speedup > bf.geomean_speedup * 1.5,
+            "BPVeC {} must clearly beat BitFusion-with-HBM2 {}",
+            bp.geomean_speedup,
+            bf.geomean_speedup
+        );
+        // Recurrent models see the highest BPVeC speedups (paper: 4.5x).
+        let rnn = bp.row(NetworkId::Rnn).unwrap().speedup;
+        let alex = bp.row(NetworkId::AlexNet).unwrap().speedup;
+        assert!(rnn > alex, "rnn {rnn} should exceed alexnet {alex}");
+    }
+
+
+    #[test]
+    fn bandwidth_sweep_is_monotone_and_saturates_at_2x() {
+        // More bandwidth can only help BPVeC relative to the baseline, and
+        // the advantage saturates at the 2x compute ratio (1024 vs 512).
+        for id in [NetworkId::ResNet18, NetworkId::Rnn] {
+            let sweep = bandwidth_sweep(id, BitwidthPolicy::Homogeneous8);
+            for w in sweep.windows(2) {
+                assert!(w[1].1 >= w[0].1 - 1e-9, "{id}: {:?}", sweep);
+            }
+            let last = sweep.last().unwrap().1;
+            assert!(last <= 2.0 + 1e-9, "{id} saturation {last}");
+            assert!(last > 1.9, "{id} should reach the compute ratio: {last}");
+        }
+    }
+
+    #[test]
+    fn recurrent_crossover_sits_at_higher_bandwidth_than_cnns() {
+        // The bandwidth at which the workload first reaches >= 1.5x speedup:
+        // CNNs cross early, the weight-streaming recurrent models late.
+        let crossover = |id: NetworkId| -> f64 {
+            bandwidth_sweep(id, BitwidthPolicy::Homogeneous8)
+                .iter()
+                .find(|(_, s)| *s >= 1.5)
+                .map_or(f64::INFINITY, |(b, _)| *b)
+        };
+        let cnn = crossover(NetworkId::ResNet18);
+        let rnn = crossover(NetworkId::Rnn);
+        assert!(
+            rnn >= 4.0 * cnn,
+            "rnn crossover {rnn} GB/s should be far above cnn {cnn} GB/s"
+        );
+    }
+
+
+    #[test]
+    fn csv_rendering_has_header_six_rows_and_geomean() {
+        let csv = figure5().to_csv();
+        let lines: Vec<&str> = csv.trim().lines().collect();
+        assert_eq!(lines.len(), 8);
+        assert_eq!(lines[0], "network,speedup,energy_reduction");
+        assert!(lines[7].starts_with("GEOMEAN,"));
+        assert!(csv.contains("AlexNet,"));
+    }
+
+    #[test]
+    fn comparisons_carry_labels_and_six_rows() {
+        let f = figure5();
+        assert_eq!(f.rows.len(), 6);
+        assert!(f.evaluated.contains("BPVeC"));
+        assert!(f.baseline.contains("TPU-like"));
+        assert!(f.row(NetworkId::Lstm).is_some());
+    }
+}

@@ -1,0 +1,45 @@
+//! # `bpvec-sim` — the BPVeC accelerator simulator and its ASIC baselines
+//!
+//! The paper's end-to-end evaluation (§IV, Figures 5–8) runs on a modified
+//! version of the BitFusion simulation infrastructure: an analytical
+//! performance/energy model of systolic accelerators driven by layer shapes,
+//! with CACTI-modeled scratchpads and DDR4/HBM2 off-chip memories. This
+//! crate re-implements that methodology:
+//!
+//! * [`memory`] — off-chip memory specs (DDR4: 16 GB/s @ 15 pJ/bit;
+//!   HBM2: 256 GB/s @ 1.2 pJ/bit) and the 112 KB on-chip scratchpad;
+//! * [`accel`] — the three ASIC platforms of Table II under the same 250 mW
+//!   core budget: TPU-like (512 conventional MACs), BitFusion (448 fusion
+//!   units), BPVeC (1024 CVU lanes = 64 CVUs × L 16);
+//! * [`tiling`] — a loop-tiling optimizer that picks, per layer, the tile
+//!   shape minimizing DRAM traffic under the scratchpad capacity;
+//! * [`engine`] — per-layer compute/memory time (double-buffered overlap),
+//!   energy (core + DRAM), and network-level aggregation;
+//! * [`systolic`] — a bit-true, cycle-counted functional systolic array of
+//!   CVUs used to validate the analytical model's arithmetic and cycle
+//!   accounting against `bpvec-core` and `bpvec-dnn::reference`;
+//! * [`executor`] — bit-true execution of whole (small) layer stacks on the
+//!   systolic array: im2col convolutions, dense and recurrent layers with
+//!   requantization, checked end-to-end against the reference pipeline;
+//! * [`roofline`](mod@crate::roofline) — roofline analysis (arithmetic intensity vs ridge
+//!   points), the two-number explanation of every Figure 5–8 result;
+//! * [`experiments`] — the exact Figure 5–8 experiment definitions with the
+//!   paper's reported series for comparison.
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod accel;
+pub mod executor;
+pub mod engine;
+pub mod experiments;
+pub mod memory;
+pub mod roofline;
+pub mod systolic;
+pub mod tiling;
+
+pub use accel::{AcceleratorConfig, Design};
+pub use engine::{simulate, Boundedness, LayerResult, NetworkResult, SimConfig};
+pub use executor::{ExecutionTrace, NetworkExecutor, WeightStore};
+pub use memory::{DramSpec, ScratchpadSpec};
+pub use roofline::{roofline, RooflinePoint};

@@ -1,0 +1,128 @@
+//! Off-chip and on-chip memory models (paper §IV-A).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An off-chip memory system: sustained bandwidth plus access energy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct DramSpec {
+    /// Display name ("DDR4" / "HBM2").
+    pub name: &'static str,
+    /// Sustained bandwidth in GB/s.
+    pub bandwidth_gb_s: f64,
+    /// Access energy in pJ per bit.
+    pub energy_pj_per_bit: f64,
+}
+
+impl DramSpec {
+    /// The paper's moderate-bandwidth system: DDR4, 16 GB/s, 15 pJ/bit.
+    #[must_use]
+    pub fn ddr4() -> Self {
+        DramSpec {
+            name: "DDR4",
+            bandwidth_gb_s: 16.0,
+            energy_pj_per_bit: 15.0,
+        }
+    }
+
+    /// The paper's high-bandwidth system: HBM2, 256 GB/s, 1.2 pJ/bit.
+    #[must_use]
+    pub fn hbm2() -> Self {
+        DramSpec {
+            name: "HBM2",
+            bandwidth_gb_s: 256.0,
+            energy_pj_per_bit: 1.2,
+        }
+    }
+
+    /// Transfer time for `bytes` at the sustained bandwidth, seconds.
+    #[must_use]
+    pub fn transfer_time_s(&self, bytes: u64) -> f64 {
+        bytes as f64 / (self.bandwidth_gb_s * 1e9)
+    }
+
+    /// Access energy for `bytes`, joules.
+    #[must_use]
+    pub fn access_energy_j(&self, bytes: u64) -> f64 {
+        bytes as f64 * 8.0 * self.energy_pj_per_bit * 1e-12
+    }
+}
+
+impl fmt::Display for DramSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} GB/s, {} pJ/bit)",
+            self.name, self.bandwidth_gb_s, self.energy_pj_per_bit
+        )
+    }
+}
+
+/// The on-chip scratchpad shared by all three ASIC designs (Table II:
+/// 112 KB). Access energy is folded into the 250 mW core budget, matching
+/// the paper's accounting; the capacity gates the tiling optimizer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScratchpadSpec {
+    /// Usable capacity in bytes.
+    pub capacity_bytes: u64,
+}
+
+impl ScratchpadSpec {
+    /// Table II's 112 KB scratchpad.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        ScratchpadSpec {
+            capacity_bytes: 112 * 1024,
+        }
+    }
+
+    /// Half the capacity — the per-buffer share under double buffering
+    /// (one half holds the working tiles, the other prefetches).
+    #[must_use]
+    pub fn working_bytes(&self) -> u64 {
+        self.capacity_bytes / 2
+    }
+}
+
+impl Default for ScratchpadSpec {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_specs_match_section_4a() {
+        let d = DramSpec::ddr4();
+        assert_eq!(d.bandwidth_gb_s, 16.0);
+        assert_eq!(d.energy_pj_per_bit, 15.0);
+        let h = DramSpec::hbm2();
+        assert_eq!(h.bandwidth_gb_s, 256.0);
+        assert_eq!(h.energy_pj_per_bit, 1.2);
+    }
+
+    #[test]
+    fn hbm2_is_16x_faster_and_12x_cheaper_per_bit() {
+        let (d, h) = (DramSpec::ddr4(), DramSpec::hbm2());
+        assert_eq!(h.bandwidth_gb_s / d.bandwidth_gb_s, 16.0);
+        assert!((d.energy_pj_per_bit / h.energy_pj_per_bit - 12.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transfer_time_and_energy_scale_linearly() {
+        let d = DramSpec::ddr4();
+        assert!((d.transfer_time_s(16_000_000_000) - 1.0).abs() < 1e-12);
+        // 1 byte = 8 bits x 15 pJ = 120 pJ.
+        assert!((d.access_energy_j(1) - 120e-12).abs() < 1e-20);
+    }
+
+    #[test]
+    fn scratchpad_is_112kb_with_half_for_working_set() {
+        let s = ScratchpadSpec::paper_default();
+        assert_eq!(s.capacity_bytes, 114_688);
+        assert_eq!(s.working_bytes(), 57_344);
+    }
+}

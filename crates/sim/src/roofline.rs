@@ -1,0 +1,191 @@
+//! Roofline analysis of the evaluated platforms and workloads.
+//!
+//! The classic roofline model explains every performance result in
+//! Figures 5–8 in two numbers per (workload, platform, memory) triple:
+//!
+//! * **arithmetic intensity** — MACs per DRAM byte, fixed by the layer
+//!   shapes, the tiling, and the bitwidths;
+//! * **ridge point** — the intensity where a platform's peak compute equals
+//!   its memory bandwidth; workloads left of the ridge are memory-bound.
+//!
+//! BPVeC's 2× unit count moves its ridge point right, which is exactly why
+//! it needs HBM2 (Fig. 6) or quantization-reduced traffic (Fig. 7) to
+//! convert its compute into speedup.
+
+use bpvec_core::BitWidth;
+use bpvec_dnn::Network;
+use serde::Serialize;
+
+use crate::accel::AcceleratorConfig;
+use crate::memory::DramSpec;
+use crate::tiling;
+
+/// Roofline coordinates for one workload on one platform/memory pair.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct RooflinePoint {
+    /// MACs per DRAM byte over the whole network (tiled traffic).
+    pub intensity_macs_per_byte: f64,
+    /// The platform's ridge point at the workload's dominant bitwidths,
+    /// MACs per byte.
+    pub ridge_macs_per_byte: f64,
+    /// Attainable throughput under the roofline, GMAC/s.
+    pub attainable_gmacs: f64,
+    /// Peak compute throughput, GMAC/s.
+    pub peak_gmacs: f64,
+}
+
+impl RooflinePoint {
+    /// True when the workload sits left of the ridge (memory-bound).
+    #[must_use]
+    pub fn memory_bound(&self) -> bool {
+        self.intensity_macs_per_byte < self.ridge_macs_per_byte
+    }
+
+    /// Fraction of peak the roofline permits, `0.0..=1.0`.
+    #[must_use]
+    pub fn efficiency(&self) -> f64 {
+        self.attainable_gmacs / self.peak_gmacs
+    }
+}
+
+/// Computes the roofline position of `network` on a platform/memory pair at
+/// batch `b`.
+///
+/// The network's MAC-weighted dominant bitwidths select the compute roof
+/// (bit-composable designs raise their peak on quantized layers).
+#[must_use]
+pub fn roofline(
+    network: &Network,
+    accel: &AcceleratorConfig,
+    dram: &DramSpec,
+    b: u64,
+) -> RooflinePoint {
+    let working = accel.scratchpad.working_bytes();
+    let mut macs = 0u64;
+    let mut traffic = 0u64;
+    let mut peak_weighted = 0.0f64;
+    for layer in &network.layers {
+        let layer_macs = layer.macs() * b;
+        macs += layer_macs;
+        traffic += tiling::layer_traffic(layer, working, b);
+        peak_weighted +=
+            layer_macs as f64 * accel.macs_per_second(layer.act_bits, layer.weight_bits);
+    }
+    // MAC-weighted harmonic peak would be exact; the weighted arithmetic
+    // mean is within a few percent for two-level bitwidth mixes and keeps
+    // the roof interpretable.
+    let peak = if macs == 0 {
+        accel.macs_per_second(BitWidth::INT8, BitWidth::INT8)
+    } else {
+        peak_weighted / macs as f64
+    };
+    let bw_bytes = dram.bandwidth_gb_s * 1e9;
+    let intensity = macs as f64 / traffic as f64;
+    let ridge = peak / bw_bytes;
+    let attainable = peak.min(intensity * bw_bytes);
+    RooflinePoint {
+        intensity_macs_per_byte: intensity,
+        ridge_macs_per_byte: ridge,
+        attainable_gmacs: attainable / 1e9,
+        peak_gmacs: peak / 1e9,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bpvec_dnn::{BitwidthPolicy, NetworkId};
+
+    fn net(id: NetworkId) -> Network {
+        Network::build(id, BitwidthPolicy::Homogeneous8)
+    }
+
+    #[test]
+    fn ridge_points_match_the_table2_platforms() {
+        // TPU-like on DDR4: 256 GMAC/s over 16 GB/s = 16 MACs/byte.
+        let r = roofline(
+            &net(NetworkId::ResNet50),
+            &AcceleratorConfig::tpu_like(),
+            &DramSpec::ddr4(),
+            16,
+        );
+        assert!((r.ridge_macs_per_byte - 16.0).abs() < 1e-9);
+        // BPVeC doubles compute: ridge at 32 MACs/byte.
+        let r = roofline(
+            &net(NetworkId::ResNet50),
+            &AcceleratorConfig::bpvec(),
+            &DramSpec::ddr4(),
+            16,
+        );
+        assert!((r.ridge_macs_per_byte - 32.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn recurrent_models_sit_far_left_of_every_ridge() {
+        for id in [NetworkId::Rnn, NetworkId::Lstm] {
+            let r = roofline(
+                &net(id),
+                &AcceleratorConfig::bpvec(),
+                &DramSpec::ddr4(),
+                12,
+            );
+            assert!(r.memory_bound(), "{id}");
+            assert!(
+                r.intensity_macs_per_byte < r.ridge_macs_per_byte / 2.0,
+                "{id}: intensity {} vs ridge {}",
+                r.intensity_macs_per_byte,
+                r.ridge_macs_per_byte
+            );
+        }
+    }
+
+    #[test]
+    fn cnns_clear_the_baseline_ridge_on_ddr4() {
+        for id in [NetworkId::ResNet18, NetworkId::ResNet50] {
+            let r = roofline(
+                &net(id),
+                &AcceleratorConfig::tpu_like(),
+                &DramSpec::ddr4(),
+                16,
+            );
+            assert!(!r.memory_bound(), "{id} should be compute-bound");
+        }
+    }
+
+    #[test]
+    fn hbm2_moves_everything_right_of_the_ridge() {
+        for id in NetworkId::ALL {
+            let r = roofline(&net(id), &AcceleratorConfig::bpvec(), &DramSpec::hbm2(), 16);
+            assert!(
+                !r.memory_bound() || r.efficiency() > 0.5,
+                "{id}: efficiency {}",
+                r.efficiency()
+            );
+        }
+    }
+
+    #[test]
+    fn quantization_raises_the_composable_roof_only() {
+        let het = Network::build(NetworkId::ResNet50, BitwidthPolicy::Heterogeneous);
+        let bp = roofline(&het, &AcceleratorConfig::bpvec(), &DramSpec::ddr4(), 16);
+        let tpu = roofline(&het, &AcceleratorConfig::tpu_like(), &DramSpec::ddr4(), 16);
+        // BPVeC's 4-bit peak is ~4x its 8-bit peak; the TPU-like roof is flat.
+        assert!(bp.peak_gmacs > 3.5 * 512.0);
+        assert!((tpu.peak_gmacs - 256.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn attainable_never_exceeds_either_roof() {
+        for id in NetworkId::ALL {
+            for accel in [AcceleratorConfig::tpu_like(), AcceleratorConfig::bpvec()] {
+                for dram in [DramSpec::ddr4(), DramSpec::hbm2()] {
+                    let r = roofline(&net(id), &accel, &dram, 8);
+                    assert!(r.attainable_gmacs <= r.peak_gmacs * 1.0000001);
+                    let bw_roof =
+                        r.intensity_macs_per_byte * dram.bandwidth_gb_s;
+                    assert!(r.attainable_gmacs <= bw_roof * 1.0000001);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,352 @@
+//! Loop-tiling and DRAM-traffic model.
+//!
+//! For every layer the simulator needs the number of bytes that must cross
+//! the off-chip interface given the 112 KB scratchpad. This module searches
+//! tile shapes per layer — output channels × input channels × output rows —
+//! under a weight-stationary schedule with double buffering, and returns the
+//! minimum-traffic choice:
+//!
+//! * weights are fetched once per (oc, ic) tile pass — `W` total;
+//! * inputs are re-fetched once per output-channel tile — `In × ⌈oc/oc_t⌉`;
+//! * partial sums spill when input channels are tiled —
+//!   `Out × (2·⌈ic/ic_t⌉ − 1)`.
+//!
+//! Recurrent layers follow the streaming pattern of GEMV inference: the
+//! weight matrix crosses the interface once per timestep, amortized over the
+//! batch (the whole matrix never fits the 112 KB scratchpad for the
+//! evaluated models).
+
+use bpvec_dnn::{Layer, LayerKind};
+use serde::{Deserialize, Serialize};
+
+/// The chosen tiling for a layer and its resulting traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TilingChoice {
+    /// Output-channel tile.
+    pub oc_tile: usize,
+    /// Input-channel tile.
+    pub ic_tile: usize,
+    /// Output-row tile.
+    pub oh_tile: usize,
+    /// Total DRAM traffic in bytes (for the whole batch).
+    pub traffic_bytes: u64,
+}
+
+fn candidates(n: usize) -> Vec<usize> {
+    // Descending, so ties in the traffic objective resolve to the largest
+    // tile (less halo re-read and fewer loop iterations in the lowered
+    // instruction stream).
+    let mut c = vec![n];
+    c.extend(
+        [512usize, 256, 128, 64, 32, 16, 8, 4, 2, 1]
+            .iter()
+            .copied()
+            .filter(|&v| v < n),
+    );
+    c
+}
+
+/// Bytes for `elems` elements at `bits` per element, rounded up.
+fn bytes(elems: u64, bits: u32) -> u64 {
+    (elems * u64::from(bits)).div_ceil(8)
+}
+
+/// Minimum-traffic tiling for a convolution (or 1×1-kernel dense layer
+/// expressed as a conv) under `working_bytes` of scratchpad, batch `b`.
+#[allow(clippy::too_many_arguments)]
+fn conv_tiling(
+    in_c: usize,
+    out_c: usize,
+    kernel: (usize, usize),
+    stride: (usize, usize),
+    input_hw: (usize, usize),
+    output_hw: (usize, usize),
+    act_bits: u32,
+    weight_bits: u32,
+    working_bytes: u64,
+    b: u64,
+) -> TilingChoice {
+    let (kh, kw) = kernel;
+    let (oh, ow) = output_hw;
+    let in_w = input_hw.1;
+    let w_total = bytes((out_c * in_c * kh * kw) as u64, weight_bits);
+    let in_total = bytes(b * (in_c * input_hw.0 * input_hw.1) as u64, act_bits);
+    let out_total = bytes(b * (out_c * oh * ow) as u64, act_bits);
+
+    let mut best: Option<TilingChoice> = None;
+    for &oc_t in &candidates(out_c) {
+        for &ic_t in &candidates(in_c) {
+            for &oh_t in &candidates(oh) {
+                let w_tile = bytes((oc_t * ic_t * kh * kw) as u64, weight_bits);
+                let in_rows = (oh_t - 1) * stride.0 + kh;
+                let in_tile = bytes(b * (ic_t * in_rows * in_w) as u64, act_bits);
+                let out_tile = bytes(b * (oc_t * oh_t * ow) as u64, act_bits);
+                if w_tile + in_tile + out_tile > working_bytes {
+                    continue;
+                }
+                let n_oc = out_c.div_ceil(oc_t) as u64;
+                let n_ic = in_c.div_ceil(ic_t) as u64;
+                let traffic = w_total + in_total * n_oc + out_total * (2 * n_ic - 1);
+                let choice = TilingChoice {
+                    oc_tile: oc_t,
+                    ic_tile: ic_t,
+                    oh_tile: oh_t,
+                    traffic_bytes: traffic,
+                };
+                if best.is_none_or(|b| traffic < b.traffic_bytes) {
+                    best = Some(choice);
+                }
+            }
+        }
+    }
+    best.unwrap_or(TilingChoice {
+        // Degenerate fallback: stream everything per output element (never
+        // hit for realistic layers/scratchpads, but keeps the model total).
+        oc_tile: 1,
+        ic_tile: 1,
+        oh_tile: 1,
+        traffic_bytes: w_total * oh as u64 + in_total * out_c as u64 + out_total,
+    })
+}
+
+/// DRAM traffic (bytes) for one layer processed at batch `b`.
+///
+/// Pooling layers move their activations through the core once.
+#[must_use]
+pub fn layer_traffic(layer: &Layer, working_bytes: u64, b: u64) -> u64 {
+    layer_tiling(layer, working_bytes, b).traffic_bytes
+}
+
+/// The tiling decision behind [`layer_traffic`], exposed for inspection
+/// (C-INTERMEDIATE).
+#[must_use]
+pub fn layer_tiling(layer: &Layer, working_bytes: u64, b: u64) -> TilingChoice {
+    let ab = layer.act_bits.bits();
+    let wb = layer.weight_bits.bits();
+    match layer.kind {
+        LayerKind::Conv2d {
+            in_channels,
+            out_channels,
+            kernel,
+            stride,
+            input_hw,
+            ..
+        } => conv_tiling(
+            in_channels,
+            out_channels,
+            kernel,
+            stride,
+            input_hw,
+            layer.output_hw().expect("conv output"),
+            ab,
+            wb,
+            working_bytes,
+            b,
+        ),
+        LayerKind::FullyConnected {
+            in_features,
+            out_features,
+        } => conv_tiling(
+            in_features,
+            out_features,
+            (1, 1),
+            (1, 1),
+            (1, 1),
+            (1, 1),
+            ab,
+            wb,
+            working_bytes,
+            b,
+        ),
+        LayerKind::Pool {
+            channels,
+            input_hw,
+            ..
+        } => {
+            let (oh, ow) = layer.output_hw().expect("pool output");
+            let moved = bytes(
+                b * (channels * (input_hw.0 * input_hw.1 + oh * ow)) as u64,
+                ab,
+            );
+            TilingChoice {
+                oc_tile: channels,
+                ic_tile: channels,
+                oh_tile: oh,
+                traffic_bytes: moved,
+            }
+        }
+        LayerKind::Recurrent {
+            input_size,
+            hidden_size,
+            gates,
+            seq_len,
+        } => {
+            let w_total = bytes(
+                (gates * hidden_size * (input_size + hidden_size)) as u64,
+                wb,
+            );
+            let acts_per_step = bytes(b * (input_size + 2 * hidden_size) as u64, ab);
+            let seq = seq_len as u64;
+            // Weights stream once per timestep (shared across the batch)
+            // unless the whole matrix fits on chip.
+            let weight_traffic = if w_total <= working_bytes {
+                w_total
+            } else {
+                w_total * seq
+            };
+            TilingChoice {
+                oc_tile: hidden_size,
+                ic_tile: input_size + hidden_size,
+                oh_tile: 1,
+                traffic_bytes: weight_traffic + acts_per_step * seq,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bpvec_core::BitWidth;
+    use bpvec_dnn::layer::{Layer, LayerKind};
+
+    const WORKING: u64 = 57_344; // 112 KB / 2
+
+    fn conv_layer(in_c: usize, out_c: usize, k: usize, hw: usize) -> Layer {
+        Layer::new(
+            "conv",
+            LayerKind::Conv2d {
+                in_channels: in_c,
+                out_channels: out_c,
+                kernel: (k, k),
+                stride: (1, 1),
+                padding: (k / 2, k / 2),
+                input_hw: (hw, hw),
+            },
+        )
+    }
+
+    #[test]
+    fn small_layer_is_fetched_exactly_once() {
+        // Everything fits: traffic = W + In + Out.
+        let l = conv_layer(8, 8, 3, 8);
+        let t = layer_tiling(&l, WORKING, 1);
+        let expect = 8 * 8 * 9 + 8 * 8 * 8 + 8 * 8 * 8;
+        assert_eq!(t.traffic_bytes, expect as u64);
+        assert_eq!(t.oc_tile, 8);
+        assert_eq!(t.ic_tile, 8);
+    }
+
+    #[test]
+    fn large_layer_pays_refetch_overhead() {
+        // ResNet stage-1 sized layer: activations exceed the scratchpad, so
+        // traffic must exceed the compulsory minimum.
+        let l = conv_layer(64, 64, 3, 56);
+        let t = layer_tiling(&l, WORKING, 1);
+        let compulsory = (64 * 64 * 9 + 2 * 64 * 56 * 56) as u64;
+        assert!(t.traffic_bytes >= compulsory);
+        // ...but the optimizer keeps it within a small factor.
+        assert!(
+            t.traffic_bytes < 4 * compulsory,
+            "traffic {} vs compulsory {}",
+            t.traffic_bytes,
+            compulsory
+        );
+    }
+
+    #[test]
+    fn tiles_respect_the_scratchpad() {
+        let l = conv_layer(256, 512, 3, 28);
+        let t = layer_tiling(&l, WORKING, 1);
+        let w_tile = (t.oc_tile * t.ic_tile * 9) as u64;
+        assert!(w_tile <= WORKING);
+    }
+
+    #[test]
+    fn quantization_shrinks_traffic() {
+        let l8 = conv_layer(128, 128, 3, 28);
+        let l4 = l8.clone().with_bits(BitWidth::INT4, BitWidth::INT4);
+        let t8 = layer_traffic(&l8, WORKING, 1);
+        let t4 = layer_traffic(&l4, WORKING, 1);
+        assert!(
+            t4 * 10 <= t8 * 7,
+            "4-bit traffic {t4} should be well below 8-bit {t8}"
+        );
+    }
+
+    #[test]
+    fn fc_traffic_is_weight_dominated() {
+        let l = Layer::new(
+            "fc6",
+            LayerKind::FullyConnected {
+                in_features: 9216,
+                out_features: 4096,
+            },
+        );
+        let t = layer_traffic(&l, WORKING, 1);
+        let w = 9216u64 * 4096;
+        assert!(t >= w && t < w + w / 4, "traffic {t} vs weights {w}");
+    }
+
+    #[test]
+    fn batch_amortizes_fc_weights() {
+        let l = Layer::new(
+            "fc",
+            LayerKind::FullyConnected {
+                in_features: 4096,
+                out_features: 4096,
+            },
+        );
+        let t1 = layer_traffic(&l, WORKING, 1);
+        let t8 = layer_traffic(&l, WORKING, 8);
+        // Batch 8 must cost far less than 8x the batch-1 traffic.
+        assert!(t8 < 2 * t1, "t8 {t8} vs t1 {t1}");
+    }
+
+    #[test]
+    fn recurrent_weights_stream_per_timestep() {
+        let l = Layer::new(
+            "rnn",
+            LayerKind::Recurrent {
+                input_size: 2048,
+                hidden_size: 2048,
+                gates: 1,
+                seq_len: 512,
+            },
+        );
+        let t = layer_traffic(&l, WORKING, 1);
+        let w = 2u64 * 2048 * 2048;
+        assert!(t >= 512 * w, "weights must stream every step: {t}");
+    }
+
+    #[test]
+    fn tiny_recurrent_layer_keeps_weights_on_chip() {
+        let l = Layer::new(
+            "rnn-small",
+            LayerKind::Recurrent {
+                input_size: 64,
+                hidden_size: 64,
+                gates: 1,
+                seq_len: 100,
+            },
+        );
+        let t = layer_traffic(&l, WORKING, 1);
+        let w = (2 * 64 * 64) as u64;
+        assert!(t < w + 100 * 3 * 64 + 1, "on-chip weights: {t}");
+    }
+
+    #[test]
+    fn pooling_moves_activations_once() {
+        let l = Layer::new(
+            "pool",
+            LayerKind::Pool {
+                channels: 64,
+                kernel: (2, 2),
+                stride: (2, 2),
+                input_hw: (8, 8),
+            },
+        );
+        let t = layer_traffic(&l, WORKING, 1);
+        assert_eq!(t, (64 * (64 + 16)) as u64);
+    }
+}

@@ -1,0 +1,25 @@
+use bpvec_sim::experiments::*;
+
+#[test]
+fn print_figures() {
+    for (name, f) in [
+        ("fig5", figure5()),
+        ("fig6-base", figure6_baseline()),
+        ("fig6-bpvec", figure6_bpvec()),
+        ("fig7", figure7()),
+        ("fig8-bf", figure8_bitfusion()),
+        ("fig8-bpvec", figure8_bpvec()),
+    ] {
+        let rows: Vec<String> = f
+            .rows
+            .iter()
+            .map(|r| format!("{}:{:.2}/{:.2}", r.network, r.speedup, r.energy_reduction))
+            .collect();
+        println!(
+            "{name}: GM {:.2}x / {:.2}x | {}",
+            f.geomean_speedup,
+            f.geomean_energy,
+            rows.join(" ")
+        );
+    }
+}

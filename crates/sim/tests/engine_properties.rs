@@ -1,0 +1,128 @@
+//! Property tests over the analytical engine: the monotonicity and
+//! dominance relations any sound performance/energy model must satisfy,
+//! checked across randomized platform parameters.
+
+use bpvec_dnn::{BitwidthPolicy, Network, NetworkId};
+use bpvec_sim::memory::ScratchpadSpec;
+use bpvec_sim::{simulate, AcceleratorConfig, DramSpec, SimConfig};
+use proptest::prelude::*;
+
+fn arb_network() -> impl Strategy<Value = (NetworkId, BitwidthPolicy)> {
+    (
+        prop_oneof![
+            Just(NetworkId::AlexNet),
+            Just(NetworkId::InceptionV1),
+            Just(NetworkId::ResNet18),
+            Just(NetworkId::ResNet50),
+            Just(NetworkId::Rnn),
+            Just(NetworkId::Lstm),
+        ],
+        prop_oneof![
+            Just(BitwidthPolicy::Homogeneous8),
+            Just(BitwidthPolicy::Heterogeneous)
+        ],
+    )
+}
+
+fn dram(gbps: f64) -> DramSpec {
+    DramSpec {
+        name: "sweep",
+        bandwidth_gb_s: gbps,
+        energy_pj_per_bit: 15.0,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// More bandwidth never increases latency.
+    #[test]
+    fn latency_is_monotone_in_bandwidth(
+        (id, policy) in arb_network(),
+        lo in 2.0f64..64.0,
+        factor in 1.0f64..16.0,
+    ) {
+        let net = Network::build(id, policy);
+        let a = simulate(&net, &SimConfig::new(AcceleratorConfig::bpvec(), dram(lo)));
+        let b = simulate(
+            &net,
+            &SimConfig::new(AcceleratorConfig::bpvec(), dram(lo * factor)),
+        );
+        prop_assert!(b.latency_s <= a.latency_s * 1.0000001);
+    }
+
+    /// A larger scratchpad never increases DRAM traffic.
+    #[test]
+    fn traffic_is_monotone_in_scratchpad(
+        (id, policy) in arb_network(),
+        kb in 16u64..128,
+    ) {
+        let net = Network::build(id, policy);
+        let mut small = AcceleratorConfig::bpvec();
+        small.scratchpad = ScratchpadSpec { capacity_bytes: kb * 1024 };
+        let mut large = small;
+        large.scratchpad = ScratchpadSpec { capacity_bytes: 4 * kb * 1024 };
+        let cfg = |a| SimConfig::new(a, DramSpec::ddr4());
+        let t_small: u64 = simulate(&net, &cfg(small))
+            .layers
+            .iter()
+            .map(|l| l.traffic_bytes)
+            .sum();
+        let t_large: u64 = simulate(&net, &cfg(large))
+            .layers
+            .iter()
+            .map(|l| l.traffic_bytes)
+            .sum();
+        prop_assert!(t_large <= t_small, "{t_large} > {t_small}");
+    }
+
+    /// Latency is bounded below by both the compute roof and the memory
+    /// roof (the engine can never beat its own physics).
+    #[test]
+    fn latency_respects_both_roofs((id, policy) in arb_network()) {
+        let net = Network::build(id, policy);
+        let cfg = SimConfig::new(AcceleratorConfig::bpvec(), DramSpec::ddr4());
+        let r = simulate(&net, &cfg);
+        for layer in &r.layers {
+            prop_assert!(layer.latency_s >= layer.compute_s - 1e-15);
+            prop_assert!(layer.latency_s >= layer.memory_s - 1e-15);
+        }
+    }
+
+    /// Bigger batches never increase per-inference latency (amortization
+    /// can only help under this batching model).
+    #[test]
+    fn batching_amortizes(
+        (id, policy) in arb_network(),
+        batch in 1u64..32,
+    ) {
+        let net = Network::build(id, policy);
+        let mut small = SimConfig::new(AcceleratorConfig::bpvec(), DramSpec::ddr4());
+        small.batch_cnn = batch;
+        small.batch_recurrent = batch;
+        let mut large = small;
+        large.batch_cnn = batch * 4;
+        large.batch_recurrent = batch * 4;
+        let a = simulate(&net, &small);
+        let b = simulate(&net, &large);
+        prop_assert!(b.latency_s <= a.latency_s * 1.02,
+            "batch {batch}->{} latency {} -> {}", batch * 4, a.latency_s, b.latency_s);
+    }
+
+    /// Energy and latency respond consistently to the memory system:
+    /// HBM2 dominates DDR4 on both axes for every workload and design.
+    #[test]
+    fn hbm2_dominates_ddr4((id, policy) in arb_network()) {
+        let net = Network::build(id, policy);
+        for accel in [
+            AcceleratorConfig::tpu_like(),
+            AcceleratorConfig::bitfusion(),
+            AcceleratorConfig::bpvec(),
+        ] {
+            let d = simulate(&net, &SimConfig::new(accel, DramSpec::ddr4()));
+            let h = simulate(&net, &SimConfig::new(accel, DramSpec::hbm2()));
+            prop_assert!(h.latency_s <= d.latency_s * 1.0000001);
+            prop_assert!(h.energy_j <= d.energy_j * 1.0000001);
+        }
+    }
+}

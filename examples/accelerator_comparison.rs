@@ -1,0 +1,47 @@
+//! Full accelerator comparison across the paper's design space.
+//!
+//! Run with `cargo run --example accelerator_comparison`.
+//!
+//! Simulates all six Table I networks on the three ASIC platforms
+//! (TPU-like, BitFusion, BPVeC) under both memory systems and both bitwidth
+//! policies — the complete grid behind Figures 5-8 — and prints latency,
+//! energy and perf/W per configuration.
+
+use bpvec::dnn::{BitwidthPolicy, Network, NetworkId};
+use bpvec::sim::{simulate, AcceleratorConfig, DramSpec, SimConfig};
+
+fn main() {
+    for (policy, label) in [
+        (BitwidthPolicy::Homogeneous8, "homogeneous 8-bit"),
+        (BitwidthPolicy::Heterogeneous, "heterogeneous (Table I bitwidths)"),
+    ] {
+        println!("=== {label} ===");
+        println!(
+            "{:<14} {:<10} {:<6} {:>12} {:>12} {:>12} {:>10}",
+            "network", "design", "mem", "latency ms", "energy mJ", "GOPS/W", "mem-bound"
+        );
+        for id in NetworkId::ALL {
+            let net = Network::build(id, policy);
+            for accel in [
+                AcceleratorConfig::tpu_like(),
+                AcceleratorConfig::bitfusion(),
+                AcceleratorConfig::bpvec(),
+            ] {
+                for dram in [DramSpec::ddr4(), DramSpec::hbm2()] {
+                    let r = simulate(&net, &SimConfig::new(accel, dram));
+                    println!(
+                        "{:<14} {:<10} {:<6} {:>12.3} {:>12.3} {:>12.0} {:>9.0}%",
+                        id.name(),
+                        accel.design.name(),
+                        dram.name,
+                        r.latency_s * 1e3,
+                        r.energy_j * 1e3,
+                        r.gops_per_watt(),
+                        100.0 * r.memory_bound_fraction()
+                    );
+                }
+            }
+        }
+        println!();
+    }
+}

@@ -1,0 +1,90 @@
+//! Recurrent-network acceleration deep-dive (the paper's hardest workload).
+//!
+//! Run with `cargo run --example lstm_acceleration`.
+//!
+//! RNN/LSTM inference is a stream of GEMVs with almost no weight reuse, so
+//! Figures 5-8 show them gaining nothing from extra compute on DDR4 and the
+//! most from HBM2. This example reproduces that story end-to-end: a
+//! bit-true quantized LSTM cell on the CVU arithmetic, then the
+//! batch/bandwidth sensitivity of the full model.
+
+use bpvec::core::{BitWidth, Signedness};
+use bpvec::dnn::reference::{gemv, lstm_step};
+use bpvec::dnn::{BitwidthPolicy, Network, NetworkId, Tensor};
+use bpvec::sim::systolic::{ArrayConfig, SystolicArray};
+use bpvec::sim::{simulate, AcceleratorConfig, DramSpec, SimConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A quantized LSTM cell whose gate GEMV runs bit-true on the array.
+    let hidden = 32usize;
+    let w = Tensor::from_fn(&[4 * hidden, 2 * hidden], |i| {
+        ((i[0] * 31 + i[1] * 7) % 15) as i32 - 7
+    });
+    let x = Tensor::from_fn(&[hidden], |i| (i[0] % 15) as i32 - 7);
+    let h = Tensor::zeros(&[hidden]);
+    let c = Tensor::zeros(&[hidden]);
+
+    // Gate pre-activations on the systolic array (as a [4H, 2H] x [2H, 1] GEMM).
+    let mut xh = Vec::with_capacity(2 * hidden);
+    xh.extend_from_slice(x.as_slice());
+    xh.extend_from_slice(h.as_slice());
+    let xh_t = Tensor::from_data(&[2 * hidden, 1], xh);
+    let arr = SystolicArray::new(ArrayConfig::paper_default());
+    let run = arr.gemm(&w, &xh_t, BitWidth::INT4, BitWidth::INT4, Signedness::Signed)?;
+    let mut expect = gemv(&w, {
+        let mut flat = xh_t.clone();
+        flat.reshape(&[2 * hidden]);
+        &flat.clone()
+    });
+    expect.reshape(&[4 * hidden, 1]);
+    assert_eq!(run.output, expect, "gate GEMV is bit-true on the array");
+    println!(
+        "LSTM gate GEMV ({}x{}): {} cycles on the CVU array, bit-true",
+        4 * hidden,
+        2 * hidden,
+        run.cycles
+    );
+    let (h1, _c1) = lstm_step(&w, &x, &h, &c, 3, BitWidth::INT4);
+    println!("one full quantized LSTM step -> h[0..4] = {:?}", &h1.as_slice()[..4]);
+
+    // 2. Why LSTM gains nothing from BPVeC on DDR4: bandwidth sensitivity.
+    println!("\nLSTM end-to-end (2 layers, hidden 880, seq 512):");
+    println!(
+        "{:<10} {:<6} {:>14} {:>12} {:>12}",
+        "design", "mem", "latency ms/inf", "mem-bound", "vs TPU-DDR4"
+    );
+    let net = Network::build(NetworkId::Lstm, BitwidthPolicy::Homogeneous8);
+    let base = simulate(
+        &net,
+        &SimConfig::new(AcceleratorConfig::tpu_like(), DramSpec::ddr4()),
+    );
+    for accel in [AcceleratorConfig::tpu_like(), AcceleratorConfig::bpvec()] {
+        for dram in [DramSpec::ddr4(), DramSpec::hbm2()] {
+            let r = simulate(&net, &SimConfig::new(accel, dram));
+            println!(
+                "{:<10} {:<6} {:>14.2} {:>11.0}% {:>11.2}x",
+                accel.design.name(),
+                dram.name,
+                r.latency_s * 1e3,
+                100.0 * r.memory_bound_fraction(),
+                base.latency_s / r.latency_s
+            );
+        }
+    }
+
+    // 3. Batch amortizes the weight stream.
+    println!("\nbatch sensitivity (BPVeC + DDR4):");
+    for batch in [1u64, 4, 12, 32, 128] {
+        let mut cfg = SimConfig::new(AcceleratorConfig::bpvec(), DramSpec::ddr4());
+        cfg.batch_recurrent = batch;
+        let r = simulate(&net, &cfg);
+        println!(
+            "  batch {batch:>3}: {:>8.2} ms/inf ({:>3.0}% memory-bound)",
+            r.latency_s * 1e3,
+            (100.0 * r.memory_bound_fraction()).max(0.0)
+        );
+    }
+    println!("\nthe weight stream dominates until large batches: exactly the paper's");
+    println!("\"starvation of the copious on-chip compute resources\" (Fig. 5 discussion)");
+    Ok(())
+}

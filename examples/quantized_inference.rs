@@ -1,0 +1,76 @@
+//! Quantized inference on the BPVeC systolic array.
+//!
+//! Run with `cargo run --example quantized_inference`.
+//!
+//! Takes a small convolution layer with synthetic float weights, quantizes
+//! activations and weights to 8-bit and 4-bit, lowers the convolution to a
+//! GEMM (im2col) and executes it bit-true on the cycle-counted systolic
+//! array of CVUs — demonstrating the full path a real deployment takes, and
+//! the cycle savings heterogeneous quantization buys.
+
+use bpvec::core::{BitWidth, Signedness};
+use bpvec::dnn::quant::quantize_fitted;
+use bpvec::dnn::{reference, Tensor};
+use bpvec::sim::systolic::{ArrayConfig, SystolicArray};
+
+fn synth(n: usize, f: impl Fn(usize) -> f32) -> Vec<f32> {
+    (0..n).map(f).collect()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A ResNet-style 3x3 convolution: 16 -> 16 channels on a 12x12 map.
+    let (ic, oc, k, h) = (16usize, 16usize, 3usize, 12usize);
+    let oh = h - k + 1;
+    let input_f = synth(ic * h * h, |i| ((i * 2654435761 % 997) as f32 / 997.0) - 0.5);
+    let weight_f = synth(oc * ic * k * k, |i| {
+        (((i * 40503 + 17) % 911) as f32 / 911.0 - 0.5) * 0.4
+    });
+
+    let arr = SystolicArray::new(ArrayConfig::paper_default());
+    println!(
+        "systolic array: {}x{} CVUs, {} MAC-equivalents",
+        arr.config().rows,
+        arr.config().cols,
+        arr.config().rows * arr.config().cols * arr.config().cvu.lanes
+    );
+
+    for bits in [8u32, 4] {
+        let bw = BitWidth::new(bits)?;
+        let (x_q, xp) = quantize_fitted(&[ic, h, h], &input_f, bw, Signedness::Signed);
+        let (w_q, wp) = quantize_fitted(&[oc, ic, k, k], &weight_f, bw, Signedness::Signed);
+
+        // Reference integer convolution.
+        let ref_out = reference::conv2d(&x_q, &w_q, (1, 1), (0, 0));
+
+        // Lower to GEMM via im2col and run on the array.
+        let cols = Tensor::from_fn(&[ic * k * k, oh * oh], |idx| {
+            let (row, col) = (idx[0], idx[1]);
+            let (c, ky, kx) = (row / (k * k), (row / k) % k, row % k);
+            let (oy, ox) = (col / oh, col % oh);
+            x_q[&[c, oy + ky, ox + kx]]
+        });
+        let mut wmat = w_q.clone();
+        wmat.reshape(&[oc, ic * k * k]);
+        let run = arr.gemm(&wmat, &cols, bw, bw, Signedness::Signed)?;
+
+        let mut expect = ref_out.clone();
+        expect.reshape(&[oc, oh * oh]);
+        assert_eq!(run.output, expect, "systolic result must be bit-true");
+
+        // Quantization error against the float convolution.
+        let scale = xp.scale * wp.scale;
+        let float_ref: f64 = {
+            // Spot check one output to show the dequantized value is sane.
+            f64::from(ref_out[&[0, 0, 0]]) * f64::from(scale)
+        };
+        println!(
+            "\nINT{bits}: {} cycles, {:.0} MACs/cycle, out[0,0,0] = {} (~{:.4} dequantized)",
+            run.cycles,
+            run.macs_per_cycle(),
+            ref_out[&[0, 0, 0]],
+            float_ref
+        );
+    }
+    println!("\n4-bit execution recomposes the same CVUs into 4 clusters -> ~4x fewer cycles");
+    Ok(())
+}

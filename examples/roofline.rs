@@ -1,0 +1,45 @@
+//! Roofline view of the whole evaluation.
+//!
+//! Run with `cargo run --example roofline`.
+//!
+//! Prints each workload's arithmetic intensity against each platform's
+//! ridge point — the two numbers that predict every speedup in
+//! Figures 5–8: a workload left of the ridge can't use BPVeC's extra
+//! compute (RNN/LSTM on DDR4, Fig. 5), and moving the memory roof up
+//! (HBM2, Fig. 6) or the compute roof sideways (quantization, Fig. 7)
+//! is what unlocks it.
+
+use bpvec::dnn::{BitwidthPolicy, Network, NetworkId};
+use bpvec::sim::{roofline, AcceleratorConfig, DramSpec};
+
+fn main() {
+    for (policy, label) in [
+        (BitwidthPolicy::Homogeneous8, "homogeneous 8-bit"),
+        (BitwidthPolicy::Heterogeneous, "heterogeneous bitwidths"),
+    ] {
+        println!("=== {label} ===");
+        println!(
+            "{:<14} {:>10} | {:>22} | {:>22}",
+            "network", "MACs/byte", "TPU-like (ridge/bound)", "BPVeC (ridge/bound)"
+        );
+        for id in NetworkId::ALL {
+            let net = Network::build(id, policy);
+            let b = if id.is_recurrent() { 12 } else { 16 };
+            let tpu = roofline(&net, &AcceleratorConfig::tpu_like(), &DramSpec::ddr4(), b);
+            let bp = roofline(&net, &AcceleratorConfig::bpvec(), &DramSpec::ddr4(), b);
+            let bound = |m: bool| if m { "memory" } else { "compute" };
+            println!(
+                "{:<14} {:>10.1} | {:>13.1} {:>8} | {:>13.1} {:>8}",
+                id.name(),
+                tpu.intensity_macs_per_byte,
+                tpu.ridge_macs_per_byte,
+                bound(tpu.memory_bound()),
+                bp.ridge_macs_per_byte,
+                bound(bp.memory_bound()),
+            );
+        }
+        println!();
+    }
+    println!("DDR4 shown; HBM2 divides every ridge by 16, which is why Figure 6's");
+    println!("BPVeC bars all reach the 2x compute ratio");
+}

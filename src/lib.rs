@@ -1,0 +1,49 @@
+//! # BPVeC — Bit-Parallel Vector Composability for Neural Acceleration
+//!
+//! Umbrella crate for the Rust reproduction of Ghodrati et al., *"Bit-Parallel
+//! Vector Composability for Neural Acceleration"*, DAC 2020
+//! (arXiv:2004.05333).
+//!
+//! This crate re-exports the five subsystem crates:
+//!
+//! * [`core`] — bit-slicing algebra and the functional CVU/NBVE model.
+//! * [`hwmodel`] — 45 nm gate-level area/power cost model (Figure 4 DSE).
+//! * [`dnn`] — quantized-DNN workloads (Table I networks) and a reference
+//!   integer inference engine.
+//! * [`sim`] — the BPVeC accelerator simulator plus the TPU-like and
+//!   BitFusion baselines (Figures 5–8).
+//! * [`isa`] — the accelerator's instruction set, the network→program
+//!   lowering pass, and the instruction-level machine model.
+//! * [`gpumodel`] — the RTX 2080 Ti analytical comparison model (Figure 9).
+//!
+//! ## Quickstart
+//!
+//! Compute an 8-bit × 2-bit dot-product on a composable vector unit and check
+//! it against exact integer arithmetic:
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! use bpvec::core::{BitWidth, Cvu, CvuConfig, Signedness};
+//!
+//! let cvu = Cvu::new(CvuConfig::paper_default());
+//! let xs: Vec<i32> = (0..64).map(|i| (i % 100) - 50).collect();
+//! let ws: Vec<i32> = (0..64).map(|i| (i % 3) - 1).collect();
+//! let out = cvu.dot_product(
+//!     &xs,
+//!     &ws,
+//!     BitWidth::new(8)?,
+//!     BitWidth::new(2)?,
+//!     Signedness::Signed,
+//! )?;
+//! let expect: i64 = xs.iter().zip(&ws).map(|(&x, &w)| (x as i64) * (w as i64)).sum();
+//! assert_eq!(out.value, expect);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use bpvec_core as core;
+pub use bpvec_dnn as dnn;
+pub use bpvec_gpumodel as gpumodel;
+pub use bpvec_hwmodel as hwmodel;
+pub use bpvec_isa as isa;
+pub use bpvec_sim as sim;

@@ -1,0 +1,110 @@
+//! Consistency checks between independently-implemented models: the
+//! functional composition calculus (bpvec-core), the hardware cost model
+//! (bpvec-hwmodel) and the accelerator simulator (bpvec-sim) must agree on
+//! throughput arithmetic everywhere, or the figures would silently drift.
+
+use bpvec::core::{BitWidth, Cvu, CvuConfig};
+use bpvec::hwmodel::units::{throughput_multiplier, CvuGeometry};
+use bpvec::sim::AcceleratorConfig;
+
+#[test]
+fn composition_clusters_match_hwmodel_multiplier_for_all_bitwidths() {
+    let cvu = Cvu::new(CvuConfig::paper_default());
+    let geom = CvuGeometry::paper_default();
+    for bx in 1..=8u32 {
+        for bw in 1..=8u32 {
+            let composition = cvu
+                .compose(BitWidth::new(bx).unwrap(), BitWidth::new(bw).unwrap())
+                .unwrap();
+            let hw = throughput_multiplier(&geom, bx, bw);
+            assert_eq!(
+                composition.clusters() as f64,
+                hw,
+                "bx={bx} bw={bw}: core says {} clusters, hwmodel says {hw}",
+                composition.clusters()
+            );
+        }
+    }
+}
+
+#[test]
+fn accelerator_throughput_equals_cvu_throughput_times_unit_count() {
+    let accel = AcceleratorConfig::bpvec();
+    let cvu = Cvu::new(CvuConfig::paper_default());
+    let num_cvus = accel.mac_units as usize / cvu.config().lanes;
+    for (bx, bw) in [(8u32, 8u32), (8, 4), (8, 2), (4, 4), (4, 2), (2, 2), (3, 5)] {
+        let bxw = BitWidth::new(bx).unwrap();
+        let bww = BitWidth::new(bw).unwrap();
+        let per_cvu = cvu.throughput_per_cycle(bxw, bww).unwrap();
+        let accel_thr = accel.macs_per_cycle(bxw, bww);
+        assert_eq!(
+            accel_thr,
+            (per_cvu * num_cvus) as f64,
+            "bx={bx} bw={bw}"
+        );
+    }
+}
+
+#[test]
+fn bitfusion_scaling_matches_a_lane1_cvu() {
+    // The BitFusion fusion unit is exactly an L=1 CVU; its throughput
+    // scaling must match the core model of that geometry.
+    let fusion = Cvu::new(CvuConfig {
+        num_nbves: 16,
+        lanes: 1,
+        slice_width: bpvec::core::SliceWidth::BIT2,
+        max_bitwidth: BitWidth::INT8,
+    });
+    let accel = AcceleratorConfig::bitfusion();
+    for (bx, bw) in [(8u32, 8u32), (4, 4), (2, 2), (8, 2)] {
+        let bxw = BitWidth::new(bx).unwrap();
+        let bww = BitWidth::new(bw).unwrap();
+        let per_unit = fusion.throughput_per_cycle(bxw, bww).unwrap() as f64;
+        assert_eq!(
+            accel.macs_per_cycle(bxw, bww),
+            per_unit * accel.mac_units as f64,
+            "bx={bx} bw={bw}"
+        );
+    }
+}
+
+#[test]
+fn energy_per_mac_scales_inversely_with_composition_throughput() {
+    use bpvec::hwmodel::units::{composable_energy_per_mac_pj, cvu_cost};
+    use bpvec::hwmodel::TechnologyProfile;
+    let t = TechnologyProfile::nm45();
+    let geom = CvuGeometry::paper_default();
+    let unit = cvu_cost(&geom, &t);
+    let e88 = composable_energy_per_mac_pj(&unit, &geom, 8, 8);
+    for (bx, bw) in [(8u32, 4u32), (4, 4), (2, 2), (8, 2)] {
+        let e = composable_energy_per_mac_pj(&unit, &geom, bx, bw);
+        let mult = throughput_multiplier(&geom, bx, bw);
+        assert!(
+            (e88 / e - mult).abs() < 1e-9,
+            "bx={bx} bw={bw}: energy ratio {} vs multiplier {mult}",
+            e88 / e
+        );
+    }
+}
+
+#[test]
+fn dnn_bitwidths_are_always_executable_on_the_paper_cvu() {
+    // Every layer bitwidth the model zoo can produce must compose on the
+    // paper's CVU (no layer may silently exceed the hardware's range).
+    use bpvec::dnn::{BitwidthPolicy, Network, NetworkId};
+    let cvu = Cvu::new(CvuConfig::paper_default());
+    for id in NetworkId::ALL {
+        for policy in [BitwidthPolicy::Homogeneous8, BitwidthPolicy::Heterogeneous] {
+            let net = Network::build(id, policy);
+            for layer in net.compute_layers() {
+                assert!(
+                    cvu.compose(layer.act_bits, layer.weight_bits).is_ok(),
+                    "{id}/{}: {}x{} must compose",
+                    layer.name,
+                    layer.act_bits,
+                    layer.weight_bits
+                );
+            }
+        }
+    }
+}

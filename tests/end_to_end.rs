@@ -1,0 +1,138 @@
+//! Cross-crate end-to-end tests: float weights → quantization → bit-true
+//! CVU execution on the systolic array → reference integer arithmetic, plus
+//! full-network simulation sanity.
+
+use bpvec::core::{BitWidth, Signedness};
+use bpvec::dnn::quant::quantize_fitted;
+use bpvec::dnn::reference;
+use bpvec::dnn::{BitwidthPolicy, Network, NetworkId, Tensor};
+use bpvec::sim::systolic::{ArrayConfig, SystolicArray};
+use bpvec::sim::{simulate, AcceleratorConfig, DramSpec, SimConfig};
+use rand::{Rng, SeedableRng};
+
+fn rng(seed: u64) -> rand::rngs::StdRng {
+    rand::rngs::StdRng::seed_from_u64(seed)
+}
+
+#[test]
+fn quantize_then_execute_conv_on_array_matches_reference() {
+    let mut r = rng(100);
+    let (ic, oc, k, h) = (8usize, 12usize, 3usize, 10usize);
+    let input_f: Vec<f32> = (0..ic * h * h).map(|_| r.gen_range(-1.0..1.0)).collect();
+    let weight_f: Vec<f32> = (0..oc * ic * k * k).map(|_| r.gen_range(-0.5..0.5)).collect();
+    for bits in [8u32, 4, 2] {
+        let bw = BitWidth::new(bits).unwrap();
+        let (x_q, _) = quantize_fitted(&[ic, h, h], &input_f, bw, Signedness::Signed);
+        let (w_q, _) = quantize_fitted(&[oc, ic, k, k], &weight_f, bw, Signedness::Signed);
+        let ref_out = reference::conv2d(&x_q, &w_q, (1, 1), (0, 0));
+
+        let oh = h - k + 1;
+        let cols = Tensor::from_fn(&[ic * k * k, oh * oh], |idx| {
+            let (row, col) = (idx[0], idx[1]);
+            let (c, ky, kx) = (row / (k * k), (row / k) % k, row % k);
+            x_q[&[c, col / oh + ky, col % oh + kx]]
+        });
+        let mut wmat = w_q.clone();
+        wmat.reshape(&[oc, ic * k * k]);
+        let run = SystolicArray::new(ArrayConfig::paper_default())
+            .gemm(&wmat, &cols, bw, bw, Signedness::Signed)
+            .unwrap();
+        let mut expect = ref_out;
+        expect.reshape(&[oc, oh * oh]);
+        assert_eq!(run.output, expect, "bits={bits}");
+    }
+}
+
+#[test]
+fn quantized_fc_layer_unsigned_activations_signed_weights() {
+    // Post-ReLU activations are unsigned in practice; the CVU handles the
+    // mixed case because each operand vector carries its own signedness in
+    // the slicing. We model it with signed containers holding non-negative
+    // activations.
+    let mut r = rng(200);
+    let (inf, outf) = (96usize, 32usize);
+    let x = Tensor::from_fn(&[inf, 1], |_| r.gen_range(0..=127));
+    let w = Tensor::from_fn(&[outf, inf], |_| r.gen_range(-8..=7));
+    let run = SystolicArray::new(ArrayConfig::paper_default())
+        .gemm(&w, &x, BitWidth::INT4, BitWidth::INT8, Signedness::Signed)
+        .unwrap();
+    let mut x_flat = x.clone();
+    x_flat.reshape(&[inf]);
+    let mut expect = reference::gemv(&w, &x_flat);
+    expect.reshape(&[outf, 1]);
+    assert_eq!(run.output, expect);
+}
+
+#[test]
+fn requantized_two_layer_pipeline_is_bit_exact() {
+    // conv -> requantize -> conv, entirely in integers, CVU vs reference.
+    let mut r = rng(300);
+    let input = Tensor::from_fn(&[4, 8, 8], |_| r.gen_range(-128..=127));
+    let w1 = Tensor::from_fn(&[6, 4, 3, 3], |_| r.gen_range(-8..=7));
+    let w2 = Tensor::from_fn(&[5, 6, 1, 1], |_| r.gen_range(-8..=7));
+    let mid = reference::conv2d(&input, &w1, (1, 1), (1, 1));
+    let mid_q = reference::requantize(&mid, 8, BitWidth::INT8, Signedness::Signed);
+    let out = reference::conv2d(&reference::relu(&mid_q), &w2, (1, 1), (0, 0));
+
+    // Second layer as GEMM on the array (1x1 conv == GEMM over pixels).
+    let act = reference::relu(&mid_q);
+    let cols = Tensor::from_fn(&[6, 64], |idx| act[&[idx[0], idx[1] / 8, idx[1] % 8]]);
+    let mut wmat = w2.clone();
+    wmat.reshape(&[5, 6]);
+    let run = SystolicArray::new(ArrayConfig::paper_default())
+        .gemm(&wmat, &cols, BitWidth::INT4, BitWidth::INT8, Signedness::Signed)
+        .unwrap();
+    let mut expect = out;
+    expect.reshape(&[5, 64]);
+    assert_eq!(run.output, expect);
+}
+
+#[test]
+fn all_networks_simulate_on_all_platforms_without_degenerate_results() {
+    for id in NetworkId::ALL {
+        for policy in [BitwidthPolicy::Homogeneous8, BitwidthPolicy::Heterogeneous] {
+            let net = Network::build(id, policy);
+            for accel in [
+                AcceleratorConfig::tpu_like(),
+                AcceleratorConfig::bitfusion(),
+                AcceleratorConfig::bpvec(),
+            ] {
+                for dram in [DramSpec::ddr4(), DramSpec::hbm2()] {
+                    let r = simulate(&net, &SimConfig::new(accel, dram));
+                    assert!(r.latency_s > 0.0, "{id} latency");
+                    assert!(r.energy_j > 0.0, "{id} energy");
+                    assert!(r.latency_s < 10.0, "{id} latency {} implausible", r.latency_s);
+                    assert!(
+                        r.gops_per_watt() > 1.0,
+                        "{id} perf/W {} implausible",
+                        r.gops_per_watt()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn simulator_compute_times_are_consistent_with_the_cycle_true_array() {
+    // The analytical engine's compute-time model (MACs / peak throughput)
+    // must agree with the cycle-true systolic array within the fill/drain
+    // overhead for a dense GEMM.
+    let arr = SystolicArray::new(ArrayConfig::paper_default());
+    let (m, k, n) = (16usize, 512usize, 16usize);
+    let a = Tensor::zeros(&[m, k]);
+    let b = Tensor::zeros(&[k, n]);
+    let run = arr
+        .gemm(&a, &b, BitWidth::INT8, BitWidth::INT8, Signedness::Signed)
+        .unwrap();
+    let analytic_cycles = (m * k * n) as f64 / 1024.0;
+    let measured = run.cycles as f64;
+    assert!(
+        measured >= analytic_cycles,
+        "cycle-true {measured} cannot beat the analytic bound {analytic_cycles}"
+    );
+    assert!(
+        measured < 1.8 * analytic_cycles,
+        "cycle-true {measured} too far above the analytic bound {analytic_cycles}"
+    );
+}

@@ -1,0 +1,107 @@
+//! Failure-injection tests: the error paths a downstream user can hit must
+//! be deterministic, informative, and never panic.
+
+use bpvec::core::{BitWidth, CoreError, Cvu, CvuConfig, Signedness, SliceWidth};
+use bpvec::dnn::Tensor;
+use bpvec::sim::systolic::{ArrayConfig, SystolicArray};
+
+#[test]
+fn oversized_operand_reports_the_offending_value() {
+    let cvu = Cvu::new(CvuConfig::paper_default());
+    let err = cvu
+        .dot_product(&[1, 2, 999], &[1, 1, 1], BitWidth::INT8, BitWidth::INT8, Signedness::Signed)
+        .unwrap_err();
+    match err {
+        CoreError::ValueOutOfRange { value, bits, signed } => {
+            assert_eq!(value, 999);
+            assert_eq!(bits, 8);
+            assert!(signed);
+        }
+        other => panic!("unexpected error {other}"),
+    }
+    assert!(err.to_string().contains("999"));
+}
+
+#[test]
+fn mismatched_vectors_error_before_any_work() {
+    let cvu = Cvu::new(CvuConfig::paper_default());
+    let err = cvu
+        .dot_product(&[1; 10], &[1; 11], BitWidth::INT8, BitWidth::INT8, Signedness::Signed)
+        .unwrap_err();
+    assert!(matches!(err, CoreError::LengthMismatch { left: 10, right: 11 }));
+}
+
+#[test]
+fn composition_too_large_names_the_requirement() {
+    // A 4-NBVE CVU cannot compose an 8x8 product under 2-bit slicing.
+    let cvu = Cvu::new(CvuConfig {
+        num_nbves: 4,
+        lanes: 4,
+        slice_width: SliceWidth::BIT2,
+        max_bitwidth: BitWidth::INT8,
+    });
+    let err = cvu.compose(BitWidth::INT8, BitWidth::INT8).unwrap_err();
+    assert!(matches!(
+        err,
+        CoreError::CompositionTooLarge {
+            required: 16,
+            available: 4
+        }
+    ));
+}
+
+#[test]
+fn accumulators_never_overflow_at_worst_case_operands() {
+    // Worst-case 8-bit operands over a long vector: |sum| <= n * 128 * 128;
+    // the 64-bit accumulator must take millions of elements without error.
+    let cvu = Cvu::new(CvuConfig::paper_default());
+    let n = 100_000usize;
+    let xs = vec![-128i32; n];
+    let ws = vec![-128i32; n];
+    let out = cvu
+        .dot_product(&xs, &ws, BitWidth::INT8, BitWidth::INT8, Signedness::Signed)
+        .unwrap();
+    assert_eq!(out.value, n as i64 * 128 * 128);
+}
+
+#[test]
+fn systolic_gemm_rejects_out_of_range_matrices() {
+    let arr = SystolicArray::new(ArrayConfig::paper_default());
+    let a = Tensor::from_data(&[1, 2], vec![3, 12]); // 12 exceeds INT4
+    let b = Tensor::from_data(&[2, 1], vec![1, 1]);
+    let err = arr
+        .gemm(&a, &b, BitWidth::INT4, BitWidth::INT4, Signedness::Signed)
+        .unwrap_err();
+    assert!(matches!(err, CoreError::ValueOutOfRange { value: 12, .. }));
+}
+
+#[test]
+#[should_panic(expected = "inner dimensions must agree")]
+fn systolic_gemm_shape_mismatch_panics_with_context() {
+    let arr = SystolicArray::new(ArrayConfig::paper_default());
+    let a = Tensor::zeros(&[2, 3]);
+    let b = Tensor::zeros(&[4, 2]);
+    let _ = arr.gemm(&a, &b, BitWidth::INT8, BitWidth::INT8, Signedness::Signed);
+}
+
+#[test]
+fn invalid_widths_are_rejected_at_the_boundary() {
+    assert!(matches!(
+        BitWidth::new(0),
+        Err(CoreError::InvalidBitWidth { bits: 0 })
+    ));
+    assert!(matches!(
+        BitWidth::new(16),
+        Err(CoreError::InvalidBitWidth { bits: 16 })
+    ));
+    assert!(matches!(
+        SliceWidth::new(3),
+        Err(CoreError::InvalidSliceWidth { bits: 3 })
+    ));
+}
+
+#[test]
+fn errors_are_std_error_and_boxable() {
+    fn takes_boxed(_: Box<dyn std::error::Error + Send + Sync>) {}
+    takes_boxed(Box::new(CoreError::InvalidBitWidth { bits: 9 }));
+}

@@ -1,0 +1,137 @@
+//! The paper's headline claims, asserted end-to-end across all crates.
+//!
+//! Each test names the claim (abstract / §I / §IV) it checks. Bands are
+//! deliberately generous: this suite guards the *shape* of the reproduction
+//! (who wins, by roughly what factor, where the crossovers fall), with the
+//! exact paper-vs-measured numbers recorded in EXPERIMENTS.md.
+
+use bpvec::sim::experiments;
+use bpvec_bench::figure9;
+
+#[test]
+fn claim_40_percent_speedup_without_heterogeneity() {
+    // "bit-parallel vector composability provides 40% speedup and energy
+    //  reduction compared to a design with the same architecture without
+    //  support for the proposed composability"
+    let f = experiments::figure5();
+    assert!(
+        f.geomean_speedup >= 1.25 && f.geomean_speedup <= 1.9,
+        "speedup {} (paper 1.39)",
+        f.geomean_speedup
+    );
+    assert!(
+        f.geomean_energy > 1.0,
+        "energy reduction {} must be positive (paper 1.43)",
+        f.geomean_energy
+    );
+}
+
+#[test]
+fn claim_50_percent_speedup_over_bitfusion() {
+    // "our design provides 50% speedup and 10% energy reduction compared to
+    //  BitFusion" (with heterogeneous bitwidths, DDR4)
+    let f = experiments::figure7();
+    assert!(
+        f.geomean_speedup >= 1.3 && f.geomean_speedup <= 1.8,
+        "speedup {} (paper 1.45)",
+        f.geomean_speedup
+    );
+    assert!(
+        f.geomean_energy >= 1.02 && f.geomean_energy <= 1.4,
+        "energy {} (paper 1.13)",
+        f.geomean_energy
+    );
+}
+
+#[test]
+fn claim_bpvec_exploits_high_bandwidth_better_than_baseline() {
+    // "the baseline design only enjoys 10% speedup ... however BPVeC better
+    //  utilizes the boosted bandwidth and provides 2.1x speedup"
+    let base = experiments::figure6_baseline();
+    let bp = experiments::figure6_bpvec();
+    assert!(base.geomean_speedup < 1.5, "baseline {}", base.geomean_speedup);
+    assert!(
+        bp.geomean_speedup >= 1.8 && bp.geomean_speedup <= 2.7,
+        "BPVeC {} (paper 2.1)",
+        bp.geomean_speedup
+    );
+    assert!(
+        bp.geomean_speedup > base.geomean_speedup * 1.6,
+        "BPVeC must convert bandwidth into speedup far better than the baseline"
+    );
+}
+
+#[test]
+fn claim_2_4x_speedup_over_bitfusion_with_hbm2() {
+    // "BPVeC provides 2.5x speedup ... over BitFusion with HBM2 memory
+    //  (3.5x speedup over the baseline 2D BitFusion [with DDR4])"
+    let bp = experiments::figure8_bpvec();
+    let bf = experiments::figure8_bitfusion();
+    assert!(
+        bp.geomean_speedup >= 2.5 && bp.geomean_speedup <= 4.2,
+        "{} (paper 3.48)",
+        bp.geomean_speedup
+    );
+    let vs_bf_hbm2 = bp.geomean_speedup / bf.geomean_speedup;
+    assert!(
+        (1.7..=3.2).contains(&vs_bf_hbm2),
+        "BPVeC/BitFusion both-HBM2 ratio {vs_bf_hbm2} (paper 2.5)"
+    );
+}
+
+#[test]
+fn claim_28x_to_34x_perf_per_watt_over_gpu() {
+    // "The benefits range between 28.0x and 33.7x improvement in
+    //  Performance-per-Watt" (geomean, four design points)
+    let (_, hom_ddr4, _) = figure9(false);
+    let (_, het_ddr4, _) = figure9(true);
+    assert!(
+        (15.0..=70.0).contains(&hom_ddr4),
+        "homogeneous DDR4 geomean {hom_ddr4} (paper 33.7)"
+    );
+    assert!(
+        (15.0..=70.0).contains(&het_ddr4),
+        "heterogeneous DDR4 geomean {het_ddr4} (paper 28.0)"
+    );
+}
+
+#[test]
+fn claim_rnn_lstm_gain_most_from_bandwidth() {
+    // §IV-B2: "RNN and LSTM see the highest performance benefits (4.5x)"
+    use bpvec::dnn::NetworkId;
+    let bp = experiments::figure8_bpvec();
+    let rec_min = [NetworkId::Rnn, NetworkId::Lstm]
+        .iter()
+        .map(|&id| bp.row(id).unwrap().speedup)
+        .fold(f64::INFINITY, f64::min);
+    let cnn_max = [
+        NetworkId::AlexNet,
+        NetworkId::InceptionV1,
+        NetworkId::ResNet18,
+        NetworkId::ResNet50,
+    ]
+    .iter()
+    .map(|&id| bp.row(id).unwrap().speedup)
+    .fold(0.0f64, f64::max);
+    assert!(
+        rec_min > cnn_max,
+        "recurrent min {rec_min} must exceed CNN max {cnn_max}"
+    );
+    assert!(rec_min > 3.5, "recurrent speedup {rec_min} (paper 4.5)");
+}
+
+#[test]
+fn claim_cvu_packs_2x_the_compute_of_the_baseline() {
+    // §IV-B1: "bit-parallel vector composability enables our accelerator to
+    //  integrate ~2.0x more compute resources ... under the same core power
+    //  budget" — checked against the gate-level cost model.
+    use bpvec::hwmodel::units::{conventional_mac, cvu_cost, CvuGeometry};
+    use bpvec::hwmodel::TechnologyProfile;
+    let t = TechnologyProfile::nm45();
+    let ratio = conventional_mac(&t).per_mac().total().power
+        / cvu_cost(&CvuGeometry::paper_default(), &t).per_mac().total().power;
+    assert!(
+        (1.5..=2.4).contains(&ratio),
+        "per-MAC power advantage {ratio} (paper ~2.0)"
+    );
+}

@@ -1,0 +1,383 @@
+//! Serialization checks for the crate's data structures (C-SERDE): configs
+//! and results must serialize cleanly so experiment outputs can be stored.
+//! The approved dependency set includes `serde` but no data-format crate,
+//! so a minimal JSON serializer lives in this test to drive the derives.
+
+use bpvec::core::{BitWidth, CvuConfig, Signedness, SliceWidth, SlicedValue};
+use bpvec::dnn::{BitwidthPolicy, Network, NetworkId, Tensor};
+use bpvec::hwmodel::{DesignPoint, TechnologyProfile};
+use bpvec::sim::AcceleratorConfig;
+
+#[test]
+fn configs_serialize_to_valid_structures() {
+    // Without a serde data-format crate in the approved dependency set, we
+    // verify Serialize works end-to-end via serde's generic serializer
+    // trait using a minimal JSON writer implemented here.
+    let cfg = CvuConfig::paper_default();
+    let s = mini_json::to_string(&cfg);
+    assert!(s.contains("\"num_nbves\":16"));
+    assert!(s.contains("\"lanes\":16"));
+
+    let accel = AcceleratorConfig::bpvec();
+    let s = mini_json::to_string(&accel);
+    assert!(s.contains("\"mac_units\":1024"));
+
+    let tech = TechnologyProfile::nm45();
+    let s = mini_json::to_string(&tech);
+    assert!(s.contains("\"fa_area\""));
+
+    let dp = DesignPoint {
+        slice_bits: 2,
+        lanes: 16,
+    };
+    assert!(mini_json::to_string(&dp).contains("\"slice_bits\":2"));
+
+    let net = Network::build(NetworkId::ResNet18, BitwidthPolicy::Heterogeneous);
+    let s = mini_json::to_string(&net);
+    assert!(s.contains("ResNet18"));
+    assert!(s.contains("conv1"));
+
+    let sv = SlicedValue::decompose(-77, BitWidth::INT8, SliceWidth::BIT2, Signedness::Signed)
+        .expect("in range");
+    let s = mini_json::to_string(&sv);
+    assert!(s.contains("\"shift\""));
+
+    let t = Tensor::from_data(&[2, 2], vec![1, -2, 3, -4]);
+    let s = mini_json::to_string(&t);
+    assert!(s.contains("-4"));
+}
+
+/// A tiny serde JSON serializer sufficient for structure checks (the
+/// approved dependency set has serde but no serde_json).
+mod mini_json {
+    use serde::ser::{self, Serialize};
+    use std::fmt::Write as _;
+
+    pub fn to_string<T: Serialize>(value: &T) -> String {
+        let mut out = String::new();
+        value
+            .serialize(&mut Ser { out: &mut out })
+            .expect("serialization cannot fail for plain data");
+        out
+    }
+
+    pub struct Ser<'a> {
+        out: &'a mut String,
+    }
+
+    #[derive(Debug)]
+    pub struct Error(String);
+
+    impl std::fmt::Display for Error {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    impl std::error::Error for Error {}
+
+    impl ser::Error for Error {
+        fn custom<T: std::fmt::Display>(msg: T) -> Self {
+            Error(msg.to_string())
+        }
+    }
+
+    macro_rules! write_scalar {
+        ($name:ident, $ty:ty) => {
+            fn $name(self, v: $ty) -> Result<(), Error> {
+                let _ = write!(self.out, "{v}");
+                Ok(())
+            }
+        };
+    }
+
+    impl<'a, 'b> ser::Serializer for &'b mut Ser<'a> {
+        type Ok = ();
+        type Error = Error;
+        type SerializeSeq = Compound<'a, 'b>;
+        type SerializeTuple = Compound<'a, 'b>;
+        type SerializeTupleStruct = Compound<'a, 'b>;
+        type SerializeTupleVariant = Compound<'a, 'b>;
+        type SerializeMap = Compound<'a, 'b>;
+        type SerializeStruct = Compound<'a, 'b>;
+        type SerializeStructVariant = Compound<'a, 'b>;
+
+        write_scalar!(serialize_i8, i8);
+        write_scalar!(serialize_i16, i16);
+        write_scalar!(serialize_i32, i32);
+        write_scalar!(serialize_i64, i64);
+        write_scalar!(serialize_u8, u8);
+        write_scalar!(serialize_u16, u16);
+        write_scalar!(serialize_u32, u32);
+        write_scalar!(serialize_u64, u64);
+        write_scalar!(serialize_f32, f32);
+        write_scalar!(serialize_f64, f64);
+        write_scalar!(serialize_bool, bool);
+
+        fn serialize_char(self, v: char) -> Result<(), Error> {
+            self.serialize_str(&v.to_string())
+        }
+
+        fn serialize_str(self, v: &str) -> Result<(), Error> {
+            let _ = write!(self.out, "{v:?}");
+            Ok(())
+        }
+
+        fn serialize_bytes(self, v: &[u8]) -> Result<(), Error> {
+            let _ = write!(self.out, "{v:?}");
+            Ok(())
+        }
+
+        fn serialize_none(self) -> Result<(), Error> {
+            self.out.push_str("null");
+            Ok(())
+        }
+
+        fn serialize_some<T: Serialize + ?Sized>(self, v: &T) -> Result<(), Error> {
+            v.serialize(self)
+        }
+
+        fn serialize_unit(self) -> Result<(), Error> {
+            self.out.push_str("null");
+            Ok(())
+        }
+
+        fn serialize_unit_struct(self, _: &'static str) -> Result<(), Error> {
+            self.serialize_unit()
+        }
+
+        fn serialize_unit_variant(
+            self,
+            _: &'static str,
+            _: u32,
+            variant: &'static str,
+        ) -> Result<(), Error> {
+            self.serialize_str(variant)
+        }
+
+        fn serialize_newtype_struct<T: Serialize + ?Sized>(
+            self,
+            _: &'static str,
+            v: &T,
+        ) -> Result<(), Error> {
+            v.serialize(self)
+        }
+
+        fn serialize_newtype_variant<T: Serialize + ?Sized>(
+            self,
+            _: &'static str,
+            _: u32,
+            variant: &'static str,
+            v: &T,
+        ) -> Result<(), Error> {
+            let _ = write!(self.out, "{{{variant:?}:");
+            v.serialize(&mut *self)?;
+            self.out.push('}');
+            Ok(())
+        }
+
+        fn serialize_seq(self, _: Option<usize>) -> Result<Compound<'a, 'b>, Error> {
+            self.out.push('[');
+            Ok(Compound {
+                ser: self,
+                first: true,
+                close: ']',
+            })
+        }
+
+        fn serialize_tuple(self, len: usize) -> Result<Compound<'a, 'b>, Error> {
+            let _ = len;
+            self.serialize_seq(None)
+        }
+
+        fn serialize_tuple_struct(
+            self,
+            _: &'static str,
+            len: usize,
+        ) -> Result<Compound<'a, 'b>, Error> {
+            self.serialize_tuple(len)
+        }
+
+        fn serialize_tuple_variant(
+            self,
+            _: &'static str,
+            _: u32,
+            variant: &'static str,
+            _: usize,
+        ) -> Result<Compound<'a, 'b>, Error> {
+            let _ = write!(self.out, "{{{variant:?}:[");
+            Ok(Compound {
+                ser: self,
+                first: true,
+                close: ']',
+            })
+        }
+
+        fn serialize_map(self, _: Option<usize>) -> Result<Compound<'a, 'b>, Error> {
+            self.out.push('{');
+            Ok(Compound {
+                ser: self,
+                first: true,
+                close: '}',
+            })
+        }
+
+        fn serialize_struct(
+            self,
+            _: &'static str,
+            _: usize,
+        ) -> Result<Compound<'a, 'b>, Error> {
+            self.out.push('{');
+            Ok(Compound {
+                ser: self,
+                first: true,
+                close: '}',
+            })
+        }
+
+        fn serialize_struct_variant(
+            self,
+            _: &'static str,
+            _: u32,
+            variant: &'static str,
+            _: usize,
+        ) -> Result<Compound<'a, 'b>, Error> {
+            let _ = write!(self.out, "{{{variant:?}:{{");
+            Ok(Compound {
+                ser: self,
+                first: true,
+                close: '}',
+            })
+        }
+    }
+
+    pub struct Compound<'a, 'b> {
+        ser: &'b mut Ser<'a>,
+        first: bool,
+        close: char,
+    }
+
+    impl Compound<'_, '_> {
+        fn comma(&mut self) {
+            if !self.first {
+                self.ser.out.push(',');
+            }
+            self.first = false;
+        }
+    }
+
+    impl ser::SerializeSeq for Compound<'_, '_> {
+        type Ok = ();
+        type Error = Error;
+
+        fn serialize_element<T: Serialize + ?Sized>(&mut self, v: &T) -> Result<(), Error> {
+            self.comma();
+            v.serialize(&mut *self.ser)
+        }
+
+        fn end(self) -> Result<(), Error> {
+            self.ser.out.push(self.close);
+            Ok(())
+        }
+    }
+
+    impl ser::SerializeTuple for Compound<'_, '_> {
+        type Ok = ();
+        type Error = Error;
+
+        fn serialize_element<T: Serialize + ?Sized>(&mut self, v: &T) -> Result<(), Error> {
+            ser::SerializeSeq::serialize_element(self, v)
+        }
+
+        fn end(self) -> Result<(), Error> {
+            ser::SerializeSeq::end(self)
+        }
+    }
+
+    impl ser::SerializeTupleStruct for Compound<'_, '_> {
+        type Ok = ();
+        type Error = Error;
+
+        fn serialize_field<T: Serialize + ?Sized>(&mut self, v: &T) -> Result<(), Error> {
+            ser::SerializeSeq::serialize_element(self, v)
+        }
+
+        fn end(self) -> Result<(), Error> {
+            ser::SerializeSeq::end(self)
+        }
+    }
+
+    impl ser::SerializeTupleVariant for Compound<'_, '_> {
+        type Ok = ();
+        type Error = Error;
+
+        fn serialize_field<T: Serialize + ?Sized>(&mut self, v: &T) -> Result<(), Error> {
+            ser::SerializeSeq::serialize_element(self, v)
+        }
+
+        fn end(self) -> Result<(), Error> {
+            self.ser.out.push(']');
+            self.ser.out.push('}');
+            Ok(())
+        }
+    }
+
+    impl ser::SerializeMap for Compound<'_, '_> {
+        type Ok = ();
+        type Error = Error;
+
+        fn serialize_key<T: Serialize + ?Sized>(&mut self, k: &T) -> Result<(), Error> {
+            self.comma();
+            k.serialize(&mut *self.ser)
+        }
+
+        fn serialize_value<T: Serialize + ?Sized>(&mut self, v: &T) -> Result<(), Error> {
+            self.ser.out.push(':');
+            v.serialize(&mut *self.ser)
+        }
+
+        fn end(self) -> Result<(), Error> {
+            self.ser.out.push(self.close);
+            Ok(())
+        }
+    }
+
+    impl ser::SerializeStruct for Compound<'_, '_> {
+        type Ok = ();
+        type Error = Error;
+
+        fn serialize_field<T: Serialize + ?Sized>(
+            &mut self,
+            key: &'static str,
+            v: &T,
+        ) -> Result<(), Error> {
+            self.comma();
+            let _ = write!(self.ser.out, "{key:?}:");
+            v.serialize(&mut *self.ser)
+        }
+
+        fn end(self) -> Result<(), Error> {
+            self.ser.out.push(self.close);
+            Ok(())
+        }
+    }
+
+    impl ser::SerializeStructVariant for Compound<'_, '_> {
+        type Ok = ();
+        type Error = Error;
+
+        fn serialize_field<T: Serialize + ?Sized>(
+            &mut self,
+            key: &'static str,
+            v: &T,
+        ) -> Result<(), Error> {
+            ser::SerializeStruct::serialize_field(self, key, v)
+        }
+
+        fn end(self) -> Result<(), Error> {
+            self.ser.out.push('}');
+            self.ser.out.push('}');
+            Ok(())
+        }
+    }
+}
