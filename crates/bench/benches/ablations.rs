@@ -9,7 +9,7 @@ use bpvec_dnn::{BitwidthPolicy, Network, NetworkId};
 use bpvec_hwmodel::dse::{evaluate, DesignPoint};
 use bpvec_hwmodel::TechnologyProfile;
 use bpvec_sim::memory::ScratchpadSpec;
-use bpvec_sim::{simulate, AcceleratorConfig, DramSpec, SimConfig};
+use bpvec_sim::{simulate, AcceleratorConfig, BatchRegime, DramSpec, SimConfig};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_slice_width_ablation(c: &mut Criterion) {
@@ -17,14 +17,32 @@ fn bench_slice_width_ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_slice_width");
     for s in [1u32, 2, 4] {
         group.bench_with_input(BenchmarkId::from_parameter(s), &s, |b, &s| {
-            b.iter(|| evaluate(DesignPoint { slice_bits: s, lanes: 16 }, &tech).norm_power)
+            b.iter(|| {
+                evaluate(
+                    DesignPoint {
+                        slice_bits: s,
+                        lanes: 16,
+                    },
+                    &tech,
+                )
+                .norm_power
+            })
         });
     }
     group.finish();
     println!("slice-width ablation (power/area per MAC, L = 16):");
     for s in [1u32, 2, 4] {
-        let p = evaluate(DesignPoint { slice_bits: s, lanes: 16 }, &tech);
-        println!("  {s}-bit: {:.2}x power, {:.2}x area", p.norm_power, p.norm_area);
+        let p = evaluate(
+            DesignPoint {
+                slice_bits: s,
+                lanes: 16,
+            },
+            &tech,
+        );
+        println!(
+            "  {s}-bit: {:.2}x power, {:.2}x area",
+            p.norm_power, p.norm_area
+        );
     }
 }
 
@@ -33,13 +51,28 @@ fn bench_lane_extension(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_lanes_beyond_16");
     for lanes in [16u32, 32, 64] {
         group.bench_with_input(BenchmarkId::from_parameter(lanes), &lanes, |b, &l| {
-            b.iter(|| evaluate(DesignPoint { slice_bits: 2, lanes: l }, &tech).norm_power)
+            b.iter(|| {
+                evaluate(
+                    DesignPoint {
+                        slice_bits: 2,
+                        lanes: l,
+                    },
+                    &tech,
+                )
+                .norm_power
+            })
         });
     }
     group.finish();
     println!("L saturation beyond the paper's sweep (2-bit slicing):");
     for lanes in [8u32, 16, 32, 64] {
-        let p = evaluate(DesignPoint { slice_bits: 2, lanes }, &tech);
+        let p = evaluate(
+            DesignPoint {
+                slice_bits: 2,
+                lanes,
+            },
+            &tech,
+        );
         println!("  L={lanes:<3}: {:.3}x power", p.norm_power);
     }
 }
@@ -68,9 +101,8 @@ fn bench_recurrent_batch_sensitivity(c: &mut Criterion) {
     for batch in [1u64, 4, 12, 32, 128] {
         group.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |b, &batch| {
             b.iter(|| {
-                let mut cfg =
-                    SimConfig::new(AcceleratorConfig::bpvec(), DramSpec::ddr4());
-                cfg.batch_recurrent = batch;
+                let mut cfg = SimConfig::new(AcceleratorConfig::bpvec(), DramSpec::ddr4());
+                cfg.batching = BatchRegime::serving(16, batch);
                 let net = Network::build(NetworkId::Lstm, BitwidthPolicy::Homogeneous8);
                 simulate(&net, &cfg).latency_s
             })
@@ -80,7 +112,7 @@ fn bench_recurrent_batch_sensitivity(c: &mut Criterion) {
     println!("LSTM latency/inference vs batch (BPVeC + DDR4):");
     for batch in [1u64, 4, 12, 32, 128] {
         let mut cfg = SimConfig::new(AcceleratorConfig::bpvec(), DramSpec::ddr4());
-        cfg.batch_recurrent = batch;
+        cfg.batching = BatchRegime::serving(16, batch);
         let net = Network::build(NetworkId::Lstm, BitwidthPolicy::Homogeneous8);
         let r = simulate(&net, &cfg);
         println!(

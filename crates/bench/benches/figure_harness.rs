@@ -17,7 +17,12 @@ fn bench_figures(c: &mut Criterion) {
     });
     group.bench_function("fig5", |b| b.iter(|| figure5().geomean_speedup));
     group.bench_function("fig6", |b| {
-        b.iter(|| (figure6_baseline().geomean_speedup, figure6_bpvec().geomean_speedup))
+        b.iter(|| {
+            (
+                figure6_baseline().geomean_speedup,
+                figure6_bpvec().geomean_speedup,
+            )
+        })
     });
     group.bench_function("fig7", |b| b.iter(|| figure7().geomean_speedup));
     group.bench_function("fig8", |b| {

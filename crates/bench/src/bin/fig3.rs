@@ -30,8 +30,7 @@ fn main() {
     }
     println!();
     println!("shift assignments for the 8b x 2b cluster of Figure 3(c):");
-    let c = Composition::plan(16, SliceWidth::BIT2, BitWidth::INT8, BitWidth::INT2)
-        .expect("fits");
+    let c = Composition::plan(16, SliceWidth::BIT2, BitWidth::INT8, BitWidth::INT2).expect("fits");
     for (j, k, shift) in c.assignments() {
         println!("  NBVE(x-slice {j}, w-slice {k}) -> << {shift}");
     }

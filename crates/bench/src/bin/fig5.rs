@@ -1,35 +1,20 @@
 //! Regenerates **Figure 5**: BPVeC vs the TPU-like baseline, both with
-//! DDR4 memory, homogeneous 8-bit execution.
+//! DDR4 memory, homogeneous 8-bit execution. `--csv` / `--json` emit the
+//! series machine-readably.
 
+use bpvec_bench::{emit_machine_readable, print_comparison_figure};
 use bpvec_sim::experiments::{figure5, paper};
 
 fn main() {
     let f = figure5();
-    if std::env::args().any(|a| a == "--csv") {
-        print!("{}", f.to_csv());
+    if emit_machine_readable(&f) {
         return;
     }
-    println!("Figure 5: {} normalized to {}", f.evaluated, f.baseline);
-    println!(
-        "{:<14} {:>9} {:>14} {:>9} {:>14}",
-        "network", "speedup", "paper", "energy", "paper"
-    );
-    for (i, r) in f.rows.iter().enumerate() {
-        println!(
-            "{:<14} {:>8.2}x {:>13.2}x {:>8.2}x {:>13.2}x",
-            r.network.name(),
-            r.speedup,
-            paper::FIG5_SPEEDUP[i],
-            r.energy_reduction,
-            paper::FIG5_ENERGY[i],
-        );
-    }
-    println!(
-        "{:<14} {:>8.2}x {:>13.2}x {:>8.2}x {:>13.2}x",
-        "GEOMEAN",
-        f.geomean_speedup,
-        paper::FIG5_GEOMEAN.0,
-        f.geomean_energy,
-        paper::FIG5_GEOMEAN.1,
+    print_comparison_figure(
+        "Figure 5",
+        &f,
+        &paper::FIG5_SPEEDUP,
+        &paper::FIG5_ENERGY,
+        paper::FIG5_GEOMEAN,
     );
 }

@@ -1,39 +1,23 @@
 //! Regenerates **Figure 6**: the baseline and BPVeC with HBM2, both
-//! normalized to the baseline with DDR4, homogeneous 8-bit.
+//! normalized to the baseline with DDR4, homogeneous 8-bit. `--csv` /
+//! `--json` emit the BPVeC series machine-readably.
 
-use bpvec_sim::experiments::{figure6_baseline, figure6_bpvec, paper};
+use bpvec_bench::{emit_machine_readable, print_hbm2_figure};
+use bpvec_sim::experiments::{homogeneous_grid, paper};
 
 fn main() {
-    let base = figure6_baseline();
-    let bp = figure6_bpvec();
-    println!("Figure 6: HBM2 study, normalized to {}", base.baseline);
-    println!(
-        "{:<14} {:>14} {:>14} {:>14} {:>14}",
-        "network", "base speedup", "base energy", "BPVeC speedup", "BPVeC energy"
-    );
-    for (b, p) in base.rows.iter().zip(&bp.rows) {
-        println!(
-            "{:<14} {:>13.2}x {:>13.2}x {:>13.2}x {:>13.2}x",
-            b.network.name(),
-            b.speedup,
-            b.energy_reduction,
-            p.speedup,
-            p.energy_reduction,
-        );
+    // One grid run serves both series.
+    let hom = homogeneous_grid();
+    let bp = hom.comparison("BPVeC", "HBM2");
+    if emit_machine_readable(&bp) {
+        return;
     }
-    println!(
-        "{:<14} {:>13.2}x {:>13.2}x {:>13.2}x {:>13.2}x",
-        "GEOMEAN",
-        base.geomean_speedup,
-        base.geomean_energy,
-        bp.geomean_speedup,
-        bp.geomean_energy,
-    );
-    println!(
-        "paper GEOMEAN  {:>12.2}x {:>13.2}x {:>13.2}x {:>13.2}x",
-        paper::FIG6_BASELINE_GEOMEAN.0,
-        paper::FIG6_BASELINE_GEOMEAN.1,
-        paper::FIG6_BPVEC_GEOMEAN.0,
-        paper::FIG6_BPVEC_GEOMEAN.1,
+    print_hbm2_figure(
+        "Figure 6",
+        ("base", "BPVeC"),
+        &hom.comparison("TPU-like", "HBM2"),
+        &bp,
+        paper::FIG6_BASELINE_GEOMEAN,
+        paper::FIG6_BPVEC_GEOMEAN,
     );
 }

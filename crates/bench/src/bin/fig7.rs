@@ -1,35 +1,20 @@
 //! Regenerates **Figure 7**: BPVeC vs BitFusion, both with DDR4,
-//! heterogeneous (Table I) bitwidths.
+//! heterogeneous (Table I) bitwidths. `--csv` / `--json` emit the series
+//! machine-readably.
 
+use bpvec_bench::{emit_machine_readable, print_comparison_figure};
 use bpvec_sim::experiments::{figure7, paper};
 
 fn main() {
     let f = figure7();
-    if std::env::args().any(|a| a == "--csv") {
-        print!("{}", f.to_csv());
+    if emit_machine_readable(&f) {
         return;
     }
-    println!("Figure 7: {} normalized to {}", f.evaluated, f.baseline);
-    println!(
-        "{:<14} {:>9} {:>14} {:>9} {:>14}",
-        "network", "speedup", "paper", "energy", "paper"
-    );
-    for (i, r) in f.rows.iter().enumerate() {
-        println!(
-            "{:<14} {:>8.2}x {:>13.2}x {:>8.2}x {:>13.2}x",
-            r.network.name(),
-            r.speedup,
-            paper::FIG7_SPEEDUP[i],
-            r.energy_reduction,
-            paper::FIG7_ENERGY[i],
-        );
-    }
-    println!(
-        "{:<14} {:>8.2}x {:>13.2}x {:>8.2}x {:>13.2}x",
-        "GEOMEAN",
-        f.geomean_speedup,
-        paper::FIG7_GEOMEAN.0,
-        f.geomean_energy,
-        paper::FIG7_GEOMEAN.1,
+    print_comparison_figure(
+        "Figure 7",
+        &f,
+        &paper::FIG7_SPEEDUP,
+        &paper::FIG7_ENERGY,
+        paper::FIG7_GEOMEAN,
     );
 }

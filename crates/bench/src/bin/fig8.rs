@@ -1,39 +1,23 @@
 //! Regenerates **Figure 8**: BitFusion and BPVeC with HBM2, both normalized
-//! to BitFusion with DDR4, heterogeneous bitwidths.
+//! to BitFusion with DDR4, heterogeneous bitwidths. `--csv` / `--json`
+//! emit the BPVeC series machine-readably.
 
-use bpvec_sim::experiments::{figure8_bitfusion, figure8_bpvec, paper};
+use bpvec_bench::{emit_machine_readable, print_hbm2_figure};
+use bpvec_sim::experiments::{heterogeneous_grid, paper};
 
 fn main() {
-    let bf = figure8_bitfusion();
-    let bp = figure8_bpvec();
-    println!("Figure 8: HBM2 study, normalized to {}", bf.baseline);
-    println!(
-        "{:<14} {:>14} {:>14} {:>14} {:>14}",
-        "network", "BF speedup", "BF energy", "BPVeC speedup", "BPVeC energy"
-    );
-    for (b, p) in bf.rows.iter().zip(&bp.rows) {
-        println!(
-            "{:<14} {:>13.2}x {:>13.2}x {:>13.2}x {:>13.2}x",
-            b.network.name(),
-            b.speedup,
-            b.energy_reduction,
-            p.speedup,
-            p.energy_reduction,
-        );
+    // One grid run serves both series.
+    let het = heterogeneous_grid();
+    let bp = het.comparison("BPVeC", "HBM2");
+    if emit_machine_readable(&bp) {
+        return;
     }
-    println!(
-        "{:<14} {:>13.2}x {:>13.2}x {:>13.2}x {:>13.2}x",
-        "GEOMEAN",
-        bf.geomean_speedup,
-        bf.geomean_energy,
-        bp.geomean_speedup,
-        bp.geomean_energy,
-    );
-    println!(
-        "paper GEOMEAN  {:>12.2}x {:>13.2}x {:>13.2}x {:>13.2}x",
-        paper::FIG8_BITFUSION_GEOMEAN.0,
-        paper::FIG8_BITFUSION_GEOMEAN.1,
-        paper::FIG8_BPVEC_GEOMEAN.0,
-        paper::FIG8_BPVEC_GEOMEAN.1,
+    print_hbm2_figure(
+        "Figure 8",
+        ("BF", "BPVeC"),
+        &het.comparison("BitFusion", "HBM2"),
+        &bp,
+        paper::FIG8_BITFUSION_GEOMEAN,
+        paper::FIG8_BPVEC_GEOMEAN,
     );
 }

@@ -1,9 +1,25 @@
 //! Regenerates **Figure 9**: BPVeC performance-per-Watt relative to the
 //! RTX 2080 Ti GPU model — (a) homogeneous INT8, (b) heterogeneous INT4.
+//! `--csv` / `--json` dump the underlying scenario reports (all raw cells)
+//! machine-readably.
 
-use bpvec_bench::{figure9, paper_fig9};
+use bpvec_bench::{concat_report_csv, figure9, figure9_report, paper_fig9};
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--csv") {
+        print!(
+            "{}",
+            concat_report_csv(&[figure9_report(false), figure9_report(true)])
+        );
+        return;
+    }
+    if args.iter().any(|a| a == "--json") {
+        for het in [false, true] {
+            println!("{}", figure9_report(het).to_json());
+        }
+        return;
+    }
     for (het, title, pd, ph, gm) in [
         (
             false,

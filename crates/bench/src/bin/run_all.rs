@@ -1,22 +1,27 @@
 //! Regenerates the entire evaluation in one run: every table and figure,
 //! plus the extension experiments — the command behind EXPERIMENTS.md.
+//!
+//! Three scenario runs produce everything: the homogeneous grid
+//! (Figures 5–6), the heterogeneous grid (Figures 7–8), and the two GPU
+//! panels (Figure 9) — each figure is one slice of a shared [`Report`].
+//!
+//! [`Report`]: bpvec_sim::Report
 
 use bpvec_bench::figure9;
-use bpvec_sim::experiments::{
-    figure5, figure6_baseline, figure6_bpvec, figure7, figure8_bitfusion, figure8_bpvec,
-};
+use bpvec_sim::experiments::{heterogeneous_grid, homogeneous_grid};
 
 fn main() {
     println!("BPVeC full evaluation (geomeans; run the per-figure binaries for rows)\n");
-    let f5 = figure5();
+    let hom = homogeneous_grid();
+    let f5 = hom.comparison("BPVeC", "DDR4");
     println!(
         "fig5  {:<38} speedup {:>5.2}x (paper 1.39)  energy {:>5.2}x (paper 1.43)",
         format!("{} vs {}", f5.evaluated, f5.baseline),
         f5.geomean_speedup,
         f5.geomean_energy
     );
-    let f6b = figure6_baseline();
-    let f6 = figure6_bpvec();
+    let f6b = hom.comparison("TPU-like", "HBM2");
+    let f6 = hom.comparison("BPVeC", "HBM2");
     println!(
         "fig6  {:<38} speedup {:>5.2}x (paper 1.06)  energy {:>5.2}x (paper 1.34)",
         "TPU-like + HBM2 vs TPU-like + DDR4", f6b.geomean_speedup, f6b.geomean_energy
@@ -25,13 +30,14 @@ fn main() {
         "fig6  {:<38} speedup {:>5.2}x (paper 2.11)  energy {:>5.2}x (paper 2.28)",
         "BPVeC + HBM2 vs TPU-like + DDR4", f6.geomean_speedup, f6.geomean_energy
     );
-    let f7 = figure7();
+    let het = heterogeneous_grid();
+    let f7 = het.comparison("BPVeC", "DDR4");
     println!(
         "fig7  {:<38} speedup {:>5.2}x (paper 1.45)  energy {:>5.2}x (paper 1.13)",
         "BPVeC vs BitFusion (DDR4, het)", f7.geomean_speedup, f7.geomean_energy
     );
-    let f8b = figure8_bitfusion();
-    let f8 = figure8_bpvec();
+    let f8b = het.comparison("BitFusion", "HBM2");
+    let f8 = het.comparison("BPVeC", "HBM2");
     println!(
         "fig8  {:<38} speedup {:>5.2}x (paper 1.45)  energy {:>5.2}x (paper 2.26)",
         "BitFusion + HBM2 vs BitFusion + DDR4", f8b.geomean_speedup, f8b.geomean_energy

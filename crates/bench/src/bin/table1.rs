@@ -17,10 +17,7 @@ fn main() {
             let compute: Vec<_> = net.compute_layers().collect();
             let first = compute.first().unwrap().weight_bits;
             let last = compute.last().unwrap().weight_bits;
-            let inner = compute
-                .get(1)
-                .map(|l| l.weight_bits)
-                .unwrap_or(first);
+            let inner = compute.get(1).map(|l| l.weight_bits).unwrap_or(first);
             if first.bits() == 8 {
                 vec![format!("first/last {first}, rest {inner}")]
             } else {
@@ -38,8 +35,6 @@ fn main() {
         );
     }
     println!();
-    println!(
-        "note: the paper's GOps column uses its own batch accounting; per-inference"
-    );
+    println!("note: the paper's GOps column uses its own batch accounting; per-inference");
     println!("GOps are shown here, and both are recorded in EXPERIMENTS.md");
 }

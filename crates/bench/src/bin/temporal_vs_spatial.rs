@@ -35,7 +35,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (bx, bw) in [(8u32, 8u32), (8, 4), (8, 2), (4, 4), (2, 2)] {
         let bxw = BitWidth::new(bx)?;
         let bww = BitWidth::new(bw)?;
-        let spatial = cvu.dot_product(&xs, &ws, bxw, bww, Signedness::Signed)?.cycles;
+        let spatial = cvu
+            .dot_product(&xs, &ws, bxw, bww, Signedness::Signed)?
+            .cycles;
         let s_cycles = stripes.cycles_for(n, bxw, bww);
         let l_cycles = loom.cycles_for(n, bxw, bww);
         println!(
@@ -47,9 +49,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
         // Cross-check the cycle formulas against bit-true executions.
         assert_eq!(
-            stripes
-                .dot(&xs, &ws, bxw, bww, Signedness::Signed)?
-                .cycles,
+            stripes.dot(&xs, &ws, bxw, bww, Signedness::Signed)?.cycles,
             s_cycles
         );
     }

@@ -1,4 +1,4 @@
-//! # `bpvec-bench` — the experiment harness
+//! # `bpvec-bench` — the experiment harness over the `Scenario` API
 //!
 //! One binary per table/figure of the paper regenerates the corresponding
 //! rows/series and prints them next to the paper's reported values:
@@ -16,13 +16,21 @@
 //! | `fig8`   | Figure 8 — vs BitFusion, HBM2, heterogeneous |
 //! | `fig9`   | Figure 9 — performance-per-Watt vs RTX 2080 Ti |
 //!
+//! Every accelerator figure is a thin slice of a
+//! [`Scenario`](bpvec_sim::Scenario) (declared in
+//! `bpvec_sim::experiments`); [`figure9`] here declares the GPU comparison
+//! the same way, with [`GpuPlatform`] standing next to
+//! [`AcceleratorConfig`](bpvec_sim::AcceleratorConfig) as just another
+//! [`Evaluator`](bpvec_sim::Evaluator). The `--csv` / `--json` flags on the
+//! figure binaries emit machine-readable output for plotting pipelines.
+//!
 //! Criterion benches (`cargo bench`) measure the functional CVU engine, the
 //! cycle-true systolic array, the analytical experiment harnesses and the
 //! ablation sweeps.
 
-use bpvec_dnn::{BitwidthPolicy, Network, NetworkId};
-use bpvec_gpumodel::{evaluate as gpu_evaluate, GpuPrecision, GpuSpec};
-use bpvec_sim::{simulate, AcceleratorConfig, DramSpec, SimConfig};
+use bpvec_dnn::{BitwidthPolicy, NetworkId};
+use bpvec_gpumodel::GpuPlatform;
+use bpvec_sim::{AcceleratorConfig, Comparison, DramSpec, Report, Scenario, Workload};
 
 /// One Figure 9 row: accelerator-vs-GPU performance-per-Watt ratios.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -35,38 +43,49 @@ pub struct PerfPerWattRow {
     pub hbm2_ratio: f64,
 }
 
+/// The Figure 9 scenario: the GPU model and BPVeC side by side, normalized
+/// to the GPU. `heterogeneous` selects the panel — homogeneous INT8
+/// (`false`) or heterogeneous INT4 (`true`).
+#[must_use]
+pub fn figure9_report(heterogeneous: bool) -> Report {
+    let policy = if heterogeneous {
+        BitwidthPolicy::Heterogeneous
+    } else {
+        BitwidthPolicy::Homogeneous8
+    };
+    Scenario::new(if heterogeneous {
+        "figure 9(b): perf/W vs RTX 2080 Ti (INT4)"
+    } else {
+        "figure 9(a): perf/W vs RTX 2080 Ti (INT8)"
+    })
+    .platform(GpuPlatform::rtx_2080_ti())
+    .platform(AcceleratorConfig::bpvec())
+    .memory(DramSpec::ddr4())
+    .memory(DramSpec::hbm2())
+    .workloads(Workload::table1(policy))
+    .baseline("RTX 2080 Ti", "DDR4")
+    .run()
+}
+
 /// Computes one Figure 9 panel: homogeneous INT8 (`heterogeneous = false`)
 /// or heterogeneous INT4 (`true`). Returns per-network rows plus
 /// (ddr4 geomean, hbm2 geomean).
 #[must_use]
 pub fn figure9(heterogeneous: bool) -> (Vec<PerfPerWattRow>, f64, f64) {
-    let (policy, precision) = if heterogeneous {
-        (BitwidthPolicy::Heterogeneous, GpuPrecision::Int4)
-    } else {
-        (BitwidthPolicy::Homogeneous8, GpuPrecision::Int8)
-    };
-    let spec = GpuSpec::rtx_2080_ti();
-    let mut rows = Vec::new();
-    for id in NetworkId::ALL {
-        let net = Network::build(id, policy);
-        let gpu = gpu_evaluate(&net, &spec, precision);
-        let ddr4 = simulate(
-            &net,
-            &SimConfig::new(AcceleratorConfig::bpvec(), DramSpec::ddr4()),
-        );
-        let hbm2 = simulate(
-            &net,
-            &SimConfig::new(AcceleratorConfig::bpvec(), DramSpec::hbm2()),
-        );
-        rows.push(PerfPerWattRow {
-            network: id,
-            ddr4_ratio: ddr4.gops_per_watt() / gpu.gops_per_watt,
-            hbm2_ratio: hbm2.gops_per_watt() / gpu.gops_per_watt,
-        });
-    }
-    let gm_d = bpvec_sim::engine::geomean(&rows.iter().map(|r| r.ddr4_ratio).collect::<Vec<_>>());
-    let gm_h = bpvec_sim::engine::geomean(&rows.iter().map(|r| r.hbm2_ratio).collect::<Vec<_>>());
-    (rows, gm_d, gm_h)
+    let report = figure9_report(heterogeneous);
+    let ddr4 = report.perf_per_watt("BPVeC", "DDR4");
+    let hbm2 = report.perf_per_watt("BPVeC", "HBM2");
+    let rows = ddr4
+        .rows
+        .iter()
+        .zip(&hbm2.rows)
+        .map(|(d, h)| PerfPerWattRow {
+            network: d.network,
+            ddr4_ratio: d.ratio,
+            hbm2_ratio: h.ratio,
+        })
+        .collect();
+    (rows, ddr4.geomean, hbm2.geomean)
 }
 
 /// The paper's Figure 9 series for side-by-side printing.
@@ -89,6 +108,117 @@ pub mod paper_fig9 {
 #[must_use]
 pub fn fmt_vs(name: &str, measured: f64, paper: f64) -> String {
     format!("{name:<14} {measured:>8.2}x   (paper {paper:>6.2}x)")
+}
+
+/// Shared CLI handling for the figure binaries: `--csv` prints the figure's
+/// comparison series as CSV, `--json` the full comparison as JSON. Returns
+/// true if a machine-readable format was emitted (the caller should skip
+/// its table printing).
+#[must_use]
+pub fn emit_machine_readable(comparison: &Comparison) -> bool {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--csv") {
+        print!("{}", comparison.to_csv());
+        true
+    } else if args.iter().any(|a| a == "--json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(comparison).expect("comparison serialization cannot fail")
+        );
+        true
+    } else {
+        false
+    }
+}
+
+/// Joins several report CSVs into one stream with a single header row (the
+/// `policy` column already distinguishes the panels), so the output stays
+/// parseable by CSV readers.
+#[must_use]
+pub fn concat_report_csv(reports: &[Report]) -> String {
+    let mut out = String::new();
+    for (i, r) in reports.iter().enumerate() {
+        let csv = r.to_csv();
+        if i == 0 {
+            out.push_str(&csv);
+        } else if let Some((_, body)) = csv.split_once('\n') {
+            out.push_str(body);
+        }
+    }
+    out
+}
+
+/// Prints one single-series comparison figure (Figures 5 and 7): measured
+/// speedup/energy next to the paper's series, then the geomeans.
+pub fn print_comparison_figure(
+    title: &str,
+    f: &Comparison,
+    paper_speedup: &[f64; 6],
+    paper_energy: &[f64; 6],
+    paper_geomean: (f64, f64),
+) {
+    println!("{title}: {} normalized to {}", f.evaluated, f.baseline);
+    println!(
+        "{:<14} {:>9} {:>14} {:>9} {:>14}",
+        "network", "speedup", "paper", "energy", "paper"
+    );
+    for (i, r) in f.rows.iter().enumerate() {
+        println!(
+            "{:<14} {:>8.2}x {:>13.2}x {:>8.2}x {:>13.2}x",
+            r.network.name(),
+            r.speedup,
+            paper_speedup[i],
+            r.energy_reduction,
+            paper_energy[i],
+        );
+    }
+    println!(
+        "{:<14} {:>8.2}x {:>13.2}x {:>8.2}x {:>13.2}x",
+        "GEOMEAN", f.geomean_speedup, paper_geomean.0, f.geomean_energy, paper_geomean.1,
+    );
+}
+
+/// Prints a two-series HBM2-study figure (Figures 6 and 8): the baseline
+/// design and BPVeC, both normalized to the same DDR4 baseline.
+pub fn print_hbm2_figure(
+    title: &str,
+    series_names: (&str, &str),
+    base: &Comparison,
+    bpvec: &Comparison,
+    paper_base_geomean: (f64, f64),
+    paper_bpvec_geomean: (f64, f64),
+) {
+    println!("{title}: HBM2 study, normalized to {}", base.baseline);
+    println!(
+        "{:<14} {:>14} {:>14} {:>14} {:>14}",
+        "network",
+        format!("{} speedup", series_names.0),
+        format!("{} energy", series_names.0),
+        format!("{} speedup", series_names.1),
+        format!("{} energy", series_names.1),
+    );
+    for (b, p) in base.rows.iter().zip(&bpvec.rows) {
+        println!(
+            "{:<14} {:>13.2}x {:>13.2}x {:>13.2}x {:>13.2}x",
+            b.network.name(),
+            b.speedup,
+            b.energy_reduction,
+            p.speedup,
+            p.energy_reduction,
+        );
+    }
+    println!(
+        "{:<14} {:>13.2}x {:>13.2}x {:>13.2}x {:>13.2}x",
+        "GEOMEAN",
+        base.geomean_speedup,
+        base.geomean_energy,
+        bpvec.geomean_speedup,
+        bpvec.geomean_energy,
+    );
+    println!(
+        "paper GEOMEAN  {:>12.2}x {:>13.2}x {:>13.2}x {:>13.2}x",
+        paper_base_geomean.0, paper_base_geomean.1, paper_bpvec_geomean.0, paper_bpvec_geomean.1,
+    );
 }
 
 #[cfg(test)]
@@ -117,6 +247,40 @@ mod tests {
                 r50.hbm2_ratio
             );
         }
+    }
+
+    #[test]
+    fn figure9_report_is_a_gpu_normalized_scenario() {
+        let report = figure9_report(false);
+        assert_eq!(report.baseline.platform, "RTX 2080 Ti");
+        assert_eq!(report.cells.len(), 2 * 2 * 6);
+        // The GPU's own series normalizes to exactly 1.0.
+        let own = report.perf_per_watt("RTX 2080 Ti", "DDR4");
+        for r in &own.rows {
+            assert!((r.ratio - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn geomean_reexport_is_the_engine_geomean() {
+        // The curated crate-root surface now carries geomean (bench used to
+        // reach into `bpvec_sim::engine` for it).
+        assert_eq!(
+            bpvec_sim::geomean(&[1.0, 4.0]),
+            bpvec_sim::engine::geomean(&[1.0, 4.0])
+        );
+    }
+
+    #[test]
+    fn concatenated_csv_has_one_header() {
+        let csv = concat_report_csv(&[figure9_report(false), figure9_report(true)]);
+        let headers = csv
+            .lines()
+            .filter(|l| l.starts_with("platform,memory"))
+            .count();
+        assert_eq!(headers, 1);
+        assert_eq!(csv.trim().lines().count(), 1 + 2 * 24);
+        assert!(csv.contains("Heterogeneous"));
     }
 
     #[test]

@@ -218,7 +218,13 @@ mod tests {
     fn out_of_range_weight_is_rejected() {
         let eng = BitSerialEngine::new(4, SerialMode::ActivationSerial);
         assert!(matches!(
-            eng.dot(&[1], &[9], BitWidth::INT8, BitWidth::INT4, Signedness::Signed),
+            eng.dot(
+                &[1],
+                &[9],
+                BitWidth::INT8,
+                BitWidth::INT4,
+                Signedness::Signed
+            ),
             Err(CoreError::ValueOutOfRange { .. })
         ));
     }

@@ -392,10 +392,7 @@ mod tests {
         assert_eq!(BitWidth::INT8.range(Signedness::Unsigned), (0, 255));
         assert_eq!(BitWidth::INT2.range(Signedness::Signed), (-2, 1));
         assert_eq!(BitWidth::INT2.range(Signedness::Unsigned), (0, 3));
-        assert_eq!(
-            BitWidth::new(1).unwrap().range(Signedness::Signed),
-            (-1, 0)
-        );
+        assert_eq!(BitWidth::new(1).unwrap().range(Signedness::Signed), (-1, 0));
     }
 
     #[test]

@@ -143,9 +143,8 @@ impl Composition {
     /// over x-slices then w-slices — the order Figure 3a draws the NBVEs in.
     pub fn assignments(&self) -> impl Iterator<Item = (u32, u32, u32)> + '_ {
         let w_slices = self.w_slices;
-        (0..self.x_slices).flat_map(move |j| {
-            (0..w_slices).map(move |k| (j, k, self.shift_for(j, k)))
-        })
+        (0..self.x_slices)
+            .flat_map(move |j| (0..w_slices).map(move |k| (j, k, self.shift_for(j, k))))
     }
 
     /// Hardware utilization of the NBVE array in `0.0..=1.0`.

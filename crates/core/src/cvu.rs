@@ -325,7 +325,8 @@ mod tests {
     fn het_mode_4x4_quadruples_per_cycle_capacity() {
         let cvu = paper_cvu();
         assert_eq!(
-            cvu.throughput_per_cycle(BitWidth::INT4, BitWidth::INT4).unwrap(),
+            cvu.throughput_per_cycle(BitWidth::INT4, BitWidth::INT4)
+                .unwrap(),
             64
         );
         let xs: Vec<i32> = (0..64).map(|i| (i % 15) - 8).collect();
@@ -341,7 +342,8 @@ mod tests {
     fn het_mode_2x2_gives_16x() {
         let cvu = paper_cvu();
         assert_eq!(
-            cvu.throughput_per_cycle(BitWidth::INT2, BitWidth::INT2).unwrap(),
+            cvu.throughput_per_cycle(BitWidth::INT2, BitWidth::INT2)
+                .unwrap(),
             256
         );
     }
@@ -368,7 +370,13 @@ mod tests {
         // A CVU configured for 4-bit maximum cannot take 8-bit operands.
         let cvu = Cvu::new(CvuConfig::for_slicing(2, 4, 8).unwrap());
         assert!(cvu
-            .dot_product(&[1], &[1], BitWidth::INT8, BitWidth::INT8, Signedness::Signed)
+            .dot_product(
+                &[1],
+                &[1],
+                BitWidth::INT8,
+                BitWidth::INT8,
+                Signedness::Signed
+            )
             .is_err());
     }
 
@@ -376,7 +384,13 @@ mod tests {
     fn out_of_range_element_is_rejected() {
         let cvu = paper_cvu();
         assert!(matches!(
-            cvu.dot_product(&[5], &[1], BitWidth::INT2, BitWidth::INT2, Signedness::Signed),
+            cvu.dot_product(
+                &[5],
+                &[1],
+                BitWidth::INT2,
+                BitWidth::INT2,
+                Signedness::Signed
+            ),
             Err(CoreError::ValueOutOfRange { .. })
         ));
     }

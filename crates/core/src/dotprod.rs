@@ -98,7 +98,15 @@ pub fn dot_bitwise_clustered(
     bww: BitWidth,
     signedness: Signedness,
 ) -> Result<i64, CoreError> {
-    dot_slice_clustered(xs, ws, bwx, bww, SliceWidth::BIT1, SliceWidth::BIT1, signedness)
+    dot_slice_clustered(
+        xs,
+        ws,
+        bwx,
+        bww,
+        SliceWidth::BIT1,
+        SliceWidth::BIT1,
+        signedness,
+    )
 }
 
 /// Equation 4: the generalized bit-slice clustering with slice widths `α`

@@ -67,7 +67,10 @@ impl fmt::Display for CoreError {
                 write!(f, "value {value} does not fit in {bits}-bit {kind} range")
             }
             CoreError::LengthMismatch { left, right } => {
-                write!(f, "dot-product operands differ in length: {left} vs {right}")
+                write!(
+                    f,
+                    "dot-product operands differ in length: {left} vs {right}"
+                )
             }
             CoreError::CompositionTooLarge {
                 required,

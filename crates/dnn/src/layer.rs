@@ -265,14 +265,7 @@ impl Layer {
 mod tests {
     use super::*;
 
-    fn conv(
-        in_c: usize,
-        out_c: usize,
-        k: usize,
-        s: usize,
-        p: usize,
-        hw: usize,
-    ) -> Layer {
+    fn conv(in_c: usize, out_c: usize, k: usize, s: usize, p: usize, hw: usize) -> Layer {
         Layer::new(
             "conv",
             LayerKind::Conv2d {

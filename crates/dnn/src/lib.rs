@@ -27,8 +27,8 @@
 #![deny(missing_debug_implementations)]
 
 pub mod layer;
-pub mod packing;
 pub mod models;
+pub mod packing;
 pub mod quant;
 pub mod reference;
 pub mod tensor;

@@ -184,10 +184,7 @@ fn apply_policy(id: NetworkId, policy: BitwidthPolicy, layers: &mut [Layer]) {
                 .filter(|(_, l)| l.is_compute())
                 .map(|(i, _)| i)
                 .collect();
-            let (first, last) = (
-                compute_idx.first().copied(),
-                compute_idx.last().copied(),
-            );
+            let (first, last) = (compute_idx.first().copied(), compute_idx.last().copied());
             for (i, l) in layers.iter_mut().enumerate() {
                 let is_boundary = Some(i) == first || Some(i) == last;
                 let bits = if boundary_8bit && is_boundary {
@@ -269,7 +266,12 @@ fn resnet18() -> Vec<Layer> {
     ];
     // (stage, blocks, channels, input hw); first block of stages 2-4
     // downsamples with stride 2 and a 1x1 projection shortcut.
-    let stages = [(1, 2, 64, 56), (2, 2, 128, 56), (3, 2, 256, 28), (4, 2, 512, 14)];
+    let stages = [
+        (1, 2, 64, 56),
+        (2, 2, 128, 56),
+        (3, 2, 256, 28),
+        (4, 2, 512, 14),
+    ];
     let mut in_c = 64;
     for (stage, blocks, c, mut hw) in stages {
         for b in 0..blocks {
@@ -476,7 +478,11 @@ mod tests {
     fn recurrent_gops_match_table1() {
         // Table I: RNN 17 GOps, LSTM 13 GOps.
         let rnn = net(NetworkId::Rnn);
-        assert!((rnn.total_gops() - 17.0).abs() < 1.5, "{}", rnn.total_gops());
+        assert!(
+            (rnn.total_gops() - 17.0).abs() < 1.5,
+            "{}",
+            rnn.total_gops()
+        );
         let lstm = net(NetworkId::Lstm);
         assert!(
             (lstm.total_gops() - 13.0).abs() < 1.5,
@@ -499,7 +505,11 @@ mod tests {
     #[test]
     fn heterogeneous_policy_follows_table1() {
         // Boundary layers 8-bit for the three smaller CNNs.
-        for id in [NetworkId::AlexNet, NetworkId::InceptionV1, NetworkId::ResNet18] {
+        for id in [
+            NetworkId::AlexNet,
+            NetworkId::InceptionV1,
+            NetworkId::ResNet18,
+        ] {
             let n = Network::build(id, BitwidthPolicy::Heterogeneous);
             let compute: Vec<&Layer> = n.compute_layers().collect();
             assert_eq!(compute.first().unwrap().weight_bits, BitWidth::INT8);

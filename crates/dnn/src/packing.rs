@@ -152,8 +152,7 @@ mod tests {
     fn odd_widths_straddle_byte_boundaries_correctly() {
         // 3-bit fields cross byte boundaries at every third element.
         let vals: Vec<i32> = (0..20).map(|i| (i % 8) - 4).collect();
-        let p = PackedTensor::pack(&vals, BitWidth::new(3).unwrap(), Signedness::Signed)
-            .unwrap();
+        let p = PackedTensor::pack(&vals, BitWidth::new(3).unwrap(), Signedness::Signed).unwrap();
         assert_eq!(p.byte_len(), (20 * 3usize).div_ceil(8));
         assert_eq!(p.unpack(), vals);
         assert_eq!(p.get(7), vals[7]);

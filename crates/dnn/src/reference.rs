@@ -111,10 +111,7 @@ pub fn gemm(a: &Tensor, b: &Tensor) -> Tensor {
 /// ReLU over a quantized tensor.
 #[must_use]
 pub fn relu(t: &Tensor) -> Tensor {
-    Tensor::from_data(
-        t.shape(),
-        t.as_slice().iter().map(|&v| v.max(0)).collect(),
-    )
+    Tensor::from_data(t.shape(), t.as_slice().iter().map(|&v| v.max(0)).collect())
 }
 
 /// 2-D max pooling over `[c, h, w]`.
@@ -152,7 +149,11 @@ pub fn maxpool2d(input: &Tensor, kernel: (usize, usize), stride: (usize, usize))
 #[must_use]
 pub fn requantize(t: &Tensor, shift: u32, bits: BitWidth, signedness: Signedness) -> Tensor {
     let (lo, hi) = bits.range(signedness);
-    let half = if shift == 0 { 0i64 } else { 1i64 << (shift - 1) };
+    let half = if shift == 0 {
+        0i64
+    } else {
+        1i64 << (shift - 1)
+    };
     Tensor::from_data(
         t.shape(),
         t.as_slice()
@@ -234,12 +235,7 @@ pub fn lstm_step(
 ///
 /// Panics if `gates.len() != 4 * c.len()`.
 #[must_use]
-pub fn lstm_recombine(
-    gates: &Tensor,
-    c: &Tensor,
-    shift: u32,
-    bits: BitWidth,
-) -> (Tensor, Tensor) {
+pub fn lstm_recombine(gates: &Tensor, c: &Tensor, shift: u32, bits: BitWidth) -> (Tensor, Tensor) {
     let hidden = c.len();
     assert_eq!(gates.len(), 4 * hidden, "gate vector length");
     let (lo, hi) = bits.range(Signedness::Signed);

@@ -18,11 +18,16 @@
 //! The calibration values and their sources are documented in
 //! EXPERIMENTS.md; every Figure 9 claim in this reproduction is a *ratio*
 //! against this model, mirroring the paper's methodology.
+//!
+//! [`GpuPlatform`] implements `bpvec_sim`'s [`Evaluator`] trait, so the GPU
+//! drops into any [`bpvec_sim::Scenario`] next to the ASIC platforms — that
+//! is exactly how the bench crate's Figure 9 is declared.
 
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 
-use bpvec_dnn::{Network, NetworkId};
+use bpvec_dnn::{BitwidthPolicy, Network, NetworkId};
+use bpvec_sim::{DramSpec, Evaluator, Measurement, Workload};
 use serde::{Deserialize, Serialize};
 
 /// GPU numeric precision mode (TensorRT execution mode).
@@ -128,10 +133,91 @@ pub fn evaluate(network: &Network, spec: &GpuSpec, precision: GpuPrecision) -> G
     }
 }
 
+/// The GPU as a [`Scenario`](bpvec_sim::Scenario) platform.
+///
+/// Wraps a [`GpuSpec`] for use anywhere an [`Evaluator`] is accepted. The
+/// GPU has its own GDDR6 memory, so the scenario's off-chip memory axis is
+/// ignored; its cells repeat the same measurement under every memory, which
+/// is what makes it a constant normalization baseline (Figure 9).
+///
+/// By default the precision follows the workload's bitwidth policy
+/// (homogeneous → INT8, heterogeneous → INT4, the paper's pairing); pin it
+/// with [`GpuPlatform::with_precision`]. Modeling a different device?
+/// Rename it with [`GpuPlatform::with_label`] so scenario columns (and
+/// multi-GPU scenarios) stay unambiguous.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GpuPlatform {
+    /// Device parameters.
+    pub spec: GpuSpec,
+    /// Fixed precision, or `None` to follow the workload's policy.
+    pub precision: Option<GpuPrecision>,
+    label: String,
+}
+
+impl GpuPlatform {
+    /// The RTX 2080 Ti with policy-matched precision.
+    #[must_use]
+    pub fn rtx_2080_ti() -> Self {
+        GpuPlatform {
+            spec: GpuSpec::rtx_2080_ti(),
+            precision: None,
+            label: "RTX 2080 Ti".to_string(),
+        }
+    }
+
+    /// A custom device: its parameters plus the label scenario columns use.
+    #[must_use]
+    pub fn new(label: impl Into<String>, spec: GpuSpec) -> Self {
+        GpuPlatform {
+            spec,
+            precision: None,
+            label: label.into(),
+        }
+    }
+
+    /// Pins the execution precision regardless of workload policy.
+    #[must_use]
+    pub fn with_precision(mut self, precision: GpuPrecision) -> Self {
+        self.precision = Some(precision);
+        self
+    }
+
+    /// Renames the platform (e.g. to carry two GPU variants in one
+    /// scenario).
+    #[must_use]
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
+    }
+
+    fn precision_for(&self, policy: BitwidthPolicy) -> GpuPrecision {
+        self.precision.unwrap_or(match policy {
+            BitwidthPolicy::Homogeneous8 => GpuPrecision::Int8,
+            BitwidthPolicy::Heterogeneous => GpuPrecision::Int4,
+        })
+    }
+}
+
+impl Evaluator for GpuPlatform {
+    fn label(&self) -> String {
+        self.label.clone()
+    }
+
+    fn evaluate(&self, workload: &Workload, network: &Network, _dram: &DramSpec) -> Measurement {
+        let r = evaluate(network, &self.spec, self.precision_for(workload.policy));
+        Measurement {
+            latency_s: r.latency_s,
+            energy_j: r.latency_s * self.spec.board_power_w,
+            macs: network.total_macs(),
+            batch: 1,
+            gops_per_watt: r.gops_per_watt,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bpvec_dnn::BitwidthPolicy;
 
     #[test]
     fn peak_int8_matches_turing_datasheet() {
@@ -173,6 +259,34 @@ mod tests {
         let r4 = evaluate(&n, &spec, GpuPrecision::Int4);
         let speedup = r8.latency_s / r4.latency_s;
         assert!(speedup > 1.0 && speedup < 2.0, "INT4 speedup {speedup}");
+    }
+
+    #[test]
+    fn platform_follows_policy_and_ignores_memory() {
+        let p = GpuPlatform::rtx_2080_ti();
+        let w8 = Workload::new(NetworkId::ResNet50, BitwidthPolicy::Homogeneous8);
+        let w4 = Workload::new(NetworkId::ResNet50, BitwidthPolicy::Heterogeneous);
+        let m8 = p.evaluate(&w8, &w8.build(), &DramSpec::ddr4());
+        let m8_hbm = p.evaluate(&w8, &w8.build(), &DramSpec::hbm2());
+        let m4 = p.evaluate(&w4, &w4.build(), &DramSpec::ddr4());
+        assert_eq!(m8, m8_hbm, "the GPU brings its own memory system");
+        assert!(m4.latency_s < m8.latency_s, "INT4 must beat INT8");
+        // Native ratio is preserved bit-for-bit for Figure 9.
+        let direct = evaluate(&w8.build(), &p.spec, GpuPrecision::Int8);
+        assert_eq!(m8.gops_per_watt, direct.gops_per_watt);
+        assert_eq!(p.label(), "RTX 2080 Ti");
+        // Pinned precision overrides the policy pairing.
+        let pinned = p.clone().with_precision(GpuPrecision::Int8);
+        let m4_pinned = pinned.evaluate(&w4, &w4.build(), &DramSpec::ddr4());
+        assert!(m4_pinned.latency_s > m4.latency_s);
+        // Custom devices carry their own label, so two GPUs can share a
+        // scenario without a duplicate-label clash.
+        let a100ish = GpuPlatform::new("A100-ish", GpuSpec::rtx_2080_ti());
+        assert_eq!(a100ish.label(), "A100-ish");
+        assert_eq!(
+            p.clone().with_label("2080 Ti @ 300W").label(),
+            "2080 Ti @ 300W"
+        );
     }
 
     #[test]

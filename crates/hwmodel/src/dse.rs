@@ -120,7 +120,13 @@ pub fn sweep(slice_widths: &[u32], lane_counts: &[u32], tech: &TechnologyProfile
     let mut out = Vec::with_capacity(slice_widths.len() * lane_counts.len());
     for &s in slice_widths {
         for &l in lane_counts {
-            out.push(evaluate(DesignPoint { slice_bits: s, lanes: l }, tech));
+            out.push(evaluate(
+                DesignPoint {
+                    slice_bits: s,
+                    lanes: l,
+                },
+                tech,
+            ));
         }
     }
     out
@@ -143,11 +149,27 @@ impl Figure4 {
         Figure4 {
             one_bit: lanes
                 .iter()
-                .map(|&l| evaluate(DesignPoint { slice_bits: 1, lanes: l }, tech))
+                .map(|&l| {
+                    evaluate(
+                        DesignPoint {
+                            slice_bits: 1,
+                            lanes: l,
+                        },
+                        tech,
+                    )
+                })
                 .collect(),
             two_bit: lanes
                 .iter()
-                .map(|&l| evaluate(DesignPoint { slice_bits: 2, lanes: l }, tech))
+                .map(|&l| {
+                    evaluate(
+                        DesignPoint {
+                            slice_bits: 2,
+                            lanes: l,
+                        },
+                        tech,
+                    )
+                })
                 .collect(),
         }
     }
@@ -261,7 +283,11 @@ mod tests {
         // Paper observation 1: the adder tree ranks first in power/area.
         for p in fig4().one_bit.iter().chain(&fig4().two_bit) {
             let (name, _) = p.power_breakdown.dominant();
-            assert_eq!(name, "addition", "L={} s={}", p.design.lanes, p.design.slice_bits);
+            assert_eq!(
+                name, "addition",
+                "L={} s={}",
+                p.design.lanes, p.design.slice_bits
+            );
         }
     }
 
@@ -292,8 +318,20 @@ mod tests {
         // aggregation-side claim, which is the mechanism the paper argues
         // from; the total-cost delta is recorded in EXPERIMENTS.md.
         let t = TechnologyProfile::nm45();
-        let two = evaluate(DesignPoint { slice_bits: 2, lanes: 16 }, &t);
-        let four = evaluate(DesignPoint { slice_bits: 4, lanes: 16 }, &t);
+        let two = evaluate(
+            DesignPoint {
+                slice_bits: 2,
+                lanes: 16,
+            },
+            &t,
+        );
+        let four = evaluate(
+            DesignPoint {
+                slice_bits: 4,
+                lanes: 16,
+            },
+            &t,
+        );
         let agg2 = two.power_breakdown.addition + two.power_breakdown.shifting;
         let agg4 = four.power_breakdown.addition + four.power_breakdown.shifting;
         assert!(agg4 < agg2);

@@ -4,8 +4,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::components::{
-    adder, barrel_shifter, compressor_tree, multiplier, register, shifted_adder_tree,
-    ComponentCost,
+    adder, barrel_shifter, compressor_tree, multiplier, register, shifted_adder_tree, ComponentCost,
 };
 use crate::tech::TechnologyProfile;
 
@@ -209,7 +208,6 @@ pub fn cvu_cost(geom: &CvuGeometry, tech: &TechnologyProfile) -> UnitCost {
     }
 }
 
-
 /// Ablation: a *flat* CVU that feeds all `n²·L` slice products into one
 /// global shifted aggregation tree, with no private per-NBVE trees — the
 /// organization the paper's two-level scheme is implicitly compared against
@@ -220,15 +218,14 @@ pub fn cvu_cost_flat(geom: &CvuGeometry, tech: &TechnologyProfile) -> UnitCost {
     let n = geom.slices_per_operand();
     let num_nbves = geom.num_nbves();
     let total_products = num_nbves * geom.lanes;
-    let mults =
-        multiplier(s, s, true, tech).scale(f64::from(total_products));
+    let mults = multiplier(s, s, true, tech).scale(f64::from(total_products));
     // Every product is shifted individually, then one huge carry-save tree
     // aggregates all of them.
     let product_width = 2 * s;
     let max_shift = 2 * (n - 1) * geom.slice_bits;
     let distinct_shifts = 2 * n - 1;
-    let shifters = barrel_shifter(product_width, distinct_shifts, tech)
-        .scale(f64::from(total_products));
+    let shifters =
+        barrel_shifter(product_width, distinct_shifts, tech).scale(f64::from(total_products));
     let (global_tree, global_width) =
         shifted_adder_tree(total_products, product_width, max_shift, tech);
     let mut breakdown = CostBreakdown {
@@ -272,12 +269,7 @@ pub fn throughput_multiplier(geom: &CvuGeometry, bx: u32, bw: u32) -> f64 {
 /// bitwidths `(bx, bw)`: the unit's full power is spent every cycle, but the
 /// cycle completes `clusters × L` narrower MACs.
 #[must_use]
-pub fn composable_energy_per_mac_pj(
-    unit: &UnitCost,
-    geom: &CvuGeometry,
-    bx: u32,
-    bw: u32,
-) -> f64 {
+pub fn composable_energy_per_mac_pj(unit: &UnitCost, geom: &CvuGeometry, bx: u32, bw: u32) -> f64 {
     let ops = unit.macs_per_cycle * throughput_multiplier(geom, bx, bw);
     (unit.total().power / CLOCK_MHZ) / ops
 }
@@ -364,7 +356,6 @@ mod tests {
         );
         assert_eq!(bf.total(), l1.total());
     }
-
 
     #[test]
     fn two_level_aggregation_beats_flat_at_the_paper_design_point() {

@@ -5,14 +5,25 @@ fn print_series() {
     let f = Figure4::generate(&TechnologyProfile::nm45());
     for (name, s) in [("1-bit", &f.one_bit), ("2-bit", &f.two_bit)] {
         for p in s.iter() {
-            println!("{name} L={:2}: power {:.3} area {:.3} | P: m={:.3} a={:.3} s={:.3} r={:.3}",
-                p.design.lanes, p.norm_power, p.norm_area,
-                p.power_breakdown.multiplication, p.power_breakdown.addition,
-                p.power_breakdown.shifting, p.power_breakdown.registering);
+            println!(
+                "{name} L={:2}: power {:.3} area {:.3} | P: m={:.3} a={:.3} s={:.3} r={:.3}",
+                p.design.lanes,
+                p.norm_power,
+                p.norm_area,
+                p.power_breakdown.multiplication,
+                p.power_breakdown.addition,
+                p.power_breakdown.shifting,
+                p.power_breakdown.registering
+            );
         }
     }
     use bpvec_hwmodel::units::*;
     let t = TechnologyProfile::nm45();
     let mac = conventional_mac(&t);
-    println!("conv MAC: area {:.1} power {:.1}, e/mac {:.3} pJ", mac.total().area, mac.total().power, mac.energy_per_mac_pj());
+    println!(
+        "conv MAC: area {:.1} power {:.1}, e/mac {:.3} pJ",
+        mac.total().area,
+        mac.total().power,
+        mac.energy_per_mac_pj()
+    );
 }

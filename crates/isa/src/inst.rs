@@ -128,9 +128,7 @@ impl Instruction {
                 bytes,
                 buffer,
             } => [
-                u64::from(OP_LOAD_TILE)
-                    | (u64::from(buffer) << 8)
-                    | (u64::from(dst_offset) << 32),
+                u64::from(OP_LOAD_TILE) | (u64::from(buffer) << 8) | (u64::from(dst_offset) << 32),
                 u64::from(bytes),
             ],
             Instruction::StoreTile {
@@ -138,9 +136,7 @@ impl Instruction {
                 bytes,
                 buffer,
             } => [
-                u64::from(OP_STORE_TILE)
-                    | (u64::from(buffer) << 8)
-                    | (u64::from(src_offset) << 32),
+                u64::from(OP_STORE_TILE) | (u64::from(buffer) << 8) | (u64::from(src_offset) << 32),
                 u64::from(bytes),
             ],
             Instruction::MatMul { m, k, n } => [
@@ -224,12 +220,18 @@ impl fmt::Display for Instruction {
                 dst_offset,
                 bytes,
                 buffer,
-            } => write!(f, "ld.t   sp[{dst_offset:#x}] <- dram, {bytes} B (buf {buffer})"),
+            } => write!(
+                f,
+                "ld.t   sp[{dst_offset:#x}] <- dram, {bytes} B (buf {buffer})"
+            ),
             Instruction::StoreTile {
                 src_offset,
                 bytes,
                 buffer,
-            } => write!(f, "st.t   dram <- sp[{src_offset:#x}], {bytes} B (buf {buffer})"),
+            } => write!(
+                f,
+                "st.t   dram <- sp[{src_offset:#x}], {bytes} B (buf {buffer})"
+            ),
             Instruction::MatMul { m, k, n } => write!(f, "gemm   {m} x {k} x {n}"),
             Instruction::Barrier => f.write_str("bar"),
         }

@@ -329,7 +329,11 @@ mod tests {
         // The instruction stream's DMA bytes must match the analytic
         // estimate up to halo overlap (the analytic model ignores the
         // kernel-height halo rows each spatial tile re-reads).
-        for l in [conv(64, 64, 3, 28), conv(16, 128, 1, 14), conv(3, 64, 7, 56)] {
+        for l in [
+            conv(64, 64, 3, 28),
+            conv(16, 128, 1, 14),
+            conv(3, 64, 7, 56),
+        ] {
             let analytic = tiling::layer_traffic(&l, WORKING, 4);
             let program = lower_layer(&l, WORKING, 4).dma_bytes();
             assert!(

@@ -140,11 +140,7 @@ impl AcceleratorConfig {
         match self.geometry() {
             None => base,
             Some(geom) => {
-                base * bpvec_hwmodel::units::throughput_multiplier(
-                    &geom,
-                    bx.bits(),
-                    bw.bits(),
-                )
+                base * bpvec_hwmodel::units::throughput_multiplier(&geom, bx.bits(), bw.bits())
             }
         }
     }
@@ -159,9 +155,7 @@ impl AcceleratorConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bpvec_hwmodel::units::{
-        bitfusion_fusion_unit, conventional_mac, cvu_cost, CvuGeometry,
-    };
+    use bpvec_hwmodel::units::{bitfusion_fusion_unit, conventional_mac, cvu_cost, CvuGeometry};
     use bpvec_hwmodel::TechnologyProfile;
 
     #[test]

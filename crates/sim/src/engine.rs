@@ -14,6 +14,7 @@ use serde::{Deserialize, Serialize};
 use crate::accel::AcceleratorConfig;
 use crate::memory::DramSpec;
 use crate::tiling;
+use crate::workload::BatchRegime;
 
 /// Whether a layer's time is dominated by compute or by the memory system.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -26,20 +27,17 @@ pub enum Boundedness {
 
 /// Simulation parameters: the platform and the batching regime.
 ///
-/// Batch sizes follow inference-serving practice (and the throughput regime
-/// the paper's GPU comparison implies): small batches for the CNNs, larger
-/// for the recurrent models whose GEMV streams are otherwise hopelessly
-/// bandwidth-bound on every platform.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+/// The batching knobs live in a [`BatchRegime`] (shared with
+/// [`crate::Workload`]); the default is the evaluation's serving regime
+/// (CNNs at 16, recurrent models at 12).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SimConfig {
     /// The accelerator platform.
     pub accel: AcceleratorConfig,
     /// The off-chip memory system.
     pub dram: DramSpec,
-    /// Batch size for the CNN workloads.
-    pub batch_cnn: u64,
-    /// Batch size for the RNN/LSTM workloads.
-    pub batch_recurrent: u64,
+    /// How inference requests are batched.
+    pub batching: BatchRegime,
 }
 
 impl SimConfig {
@@ -50,16 +48,7 @@ impl SimConfig {
         SimConfig {
             accel,
             dram,
-            batch_cnn: 16,
-            batch_recurrent: 12,
-        }
-    }
-
-    fn batch_for(&self, id: NetworkId) -> u64 {
-        if id.is_recurrent() {
-            self.batch_recurrent
-        } else {
-            self.batch_cnn
+            batching: BatchRegime::paper_default(),
         }
     }
 }
@@ -136,7 +125,7 @@ impl NetworkResult {
 /// Simulates a network on a platform; see the module docs for the model.
 #[must_use]
 pub fn simulate(network: &Network, config: &SimConfig) -> NetworkResult {
-    let b = config.batch_for(network.id);
+    let b = config.batching.batch_for(network.id);
     let working = config.accel.scratchpad.working_bytes();
     let core_power_w = (config.accel.core_power_mw + config.accel.sram_power_mw) * 1e-3;
     let mut layers = Vec::new();

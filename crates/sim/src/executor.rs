@@ -117,7 +117,6 @@ pub struct NetworkExecutor {
     array: SystolicArray,
 }
 
-
 /// The bitwidth a layer's output must be requantized to: the next compute
 /// layer's declared activation width (pooling passes values through), or
 /// the layer's own width for the final layer.
@@ -217,7 +216,13 @@ impl NetworkExecutor {
                     gates,
                     seq_len,
                 } => self.recurrent_on_array(
-                    layer, &act, w, input_size, hidden_size, gates, seq_len,
+                    layer,
+                    &act,
+                    w,
+                    input_size,
+                    hidden_size,
+                    gates,
+                    seq_len,
                 )?,
             };
             traces.push(LayerTrace {
@@ -575,10 +580,8 @@ mod tests {
 
     #[test]
     fn weight_store_is_deterministic_and_in_range() {
-        let layers = vec![conv("c", 4, 4, 3, 1, 1, 4).with_bits(
-            bpvec_core::BitWidth::INT4,
-            bpvec_core::BitWidth::INT2,
-        )];
+        let layers = vec![conv("c", 4, 4, 3, 1, 1, 4)
+            .with_bits(bpvec_core::BitWidth::INT4, bpvec_core::BitWidth::INT2)];
         let a = WeightStore::synthesize(&layers, 7);
         let b = WeightStore::synthesize(&layers, 7);
         assert_eq!(a.layer(0), b.layer(0));

@@ -1,165 +1,110 @@
-//! The paper's accelerator-vs-accelerator experiments (Figures 5–8).
+//! The paper's accelerator-vs-accelerator experiments (Figures 5–8) as
+//! [`Scenario`](crate::Scenario) declarations.
 //!
-//! Each function reproduces one figure: it simulates every Table I network
-//! on the relevant platform pair and returns per-network speedup and energy
-//! reduction relative to the figure's normalization baseline, plus the
-//! geometric mean — exactly the series the paper plots. The paper's
-//! reported values ship alongside in [`paper`] for EXPERIMENTS.md.
+//! Each figure is one slice of a three-platform × two-memory grid: the
+//! homogeneous-8-bit grid powers Figures 5 and 6, the heterogeneous grid
+//! Figures 7 and 8. The figure functions return the same
+//! [`Comparison`] series the seed's hand-rolled loops produced —
+//! per-network speedup and energy reduction relative to the figure's
+//! normalization baseline, plus the geometric mean — exactly what the paper
+//! plots. The paper's reported values ship alongside in [`paper`] for
+//! EXPERIMENTS.md.
+//!
+//! New experiments do not need new modules: declare a scenario. See
+//! [`bandwidth_sweep`] for a sweep built from custom memory systems.
 
-use bpvec_dnn::{BitwidthPolicy, Network, NetworkId};
-use serde::{Deserialize, Serialize};
+use bpvec_dnn::{BitwidthPolicy, NetworkId};
 
 use crate::accel::AcceleratorConfig;
-use crate::engine::{geomean, simulate, SimConfig};
 use crate::memory::DramSpec;
+use crate::scenario::{Report, Scenario};
+use crate::workload::Workload;
 
-/// One bar pair of a comparison figure.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub struct ComparisonRow {
-    /// The workload.
-    pub network: NetworkId,
-    /// Latency ratio `baseline / evaluated` (higher is better).
-    pub speedup: f64,
-    /// Energy ratio `baseline / evaluated` (higher is better).
-    pub energy_reduction: f64,
+pub use crate::scenario::{Comparison, ComparisonRow};
+
+/// The full homogeneous-8-bit evaluation grid behind Figures 5 and 6:
+/// all three Table II platforms × {DDR4, HBM2} × the six Table I networks,
+/// normalized to the TPU-like baseline on DDR4.
+#[must_use]
+pub fn homogeneous_grid() -> Report {
+    platform_grid(
+        "figures 5-6: homogeneous 8-bit grid",
+        BitwidthPolicy::Homogeneous8,
+    )
+    .baseline("TPU-like", "DDR4")
+    .run()
 }
 
-/// A complete figure: per-network rows plus geometric means.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct Comparison {
-    /// What is being evaluated (e.g. "BPVeC + DDR4").
-    pub evaluated: String,
-    /// What it is normalized to (e.g. "TPU-like + DDR4").
-    pub baseline: String,
-    /// Per-network results in Table I order.
-    pub rows: Vec<ComparisonRow>,
-    /// Geometric-mean speedup.
-    pub geomean_speedup: f64,
-    /// Geometric-mean energy reduction.
-    pub geomean_energy: f64,
+/// The heterogeneous-bitwidth grid behind Figures 7 and 8, normalized to
+/// BitFusion on DDR4 (the paper's Figure 7/8 baseline).
+#[must_use]
+pub fn heterogeneous_grid() -> Report {
+    platform_grid(
+        "figures 7-8: heterogeneous grid",
+        BitwidthPolicy::Heterogeneous,
+    )
+    .baseline("BitFusion", "DDR4")
+    .run()
 }
 
-impl Comparison {
-    /// Looks up one network's row.
-    #[must_use]
-    pub fn row(&self, id: NetworkId) -> Option<&ComparisonRow> {
-        self.rows.iter().find(|r| r.network == id)
-    }
-
-    /// Renders the comparison as CSV (`network,speedup,energy_reduction`
-    /// plus a GEOMEAN row) for downstream plotting.
-    #[must_use]
-    pub fn to_csv(&self) -> String {
-        let mut out = String::from("network,speedup,energy_reduction\n");
-        for r in &self.rows {
-            out.push_str(&format!(
-                "{},{:.4},{:.4}\n",
-                r.network.name(),
-                r.speedup,
-                r.energy_reduction
-            ));
-        }
-        out.push_str(&format!(
-            "GEOMEAN,{:.4},{:.4}\n",
-            self.geomean_speedup, self.geomean_energy
-        ));
-        out
-    }
-}
-
-fn compare(
-    policy: BitwidthPolicy,
-    baseline: (AcceleratorConfig, DramSpec),
-    evaluated: (AcceleratorConfig, DramSpec),
-) -> Comparison {
-    let mut rows = Vec::new();
-    for id in NetworkId::ALL {
-        let net = Network::build(id, policy);
-        let base = simulate(&net, &SimConfig::new(baseline.0, baseline.1));
-        let eval = simulate(&net, &SimConfig::new(evaluated.0, evaluated.1));
-        rows.push(ComparisonRow {
-            network: id,
-            speedup: base.latency_s / eval.latency_s,
-            energy_reduction: base.energy_j / eval.energy_j,
-        });
-    }
-    let geomean_speedup = geomean(&rows.iter().map(|r| r.speedup).collect::<Vec<_>>());
-    let geomean_energy = geomean(&rows.iter().map(|r| r.energy_reduction).collect::<Vec<_>>());
-    Comparison {
-        evaluated: format!("{} + {}", evaluated.0.design, evaluated.1.name),
-        baseline: format!("{} + {}", baseline.0.design, baseline.1.name),
-        rows,
-        geomean_speedup,
-        geomean_energy,
-    }
+fn platform_grid(name: &str, policy: BitwidthPolicy) -> Scenario {
+    Scenario::new(name)
+        .platform(AcceleratorConfig::tpu_like())
+        .platform(AcceleratorConfig::bitfusion())
+        .platform(AcceleratorConfig::bpvec())
+        .memory(DramSpec::ddr4())
+        .memory(DramSpec::hbm2())
+        .workloads(Workload::table1(policy))
 }
 
 /// Figure 5: BPVeC vs the TPU-like baseline, both on DDR4, homogeneous
 /// 8-bit. Paper geomeans: 1.39× speedup, 1.43× energy.
 #[must_use]
 pub fn figure5() -> Comparison {
-    compare(
-        BitwidthPolicy::Homogeneous8,
-        (AcceleratorConfig::tpu_like(), DramSpec::ddr4()),
-        (AcceleratorConfig::bpvec(), DramSpec::ddr4()),
-    )
+    homogeneous_grid().comparison("BPVeC", "DDR4")
 }
 
 /// Figure 6, "baseline" series: the TPU-like design with HBM2, normalized
 /// to itself with DDR4. Paper geomeans: ≈1.06× speedup, 1.34× energy.
 #[must_use]
 pub fn figure6_baseline() -> Comparison {
-    compare(
-        BitwidthPolicy::Homogeneous8,
-        (AcceleratorConfig::tpu_like(), DramSpec::ddr4()),
-        (AcceleratorConfig::tpu_like(), DramSpec::hbm2()),
-    )
+    homogeneous_grid().comparison("TPU-like", "HBM2")
 }
 
 /// Figure 6, BPVeC series: BPVeC with HBM2 normalized to the TPU-like
 /// baseline with DDR4. Paper geomeans: 2.11× speedup, 2.28× energy.
 #[must_use]
 pub fn figure6_bpvec() -> Comparison {
-    compare(
-        BitwidthPolicy::Homogeneous8,
-        (AcceleratorConfig::tpu_like(), DramSpec::ddr4()),
-        (AcceleratorConfig::bpvec(), DramSpec::hbm2()),
-    )
+    homogeneous_grid().comparison("BPVeC", "HBM2")
 }
 
 /// Figure 7: BPVeC vs BitFusion, both on DDR4, heterogeneous bitwidths.
 /// Paper geomeans: 1.45× speedup, 1.13× energy.
 #[must_use]
 pub fn figure7() -> Comparison {
-    compare(
-        BitwidthPolicy::Heterogeneous,
-        (AcceleratorConfig::bitfusion(), DramSpec::ddr4()),
-        (AcceleratorConfig::bpvec(), DramSpec::ddr4()),
-    )
+    heterogeneous_grid().comparison("BPVeC", "DDR4")
 }
 
 /// Figure 8, BitFusion series: BitFusion with HBM2 normalized to BitFusion
 /// with DDR4. Paper geomeans: 1.45× speedup, 2.26× energy.
 #[must_use]
 pub fn figure8_bitfusion() -> Comparison {
-    compare(
-        BitwidthPolicy::Heterogeneous,
-        (AcceleratorConfig::bitfusion(), DramSpec::ddr4()),
-        (AcceleratorConfig::bitfusion(), DramSpec::hbm2()),
-    )
+    heterogeneous_grid().comparison("BitFusion", "HBM2")
 }
 
 /// Figure 8, BPVeC series: BPVeC with HBM2 normalized to BitFusion with
 /// DDR4. Paper geomeans: 3.48× speedup, 2.66× energy.
 #[must_use]
 pub fn figure8_bpvec() -> Comparison {
-    compare(
-        BitwidthPolicy::Heterogeneous,
-        (AcceleratorConfig::bitfusion(), DramSpec::ddr4()),
-        (AcceleratorConfig::bpvec(), DramSpec::hbm2()),
-    )
+    heterogeneous_grid().comparison("BPVeC", "HBM2")
 }
 
+/// The sweep's bandwidth points in GB/s (DDR4 sits at 16, HBM2 at 256).
+pub const SWEEP_BANDWIDTHS_GB_S: [f64; 8] = [4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0];
+
+const SWEEP_NAMES: [&str; 8] = [
+    "4GB/s", "8GB/s", "16GB/s", "32GB/s", "64GB/s", "128GB/s", "256GB/s", "512GB/s",
+];
 
 /// Sweeps off-chip bandwidth and reports BPVeC's speedup over the TPU-like
 /// baseline at each point — locating the bandwidth where each workload's
@@ -167,21 +112,27 @@ pub fn figure8_bpvec() -> Comparison {
 /// DDR4-vs-HBM2 split of Figures 5/6).
 ///
 /// Returns `(bandwidth GB/s, speedup)` pairs; DRAM access energy is held at
-/// the DDR4 figure so only bandwidth varies.
+/// the DDR4 figure so only bandwidth varies. One scenario with eight custom
+/// memory systems replaces the seed's hand-rolled loop.
 #[must_use]
 pub fn bandwidth_sweep(id: NetworkId, policy: BitwidthPolicy) -> Vec<(f64, f64)> {
-    let net = Network::build(id, policy);
-    [4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0]
+    let report = Scenario::new("bandwidth sweep")
+        .platform(AcceleratorConfig::tpu_like())
+        .platform(AcceleratorConfig::bpvec())
+        .memories(
+            SWEEP_BANDWIDTHS_GB_S
+                .iter()
+                .zip(SWEEP_NAMES)
+                .map(|(&gbps, name)| DramSpec::custom(name, gbps, 15.0)),
+        )
+        .workload(Workload::new(id, policy))
+        .run();
+    SWEEP_BANDWIDTHS_GB_S
         .iter()
-        .map(|&gbps| {
-            let dram = DramSpec {
-                name: "sweep",
-                bandwidth_gb_s: gbps,
-                energy_pj_per_bit: 15.0,
-            };
-            let base = simulate(&net, &SimConfig::new(AcceleratorConfig::tpu_like(), dram));
-            let bp = simulate(&net, &SimConfig::new(AcceleratorConfig::bpvec(), dram));
-            (gbps, base.latency_s / bp.latency_s)
+        .zip(SWEEP_NAMES)
+        .map(|(&gbps, name)| {
+            let c = report.comparison_between(("TPU-like", name), ("BPVeC", name));
+            (gbps, c.rows[0].speedup)
         })
         .collect()
 }
@@ -234,7 +185,11 @@ mod tests {
             f.geomean_energy
         );
         // CNNs benefit; bandwidth-starved recurrent models do not.
-        for id in [NetworkId::AlexNet, NetworkId::InceptionV1, NetworkId::ResNet18] {
+        for id in [
+            NetworkId::AlexNet,
+            NetworkId::InceptionV1,
+            NetworkId::ResNet18,
+        ] {
             assert!(f.row(id).unwrap().speedup > 1.25, "{id}");
         }
         for id in [NetworkId::Rnn, NetworkId::Lstm] {
@@ -316,6 +271,15 @@ mod tests {
         assert!(rnn > alex, "rnn {rnn} should exceed alexnet {alex}");
     }
 
+    #[test]
+    fn grids_expose_every_series() {
+        let hom = homogeneous_grid();
+        assert_eq!(hom.cells.len(), 3 * 2 * 6);
+        // Five non-baseline columns, each a ready-made comparison.
+        assert_eq!(hom.comparisons().len(), 5);
+        let het = heterogeneous_grid();
+        assert_eq!(het.baseline.platform, "BitFusion");
+    }
 
     #[test]
     fn bandwidth_sweep_is_monotone_and_saturates_at_2x() {
@@ -349,7 +313,6 @@ mod tests {
             "rnn crossover {rnn} GB/s should be far above cnn {cnn} GB/s"
         );
     }
-
 
     #[test]
     fn csv_rendering_has_header_six_rows_and_geomean() {

@@ -35,6 +35,19 @@ impl DramSpec {
         }
     }
 
+    /// An ad-hoc memory system (bandwidth sweeps, hypothetical stacks).
+    ///
+    /// The name doubles as the memory's identity inside a
+    /// [`crate::Scenario`], so give distinct sweeps distinct names.
+    #[must_use]
+    pub fn custom(name: &'static str, bandwidth_gb_s: f64, energy_pj_per_bit: f64) -> Self {
+        DramSpec {
+            name,
+            bandwidth_gb_s,
+            energy_pj_per_bit,
+        }
+    }
+
     /// Transfer time for `bytes` at the sustained bandwidth, seconds.
     #[must_use]
     pub fn transfer_time_s(&self, bytes: u64) -> f64 {
@@ -45,6 +58,43 @@ impl DramSpec {
     #[must_use]
     pub fn access_energy_j(&self, bytes: u64) -> f64 {
         bytes as f64 * 8.0 * self.energy_pj_per_bit * 1e-12
+    }
+}
+
+/// Interns a memory name for the life of the process, so repeated
+/// deserialization of the same custom name costs one allocation total (the
+/// pool grows with *distinct* names, not with parse count).
+fn intern_name(name: String) -> &'static str {
+    use std::sync::{Mutex, OnceLock};
+    static POOL: OnceLock<Mutex<Vec<&'static str>>> = OnceLock::new();
+    let mut pool = POOL
+        .get_or_init(|| Mutex::new(Vec::new()))
+        .lock()
+        .expect("memory-name intern pool poisoned");
+    if let Some(&interned) = pool.iter().find(|&&s| s == name) {
+        return interned;
+    }
+    let leaked: &'static str = Box::leak(name.into_boxed_str());
+    pool.push(leaked);
+    leaked
+}
+
+/// Hand-written because `name` is a `&'static str`: the two paper systems
+/// deserialize to their literal names, anything else to a process-lifetime
+/// interned string. This lets `Scenario` specs round-trip through JSON.
+impl serde::de::Deserialize for DramSpec {
+    fn deserialize(value: &serde::de::Value) -> Result<Self, serde::de::Error> {
+        let name: String = value.field("name")?;
+        let name: &'static str = match name.as_str() {
+            "DDR4" => "DDR4",
+            "HBM2" => "HBM2",
+            _ => intern_name(name),
+        };
+        Ok(DramSpec {
+            name,
+            bandwidth_gb_s: value.field("bandwidth_gb_s")?,
+            energy_pj_per_bit: value.field("energy_pj_per_bit")?,
+        })
     }
 }
 
@@ -117,6 +167,20 @@ mod tests {
         assert!((d.transfer_time_s(16_000_000_000) - 1.0).abs() < 1e-12);
         // 1 byte = 8 bits x 15 pJ = 120 pJ.
         assert!((d.access_energy_j(1) - 120e-12).abs() < 1e-20);
+    }
+
+    #[test]
+    fn deserialized_custom_names_are_interned_once() {
+        let spec = DramSpec::custom("GDDR7-ish", 1024.0, 0.8);
+        let json = serde_json::to_string(&spec).unwrap();
+        let a: DramSpec = serde_json::from_str(&json).unwrap();
+        let b: DramSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(a, spec);
+        // Same pointer: repeated parses reuse the interned name.
+        assert!(std::ptr::eq(a.name, b.name));
+        let ddr4: DramSpec =
+            serde_json::from_str(&serde_json::to_string(&DramSpec::ddr4()).unwrap()).unwrap();
+        assert_eq!(ddr4, DramSpec::ddr4());
     }
 
     #[test]

@@ -123,12 +123,7 @@ mod tests {
     #[test]
     fn recurrent_models_sit_far_left_of_every_ridge() {
         for id in [NetworkId::Rnn, NetworkId::Lstm] {
-            let r = roofline(
-                &net(id),
-                &AcceleratorConfig::bpvec(),
-                &DramSpec::ddr4(),
-                12,
-            );
+            let r = roofline(&net(id), &AcceleratorConfig::bpvec(), &DramSpec::ddr4(), 12);
             assert!(r.memory_bound(), "{id}");
             assert!(
                 r.intensity_macs_per_byte < r.ridge_macs_per_byte / 2.0,
@@ -181,8 +176,7 @@ mod tests {
                 for dram in [DramSpec::ddr4(), DramSpec::hbm2()] {
                     let r = roofline(&net(id), &accel, &dram, 8);
                     assert!(r.attainable_gmacs <= r.peak_gmacs * 1.0000001);
-                    let bw_roof =
-                        r.intensity_macs_per_byte * dram.bandwidth_gb_s;
+                    let bw_roof = r.intensity_macs_per_byte * dram.bandwidth_gb_s;
                     assert!(r.attainable_gmacs <= bw_roof * 1.0000001);
                 }
             }

@@ -1,0 +1,986 @@
+//! The unified `Scenario` evaluation API.
+//!
+//! Every figure of the paper — and every scenario the ROADMAP imagines
+//! beyond it — is the same experiment shape: a set of **platforms**
+//! (anything implementing [`Evaluator`]: the analytical ASIC simulator, the
+//! GPU model in `bpvec-gpumodel`, or a user-supplied backend), a set of
+//! **workloads** ([`Workload`]: network × bitwidth policy × batch regime),
+//! and a set of **memory systems** ([`DramSpec`]). A [`Scenario`] declares
+//! the three axes plus a normalization baseline; [`Scenario::run`] evaluates
+//! the full cross-product in parallel (one rayon task per cell) and returns
+//! a [`Report`] of raw [`Cell`]s with normalized [`Comparison`] series,
+//! perf-per-Watt ratios, geomeans, and CSV/JSON rendering.
+//!
+//! ```
+//! use bpvec_sim::{AcceleratorConfig, DramSpec, Scenario, Workload};
+//! use bpvec_dnn::BitwidthPolicy;
+//!
+//! // Figure 5 as a scenario: two platforms, one memory, six workloads.
+//! let report = Scenario::new("fig5")
+//!     .platform(AcceleratorConfig::tpu_like())
+//!     .platform(AcceleratorConfig::bpvec())
+//!     .memory(DramSpec::ddr4())
+//!     .workloads(Workload::table1(BitwidthPolicy::Homogeneous8))
+//!     .run();
+//! let fig5 = report.comparison("BPVeC", "DDR4");
+//! assert!(fig5.geomean_speedup > 1.0);
+//! ```
+//!
+//! Scenarios are declarations, so they serialize: [`Scenario`] round-trips
+//! through its [`ScenarioSpec`] (platforms as [`PlatformSpec`] descriptors).
+//! Custom trait-object platforms serialize by label and must be re-attached
+//! with [`Scenario::attach`] after deserialization.
+
+use std::fmt;
+use std::sync::Arc;
+
+use bpvec_dnn::{Network, NetworkId};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use crate::accel::AcceleratorConfig;
+use crate::engine::{geomean, simulate, SimConfig};
+use crate::memory::DramSpec;
+use crate::workload::Workload;
+
+/// An evaluation backend: anything that can measure a workload.
+///
+/// Implemented by [`AcceleratorConfig`] (the analytical ASIC simulator) and
+/// by `bpvec-gpumodel`'s `GpuPlatform`; downstream code can implement it for
+/// arbitrary backends (measured hardware, other simulators) and drop them
+/// into any [`Scenario`].
+pub trait Evaluator: Send + Sync {
+    /// Short display label ("BPVeC", "RTX 2080 Ti"). Labels identify
+    /// platforms inside a scenario, so they must be unique per scenario.
+    fn label(&self) -> String;
+
+    /// Serializable descriptor; backends without a structured spec
+    /// serialize as their label.
+    fn spec(&self) -> PlatformSpec {
+        PlatformSpec::Custom(self.label())
+    }
+
+    /// Measures one workload. `network` is the already-instantiated
+    /// `workload.build()` (built once per workload by the scenario runner);
+    /// platforms with no off-chip memory axis ignore `dram`.
+    fn evaluate(&self, workload: &Workload, network: &Network, dram: &DramSpec) -> Measurement;
+}
+
+impl Evaluator for AcceleratorConfig {
+    fn label(&self) -> String {
+        self.design.name().to_string()
+    }
+
+    fn spec(&self) -> PlatformSpec {
+        PlatformSpec::Accelerator(*self)
+    }
+
+    fn evaluate(&self, workload: &Workload, network: &Network, dram: &DramSpec) -> Measurement {
+        let cfg = SimConfig {
+            accel: *self,
+            dram: *dram,
+            batching: workload.batching,
+        };
+        let r = simulate(network, &cfg);
+        Measurement {
+            latency_s: r.latency_s,
+            energy_j: r.energy_j,
+            macs: r.macs,
+            batch: r.batch,
+            gops_per_watt: r.gops_per_watt(),
+        }
+    }
+}
+
+/// Serializable platform descriptor — what a [`Scenario`] stores and ships.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PlatformSpec {
+    /// A Table II-style analytical accelerator.
+    Accelerator(AcceleratorConfig),
+    /// An external backend, identified by label only; must be re-attached
+    /// with [`Scenario::attach`] after deserialization.
+    Custom(String),
+}
+
+impl PlatformSpec {
+    /// The platform's display label.
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self {
+            PlatformSpec::Accelerator(cfg) => cfg.design.name().to_string(),
+            PlatformSpec::Custom(label) => label.clone(),
+        }
+    }
+}
+
+/// Renames any evaluator, so one scenario can carry several variants of the
+/// same backend (e.g. two BPVeC configs with different scratchpads).
+#[derive(Debug, Clone)]
+pub struct Labeled<E> {
+    label: String,
+    inner: E,
+}
+
+impl<E: Evaluator> Labeled<E> {
+    /// Wraps `inner` under a new display label.
+    pub fn new(label: impl Into<String>, inner: E) -> Self {
+        Labeled {
+            label: label.into(),
+            inner,
+        }
+    }
+}
+
+impl<E: Evaluator> Evaluator for Labeled<E> {
+    fn label(&self) -> String {
+        self.label.clone()
+    }
+
+    fn evaluate(&self, workload: &Workload, network: &Network, dram: &DramSpec) -> Measurement {
+        self.inner.evaluate(workload, network, dram)
+    }
+}
+
+/// Physical quantities measured for one (platform, workload, memory) cell,
+/// normalized per inference.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Measurement {
+    /// Latency per inference, seconds.
+    pub latency_s: f64,
+    /// Energy per inference, joules.
+    pub energy_j: f64,
+    /// MACs per inference.
+    pub macs: u64,
+    /// Batch size the measurement used.
+    pub batch: u64,
+    /// Performance-per-Watt in GOPS/W, as reported by the backend.
+    pub gops_per_watt: f64,
+}
+
+impl Measurement {
+    /// Operations (2 × MACs) per second, in Giga-ops.
+    #[must_use]
+    pub fn gops(&self) -> f64 {
+        2.0 * self.macs as f64 / self.latency_s / 1e9
+    }
+}
+
+/// One cell of a report: where, what, and the measurement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cell {
+    /// Platform label.
+    pub platform: String,
+    /// Memory-system name.
+    pub memory: String,
+    /// The workload.
+    pub workload: Workload,
+    /// The measured quantities.
+    pub measurement: Measurement,
+}
+
+/// Names one (platform, memory) column of a scenario — e.g. the baseline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellRef {
+    /// Platform label.
+    pub platform: String,
+    /// Memory-system name.
+    pub memory: String,
+}
+
+impl fmt::Display for CellRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} + {}", self.platform, self.memory)
+    }
+}
+
+/// The serializable declaration behind a [`Scenario`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioSpec {
+    /// Scenario name (report title).
+    pub name: String,
+    /// Platform descriptors, in insertion order.
+    pub platforms: Vec<PlatformSpec>,
+    /// Workloads, in insertion order (the row order of every series).
+    pub workloads: Vec<Workload>,
+    /// Memory systems, in insertion order.
+    pub memories: Vec<DramSpec>,
+    /// Normalization baseline; `None` means first platform + first memory.
+    pub baseline: Option<CellRef>,
+}
+
+/// Errors from building or running a scenario.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScenarioError(String);
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+/// A declared experiment: platforms × workloads × memories plus a baseline.
+///
+/// Build one with the fluent methods, then [`Scenario::run`] (or
+/// [`Scenario::try_run`]) to get a [`Report`]. See the [module docs](self)
+/// for the figure-as-scenario example.
+#[derive(Clone)]
+pub struct Scenario {
+    spec: ScenarioSpec,
+    /// One evaluator per spec platform; `None` marks a deserialized custom
+    /// platform awaiting [`Scenario::attach`].
+    evaluators: Vec<Option<Arc<dyn Evaluator>>>,
+}
+
+impl fmt::Debug for Scenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Scenario")
+            .field("spec", &self.spec)
+            .finish()
+    }
+}
+
+impl PartialEq for Scenario {
+    /// Scenarios compare by declaration (their [`ScenarioSpec`]).
+    fn eq(&self, other: &Self) -> bool {
+        self.spec == other.spec
+    }
+}
+
+impl Serialize for Scenario {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.spec.serialize(serializer)
+    }
+}
+
+impl serde::de::Deserialize for Scenario {
+    fn deserialize(value: &serde::de::Value) -> Result<Self, serde::de::Error> {
+        ScenarioSpec::deserialize(value).map(Scenario::from_spec)
+    }
+}
+
+impl Scenario {
+    /// An empty scenario with the given name.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Scenario {
+            spec: ScenarioSpec {
+                name: name.into(),
+                platforms: Vec::new(),
+                workloads: Vec::new(),
+                memories: Vec::new(),
+                baseline: None,
+            },
+            evaluators: Vec::new(),
+        }
+    }
+
+    /// Rebuilds a scenario from its declaration. `Accelerator` platforms
+    /// resolve immediately; `Custom` platforms stay unresolved until
+    /// [`Scenario::attach`].
+    #[must_use]
+    pub fn from_spec(spec: ScenarioSpec) -> Self {
+        let evaluators = spec
+            .platforms
+            .iter()
+            .map(|p| match p {
+                PlatformSpec::Accelerator(cfg) => Some(Arc::new(*cfg) as Arc<dyn Evaluator>),
+                PlatformSpec::Custom(_) => None,
+            })
+            .collect();
+        Scenario { spec, evaluators }
+    }
+
+    /// The scenario's serializable declaration.
+    #[must_use]
+    pub fn spec(&self) -> &ScenarioSpec {
+        &self.spec
+    }
+
+    /// Adds an evaluation backend.
+    #[must_use]
+    pub fn platform(mut self, platform: impl Evaluator + 'static) -> Self {
+        self.spec.platforms.push(platform.spec());
+        self.evaluators.push(Some(Arc::new(platform)));
+        self
+    }
+
+    /// Adds one workload.
+    #[must_use]
+    pub fn workload(mut self, workload: Workload) -> Self {
+        self.spec.workloads.push(workload);
+        self
+    }
+
+    /// Adds a batch of workloads (e.g. [`Workload::table1`]).
+    #[must_use]
+    pub fn workloads(mut self, workloads: impl IntoIterator<Item = Workload>) -> Self {
+        self.spec.workloads.extend(workloads);
+        self
+    }
+
+    /// Adds one memory system.
+    #[must_use]
+    pub fn memory(mut self, memory: DramSpec) -> Self {
+        self.spec.memories.push(memory);
+        self
+    }
+
+    /// Adds a batch of memory systems (e.g. a bandwidth sweep).
+    #[must_use]
+    pub fn memories(mut self, memories: impl IntoIterator<Item = DramSpec>) -> Self {
+        self.spec.memories.extend(memories);
+        self
+    }
+
+    /// Sets the normalization baseline. Without this, the first platform on
+    /// the first memory is the baseline.
+    #[must_use]
+    pub fn baseline(mut self, platform: impl Into<String>, memory: impl Into<String>) -> Self {
+        self.spec.baseline = Some(CellRef {
+            platform: platform.into(),
+            memory: memory.into(),
+        });
+        self
+    }
+
+    /// Re-attaches an external backend to a deserialized scenario. The
+    /// evaluator's label must match an unresolved `Custom` platform.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no unresolved platform carries the evaluator's label.
+    #[must_use]
+    pub fn attach(mut self, platform: impl Evaluator + 'static) -> Self {
+        let label = platform.label();
+        let slot = self
+            .spec
+            .platforms
+            .iter()
+            .zip(self.evaluators.iter_mut())
+            .find_map(|(spec, slot)| (slot.is_none() && spec.label() == label).then_some(slot));
+        match slot {
+            Some(slot) => *slot = Some(Arc::new(platform)),
+            None => panic!("no unresolved platform labeled `{label}` to attach to"),
+        }
+        self
+    }
+
+    /// Runs the scenario; see [`Scenario::try_run`] for the fallible form.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid scenario (empty axis, duplicate labels,
+    /// unresolved custom platform, dangling baseline).
+    #[must_use]
+    pub fn run(&self) -> Report {
+        match self.try_run() {
+            Ok(report) => report,
+            Err(e) => panic!("scenario `{}`: {e}", self.spec.name),
+        }
+    }
+
+    /// Evaluates the full platforms × memories × workloads cross-product —
+    /// rayon-parallel across cells — and reports the results.
+    ///
+    /// # Errors
+    ///
+    /// Fails if an axis is empty, platform labels or memory names collide,
+    /// a custom platform is unresolved, or the baseline names an unknown
+    /// platform/memory.
+    pub fn try_run(&self) -> Result<Report, ScenarioError> {
+        let spec = &self.spec;
+        if spec.platforms.is_empty() || spec.workloads.is_empty() || spec.memories.is_empty() {
+            return Err(ScenarioError(format!(
+                "every axis needs at least one entry (platforms {}, workloads {}, memories {})",
+                spec.platforms.len(),
+                spec.workloads.len(),
+                spec.memories.len()
+            )));
+        }
+        let labels: Vec<String> = spec.platforms.iter().map(PlatformSpec::label).collect();
+        for (i, l) in labels.iter().enumerate() {
+            if labels[..i].contains(l) {
+                return Err(ScenarioError(format!(
+                    "duplicate platform label `{l}` (wrap one in `Labeled`)"
+                )));
+            }
+        }
+        for (i, m) in spec.memories.iter().enumerate() {
+            if spec.memories[..i].iter().any(|other| other.name == m.name) {
+                return Err(ScenarioError(format!(
+                    "duplicate memory name `{}` (use `DramSpec::custom` with distinct names)",
+                    m.name
+                )));
+            }
+        }
+        // Exact duplicates would double-weight a network in every geomean;
+        // same-network workloads with different batching stay legal (batch
+        // sweeps).
+        for (i, w) in spec.workloads.iter().enumerate() {
+            if spec.workloads[..i].contains(w) {
+                return Err(ScenarioError(format!(
+                    "duplicate workload `{w}` (identical network, policy, and batching)"
+                )));
+            }
+        }
+        let evaluators: Vec<&Arc<dyn Evaluator>> = self
+            .evaluators
+            .iter()
+            .enumerate()
+            .map(|(i, slot)| {
+                slot.as_ref().ok_or_else(|| {
+                    ScenarioError(format!(
+                        "platform `{}` is unresolved; re-attach it with Scenario::attach",
+                        labels[i]
+                    ))
+                })
+            })
+            .collect::<Result<_, _>>()?;
+        let baseline = match &spec.baseline {
+            Some(cell) => {
+                if !labels.contains(&cell.platform) {
+                    return Err(ScenarioError(format!(
+                        "baseline platform `{}` is not in the scenario",
+                        cell.platform
+                    )));
+                }
+                if !spec.memories.iter().any(|m| m.name == cell.memory) {
+                    return Err(ScenarioError(format!(
+                        "baseline memory `{}` is not in the scenario",
+                        cell.memory
+                    )));
+                }
+                cell.clone()
+            }
+            None => CellRef {
+                platform: labels[0].clone(),
+                memory: spec.memories[0].name.to_string(),
+            },
+        };
+        // Instantiate each network once; every cell borrows it.
+        let networks: Vec<Network> = spec.workloads.iter().map(Workload::build).collect();
+        let jobs: Vec<(usize, usize, usize)> = (0..spec.platforms.len())
+            .flat_map(|p| {
+                (0..spec.memories.len())
+                    .flat_map(move |m| (0..spec.workloads.len()).map(move |w| (p, m, w)))
+            })
+            .collect();
+        let cells: Vec<Cell> = jobs
+            .into_par_iter()
+            .map(|(p, m, w)| {
+                let workload = spec.workloads[w];
+                let dram = spec.memories[m];
+                let measurement = evaluators[p].evaluate(&workload, &networks[w], &dram);
+                Cell {
+                    platform: labels[p].clone(),
+                    memory: dram.name.to_string(),
+                    workload,
+                    measurement,
+                }
+            })
+            .collect();
+        Ok(Report {
+            scenario: spec.name.clone(),
+            baseline,
+            cells,
+        })
+    }
+}
+
+/// One bar pair of a comparison figure.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ComparisonRow {
+    /// The workload.
+    pub network: NetworkId,
+    /// Latency ratio `baseline / evaluated` (higher is better).
+    pub speedup: f64,
+    /// Energy ratio `baseline / evaluated` (higher is better).
+    pub energy_reduction: f64,
+}
+
+/// A complete figure series: per-network rows plus geometric means.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Comparison {
+    /// What is being evaluated (e.g. "BPVeC + DDR4").
+    pub evaluated: String,
+    /// What it is normalized to (e.g. "TPU-like + DDR4").
+    pub baseline: String,
+    /// Per-network results in workload order.
+    pub rows: Vec<ComparisonRow>,
+    /// Geometric-mean speedup.
+    pub geomean_speedup: f64,
+    /// Geometric-mean energy reduction.
+    pub geomean_energy: f64,
+}
+
+impl Comparison {
+    /// Looks up one network's row.
+    #[must_use]
+    pub fn row(&self, id: NetworkId) -> Option<&ComparisonRow> {
+        self.rows.iter().find(|r| r.network == id)
+    }
+
+    /// Renders the comparison as CSV (`network,speedup,energy_reduction`
+    /// plus a GEOMEAN row) for downstream plotting.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("network,speedup,energy_reduction\n");
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{},{:.4},{:.4}\n",
+                r.network.name(),
+                r.speedup,
+                r.energy_reduction
+            ));
+        }
+        out.push_str(&format!(
+            "GEOMEAN,{:.4},{:.4}\n",
+            self.geomean_speedup, self.geomean_energy
+        ));
+        out
+    }
+}
+
+/// One entry of a perf-per-Watt series.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SeriesEntry {
+    /// The workload.
+    pub network: NetworkId,
+    /// Ratio `evaluated / baseline` (higher is better).
+    pub ratio: f64,
+}
+
+/// A normalized per-network metric series with its geometric mean.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    /// What is being evaluated (e.g. "BPVeC + HBM2").
+    pub evaluated: String,
+    /// What it is normalized to (e.g. "RTX 2080 Ti + DDR4").
+    pub baseline: String,
+    /// Per-network ratios in workload order.
+    pub rows: Vec<SeriesEntry>,
+    /// Geometric mean of the ratios.
+    pub geomean: f64,
+}
+
+/// The outcome of a [`Scenario`] run: every raw cell plus normalization
+/// helpers. Serializes (JSON/CSV) for machine-readable experiment output.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Report {
+    /// The scenario's name.
+    pub scenario: String,
+    /// The (platform, memory) column everything normalizes to.
+    pub baseline: CellRef,
+    /// Raw cells, ordered platform-major, then memory, then workload.
+    pub cells: Vec<Cell>,
+}
+
+impl Report {
+    /// Cells of one (platform, memory) column, in workload order.
+    fn column(&self, platform: &str, memory: &str) -> Vec<&Cell> {
+        self.cells
+            .iter()
+            .filter(|c| c.platform == platform && c.memory == memory)
+            .collect()
+    }
+
+    fn column_or_panic(&self, platform: &str, memory: &str) -> Vec<&Cell> {
+        let cells = self.column(platform, memory);
+        assert!(
+            !cells.is_empty(),
+            "report `{}` has no cells for `{platform} + {memory}`",
+            self.scenario
+        );
+        cells
+    }
+
+    /// Looks up one cell.
+    #[must_use]
+    pub fn cell(&self, platform: &str, memory: &str, network: NetworkId) -> Option<&Cell> {
+        self.cells
+            .iter()
+            .find(|c| c.platform == platform && c.memory == memory && c.workload.network == network)
+    }
+
+    /// The distinct (platform, memory) columns, in cell order.
+    #[must_use]
+    pub fn columns(&self) -> Vec<CellRef> {
+        let mut out: Vec<CellRef> = Vec::new();
+        for c in &self.cells {
+            let cr = CellRef {
+                platform: c.platform.clone(),
+                memory: c.memory.clone(),
+            };
+            if !out.contains(&cr) {
+                out.push(cr);
+            }
+        }
+        out
+    }
+
+    /// Speedup/energy series of `evaluated` normalized to an arbitrary
+    /// `baseline` column (both as `(platform, memory)` pairs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either column has no cells or their workloads disagree.
+    #[must_use]
+    pub fn comparison_between(
+        &self,
+        baseline: (&str, &str),
+        evaluated: (&str, &str),
+    ) -> Comparison {
+        let base = self.column_or_panic(baseline.0, baseline.1);
+        let eval = self.column_or_panic(evaluated.0, evaluated.1);
+        assert_eq!(
+            base.len(),
+            eval.len(),
+            "baseline and evaluated columns cover different workload sets"
+        );
+        let rows: Vec<ComparisonRow> = base
+            .iter()
+            .zip(&eval)
+            .map(|(b, e)| {
+                assert_eq!(
+                    b.workload, e.workload,
+                    "workload mismatch between baseline and evaluated columns"
+                );
+                ComparisonRow {
+                    network: b.workload.network,
+                    speedup: b.measurement.latency_s / e.measurement.latency_s,
+                    energy_reduction: b.measurement.energy_j / e.measurement.energy_j,
+                }
+            })
+            .collect();
+        let geomean_speedup = geomean(&rows.iter().map(|r| r.speedup).collect::<Vec<_>>());
+        let geomean_energy = geomean(&rows.iter().map(|r| r.energy_reduction).collect::<Vec<_>>());
+        Comparison {
+            evaluated: format!("{} + {}", evaluated.0, evaluated.1),
+            baseline: format!("{} + {}", baseline.0, baseline.1),
+            rows,
+            geomean_speedup,
+            geomean_energy,
+        }
+    }
+
+    /// Speedup/energy series of one column vs the report's baseline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column has no cells.
+    #[must_use]
+    pub fn comparison(&self, platform: &str, memory: &str) -> Comparison {
+        self.comparison_between(
+            (&self.baseline.platform, &self.baseline.memory),
+            (platform, memory),
+        )
+    }
+
+    /// Every non-baseline column's comparison vs the baseline.
+    #[must_use]
+    pub fn comparisons(&self) -> Vec<Comparison> {
+        self.columns()
+            .iter()
+            .filter(|c| **c != self.baseline)
+            .map(|c| self.comparison(&c.platform, &c.memory))
+            .collect()
+    }
+
+    /// Performance-per-Watt of one column normalized to the report's
+    /// baseline (the Figure 9 metric).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column has no cells or workloads disagree with the
+    /// baseline column's.
+    #[must_use]
+    pub fn perf_per_watt(&self, platform: &str, memory: &str) -> Series {
+        let base = self.column_or_panic(&self.baseline.platform, &self.baseline.memory);
+        let eval = self.column_or_panic(platform, memory);
+        assert_eq!(
+            base.len(),
+            eval.len(),
+            "baseline and evaluated columns cover different workload sets"
+        );
+        let rows: Vec<SeriesEntry> = base
+            .iter()
+            .zip(&eval)
+            .map(|(b, e)| {
+                assert_eq!(
+                    b.workload.network, e.workload.network,
+                    "workload mismatch between baseline and evaluated columns"
+                );
+                SeriesEntry {
+                    network: b.workload.network,
+                    ratio: e.measurement.gops_per_watt / b.measurement.gops_per_watt,
+                }
+            })
+            .collect();
+        let geomean = geomean(&rows.iter().map(|r| r.ratio).collect::<Vec<_>>());
+        Series {
+            evaluated: format!("{platform} + {memory}"),
+            baseline: self.baseline.to_string(),
+            rows,
+            geomean,
+        }
+    }
+
+    /// Renders every raw cell as CSV for downstream analysis.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "platform,memory,network,policy,batch,latency_s,energy_j,macs,gops_per_watt\n",
+        );
+        for c in &self.cells {
+            out.push_str(&format!(
+                "{},{},{},{:?},{},{:.6e},{:.6e},{},{:.4}\n",
+                c.platform,
+                c.memory,
+                c.workload.network.name(),
+                c.workload.policy,
+                c.measurement.batch,
+                c.measurement.latency_s,
+                c.measurement.energy_j,
+                c.measurement.macs,
+                c.measurement.gops_per_watt,
+            ));
+        }
+        out
+    }
+
+    /// Renders the report as pretty-printed JSON.
+    ///
+    /// # Panics
+    ///
+    /// Panics if serialization fails (it cannot for plain data).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serialization cannot fail")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::BatchRegime;
+    use bpvec_dnn::BitwidthPolicy;
+
+    fn fig5_scenario() -> Scenario {
+        Scenario::new("fig5")
+            .platform(AcceleratorConfig::tpu_like())
+            .platform(AcceleratorConfig::bpvec())
+            .memory(DramSpec::ddr4())
+            .workloads(Workload::table1(BitwidthPolicy::Homogeneous8))
+    }
+
+    #[test]
+    fn cross_product_covers_every_cell() {
+        let report = Scenario::new("grid")
+            .platform(AcceleratorConfig::tpu_like())
+            .platform(AcceleratorConfig::bpvec())
+            .memory(DramSpec::ddr4())
+            .memory(DramSpec::hbm2())
+            .workloads(Workload::table1(BitwidthPolicy::Homogeneous8))
+            .run();
+        assert_eq!(report.cells.len(), 2 * 2 * 6);
+        assert_eq!(report.columns().len(), 4);
+        for id in NetworkId::ALL {
+            assert!(report.cell("BPVeC", "HBM2", id).is_some());
+        }
+    }
+
+    #[test]
+    fn default_baseline_is_first_platform_first_memory() {
+        let report = fig5_scenario().run();
+        assert_eq!(report.baseline.platform, "TPU-like");
+        assert_eq!(report.baseline.memory, "DDR4");
+    }
+
+    #[test]
+    fn self_comparison_is_unity() {
+        let report = fig5_scenario().run();
+        let c = report.comparison("TPU-like", "DDR4");
+        for r in &c.rows {
+            assert!((r.speedup - 1.0).abs() < 1e-12);
+            assert!((r.energy_reduction - 1.0).abs() < 1e-12);
+        }
+        assert!((c.geomean_speedup - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn comparison_matches_direct_simulation() {
+        let report = fig5_scenario().run();
+        let c = report.comparison("BPVeC", "DDR4");
+        assert_eq!(c.rows.len(), 6);
+        for (row, id) in c.rows.iter().zip(NetworkId::ALL) {
+            let net = Network::build(id, BitwidthPolicy::Homogeneous8);
+            let base = simulate(
+                &net,
+                &SimConfig::new(AcceleratorConfig::tpu_like(), DramSpec::ddr4()),
+            );
+            let eval = simulate(
+                &net,
+                &SimConfig::new(AcceleratorConfig::bpvec(), DramSpec::ddr4()),
+            );
+            assert_eq!(row.network, id);
+            assert_eq!(row.speedup, base.latency_s / eval.latency_s);
+            assert_eq!(row.energy_reduction, base.energy_j / eval.energy_j);
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic_despite_parallelism() {
+        let s = fig5_scenario();
+        assert_eq!(s.run(), s.run());
+    }
+
+    #[test]
+    fn duplicate_platform_labels_are_rejected() {
+        let err = Scenario::new("dup")
+            .platform(AcceleratorConfig::bpvec())
+            .platform(AcceleratorConfig::bpvec())
+            .memory(DramSpec::ddr4())
+            .workload(Workload::new(
+                NetworkId::AlexNet,
+                BitwidthPolicy::Homogeneous8,
+            ))
+            .try_run()
+            .unwrap_err();
+        assert!(err.to_string().contains("duplicate platform label"));
+    }
+
+    #[test]
+    fn labeled_wrapper_disambiguates_variants() {
+        let mut big = AcceleratorConfig::bpvec();
+        big.scratchpad.capacity_bytes *= 4;
+        let report = Scenario::new("spad")
+            .platform(AcceleratorConfig::bpvec())
+            .platform(Labeled::new("BPVeC-448K", big))
+            .memory(DramSpec::ddr4())
+            .workload(Workload::new(
+                NetworkId::ResNet50,
+                BitwidthPolicy::Homogeneous8,
+            ))
+            .run();
+        let c = report.comparison("BPVeC-448K", "DDR4");
+        assert!(c.rows[0].speedup >= 1.0);
+    }
+
+    #[test]
+    fn duplicate_workloads_are_rejected_but_batch_sweeps_are_not() {
+        let w = Workload::new(NetworkId::AlexNet, BitwidthPolicy::Homogeneous8);
+        let err = Scenario::new("dup-workload")
+            .platform(AcceleratorConfig::bpvec())
+            .memory(DramSpec::ddr4())
+            .workload(w)
+            .workload(w)
+            .try_run()
+            .unwrap_err();
+        assert!(err.to_string().contains("duplicate workload"));
+        // Same network under different batching is a legitimate sweep.
+        let report = Scenario::new("batch-sweep")
+            .platform(AcceleratorConfig::bpvec())
+            .memory(DramSpec::ddr4())
+            .workload(w.with_batching(BatchRegime::fixed(1)))
+            .workload(w.with_batching(BatchRegime::fixed(64)))
+            .run();
+        assert_eq!(report.cells.len(), 2);
+    }
+
+    #[test]
+    fn empty_axis_is_rejected() {
+        let err = Scenario::new("empty")
+            .platform(AcceleratorConfig::bpvec())
+            .memory(DramSpec::ddr4())
+            .try_run()
+            .unwrap_err();
+        assert!(err.to_string().contains("at least one entry"));
+    }
+
+    #[test]
+    fn dangling_baseline_is_rejected() {
+        let err = fig5_scenario()
+            .baseline("BitFusion", "DDR4")
+            .try_run()
+            .unwrap_err();
+        assert!(err.to_string().contains("baseline platform"));
+    }
+
+    #[test]
+    fn spec_round_trip_preserves_the_declaration() {
+        let s = fig5_scenario().baseline("TPU-like", "DDR4");
+        let json = serde_json::to_string(&s).unwrap();
+        let back: Scenario = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+        assert_eq!(s.run(), back.run());
+    }
+
+    #[test]
+    fn custom_platforms_deserialize_unresolved_and_reattach() {
+        struct Null;
+        impl Evaluator for Null {
+            fn label(&self) -> String {
+                "Null".into()
+            }
+            fn evaluate(&self, w: &Workload, n: &Network, _: &DramSpec) -> Measurement {
+                Measurement {
+                    latency_s: 1.0,
+                    energy_j: 1.0,
+                    macs: n.total_macs(),
+                    batch: w.batch(),
+                    gops_per_watt: 1.0,
+                }
+            }
+        }
+        let s = Scenario::new("custom")
+            .platform(Null)
+            .platform(AcceleratorConfig::bpvec())
+            .memory(DramSpec::ddr4())
+            .workload(Workload::new(NetworkId::Rnn, BitwidthPolicy::Homogeneous8));
+        let json = serde_json::to_string(&s).unwrap();
+        let back: Scenario = serde_json::from_str(&json).unwrap();
+        let err = back.try_run().unwrap_err();
+        assert!(err.to_string().contains("unresolved"));
+        let report = back.attach(Null).run();
+        assert_eq!(report.cells.len(), 2);
+        assert_eq!(
+            report
+                .cell("Null", "DDR4", NetworkId::Rnn)
+                .unwrap()
+                .measurement
+                .latency_s,
+            1.0
+        );
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let report = fig5_scenario().run();
+        let json = report.to_json();
+        let back: Report = serde_json::from_str(&json).unwrap();
+        assert_eq!(report, back);
+    }
+
+    #[test]
+    fn report_csv_lists_every_cell() {
+        let report = fig5_scenario().run();
+        let csv = report.to_csv();
+        assert_eq!(csv.trim().lines().count(), 1 + report.cells.len());
+        assert!(csv.starts_with("platform,memory,network,policy,batch"));
+        assert!(csv.contains("BPVeC,DDR4,AlexNet"));
+    }
+
+    #[test]
+    fn batch_regime_travels_with_the_workload() {
+        let w = Workload::new(NetworkId::Lstm, BitwidthPolicy::Homogeneous8)
+            .with_batching(BatchRegime::fixed(128));
+        let report = Scenario::new("batch")
+            .platform(AcceleratorConfig::bpvec())
+            .memory(DramSpec::ddr4())
+            .workload(w)
+            .run();
+        assert_eq!(report.cells[0].measurement.batch, 128);
+    }
+}

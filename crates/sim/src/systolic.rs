@@ -130,10 +130,11 @@ impl SystolicArray {
                             continue;
                         }
                         let b_col: Vec<i32> = (0..k).map(|p| b[&[p, j]]).collect();
-                        let out =
-                            self.cvu.dot_product(&a_row, &b_col, bits_a, bits_b, signedness)?;
-                        output[&[i, j]] = i32::try_from(out.value)
-                            .expect("quantized GEMM results fit i32");
+                        let out = self
+                            .cvu
+                            .dot_product(&a_row, &b_col, bits_a, bits_b, signedness)?;
+                        output[&[i, j]] =
+                            i32::try_from(out.value).expect("quantized GEMM results fit i32");
                         pass_beats = pass_beats.max(out.cycles);
                         macs += k as u64;
                     }
@@ -278,7 +279,13 @@ mod tests {
         let mut wmat = weights.clone();
         wmat.reshape(&[oc, ic * k * k]);
         let run = small_array()
-            .gemm(&wmat, &cols, BitWidth::INT4, BitWidth::INT4, Signedness::Signed)
+            .gemm(
+                &wmat,
+                &cols,
+                BitWidth::INT4,
+                BitWidth::INT4,
+                Signedness::Signed,
+            )
             .unwrap();
         let mut expect = conv_out;
         expect.reshape(&[oc, oh * oh]);

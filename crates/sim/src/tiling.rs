@@ -159,9 +159,7 @@ pub fn layer_tiling(layer: &Layer, working_bytes: u64, b: u64) -> TilingChoice {
             b,
         ),
         LayerKind::Pool {
-            channels,
-            input_hw,
-            ..
+            channels, input_hw, ..
         } => {
             let (oh, ow) = layer.output_hw().expect("pool output");
             let moved = bytes(

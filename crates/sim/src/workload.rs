@@ -1,0 +1,180 @@
+//! Workload declarations: *what* gets evaluated, independent of *where*.
+//!
+//! A [`Workload`] bundles a Table I network, its bitwidth policy and the
+//! batching regime it is served under. Platforms ([`crate::scenario::Evaluator`]
+//! implementations) receive workloads and report measurements; the batching
+//! knobs that used to live on [`crate::SimConfig`] as loose `batch_cnn` /
+//! `batch_recurrent` fields now travel with the workload as a
+//! [`BatchRegime`].
+
+use bpvec_dnn::{BitwidthPolicy, Network, NetworkId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How inference requests are batched for a workload.
+///
+/// Batch sizes follow inference-serving practice (and the throughput regime
+/// the paper's GPU comparison implies): small batches for the CNNs, larger
+/// for the recurrent models whose GEMV streams are otherwise hopelessly
+/// bandwidth-bound on every platform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BatchRegime {
+    /// Per-class serving batches: CNNs at `cnn`, RNN/LSTM at `recurrent`.
+    Serving {
+        /// Batch size for the CNN workloads.
+        cnn: u64,
+        /// Batch size for the RNN/LSTM workloads.
+        recurrent: u64,
+    },
+    /// One batch size for every network class.
+    Fixed(u64),
+}
+
+impl BatchRegime {
+    /// The evaluation's default batching (CNNs at 16, recurrent at 12).
+    #[must_use]
+    pub fn paper_default() -> Self {
+        BatchRegime::Serving {
+            cnn: 16,
+            recurrent: 12,
+        }
+    }
+
+    /// Per-class serving batches.
+    #[must_use]
+    pub fn serving(cnn: u64, recurrent: u64) -> Self {
+        BatchRegime::Serving { cnn, recurrent }
+    }
+
+    /// The same batch for every network.
+    #[must_use]
+    pub fn fixed(batch: u64) -> Self {
+        BatchRegime::Fixed(batch)
+    }
+
+    /// The batch size this regime assigns to `id`.
+    #[must_use]
+    pub fn batch_for(&self, id: NetworkId) -> u64 {
+        match *self {
+            BatchRegime::Serving { cnn, recurrent } => {
+                if id.is_recurrent() {
+                    recurrent
+                } else {
+                    cnn
+                }
+            }
+            BatchRegime::Fixed(batch) => batch,
+        }
+    }
+}
+
+impl Default for BatchRegime {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// One unit of evaluated work: a network, its bitwidth policy, and the
+/// batching regime it is served under.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Workload {
+    /// The Table I network.
+    pub network: NetworkId,
+    /// Layer bitwidths: homogeneous 8-bit or the paper's heterogeneous set.
+    pub policy: BitwidthPolicy,
+    /// The batching regime.
+    pub batching: BatchRegime,
+}
+
+impl Workload {
+    /// A workload under the default serving batches.
+    #[must_use]
+    pub fn new(network: NetworkId, policy: BitwidthPolicy) -> Self {
+        Workload {
+            network,
+            policy,
+            batching: BatchRegime::paper_default(),
+        }
+    }
+
+    /// Replaces the batching regime (builder style).
+    #[must_use]
+    pub fn with_batching(mut self, batching: BatchRegime) -> Self {
+        self.batching = batching;
+        self
+    }
+
+    /// All six Table I networks under one policy, in Table I order — the
+    /// row set of every Figure 5–9 comparison.
+    #[must_use]
+    pub fn table1(policy: BitwidthPolicy) -> Vec<Workload> {
+        NetworkId::ALL
+            .iter()
+            .map(|&id| Workload::new(id, policy))
+            .collect()
+    }
+
+    /// The batch size this workload runs at.
+    #[must_use]
+    pub fn batch(&self) -> u64 {
+        self.batching.batch_for(self.network)
+    }
+
+    /// Instantiates the network (layer shapes + bitwidths).
+    #[must_use]
+    pub fn build(&self) -> Network {
+        Network::build(self.network, self.policy)
+    }
+}
+
+impl fmt::Display for Workload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({:?}, batch {})",
+            self.network.name(),
+            self.policy,
+            self.batch()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_regime_matches_the_seed_simconfig() {
+        let r = BatchRegime::paper_default();
+        assert_eq!(r.batch_for(NetworkId::AlexNet), 16);
+        assert_eq!(r.batch_for(NetworkId::ResNet50), 16);
+        assert_eq!(r.batch_for(NetworkId::Rnn), 12);
+        assert_eq!(r.batch_for(NetworkId::Lstm), 12);
+    }
+
+    #[test]
+    fn fixed_regime_ignores_network_class() {
+        let r = BatchRegime::fixed(7);
+        for id in NetworkId::ALL {
+            assert_eq!(r.batch_for(id), 7);
+        }
+    }
+
+    #[test]
+    fn table1_covers_all_networks_in_order() {
+        let ws = Workload::table1(BitwidthPolicy::Homogeneous8);
+        assert_eq!(ws.len(), 6);
+        for (w, id) in ws.iter().zip(NetworkId::ALL) {
+            assert_eq!(w.network, id);
+            assert_eq!(w.policy, BitwidthPolicy::Homogeneous8);
+        }
+    }
+
+    #[test]
+    fn build_instantiates_the_right_network() {
+        let w = Workload::new(NetworkId::ResNet18, BitwidthPolicy::Heterogeneous);
+        let net = w.build();
+        assert_eq!(net.id, NetworkId::ResNet18);
+        assert!(!net.layers.is_empty());
+    }
+}

@@ -4,7 +4,7 @@
 
 use bpvec_dnn::{BitwidthPolicy, Network, NetworkId};
 use bpvec_sim::memory::ScratchpadSpec;
-use bpvec_sim::{simulate, AcceleratorConfig, DramSpec, SimConfig};
+use bpvec_sim::{simulate, AcceleratorConfig, BatchRegime, DramSpec, SimConfig};
 use proptest::prelude::*;
 
 fn arb_network() -> impl Strategy<Value = (NetworkId, BitwidthPolicy)> {
@@ -89,8 +89,12 @@ proptest! {
         }
     }
 
-    /// Bigger batches never increase per-inference latency (amortization
-    /// can only help under this batching model).
+    /// Batching responds sanely: the whole batch never finishes faster than
+    /// a smaller batch, and for the weight-streaming recurrent models —
+    /// where the paper's batching argument lives — bigger batches amortize
+    /// the weight traffic, so per-inference latency never degrades. (For
+    /// CNNs the per-inference direction is NOT monotone: larger batches can
+    /// spill the scratchpad tiles and raise per-inference traffic.)
     #[test]
     fn batching_amortizes(
         (id, policy) in arb_network(),
@@ -98,15 +102,19 @@ proptest! {
     ) {
         let net = Network::build(id, policy);
         let mut small = SimConfig::new(AcceleratorConfig::bpvec(), DramSpec::ddr4());
-        small.batch_cnn = batch;
-        small.batch_recurrent = batch;
+        small.batching = BatchRegime::fixed(batch);
         let mut large = small;
-        large.batch_cnn = batch * 4;
-        large.batch_recurrent = batch * 4;
+        large.batching = BatchRegime::fixed(batch * 4);
         let a = simulate(&net, &small);
         let b = simulate(&net, &large);
-        prop_assert!(b.latency_s <= a.latency_s * 1.02,
-            "batch {batch}->{} latency {} -> {}", batch * 4, a.latency_s, b.latency_s);
+        let batch_latency = |r: &bpvec_sim::NetworkResult| r.latency_s * r.batch as f64;
+        prop_assert!(batch_latency(&b) >= batch_latency(&a) * 0.98,
+            "batch {batch}->{}: whole-batch latency shrank {} -> {}",
+            batch * 4, batch_latency(&a), batch_latency(&b));
+        if id.is_recurrent() {
+            prop_assert!(b.latency_s <= a.latency_s * 1.02,
+                "batch {batch}->{} latency {} -> {}", batch * 4, a.latency_s, b.latency_s);
+        }
     }
 
     /// Energy and latency respond consistently to the memory system:

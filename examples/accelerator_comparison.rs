@@ -1,46 +1,76 @@
-//! Full accelerator comparison across the paper's design space.
+//! Full accelerator comparison across the paper's design space, as one
+//! `Scenario` per bitwidth policy.
 //!
-//! Run with `cargo run --example accelerator_comparison`.
+//! Run with `cargo run --example accelerator_comparison`
+//! (add `--csv` or `--json` for machine-readable output).
 //!
-//! Simulates all six Table I networks on the three ASIC platforms
-//! (TPU-like, BitFusion, BPVeC) under both memory systems and both bitwidth
-//! policies — the complete grid behind Figures 5-8 — and prints latency,
-//! energy and perf/W per configuration.
+//! Each scenario is the complete grid behind Figures 5-8 — all six Table I
+//! networks on the three ASIC platforms (TPU-like, BitFusion, BPVeC) under
+//! both memory systems — declared in a handful of lines and evaluated in
+//! parallel. The report prints latency, energy and perf/W per cell, then
+//! the geomean speedups of every column against the TPU-like + DDR4
+//! baseline.
 
-use bpvec::dnn::{BitwidthPolicy, Network, NetworkId};
-use bpvec::sim::{simulate, AcceleratorConfig, DramSpec, SimConfig};
+use bpvec::dnn::{BitwidthPolicy, NetworkId};
+use bpvec::sim::{AcceleratorConfig, DramSpec, Report, Scenario, Workload};
+
+fn grid(policy: BitwidthPolicy, label: &str) -> Report {
+    Scenario::new(label)
+        .platform(AcceleratorConfig::tpu_like())
+        .platform(AcceleratorConfig::bitfusion())
+        .platform(AcceleratorConfig::bpvec())
+        .memory(DramSpec::ddr4())
+        .memory(DramSpec::hbm2())
+        .workloads(Workload::table1(policy))
+        .run()
+}
 
 fn main() {
-    for (policy, label) in [
-        (BitwidthPolicy::Homogeneous8, "homogeneous 8-bit"),
-        (BitwidthPolicy::Heterogeneous, "heterogeneous (Table I bitwidths)"),
-    ] {
-        println!("=== {label} ===");
+    let reports = [
+        grid(BitwidthPolicy::Homogeneous8, "homogeneous 8-bit"),
+        grid(
+            BitwidthPolicy::Heterogeneous,
+            "heterogeneous (Table I bitwidths)",
+        ),
+    ];
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--csv") {
+        // One header for both panels; the policy column tells them apart.
+        print!("{}", bpvec_bench::concat_report_csv(&reports));
+        return;
+    }
+    if args.iter().any(|a| a == "--json") {
+        for r in &reports {
+            println!("{}", r.to_json());
+        }
+        return;
+    }
+    for report in &reports {
+        println!("=== {} ===", report.scenario);
         println!(
-            "{:<14} {:<10} {:<6} {:>12} {:>12} {:>12} {:>10}",
-            "network", "design", "mem", "latency ms", "energy mJ", "GOPS/W", "mem-bound"
+            "{:<14} {:<10} {:<6} {:>12} {:>12} {:>12}",
+            "network", "design", "mem", "latency ms", "energy mJ", "GOPS/W"
         );
         for id in NetworkId::ALL {
-            let net = Network::build(id, policy);
-            for accel in [
-                AcceleratorConfig::tpu_like(),
-                AcceleratorConfig::bitfusion(),
-                AcceleratorConfig::bpvec(),
-            ] {
-                for dram in [DramSpec::ddr4(), DramSpec::hbm2()] {
-                    let r = simulate(&net, &SimConfig::new(accel, dram));
-                    println!(
-                        "{:<14} {:<10} {:<6} {:>12.3} {:>12.3} {:>12.0} {:>9.0}%",
-                        id.name(),
-                        accel.design.name(),
-                        dram.name,
-                        r.latency_s * 1e3,
-                        r.energy_j * 1e3,
-                        r.gops_per_watt(),
-                        100.0 * r.memory_bound_fraction()
-                    );
-                }
+            for col in report.columns() {
+                let cell = report.cell(&col.platform, &col.memory, id).unwrap();
+                println!(
+                    "{:<14} {:<10} {:<6} {:>12.3} {:>12.3} {:>12.0}",
+                    id.name(),
+                    col.platform,
+                    col.memory,
+                    cell.measurement.latency_s * 1e3,
+                    cell.measurement.energy_j * 1e3,
+                    cell.measurement.gops_per_watt,
+                );
             }
+        }
+        println!("\ngeomean speedups vs {}:", report.baseline);
+        for c in report.comparisons() {
+            println!(
+                "  {:<22} {:>6.2}x speedup, {:>6.2}x energy",
+                c.evaluated, c.geomean_speedup, c.geomean_energy
+            );
         }
         println!();
     }

@@ -1,0 +1,99 @@
+//! Bringing your own backend to the `Scenario` API.
+//!
+//! Run with `cargo run --example custom_platform`.
+//!
+//! The evaluation API is open: anything implementing
+//! [`Evaluator`](bpvec::sim::Evaluator) drops into a scenario next to the
+//! built-in ASIC simulator and the GPU model. This example adds two custom
+//! platforms:
+//!
+//! * a simple analytical **vector CPU** (AVX-512-class server socket), to
+//!   see where general-purpose silicon lands on the paper's workloads;
+//! * a **scratchpad-doubled BPVeC** variant via [`Labeled`], the one-liner
+//!   way to carry several configs of the same design in one scenario.
+//!
+//! The report then answers both questions in one run, normalized to the
+//! stock BPVeC + DDR4.
+
+use bpvec::dnn::{BitwidthPolicy, Network, NetworkId};
+use bpvec::sim::{
+    AcceleratorConfig, DramSpec, Evaluator, Labeled, Measurement, Scenario, Workload,
+};
+
+/// A deliberately simple vector-CPU model: peak INT8 MACs derated by a
+/// per-class sustained-utilization factor, against a fixed socket power.
+struct VectorCpu {
+    peak_gmacs: f64,
+    socket_power_w: f64,
+}
+
+impl VectorCpu {
+    /// ~2 GHz × 32 cores × 2 FMA ports × 64 INT8 MACs ≈ 8 TMAC/s peak.
+    fn server_socket() -> Self {
+        VectorCpu {
+            peak_gmacs: 8_000.0,
+            socket_power_w: 205.0,
+        }
+    }
+}
+
+impl Evaluator for VectorCpu {
+    fn label(&self) -> String {
+        "Vector CPU".to_string()
+    }
+
+    fn evaluate(&self, workload: &Workload, network: &Network, _dram: &DramSpec) -> Measurement {
+        // CNNs keep the vector units moderately busy; GEMV streams thrash.
+        let util = if workload.network.is_recurrent() {
+            0.02
+        } else {
+            0.25
+        };
+        let sustained = self.peak_gmacs * util;
+        let macs = network.total_macs();
+        let latency_s = macs as f64 / (sustained * 1e9);
+        Measurement {
+            latency_s,
+            energy_j: latency_s * self.socket_power_w,
+            macs,
+            batch: workload.batch(),
+            gops_per_watt: 2.0 * sustained / self.socket_power_w,
+        }
+    }
+}
+
+fn main() {
+    let mut big_spad = AcceleratorConfig::bpvec();
+    big_spad.scratchpad.capacity_bytes *= 2;
+
+    let report = Scenario::new("custom platforms vs BPVeC")
+        .platform(AcceleratorConfig::bpvec())
+        .platform(Labeled::new("BPVeC-224K", big_spad))
+        .platform(VectorCpu::server_socket())
+        .memory(DramSpec::ddr4())
+        .workloads(Workload::table1(BitwidthPolicy::Homogeneous8))
+        .run();
+
+    println!("{}\n", report.scenario);
+    println!(
+        "{:<14} {:>14} {:>14} {:>12}",
+        "network", "BPVeC ms", "BPVeC-224K ms", "CPU ms"
+    );
+    for id in NetworkId::ALL {
+        let ms = |p: &str| report.cell(p, "DDR4", id).unwrap().measurement.latency_s * 1e3;
+        println!(
+            "{:<14} {:>14.3} {:>14.3} {:>12.3}",
+            id.name(),
+            ms("BPVeC"),
+            ms("BPVeC-224K"),
+            ms("Vector CPU"),
+        );
+    }
+    println!();
+    for c in report.comparisons() {
+        println!(
+            "{:<22} {:>6.2}x speedup, {:>6.2}x energy vs {}",
+            c.evaluated, c.geomean_speedup, c.geomean_energy, c.baseline
+        );
+    }
+}

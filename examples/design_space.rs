@@ -22,12 +22,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let row: Vec<String> = [1u32, 2, 4, 8, 16, 32, 64]
             .iter()
             .map(|&l| {
-                let p = evaluate(DesignPoint { slice_bits: s, lanes: l }, &tech);
+                let p = evaluate(
+                    DesignPoint {
+                        slice_bits: s,
+                        lanes: l,
+                    },
+                    &tech,
+                );
                 format!("{:.2}", p.norm_power)
             })
             .collect();
-        println!("{:<8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
-            format!("{s}-bit"), row[0], row[1], row[2], row[3], row[4], row[5], row[6]);
+        println!(
+            "{:<8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
+            format!("{s}-bit"),
+            row[0],
+            row[1],
+            row[2],
+            row[3],
+            row[4],
+            row[5],
+            row[6]
+        );
     }
 
     println!("\neffective compute utilization per operand bitwidth (paper §III-B(3)):");
@@ -45,7 +60,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let c = Composition::plan(total, sw, BitWidth::new(bx)?, BitWidth::new(bw)?)?;
             let ideal = (8.0 / bx as f64) * (8.0 / bw as f64);
             let achieved = c.throughput_multiplier() as f64;
-            cells.push(format!("{:.0}%", 100.0 * achieved / ideal * c.utilization()));
+            cells.push(format!(
+                "{:.0}%",
+                100.0 * achieved / ideal * c.utilization()
+            ));
         }
         println!(
             "{:<8} {:>8} {:>8} {:>8} {:>8} {:>8}",

@@ -57,5 +57,8 @@ fn main() {
         r8.cycles / r4.cycles,
         (r8.traffic_bytes - r4.traffic_bytes) as f64 / 1024.0
     );
-    println!("\nthe binary encoding round-trips: {} words", program.encode().len());
+    println!(
+        "\nthe binary encoding round-trips: {} words",
+        program.encode().len()
+    );
 }

@@ -12,7 +12,7 @@ use bpvec::core::{BitWidth, Signedness};
 use bpvec::dnn::reference::{gemv, lstm_step};
 use bpvec::dnn::{BitwidthPolicy, Network, NetworkId, Tensor};
 use bpvec::sim::systolic::{ArrayConfig, SystolicArray};
-use bpvec::sim::{simulate, AcceleratorConfig, DramSpec, SimConfig};
+use bpvec::sim::{simulate, AcceleratorConfig, BatchRegime, DramSpec, SimConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. A quantized LSTM cell whose gate GEMV runs bit-true on the array.
@@ -30,7 +30,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     xh.extend_from_slice(h.as_slice());
     let xh_t = Tensor::from_data(&[2 * hidden, 1], xh);
     let arr = SystolicArray::new(ArrayConfig::paper_default());
-    let run = arr.gemm(&w, &xh_t, BitWidth::INT4, BitWidth::INT4, Signedness::Signed)?;
+    let run = arr.gemm(
+        &w,
+        &xh_t,
+        BitWidth::INT4,
+        BitWidth::INT4,
+        Signedness::Signed,
+    )?;
     let mut expect = gemv(&w, {
         let mut flat = xh_t.clone();
         flat.reshape(&[2 * hidden]);
@@ -45,7 +51,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         run.cycles
     );
     let (h1, _c1) = lstm_step(&w, &x, &h, &c, 3, BitWidth::INT4);
-    println!("one full quantized LSTM step -> h[0..4] = {:?}", &h1.as_slice()[..4]);
+    println!(
+        "one full quantized LSTM step -> h[0..4] = {:?}",
+        &h1.as_slice()[..4]
+    );
 
     // 2. Why LSTM gains nothing from BPVeC on DDR4: bandwidth sensitivity.
     println!("\nLSTM end-to-end (2 layers, hidden 880, seq 512):");
@@ -76,7 +85,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nbatch sensitivity (BPVeC + DDR4):");
     for batch in [1u64, 4, 12, 32, 128] {
         let mut cfg = SimConfig::new(AcceleratorConfig::bpvec(), DramSpec::ddr4());
-        cfg.batch_recurrent = batch;
+        cfg.batching = BatchRegime::serving(16, batch);
         let r = simulate(&net, &cfg);
         println!(
             "  batch {batch:>3}: {:>8.2} ms/inf ({:>3.0}% memory-bound)",

@@ -42,9 +42,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let rms_exact = (exact.iter().map(|v| v * v).sum::<f64>() / n_out as f64).sqrt();
 
     let cvu = Cvu::new(CvuConfig::paper_default());
-    println!(
-        "synthetic FC layer {n_in} -> {n_out}, float output RMS {rms_exact:.3}\n"
-    );
+    println!("synthetic FC layer {n_in} -> {n_out}, float output RMS {rms_exact:.3}\n");
     println!(
         "{:>5} {:>16} {:>16} {:>14}",
         "bits", "norm RMS error", "cycles/output", "vs 8-bit cycles"

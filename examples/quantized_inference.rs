@@ -21,7 +21,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A ResNet-style 3x3 convolution: 16 -> 16 channels on a 12x12 map.
     let (ic, oc, k, h) = (16usize, 16usize, 3usize, 12usize);
     let oh = h - k + 1;
-    let input_f = synth(ic * h * h, |i| ((i * 2654435761 % 997) as f32 / 997.0) - 0.5);
+    let input_f = synth(ic * h * h, |i| {
+        ((i * 2654435761 % 997) as f32 / 997.0) - 0.5
+    });
     let weight_f = synth(oc * ic * k * k, |i| {
         (((i * 40503 + 17) % 911) as f32 / 911.0 - 0.5) * 0.4
     });

@@ -26,14 +26,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let out = cvu.dot_product(&xs, &ws, BitWidth::INT8, BitWidth::INT8, Signedness::Signed)?;
     let exact: i64 = xs.iter().zip(&ws).map(|(&x, &w)| x as i64 * w as i64).sum();
     println!("\n8b x 8b, 512 elements:");
-    println!("  result {} (exact {exact}), {} cycles", out.value, out.cycles);
+    println!(
+        "  result {} (exact {exact}), {} cycles",
+        out.value, out.cycles
+    );
     assert_eq!(out.value, exact);
 
     // Same vectors quantized to 4 bits: the CVU recomposes into 4 clusters
     // and finishes 4x sooner on the same silicon.
     let xs4: Vec<i32> = xs.iter().map(|&v| v / 16).collect();
     let ws4: Vec<i32> = ws.iter().map(|&v| v / 16).collect();
-    let out4 = cvu.dot_product(&xs4, &ws4, BitWidth::INT4, BitWidth::INT4, Signedness::Signed)?;
+    let out4 = cvu.dot_product(
+        &xs4,
+        &ws4,
+        BitWidth::INT4,
+        BitWidth::INT4,
+        Signedness::Signed,
+    )?;
     println!("\n4b x 4b, 512 elements:");
     println!(
         "  {} cycles ({}x fewer), {} clusters in parallel",
@@ -44,7 +53,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The extreme: 2-bit weights against 8-bit activations (Figure 3c).
     let ws2: Vec<i32> = ws.iter().map(|&v| (v / 64).clamp(-2, 1)).collect();
-    let out82 = cvu.dot_product(&xs, &ws2, BitWidth::INT8, BitWidth::INT2, Signedness::Signed)?;
+    let out82 = cvu.dot_product(
+        &xs,
+        &ws2,
+        BitWidth::INT8,
+        BitWidth::INT2,
+        Signedness::Signed,
+    )?;
     println!("\n8b x 2b, 512 elements:");
     println!(
         "  {} cycles, {} clusters of {} NBVEs",
@@ -52,7 +67,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         out82.composition.clusters(),
         out82.composition.nbves_per_cluster()
     );
-    let exact82: i64 = xs.iter().zip(&ws2).map(|(&x, &w)| x as i64 * w as i64).sum();
+    let exact82: i64 = xs
+        .iter()
+        .zip(&ws2)
+        .map(|(&x, &w)| x as i64 * w as i64)
+        .sum();
     assert_eq!(out82.value, exact82);
 
     println!("\nevery result is bit-true against exact integer arithmetic");

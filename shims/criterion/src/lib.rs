@@ -1,0 +1,201 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Runs each registered benchmark a handful of timed batches and prints the
+//! fastest per-iteration wall-clock time. No statistics, plots or baseline
+//! comparisons — just enough for `cargo bench` to build, run, and emit
+//! usable numbers in this offline environment.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Opaque to the optimizer; forwards to `std::hint::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `name/parameter` identifier.
+    pub fn new<P: Display>(name: &str, parameter: P) -> Self {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+
+    /// Identifier from the parameter alone.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Declares how a benchmark's throughput is counted (printed as-is).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Times one benchmark body.
+#[derive(Debug)]
+pub struct Bencher {
+    best_ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Runs `f` in timed batches and records the best per-iteration time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibrate a batch size that takes ~10 ms, then time 5 batches.
+        let mut batch: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed.as_millis() >= 10 || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 4;
+        }
+        let mut best = f64::INFINITY;
+        for _ in 0..5 {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let ns = start.elapsed().as_nanos() as f64 / batch as f64;
+            best = best.min(ns);
+        }
+        self.best_ns_per_iter = best;
+    }
+}
+
+fn print_result(id: &str, b: &Bencher, throughput: Option<Throughput>) {
+    let ns = b.best_ns_per_iter;
+    let time = if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} us", ns / 1e3)
+    } else {
+        format!("{:.3} ms", ns / 1e6)
+    };
+    match throughput {
+        Some(Throughput::Elements(n)) => {
+            let rate = n as f64 / (ns * 1e-9) / 1e6;
+            println!("bench {id:<50} {time:>12}  ({rate:.1} Melem/s)");
+        }
+        Some(Throughput::Bytes(n)) => {
+            let rate = n as f64 / (ns * 1e-9) / 1e6;
+            println!("bench {id:<50} {time:>12}  ({rate:.1} MB/s)");
+        }
+        None => println!("bench {id:<50} {time:>12}"),
+    }
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs one standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            best_ns_per_iter: f64::NAN,
+        };
+        f(&mut b);
+        print_result(name, &b, None);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim sizes batches itself.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<I: Display, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            best_ns_per_iter: f64::NAN,
+        };
+        f(&mut b);
+        print_result(&format!("{}/{}", self.name, id), &b, self.throughput);
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I: Display, P: ?Sized, F: FnMut(&mut Bencher, &P)>(
+        &mut self,
+        id: I,
+        input: &P,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            best_ns_per_iter: f64::NAN,
+        };
+        f(&mut b, input);
+        print_result(&format!("{}/{}", self.name, id), &b, self.throughput);
+        self
+    }
+
+    /// Finishes the group.
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into one group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

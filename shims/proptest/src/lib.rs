@@ -1,0 +1,263 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Provides the subset this workspace's property tests use: the
+//! [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//! `prop_assert!`/`prop_assert_eq!`, [`prop_oneof!`], [`strategy::Just`],
+//! range strategies, tuple strategies, `.prop_map`, and the
+//! `proptest::bool::ANY` / `proptest::num::*::ANY` / `f32::NORMAL` markers.
+//!
+//! Unlike real proptest there is no shrinking and no persisted failure
+//! seeds: each test runs a fixed number of deterministic cases seeded from
+//! the test's module path, so failures reproduce across runs.
+
+pub mod strategy;
+
+pub use strategy::{Just, Strategy};
+
+/// Runner configuration (the `cases` knob only).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per property.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; that is cheap for the pure bit
+        // math these tests cover and keeps coverage comparable.
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Why one generated case failed (no shrinking: the message is final).
+#[derive(Debug)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Fails the current case with a message.
+    #[must_use]
+    pub fn fail<T: std::fmt::Display>(msg: T) -> Self {
+        TestCaseError(msg.to_string())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Deterministic per-test RNG seeding: hash the test's identifying string.
+#[must_use]
+pub fn rng_for(test_path: &str) -> rand::rngs::StdRng {
+    use rand::SeedableRng;
+    // FNV-1a over the path; any stable spread works here.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_path.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    rand::rngs::StdRng::seed_from_u64(h)
+}
+
+/// Marker strategies for `bool`.
+pub mod bool {
+    /// Uniform `true`/`false`.
+    pub const ANY: BoolAny = BoolAny;
+
+    /// Strategy type behind [`ANY`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct BoolAny;
+
+    impl crate::Strategy for BoolAny {
+        type Value = bool;
+
+        fn sample(&self, rng: &mut rand::rngs::StdRng) -> bool {
+            use rand::Rng;
+            rng.gen_bool(0.5)
+        }
+    }
+}
+
+/// Marker strategies for numeric types.
+pub mod num {
+    macro_rules! any_mod {
+        ($($mod_name:ident, $ty:ty, $struct_name:ident);* $(;)?) => {
+            $(
+                /// Strategies for one primitive type.
+                pub mod $mod_name {
+                    /// The full domain of the type.
+                    pub const ANY: $struct_name = $struct_name;
+
+                    /// Strategy type behind `ANY`.
+                    #[derive(Debug, Clone, Copy)]
+                    pub struct $struct_name;
+
+                    impl crate::Strategy for $struct_name {
+                        type Value = $ty;
+
+                        fn sample(&self, rng: &mut rand::rngs::StdRng) -> $ty {
+                            use rand::RngCore;
+                            rng.next_u64() as $ty
+                        }
+                    }
+                }
+            )*
+        };
+    }
+
+    any_mod! {
+        i8, i8, I8Any;
+        i16, i16, I16Any;
+        i32, i32, I32Any;
+        i64, i64, I64Any;
+        u8, u8, U8Any;
+        u16, u16, U16Any;
+        u32, u32, U32Any;
+        u64, u64, U64Any;
+        usize, usize, UsizeAny;
+    }
+
+    /// Strategies for `f32`.
+    pub mod f32 {
+        /// Normal (finite, non-subnormal, nonzero-exponent) floats.
+        pub const NORMAL: F32Normal = F32Normal;
+
+        /// Strategy type behind [`NORMAL`].
+        #[derive(Debug, Clone, Copy)]
+        pub struct F32Normal;
+
+        impl crate::Strategy for F32Normal {
+            type Value = f32;
+
+            fn sample(&self, rng: &mut rand::rngs::StdRng) -> f32 {
+                use rand::{Rng, RngCore};
+                let sign = u32::from(rng.gen_bool(0.5)) << 31;
+                let exponent = rng.gen_range(1u32..=254) << 23;
+                let mantissa = (rng.next_u64() as u32) & 0x007f_ffff;
+                f32::from_bits(sign | exponent | mantissa)
+            }
+        }
+    }
+}
+
+/// Everything a property-test module usually imports.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+    pub use crate::{ProptestConfig, TestCaseError};
+}
+
+/// Asserts inside a property; failures return `Err(TestCaseError)` from the
+/// case body, as in real proptest.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Equality assert inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, $($fmt)*);
+    }};
+}
+
+/// Inequality assert inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l != r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l != r, $($fmt)*);
+    }};
+}
+
+/// Uniformly picks one of several strategies with the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {{
+        // One shared Vec type lets the arms' value types unify (integer
+        // literals in later arms adopt the first arm's type).
+        let mut __arms: ::std::vec::Vec<
+            ::std::boxed::Box<dyn $crate::strategy::Strategy<Value = _>>,
+        > = ::std::vec::Vec::new();
+        $(__arms.push(::std::boxed::Box::new($strategy));)+
+        $crate::strategy::Union::new(__arms)
+    }};
+}
+
+/// Defines property tests: `fn name(binding in strategy, ...) { body }`.
+///
+/// Accepts an optional leading `#![proptest_config(expr)]` applying to the
+/// whole block, exactly like real proptest.
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($config:expr)] $($rest:tt)* ) => {
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($config:expr)
+      $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($pat:pat in $strategy:expr),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $config;
+                let mut __rng =
+                    $crate::rng_for(concat!(module_path!(), "::", stringify!($name)));
+                for __case in 0..__config.cases {
+                    let ($($pat,)*) = (
+                        $($crate::Strategy::sample(&($strategy), &mut __rng),)*
+                    );
+                    // The body may bail out with `Err(TestCaseError)`, as in
+                    // real proptest where cases return a Result.
+                    let __outcome = (|| -> ::std::result::Result<(), $crate::TestCaseError> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(e) = __outcome {
+                        panic!("property `{}` failed on case {}: {e}",
+                            stringify!($name), __case);
+                    }
+                }
+            }
+        )*
+    };
+}

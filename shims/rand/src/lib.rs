@@ -1,0 +1,172 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! Implements the API subset the workspace's tests use — `rand::rngs::StdRng`
+//! seeded with `SeedableRng::seed_from_u64`, plus `Rng::gen_range` over
+//! integer/float ranges and `Rng::gen_bool` — on top of a SplitMix64 +
+//! xorshift generator. Deterministic for a given seed, which is all the
+//! differential tests require; it makes no statistical-quality claims
+//! beyond passing them.
+
+/// A source of random 64-bit words.
+pub trait RngCore {
+    /// Returns the next random word.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seedable construction, as in real rand.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// User-facing sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples uniformly from a range (`a..b` or `a..=b`).
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Ranges that can be sampled uniformly.
+pub trait SampleRange<T> {
+    /// Draws one value.
+    fn sample<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+fn unit_f64(word: u64) -> f64 {
+    (word >> 11) as f64 / (1u64 << 53) as f64
+}
+
+macro_rules! impl_sample_int {
+    ($($ty:ty),* $(,)?) => {
+        $(
+            impl SampleRange<$ty> for std::ops::Range<$ty> {
+                fn sample<R: RngCore>(self, rng: &mut R) -> $ty {
+                    assert!(self.start < self.end, "empty range");
+                    let span = (self.end as i128) - (self.start as i128);
+                    let off = (rng.next_u64() as u128 % span as u128) as i128;
+                    (self.start as i128 + off) as $ty
+                }
+            }
+
+            impl SampleRange<$ty> for std::ops::RangeInclusive<$ty> {
+                fn sample<R: RngCore>(self, rng: &mut R) -> $ty {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty range");
+                    let span = (end as i128) - (start as i128) + 1;
+                    let off = (rng.next_u64() as u128 % span as u128) as i128;
+                    (start as i128 + off) as $ty
+                }
+            }
+        )*
+    };
+}
+
+impl_sample_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+macro_rules! impl_sample_float {
+    ($($ty:ty),* $(,)?) => {
+        $(
+            impl SampleRange<$ty> for std::ops::Range<$ty> {
+                fn sample<R: RngCore>(self, rng: &mut R) -> $ty {
+                    assert!(self.start < self.end, "empty range");
+                    let u = unit_f64(rng.next_u64()) as $ty;
+                    self.start + (self.end - self.start) * u
+                }
+            }
+
+            impl SampleRange<$ty> for std::ops::RangeInclusive<$ty> {
+                fn sample<R: RngCore>(self, rng: &mut R) -> $ty {
+                    let (start, end) = (*self.start(), *self.end());
+                    let u = unit_f64(rng.next_u64()) as $ty;
+                    start + (end - start) * u
+                }
+            }
+        )*
+    };
+}
+
+impl_sample_float!(f32, f64);
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The standard deterministic generator (xorshift64*, SplitMix64-seeded).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 scrambling so small seeds diverge immediately.
+            let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            StdRng {
+                state: (z ^ (z >> 31)) | 1,
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // xorshift64*.
+            let mut x = self.state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.state = x;
+            x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rngs::StdRng;
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v: i32 = rng.gen_range(-8..8);
+            assert!((-8..8).contains(&v));
+            let v: u64 = rng.gen_range(3..=9);
+            assert!((3..=9).contains(&v));
+            let f: f64 = rng.gen_range(0.5..2.0);
+            assert!((0.5..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_is_not_constant() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let trues = (0..1000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((300..700).contains(&trues), "{trues}");
+    }
+}

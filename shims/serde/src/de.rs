@@ -1,0 +1,211 @@
+//! A simplified, self-describing deserialization model.
+//!
+//! Real serde drives deserialization through visitors; this shim instead
+//! parses any input format into a [`Value`] tree and lets types pull
+//! themselves out of it. The `#[derive(Deserialize)]` shim generates impls
+//! against this trait, and the workspace's `serde_json` shim parses JSON
+//! text into [`Value`]s. The enum encodings mirror the serialization side:
+//! unit variants as strings, data-carrying variants as single-entry maps.
+
+use std::fmt;
+
+/// A self-describing parsed value (the shim's deserialization currency).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null` / a missing optional field.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A negative integer.
+    Int(i64),
+    /// A non-negative integer.
+    UInt(u64),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Value>),
+    /// An ordered map with string keys (field order is preserved).
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a map entry by key; a missing key reads as [`Value::Null`]
+    /// so optional fields deserialize to `None`.
+    pub fn field<T: Deserialize>(&self, key: &str) -> Result<T, Error> {
+        match self {
+            Value::Map(entries) => {
+                let v = entries
+                    .iter()
+                    .find(|(k, _)| k == key)
+                    .map_or(&Value::Null, |(_, v)| v);
+                T::deserialize(v).map_err(|e| Error(format!("field `{key}`: {e}")))
+            }
+            other => Err(Error(format!(
+                "expected a map with field `{key}`, found {other:?}"
+            ))),
+        }
+    }
+
+    fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) | Value::UInt(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+        }
+    }
+}
+
+/// Deserialization error: a plain message, as in `serde::de::Error::custom`.
+#[derive(Debug)]
+pub struct Error(pub String);
+
+impl Error {
+    /// Builds an error from an arbitrary message.
+    pub fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A type that can be reconstructed from a parsed [`Value`].
+pub trait Deserialize: Sized {
+    /// Deserializes `Self` out of the value tree.
+    fn deserialize(value: &Value) -> Result<Self, Error>;
+}
+
+fn unexpected(expected: &str, found: &Value) -> Error {
+    Error(format!("expected {expected}, found {}", found.type_name()))
+}
+
+macro_rules! impl_deserialize_int {
+    ($($ty:ty),* $(,)?) => {
+        $(
+            impl Deserialize for $ty {
+                fn deserialize(v: &Value) -> Result<Self, Error> {
+                    let out = match v {
+                        Value::Int(i) => <$ty>::try_from(*i).ok(),
+                        Value::UInt(u) => <$ty>::try_from(*u).ok(),
+                        other => return Err(unexpected("an integer", other)),
+                    };
+                    out.ok_or_else(|| {
+                        Error(format!("integer out of range for {}", stringify!($ty)))
+                    })
+                }
+            }
+        )*
+    };
+}
+
+impl_deserialize_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+macro_rules! impl_deserialize_float {
+    ($($ty:ty),* $(,)?) => {
+        $(
+            impl Deserialize for $ty {
+                fn deserialize(v: &Value) -> Result<Self, Error> {
+                    match v {
+                        Value::Float(f) => Ok(*f as $ty),
+                        Value::Int(i) => Ok(*i as $ty),
+                        Value::UInt(u) => Ok(*u as $ty),
+                        other => Err(unexpected("a number", other)),
+                    }
+                }
+            }
+        )*
+    };
+}
+
+impl_deserialize_float!(f32, f64);
+
+impl Deserialize for bool {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(unexpected("a bool", other)),
+        }
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(unexpected("a string", other)),
+        }
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(unexpected("a single-character string", other)),
+        }
+    }
+}
+
+impl Deserialize for () {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(()),
+            other => Err(unexpected("null", other)),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::deserialize).collect(),
+            other => Err(unexpected("a sequence", other)),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        T::deserialize(v).map(Box::new)
+    }
+}
+
+macro_rules! impl_deserialize_tuple {
+    ($len:literal => $($idx:tt $name:ident),+) => {
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Seq(items) if items.len() == $len => {
+                        Ok(($($name::deserialize(&items[$idx])?,)+))
+                    }
+                    other => Err(unexpected(concat!("a sequence of length ", $len), other)),
+                }
+            }
+        }
+    };
+}
+
+impl_deserialize_tuple!(1 => 0 A);
+impl_deserialize_tuple!(2 => 0 A, 1 B);
+impl_deserialize_tuple!(3 => 0 A, 1 B, 2 C);
+impl_deserialize_tuple!(4 => 0 A, 1 B, 2 C, 3 D);

@@ -1,0 +1,27 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no access to the crates.io registry, so this
+//! workspace ships a minimal `serde` with the same package name and the API
+//! subset the codebase uses; swapping back to the registry crate is a
+//! one-line change in each manifest.
+//!
+//! * The **serialization** side ([`ser`]) mirrors real serde's trait
+//!   shapes — `Serialize`, `Serializer` with the seven compound associated
+//!   types, and the `SerializeSeq`/`SerializeStruct`/… traits — so format
+//!   crates written against real serde (for example the mini JSON writer in
+//!   the integration tests, or the workspace's `serde_json` shim) compile
+//!   unchanged.
+//! * The **deserialization** side ([`de`]) is deliberately simplified: a
+//!   self-describing [`de::Value`] tree plus a `Deserialize` trait over it.
+//!   This supports the JSON round-trips the workspace needs without the
+//!   full visitor machinery.
+//!
+//! `#[derive(Serialize, Deserialize)]` comes from the companion
+//! `serde_derive` shim and generates impls against these traits.
+
+pub mod de;
+pub mod ser;
+
+pub use de::Deserialize;
+pub use ser::{Serialize, Serializer};
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,378 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` against
+//! the workspace's `serde` shim without `syn`/`quote` (neither is available
+//! offline): the item is parsed directly from the `proc_macro` token stream
+//! and the impl is emitted as source text.
+//!
+//! Supported shapes — the ones this workspace uses:
+//! * structs with named fields, tuple structs (single-field tuple structs
+//!   serialize as newtypes) and unit structs;
+//! * enums with unit, newtype, tuple and struct variants.
+//!
+//! Generic parameters and `#[serde(...)]` attributes are not supported.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What a derive needs to know about the item it was applied to.
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, Fields)>,
+    },
+}
+
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+/// Derives `serde::ser::Serialize` for a struct or enum.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item {
+        Item::Struct { name, fields } => serialize_struct_body(name, fields),
+        Item::Enum { name, variants } => serialize_enum_body(name, variants),
+    };
+    let name = item_name(&item);
+    format!(
+        "impl ::serde::ser::Serialize for {name} {{\n\
+             fn serialize<__S: ::serde::ser::Serializer>(&self, __s: __S) \
+                 -> ::std::result::Result<__S::Ok, __S::Error> {{\n{body}\n}}\n}}"
+    )
+    .parse()
+    .expect("serde_derive shim: generated Serialize impl must parse")
+}
+
+/// Derives `serde::de::Deserialize` for a struct or enum.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item {
+        Item::Struct { name, fields } => deserialize_struct_body(name, fields),
+        Item::Enum { name, variants } => deserialize_enum_body(name, variants),
+    };
+    let name = item_name(&item);
+    format!(
+        "impl ::serde::de::Deserialize for {name} {{\n\
+             fn deserialize(__v: &::serde::de::Value) \
+                 -> ::std::result::Result<Self, ::serde::de::Error> {{\n{body}\n}}\n}}"
+    )
+    .parse()
+    .expect("serde_derive shim: generated Deserialize impl must parse")
+}
+
+fn item_name(item: &Item) -> &str {
+    match item {
+        Item::Struct { name, .. } | Item::Enum { name, .. } => name,
+    }
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive shim: expected `struct` or `enum`, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive shim: expected item name, found {other}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive shim: generic parameters are not supported (type `{name}`)");
+    }
+    match kind.as_str() {
+        "struct" => {
+            let fields = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                _ => Fields::Unit,
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("serde_derive shim: expected enum body, found {other:?}"),
+            };
+            Item::Enum {
+                name,
+                variants: parse_variants(body),
+            }
+        }
+        other => panic!("serde_derive shim: cannot derive for `{other}` items"),
+    }
+}
+
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => *i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g))
+                    if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+/// Splits a field/variant list on commas that sit outside `<...>` nesting
+/// (bracketed groups are already atomic tokens).
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut chunks = vec![Vec::new()];
+    let mut angle_depth = 0i32;
+    let mut prev_dash = false;
+    for tok in stream {
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' if !prev_dash => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    chunks.push(Vec::new());
+                    prev_dash = false;
+                    continue;
+                }
+                _ => {}
+            }
+            prev_dash = p.as_char() == '-';
+        } else {
+            prev_dash = false;
+        }
+        chunks.last_mut().unwrap().push(tok);
+    }
+    chunks.retain(|c| !c.is_empty());
+    chunks
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    split_top_level(stream)
+        .into_iter()
+        .map(|chunk| {
+            let mut i = 0;
+            skip_attrs_and_vis(&chunk, &mut i);
+            match &chunk[i] {
+                TokenTree::Ident(id) => id.to_string(),
+                other => panic!("serde_derive shim: expected field name, found {other}"),
+            }
+        })
+        .collect()
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    split_top_level(stream).len()
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<(String, Fields)> {
+    split_top_level(stream)
+        .into_iter()
+        .map(|chunk| {
+            let mut i = 0;
+            skip_attrs_and_vis(&chunk, &mut i);
+            let name = match &chunk[i] {
+                TokenTree::Ident(id) => id.to_string(),
+                other => panic!("serde_derive shim: expected variant name, found {other}"),
+            };
+            i += 1;
+            let fields = match chunk.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                _ => Fields::Unit,
+            };
+            (name, fields)
+        })
+        .collect()
+}
+
+// -------------------------------------------------------------- serialize
+
+/// Emits the expression serializing one struct's fields read off `self`.
+fn serialize_struct_body(name: &str, fields: &Fields) -> String {
+    match fields {
+        Fields::Named(names) => {
+            let mut out = format!(
+                "let mut __st = ::serde::ser::Serializer::serialize_struct(__s, \"{name}\", {})?;\n",
+                names.len()
+            );
+            for f in names {
+                out.push_str(&format!(
+                    "::serde::ser::SerializeStruct::serialize_field(&mut __st, \"{f}\", &self.{f})?;\n"
+                ));
+            }
+            out.push_str("::serde::ser::SerializeStruct::end(__st)");
+            out
+        }
+        Fields::Tuple(1) => {
+            format!("::serde::ser::Serializer::serialize_newtype_struct(__s, \"{name}\", &self.0)")
+        }
+        Fields::Tuple(n) => {
+            let mut out = format!(
+                "let mut __st = ::serde::ser::Serializer::serialize_tuple_struct(__s, \"{name}\", {n})?;\n"
+            );
+            for i in 0..*n {
+                out.push_str(&format!(
+                    "::serde::ser::SerializeTupleStruct::serialize_field(&mut __st, &self.{i})?;\n"
+                ));
+            }
+            out.push_str("::serde::ser::SerializeTupleStruct::end(__st)");
+            out
+        }
+        Fields::Unit => {
+            format!("::serde::ser::Serializer::serialize_unit_struct(__s, \"{name}\")")
+        }
+    }
+}
+
+fn serialize_enum_body(name: &str, variants: &[(String, Fields)]) -> String {
+    let mut out = String::from("match self {\n");
+    for (idx, (vname, fields)) in variants.iter().enumerate() {
+        match fields {
+            Fields::Unit => out.push_str(&format!(
+                "{name}::{vname} => ::serde::ser::Serializer::serialize_unit_variant(__s, \"{name}\", {idx}u32, \"{vname}\"),\n"
+            )),
+            Fields::Tuple(1) => out.push_str(&format!(
+                "{name}::{vname}(__f0) => ::serde::ser::Serializer::serialize_newtype_variant(__s, \"{name}\", {idx}u32, \"{vname}\", __f0),\n"
+            )),
+            Fields::Tuple(n) => {
+                let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                out.push_str(&format!(
+                    "{name}::{vname}({}) => {{\nlet mut __sv = ::serde::ser::Serializer::serialize_tuple_variant(__s, \"{name}\", {idx}u32, \"{vname}\", {n})?;\n",
+                    binds.join(", ")
+                ));
+                for b in &binds {
+                    out.push_str(&format!(
+                        "::serde::ser::SerializeTupleVariant::serialize_field(&mut __sv, {b})?;\n"
+                    ));
+                }
+                out.push_str("::serde::ser::SerializeTupleVariant::end(__sv)\n},\n");
+            }
+            Fields::Named(fnames) => {
+                out.push_str(&format!(
+                    "{name}::{vname} {{ {} }} => {{\nlet mut __sv = ::serde::ser::Serializer::serialize_struct_variant(__s, \"{name}\", {idx}u32, \"{vname}\", {})?;\n",
+                    fnames.join(", "),
+                    fnames.len()
+                ));
+                for f in fnames {
+                    out.push_str(&format!(
+                        "::serde::ser::SerializeStructVariant::serialize_field(&mut __sv, \"{f}\", {f})?;\n"
+                    ));
+                }
+                out.push_str("::serde::ser::SerializeStructVariant::end(__sv)\n},\n");
+            }
+        }
+    }
+    out.push('}');
+    out
+}
+
+// ------------------------------------------------------------ deserialize
+
+fn deserialize_struct_body(name: &str, fields: &Fields) -> String {
+    match fields {
+        Fields::Named(names) => {
+            let fields: Vec<String> = names
+                .iter()
+                .map(|f| format!("{f}: __v.field(\"{f}\")?"))
+                .collect();
+            format!("Ok({name} {{ {} }})", fields.join(", "))
+        }
+        Fields::Tuple(1) => {
+            format!("Ok({name}(::serde::de::Deserialize::deserialize(__v)?))")
+        }
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::de::Deserialize::deserialize(&__items[{i}])?"))
+                .collect();
+            format!(
+                "match __v {{\n\
+                     ::serde::de::Value::Seq(__items) if __items.len() == {n} => \
+                         Ok({name}({})),\n\
+                     _ => Err(::serde::de::Error::custom(\
+                         \"expected a sequence of length {n} for `{name}`\")),\n\
+                 }}",
+                items.join(", ")
+            )
+        }
+        Fields::Unit => format!("{{ let _ = __v; Ok({name}) }}"),
+    }
+}
+
+fn deserialize_enum_body(name: &str, variants: &[(String, Fields)]) -> String {
+    let mut unit_arms = String::new();
+    let mut data_arms = String::new();
+    for (vname, fields) in variants {
+        match fields {
+            Fields::Unit => unit_arms.push_str(&format!("\"{vname}\" => Ok({name}::{vname}),\n")),
+            Fields::Tuple(1) => data_arms.push_str(&format!(
+                "\"{vname}\" => Ok({name}::{vname}(::serde::de::Deserialize::deserialize(__inner)?)),\n"
+            )),
+            Fields::Tuple(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::de::Deserialize::deserialize(&__items[{i}])?"))
+                    .collect();
+                data_arms.push_str(&format!(
+                    "\"{vname}\" => match __inner {{\n\
+                         ::serde::de::Value::Seq(__items) if __items.len() == {n} => \
+                             Ok({name}::{vname}({})),\n\
+                         _ => Err(::serde::de::Error::custom(\
+                             \"expected a sequence of length {n} for variant `{vname}`\")),\n\
+                     }},\n",
+                    items.join(", ")
+                ));
+            }
+            Fields::Named(fnames) => {
+                let fields: Vec<String> = fnames
+                    .iter()
+                    .map(|f| format!("{f}: __inner.field(\"{f}\")?"))
+                    .collect();
+                data_arms.push_str(&format!(
+                    "\"{vname}\" => Ok({name}::{vname} {{ {} }}),\n",
+                    fields.join(", ")
+                ));
+            }
+        }
+    }
+    format!(
+        "match __v {{\n\
+             ::serde::de::Value::Str(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\
+                 __other => Err(::serde::de::Error::custom(\
+                     format!(\"unknown variant `{{__other}}` of `{name}`\"))),\n\
+             }},\n\
+             ::serde::de::Value::Map(__entries) if __entries.len() == 1 => {{\n\
+                 let (__tag, __inner) = &__entries[0];\n\
+                 match __tag.as_str() {{\n\
+                     {data_arms}\
+                     __other => Err(::serde::de::Error::custom(\
+                         format!(\"unknown variant `{{__other}}` of `{name}`\"))),\n\
+                 }}\n\
+             }},\n\
+             _ => Err(::serde::de::Error::custom(\
+                 \"expected a string or single-entry map for enum `{name}`\")),\n\
+         }}"
+    )
+}

@@ -1,0 +1,665 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Provides [`to_string`], [`to_string_pretty`] and [`from_str`] over the
+//! workspace's `serde` shim. The serializer implements the shim's
+//! serde-compatible `Serializer` trait; the parser is a recursive-descent
+//! JSON reader producing `serde::de::Value` trees that the shim's
+//! simplified `Deserialize` trait consumes.
+
+use serde::de::{Deserialize, Value};
+use serde::ser::{self, Serialize};
+use std::fmt::Write as _;
+
+/// Serialization/deserialization error (a plain message).
+#[derive(Debug)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl ser::Error for Error {
+    fn custom<T: std::fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+/// Serializes a value to compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.serialize(&mut JsonSer { out: &mut out })?;
+    Ok(out)
+}
+
+/// Serializes a value to indented JSON (two-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let compact = to_string(value)?;
+    Ok(prettify(&compact))
+}
+
+/// Parses JSON text into any type implementing the shim's `Deserialize`.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error(format!("trailing characters at byte {}", p.pos)));
+    }
+    T::deserialize(&value).map_err(|e| Error(e.to_string()))
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// JSON has no NaN/Infinity; they serialize as `null`, as real serde_json
+/// does. Whole-valued floats print without a decimal point (the shim's
+/// `Deserialize` for floats accepts integers, so round-trips still work).
+fn write_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+struct JsonSer<'a> {
+    out: &'a mut String,
+}
+
+macro_rules! ser_scalar {
+    ($name:ident, $ty:ty) => {
+        fn $name(self, v: $ty) -> Result<(), Error> {
+            let _ = write!(self.out, "{v}");
+            Ok(())
+        }
+    };
+}
+
+impl<'a, 'b> ser::Serializer for &'b mut JsonSer<'a> {
+    type Ok = ();
+    type Error = Error;
+    type SerializeSeq = Compound<'a, 'b>;
+    type SerializeTuple = Compound<'a, 'b>;
+    type SerializeTupleStruct = Compound<'a, 'b>;
+    type SerializeTupleVariant = Compound<'a, 'b>;
+    type SerializeMap = Compound<'a, 'b>;
+    type SerializeStruct = Compound<'a, 'b>;
+    type SerializeStructVariant = Compound<'a, 'b>;
+
+    ser_scalar!(serialize_i8, i8);
+    ser_scalar!(serialize_i16, i16);
+    ser_scalar!(serialize_i32, i32);
+    ser_scalar!(serialize_i64, i64);
+    ser_scalar!(serialize_u8, u8);
+    ser_scalar!(serialize_u16, u16);
+    ser_scalar!(serialize_u32, u32);
+    ser_scalar!(serialize_u64, u64);
+    ser_scalar!(serialize_bool, bool);
+
+    fn serialize_f32(self, v: f32) -> Result<(), Error> {
+        self.serialize_f64(f64::from(v))
+    }
+
+    fn serialize_f64(self, v: f64) -> Result<(), Error> {
+        write_f64(self.out, v);
+        Ok(())
+    }
+
+    fn serialize_char(self, v: char) -> Result<(), Error> {
+        self.serialize_str(&v.to_string())
+    }
+
+    fn serialize_str(self, v: &str) -> Result<(), Error> {
+        escape_into(self.out, v);
+        Ok(())
+    }
+
+    fn serialize_bytes(self, v: &[u8]) -> Result<(), Error> {
+        let mut seq = ser::Serializer::serialize_seq(self, Some(v.len()))?;
+        for b in v {
+            ser::SerializeSeq::serialize_element(&mut seq, b)?;
+        }
+        ser::SerializeSeq::end(seq)
+    }
+
+    fn serialize_none(self) -> Result<(), Error> {
+        self.out.push_str("null");
+        Ok(())
+    }
+
+    fn serialize_some<T: Serialize + ?Sized>(self, v: &T) -> Result<(), Error> {
+        v.serialize(self)
+    }
+
+    fn serialize_unit(self) -> Result<(), Error> {
+        self.out.push_str("null");
+        Ok(())
+    }
+
+    fn serialize_unit_struct(self, _: &'static str) -> Result<(), Error> {
+        self.serialize_unit()
+    }
+
+    fn serialize_unit_variant(
+        self,
+        _: &'static str,
+        _: u32,
+        variant: &'static str,
+    ) -> Result<(), Error> {
+        self.serialize_str(variant)
+    }
+
+    fn serialize_newtype_struct<T: Serialize + ?Sized>(
+        self,
+        _: &'static str,
+        v: &T,
+    ) -> Result<(), Error> {
+        v.serialize(self)
+    }
+
+    fn serialize_newtype_variant<T: Serialize + ?Sized>(
+        self,
+        _: &'static str,
+        _: u32,
+        variant: &'static str,
+        v: &T,
+    ) -> Result<(), Error> {
+        self.out.push('{');
+        escape_into(self.out, variant);
+        self.out.push(':');
+        v.serialize(&mut *self)?;
+        self.out.push('}');
+        Ok(())
+    }
+
+    fn serialize_seq(self, _: Option<usize>) -> Result<Compound<'a, 'b>, Error> {
+        self.out.push('[');
+        Ok(Compound {
+            ser: self,
+            first: true,
+            close: "]",
+        })
+    }
+
+    fn serialize_tuple(self, len: usize) -> Result<Compound<'a, 'b>, Error> {
+        let _ = len;
+        ser::Serializer::serialize_seq(self, None)
+    }
+
+    fn serialize_tuple_struct(
+        self,
+        _: &'static str,
+        len: usize,
+    ) -> Result<Compound<'a, 'b>, Error> {
+        ser::Serializer::serialize_tuple(self, len)
+    }
+
+    fn serialize_tuple_variant(
+        self,
+        _: &'static str,
+        _: u32,
+        variant: &'static str,
+        _: usize,
+    ) -> Result<Compound<'a, 'b>, Error> {
+        self.out.push('{');
+        escape_into(self.out, variant);
+        self.out.push_str(":[");
+        Ok(Compound {
+            ser: self,
+            first: true,
+            close: "]}",
+        })
+    }
+
+    fn serialize_map(self, _: Option<usize>) -> Result<Compound<'a, 'b>, Error> {
+        self.out.push('{');
+        Ok(Compound {
+            ser: self,
+            first: true,
+            close: "}",
+        })
+    }
+
+    fn serialize_struct(self, _: &'static str, _: usize) -> Result<Compound<'a, 'b>, Error> {
+        self.out.push('{');
+        Ok(Compound {
+            ser: self,
+            first: true,
+            close: "}",
+        })
+    }
+
+    fn serialize_struct_variant(
+        self,
+        _: &'static str,
+        _: u32,
+        variant: &'static str,
+        _: usize,
+    ) -> Result<Compound<'a, 'b>, Error> {
+        self.out.push('{');
+        escape_into(self.out, variant);
+        self.out.push_str(":{");
+        Ok(Compound {
+            ser: self,
+            first: true,
+            close: "}}",
+        })
+    }
+}
+
+/// In-progress compound value (sequence, map, struct or variant payload).
+pub struct Compound<'a, 'b> {
+    ser: &'b mut JsonSer<'a>,
+    first: bool,
+    close: &'static str,
+}
+
+impl Compound<'_, '_> {
+    fn comma(&mut self) {
+        if !self.first {
+            self.ser.out.push(',');
+        }
+        self.first = false;
+    }
+
+    fn finish(self) -> Result<(), Error> {
+        self.ser.out.push_str(self.close);
+        Ok(())
+    }
+}
+
+impl ser::SerializeSeq for Compound<'_, '_> {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, v: &T) -> Result<(), Error> {
+        self.comma();
+        v.serialize(&mut *self.ser)
+    }
+
+    fn end(self) -> Result<(), Error> {
+        self.finish()
+    }
+}
+
+impl ser::SerializeTuple for Compound<'_, '_> {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, v: &T) -> Result<(), Error> {
+        ser::SerializeSeq::serialize_element(self, v)
+    }
+
+    fn end(self) -> Result<(), Error> {
+        self.finish()
+    }
+}
+
+impl ser::SerializeTupleStruct for Compound<'_, '_> {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_field<T: Serialize + ?Sized>(&mut self, v: &T) -> Result<(), Error> {
+        ser::SerializeSeq::serialize_element(self, v)
+    }
+
+    fn end(self) -> Result<(), Error> {
+        self.finish()
+    }
+}
+
+impl ser::SerializeTupleVariant for Compound<'_, '_> {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_field<T: Serialize + ?Sized>(&mut self, v: &T) -> Result<(), Error> {
+        ser::SerializeSeq::serialize_element(self, v)
+    }
+
+    fn end(self) -> Result<(), Error> {
+        self.finish()
+    }
+}
+
+impl ser::SerializeMap for Compound<'_, '_> {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_key<T: Serialize + ?Sized>(&mut self, k: &T) -> Result<(), Error> {
+        self.comma();
+        k.serialize(&mut *self.ser)
+    }
+
+    fn serialize_value<T: Serialize + ?Sized>(&mut self, v: &T) -> Result<(), Error> {
+        self.ser.out.push(':');
+        v.serialize(&mut *self.ser)
+    }
+
+    fn end(self) -> Result<(), Error> {
+        self.finish()
+    }
+}
+
+impl ser::SerializeStruct for Compound<'_, '_> {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        key: &'static str,
+        v: &T,
+    ) -> Result<(), Error> {
+        self.comma();
+        escape_into(self.ser.out, key);
+        self.ser.out.push(':');
+        v.serialize(&mut *self.ser)
+    }
+
+    fn end(self) -> Result<(), Error> {
+        self.finish()
+    }
+}
+
+impl ser::SerializeStructVariant for Compound<'_, '_> {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        key: &'static str,
+        v: &T,
+    ) -> Result<(), Error> {
+        ser::SerializeStruct::serialize_field(self, key, v)
+    }
+
+    fn end(self) -> Result<(), Error> {
+        self.finish()
+    }
+}
+
+// ------------------------------------------------------------------ parse
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error(format!(
+                "expected `{}` at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.parse_map(),
+            Some(b'[') => self.parse_seq(),
+            Some(b'"') => Ok(Value::Str(self.parse_string()?)),
+            Some(b't') => self.parse_lit("true", Value::Bool(true)),
+            Some(b'f') => self.parse_lit("false", Value::Bool(false)),
+            Some(b'n') => self.parse_lit("null", Value::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            other => Err(Error(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|b| b as char),
+                self.pos
+            ))),
+        }
+    }
+
+    fn parse_lit(&mut self, lit: &str, value: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(Error(format!("invalid literal at byte {}", self.pos)))
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' | b'-' | b'+' => self.pos += 1,
+                b'.' | b'e' | b'E' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|e| Error(e.to_string()))?;
+        if is_float {
+            text.parse::<f64>()
+                .map(Value::Float)
+                .map_err(|e| Error(format!("bad number `{text}`: {e}")))
+        } else if text.starts_with('-') {
+            text.parse::<i64>()
+                .map(Value::Int)
+                .map_err(|e| Error(format!("bad number `{text}`: {e}")))
+        } else {
+            text.parse::<u64>()
+                .map(Value::UInt)
+                .map_err(|e| Error(format!("bad number `{text}`: {e}")))
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| Error("truncated \\u escape".into()))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|e| Error(e.to_string()))?,
+                                16,
+                            )
+                            .map_err(|e| Error(e.to_string()))?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error(format!("bad codepoint {code:#x}")))?,
+                            );
+                            self.pos += 4;
+                        }
+                        other => {
+                            return Err(Error(format!("bad escape {other:?}")));
+                        }
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|e| Error(e.to_string()))?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+                None => return Err(Error("unterminated string".into())),
+            }
+        }
+    }
+
+    fn parse_seq(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Seq(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Seq(items));
+                }
+                other => {
+                    return Err(Error(format!(
+                        "expected `,` or `]`, found {:?} at byte {}",
+                        other.map(|b| b as char),
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn parse_map(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Map(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            entries.push((key, self.parse_value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Map(entries));
+                }
+                other => {
+                    return Err(Error(format!(
+                        "expected `,` or `}}`, found {:?} at byte {}",
+                        other.map(|b| b as char),
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------------- pretty
+
+/// Re-indents compact JSON produced by [`to_string`] (which never emits
+/// raw newlines outside escaped strings).
+fn prettify(compact: &str) -> String {
+    let mut out = String::with_capacity(compact.len() * 2);
+    let mut depth = 0usize;
+    let mut in_str = false;
+    let mut escaped = false;
+    for c in compact.chars() {
+        if in_str {
+            out.push(c);
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_str = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                in_str = true;
+                out.push(c);
+            }
+            '{' | '[' => {
+                depth += 1;
+                out.push(c);
+                out.push('\n');
+                out.push_str(&"  ".repeat(depth));
+            }
+            '}' | ']' => {
+                depth = depth.saturating_sub(1);
+                out.push('\n');
+                out.push_str(&"  ".repeat(depth));
+                out.push(c);
+            }
+            ',' => {
+                out.push(c);
+                out.push('\n');
+                out.push_str(&"  ".repeat(depth));
+            }
+            ':' => {
+                out.push(c);
+                out.push(' ');
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}

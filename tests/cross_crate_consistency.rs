@@ -37,11 +37,7 @@ fn accelerator_throughput_equals_cvu_throughput_times_unit_count() {
         let bww = BitWidth::new(bw).unwrap();
         let per_cvu = cvu.throughput_per_cycle(bxw, bww).unwrap();
         let accel_thr = accel.macs_per_cycle(bxw, bww);
-        assert_eq!(
-            accel_thr,
-            (per_cvu * num_cvus) as f64,
-            "bx={bx} bw={bw}"
-        );
+        assert_eq!(accel_thr, (per_cvu * num_cvus) as f64, "bx={bx} bw={bw}");
     }
 }
 

@@ -19,7 +19,9 @@ fn quantize_then_execute_conv_on_array_matches_reference() {
     let mut r = rng(100);
     let (ic, oc, k, h) = (8usize, 12usize, 3usize, 10usize);
     let input_f: Vec<f32> = (0..ic * h * h).map(|_| r.gen_range(-1.0..1.0)).collect();
-    let weight_f: Vec<f32> = (0..oc * ic * k * k).map(|_| r.gen_range(-0.5..0.5)).collect();
+    let weight_f: Vec<f32> = (0..oc * ic * k * k)
+        .map(|_| r.gen_range(-0.5..0.5))
+        .collect();
     for bits in [8u32, 4, 2] {
         let bw = BitWidth::new(bits).unwrap();
         let (x_q, _) = quantize_fitted(&[ic, h, h], &input_f, bw, Signedness::Signed);
@@ -80,7 +82,13 @@ fn requantized_two_layer_pipeline_is_bit_exact() {
     let mut wmat = w2.clone();
     wmat.reshape(&[5, 6]);
     let run = SystolicArray::new(ArrayConfig::paper_default())
-        .gemm(&wmat, &cols, BitWidth::INT4, BitWidth::INT8, Signedness::Signed)
+        .gemm(
+            &wmat,
+            &cols,
+            BitWidth::INT4,
+            BitWidth::INT8,
+            Signedness::Signed,
+        )
         .unwrap();
     let mut expect = out;
     expect.reshape(&[5, 64]);
@@ -101,7 +109,11 @@ fn all_networks_simulate_on_all_platforms_without_degenerate_results() {
                     let r = simulate(&net, &SimConfig::new(accel, dram));
                     assert!(r.latency_s > 0.0, "{id} latency");
                     assert!(r.energy_j > 0.0, "{id} energy");
-                    assert!(r.latency_s < 10.0, "{id} latency {} implausible", r.latency_s);
+                    assert!(
+                        r.latency_s < 10.0,
+                        "{id} latency {} implausible",
+                        r.latency_s
+                    );
                     assert!(
                         r.gops_per_watt() > 1.0,
                         "{id} perf/W {} implausible",

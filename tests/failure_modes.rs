@@ -9,10 +9,20 @@ use bpvec::sim::systolic::{ArrayConfig, SystolicArray};
 fn oversized_operand_reports_the_offending_value() {
     let cvu = Cvu::new(CvuConfig::paper_default());
     let err = cvu
-        .dot_product(&[1, 2, 999], &[1, 1, 1], BitWidth::INT8, BitWidth::INT8, Signedness::Signed)
+        .dot_product(
+            &[1, 2, 999],
+            &[1, 1, 1],
+            BitWidth::INT8,
+            BitWidth::INT8,
+            Signedness::Signed,
+        )
         .unwrap_err();
     match err {
-        CoreError::ValueOutOfRange { value, bits, signed } => {
+        CoreError::ValueOutOfRange {
+            value,
+            bits,
+            signed,
+        } => {
             assert_eq!(value, 999);
             assert_eq!(bits, 8);
             assert!(signed);
@@ -26,9 +36,21 @@ fn oversized_operand_reports_the_offending_value() {
 fn mismatched_vectors_error_before_any_work() {
     let cvu = Cvu::new(CvuConfig::paper_default());
     let err = cvu
-        .dot_product(&[1; 10], &[1; 11], BitWidth::INT8, BitWidth::INT8, Signedness::Signed)
+        .dot_product(
+            &[1; 10],
+            &[1; 11],
+            BitWidth::INT8,
+            BitWidth::INT8,
+            Signedness::Signed,
+        )
         .unwrap_err();
-    assert!(matches!(err, CoreError::LengthMismatch { left: 10, right: 11 }));
+    assert!(matches!(
+        err,
+        CoreError::LengthMismatch {
+            left: 10,
+            right: 11
+        }
+    ));
 }
 
 #[test]

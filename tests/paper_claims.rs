@@ -49,7 +49,11 @@ fn claim_bpvec_exploits_high_bandwidth_better_than_baseline() {
     //  utilizes the boosted bandwidth and provides 2.1x speedup"
     let base = experiments::figure6_baseline();
     let bp = experiments::figure6_bpvec();
-    assert!(base.geomean_speedup < 1.5, "baseline {}", base.geomean_speedup);
+    assert!(
+        base.geomean_speedup < 1.5,
+        "baseline {}",
+        base.geomean_speedup
+    );
     assert!(
         bp.geomean_speedup >= 1.8 && bp.geomean_speedup <= 2.7,
         "BPVeC {} (paper 2.1)",
@@ -129,7 +133,10 @@ fn claim_cvu_packs_2x_the_compute_of_the_baseline() {
     use bpvec::hwmodel::TechnologyProfile;
     let t = TechnologyProfile::nm45();
     let ratio = conventional_mac(&t).per_mac().total().power
-        / cvu_cost(&CvuGeometry::paper_default(), &t).per_mac().total().power;
+        / cvu_cost(&CvuGeometry::paper_default(), &t)
+            .per_mac()
+            .total()
+            .power;
     assert!(
         (1.5..=2.4).contains(&ratio),
         "per-MAC power advantage {ratio} (paper ~2.0)"

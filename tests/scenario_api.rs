@@ -1,0 +1,198 @@
+//! Contract tests for the unified `Scenario` evaluation API:
+//!
+//! * serde round-trips for `Scenario` (via its spec) and `Report`;
+//! * a golden-CSV pin of `figure5()`'s output;
+//! * bit-for-bit equivalence between the scenario-backed figures and the
+//!   seed's hand-rolled `compare` loops (a direct `simulate` reimplementation
+//!   here), covering Figures 5–9 and the bandwidth sweep.
+
+use bpvec::dnn::{BitwidthPolicy, Network, NetworkId};
+use bpvec::gpumodel::{evaluate as gpu_evaluate, GpuPrecision, GpuSpec};
+use bpvec::sim::{
+    experiments, geomean, simulate, AcceleratorConfig, Comparison, ComparisonRow, DramSpec, Report,
+    Scenario, SimConfig, Workload,
+};
+use bpvec_bench::figure9;
+
+/// The seed's `compare` helper, reproduced verbatim against the engine:
+/// the scenario-backed figures must match it bit for bit.
+fn seed_compare(
+    policy: BitwidthPolicy,
+    baseline: (AcceleratorConfig, DramSpec),
+    evaluated: (AcceleratorConfig, DramSpec),
+) -> Vec<ComparisonRow> {
+    NetworkId::ALL
+        .iter()
+        .map(|&id| {
+            let net = Network::build(id, policy);
+            let base = simulate(&net, &SimConfig::new(baseline.0, baseline.1));
+            let eval = simulate(&net, &SimConfig::new(evaluated.0, evaluated.1));
+            ComparisonRow {
+                network: id,
+                speedup: base.latency_s / eval.latency_s,
+                energy_reduction: base.energy_j / eval.energy_j,
+            }
+        })
+        .collect()
+}
+
+fn assert_rows_bit_identical(figure: &Comparison, seed: &[ComparisonRow]) {
+    assert_eq!(figure.rows.len(), seed.len());
+    for (new, old) in figure.rows.iter().zip(seed) {
+        assert_eq!(new.network, old.network);
+        // Bit-for-bit: the scenario machinery must not perturb a single ulp.
+        assert_eq!(new.speedup, old.speedup, "{}", new.network);
+        assert_eq!(
+            new.energy_reduction, old.energy_reduction,
+            "{}",
+            new.network
+        );
+    }
+    let gm_s = geomean(&seed.iter().map(|r| r.speedup).collect::<Vec<_>>());
+    let gm_e = geomean(&seed.iter().map(|r| r.energy_reduction).collect::<Vec<_>>());
+    assert_eq!(figure.geomean_speedup, gm_s);
+    assert_eq!(figure.geomean_energy, gm_e);
+}
+
+#[test]
+fn figures_5_through_8_match_the_seed_bit_for_bit() {
+    let tpu = AcceleratorConfig::tpu_like;
+    let bf = AcceleratorConfig::bitfusion;
+    let bp = AcceleratorConfig::bpvec;
+    let ddr4 = DramSpec::ddr4;
+    let hbm2 = DramSpec::hbm2;
+    let hom = BitwidthPolicy::Homogeneous8;
+    let het = BitwidthPolicy::Heterogeneous;
+    let cases: [(Comparison, Vec<ComparisonRow>); 6] = [
+        (
+            experiments::figure5(),
+            seed_compare(hom, (tpu(), ddr4()), (bp(), ddr4())),
+        ),
+        (
+            experiments::figure6_baseline(),
+            seed_compare(hom, (tpu(), ddr4()), (tpu(), hbm2())),
+        ),
+        (
+            experiments::figure6_bpvec(),
+            seed_compare(hom, (tpu(), ddr4()), (bp(), hbm2())),
+        ),
+        (
+            experiments::figure7(),
+            seed_compare(het, (bf(), ddr4()), (bp(), ddr4())),
+        ),
+        (
+            experiments::figure8_bitfusion(),
+            seed_compare(het, (bf(), ddr4()), (bf(), hbm2())),
+        ),
+        (
+            experiments::figure8_bpvec(),
+            seed_compare(het, (bf(), ddr4()), (bp(), hbm2())),
+        ),
+    ];
+    for (figure, seed) in &cases {
+        assert_rows_bit_identical(figure, seed);
+    }
+}
+
+#[test]
+fn figure9_matches_the_seed_bit_for_bit() {
+    for heterogeneous in [false, true] {
+        let (policy, precision) = if heterogeneous {
+            (BitwidthPolicy::Heterogeneous, GpuPrecision::Int4)
+        } else {
+            (BitwidthPolicy::Homogeneous8, GpuPrecision::Int8)
+        };
+        // The seed's figure9 loop, verbatim.
+        let spec = GpuSpec::rtx_2080_ti();
+        let mut seed_ddr4 = Vec::new();
+        let mut seed_hbm2 = Vec::new();
+        for id in NetworkId::ALL {
+            let net = Network::build(id, policy);
+            let gpu = gpu_evaluate(&net, &spec, precision);
+            let ddr4 = simulate(
+                &net,
+                &SimConfig::new(AcceleratorConfig::bpvec(), DramSpec::ddr4()),
+            );
+            let hbm2 = simulate(
+                &net,
+                &SimConfig::new(AcceleratorConfig::bpvec(), DramSpec::hbm2()),
+            );
+            seed_ddr4.push(ddr4.gops_per_watt() / gpu.gops_per_watt);
+            seed_hbm2.push(hbm2.gops_per_watt() / gpu.gops_per_watt);
+        }
+        let (rows, gm_d, gm_h) = figure9(heterogeneous);
+        for ((row, sd), sh) in rows.iter().zip(&seed_ddr4).zip(&seed_hbm2) {
+            assert_eq!(row.ddr4_ratio, *sd, "{} (het={heterogeneous})", row.network);
+            assert_eq!(row.hbm2_ratio, *sh, "{} (het={heterogeneous})", row.network);
+        }
+        assert_eq!(gm_d, geomean(&seed_ddr4));
+        assert_eq!(gm_h, geomean(&seed_hbm2));
+    }
+}
+
+#[test]
+fn bandwidth_sweep_matches_the_seed_bit_for_bit() {
+    for id in [NetworkId::ResNet18, NetworkId::Rnn] {
+        let sweep = experiments::bandwidth_sweep(id, BitwidthPolicy::Homogeneous8);
+        let net = Network::build(id, BitwidthPolicy::Homogeneous8);
+        for (gbps, speedup) in sweep {
+            let dram = DramSpec::custom("sweep", gbps, 15.0);
+            let base = simulate(&net, &SimConfig::new(AcceleratorConfig::tpu_like(), dram));
+            let bp = simulate(&net, &SimConfig::new(AcceleratorConfig::bpvec(), dram));
+            assert_eq!(speedup, base.latency_s / bp.latency_s, "{id} @ {gbps} GB/s");
+        }
+    }
+}
+
+#[test]
+fn figure5_golden_csv() {
+    // Pins the exact figure5() series; any engine or scenario change that
+    // perturbs the evaluation shows up here first.
+    let expected = "\
+network,speedup,energy_reduction
+AlexNet,1.8027,1.3156
+Inception-v1,1.7815,1.2324
+ResNet-18,1.9144,1.3078
+ResNet-50,1.4487,1.1144
+RNN,1.0000,1.0000
+LSTM,1.0000,1.0000
+GEOMEAN,1.4397,1.1541
+";
+    assert_eq!(experiments::figure5().to_csv(), expected);
+}
+
+#[test]
+fn scenario_round_trips_through_json() {
+    let scenario = Scenario::new("round trip")
+        .platform(AcceleratorConfig::tpu_like())
+        .platform(AcceleratorConfig::bpvec())
+        .memory(DramSpec::ddr4())
+        .memory(DramSpec::custom("HBM3-ish", 512.0, 0.9))
+        .workloads(Workload::table1(BitwidthPolicy::Heterogeneous))
+        .baseline("TPU-like", "DDR4");
+    let json = serde_json::to_string(&scenario).unwrap();
+    let back: Scenario = serde_json::from_str(&json).unwrap();
+    assert_eq!(scenario, back, "spec equality after round trip");
+    // And the rebuilt scenario evaluates to the identical report.
+    assert_eq!(scenario.run(), back.run());
+}
+
+#[test]
+fn report_round_trips_through_json() {
+    let report = experiments::homogeneous_grid();
+    let back: Report = serde_json::from_str(&report.to_json()).unwrap();
+    assert_eq!(report, back);
+    // The reconstructed report still serves figure slices.
+    assert_eq!(
+        report.comparison("BPVeC", "DDR4"),
+        back.comparison("BPVeC", "DDR4")
+    );
+}
+
+#[test]
+fn comparison_round_trips_through_json() {
+    let f = experiments::figure7();
+    let json = serde_json::to_string(&f).unwrap();
+    let back: Comparison = serde_json::from_str(&json).unwrap();
+    assert_eq!(f, back);
+}

@@ -222,11 +222,7 @@ mod mini_json {
             })
         }
 
-        fn serialize_struct(
-            self,
-            _: &'static str,
-            _: usize,
-        ) -> Result<Compound<'a, 'b>, Error> {
+        fn serialize_struct(self, _: &'static str, _: usize) -> Result<Compound<'a, 'b>, Error> {
             self.out.push('{');
             Ok(Compound {
                 ser: self,
