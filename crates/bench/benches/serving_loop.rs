@@ -1,0 +1,167 @@
+//! Criterion benches of the serving event loop itself.
+//!
+//! A synthetic constant-latency backend isolates the discrete-event engine
+//! (heap churn, queue management, routing) from the analytical accelerator
+//! model; one BPVeC-backed configuration measures the end-to-end path
+//! including the batch-cost table build.
+//!
+//! Besides the criterion output, running this bench writes
+//! `BENCH_serving.json` at the workspace root with the headline
+//! events-per-second numbers, so CI can track event-loop throughput.
+
+use std::time::Instant;
+
+use bpvec_dnn::{BitwidthPolicy, Network, NetworkId};
+use bpvec_serve::{
+    run_serving, ArrivalProcess, BatchPolicy, ClusterSpec, RequestMix, Router, ServiceModel,
+    ServingOutcome, TrafficSpec,
+};
+use bpvec_sim::{AcceleratorConfig, DramSpec, Evaluator, Measurement, Workload};
+use criterion::{black_box, criterion_group, Criterion, Throughput};
+
+/// Constant-latency backend: the event loop is the only cost.
+struct ConstServer;
+
+impl Evaluator for ConstServer {
+    fn label(&self) -> String {
+        "const".into()
+    }
+
+    fn evaluate(&self, workload: &Workload, network: &Network, _dram: &DramSpec) -> Measurement {
+        Measurement {
+            latency_s: 1e-3,
+            energy_j: 1e-3,
+            macs: network.total_macs(),
+            batch: workload.batch(),
+            gops_per_watt: 1.0,
+        }
+    }
+}
+
+const REQUESTS: u64 = 5_000;
+
+fn mix() -> RequestMix {
+    RequestMix::new()
+        .and(
+            Workload::new(NetworkId::ResNet18, BitwidthPolicy::Homogeneous8),
+            3.0,
+        )
+        .and(
+            Workload::new(NetworkId::Lstm, BitwidthPolicy::Homogeneous8),
+            1.0,
+        )
+}
+
+/// The benched configurations: (name, policy, cluster, process).
+fn configs() -> Vec<(&'static str, BatchPolicy, ClusterSpec, ArrivalProcess)> {
+    vec![
+        (
+            "poisson_immediate_x1",
+            BatchPolicy::immediate(),
+            ClusterSpec::single(),
+            ArrivalProcess::poisson(900.0),
+        ),
+        (
+            "bursty_deadline16_jsq_x4",
+            BatchPolicy::deadline(16, 0.002),
+            ClusterSpec::new(4, Router::JoinShortestQueue),
+            ArrivalProcess::bursty(800.0, 4000.0, 0.02, 0.005),
+        ),
+        (
+            "closed_fixed8_rr_x2",
+            BatchPolicy::fixed(8),
+            ClusterSpec::new(2, Router::RoundRobin),
+            ArrivalProcess::closed_loop(16, 0.0005),
+        ),
+    ]
+}
+
+fn run_config(
+    policy: BatchPolicy,
+    cluster: ClusterSpec,
+    process: ArrivalProcess,
+) -> ServingOutcome {
+    let traffic = TrafficSpec::new("bench", process, mix(), REQUESTS);
+    run_serving(
+        &ConstServer,
+        &DramSpec::ddr4(),
+        policy,
+        cluster,
+        &traffic,
+        ServiceModel::Deterministic,
+        17,
+    )
+}
+
+fn event_loop(c: &mut Criterion) {
+    let mut g = c.benchmark_group("serving_loop");
+    g.throughput(Throughput::Elements(REQUESTS));
+    for (name, policy, cluster, process) in configs() {
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(run_config(policy, cluster, process.clone())))
+        });
+    }
+    g.finish();
+    // End-to-end: the analytical BPVeC backend including cost-table build.
+    let mut g = c.benchmark_group("serving_end_to_end");
+    let requests = 1_000;
+    g.throughput(Throughput::Elements(requests));
+    g.bench_function("bpvec_alexnet_deadline16", |b| {
+        let traffic = TrafficSpec::new(
+            "bench",
+            ArrivalProcess::poisson(400.0),
+            RequestMix::single(Workload::new(
+                NetworkId::AlexNet,
+                BitwidthPolicy::Homogeneous8,
+            )),
+            requests,
+        );
+        b.iter(|| {
+            black_box(run_serving(
+                &AcceleratorConfig::bpvec(),
+                &DramSpec::ddr4(),
+                BatchPolicy::deadline(16, 0.01),
+                ClusterSpec::single(),
+                &traffic,
+                ServiceModel::Deterministic,
+                17,
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, event_loop);
+
+/// Times one synthetic configuration directly (best of `reps`), seconds.
+fn time_best(policy: BatchPolicy, cluster: ClusterSpec, process: &ArrivalProcess) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..5 {
+        let start = Instant::now();
+        black_box(run_config(policy, cluster, process.clone()));
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    benches();
+    // Machine-readable summary for CI, written at the workspace root
+    // (cargo sets a bench's cwd to the package directory).
+    let out_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serving.json");
+    let mut rows = Vec::new();
+    for (name, policy, cluster, process) in configs() {
+        let secs = time_best(policy, cluster, &process);
+        rows.push(format!(
+            "    {{\n      \"name\": \"{name}\",\n      \"requests\": {REQUESTS},\n      \
+             \"seconds_per_run\": {secs:.6},\n      \"requests_per_sec\": {:.1}\n    }}",
+            REQUESTS as f64 / secs
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"serving_loop\",\n  \"results\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    std::fs::write(out_path, &json).expect("write BENCH_serving.json");
+    println!("wrote BENCH_serving.json");
+}

@@ -1,0 +1,74 @@
+//! Serving sweep: arrival rate × batching policy × cluster size over a
+//! mixed CNN/RNN request stream on the BPVeC backend.
+//!
+//! The sweep self-calibrates: arrival rates are chosen as multiples of the
+//! backend's *batch-1* service capacity on the traffic mix, so the three
+//! rate points mean "comfortable", "near saturation for unbatched
+//! dispatch", and "over unbatched capacity — only batching or sharding
+//! survives". Output is the `ServingReport` CSV (deterministic under the
+//! fixed seed: two runs emit identical bytes); pass `--json` for the full
+//! report including latency histograms.
+
+use bpvec_dnn::{BitwidthPolicy, NetworkId};
+use bpvec_serve::{
+    ArrivalProcess, BatchPolicy, ClusterSpec, RequestMix, Router, ServingScenario, TrafficSpec,
+};
+use bpvec_sim::{AcceleratorConfig, BatchRegime, DramSpec, Evaluator, Workload};
+
+fn main() {
+    let accel = AcceleratorConfig::bpvec();
+    let dram = DramSpec::ddr4();
+    let cnn = Workload::new(NetworkId::AlexNet, BitwidthPolicy::Homogeneous8);
+    let rnn = Workload::new(NetworkId::Lstm, BitwidthPolicy::Homogeneous8);
+    let mix = RequestMix::new().and(cnn, 0.8).and(rnn, 0.2);
+
+    // Mean batch-1 service time over the mix -> unbatched capacity.
+    let s1 = |w: &Workload| {
+        accel
+            .evaluate(&w.with_batching(BatchRegime::fixed(1)), &w.build(), &dram)
+            .latency_s
+    };
+    let mean_s1 = 0.8 * s1(&cnn) + 0.2 * s1(&rnn);
+    let capacity_rps = 1.0 / mean_s1;
+
+    let mut scenario = ServingScenario::new("serving_sweep")
+        .platform(accel)
+        .policy(BatchPolicy::immediate())
+        .policy(BatchPolicy::fixed(8))
+        .policy(BatchPolicy::deadline(16, 4.0 * mean_s1))
+        .cluster(ClusterSpec::single())
+        .cluster(ClusterSpec::new(2, Router::RoundRobin))
+        .cluster(ClusterSpec::new(2, Router::JoinShortestQueue))
+        .cluster(ClusterSpec::new(4, Router::JoinShortestQueue))
+        .cluster(ClusterSpec::new(4, Router::NetworkAffinity))
+        .sla_s(20.0 * mean_s1)
+        .seed(0xB1F0);
+    for (tag, rho) in [("lo", 0.6), ("hi", 0.95), ("over", 1.5)] {
+        scenario = scenario.traffic(
+            TrafficSpec::new(
+                format!("poisson-{tag}"),
+                ArrivalProcess::poisson(rho * capacity_rps),
+                mix.clone(),
+                3_000,
+            )
+            .with_warmup(300),
+        );
+    }
+    // One bursty point at the saturation rate: same mean load, worse tail.
+    scenario = scenario.traffic(
+        TrafficSpec::new(
+            "bursty-hi",
+            ArrivalProcess::bursty(0.5 * capacity_rps, 2.75 * capacity_rps, 0.8, 0.2),
+            mix.clone(),
+            3_000,
+        )
+        .with_warmup(300),
+    );
+
+    let report = scenario.run();
+    if std::env::args().any(|a| a == "--json") {
+        println!("{}", report.to_json());
+    } else {
+        print!("{}", report.to_csv());
+    }
+}

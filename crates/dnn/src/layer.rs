@@ -59,6 +59,20 @@ pub enum LayerKind {
     },
 }
 
+impl LayerKind {
+    /// Short kind name for diagnostics ("conv2d", "fully-connected",
+    /// "pool", "recurrent").
+    #[must_use]
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            LayerKind::Conv2d { .. } => "conv2d",
+            LayerKind::FullyConnected { .. } => "fully-connected",
+            LayerKind::Pool { .. } => "pool",
+            LayerKind::Recurrent { .. } => "recurrent",
+        }
+    }
+}
+
 /// A named, bitwidth-annotated layer of a network.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Layer {

@@ -34,7 +34,7 @@ pub mod reference;
 pub mod tensor;
 
 pub use layer::{Layer, LayerKind};
-pub use models::{BitwidthPolicy, Network, NetworkId};
+pub use models::{BitwidthPolicy, ModelQueryError, Network, NetworkId};
 pub use packing::PackedTensor;
 pub use quant::QuantParams;
 pub use tensor::Tensor;

@@ -80,6 +80,50 @@ pub enum BitwidthPolicy {
     Heterogeneous,
 }
 
+/// Error from interrogating a network's layers by name: the layer is
+/// missing, or exists with a different kind than the caller expected.
+/// Returned instead of panicking so malformed model lookups surface as
+/// recoverable `Result`s to library users.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelQueryError {
+    /// No layer with the requested name exists in the network.
+    NoSuchLayer {
+        /// The network that was searched.
+        network: NetworkId,
+        /// The requested layer name.
+        name: String,
+    },
+    /// The named layer exists but is not the expected kind.
+    WrongKind {
+        /// The network that was searched.
+        network: NetworkId,
+        /// The requested layer name.
+        name: String,
+        /// The kind the caller asked for.
+        expected: &'static str,
+        /// The kind the layer actually has.
+        found: &'static str,
+    },
+}
+
+impl fmt::Display for ModelQueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelQueryError::NoSuchLayer { network, name } => {
+                write!(f, "{network} has no layer named `{name}`")
+            }
+            ModelQueryError::WrongKind {
+                network,
+                name,
+                expected,
+                found,
+            } => write!(f, "{network} layer `{name}` is {found}, not {expected}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelQueryError {}
+
 /// A benchmark network: an ordered list of bitwidth-annotated layers.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Network {
@@ -110,6 +154,41 @@ impl Network {
     /// Compute layers only (those with MACs).
     pub fn compute_layers(&self) -> impl Iterator<Item = &Layer> {
         self.layers.iter().filter(|l| l.is_compute())
+    }
+
+    /// Looks up a layer by name.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`ModelQueryError::NoSuchLayer`] if no layer carries the
+    /// name.
+    pub fn layer(&self, name: &str) -> Result<&Layer, ModelQueryError> {
+        self.layers
+            .iter()
+            .find(|l| l.name == name)
+            .ok_or_else(|| ModelQueryError::NoSuchLayer {
+                network: self.id,
+                name: name.to_string(),
+            })
+    }
+
+    /// Looks up a layer by name, checking it is a convolution.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`ModelQueryError::NoSuchLayer`] if the name is unknown,
+    /// or [`ModelQueryError::WrongKind`] if the layer is not a `Conv2d`.
+    pub fn conv2d(&self, name: &str) -> Result<&Layer, ModelQueryError> {
+        let layer = self.layer(name)?;
+        match layer.kind {
+            LayerKind::Conv2d { .. } => Ok(layer),
+            _ => Err(ModelQueryError::WrongKind {
+                network: self.id,
+                name: name.to_string(),
+                expected: "conv2d",
+                found: layer.kind.kind_name(),
+            }),
+        }
     }
 
     /// Total multiply-accumulates per inference (batch 1).
@@ -526,19 +605,49 @@ mod tests {
     }
 
     #[test]
-    fn inception_concatenation_arithmetic() {
+    fn inception_concatenation_arithmetic() -> Result<(), ModelQueryError> {
         // Module 3a must output 64+128+32+32 = 256 channels; spot-check via
-        // the next module's input channels.
+        // the next module's input channels. The kind check propagates as a
+        // ModelQueryError instead of aborting on a malformed lookup.
         let n = net(NetworkId::InceptionV1);
-        let b1_3b = n
+        let b1_3b = n.conv2d("3b.b1")?;
+        if let LayerKind::Conv2d { in_channels, .. } = b1_3b.kind {
+            assert_eq!(in_channels, 256);
+        }
+        Ok(())
+    }
+
+    #[test]
+    fn layer_lookups_return_errors_not_aborts() {
+        let n = net(NetworkId::InceptionV1);
+        let err = n.layer("definitely-not-a-layer").unwrap_err();
+        assert_eq!(
+            err,
+            ModelQueryError::NoSuchLayer {
+                network: NetworkId::InceptionV1,
+                name: "definitely-not-a-layer".to_string(),
+            }
+        );
+        assert!(err.to_string().contains("no layer named"));
+        let err = n.conv2d("missing").unwrap_err();
+        assert!(matches!(err, ModelQueryError::NoSuchLayer { .. }));
+        // A real layer of the wrong kind reports both kinds.
+        let pool = n
             .layers
             .iter()
-            .find(|l| l.name == "3b.b1")
-            .expect("3b.b1 exists");
-        match b1_3b.kind {
-            LayerKind::Conv2d { in_channels, .. } => assert_eq!(in_channels, 256),
-            _ => panic!("3b.b1 is a conv"),
-        }
+            .find(|l| matches!(l.kind, LayerKind::Pool { .. }))
+            .expect("inception has pooling layers");
+        let err = n.conv2d(&pool.name).unwrap_err();
+        assert_eq!(
+            err,
+            ModelQueryError::WrongKind {
+                network: NetworkId::InceptionV1,
+                name: pool.name.clone(),
+                expected: "conv2d",
+                found: "pool",
+            }
+        );
+        assert!(err.to_string().contains("is pool, not conv2d"));
     }
 
     #[test]

@@ -1,0 +1,334 @@
+//! Traffic generation: *when* requests arrive and *what* they ask for.
+//!
+//! An inference service's tail latency is decided as much by arrival
+//! burstiness as by the accelerator itself, so the serving simulator
+//! separates the two: an [`ArrivalProcess`] produces request timestamps
+//! (open-loop Poisson, bursty MMPP, trace replay, or closed-loop fixed
+//! concurrency), a [`RequestMix`] assigns each request a network class
+//! (a [`Workload`] with a sampling weight), and a [`TrafficSpec`] bundles
+//! both with the experiment length.
+
+use bpvec_sim::Workload;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// When requests arrive at the service.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalProcess {
+    /// Open-loop Poisson arrivals at a fixed mean rate (requests/second).
+    Poisson {
+        /// Mean arrival rate in requests per second.
+        rate_rps: f64,
+    },
+    /// Open-loop bursty arrivals: a 2-state Markov-modulated Poisson
+    /// process alternating between a base rate and a burst rate, with
+    /// exponentially distributed dwell times in each state.
+    Bursty {
+        /// Arrival rate in the quiet state, requests per second.
+        base_rps: f64,
+        /// Arrival rate in the burst state, requests per second.
+        burst_rps: f64,
+        /// Mean dwell time in the quiet state, seconds.
+        mean_base_s: f64,
+        /// Mean dwell time in the burst state, seconds.
+        mean_burst_s: f64,
+    },
+    /// Open-loop trace replay: the recorded inter-arrival gaps are replayed
+    /// in order, cycling back to the start when exhausted.
+    Trace {
+        /// Inter-arrival gaps in seconds, replayed cyclically.
+        inter_arrival_s: Vec<f64>,
+    },
+    /// Closed-loop traffic: a fixed number of clients, each issuing its
+    /// next request `think_s` seconds after its previous one completes.
+    ClosedLoop {
+        /// Number of concurrent clients.
+        concurrency: u64,
+        /// Think time between a completion and the client's next request.
+        think_s: f64,
+    },
+}
+
+impl ArrivalProcess {
+    /// Open-loop Poisson arrivals at `rate_rps` requests per second.
+    #[must_use]
+    pub fn poisson(rate_rps: f64) -> Self {
+        ArrivalProcess::Poisson { rate_rps }
+    }
+
+    /// Bursty 2-state MMPP arrivals.
+    #[must_use]
+    pub fn bursty(base_rps: f64, burst_rps: f64, mean_base_s: f64, mean_burst_s: f64) -> Self {
+        ArrivalProcess::Bursty {
+            base_rps,
+            burst_rps,
+            mean_base_s,
+            mean_burst_s,
+        }
+    }
+
+    /// Trace replay of recorded inter-arrival gaps (seconds).
+    #[must_use]
+    pub fn trace(inter_arrival_s: Vec<f64>) -> Self {
+        ArrivalProcess::Trace { inter_arrival_s }
+    }
+
+    /// Closed-loop traffic: `concurrency` clients with `think_s` think time.
+    #[must_use]
+    pub fn closed_loop(concurrency: u64, think_s: f64) -> Self {
+        ArrivalProcess::ClosedLoop {
+            concurrency,
+            think_s,
+        }
+    }
+
+    /// True for closed-loop traffic (arrivals are completion-driven).
+    #[must_use]
+    pub fn is_closed(&self) -> bool {
+        matches!(self, ArrivalProcess::ClosedLoop { .. })
+    }
+
+    /// Long-run mean offered rate in requests per second, where one exists.
+    /// Closed-loop traffic adapts to service speed, so it has none.
+    #[must_use]
+    pub fn offered_rps(&self) -> Option<f64> {
+        match self {
+            ArrivalProcess::Poisson { rate_rps } => Some(*rate_rps),
+            ArrivalProcess::Bursty {
+                base_rps,
+                burst_rps,
+                mean_base_s,
+                mean_burst_s,
+            } => {
+                let total = mean_base_s + mean_burst_s;
+                Some((base_rps * mean_base_s + burst_rps * mean_burst_s) / total)
+            }
+            ArrivalProcess::Trace { inter_arrival_s } => {
+                let sum: f64 = inter_arrival_s.iter().sum();
+                (sum > 0.0).then(|| inter_arrival_s.len() as f64 / sum)
+            }
+            ArrivalProcess::ClosedLoop { .. } => None,
+        }
+    }
+}
+
+impl fmt::Display for ArrivalProcess {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArrivalProcess::Poisson { rate_rps } => write!(f, "poisson({rate_rps:.0}rps)"),
+            ArrivalProcess::Bursty {
+                base_rps,
+                burst_rps,
+                ..
+            } => write!(f, "bursty({base_rps:.0}-{burst_rps:.0}rps)"),
+            ArrivalProcess::Trace { inter_arrival_s } => {
+                write!(f, "trace({} gaps)", inter_arrival_s.len())
+            }
+            ArrivalProcess::ClosedLoop { concurrency, .. } => write!(f, "closed({concurrency})"),
+        }
+    }
+}
+
+/// One network class of a request mix: a workload plus a sampling weight.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MixEntry {
+    /// The workload requests of this class execute.
+    pub workload: Workload,
+    /// Relative sampling weight (need not sum to 1 across the mix).
+    pub weight: f64,
+}
+
+/// The per-network request mix: which workload each arrival asks for.
+///
+/// Every entry is its own *service class*: batches never mix networks, and
+/// FIFO order is maintained within a class.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RequestMix {
+    /// The classes, in declaration order (class index = position).
+    pub entries: Vec<MixEntry>,
+}
+
+impl RequestMix {
+    /// A single-network mix.
+    #[must_use]
+    pub fn single(workload: Workload) -> Self {
+        RequestMix {
+            entries: vec![MixEntry {
+                workload,
+                weight: 1.0,
+            }],
+        }
+    }
+
+    /// An empty mix; add classes with [`RequestMix::and`].
+    #[must_use]
+    pub fn new() -> Self {
+        RequestMix {
+            entries: Vec::new(),
+        }
+    }
+
+    /// Adds a class (builder style).
+    #[must_use]
+    pub fn and(mut self, workload: Workload, weight: f64) -> Self {
+        self.entries.push(MixEntry { workload, weight });
+        self
+    }
+
+    /// Number of service classes.
+    #[must_use]
+    pub fn classes(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Samples a class index proportionally to the weights.
+    pub(crate) fn sample(&self, rng: &mut StdRng) -> usize {
+        if self.entries.len() <= 1 {
+            return 0;
+        }
+        let total: f64 = self.entries.iter().map(|e| e.weight).sum();
+        let mut u = rng.gen_range(0.0..total);
+        for (i, e) in self.entries.iter().enumerate() {
+            if u < e.weight {
+                return i;
+            }
+            u -= e.weight;
+        }
+        self.entries.len() - 1
+    }
+}
+
+impl Default for RequestMix {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One traffic configuration: arrival process × request mix × experiment
+/// length. The label names the configuration in reports.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrafficSpec {
+    /// Display label ("poisson-0.9", "diurnal-trace", …).
+    pub label: String,
+    /// When requests arrive.
+    pub process: ArrivalProcess,
+    /// What each request asks for.
+    pub mix: RequestMix,
+    /// Total requests admitted before the run drains.
+    pub requests: u64,
+    /// Requests (in admission order) excluded from latency statistics while
+    /// the system warms up; they still occupy queues and servers.
+    pub warmup: u64,
+}
+
+impl TrafficSpec {
+    /// A traffic configuration with no warmup exclusion.
+    #[must_use]
+    pub fn new(
+        label: impl Into<String>,
+        process: ArrivalProcess,
+        mix: RequestMix,
+        requests: u64,
+    ) -> Self {
+        TrafficSpec {
+            label: label.into(),
+            process,
+            mix,
+            requests,
+            warmup: 0,
+        }
+    }
+
+    /// Excludes the first `warmup` admitted requests from the statistics.
+    #[must_use]
+    pub fn with_warmup(mut self, warmup: u64) -> Self {
+        self.warmup = warmup;
+        self
+    }
+
+    /// The process's long-run offered rate, if open-loop.
+    #[must_use]
+    pub fn offered_rps(&self) -> Option<f64> {
+        self.process.offered_rps()
+    }
+}
+
+impl fmt::Display for TrafficSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bpvec_dnn::{BitwidthPolicy, NetworkId};
+    use rand::SeedableRng;
+
+    fn w(id: NetworkId) -> Workload {
+        Workload::new(id, BitwidthPolicy::Homogeneous8)
+    }
+
+    #[test]
+    fn offered_rates() {
+        assert_eq!(ArrivalProcess::poisson(250.0).offered_rps(), Some(250.0));
+        // 100 rps for 3 s, 500 rps for 1 s -> (300 + 500) / 4 = 200 rps.
+        let b = ArrivalProcess::bursty(100.0, 500.0, 3.0, 1.0);
+        assert!((b.offered_rps().unwrap() - 200.0).abs() < 1e-12);
+        let t = ArrivalProcess::trace(vec![0.5, 0.5, 1.0]);
+        assert!((t.offered_rps().unwrap() - 1.5).abs() < 1e-12);
+        assert_eq!(ArrivalProcess::closed_loop(8, 0.0).offered_rps(), None);
+        assert!(ArrivalProcess::closed_loop(8, 0.0).is_closed());
+    }
+
+    #[test]
+    fn zero_length_trace_has_no_rate() {
+        assert_eq!(ArrivalProcess::trace(vec![]).offered_rps(), None);
+    }
+
+    #[test]
+    fn mix_sampling_follows_weights() {
+        let mix = RequestMix::new()
+            .and(w(NetworkId::ResNet18), 3.0)
+            .and(w(NetworkId::Lstm), 1.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 20_000;
+        let cnn = (0..n).filter(|_| mix.sample(&mut rng) == 0).count();
+        let frac = cnn as f64 / n as f64;
+        assert!((frac - 0.75).abs() < 0.02, "{frac}");
+    }
+
+    #[test]
+    fn single_class_mix_always_samples_zero() {
+        let mix = RequestMix::single(w(NetworkId::AlexNet));
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(mix.classes(), 1);
+        for _ in 0..10 {
+            assert_eq!(mix.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn display_labels_are_compact() {
+        assert_eq!(
+            ArrivalProcess::poisson(100.0).to_string(),
+            "poisson(100rps)"
+        );
+        assert_eq!(
+            ArrivalProcess::closed_loop(4, 0.01).to_string(),
+            "closed(4)"
+        );
+        let t = TrafficSpec::new(
+            "steady",
+            ArrivalProcess::poisson(10.0),
+            RequestMix::single(w(NetworkId::Rnn)),
+            100,
+        );
+        assert_eq!(t.to_string(), "steady");
+        assert_eq!(t.warmup, 0);
+        assert_eq!(t.with_warmup(10).warmup, 10);
+    }
+}

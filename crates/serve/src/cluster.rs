@@ -1,0 +1,88 @@
+//! The sharded cluster model: N identical replicas behind a router.
+//!
+//! Each replica owns one backend instance (its own copy of every model's
+//! weights), one set of per-class FIFO queues, and serves one batch at a
+//! time. The router decides which replica an arriving request queues at.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How arriving requests are routed across replicas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Router {
+    /// Cycle through replicas in arrival order, ignoring their state.
+    RoundRobin,
+    /// Send each request to the replica with the fewest requests queued
+    /// plus in service (ties go to the lowest replica index).
+    JoinShortestQueue,
+    /// Pin each network class to the replica `class mod replicas`, keeping
+    /// every model's weights resident on one shard (no cross-replica batch
+    /// fragmentation, at the price of per-class load imbalance).
+    NetworkAffinity,
+}
+
+impl fmt::Display for Router {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Router::RoundRobin => "rr",
+            Router::JoinShortestQueue => "jsq",
+            Router::NetworkAffinity => "affinity",
+        })
+    }
+}
+
+/// A cluster configuration: replica count plus routing discipline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    /// Number of identical replicas.
+    pub replicas: u32,
+    /// The routing discipline in front of them.
+    pub router: Router,
+}
+
+impl ClusterSpec {
+    /// A single replica (the router is irrelevant).
+    #[must_use]
+    pub fn single() -> Self {
+        ClusterSpec {
+            replicas: 1,
+            router: Router::RoundRobin,
+        }
+    }
+
+    /// A cluster of `replicas` behind `router`.
+    #[must_use]
+    pub fn new(replicas: u32, router: Router) -> Self {
+        ClusterSpec { replicas, router }
+    }
+}
+
+impl Default for ClusterSpec {
+    fn default() -> Self {
+        Self::single()
+    }
+}
+
+impl fmt::Display for ClusterSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}", self.router, self.replicas)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_labels() {
+        assert_eq!(ClusterSpec::single().to_string(), "rrx1");
+        assert_eq!(
+            ClusterSpec::new(4, Router::JoinShortestQueue).to_string(),
+            "jsqx4"
+        );
+        assert_eq!(
+            ClusterSpec::new(2, Router::NetworkAffinity).to_string(),
+            "affinityx2"
+        );
+    }
+}

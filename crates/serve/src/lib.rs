@@ -1,0 +1,79 @@
+//! # `bpvec-serve` — discrete-event inference-serving simulation
+//!
+//! The paper's evaluation reports steady-state throughput and energy; a
+//! production service is judged by *queueing* behavior — arrival
+//! burstiness, batch formation, replica routing, p99 latency. This crate
+//! turns any [`Evaluator`](bpvec_sim::Evaluator) backend (the analytical
+//! ASIC configs, the GPU model, or a user-supplied platform) into a service
+//! under load, simulated by a deterministic, seeded discrete-event engine:
+//!
+//! ```text
+//!  generators ──▶ router ──▶ per-replica queues ──▶ batch scheduler ──▶ backend
+//!  (arrivals)    (cluster)   (one FIFO per class)  (immediate/fixed/     (batch cost
+//!                                                   deadline-aware)       from BatchRegime)
+//!                                        │
+//!                                        ▼
+//!                                 metrics pipeline
+//!                     (latency histograms, p50/p95/p99, queue depth,
+//!                      utilization, energy/request, goodput under SLA)
+//! ```
+//!
+//! * [`arrivals`] — open-loop Poisson / bursty-MMPP / trace-replay and
+//!   closed-loop fixed-concurrency [`ArrivalProcess`]es, with per-network
+//!   [`RequestMix`]es bundled into [`TrafficSpec`]s;
+//! * [`scheduler`] — the [`BatchPolicy`] spectrum: immediate dispatch,
+//!   fixed-size batching, and deadline-aware dynamic batching whose batch
+//!   costs come from the backend's `BatchRegime` latencies (so CNN
+//!   tile-spill effects shape the optimal batch);
+//! * [`cluster`] — N replicas behind a [`Router`]: round-robin,
+//!   join-shortest-queue, or network-affinity sharding;
+//! * [`sim`] — the event loop itself ([`run_serving`]): seeded,
+//!   deterministic, with paired arrival sequences across policies;
+//! * [`metrics`] — [`ServingMetrics`]: tail latencies, utilization, queue
+//!   depth, energy per request, goodput under an SLA;
+//! * [`scenario`] — the [`ServingScenario`] builder mirroring
+//!   [`bpvec_sim::Scenario`]: declare platforms × policies × clusters ×
+//!   traffics, run the grid rayon-parallel, render the [`ServingReport`]
+//!   to CSV/JSON.
+//!
+//! ## Declaring a serving experiment
+//!
+//! ```
+//! use bpvec_serve::{
+//!     ArrivalProcess, BatchPolicy, ClusterSpec, RequestMix, ServingScenario, TrafficSpec,
+//! };
+//! use bpvec_sim::{AcceleratorConfig, Workload};
+//! use bpvec_dnn::{BitwidthPolicy, NetworkId};
+//!
+//! let report = ServingScenario::new("smoke")
+//!     .platform(AcceleratorConfig::bpvec())
+//!     .policy(BatchPolicy::immediate())
+//!     .policy(BatchPolicy::deadline(8, 0.002))
+//!     .cluster(ClusterSpec::single())
+//!     .traffic(TrafficSpec::new(
+//!         "steady",
+//!         ArrivalProcess::poisson(200.0),
+//!         RequestMix::single(Workload::new(NetworkId::ResNet18, BitwidthPolicy::Homogeneous8)),
+//!         200,
+//!     ))
+//!     .run();
+//! assert_eq!(report.cells.len(), 2);
+//! println!("{}", report.to_csv());
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod arrivals;
+pub mod cluster;
+pub mod metrics;
+pub mod scenario;
+pub mod scheduler;
+pub mod sim;
+
+pub use arrivals::{ArrivalProcess, MixEntry, RequestMix, TrafficSpec};
+pub use cluster::{ClusterSpec, Router};
+pub use metrics::{LatencyHistogram, LatencyStats, ServingMetrics};
+pub use scenario::{ServingCell, ServingError, ServingReport, ServingScenario};
+pub use scheduler::BatchPolicy;
+pub use sim::{run_serving, RequestRecord, ServiceModel, ServingOutcome};

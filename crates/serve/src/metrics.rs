@@ -1,0 +1,283 @@
+//! The metrics pipeline: summarizing a raw [`ServingOutcome`] into the
+//! numbers a capacity planner reads — tail latency, utilization, queue
+//! depth, energy per request, and goodput under an SLA.
+
+use serde::{Deserialize, Serialize};
+
+use crate::sim::ServingOutcome;
+
+/// Latency summary statistics over the measured (post-warmup) requests.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencyStats {
+    /// Mean sojourn time, seconds.
+    pub mean_s: f64,
+    /// Median sojourn time, seconds.
+    pub p50_s: f64,
+    /// 95th-percentile sojourn time, seconds.
+    pub p95_s: f64,
+    /// 99th-percentile sojourn time, seconds.
+    pub p99_s: f64,
+    /// Worst sojourn time, seconds.
+    pub max_s: f64,
+}
+
+/// A log-spaced latency histogram: bin `i` counts sojourns in
+/// `[lower_s[i], lower_s[i+1])`, with the first and last bins absorbing
+/// underflow and overflow.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencyHistogram {
+    /// Lower bound of each bin, seconds (doubling from 1 µs).
+    pub lower_s: Vec<f64>,
+    /// Sample count per bin.
+    pub counts: Vec<u64>,
+}
+
+impl LatencyHistogram {
+    /// Number of bins (1 µs doubling to ≈134 s).
+    pub const BINS: usize = 28;
+
+    /// Builds the histogram from raw sojourn samples.
+    #[must_use]
+    pub fn from_samples(samples: &[f64]) -> Self {
+        let lower_s: Vec<f64> = (0..Self::BINS).map(|i| 1e-6 * f64::from(1 << i)).collect();
+        let mut counts = vec![0u64; Self::BINS];
+        for &s in samples {
+            let bin = if s < lower_s[0] {
+                0
+            } else {
+                // log2(s / 1µs), clamped into range.
+                ((s / 1e-6).log2().floor() as usize).min(Self::BINS - 1)
+            };
+            counts[bin] += 1;
+        }
+        LatencyHistogram { lower_s, counts }
+    }
+
+    /// Total samples across all bins.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+}
+
+/// Everything measured about one serving configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServingMetrics {
+    /// Requests admitted into the system.
+    pub admitted: u64,
+    /// Requests completed (always equals `admitted`: the run drains).
+    pub completed: u64,
+    /// Requests included in the latency statistics (post-warmup).
+    pub measured: u64,
+    /// Simulated wall-clock length of the run, seconds.
+    pub makespan_s: f64,
+    /// Completed requests per second of makespan.
+    pub throughput_rps: f64,
+    /// Sojourn-time statistics over the measured requests.
+    pub latency: LatencyStats,
+    /// Log-spaced sojourn histogram over the measured requests.
+    pub histogram: LatencyHistogram,
+    /// Time-averaged number of requests waiting in queues.
+    pub mean_queue_depth: f64,
+    /// Fraction of total replica-time spent serving batches.
+    pub utilization: f64,
+    /// Mean dispatched batch size.
+    pub mean_batch: f64,
+    /// Energy per completed request, joules.
+    pub energy_per_request_j: f64,
+    /// Fraction of measured requests meeting the SLA (1.0 when no SLA set).
+    pub sla_attainment: f64,
+    /// Throughput × SLA attainment: requests per second that met the SLA.
+    pub goodput_rps: f64,
+}
+
+/// `q`-quantile of an ascending-sorted slice (nearest-rank convention).
+fn quantile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+impl ServingMetrics {
+    /// Summarizes a raw outcome. `replicas` is the cluster size the outcome
+    /// ran on (for utilization), `warmup` the number of leading admissions
+    /// excluded from latency statistics, `sla_s` the latency objective.
+    #[must_use]
+    pub fn from_outcome(
+        outcome: &ServingOutcome,
+        replicas: u32,
+        warmup: u64,
+        sla_s: Option<f64>,
+    ) -> Self {
+        let completed = outcome.records.len() as u64;
+        let mut sojourns: Vec<f64> = outcome
+            .records
+            .iter()
+            .filter(|r| r.id >= warmup)
+            .map(|r| r.sojourn_s())
+            .collect();
+        sojourns.sort_by(f64::total_cmp);
+        let measured = sojourns.len() as u64;
+        let mean_s = if sojourns.is_empty() {
+            0.0
+        } else {
+            sojourns.iter().sum::<f64>() / sojourns.len() as f64
+        };
+        let latency = LatencyStats {
+            mean_s,
+            p50_s: quantile(&sojourns, 0.50),
+            p95_s: quantile(&sojourns, 0.95),
+            p99_s: quantile(&sojourns, 0.99),
+            max_s: sojourns.last().copied().unwrap_or(0.0),
+        };
+        let makespan_s = outcome.makespan_s;
+        let throughput_rps = if makespan_s > 0.0 {
+            completed as f64 / makespan_s
+        } else {
+            0.0
+        };
+        let within_sla = match sla_s {
+            Some(sla) => sojourns.iter().filter(|&&s| s <= sla).count() as u64,
+            None => measured,
+        };
+        let sla_attainment = if measured > 0 {
+            within_sla as f64 / measured as f64
+        } else {
+            1.0
+        };
+        ServingMetrics {
+            admitted: outcome.admitted,
+            completed,
+            measured,
+            makespan_s,
+            throughput_rps,
+            histogram: LatencyHistogram::from_samples(&sojourns),
+            latency,
+            mean_queue_depth: if makespan_s > 0.0 {
+                outcome.depth_integral / makespan_s
+            } else {
+                0.0
+            },
+            utilization: if makespan_s > 0.0 {
+                outcome.busy_s / (makespan_s * f64::from(replicas.max(1)))
+            } else {
+                0.0
+            },
+            mean_batch: if outcome.batches > 0 {
+                completed as f64 / outcome.batches as f64
+            } else {
+                0.0
+            },
+            energy_per_request_j: if completed > 0 {
+                outcome.energy_j / completed as f64
+            } else {
+                0.0
+            },
+            sla_attainment,
+            goodput_rps: throughput_rps * sla_attainment,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::RequestRecord;
+
+    fn record(id: u64, arrival_s: f64, completion_s: f64) -> RequestRecord {
+        RequestRecord {
+            id,
+            class: 0,
+            shard: 0,
+            arrival_s,
+            start_s: arrival_s,
+            completion_s,
+            batch: 1,
+        }
+    }
+
+    fn outcome(records: Vec<RequestRecord>) -> ServingOutcome {
+        let makespan_s = records
+            .iter()
+            .map(|r| r.completion_s)
+            .fold(0.0f64, f64::max);
+        ServingOutcome {
+            admitted: records.len() as u64,
+            busy_s: makespan_s / 2.0,
+            depth_integral: makespan_s * 3.0,
+            makespan_s,
+            energy_j: records.len() as f64 * 0.5,
+            batches: records.len() as u64,
+            records,
+        }
+    }
+
+    #[test]
+    fn quantiles_use_nearest_rank() {
+        let sorted: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(quantile(&sorted, 0.50), 50.0);
+        assert_eq!(quantile(&sorted, 0.95), 95.0);
+        assert_eq!(quantile(&sorted, 0.99), 99.0);
+        assert_eq!(quantile(&[7.0], 0.99), 7.0);
+        assert_eq!(quantile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn metrics_summarize_the_records() {
+        let records: Vec<RequestRecord> = (0..100)
+            .map(|i| record(i, i as f64, i as f64 + 0.002 * (i % 10 + 1) as f64))
+            .collect();
+        let m = ServingMetrics::from_outcome(&outcome(records), 2, 0, Some(0.0101));
+        assert_eq!(m.completed, 100);
+        assert_eq!(m.measured, 100);
+        // Sojourns are 2..=20 ms uniformly; half meet a ~10 ms SLA.
+        assert!(
+            (m.sla_attainment - 0.5).abs() < 1e-12,
+            "{}",
+            m.sla_attainment
+        );
+        assert!((m.latency.max_s - 0.020).abs() < 1e-12);
+        assert!(m.latency.p99_s >= m.latency.p95_s);
+        assert!(m.latency.p95_s >= m.latency.p50_s);
+        assert!((m.goodput_rps - m.throughput_rps * 0.5).abs() < 1e-9);
+        assert!((m.utilization - 0.25).abs() < 1e-12);
+        assert!((m.mean_queue_depth - 3.0).abs() < 1e-12);
+        assert!((m.energy_per_request_j - 0.5).abs() < 1e-12);
+        assert_eq!(m.histogram.total(), 100);
+    }
+
+    #[test]
+    fn warmup_excludes_leading_admissions() {
+        let records: Vec<RequestRecord> = (0..10)
+            .map(|i| record(i, 0.0, if i < 5 { 100.0 } else { 0.001 }))
+            .collect();
+        let m = ServingMetrics::from_outcome(&outcome(records), 1, 5, None);
+        assert_eq!(m.measured, 5);
+        assert!(m.latency.max_s < 0.01);
+        assert_eq!(m.sla_attainment, 1.0);
+    }
+
+    #[test]
+    fn histogram_bins_double_from_one_microsecond() {
+        let h = LatencyHistogram::from_samples(&[1.5e-6, 3e-6, 1e-3, 1e9]);
+        assert_eq!(h.lower_s.len(), LatencyHistogram::BINS);
+        assert_eq!(h.counts[0], 1);
+        assert_eq!(h.counts[1], 1);
+        // 1 ms: log2(1000 µs) = 9.96 -> bin 9 (lower bound 512 µs).
+        assert_eq!(h.counts[9], 1);
+        // Overflow clamps into the last bin.
+        assert_eq!(h.counts[LatencyHistogram::BINS - 1], 1);
+        assert_eq!(h.total(), 4);
+    }
+
+    #[test]
+    fn empty_outcome_yields_zeroed_metrics() {
+        let m = ServingMetrics::from_outcome(&outcome(Vec::new()), 1, 0, None);
+        assert_eq!(m.completed, 0);
+        assert_eq!(m.throughput_rps, 0.0);
+        assert_eq!(m.latency.mean_s, 0.0);
+        assert_eq!(m.sla_attainment, 1.0);
+    }
+}

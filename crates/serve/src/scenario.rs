@@ -1,0 +1,604 @@
+//! The `ServingScenario` builder: serving experiments declared the same way
+//! evaluation experiments are.
+//!
+//! Mirroring [`bpvec_sim::Scenario`], a [`ServingScenario`] declares its
+//! axes — platforms ([`Evaluator`] backends), batching policies, cluster
+//! configurations, and traffic specs — then [`ServingScenario::run`]
+//! simulates the full cross-product (rayon-parallel, one task per cell) and
+//! returns a [`ServingReport`] that renders to CSV/JSON like
+//! [`bpvec_sim::Report`] does.
+//!
+//! Arrival randomness is seeded per *traffic axis entry*, not per cell:
+//! every platform/policy/cluster sees the identical arrival sequence for a
+//! given traffic spec, so comparisons across those axes are paired.
+
+use std::fmt;
+use std::sync::Arc;
+
+use bpvec_sim::{DramSpec, Evaluator};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use crate::arrivals::{ArrivalProcess, TrafficSpec};
+use crate::cluster::ClusterSpec;
+use crate::metrics::ServingMetrics;
+use crate::scheduler::BatchPolicy;
+use crate::sim::{run_serving, ServiceModel};
+
+/// Errors from building or running a serving scenario.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServingError(String);
+
+impl fmt::Display for ServingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ServingError {}
+
+/// NaN-safe "strictly positive and finite".
+fn positive(x: f64) -> bool {
+    x.is_finite() && x > 0.0
+}
+
+/// NaN-safe "finite and non-negative".
+fn non_negative(x: f64) -> bool {
+    x.is_finite() && x >= 0.0
+}
+
+/// Validates one batching policy; shared by [`ServingScenario::try_run`]
+/// and [`run_serving`]'s precondition check.
+pub(crate) fn validate_policy(p: &BatchPolicy) -> Result<(), ServingError> {
+    match *p {
+        BatchPolicy::Fixed { size: 0 } => {
+            Err(ServingError("fixed batch size must be at least 1".into()))
+        }
+        BatchPolicy::Deadline {
+            max_batch,
+            max_wait_s,
+        } if max_batch == 0 || !non_negative(max_wait_s) => Err(ServingError(
+            "deadline batching needs max_batch >= 1 and max_wait_s >= 0".into(),
+        )),
+        _ => Ok(()),
+    }
+}
+
+/// Validates one cluster configuration.
+pub(crate) fn validate_cluster(c: &ClusterSpec) -> Result<(), ServingError> {
+    if c.replicas == 0 {
+        return Err(ServingError("a cluster needs at least one replica".into()));
+    }
+    Ok(())
+}
+
+/// Validates one traffic configuration.
+pub(crate) fn validate_traffic(t: &TrafficSpec) -> Result<(), ServingError> {
+    if t.requests == 0 {
+        return Err(ServingError(format!(
+            "traffic `{}` admits zero requests",
+            t.label
+        )));
+    }
+    if t.warmup >= t.requests {
+        return Err(ServingError(format!(
+            "traffic `{}`: warmup {} swallows all {} requests",
+            t.label, t.warmup, t.requests
+        )));
+    }
+    if t.mix.entries.is_empty() {
+        return Err(ServingError(format!(
+            "traffic `{}` has an empty request mix",
+            t.label
+        )));
+    }
+    if t.mix.entries.iter().any(|e| !positive(e.weight)) {
+        return Err(ServingError(format!(
+            "traffic `{}`: mix weights must be positive and finite",
+            t.label
+        )));
+    }
+    match &t.process {
+        ArrivalProcess::Poisson { rate_rps } if !positive(*rate_rps) => Err(ServingError(format!(
+            "traffic `{}`: Poisson rate must be positive",
+            t.label
+        ))),
+        ArrivalProcess::Bursty {
+            base_rps,
+            burst_rps,
+            mean_base_s,
+            mean_burst_s,
+        } if !(positive(*base_rps)
+            && positive(*burst_rps)
+            && positive(*mean_base_s)
+            && positive(*mean_burst_s)) =>
+        {
+            Err(ServingError(format!(
+                "traffic `{}`: bursty rates and dwell times must be positive",
+                t.label
+            )))
+        }
+        ArrivalProcess::Trace { inter_arrival_s }
+            if inter_arrival_s.is_empty() || inter_arrival_s.iter().any(|g| !non_negative(*g)) =>
+        {
+            Err(ServingError(format!(
+                "traffic `{}`: trace needs at least one non-negative gap",
+                t.label
+            )))
+        }
+        ArrivalProcess::ClosedLoop {
+            concurrency,
+            think_s,
+        } if *concurrency == 0 || !non_negative(*think_s) => Err(ServingError(format!(
+            "traffic `{}`: closed loop needs concurrency >= 1 and think_s >= 0",
+            t.label
+        ))),
+        _ => Ok(()),
+    }
+}
+
+/// A declared serving experiment: platforms × policies × clusters ×
+/// traffics under one memory system, service model, seed, and optional SLA.
+pub struct ServingScenario {
+    name: String,
+    platforms: Vec<(String, Arc<dyn Evaluator>)>,
+    policies: Vec<BatchPolicy>,
+    clusters: Vec<ClusterSpec>,
+    traffics: Vec<TrafficSpec>,
+    memory: DramSpec,
+    service: ServiceModel,
+    sla_s: Option<f64>,
+    seed: u64,
+}
+
+impl fmt::Debug for ServingScenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ServingScenario")
+            .field("name", &self.name)
+            .field(
+                "platforms",
+                &self.platforms.iter().map(|(l, _)| l).collect::<Vec<_>>(),
+            )
+            .field("policies", &self.policies)
+            .field("clusters", &self.clusters)
+            .field("traffics", &self.traffics)
+            .field("memory", &self.memory)
+            .field("service", &self.service)
+            .field("sla_s", &self.sla_s)
+            .field("seed", &self.seed)
+            .finish()
+    }
+}
+
+impl ServingScenario {
+    /// An empty serving scenario (DDR4 memory, deterministic service,
+    /// seed 0x5EED) with the given name.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        ServingScenario {
+            name: name.into(),
+            platforms: Vec::new(),
+            policies: Vec::new(),
+            clusters: Vec::new(),
+            traffics: Vec::new(),
+            memory: DramSpec::ddr4(),
+            service: ServiceModel::Deterministic,
+            sla_s: None,
+            seed: 0x5EED,
+        }
+    }
+
+    /// Adds a serving backend.
+    #[must_use]
+    pub fn platform(mut self, platform: impl Evaluator + 'static) -> Self {
+        let label = platform.label();
+        self.platforms.push((label, Arc::new(platform)));
+        self
+    }
+
+    /// Adds one batching policy.
+    #[must_use]
+    pub fn policy(mut self, policy: BatchPolicy) -> Self {
+        self.policies.push(policy);
+        self
+    }
+
+    /// Adds a batch of policies.
+    #[must_use]
+    pub fn policies(mut self, policies: impl IntoIterator<Item = BatchPolicy>) -> Self {
+        self.policies.extend(policies);
+        self
+    }
+
+    /// Adds one cluster configuration.
+    #[must_use]
+    pub fn cluster(mut self, cluster: ClusterSpec) -> Self {
+        self.clusters.push(cluster);
+        self
+    }
+
+    /// Adds a batch of cluster configurations.
+    #[must_use]
+    pub fn clusters(mut self, clusters: impl IntoIterator<Item = ClusterSpec>) -> Self {
+        self.clusters.extend(clusters);
+        self
+    }
+
+    /// Adds one traffic configuration.
+    #[must_use]
+    pub fn traffic(mut self, traffic: TrafficSpec) -> Self {
+        self.traffics.push(traffic);
+        self
+    }
+
+    /// Adds a batch of traffic configurations.
+    #[must_use]
+    pub fn traffics(mut self, traffics: impl IntoIterator<Item = TrafficSpec>) -> Self {
+        self.traffics.extend(traffics);
+        self
+    }
+
+    /// Replaces the off-chip memory system (default DDR4).
+    #[must_use]
+    pub fn memory(mut self, memory: DramSpec) -> Self {
+        self.memory = memory;
+        self
+    }
+
+    /// Replaces the service-time model (default deterministic).
+    #[must_use]
+    pub fn service_model(mut self, service: ServiceModel) -> Self {
+        self.service = service;
+        self
+    }
+
+    /// Sets the latency SLA for goodput accounting, seconds.
+    #[must_use]
+    pub fn sla_s(mut self, sla_s: f64) -> Self {
+        self.sla_s = Some(sla_s);
+        self
+    }
+
+    /// Replaces the arrival seed (default 0x5EED).
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    fn validate(&self) -> Result<(), ServingError> {
+        if self.platforms.is_empty()
+            || self.policies.is_empty()
+            || self.clusters.is_empty()
+            || self.traffics.is_empty()
+        {
+            return Err(ServingError(format!(
+                "every axis needs at least one entry (platforms {}, policies {}, clusters {}, traffics {})",
+                self.platforms.len(),
+                self.policies.len(),
+                self.clusters.len(),
+                self.traffics.len()
+            )));
+        }
+        for (i, (l, _)) in self.platforms.iter().enumerate() {
+            if self.platforms[..i].iter().any(|(other, _)| other == l) {
+                return Err(ServingError(format!("duplicate platform label `{l}`")));
+            }
+        }
+        for p in &self.policies {
+            validate_policy(p)?;
+        }
+        for c in &self.clusters {
+            validate_cluster(c)?;
+        }
+        for t in &self.traffics {
+            validate_traffic(t)?;
+        }
+        if let Some(sla) = self.sla_s {
+            if !positive(sla) {
+                return Err(ServingError("the SLA must be a positive latency".into()));
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs the scenario; see [`ServingScenario::try_run`] for the fallible
+    /// form.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid scenario (empty axis, duplicate labels, zero
+    /// request counts, non-positive rates or weights).
+    #[must_use]
+    pub fn run(&self) -> ServingReport {
+        match self.try_run() {
+            Ok(report) => report,
+            Err(e) => panic!("serving scenario `{}`: {e}", self.name),
+        }
+    }
+
+    /// Simulates the full platforms × policies × clusters × traffics
+    /// cross-product — rayon-parallel across cells — and reports the
+    /// results.
+    ///
+    /// # Errors
+    ///
+    /// Fails if an axis is empty, platform labels collide, or any policy,
+    /// cluster, or traffic spec is malformed (see [`ServingError`]).
+    pub fn try_run(&self) -> Result<ServingReport, ServingError> {
+        self.validate()?;
+        let jobs: Vec<(usize, usize, usize, usize)> = (0..self.platforms.len())
+            .flat_map(|p| {
+                (0..self.policies.len()).flat_map(move |pol| {
+                    (0..self.clusters.len()).flat_map(move |cl| {
+                        (0..self.traffics.len()).map(move |tr| (p, pol, cl, tr))
+                    })
+                })
+            })
+            .collect();
+        let cells: Vec<ServingCell> = jobs
+            .into_par_iter()
+            .map(|(p, pol, cl, tr)| {
+                let traffic = &self.traffics[tr];
+                let outcome = run_serving(
+                    self.platforms[p].1.as_ref(),
+                    &self.memory,
+                    self.policies[pol],
+                    self.clusters[cl],
+                    traffic,
+                    self.service,
+                    mix_seed(self.seed, tr as u64),
+                );
+                let metrics = ServingMetrics::from_outcome(
+                    &outcome,
+                    self.clusters[cl].replicas,
+                    traffic.warmup,
+                    self.sla_s,
+                );
+                ServingCell {
+                    platform: self.platforms[p].0.clone(),
+                    policy: self.policies[pol],
+                    cluster: self.clusters[cl],
+                    traffic: traffic.label.clone(),
+                    offered_rps: traffic.offered_rps().unwrap_or(0.0),
+                    metrics,
+                }
+            })
+            .collect();
+        Ok(ServingReport {
+            scenario: self.name.clone(),
+            sla_s: self.sla_s,
+            cells,
+        })
+    }
+}
+
+/// Derives the per-traffic arrival seed (SplitMix64 over seed ⊕ index), so
+/// every cell sharing a traffic spec replays the same arrival sequence.
+fn mix_seed(seed: u64, traffic_idx: u64) -> u64 {
+    let mut z = seed ^ (traffic_idx.wrapping_add(1)).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// One cell of a serving report: which configuration, and what it measured.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServingCell {
+    /// Platform label.
+    pub platform: String,
+    /// The batching policy.
+    pub policy: BatchPolicy,
+    /// The cluster configuration.
+    pub cluster: ClusterSpec,
+    /// The traffic spec's label.
+    pub traffic: String,
+    /// Long-run offered rate (0 for closed-loop traffic, which adapts).
+    pub offered_rps: f64,
+    /// Everything measured.
+    pub metrics: ServingMetrics,
+}
+
+/// The outcome of a [`ServingScenario`] run. Serializes to JSON and renders
+/// CSV rows, one per cell, like [`bpvec_sim::Report`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServingReport {
+    /// The scenario's name.
+    pub scenario: String,
+    /// The SLA the goodput column is measured against, if any.
+    pub sla_s: Option<f64>,
+    /// Cells in platform-major, then policy, cluster, traffic order.
+    pub cells: Vec<ServingCell>,
+}
+
+impl ServingReport {
+    /// Looks up one cell by its display coordinates (`policy` and `cluster`
+    /// in their `Display` forms, e.g. `"deadline(16,500us)"`, `"jsqx4"`).
+    #[must_use]
+    pub fn cell(
+        &self,
+        platform: &str,
+        policy: &str,
+        cluster: &str,
+        traffic: &str,
+    ) -> Option<&ServingCell> {
+        self.cells.iter().find(|c| {
+            c.platform == platform
+                && c.policy.to_string() == policy
+                && c.cluster.to_string() == cluster
+                && c.traffic == traffic
+        })
+    }
+
+    /// Renders every cell as a CSV row for downstream analysis.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "platform,policy,cluster,traffic,offered_rps,throughput_rps,goodput_rps,\
+             p50_ms,p95_ms,p99_ms,mean_ms,max_ms,mean_queue_depth,utilization,\
+             mean_batch,energy_mj_per_req,sla_attainment\n",
+        );
+        for c in &self.cells {
+            let m = &c.metrics;
+            out.push_str(&format!(
+                "{},{},{},{},{:.3},{:.3},{:.3},{:.4},{:.4},{:.4},{:.4},{:.4},{:.3},{:.4},{:.3},{:.5},{:.4}\n",
+                c.platform,
+                c.policy,
+                c.cluster,
+                c.traffic,
+                c.offered_rps,
+                m.throughput_rps,
+                m.goodput_rps,
+                m.latency.p50_s * 1e3,
+                m.latency.p95_s * 1e3,
+                m.latency.p99_s * 1e3,
+                m.latency.mean_s * 1e3,
+                m.latency.max_s * 1e3,
+                m.mean_queue_depth,
+                m.utilization,
+                m.mean_batch,
+                m.energy_per_request_j * 1e3,
+                m.sla_attainment,
+            ));
+        }
+        out
+    }
+
+    /// Renders the report as pretty-printed JSON.
+    ///
+    /// # Panics
+    ///
+    /// Panics if serialization fails (it cannot for plain data).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("serving report serialization cannot fail")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrivals::RequestMix;
+    use bpvec_dnn::{BitwidthPolicy, NetworkId};
+    use bpvec_sim::{AcceleratorConfig, Workload};
+
+    fn quick_traffic(label: &str, rate: f64) -> TrafficSpec {
+        TrafficSpec::new(
+            label,
+            ArrivalProcess::poisson(rate),
+            RequestMix::single(Workload::new(NetworkId::Lstm, BitwidthPolicy::Homogeneous8)),
+            120,
+        )
+    }
+
+    fn small_scenario() -> ServingScenario {
+        ServingScenario::new("unit")
+            .platform(AcceleratorConfig::bpvec())
+            .policy(BatchPolicy::immediate())
+            .policy(BatchPolicy::deadline(4, 0.001))
+            .cluster(ClusterSpec::single())
+            .traffic(quick_traffic("steady", 50.0))
+    }
+
+    #[test]
+    fn cross_product_covers_every_cell() {
+        let report = small_scenario()
+            .cluster(ClusterSpec::new(2, crate::Router::JoinShortestQueue))
+            .traffic(quick_traffic("fast", 200.0))
+            .run();
+        assert_eq!(report.cells.len(), 2 * 2 * 2);
+        assert!(report
+            .cell("BPVeC", "immediate", "rrx1", "steady")
+            .is_some());
+        assert!(report
+            .cell("BPVeC", "deadline(4,1000us)", "jsqx2", "fast")
+            .is_some());
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let s = small_scenario();
+        let a = s.run();
+        let b = s.run();
+        assert_eq!(a, b);
+        assert_eq!(a.to_csv(), b.to_csv());
+    }
+
+    #[test]
+    fn empty_axis_is_rejected() {
+        let err = ServingScenario::new("empty")
+            .platform(AcceleratorConfig::bpvec())
+            .policy(BatchPolicy::immediate())
+            .try_run()
+            .unwrap_err();
+        assert!(err.to_string().contains("at least one entry"));
+    }
+
+    #[test]
+    fn duplicate_platform_labels_are_rejected() {
+        let err = ServingScenario::new("dup")
+            .platform(AcceleratorConfig::bpvec())
+            .platform(AcceleratorConfig::bpvec())
+            .policy(BatchPolicy::immediate())
+            .cluster(ClusterSpec::single())
+            .traffic(quick_traffic("t", 10.0))
+            .try_run()
+            .unwrap_err();
+        assert!(err.to_string().contains("duplicate platform label"));
+    }
+
+    #[test]
+    fn malformed_axes_are_rejected() {
+        let base = || {
+            ServingScenario::new("bad")
+                .platform(AcceleratorConfig::bpvec())
+                .cluster(ClusterSpec::single())
+                .traffic(quick_traffic("t", 10.0))
+        };
+        let err = base().policy(BatchPolicy::fixed(0)).try_run().unwrap_err();
+        assert!(err.to_string().contains("at least 1"));
+        let err = base()
+            .policy(BatchPolicy::immediate())
+            .traffic(quick_traffic("zero-rate", 0.0))
+            .try_run()
+            .unwrap_err();
+        assert!(err.to_string().contains("rate must be positive"));
+        let err = base()
+            .policy(BatchPolicy::immediate())
+            .traffic(quick_traffic("w", 10.0).with_warmup(120))
+            .try_run()
+            .unwrap_err();
+        assert!(err.to_string().contains("warmup"));
+        let err = base()
+            .policy(BatchPolicy::immediate())
+            .sla_s(0.0)
+            .try_run()
+            .unwrap_err();
+        assert!(err.to_string().contains("SLA"));
+    }
+
+    #[test]
+    fn csv_lists_every_cell_and_json_round_trips() {
+        let report = small_scenario().sla_s(0.050).run();
+        let csv = report.to_csv();
+        assert_eq!(csv.trim().lines().count(), 1 + report.cells.len());
+        assert!(csv.starts_with("platform,policy,cluster,traffic"));
+        assert!(csv.contains("BPVeC,immediate,rrx1,steady"));
+        let back: ServingReport = serde_json::from_str(&report.to_json()).unwrap();
+        assert_eq!(report, back);
+    }
+
+    #[test]
+    fn paired_arrivals_across_policies() {
+        // Same traffic index ⇒ same arrival sequence: with a capacity-rich
+        // immediate policy both cells must serve the same request count at
+        // the same offered rate.
+        let report = small_scenario().run();
+        let a = report.cell("BPVeC", "immediate", "rrx1", "steady").unwrap();
+        let b = report
+            .cell("BPVeC", "deadline(4,1000us)", "rrx1", "steady")
+            .unwrap();
+        assert_eq!(a.metrics.completed, b.metrics.completed);
+        assert_eq!(a.offered_rps, b.offered_rps);
+    }
+}

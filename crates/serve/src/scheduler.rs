@@ -1,0 +1,107 @@
+//! Batch-formation policies: how queued requests become dispatched batches.
+//!
+//! The scheduler is where serving systems trade latency against throughput:
+//! larger batches amortize weight traffic (the backend's `BatchRegime`
+//! latencies are sub-linear in batch for the CNNs until tile spill), but
+//! every request in a batch waits for the batch to form. The simulator
+//! implements the three canonical points of that spectrum.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How a replica forms batches from its per-class FIFO queues.
+///
+/// Batches never mix network classes (different networks cannot share a
+/// weight-stationary accelerator pass), and requests within a class are
+/// always served FIFO.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum BatchPolicy {
+    /// Dispatch every request alone as soon as the replica is free — the
+    /// latency-optimal policy at low load, and the throughput-worst.
+    Immediate,
+    /// Wait for a full batch of `size` same-class requests before
+    /// dispatching (partial batches flush only when the run drains or a
+    /// closed loop would otherwise deadlock).
+    Fixed {
+        /// The batch size to wait for.
+        size: u64,
+    },
+    /// Deadline-aware dynamic batching: dispatch when a class reaches
+    /// `max_batch` queued requests, or when the oldest queued request has
+    /// waited `max_wait_s` — whichever comes first.
+    Deadline {
+        /// Upper bound on the dispatched batch size.
+        max_batch: u64,
+        /// Maximum queueing delay before a partial batch dispatches.
+        max_wait_s: f64,
+    },
+}
+
+impl BatchPolicy {
+    /// Immediate single-request dispatch.
+    #[must_use]
+    pub fn immediate() -> Self {
+        BatchPolicy::Immediate
+    }
+
+    /// Fixed-size batching.
+    #[must_use]
+    pub fn fixed(size: u64) -> Self {
+        BatchPolicy::Fixed { size }
+    }
+
+    /// Deadline-aware dynamic batching.
+    #[must_use]
+    pub fn deadline(max_batch: u64, max_wait_s: f64) -> Self {
+        BatchPolicy::Deadline {
+            max_batch,
+            max_wait_s,
+        }
+    }
+
+    /// The largest batch this policy can ever dispatch (the batch-cost
+    /// table is precomputed up to this size).
+    #[must_use]
+    pub fn max_batch(&self) -> u64 {
+        match *self {
+            BatchPolicy::Immediate => 1,
+            BatchPolicy::Fixed { size } => size,
+            BatchPolicy::Deadline { max_batch, .. } => max_batch,
+        }
+    }
+}
+
+impl fmt::Display for BatchPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            BatchPolicy::Immediate => f.write_str("immediate"),
+            BatchPolicy::Fixed { size } => write!(f, "fixed({size})"),
+            BatchPolicy::Deadline {
+                max_batch,
+                max_wait_s,
+            } => write!(f, "deadline({max_batch},{:.0}us)", max_wait_s * 1e6),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_batch_per_policy() {
+        assert_eq!(BatchPolicy::immediate().max_batch(), 1);
+        assert_eq!(BatchPolicy::fixed(8).max_batch(), 8);
+        assert_eq!(BatchPolicy::deadline(16, 0.001).max_batch(), 16);
+    }
+
+    #[test]
+    fn display_is_stable_for_csv_columns() {
+        assert_eq!(BatchPolicy::immediate().to_string(), "immediate");
+        assert_eq!(BatchPolicy::fixed(8).to_string(), "fixed(8)");
+        assert_eq!(
+            BatchPolicy::deadline(16, 0.0005).to_string(),
+            "deadline(16,500us)"
+        );
+    }
+}

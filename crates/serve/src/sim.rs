@@ -1,0 +1,870 @@
+//! The deterministic discrete-event core.
+//!
+//! One [`run_serving`] call simulates one configuration: a traffic spec
+//! feeding a sharded cluster of replicas, each running a batch scheduler
+//! over per-class FIFO queues, with batch service times looked up from the
+//! backend's `BatchRegime` latencies (so CNN tile-spill effects shape the
+//! cost of every batch size). Everything is driven by a single seeded RNG
+//! pair and a `(time, sequence)`-ordered event heap, so a fixed seed yields
+//! a bit-identical [`ServingOutcome`] on every run.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, VecDeque};
+
+use bpvec_sim::{BatchRegime, DramSpec, Evaluator};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::arrivals::{ArrivalProcess, TrafficSpec};
+use crate::cluster::{ClusterSpec, Router};
+use crate::scheduler::BatchPolicy;
+
+/// How dispatched batches' service times vary around the backend's
+/// deterministic batch cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ServiceModel {
+    /// Service takes exactly the backend's modeled batch latency.
+    Deterministic,
+    /// Service time is exponentially distributed with the modeled latency
+    /// as its mean — models runtime jitter, and turns a Poisson +
+    /// immediate + single-replica configuration into a textbook M/M/1
+    /// queue for closed-form validation.
+    ExponentialJitter,
+}
+
+/// The full lifecycle of one admitted request.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RequestRecord {
+    /// Admission index (0-based, in arrival order).
+    pub id: u64,
+    /// Service class (index into the traffic's [`crate::RequestMix`]).
+    pub class: usize,
+    /// Replica the request was routed to.
+    pub shard: usize,
+    /// Arrival time, seconds.
+    pub arrival_s: f64,
+    /// Batch dispatch time, seconds.
+    pub start_s: f64,
+    /// Completion time, seconds.
+    pub completion_s: f64,
+    /// Size of the batch the request was served in.
+    pub batch: u64,
+}
+
+impl RequestRecord {
+    /// End-to-end sojourn time (queueing + service), seconds.
+    #[must_use]
+    pub fn sojourn_s(&self) -> f64 {
+        self.completion_s - self.arrival_s
+    }
+}
+
+/// Raw result of one simulation run; [`crate::ServingMetrics`] summarizes it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServingOutcome {
+    /// Per-request lifecycle records, in completion order.
+    pub records: Vec<RequestRecord>,
+    /// Requests admitted (equals the traffic spec's request count).
+    pub admitted: u64,
+    /// Total busy time summed across replicas, seconds.
+    pub busy_s: f64,
+    /// Time integral of the total queue depth (waiting requests only).
+    pub depth_integral: f64,
+    /// Time of the last batch completion, seconds.
+    pub makespan_s: f64,
+    /// Total energy of all dispatched batches, joules.
+    pub energy_j: f64,
+    /// Number of batches dispatched.
+    pub batches: u64,
+}
+
+/// Whole-batch service time and energy per (class, batch size), precomputed
+/// from the backend so the event loop never re-runs the analytical model.
+struct CostTable {
+    /// `svc[class][b-1]` = whole-batch service seconds at batch `b`.
+    svc: Vec<Vec<f64>>,
+    /// `energy[class][b-1]` = whole-batch energy joules at batch `b`.
+    energy: Vec<Vec<f64>>,
+}
+
+impl CostTable {
+    fn build(
+        backend: &dyn Evaluator,
+        memory: &DramSpec,
+        traffic: &TrafficSpec,
+        max_batch: u64,
+    ) -> Self {
+        let mut svc = Vec::with_capacity(traffic.mix.classes());
+        let mut energy = Vec::with_capacity(traffic.mix.classes());
+        for entry in &traffic.mix.entries {
+            let network = entry.workload.build();
+            let mut s = Vec::with_capacity(max_batch as usize);
+            let mut j = Vec::with_capacity(max_batch as usize);
+            for b in 1..=max_batch {
+                let w = entry.workload.with_batching(BatchRegime::fixed(b));
+                let m = backend.evaluate(&w, &network, memory);
+                s.push(m.latency_s * b as f64);
+                j.push(m.energy_j * b as f64);
+            }
+            svc.push(s);
+            energy.push(j);
+        }
+        CostTable { svc, energy }
+    }
+
+    fn service_s(&self, class: usize, batch: u64) -> f64 {
+        self.svc[class][batch as usize - 1]
+    }
+
+    fn energy_j(&self, class: usize, batch: u64) -> f64 {
+        self.energy[class][batch as usize - 1]
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EventKind {
+    Arrival,
+    Completion { shard: usize },
+    DeadlineCheck { shard: usize },
+}
+
+/// Heap entry ordered by `(time, seq)` ascending; the sequence number makes
+/// simultaneous events (and therefore the whole run) deterministic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Event {
+    time: f64,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl Eq for Event {}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Inverted so std's max-heap pops the earliest event first.
+        other
+            .time
+            .total_cmp(&self.time)
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Request {
+    id: u64,
+    class: usize,
+    arrival_s: f64,
+}
+
+struct InFlight {
+    requests: Vec<Request>,
+    start_s: f64,
+}
+
+struct Shard {
+    queues: Vec<VecDeque<Request>>,
+    in_flight: Option<InFlight>,
+    /// Fire time of this shard's outstanding `DeadlineCheck`, if one is in
+    /// the heap and still in the future (at most one is armed at a time).
+    armed_check_s: Option<f64>,
+}
+
+impl Shard {
+    fn new(classes: usize) -> Self {
+        Shard {
+            queues: (0..classes).map(|_| VecDeque::new()).collect(),
+            in_flight: None,
+            armed_check_s: None,
+        }
+    }
+
+    fn depth(&self) -> u64 {
+        let queued: usize = self.queues.iter().map(VecDeque::len).sum();
+        queued as u64
+            + self
+                .in_flight
+                .as_ref()
+                .map_or(0, |f| f.requests.len() as u64)
+    }
+}
+
+/// Open-loop inter-arrival sampling state.
+enum ArrivalGen {
+    Poisson {
+        rate: f64,
+    },
+    Bursty {
+        base_rps: f64,
+        burst_rps: f64,
+        mean_base_s: f64,
+        mean_burst_s: f64,
+        in_burst: bool,
+        remaining_s: f64,
+    },
+    Trace {
+        gaps: Vec<f64>,
+        idx: usize,
+    },
+    Closed,
+}
+
+fn exp_sample(rng: &mut StdRng, mean: f64) -> f64 {
+    -mean * (1.0 - rng.gen_range(0.0f64..1.0)).ln()
+}
+
+impl ArrivalGen {
+    fn new(process: &ArrivalProcess, rng: &mut StdRng) -> Self {
+        match process {
+            ArrivalProcess::Poisson { rate_rps } => ArrivalGen::Poisson { rate: *rate_rps },
+            ArrivalProcess::Bursty {
+                base_rps,
+                burst_rps,
+                mean_base_s,
+                mean_burst_s,
+            } => ArrivalGen::Bursty {
+                base_rps: *base_rps,
+                burst_rps: *burst_rps,
+                mean_base_s: *mean_base_s,
+                mean_burst_s: *mean_burst_s,
+                in_burst: false,
+                remaining_s: exp_sample(rng, *mean_base_s),
+            },
+            ArrivalProcess::Trace { inter_arrival_s } => ArrivalGen::Trace {
+                gaps: inter_arrival_s.clone(),
+                idx: 0,
+            },
+            ArrivalProcess::ClosedLoop { .. } => ArrivalGen::Closed,
+        }
+    }
+
+    /// The gap to the next open-loop arrival.
+    fn next_gap(&mut self, rng: &mut StdRng) -> f64 {
+        match self {
+            ArrivalGen::Poisson { rate } => exp_sample(rng, 1.0 / *rate),
+            ArrivalGen::Bursty {
+                base_rps,
+                burst_rps,
+                mean_base_s,
+                mean_burst_s,
+                in_burst,
+                remaining_s,
+            } => {
+                let mut gap = 0.0;
+                loop {
+                    let rate = if *in_burst { *burst_rps } else { *base_rps };
+                    let e = exp_sample(rng, 1.0 / rate);
+                    if e <= *remaining_s {
+                        *remaining_s -= e;
+                        return gap + e;
+                    }
+                    // The modulating chain switches state before the next
+                    // arrival at the current rate would land.
+                    gap += *remaining_s;
+                    *in_burst = !*in_burst;
+                    let mean = if *in_burst {
+                        *mean_burst_s
+                    } else {
+                        *mean_base_s
+                    };
+                    *remaining_s = exp_sample(rng, mean);
+                }
+            }
+            ArrivalGen::Trace { gaps, idx } => {
+                let gap = gaps[*idx % gaps.len()];
+                *idx += 1;
+                gap
+            }
+            ArrivalGen::Closed => unreachable!("closed-loop arrivals are completion-driven"),
+        }
+    }
+}
+
+struct Sim<'a> {
+    policy: BatchPolicy,
+    service: ServiceModel,
+    table: CostTable,
+    traffic: &'a TrafficSpec,
+    router: Router,
+    shards: Vec<Shard>,
+    heap: BinaryHeap<Event>,
+    seq: u64,
+    arrival_rng: StdRng,
+    service_rng: StdRng,
+    gen: ArrivalGen,
+    /// Requests admitted so far (doubles as the next request id).
+    admitted: u64,
+    /// Arrival events pushed so far (bounded by `traffic.requests`).
+    scheduled: u64,
+    rr_next: usize,
+    queued: u64,
+    now: f64,
+    records: Vec<RequestRecord>,
+    busy_s: f64,
+    depth_integral: f64,
+    energy_j: f64,
+    batches: u64,
+    /// Time of the last batch completion — the outcome's makespan. (The
+    /// heap can outlive it by one armed deadline check firing on an empty
+    /// system; that no-op must not stretch the measured run.)
+    last_completion_s: f64,
+}
+
+impl Sim<'_> {
+    fn push(&mut self, time: f64, kind: EventKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Event { time, seq, kind });
+    }
+
+    fn route(&mut self, class: usize) -> usize {
+        let n = self.shards.len();
+        match self.router {
+            Router::RoundRobin => {
+                let s = self.rr_next;
+                self.rr_next = (self.rr_next + 1) % n;
+                s
+            }
+            Router::JoinShortestQueue => (0..n)
+                .min_by_key(|&s| (self.shards[s].depth(), s))
+                .expect("cluster has at least one replica"),
+            Router::NetworkAffinity => class % n,
+        }
+    }
+
+    /// The non-empty class whose head request arrived earliest, restricted
+    /// by `eligible`; ties break on admission id (= global FIFO).
+    fn earliest_head(
+        queues: &[VecDeque<Request>],
+        eligible: impl Fn(&VecDeque<Request>) -> bool,
+    ) -> Option<usize> {
+        let mut best: Option<(f64, u64, usize)> = None;
+        for (c, q) in queues.iter().enumerate() {
+            if !eligible(q) {
+                continue;
+            }
+            if let Some(r) = q.front() {
+                let better = best.is_none_or(|(t, id, _)| {
+                    matches!(
+                        r.arrival_s.total_cmp(&t).then(r.id.cmp(&id)),
+                        Ordering::Less
+                    )
+                });
+                if better {
+                    best = Some((r.arrival_s, r.id, c));
+                }
+            }
+        }
+        best.map(|(_, _, c)| c)
+    }
+
+    /// Applies the batching policy to one idle replica. `flush` forces a
+    /// partial dispatch (end-of-run drain, or a closed loop that can never
+    /// fill the batch).
+    fn try_dispatch(&mut self, shard: usize, flush: bool) {
+        if self.shards[shard].in_flight.is_some() {
+            return;
+        }
+        let queues = &self.shards[shard].queues;
+        // When a deadline policy declines, `arm` is the instant the oldest
+        // head's wait expires — the next moment a dispatch could trigger.
+        let mut arm: Option<f64> = None;
+        let pick: Option<(usize, u64)> = match self.policy {
+            BatchPolicy::Immediate => Self::earliest_head(queues, |_| true).map(|c| (c, 1)),
+            BatchPolicy::Fixed { size } => {
+                match Self::earliest_head(queues, |q| q.len() as u64 >= size) {
+                    Some(c) => Some((c, size)),
+                    None if flush => Self::earliest_head(queues, |_| true)
+                        .map(|c| (c, (queues[c].len() as u64).min(size))),
+                    None => None,
+                }
+            }
+            BatchPolicy::Deadline {
+                max_batch,
+                max_wait_s,
+            } => match Self::earliest_head(queues, |q| q.len() as u64 >= max_batch) {
+                Some(c) => Some((c, max_batch)),
+                None => match Self::earliest_head(queues, |_| true) {
+                    Some(c) => {
+                        let head = queues[c].front().expect("head exists");
+                        let expired = self.now - head.arrival_s >= max_wait_s - 1e-12;
+                        if expired || flush {
+                            Some((c, (queues[c].len() as u64).min(max_batch)))
+                        } else {
+                            arm = Some(head.arrival_s + max_wait_s);
+                            None
+                        }
+                    }
+                    None => None,
+                },
+            },
+        };
+        let Some((class, take)) = pick else {
+            // Arm (at most) one pending deadline check per shard; a stale
+            // armed time in the past means that check already fired.
+            if let Some(t) = arm {
+                if self.shards[shard]
+                    .armed_check_s
+                    .is_none_or(|a| a <= self.now)
+                {
+                    self.shards[shard].armed_check_s = Some(t);
+                    self.push(t, EventKind::DeadlineCheck { shard });
+                }
+            }
+            return;
+        };
+        let mut requests = Vec::with_capacity(take as usize);
+        for _ in 0..take {
+            let r = self.shards[shard].queues[class]
+                .pop_front()
+                .expect("picked batch exceeds queue");
+            requests.push(r);
+        }
+        self.queued -= take;
+        let base = self.table.service_s(class, take);
+        let svc = match self.service {
+            ServiceModel::Deterministic => base,
+            ServiceModel::ExponentialJitter => exp_sample(&mut self.service_rng, base),
+        };
+        self.busy_s += svc;
+        self.energy_j += self.table.energy_j(class, take);
+        self.batches += 1;
+        self.shards[shard].in_flight = Some(InFlight {
+            requests,
+            start_s: self.now,
+        });
+        let t = self.now + svc;
+        self.push(t, EventKind::Completion { shard });
+    }
+
+    fn on_arrival(&mut self) {
+        debug_assert!(self.admitted < self.traffic.requests);
+        let class = self.traffic.mix.sample(&mut self.arrival_rng);
+        let id = self.admitted;
+        self.admitted += 1;
+        let shard = self.route(class);
+        let arrival_s = self.now;
+        self.shards[shard].queues[class].push_back(Request {
+            id,
+            class,
+            arrival_s,
+        });
+        self.queued += 1;
+        if !self.traffic.process.is_closed() && self.scheduled < self.traffic.requests {
+            self.scheduled += 1;
+            let gap = self.gen.next_gap(&mut self.arrival_rng);
+            let t = self.now + gap;
+            self.push(t, EventKind::Arrival);
+        }
+        self.try_dispatch(shard, false);
+    }
+
+    fn on_completion(&mut self, shard: usize) {
+        let batch = self.shards[shard]
+            .in_flight
+            .take()
+            .expect("completion without an in-flight batch");
+        self.last_completion_s = self.now;
+        let size = batch.requests.len() as u64;
+        for r in &batch.requests {
+            self.records.push(RequestRecord {
+                id: r.id,
+                class: r.class,
+                shard,
+                arrival_s: r.arrival_s,
+                start_s: batch.start_s,
+                completion_s: self.now,
+                batch: size,
+            });
+        }
+        if let ArrivalProcess::ClosedLoop { think_s, .. } = self.traffic.process {
+            // Each completed request's client thinks, then issues the next.
+            for _ in 0..size {
+                if self.scheduled < self.traffic.requests {
+                    self.scheduled += 1;
+                    let t = self.now + think_s;
+                    self.push(t, EventKind::Arrival);
+                }
+            }
+        }
+        self.try_dispatch(shard, false);
+    }
+
+    fn run(&mut self) {
+        while let Some(ev) = self.heap.pop() {
+            self.depth_integral += self.queued as f64 * (ev.time - self.now);
+            self.now = ev.time;
+            match ev.kind {
+                EventKind::Arrival => self.on_arrival(),
+                EventKind::Completion { shard } => self.on_completion(shard),
+                EventKind::DeadlineCheck { shard } => {
+                    self.shards[shard].armed_check_s = None;
+                    self.try_dispatch(shard, false);
+                }
+            }
+            // Drain: no event can fill a batch any further, so flush the
+            // partial batches (also rescues closed loops whose concurrency
+            // is below a fixed batch size from deadlock).
+            if self.heap.is_empty() && self.queued > 0 {
+                for s in 0..self.shards.len() {
+                    self.try_dispatch(s, true);
+                }
+            }
+        }
+    }
+}
+
+/// Simulates one serving configuration to completion.
+///
+/// `seed` drives arrivals and mix sampling (and service jitter, from an
+/// independent stream): a fixed seed gives a bit-identical outcome, and the
+/// same seed under different policies/clusters sees the *same* arrival
+/// sequence, so policy comparisons are paired.
+///
+/// # Panics
+///
+/// Panics on a malformed configuration (zero batch size or replica count,
+/// non-positive arrival rates or mix weights, an empty trace or request
+/// mix). [`crate::ServingScenario`] performs the same checks up front and
+/// returns them as [`crate::ServingError`]s instead.
+#[must_use]
+pub fn run_serving(
+    backend: &dyn Evaluator,
+    memory: &DramSpec,
+    policy: BatchPolicy,
+    cluster: ClusterSpec,
+    traffic: &TrafficSpec,
+    service: ServiceModel,
+    seed: u64,
+) -> ServingOutcome {
+    for check in [
+        crate::scenario::validate_policy(&policy),
+        crate::scenario::validate_cluster(&cluster),
+        crate::scenario::validate_traffic(traffic),
+    ] {
+        if let Err(e) = check {
+            panic!("run_serving: {e}");
+        }
+    }
+    let table = CostTable::build(backend, memory, traffic, policy.max_batch());
+    let mut arrival_rng = StdRng::seed_from_u64(seed);
+    let service_rng = StdRng::seed_from_u64(seed ^ 0xA5A5_5A5A_DEAD_BEEF);
+    let gen = ArrivalGen::new(&traffic.process, &mut arrival_rng);
+    let mut sim = Sim {
+        policy,
+        service,
+        table,
+        traffic,
+        router: cluster.router,
+        shards: (0..cluster.replicas.max(1))
+            .map(|_| Shard::new(traffic.mix.classes()))
+            .collect(),
+        heap: BinaryHeap::new(),
+        seq: 0,
+        arrival_rng,
+        service_rng,
+        gen,
+        admitted: 0,
+        scheduled: 0,
+        rr_next: 0,
+        queued: 0,
+        now: 0.0,
+        records: Vec::with_capacity(traffic.requests as usize),
+        busy_s: 0.0,
+        depth_integral: 0.0,
+        energy_j: 0.0,
+        batches: 0,
+        last_completion_s: 0.0,
+    };
+    if traffic.requests > 0 {
+        match traffic.process {
+            ArrivalProcess::ClosedLoop { concurrency, .. } => {
+                let clients = concurrency.max(1).min(traffic.requests);
+                for _ in 0..clients {
+                    sim.push(0.0, EventKind::Arrival);
+                }
+                sim.scheduled = clients;
+            }
+            _ => {
+                let gap = sim.gen.next_gap(&mut sim.arrival_rng);
+                sim.push(gap, EventKind::Arrival);
+                sim.scheduled = 1;
+            }
+        }
+    }
+    sim.run();
+    ServingOutcome {
+        records: sim.records,
+        admitted: sim.admitted,
+        busy_s: sim.busy_s,
+        depth_integral: sim.depth_integral,
+        makespan_s: sim.last_completion_s,
+        energy_j: sim.energy_j,
+        batches: sim.batches,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrivals::RequestMix;
+    use bpvec_dnn::{BitwidthPolicy, NetworkId};
+    use bpvec_sim::{Measurement, Workload};
+
+    /// Constant per-inference latency backend: whole-batch cost is linear
+    /// in batch size, so it has no batching incentive — ideal for checking
+    /// the event loop itself.
+    struct ConstServer {
+        per_inference_s: f64,
+    }
+
+    impl Evaluator for ConstServer {
+        fn label(&self) -> String {
+            "const".into()
+        }
+
+        fn evaluate(
+            &self,
+            workload: &Workload,
+            network: &bpvec_dnn::Network,
+            _dram: &DramSpec,
+        ) -> Measurement {
+            Measurement {
+                latency_s: self.per_inference_s,
+                energy_j: 1e-3,
+                macs: network.total_macs(),
+                batch: workload.batch(),
+                gops_per_watt: 1.0,
+            }
+        }
+    }
+
+    fn traffic(process: ArrivalProcess, requests: u64) -> TrafficSpec {
+        TrafficSpec::new(
+            "t",
+            process,
+            RequestMix::single(Workload::new(NetworkId::Rnn, BitwidthPolicy::Homogeneous8)),
+            requests,
+        )
+    }
+
+    fn run(policy: BatchPolicy, process: ArrivalProcess, requests: u64) -> ServingOutcome {
+        run_serving(
+            &ConstServer {
+                per_inference_s: 1e-3,
+            },
+            &DramSpec::ddr4(),
+            policy,
+            ClusterSpec::single(),
+            &traffic(process, requests),
+            ServiceModel::Deterministic,
+            7,
+        )
+    }
+
+    #[test]
+    fn every_request_completes_exactly_once() {
+        let out = run(
+            BatchPolicy::immediate(),
+            ArrivalProcess::poisson(500.0),
+            400,
+        );
+        assert_eq!(out.admitted, 400);
+        let mut ids: Vec<u64> = out.records.iter().map(|r| r.id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..400).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn identical_seeds_give_identical_outcomes() {
+        let a = run(
+            BatchPolicy::deadline(8, 0.002),
+            ArrivalProcess::bursty(200.0, 2000.0, 0.02, 0.005),
+            500,
+        );
+        let b = run(
+            BatchPolicy::deadline(8, 0.002),
+            ArrivalProcess::bursty(200.0, 2000.0, 0.02, 0.005),
+            500,
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn closed_loop_never_exceeds_concurrency_in_flight() {
+        let out = run(
+            BatchPolicy::immediate(),
+            ArrivalProcess::closed_loop(3, 0.0005),
+            300,
+        );
+        assert_eq!(out.records.len(), 300);
+        // With 3 clients and batch-1 service, at most 3 requests can be in
+        // the system, so sojourn is bounded by 3 service times.
+        for r in &out.records {
+            assert!(r.sojourn_s() <= 3.0 * 1e-3 + 1e-9, "{}", r.sojourn_s());
+        }
+    }
+
+    #[test]
+    fn closed_loop_with_oversized_fixed_batch_does_not_deadlock() {
+        // 2 clients can never fill a batch of 8; the drain flush must keep
+        // the loop alive.
+        let out = run(
+            BatchPolicy::fixed(8),
+            ArrivalProcess::closed_loop(2, 0.0),
+            100,
+        );
+        assert_eq!(out.records.len(), 100);
+        assert!(out.records.iter().all(|r| r.batch <= 8));
+    }
+
+    #[test]
+    fn fixed_batching_dispatches_full_batches_under_backlog() {
+        // Heavy overload: everything queues, so all batches (except the
+        // final drain) are full.
+        let out = run(
+            BatchPolicy::fixed(4),
+            ArrivalProcess::poisson(10_000.0),
+            401,
+        );
+        let full = out.records.iter().filter(|r| r.batch == 4).count();
+        assert!(full >= 400, "{full}");
+    }
+
+    #[test]
+    fn trace_replay_is_exact() {
+        let out = run(
+            BatchPolicy::immediate(),
+            ArrivalProcess::trace(vec![0.25, 0.5, 0.25]),
+            4,
+        );
+        let mut arrivals: Vec<f64> = out.records.iter().map(|r| r.arrival_s).collect();
+        arrivals.sort_by(f64::total_cmp);
+        // Gaps cycle: 0.25, 0.5, 0.25, 0.25 (wraps).
+        let expect = [0.25, 0.75, 1.0, 1.25];
+        for (a, e) in arrivals.iter().zip(expect) {
+            assert!((a - e).abs() < 1e-12, "{a} vs {e}");
+        }
+    }
+
+    #[test]
+    fn utilization_accounting_is_consistent() {
+        let out = run(
+            BatchPolicy::immediate(),
+            ArrivalProcess::poisson(400.0),
+            1000,
+        );
+        // 1000 batch-1 dispatches of 1 ms each.
+        assert!((out.busy_s - 1.0).abs() < 1e-9, "{}", out.busy_s);
+        assert_eq!(out.batches, 1000);
+        assert!(out.makespan_s >= out.busy_s * 0.9);
+        assert!((out.energy_j - 1.0).abs() < 1e-9, "{}", out.energy_j);
+    }
+
+    #[test]
+    fn deadline_policy_dispatches_before_max_wait_when_full() {
+        // Backlogged: batches fill instantly, nobody waits out the deadline.
+        let out = run(
+            BatchPolicy::deadline(4, 10.0),
+            ArrivalProcess::poisson(50_000.0),
+            400,
+        );
+        assert!(out.records.iter().all(|r| r.batch <= 4));
+        let full = out.records.iter().filter(|r| r.batch == 4).count();
+        assert!(full > 300, "{full}");
+    }
+
+    #[test]
+    fn deadline_policy_flushes_a_lone_request_at_max_wait() {
+        let out = run(
+            BatchPolicy::deadline(64, 0.010),
+            ArrivalProcess::trace(vec![1.0]),
+            1,
+        );
+        let r = &out.records[0];
+        assert_eq!(r.batch, 1);
+        // Dispatched at arrival + max_wait, not at drain.
+        assert!((r.start_s - r.arrival_s - 0.010).abs() < 1e-9);
+    }
+
+    #[test]
+    fn makespan_is_the_last_completion_not_a_stale_deadline_check() {
+        // 400 requests at 50k rps complete in well under a second; the
+        // 10 s deadline must not leak into the measured makespan through
+        // a stale check firing on the drained system.
+        let out = run(
+            BatchPolicy::deadline(4, 10.0),
+            ArrivalProcess::poisson(50_000.0),
+            400,
+        );
+        let last = out
+            .records
+            .iter()
+            .map(|r| r.completion_s)
+            .fold(0.0f64, f64::max);
+        assert_eq!(out.makespan_s, last);
+        assert!(out.makespan_s < 1.0, "{}", out.makespan_s);
+    }
+
+    #[test]
+    #[should_panic(
+        expected = "run_serving: traffic `t`: trace needs at least one non-negative gap"
+    )]
+    fn degenerate_inputs_panic_with_a_clear_message() {
+        let _ = run(BatchPolicy::immediate(), ArrivalProcess::trace(vec![]), 10);
+    }
+
+    #[test]
+    fn affinity_routing_pins_classes_to_shards() {
+        let mix = RequestMix::new()
+            .and(
+                Workload::new(NetworkId::ResNet18, BitwidthPolicy::Homogeneous8),
+                1.0,
+            )
+            .and(
+                Workload::new(NetworkId::Lstm, BitwidthPolicy::Homogeneous8),
+                1.0,
+            );
+        let t = TrafficSpec::new("mix", ArrivalProcess::poisson(500.0), mix, 400);
+        let out = run_serving(
+            &ConstServer {
+                per_inference_s: 1e-3,
+            },
+            &DramSpec::ddr4(),
+            BatchPolicy::immediate(),
+            ClusterSpec::new(2, Router::NetworkAffinity),
+            &t,
+            ServiceModel::Deterministic,
+            3,
+        );
+        for r in &out.records {
+            assert_eq!(r.shard, r.class % 2);
+        }
+    }
+
+    #[test]
+    fn jsq_spreads_load_across_replicas() {
+        let t = traffic(ArrivalProcess::poisson(3000.0), 2000);
+        let out = run_serving(
+            &ConstServer {
+                per_inference_s: 1e-3,
+            },
+            &DramSpec::ddr4(),
+            BatchPolicy::immediate(),
+            ClusterSpec::new(4, Router::JoinShortestQueue),
+            &t,
+            ServiceModel::Deterministic,
+            11,
+        );
+        for s in 0..4 {
+            let n = out.records.iter().filter(|r| r.shard == s).count();
+            assert!(n > 300, "shard {s} served only {n}");
+        }
+    }
+}

@@ -1,0 +1,306 @@
+//! Scheduler-invariant property tests and closed-form queueing checks.
+//!
+//! The invariants any correct batching scheduler must uphold, checked over
+//! randomized policies, arrival processes, and cluster shapes:
+//!
+//! * **conservation** — every admitted request completes exactly once;
+//! * **batch cap** — no dispatched batch exceeds the policy's maximum;
+//! * **class FIFO** — within a network class, requests start service in
+//!   arrival order.
+//!
+//! Plus analytical sanity: a Poisson + immediate + single-replica
+//! configuration with exponential service jitter is a textbook M/M/1 whose
+//! mean sojourn is `1/(μ−λ)`, and with deterministic service an M/D/1 with
+//! `S + ρS/(2(1−ρ))` — the simulator must land within 5% of both.
+
+use bpvec_dnn::{BitwidthPolicy, Network, NetworkId};
+use bpvec_serve::{
+    run_serving, ArrivalProcess, BatchPolicy, ClusterSpec, RequestMix, Router, ServiceModel,
+    ServingMetrics, ServingOutcome, TrafficSpec,
+};
+use bpvec_sim::{DramSpec, Evaluator, Measurement, Workload};
+use proptest::prelude::*;
+
+/// Constant per-inference latency backend: service cost is `s · batch`, so
+/// the event loop (not the analytical model) is what gets exercised.
+struct ConstServer {
+    per_inference_s: f64,
+}
+
+impl Evaluator for ConstServer {
+    fn label(&self) -> String {
+        "const".into()
+    }
+
+    fn evaluate(&self, workload: &Workload, network: &Network, _dram: &DramSpec) -> Measurement {
+        Measurement {
+            latency_s: self.per_inference_s,
+            energy_j: 1e-3,
+            macs: network.total_macs(),
+            batch: workload.batch(),
+            gops_per_watt: 1.0,
+        }
+    }
+}
+
+fn two_class_mix() -> RequestMix {
+    RequestMix::new()
+        .and(
+            Workload::new(NetworkId::ResNet18, BitwidthPolicy::Homogeneous8),
+            3.0,
+        )
+        .and(
+            Workload::new(NetworkId::Lstm, BitwidthPolicy::Homogeneous8),
+            1.0,
+        )
+}
+
+fn arb_policy() -> impl Strategy<Value = BatchPolicy> {
+    prop_oneof![
+        Just(BatchPolicy::immediate()),
+        (1u64..=8).prop_map(BatchPolicy::fixed),
+        ((1u64..=16), (0.0f64..0.004)).prop_map(|(b, w)| BatchPolicy::deadline(b, w)),
+    ]
+}
+
+fn arb_process() -> impl Strategy<Value = ArrivalProcess> {
+    prop_oneof![
+        (100.0f64..2000.0).prop_map(ArrivalProcess::poisson),
+        ((100.0f64..400.0), (800.0f64..2500.0))
+            .prop_map(|(base, burst)| ArrivalProcess::bursty(base, burst, 0.02, 0.005)),
+        Just(ArrivalProcess::trace(vec![
+            0.001, 0.0, 0.002, 0.0005, 0.0, 0.003,
+        ])),
+        ((1u64..=6), (0.0f64..0.002)).prop_map(|(c, think)| ArrivalProcess::closed_loop(c, think)),
+    ]
+}
+
+fn arb_cluster() -> impl Strategy<Value = ClusterSpec> {
+    (
+        1u32..=4,
+        prop_oneof![
+            Just(Router::RoundRobin),
+            Just(Router::JoinShortestQueue),
+            Just(Router::NetworkAffinity),
+        ],
+    )
+        .prop_map(|(replicas, router)| ClusterSpec::new(replicas, router))
+}
+
+fn outcome_for(
+    policy: BatchPolicy,
+    process: ArrivalProcess,
+    cluster: ClusterSpec,
+    seed: u64,
+) -> ServingOutcome {
+    let traffic = TrafficSpec::new("prop", process, two_class_mix(), 300);
+    run_serving(
+        &ConstServer {
+            per_inference_s: 1e-3,
+        },
+        &DramSpec::ddr4(),
+        policy,
+        cluster,
+        &traffic,
+        ServiceModel::Deterministic,
+        seed,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Conservation: every admitted request completes exactly once, with a
+    /// causally ordered lifecycle.
+    #[test]
+    fn every_admitted_request_completes_exactly_once(
+        policy in arb_policy(),
+        process in arb_process(),
+        cluster in arb_cluster(),
+        seed in 0u64..1000,
+    ) {
+        let out = outcome_for(policy, process, cluster, seed);
+        prop_assert_eq!(out.admitted, 300);
+        prop_assert_eq!(out.records.len(), 300);
+        let mut ids: Vec<u64> = out.records.iter().map(|r| r.id).collect();
+        ids.sort_unstable();
+        prop_assert_eq!(ids, (0..300).collect::<Vec<u64>>());
+        for r in &out.records {
+            prop_assert!(r.arrival_s <= r.start_s, "{} > {}", r.arrival_s, r.start_s);
+            prop_assert!(r.start_s <= r.completion_s);
+        }
+    }
+
+    /// No dispatched batch ever exceeds the policy's cap.
+    #[test]
+    fn batches_respect_the_policy_cap(
+        policy in arb_policy(),
+        process in arb_process(),
+        cluster in arb_cluster(),
+        seed in 0u64..1000,
+    ) {
+        let out = outcome_for(policy, process, cluster, seed);
+        let cap = policy.max_batch();
+        for r in &out.records {
+            prop_assert!(r.batch >= 1 && r.batch <= cap, "batch {} vs cap {cap}", r.batch);
+        }
+    }
+
+    /// FIFO within a network class: requests of the same class start
+    /// service in admission order (admission ids are arrival-ordered).
+    #[test]
+    fn fifo_within_each_class(
+        policy in arb_policy(),
+        process in arb_process(),
+        cluster in arb_cluster(),
+        seed in 0u64..1000,
+    ) {
+        let out = outcome_for(policy, process, cluster, seed);
+        for class in 0..2 {
+            // Per replica: routing may interleave classes across shards,
+            // but each shard must serve its own class queue FIFO.
+            for shard in 0..4 {
+                let mut in_order: Vec<(u64, f64)> = out
+                    .records
+                    .iter()
+                    .filter(|r| r.class == class && r.shard == shard)
+                    .map(|r| (r.id, r.start_s))
+                    .collect();
+                in_order.sort_by_key(|(id, _)| *id);
+                for pair in in_order.windows(2) {
+                    prop_assert!(
+                        pair[0].1 <= pair[1].1,
+                        "class {class} shard {shard}: id {} started {} after id {} at {}",
+                        pair[0].0,
+                        pair[0].1,
+                        pair[1].0,
+                        pair[1].1
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// M/M/1: Poisson arrivals, exponential service, one server, no batching.
+/// Closed form: mean sojourn `T = 1/(μ − λ)`.
+#[test]
+fn mm1_mean_sojourn_matches_closed_form_within_5pct() {
+    let s = 1e-3; // μ = 1000/s
+    let lambda = 600.0; // ρ = 0.6
+    let traffic = TrafficSpec::new(
+        "mm1",
+        ArrivalProcess::poisson(lambda),
+        RequestMix::single(Workload::new(NetworkId::Rnn, BitwidthPolicy::Homogeneous8)),
+        60_000,
+    )
+    .with_warmup(5_000);
+    let out = run_serving(
+        &ConstServer { per_inference_s: s },
+        &DramSpec::ddr4(),
+        BatchPolicy::immediate(),
+        ClusterSpec::single(),
+        &traffic,
+        ServiceModel::ExponentialJitter,
+        42,
+    );
+    let m = ServingMetrics::from_outcome(&out, 1, traffic.warmup, None);
+    let expect = 1.0 / (1.0 / s - lambda); // 2.5 ms
+    let rel = (m.latency.mean_s - expect).abs() / expect;
+    assert!(
+        rel < 0.05,
+        "M/M/1 mean sojourn {:.6} vs closed-form {:.6} ({:.1}% off)",
+        m.latency.mean_s,
+        expect,
+        rel * 100.0
+    );
+    // Utilization must track ρ as well.
+    assert!((m.utilization - 0.6).abs() < 0.03, "{}", m.utilization);
+}
+
+/// M/D/1: same setup with deterministic service. Closed form:
+/// `T = S + ρS/(2(1−ρ))`.
+#[test]
+fn md1_mean_sojourn_matches_closed_form_within_5pct() {
+    let s = 1e-3;
+    let lambda = 600.0;
+    let rho: f64 = 0.6;
+    let traffic = TrafficSpec::new(
+        "md1",
+        ArrivalProcess::poisson(lambda),
+        RequestMix::single(Workload::new(NetworkId::Rnn, BitwidthPolicy::Homogeneous8)),
+        60_000,
+    )
+    .with_warmup(5_000);
+    let out = run_serving(
+        &ConstServer { per_inference_s: s },
+        &DramSpec::ddr4(),
+        BatchPolicy::immediate(),
+        ClusterSpec::single(),
+        &traffic,
+        ServiceModel::Deterministic,
+        42,
+    );
+    let m = ServingMetrics::from_outcome(&out, 1, traffic.warmup, None);
+    let expect = s + rho * s / (2.0 * (1.0 - rho)); // 1.375 ms
+    let rel = (m.latency.mean_s - expect).abs() / expect;
+    assert!(
+        rel < 0.05,
+        "M/D/1 mean sojourn {:.6} vs closed-form {:.6} ({:.1}% off)",
+        m.latency.mean_s,
+        expect,
+        rel * 100.0
+    );
+}
+
+/// The acceptance-criterion behavior: on a real CNN backend under high
+/// load, deadline-aware dynamic batching beats immediate dispatch on p99
+/// latency. AlexNet's huge FC layers make it weight-traffic-bound at batch
+/// 1, so the backend's `BatchRegime` batch costs are strongly sub-linear
+/// (per-inference latency drops 5.0 → 1.6 ms from batch 1 to 16, then
+/// rises again at 32 under tile spill) — batching raises service capacity.
+#[test]
+fn dynamic_batching_beats_immediate_p99_under_high_load() {
+    use bpvec_sim::AcceleratorConfig;
+    let accel = AcceleratorConfig::bpvec();
+    let w = Workload::new(NetworkId::AlexNet, BitwidthPolicy::Homogeneous8);
+    let net = w.build();
+    let s1 = accel
+        .evaluate(
+            &w.with_batching(bpvec_sim::BatchRegime::fixed(1)),
+            &net,
+            &DramSpec::ddr4(),
+        )
+        .latency_s;
+    // 1.2× the batch-1 capacity: immediate dispatch is overloaded, dynamic
+    // batching is not.
+    let traffic = TrafficSpec::new(
+        "overload",
+        ArrivalProcess::poisson(1.2 / s1),
+        RequestMix::single(w),
+        1_500,
+    )
+    .with_warmup(150);
+    let run = |policy| {
+        let out = run_serving(
+            &accel,
+            &DramSpec::ddr4(),
+            policy,
+            ClusterSpec::single(),
+            &traffic,
+            ServiceModel::Deterministic,
+            9,
+        );
+        ServingMetrics::from_outcome(&out, 1, traffic.warmup, None)
+    };
+    let immediate = run(BatchPolicy::immediate());
+    let dynamic = run(BatchPolicy::deadline(16, 4.0 * s1));
+    assert!(
+        dynamic.latency.p99_s < immediate.latency.p99_s,
+        "dynamic p99 {:.6}s must beat immediate p99 {:.6}s",
+        dynamic.latency.p99_s,
+        immediate.latency.p99_s
+    );
+    assert!(dynamic.mean_batch > 1.5, "{}", dynamic.mean_batch);
+    assert!(dynamic.throughput_rps > immediate.throughput_rps);
+}

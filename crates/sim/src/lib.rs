@@ -35,6 +35,11 @@
 //! * [`experiments`] — Figures 5–8 as ~10-line scenario declarations, with
 //!   the paper's reported series alongside for comparison.
 //!
+//! The `bpvec-serve` crate builds on this API from the other side: it
+//! drives any [`Evaluator`] as the backend of a discrete-event
+//! inference-serving simulation (arrival processes, dynamic batching over
+//! [`BatchRegime`] batch costs, sharded clusters, tail-latency metrics).
+//!
 //! ## Declaring an experiment
 //!
 //! ```

@@ -345,14 +345,28 @@ impl Scenario {
         self
     }
 
-    /// Re-attaches an external backend to a deserialized scenario. The
-    /// evaluator's label must match an unresolved `Custom` platform.
+    /// Re-attaches an external backend to a deserialized scenario; see
+    /// [`Scenario::try_attach`] for the fallible form.
     ///
     /// # Panics
     ///
     /// Panics if no unresolved platform carries the evaluator's label.
     #[must_use]
-    pub fn attach(mut self, platform: impl Evaluator + 'static) -> Self {
+    pub fn attach(self, platform: impl Evaluator + 'static) -> Self {
+        let name = self.spec.name.clone();
+        match self.try_attach(platform) {
+            Ok(scenario) => scenario,
+            Err(e) => panic!("scenario `{name}`: {e}"),
+        }
+    }
+
+    /// Re-attaches an external backend to a deserialized scenario. The
+    /// evaluator's label must match an unresolved `Custom` platform.
+    ///
+    /// # Errors
+    ///
+    /// Fails if no unresolved platform carries the evaluator's label.
+    pub fn try_attach(mut self, platform: impl Evaluator + 'static) -> Result<Self, ScenarioError> {
         let label = platform.label();
         let slot = self
             .spec
@@ -362,9 +376,13 @@ impl Scenario {
             .find_map(|(spec, slot)| (slot.is_none() && spec.label() == label).then_some(slot));
         match slot {
             Some(slot) => *slot = Some(Arc::new(platform)),
-            None => panic!("no unresolved platform labeled `{label}` to attach to"),
+            None => {
+                return Err(ScenarioError(format!(
+                    "no unresolved platform labeled `{label}` to attach to"
+                )))
+            }
         }
-        self
+        Ok(self)
     }
 
     /// Runs the scenario; see [`Scenario::try_run`] for the fallible form.
@@ -953,6 +971,35 @@ mod tests {
                 .latency_s,
             1.0
         );
+    }
+
+    #[test]
+    fn try_attach_rejects_unmatched_labels_without_aborting() {
+        struct Misnamed;
+        impl Evaluator for Misnamed {
+            fn label(&self) -> String {
+                "Misnamed".into()
+            }
+            fn evaluate(&self, w: &Workload, n: &Network, _: &DramSpec) -> Measurement {
+                Measurement {
+                    latency_s: 1.0,
+                    energy_j: 1.0,
+                    macs: n.total_macs(),
+                    batch: w.batch(),
+                    gops_per_watt: 1.0,
+                }
+            }
+        }
+        // No unresolved platform at all: every slot is an Accelerator.
+        let err = fig5_scenario().try_attach(Misnamed).unwrap_err();
+        assert!(err.to_string().contains("no unresolved platform"));
+        assert!(err.to_string().contains("Misnamed"));
+    }
+
+    #[test]
+    #[should_panic(expected = "no unresolved platform labeled `BPVeC`")]
+    fn attach_remains_a_panicking_convenience() {
+        let _ = fig5_scenario().attach(AcceleratorConfig::bpvec());
     }
 
     #[test]

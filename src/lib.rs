@@ -12,6 +12,9 @@
 //!   integer inference engine.
 //! * [`sim`] — the BPVeC accelerator simulator plus the TPU-like and
 //!   BitFusion baselines (Figures 5–8).
+//! * [`serve`] — the discrete-event inference-serving simulator: arrival
+//!   processes, dynamic batching, sharded clusters, and tail-latency
+//!   metrics over any `Evaluator` backend.
 //! * [`isa`] — the accelerator's instruction set, the network→program
 //!   lowering pass, and the instruction-level machine model.
 //! * [`gpumodel`] — the RTX 2080 Ti analytical comparison model (Figure 9).
@@ -46,4 +49,5 @@ pub use bpvec_dnn as dnn;
 pub use bpvec_gpumodel as gpumodel;
 pub use bpvec_hwmodel as hwmodel;
 pub use bpvec_isa as isa;
+pub use bpvec_serve as serve;
 pub use bpvec_sim as sim;
