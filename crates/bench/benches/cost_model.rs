@@ -1,0 +1,131 @@
+//! Criterion bench of the shared, memoized `CostModel` against the
+//! uncached engine on a full platforms × workloads × batch-sizes sweep —
+//! the acceptance check for the cost-model refactor (target: ≥ 2× on the
+//! sweep).
+//!
+//! Besides the criterion output, running this bench writes
+//! `BENCH_costmodel.json` at the workspace root with the headline
+//! cached/uncached timings and the measured speedup, so CI can track it
+//! next to `BENCH_serving.json`.
+
+use std::time::Instant;
+
+use bpvec_dnn::{BitwidthPolicy, Network, PrecisionPolicy};
+use bpvec_sim::{
+    simulate, AcceleratorConfig, BatchRegime, CostModel, DramSpec, SimConfig, Workload,
+};
+use criterion::{black_box, criterion_group, Criterion, Throughput};
+
+const BATCHES: [u64; 5] = [1, 4, 8, 16, 32];
+
+fn platforms() -> Vec<AcceleratorConfig> {
+    vec![
+        AcceleratorConfig::tpu_like(),
+        AcceleratorConfig::bitfusion(),
+        AcceleratorConfig::bpvec(),
+    ]
+}
+
+/// The swept workload set: Table I under both presets plus a uniform-4
+/// precision point (precision is a first-class sweep axis now).
+fn networks() -> Vec<Network> {
+    let mut workloads = Workload::table1(BitwidthPolicy::Homogeneous8);
+    workloads.extend(Workload::table1(BitwidthPolicy::Heterogeneous));
+    workloads.extend(Workload::table1(PrecisionPolicy::uniform(
+        bpvec_core::BitWidth::INT4,
+    )));
+    workloads.iter().map(Workload::build).collect()
+}
+
+/// One full sweep pass; `cost` selects the cached path.
+fn sweep(networks: &[Network], cost: Option<&CostModel>) -> f64 {
+    let dram = DramSpec::ddr4();
+    let mut acc = 0.0f64;
+    for accel in platforms() {
+        for net in networks {
+            for b in BATCHES {
+                let mut cfg = SimConfig::new(accel, dram);
+                cfg.batching = BatchRegime::fixed(b);
+                let r = match cost {
+                    Some(model) => model.simulate(net, &cfg),
+                    None => simulate(net, &cfg),
+                };
+                acc += r.latency_s;
+            }
+        }
+    }
+    acc
+}
+
+fn cells() -> u64 {
+    (platforms().len() * networks().len() * BATCHES.len()) as u64
+}
+
+fn bench(c: &mut Criterion) {
+    let nets = networks();
+    let mut g = c.benchmark_group("cost_model");
+    g.throughput(Throughput::Elements(cells()));
+    g.bench_function("sweep_uncached", |b| {
+        b.iter(|| black_box(sweep(&nets, None)))
+    });
+    g.bench_function("sweep_shared_cost_model", |b| {
+        // A fresh model per iteration: the measured speedup is what one
+        // scenario run gets, not an artifact of a pre-warmed cache.
+        b.iter(|| {
+            let model = CostModel::new();
+            black_box(sweep(&nets, Some(&model)))
+        })
+    });
+    g.bench_function("sweep_warm_cost_model", |b| {
+        // The steady state: every later run over a warm model (repeated
+        // figures, serving tables) is pure lookups.
+        let model = CostModel::new();
+        let _ = sweep(&nets, Some(&model));
+        b.iter(|| black_box(sweep(&nets, Some(&model))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+
+fn best_of(reps: u32, mut f: impl FnMut() -> f64) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        black_box(f());
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    benches();
+    // Machine-readable summary for CI, written at the workspace root
+    // (cargo sets a bench's cwd to the package directory).
+    let nets = networks();
+    let uncached = best_of(5, || sweep(&nets, None));
+    let cached = best_of(5, || {
+        let model = CostModel::new();
+        sweep(&nets, Some(&model))
+    });
+    let model = CostModel::new();
+    let _ = sweep(&nets, Some(&model));
+    let warm = best_of(5, || sweep(&nets, Some(&model)));
+    let speedup = uncached / cached;
+    let json = format!(
+        "{{\n  \"bench\": \"cost_model\",\n  \"sweep_cells\": {},\n  \
+         \"uncached_s\": {uncached:.6},\n  \"shared_cost_model_s\": {cached:.6},\n  \
+         \"warm_cost_model_s\": {warm:.6},\n  \"speedup_shared_vs_uncached\": {speedup:.2},\n  \
+         \"speedup_warm_vs_uncached\": {:.2}\n}}\n",
+        cells(),
+        uncached / warm,
+    );
+    let out_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_costmodel.json");
+    std::fs::write(out_path, &json).expect("write BENCH_costmodel.json");
+    print!("{json}");
+    assert!(
+        speedup >= 2.0,
+        "shared CostModel must be at least 2x the uncached sweep, got {speedup:.2}x"
+    );
+    println!("wrote BENCH_costmodel.json");
+}

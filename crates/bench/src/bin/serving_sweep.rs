@@ -20,12 +20,18 @@ fn main() {
     let dram = DramSpec::ddr4();
     let cnn = Workload::new(NetworkId::AlexNet, BitwidthPolicy::Homogeneous8);
     let rnn = Workload::new(NetworkId::Lstm, BitwidthPolicy::Homogeneous8);
-    let mix = RequestMix::new().and(cnn, 0.8).and(rnn, 0.2);
+    let mix = RequestMix::new()
+        .and(cnn.clone(), 0.8)
+        .and(rnn.clone(), 0.2);
 
     // Mean batch-1 service time over the mix -> unbatched capacity.
     let s1 = |w: &Workload| {
         accel
-            .evaluate(&w.with_batching(BatchRegime::fixed(1)), &w.build(), &dram)
+            .evaluate(
+                &w.clone().with_batching(BatchRegime::fixed(1)),
+                &w.build(),
+                &dram,
+            )
             .latency_s
     };
     let mean_s1 = 0.8 * s1(&cnn) + 0.2 * s1(&rnn);

@@ -18,6 +18,7 @@
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::str::FromStr;
 
 use crate::error::CoreError;
 
@@ -108,6 +109,24 @@ impl TryFrom<u32> for BitWidth {
     }
 }
 
+/// Parses the spellings precision policies use on CLIs and in CSV: a bare
+/// width (`"4"`), the [`fmt::Display`] form (`"4b"`), or the datatype name
+/// (`"int4"` / `"INT4"`).
+impl FromStr for BitWidth {
+    type Err = CoreError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let t = s.trim().to_ascii_lowercase();
+        let t = t.strip_prefix("int").unwrap_or(&t);
+        let t = t.strip_suffix('b').unwrap_or(t);
+        let bits: u32 = t.parse().map_err(|_| CoreError::ParseWidth {
+            what: "bitwidth",
+            input: s.to_string(),
+        })?;
+        BitWidth::new(bits)
+    }
+}
+
 /// A slice (bit-group) width: the operand width of the narrow multipliers.
 ///
 /// The paper explores 1-bit and 2-bit slicing in Figure 4 (and mentions 4-bit
@@ -161,6 +180,23 @@ impl TryFrom<u32> for SliceWidth {
     type Error = CoreError;
 
     fn try_from(bits: u32) -> Result<Self, Self::Error> {
+        SliceWidth::new(bits)
+    }
+}
+
+/// Parses a bare width (`"2"`), the short form (`"2b"`), or the
+/// [`fmt::Display`] form (`"2b-slice"`).
+impl FromStr for SliceWidth {
+    type Err = CoreError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let t = s.trim().to_ascii_lowercase();
+        let t = t.strip_suffix("-slice").unwrap_or(&t);
+        let t = t.strip_suffix('b').unwrap_or(t);
+        let bits: u32 = t.parse().map_err(|_| CoreError::ParseWidth {
+            what: "slice width",
+            input: s.to_string(),
+        })?;
         SliceWidth::new(bits)
     }
 }

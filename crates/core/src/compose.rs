@@ -12,6 +12,8 @@
 //!   clusters' contributions to different output scalars).
 
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
 
 use crate::bitslice::{BitWidth, SliceWidth};
 use crate::error::CoreError;
@@ -73,6 +75,44 @@ impl Composition {
             clusters,
             idle_nbves,
         })
+    }
+
+    /// [`Composition::plan`] through a process-wide memo keyed by
+    /// `(total_nbves, slice_width, bwx, bww)`.
+    ///
+    /// Planning is pure, and the key domain is tiny (NBVE counts × four
+    /// slice widths × 8×8 operand widths), so repeated planning on a hot
+    /// path — every dot-product issue, every cost-model layer — collapses
+    /// to a hash lookup. Errors are not cached; the invalid-geometry check
+    /// is cheaper than the map probe.
+    ///
+    /// # Errors
+    ///
+    /// Exactly [`Composition::plan`]'s: [`CoreError::CompositionTooLarge`]
+    /// when a single cluster would need more NBVEs than the CVU has.
+    pub fn plan_cached(
+        total_nbves: usize,
+        slice_width: SliceWidth,
+        bwx: BitWidth,
+        bww: BitWidth,
+    ) -> Result<Self, CoreError> {
+        type PlanKey = (usize, u32, u32, u32);
+        static CACHE: OnceLock<Mutex<HashMap<PlanKey, Composition>>> = OnceLock::new();
+        let key = (total_nbves, slice_width.bits(), bwx.bits(), bww.bits());
+        let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+        if let Some(hit) = cache
+            .lock()
+            .expect("composition plan cache poisoned")
+            .get(&key)
+        {
+            return Ok(hit.clone());
+        }
+        let planned = Composition::plan(total_nbves, slice_width, bwx, bww)?;
+        cache
+            .lock()
+            .expect("composition plan cache poisoned")
+            .insert(key, planned.clone());
+        Ok(planned)
     }
 
     /// The slice width the NBVE multipliers operate at.

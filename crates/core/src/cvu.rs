@@ -134,7 +134,7 @@ impl Cvu {
                 bits: bwx.bits().max(bww.bits()),
             });
         }
-        Composition::plan(self.config.num_nbves, self.config.slice_width, bwx, bww)
+        Composition::plan_cached(self.config.num_nbves, self.config.slice_width, bwx, bww)
     }
 
     /// Element pairs processed per cycle under bitwidths `(bwx, bww)`.

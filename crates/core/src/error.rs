@@ -47,6 +47,13 @@ pub enum CoreError {
         /// Bits provided by the hardware.
         provided_bits: u32,
     },
+    /// A width string (`"int4"`, `"2b"`, …) could not be parsed.
+    ParseWidth {
+        /// What was being parsed ("bitwidth" or "slice width").
+        what: &'static str,
+        /// The rejected input.
+        input: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -86,6 +93,9 @@ impl fmt::Display for CoreError {
                 f,
                 "accumulation needs {required_bits} bits but hardware provides {provided_bits}"
             ),
+            CoreError::ParseWidth { what, input } => {
+                write!(f, "cannot parse `{input}` as a {what}")
+            }
         }
     }
 }

@@ -9,7 +9,12 @@ use bpvec_core::BitWidth;
 use serde::{Deserialize, Serialize};
 
 /// The operation a layer performs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// `Hash`/`Eq` make the kind usable as a memoization key: a layer's cost
+/// depends only on its geometry, operand bitwidths, and batch — not its
+/// name — so identical shapes (e.g. the repeated blocks of a ResNet stage)
+/// share cache entries in `bpvec_sim`'s cost model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum LayerKind {
     /// 2-D convolution over NCHW activations with OIHW weights.
     Conv2d {

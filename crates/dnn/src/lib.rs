@@ -15,6 +15,10 @@
 //!   multiply-accumulate counts, parameter/activation footprints;
 //! * [`models`] — faithful architecture descriptions of the six networks
 //!   with the paper's per-layer bitwidth assignments;
+//! * [`precision`] — [`PrecisionPolicy`]: per-layer precision as a
+//!   first-class dimension (presets, uniform `(bx, bw)` policies, explicit
+//!   per-layer assignments, and the sweep generator behind precision
+//!   experiments);
 //! * [`reference`](mod@crate::reference) — exact integer reference implementations (conv2d, GEMM,
 //!   recurrent cells) used to validate the CVU functional model end-to-end.
 //!
@@ -29,6 +33,7 @@
 pub mod layer;
 pub mod models;
 pub mod packing;
+pub mod precision;
 pub mod quant;
 pub mod reference;
 pub mod tensor;
@@ -36,5 +41,6 @@ pub mod tensor;
 pub use layer::{Layer, LayerKind};
 pub use models::{BitwidthPolicy, ModelQueryError, Network, NetworkId};
 pub use packing::PackedTensor;
+pub use precision::{LayerPrecision, PrecisionError, PrecisionPolicy};
 pub use quant::QuantParams;
 pub use tensor::Tensor;

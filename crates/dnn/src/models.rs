@@ -13,6 +13,7 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 use crate::layer::{Layer, LayerKind};
+use crate::precision::{PrecisionError, PrecisionPolicy};
 
 /// Identifies one of the paper's six benchmark networks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -129,16 +130,29 @@ impl std::error::Error for ModelQueryError {}
 pub struct Network {
     /// Which benchmark this is.
     pub id: NetworkId,
-    /// The bitwidth policy the layers were annotated with.
-    pub policy: BitwidthPolicy,
+    /// The precision policy the layers were annotated with.
+    pub policy: PrecisionPolicy,
     /// Layers in execution order.
     pub layers: Vec<Layer>,
 }
 
 impl Network {
-    /// Builds a benchmark network under a bitwidth policy.
+    /// Builds a benchmark network under a preset bitwidth policy (the
+    /// paper's two named assignments). For uniform or per-layer policies
+    /// use [`Network::build_precise`].
     #[must_use]
     pub fn build(id: NetworkId, policy: BitwidthPolicy) -> Self {
+        Self::build_precise(id, &PrecisionPolicy::Preset(policy))
+            .expect("preset policies apply to every network")
+    }
+
+    /// Builds a benchmark network under any [`PrecisionPolicy`].
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`PrecisionError::LayerCountMismatch`] when a per-layer
+    /// policy's width list does not match the network's layer count.
+    pub fn build_precise(id: NetworkId, policy: &PrecisionPolicy) -> Result<Self, PrecisionError> {
         let mut layers = match id {
             NetworkId::AlexNet => alexnet(),
             NetworkId::InceptionV1 => inception_v1(),
@@ -147,8 +161,25 @@ impl Network {
             NetworkId::Rnn => rnn(),
             NetworkId::Lstm => lstm(),
         };
-        apply_policy(id, policy, &mut layers);
-        Network { id, policy, layers }
+        policy.apply(id, &mut layers)?;
+        Ok(Network {
+            id,
+            policy: policy.clone(),
+            layers,
+        })
+    }
+
+    /// Re-annotates this network's layers under `policy` in place.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`PrecisionError::LayerCountMismatch`] when a per-layer
+    /// policy's width list does not match the network's layer count; the
+    /// network is left untouched on error.
+    pub fn apply_precision(&mut self, policy: &PrecisionPolicy) -> Result<(), PrecisionError> {
+        policy.apply(self.id, &mut self.layers)?;
+        self.policy = policy.clone();
+        Ok(())
     }
 
     /// Compute layers only (those with MACs).
@@ -244,7 +275,7 @@ pub mod paper {
     ];
 }
 
-fn apply_policy(id: NetworkId, policy: BitwidthPolicy, layers: &mut [Layer]) {
+pub(crate) fn apply_policy(id: NetworkId, policy: BitwidthPolicy, layers: &mut [Layer]) {
     match policy {
         BitwidthPolicy::Homogeneous8 => {
             for l in layers.iter_mut() {

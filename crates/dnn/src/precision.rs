@@ -1,0 +1,468 @@
+//! Per-layer precision policies — bitwidth as a first-class dimension.
+//!
+//! The paper's whole premise (§III-A, Table I) is that composable bit-slice
+//! engines exploit *per-layer* heterogeneous bitwidths produced by deep
+//! quantization \[PACT, WRPN, QNN\]. [`BitwidthPolicy`] names the two preset
+//! assignments the paper evaluates; [`PrecisionPolicy`] promotes precision to
+//! a first-class, per-layer dimension:
+//!
+//! * [`PrecisionPolicy::Preset`] reproduces the presets **bit-for-bit** (the
+//!   seed figures are pinned against them);
+//! * [`PrecisionPolicy::Uniform`] sets every layer to one `(bx, bw)` pair —
+//!   the building block of precision sweeps;
+//! * [`PrecisionPolicy::PerLayer`] carries an explicit width pair per layer,
+//!   validated against the network's layer count on application.
+//!
+//! Policies are cheap to clone, serialize with
+//! [`Workload`](../../bpvec_sim/struct.Workload.html)s, render compactly for
+//! CSV columns ([`fmt::Display`]), parse from CLI arguments ([`FromStr`]),
+//! and act as a sweep axis in `bpvec_sim::Scenario` /
+//! `bpvec_serve::ServingScenario`.
+
+use bpvec_core::BitWidth;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+use crate::layer::Layer;
+use crate::models::{apply_policy, BitwidthPolicy, NetworkId};
+
+/// The operand widths of one layer: activations × weights.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LayerPrecision {
+    /// Activation (input) operand bitwidth.
+    pub act: BitWidth,
+    /// Weight operand bitwidth.
+    pub weight: BitWidth,
+}
+
+impl LayerPrecision {
+    /// An `act × weight` width pair.
+    #[must_use]
+    pub fn new(act: BitWidth, weight: BitWidth) -> Self {
+        LayerPrecision { act, weight }
+    }
+
+    /// The same width for both operands.
+    #[must_use]
+    pub fn uniform(bits: BitWidth) -> Self {
+        LayerPrecision {
+            act: bits,
+            weight: bits,
+        }
+    }
+}
+
+impl fmt::Display for LayerPrecision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{}w{}", self.act.bits(), self.weight.bits())
+    }
+}
+
+/// Error from applying a precision policy to a network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PrecisionError {
+    /// A per-layer policy's width list does not match the network's layers.
+    LayerCountMismatch {
+        /// The network the policy was applied to.
+        network: NetworkId,
+        /// Layers the network has.
+        expected: usize,
+        /// Width pairs the policy supplied.
+        got: usize,
+    },
+}
+
+impl fmt::Display for PrecisionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PrecisionError::LayerCountMismatch {
+                network,
+                expected,
+                got,
+            } => write!(
+                f,
+                "{network} has {expected} layers but the per-layer policy supplies {got} width pairs"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PrecisionError {}
+
+/// How operand bitwidths are assigned to a network's layers.
+///
+/// ```
+/// use bpvec_dnn::{BitwidthPolicy, PrecisionPolicy};
+/// use bpvec_core::BitWidth;
+///
+/// // The paper's presets, bit-for-bit:
+/// let hom: PrecisionPolicy = BitwidthPolicy::Homogeneous8.into();
+/// assert_eq!(hom, PrecisionPolicy::homogeneous8());
+/// // A uniform 4-bit policy and the 8-bit-to-2-bit sweep:
+/// let int4 = PrecisionPolicy::uniform(BitWidth::INT4);
+/// assert_eq!(int4.to_string(), "uniform4");
+/// assert_eq!(PrecisionPolicy::paper_sweep().len(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PrecisionPolicy {
+    /// One of the paper's named assignments ([`BitwidthPolicy`]); reproduces
+    /// the seed behavior bit-for-bit.
+    Preset(BitwidthPolicy),
+    /// Every layer at the same `(bx, bw)` pair.
+    Uniform(LayerPrecision),
+    /// An explicit width pair per layer, in layer order (validated against
+    /// the network's layer count when applied).
+    PerLayer(Vec<LayerPrecision>),
+}
+
+impl PrecisionPolicy {
+    /// The paper's homogeneous 8-bit preset.
+    #[must_use]
+    pub fn homogeneous8() -> Self {
+        PrecisionPolicy::Preset(BitwidthPolicy::Homogeneous8)
+    }
+
+    /// The paper's Table I heterogeneous preset.
+    #[must_use]
+    pub fn heterogeneous() -> Self {
+        PrecisionPolicy::Preset(BitwidthPolicy::Heterogeneous)
+    }
+
+    /// Every layer at `bits × bits`.
+    #[must_use]
+    pub fn uniform(bits: BitWidth) -> Self {
+        PrecisionPolicy::Uniform(LayerPrecision::uniform(bits))
+    }
+
+    /// Every layer at `act × weight`.
+    #[must_use]
+    pub fn uniform_xw(act: BitWidth, weight: BitWidth) -> Self {
+        PrecisionPolicy::Uniform(LayerPrecision::new(act, weight))
+    }
+
+    /// An explicit per-layer assignment, one pair per layer in order.
+    #[must_use]
+    pub fn per_layer(widths: Vec<LayerPrecision>) -> Self {
+        PrecisionPolicy::PerLayer(widths)
+    }
+
+    /// One uniform policy per width — the generator behind precision sweeps.
+    #[must_use]
+    pub fn uniform_sweep(widths: impl IntoIterator<Item = BitWidth>) -> Vec<Self> {
+        widths.into_iter().map(Self::uniform).collect()
+    }
+
+    /// The canonical sweep of the paper's quantization range: uniform 8-,
+    /// 6-, 4- and 2-bit policies, widest first.
+    #[must_use]
+    pub fn paper_sweep() -> Vec<Self> {
+        Self::uniform_sweep(
+            [8u32, 6, 4, 2]
+                .into_iter()
+                .map(|b| BitWidth::new(b).expect("sweep widths are in 1..=8")),
+        )
+    }
+
+    /// The preset behind this policy, if it is one.
+    #[must_use]
+    pub fn as_preset(&self) -> Option<BitwidthPolicy> {
+        match self {
+            PrecisionPolicy::Preset(p) => Some(*p),
+            _ => None,
+        }
+    }
+
+    /// The narrowest weight width any layer runs at (presets included:
+    /// homogeneous is 8-bit everywhere, heterogeneous bottoms out at 4-bit).
+    ///
+    /// Returns `None` only for an empty per-layer list.
+    #[must_use]
+    pub fn min_weight_bits(&self) -> Option<BitWidth> {
+        match self {
+            PrecisionPolicy::Preset(BitwidthPolicy::Homogeneous8) => Some(BitWidth::INT8),
+            PrecisionPolicy::Preset(BitwidthPolicy::Heterogeneous) => Some(BitWidth::INT4),
+            PrecisionPolicy::Uniform(lp) => Some(lp.weight),
+            PrecisionPolicy::PerLayer(v) => v.iter().map(|lp| lp.weight).min(),
+        }
+    }
+
+    /// Assigns this policy's widths to `layers` (a network's layer list, in
+    /// order). Presets reproduce the seed's assignment exactly.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`PrecisionError::LayerCountMismatch`] if a per-layer
+    /// policy's length differs from the network's layer count.
+    pub fn apply(&self, network: NetworkId, layers: &mut [Layer]) -> Result<(), PrecisionError> {
+        match self {
+            PrecisionPolicy::Preset(p) => {
+                apply_policy(network, *p, layers);
+                Ok(())
+            }
+            PrecisionPolicy::Uniform(lp) => {
+                for l in layers.iter_mut() {
+                    l.act_bits = lp.act;
+                    l.weight_bits = lp.weight;
+                }
+                Ok(())
+            }
+            PrecisionPolicy::PerLayer(widths) => {
+                if widths.len() != layers.len() {
+                    return Err(PrecisionError::LayerCountMismatch {
+                        network,
+                        expected: layers.len(),
+                        got: widths.len(),
+                    });
+                }
+                for (l, lp) in layers.iter_mut().zip(widths) {
+                    l.act_bits = lp.act;
+                    l.weight_bits = lp.weight;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl From<BitwidthPolicy> for PrecisionPolicy {
+    fn from(preset: BitwidthPolicy) -> Self {
+        PrecisionPolicy::Preset(preset)
+    }
+}
+
+/// Policies compare to the preset enum directly, so call sites that predate
+/// `PrecisionPolicy` keep reading naturally.
+impl PartialEq<BitwidthPolicy> for PrecisionPolicy {
+    fn eq(&self, other: &BitwidthPolicy) -> bool {
+        matches!(self, PrecisionPolicy::Preset(p) if p == other)
+    }
+}
+
+impl Default for PrecisionPolicy {
+    fn default() -> Self {
+        PrecisionPolicy::Preset(BitwidthPolicy::default())
+    }
+}
+
+/// Compact, comma-free rendering for CSV columns: presets keep their seed
+/// spelling (`Homogeneous8` / `Heterogeneous`), uniform policies render as
+/// `uniform4` / `uniform8x4`, per-layer policies as `per-layer[len;fnv]`
+/// (the FNV tag distinguishes same-length assignments).
+impl fmt::Display for PrecisionPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PrecisionPolicy::Preset(BitwidthPolicy::Homogeneous8) => f.write_str("Homogeneous8"),
+            PrecisionPolicy::Preset(BitwidthPolicy::Heterogeneous) => f.write_str("Heterogeneous"),
+            PrecisionPolicy::Uniform(lp) if lp.act == lp.weight => {
+                write!(f, "uniform{}", lp.act.bits())
+            }
+            PrecisionPolicy::Uniform(lp) => {
+                write!(f, "uniform{}x{}", lp.act.bits(), lp.weight.bits())
+            }
+            PrecisionPolicy::PerLayer(v) => {
+                let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+                for lp in v {
+                    for bits in [lp.act.bits(), lp.weight.bits()] {
+                        h ^= u64::from(bits);
+                        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+                    }
+                }
+                write!(f, "per-layer[{};{:04x}]", v.len(), h & 0xFFFF)
+            }
+        }
+    }
+}
+
+/// Error from parsing a [`PrecisionPolicy`] string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePolicyError {
+    input: String,
+}
+
+impl fmt::Display for ParsePolicyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cannot parse `{}` as a precision policy (try `hom8`, `het`, `int4`, or `8x4`)",
+            self.input
+        )
+    }
+}
+
+impl std::error::Error for ParsePolicyError {}
+
+/// Parses CLI spellings: `hom8`/`homogeneous8`, `het`/`heterogeneous`, a
+/// single width (`4`, `4b`, `int4` — uniform), or `ACTxWEIGHT` (`8x4`,
+/// `int8xint4`).
+impl FromStr for PrecisionPolicy {
+    type Err = ParsePolicyError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || ParsePolicyError {
+            input: s.to_string(),
+        };
+        let t = s.trim().to_ascii_lowercase();
+        match t.as_str() {
+            "hom" | "hom8" | "homogeneous" | "homogeneous8" => {
+                return Ok(PrecisionPolicy::homogeneous8())
+            }
+            "het" | "heterogeneous" => return Ok(PrecisionPolicy::heterogeneous()),
+            _ => {}
+        }
+        let t = t.strip_prefix("uniform").unwrap_or(&t);
+        if let Some((a, w)) = t.split_once('x') {
+            let act = a.parse::<BitWidth>().map_err(|_| err())?;
+            let weight = w.parse::<BitWidth>().map_err(|_| err())?;
+            return Ok(PrecisionPolicy::uniform_xw(act, weight));
+        }
+        t.parse::<BitWidth>()
+            .map(PrecisionPolicy::uniform)
+            .map_err(|_| err())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::Network;
+
+    #[test]
+    fn presets_reproduce_the_seed_assignment_bit_for_bit() {
+        for id in NetworkId::ALL {
+            for preset in [BitwidthPolicy::Homogeneous8, BitwidthPolicy::Heterogeneous] {
+                let seed = Network::build(id, preset);
+                let precise = Network::build_precise(id, &PrecisionPolicy::Preset(preset))
+                    .expect("presets always apply");
+                assert_eq!(seed.layers, precise.layers, "{id} {preset:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_policy_sets_every_layer() {
+        let n = Network::build_precise(
+            NetworkId::ResNet18,
+            &PrecisionPolicy::uniform_xw(BitWidth::INT8, BitWidth::INT2),
+        )
+        .unwrap();
+        assert!(n
+            .layers
+            .iter()
+            .all(|l| l.act_bits == BitWidth::INT8 && l.weight_bits == BitWidth::INT2));
+    }
+
+    #[test]
+    fn per_layer_policy_validates_length() {
+        let base = Network::build(NetworkId::AlexNet, BitwidthPolicy::Homogeneous8);
+        let widths: Vec<LayerPrecision> = base
+            .layers
+            .iter()
+            .map(|_| LayerPrecision::uniform(BitWidth::INT4))
+            .collect();
+        let ok = Network::build_precise(
+            NetworkId::AlexNet,
+            &PrecisionPolicy::per_layer(widths.clone()),
+        )
+        .unwrap();
+        assert!(ok.layers.iter().all(|l| l.weight_bits == BitWidth::INT4));
+        let err = Network::build_precise(
+            NetworkId::AlexNet,
+            &PrecisionPolicy::per_layer(widths[..3].to_vec()),
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            PrecisionError::LayerCountMismatch {
+                network: NetworkId::AlexNet,
+                expected: base.layers.len(),
+                got: 3,
+            }
+        );
+        assert!(err.to_string().contains("width pairs"));
+    }
+
+    #[test]
+    fn sweep_generator_descends_from_8_to_2() {
+        let sweep = PrecisionPolicy::paper_sweep();
+        let widths: Vec<u32> = sweep
+            .iter()
+            .map(|p| p.min_weight_bits().unwrap().bits())
+            .collect();
+        assert_eq!(widths, vec![8, 6, 4, 2]);
+    }
+
+    #[test]
+    fn display_is_compact_and_comma_free() {
+        assert_eq!(PrecisionPolicy::homogeneous8().to_string(), "Homogeneous8");
+        assert_eq!(
+            PrecisionPolicy::heterogeneous().to_string(),
+            "Heterogeneous"
+        );
+        assert_eq!(
+            PrecisionPolicy::uniform(BitWidth::INT4).to_string(),
+            "uniform4"
+        );
+        assert_eq!(
+            PrecisionPolicy::uniform_xw(BitWidth::INT8, BitWidth::INT4).to_string(),
+            "uniform8x4"
+        );
+        let pl = PrecisionPolicy::per_layer(vec![LayerPrecision::uniform(BitWidth::INT2); 5]);
+        let s = pl.to_string();
+        assert!(s.starts_with("per-layer[5;"), "{s}");
+        assert!(!s.contains(','), "{s}");
+        // Different assignments with the same length render differently.
+        let other = PrecisionPolicy::per_layer(vec![LayerPrecision::uniform(BitWidth::INT8); 5]);
+        assert_ne!(s, other.to_string());
+    }
+
+    #[test]
+    fn from_str_accepts_cli_spellings() {
+        assert_eq!(
+            "hom8".parse::<PrecisionPolicy>().unwrap(),
+            PrecisionPolicy::homogeneous8()
+        );
+        assert_eq!(
+            "het".parse::<PrecisionPolicy>().unwrap(),
+            PrecisionPolicy::heterogeneous()
+        );
+        assert_eq!(
+            "int4".parse::<PrecisionPolicy>().unwrap(),
+            PrecisionPolicy::uniform(BitWidth::INT4)
+        );
+        assert_eq!(
+            "8x4".parse::<PrecisionPolicy>().unwrap(),
+            PrecisionPolicy::uniform_xw(BitWidth::INT8, BitWidth::INT4)
+        );
+        assert_eq!(
+            "uniform2b".parse::<PrecisionPolicy>().unwrap(),
+            PrecisionPolicy::uniform(BitWidth::INT2)
+        );
+        let err = "nonsense".parse::<PrecisionPolicy>().unwrap_err();
+        assert!(err.to_string().contains("nonsense"));
+    }
+
+    #[test]
+    fn preset_comparison_reads_naturally() {
+        let p = PrecisionPolicy::homogeneous8();
+        assert_eq!(p, BitwidthPolicy::Homogeneous8);
+        assert_ne!(
+            PrecisionPolicy::uniform(BitWidth::INT8),
+            BitwidthPolicy::Homogeneous8
+        );
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        for p in [
+            PrecisionPolicy::heterogeneous(),
+            PrecisionPolicy::uniform_xw(BitWidth::INT8, BitWidth::INT2),
+            PrecisionPolicy::per_layer(vec![LayerPrecision::uniform(BitWidth::INT4); 3]),
+        ] {
+            let json = serde_json::to_string(&p).unwrap();
+            let back: PrecisionPolicy = serde_json::from_str(&json).unwrap();
+            assert_eq!(p, back);
+        }
+    }
+}

@@ -26,7 +26,7 @@
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 
-use bpvec_dnn::{BitwidthPolicy, Network, NetworkId};
+use bpvec_dnn::{BitwidthPolicy, Network, NetworkId, PrecisionPolicy};
 use bpvec_sim::{DramSpec, Evaluator, Measurement, Workload};
 use serde::{Deserialize, Serialize};
 
@@ -190,11 +190,26 @@ impl GpuPlatform {
         self
     }
 
-    fn precision_for(&self, policy: BitwidthPolicy) -> GpuPrecision {
-        self.precision.unwrap_or(match policy {
-            BitwidthPolicy::Homogeneous8 => GpuPrecision::Int8,
-            BitwidthPolicy::Heterogeneous => GpuPrecision::Int4,
-        })
+    fn precision_for(&self, policy: &PrecisionPolicy) -> GpuPrecision {
+        if let Some(p) = self.precision {
+            return p;
+        }
+        match policy.as_preset() {
+            // The paper's pairing, preserved bit-for-bit for Figure 9.
+            Some(BitwidthPolicy::Homogeneous8) => GpuPrecision::Int8,
+            Some(BitwidthPolicy::Heterogeneous) => GpuPrecision::Int4,
+            // Non-preset policies (precision sweeps): TensorRT has no
+            // sub-INT4 kernels, so any policy whose narrowest weight drops
+            // to 4 bits or below runs the INT4 engine, everything wider
+            // stays INT8.
+            None => {
+                if policy.min_weight_bits().is_some_and(|b| b.bits() <= 4) {
+                    GpuPrecision::Int4
+                } else {
+                    GpuPrecision::Int8
+                }
+            }
+        }
     }
 }
 
@@ -204,7 +219,7 @@ impl Evaluator for GpuPlatform {
     }
 
     fn evaluate(&self, workload: &Workload, network: &Network, _dram: &DramSpec) -> Measurement {
-        let r = evaluate(network, &self.spec, self.precision_for(workload.policy));
+        let r = evaluate(network, &self.spec, self.precision_for(&workload.policy));
         Measurement {
             latency_s: r.latency_s,
             energy_j: r.latency_s * self.spec.board_power_w,

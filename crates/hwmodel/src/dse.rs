@@ -92,7 +92,16 @@ impl NormalizedBreakdown {
 /// Evaluates one design point against the conventional MAC baseline.
 #[must_use]
 pub fn evaluate(design: DesignPoint, tech: &TechnologyProfile) -> DsePoint {
-    let baseline = conventional_mac(tech).total();
+    evaluate_against(design, tech, &conventional_mac(tech).total())
+}
+
+/// [`evaluate`] with the conventional-MAC baseline supplied by the caller,
+/// so sweeps cost the baseline synthesis once instead of once per point.
+fn evaluate_against(
+    design: DesignPoint,
+    tech: &TechnologyProfile,
+    baseline: &crate::components::ComponentCost,
+) -> DsePoint {
     let geom = CvuGeometry {
         slice_bits: design.slice_bits,
         max_bits: 8,
@@ -115,17 +124,20 @@ pub fn evaluate(design: DesignPoint, tech: &TechnologyProfile) -> DsePoint {
 }
 
 /// Sweeps `slice_bits × lanes` and returns one [`DsePoint`] per combination.
+/// The shared baseline is computed once for the whole sweep.
 #[must_use]
 pub fn sweep(slice_widths: &[u32], lane_counts: &[u32], tech: &TechnologyProfile) -> Vec<DsePoint> {
+    let baseline = conventional_mac(tech).total();
     let mut out = Vec::with_capacity(slice_widths.len() * lane_counts.len());
     for &s in slice_widths {
         for &l in lane_counts {
-            out.push(evaluate(
+            out.push(evaluate_against(
                 DesignPoint {
                     slice_bits: s,
                     lanes: l,
                 },
                 tech,
+                &baseline,
             ));
         }
     }
@@ -142,35 +154,30 @@ pub struct Figure4 {
 }
 
 impl Figure4 {
-    /// Runs the Figure 4 design-space exploration.
+    /// Runs the Figure 4 design-space exploration (one shared baseline for
+    /// both series).
     #[must_use]
     pub fn generate(tech: &TechnologyProfile) -> Self {
         let lanes = [1u32, 2, 4, 8, 16];
+        let baseline = conventional_mac(tech).total();
+        let series = |slice_bits: u32| {
+            lanes
+                .iter()
+                .map(|&l| {
+                    evaluate_against(
+                        DesignPoint {
+                            slice_bits,
+                            lanes: l,
+                        },
+                        tech,
+                        &baseline,
+                    )
+                })
+                .collect()
+        };
         Figure4 {
-            one_bit: lanes
-                .iter()
-                .map(|&l| {
-                    evaluate(
-                        DesignPoint {
-                            slice_bits: 1,
-                            lanes: l,
-                        },
-                        tech,
-                    )
-                })
-                .collect(),
-            two_bit: lanes
-                .iter()
-                .map(|&l| {
-                    evaluate(
-                        DesignPoint {
-                            slice_bits: 2,
-                            lanes: l,
-                        },
-                        tech,
-                    )
-                })
-                .collect(),
+            one_bit: series(1),
+            two_bit: series(2),
         }
     }
 }

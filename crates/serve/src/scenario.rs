@@ -15,7 +15,8 @@
 use std::fmt;
 use std::sync::Arc;
 
-use bpvec_sim::{DramSpec, Evaluator};
+use bpvec_dnn::PrecisionPolicy;
+use bpvec_sim::{CostModel, DramSpec, Evaluator};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -23,7 +24,7 @@ use crate::arrivals::{ArrivalProcess, TrafficSpec};
 use crate::cluster::ClusterSpec;
 use crate::metrics::ServingMetrics;
 use crate::scheduler::BatchPolicy;
-use crate::sim::{run_serving, ServiceModel};
+use crate::sim::{run_serving_with_table, CostTable, ServiceModel};
 
 /// Errors from building or running a serving scenario.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -138,13 +139,15 @@ pub(crate) fn validate_traffic(t: &TrafficSpec) -> Result<(), ServingError> {
 }
 
 /// A declared serving experiment: platforms × policies × clusters ×
-/// traffics under one memory system, service model, seed, and optional SLA.
+/// traffics (× precisions) under one memory system, service model, seed,
+/// and optional SLA.
 pub struct ServingScenario {
     name: String,
     platforms: Vec<(String, Arc<dyn Evaluator>)>,
     policies: Vec<BatchPolicy>,
     clusters: Vec<ClusterSpec>,
     traffics: Vec<TrafficSpec>,
+    precisions: Vec<PrecisionPolicy>,
     memory: DramSpec,
     service: ServiceModel,
     sla_s: Option<f64>,
@@ -162,6 +165,7 @@ impl fmt::Debug for ServingScenario {
             .field("policies", &self.policies)
             .field("clusters", &self.clusters)
             .field("traffics", &self.traffics)
+            .field("precisions", &self.precisions)
             .field("memory", &self.memory)
             .field("service", &self.service)
             .field("sla_s", &self.sla_s)
@@ -181,6 +185,7 @@ impl ServingScenario {
             policies: Vec::new(),
             clusters: Vec::new(),
             traffics: Vec::new(),
+            precisions: Vec::new(),
             memory: DramSpec::ddr4(),
             service: ServiceModel::Deterministic,
             sla_s: None,
@@ -235,6 +240,25 @@ impl ServingScenario {
     #[must_use]
     pub fn traffics(mut self, traffics: impl IntoIterator<Item = TrafficSpec>) -> Self {
         self.traffics.extend(traffics);
+        self
+    }
+
+    /// Adds one precision policy to the sweep axis. A non-empty axis
+    /// expands every traffic spec into one variant per policy: each
+    /// variant's whole request mix runs under that policy, the arrival
+    /// sequence stays paired with the other variants of the same traffic,
+    /// and the cell's `precision` column names the policy.
+    #[must_use]
+    pub fn precision(mut self, policy: impl Into<PrecisionPolicy>) -> Self {
+        self.precisions.push(policy.into());
+        self
+    }
+
+    /// Adds a batch of precision policies (e.g.
+    /// [`PrecisionPolicy::paper_sweep`]).
+    #[must_use]
+    pub fn precisions(mut self, policies: impl IntoIterator<Item = PrecisionPolicy>) -> Self {
+        self.precisions.extend(policies);
         self
     }
 
@@ -294,6 +318,16 @@ impl ServingScenario {
         for t in &self.traffics {
             validate_traffic(t)?;
         }
+        // A duplicated precision would emit byte-identical cells that
+        // double-weight the point downstream (mirrors `Scenario`'s
+        // duplicate-workload rejection of a colliding precision axis).
+        for (i, p) in self.precisions.iter().enumerate() {
+            if self.precisions[..i].contains(p) {
+                return Err(ServingError(format!(
+                    "duplicate precision policy `{p}` in the sweep axis"
+                )));
+            }
+        }
         if let Some(sla) = self.sla_s {
             if !positive(sla) {
                 return Err(ServingError("the SLA must be a positive latency".into()));
@@ -317,37 +351,120 @@ impl ServingScenario {
         }
     }
 
+    /// The traffic axis the run actually simulates: each declared traffic,
+    /// expanded per precision policy when a precision axis is set. Entries
+    /// are `(declared-traffic index, precision label, spec)`; the index
+    /// seeds arrivals, so precision variants of one traffic stay paired.
+    fn effective_traffics(&self) -> Vec<(usize, String, TrafficSpec)> {
+        if self.precisions.is_empty() {
+            return self
+                .traffics
+                .iter()
+                .enumerate()
+                .map(|(i, t)| (i, mix_precision_label(t), t.clone()))
+                .collect();
+        }
+        self.traffics
+            .iter()
+            .enumerate()
+            .flat_map(|(i, t)| {
+                self.precisions.iter().map(move |p| {
+                    let mut variant = t.clone();
+                    for entry in &mut variant.mix.entries {
+                        entry.workload = entry.workload.clone().with_policy(p.clone());
+                    }
+                    (i, p.to_string(), variant)
+                })
+            })
+            .collect()
+    }
+
     /// Simulates the full platforms × policies × clusters × traffics
-    /// cross-product — rayon-parallel across cells — and reports the
-    /// results.
+    /// (× precisions) cross-product — rayon-parallel across cells — and
+    /// reports the results.
+    ///
+    /// Batch cost tables are built once per (platform, traffic) through a
+    /// single shared [`CostModel`] and handed to every policy × cluster
+    /// cell behind an [`Arc`]: replicas, routers and batch caps all read
+    /// the same table instead of re-running the analytical model.
     ///
     /// # Errors
     ///
     /// Fails if an axis is empty, platform labels collide, or any policy,
-    /// cluster, or traffic spec is malformed (see [`ServingError`]).
+    /// cluster, traffic, or precision assignment is malformed (see
+    /// [`ServingError`]).
     pub fn try_run(&self) -> Result<ServingReport, ServingError> {
         self.validate()?;
+        let traffics = self.effective_traffics();
+        // Validate every mix workload's precision once, keeping the built
+        // networks so the per-platform table builds below reuse them.
+        let networks: Vec<Vec<bpvec_dnn::Network>> = traffics
+            .iter()
+            .map(|(_, precision, t)| {
+                t.mix
+                    .entries
+                    .iter()
+                    .map(|entry| {
+                        entry.workload.try_build().map_err(|e| {
+                            ServingError(format!(
+                                "traffic `{}` under precision `{precision}`: {e}",
+                                t.label
+                            ))
+                        })
+                    })
+                    .collect::<Result<_, _>>()
+            })
+            .collect::<Result<_, _>>()?;
+        // One memoized cost model for the whole grid, one Arc'd table per
+        // (platform, traffic) sized to the largest batch any policy asks
+        // for — smaller-cap policies read a prefix of the same table.
+        let cost = CostModel::new();
+        let max_batch = self
+            .policies
+            .iter()
+            .map(BatchPolicy::max_batch)
+            .max()
+            .expect("validate ensures at least one policy");
+        let tables: Vec<Vec<Arc<CostTable>>> = self
+            .platforms
+            .par_iter()
+            .map(|(_, backend)| {
+                traffics
+                    .iter()
+                    .zip(&networks)
+                    .map(|((_, _, t), nets)| {
+                        Arc::new(CostTable::build_with_networks(
+                            backend.as_ref(),
+                            &self.memory,
+                            t,
+                            nets,
+                            max_batch,
+                            &cost,
+                        ))
+                    })
+                    .collect()
+            })
+            .collect();
+        let n_traffics = traffics.len();
         let jobs: Vec<(usize, usize, usize, usize)> = (0..self.platforms.len())
             .flat_map(|p| {
                 (0..self.policies.len()).flat_map(move |pol| {
-                    (0..self.clusters.len()).flat_map(move |cl| {
-                        (0..self.traffics.len()).map(move |tr| (p, pol, cl, tr))
-                    })
+                    (0..self.clusters.len())
+                        .flat_map(move |cl| (0..n_traffics).map(move |tr| (p, pol, cl, tr)))
                 })
             })
             .collect();
         let cells: Vec<ServingCell> = jobs
             .into_par_iter()
             .map(|(p, pol, cl, tr)| {
-                let traffic = &self.traffics[tr];
-                let outcome = run_serving(
-                    self.platforms[p].1.as_ref(),
-                    &self.memory,
+                let (traffic_idx, precision, traffic) = &traffics[tr];
+                let outcome = run_serving_with_table(
+                    Arc::clone(&tables[p][tr]),
                     self.policies[pol],
                     self.clusters[cl],
                     traffic,
                     self.service,
-                    mix_seed(self.seed, tr as u64),
+                    mix_seed(self.seed, *traffic_idx as u64),
                 );
                 let metrics = ServingMetrics::from_outcome(
                     &outcome,
@@ -360,6 +477,7 @@ impl ServingScenario {
                     policy: self.policies[pol],
                     cluster: self.clusters[cl],
                     traffic: traffic.label.clone(),
+                    precision: precision.clone(),
                     offered_rps: traffic.offered_rps().unwrap_or(0.0),
                     metrics,
                 }
@@ -371,6 +489,19 @@ impl ServingScenario {
             cells,
         })
     }
+}
+
+/// The precision column of a non-swept cell: the distinct policies of the
+/// traffic's mix, `+`-joined in first-appearance order.
+fn mix_precision_label(t: &TrafficSpec) -> String {
+    let mut seen: Vec<String> = Vec::new();
+    for entry in &t.mix.entries {
+        let s = entry.workload.policy.to_string();
+        if !seen.contains(&s) {
+            seen.push(s);
+        }
+    }
+    seen.join("+")
 }
 
 /// Derives the per-traffic arrival seed (SplitMix64 over seed ⊕ index), so
@@ -393,6 +524,9 @@ pub struct ServingCell {
     pub cluster: ClusterSpec,
     /// The traffic spec's label.
     pub traffic: String,
+    /// The precision the cell's request mix ran at: the sweep policy's
+    /// display form, or the mix's own (`+`-joined) policies without a sweep.
+    pub precision: String,
     /// Long-run offered rate (0 for closed-loop traffic, which adapts).
     pub offered_rps: f64,
     /// Everything measured.
@@ -430,22 +564,25 @@ impl ServingReport {
         })
     }
 
-    /// Renders every cell as a CSV row for downstream analysis.
+    /// Renders every cell as a CSV row for downstream analysis. The
+    /// `precision` column carries the cell's precision policy, so precision
+    /// sweeps plot directly.
     #[must_use]
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
-            "platform,policy,cluster,traffic,offered_rps,throughput_rps,goodput_rps,\
+            "platform,policy,cluster,traffic,precision,offered_rps,throughput_rps,goodput_rps,\
              p50_ms,p95_ms,p99_ms,mean_ms,max_ms,mean_queue_depth,utilization,\
              mean_batch,energy_mj_per_req,sla_attainment\n",
         );
         for c in &self.cells {
             let m = &c.metrics;
             out.push_str(&format!(
-                "{},{},{},{},{:.3},{:.3},{:.3},{:.4},{:.4},{:.4},{:.4},{:.4},{:.3},{:.4},{:.3},{:.5},{:.4}\n",
+                "{},{},{},{},{},{:.3},{:.3},{:.3},{:.4},{:.4},{:.4},{:.4},{:.4},{:.3},{:.4},{:.3},{:.5},{:.4}\n",
                 c.platform,
                 c.policy,
                 c.cluster,
                 c.traffic,
+                c.precision,
                 c.offered_rps,
                 m.throughput_rps,
                 m.goodput_rps,
@@ -586,6 +723,61 @@ mod tests {
         assert!(csv.contains("BPVeC,immediate,rrx1,steady"));
         let back: ServingReport = serde_json::from_str(&report.to_json()).unwrap();
         assert_eq!(report, back);
+    }
+
+    #[test]
+    fn precision_axis_expands_traffics_with_paired_arrivals() {
+        let report = ServingScenario::new("precision")
+            .platform(AcceleratorConfig::bpvec())
+            .policy(BatchPolicy::immediate())
+            .cluster(ClusterSpec::single())
+            .traffic(quick_traffic("steady", 50.0))
+            .precisions(PrecisionPolicy::paper_sweep())
+            .run();
+        assert_eq!(report.cells.len(), 4);
+        let precisions: Vec<&str> = report.cells.iter().map(|c| c.precision.as_str()).collect();
+        assert_eq!(
+            precisions,
+            vec!["uniform8", "uniform6", "uniform4", "uniform2"]
+        );
+        // Same base traffic index ⇒ same arrival sequence across the sweep.
+        let completed: Vec<u64> = report.cells.iter().map(|c| c.metrics.completed).collect();
+        assert!(completed.iter().all(|&c| c == completed[0]));
+        // Narrower precision means faster service, so mean latency is
+        // monotone non-increasing down the sweep on a composable backend.
+        let means: Vec<f64> = report
+            .cells
+            .iter()
+            .map(|c| c.metrics.latency.mean_s)
+            .collect();
+        for pair in means.windows(2) {
+            assert!(pair[1] <= pair[0] * 1.0000001, "{means:?}");
+        }
+        // The CSV carries the precision column.
+        let csv = report.to_csv();
+        assert!(csv
+            .lines()
+            .next()
+            .unwrap()
+            .contains("traffic,precision,offered_rps"));
+        assert!(csv.contains("steady,uniform2,"), "{csv}");
+    }
+
+    #[test]
+    fn duplicate_precisions_in_the_axis_are_rejected() {
+        let int4: PrecisionPolicy = "int4".parse().expect("parses");
+        let err = small_scenario()
+            .precision(int4.clone())
+            .precision(int4)
+            .try_run()
+            .unwrap_err();
+        assert!(err.to_string().contains("duplicate precision"), "{err}");
+    }
+
+    #[test]
+    fn without_a_sweep_the_precision_column_names_the_mix_policies() {
+        let report = small_scenario().run();
+        assert!(report.cells.iter().all(|c| c.precision == "Homogeneous8"));
     }
 
     #[test]

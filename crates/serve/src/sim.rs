@@ -10,8 +10,9 @@
 
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, VecDeque};
+use std::sync::Arc;
 
-use bpvec_sim::{BatchRegime, DramSpec, Evaluator};
+use bpvec_sim::{BatchRegime, CostModel, DramSpec, Evaluator};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -81,7 +82,15 @@ pub struct ServingOutcome {
 
 /// Whole-batch service time and energy per (class, batch size), precomputed
 /// from the backend so the event loop never re-runs the analytical model.
-struct CostTable {
+///
+/// A table depends only on `(backend, memory, request mix, max batch)` —
+/// not on the batching policy, cluster shape, or replica count — so
+/// [`crate::ServingScenario`] builds one per (platform, traffic) behind an
+/// [`Arc`] and every replica of every policy × cluster cell shares it.
+/// Construction goes through a shared [`CostModel`], so the per-layer work
+/// behind each batch size is also shared across classes, batch caps, and
+/// platforms with common layer shapes.
+pub(crate) struct CostTable {
     /// `svc[class][b-1]` = whole-batch service seconds at batch `b`.
     svc: Vec<Vec<f64>>,
     /// `energy[class][b-1]` = whole-batch energy joules at batch `b`.
@@ -89,21 +98,42 @@ struct CostTable {
 }
 
 impl CostTable {
-    fn build(
+    pub(crate) fn build(
         backend: &dyn Evaluator,
         memory: &DramSpec,
         traffic: &TrafficSpec,
         max_batch: u64,
+        cost: &CostModel,
     ) -> Self {
+        let networks: Vec<bpvec_dnn::Network> = traffic
+            .mix
+            .entries
+            .iter()
+            .map(|e| e.workload.build())
+            .collect();
+        Self::build_with_networks(backend, memory, traffic, &networks, max_batch, cost)
+    }
+
+    /// [`CostTable::build`] with the mix's networks already instantiated
+    /// (one per mix entry, in order) — callers that built them for
+    /// validation pass them in instead of paying the construction twice.
+    pub(crate) fn build_with_networks(
+        backend: &dyn Evaluator,
+        memory: &DramSpec,
+        traffic: &TrafficSpec,
+        networks: &[bpvec_dnn::Network],
+        max_batch: u64,
+        cost: &CostModel,
+    ) -> Self {
+        debug_assert_eq!(networks.len(), traffic.mix.classes());
         let mut svc = Vec::with_capacity(traffic.mix.classes());
         let mut energy = Vec::with_capacity(traffic.mix.classes());
-        for entry in &traffic.mix.entries {
-            let network = entry.workload.build();
+        for (entry, network) in traffic.mix.entries.iter().zip(networks) {
             let mut s = Vec::with_capacity(max_batch as usize);
             let mut j = Vec::with_capacity(max_batch as usize);
             for b in 1..=max_batch {
-                let w = entry.workload.with_batching(BatchRegime::fixed(b));
-                let m = backend.evaluate(&w, &network, memory);
+                let w = entry.workload.clone().with_batching(BatchRegime::fixed(b));
+                let m = backend.evaluate_with(&w, network, memory, cost);
                 s.push(m.latency_s * b as f64);
                 j.push(m.energy_j * b as f64);
             }
@@ -111,6 +141,13 @@ impl CostTable {
             energy.push(j);
         }
         CostTable { svc, energy }
+    }
+
+    /// True when the table covers batches up to `max_batch` for every class
+    /// of `traffic`'s mix — the precondition for sharing it across policies.
+    pub(crate) fn covers(&self, traffic: &TrafficSpec, max_batch: u64) -> bool {
+        self.svc.len() == traffic.mix.classes()
+            && self.svc.iter().all(|s| s.len() >= max_batch as usize)
     }
 
     fn service_s(&self, class: usize, batch: u64) -> f64 {
@@ -289,7 +326,7 @@ impl ArrivalGen {
 struct Sim<'a> {
     policy: BatchPolicy,
     service: ServiceModel,
-    table: CostTable,
+    table: Arc<CostTable>,
     traffic: &'a TrafficSpec,
     router: Router,
     shards: Vec<Shard>,
@@ -552,7 +589,31 @@ pub fn run_serving(
             panic!("run_serving: {e}");
         }
     }
-    let table = CostTable::build(backend, memory, traffic, policy.max_batch());
+    // One-shot runs get a private cost model; `ServingScenario` shares one
+    // table per (platform, traffic) across its whole grid instead.
+    let cost = CostModel::new();
+    let table = Arc::new(CostTable::build(
+        backend,
+        memory,
+        traffic,
+        policy.max_batch(),
+        &cost,
+    ));
+    run_serving_with_table(table, policy, cluster, traffic, service, seed)
+}
+
+/// The event loop behind [`run_serving`], driven by a prebuilt (usually
+/// shared) cost table. The table must cover the policy's max batch for
+/// every class of `traffic`'s mix.
+pub(crate) fn run_serving_with_table(
+    table: Arc<CostTable>,
+    policy: BatchPolicy,
+    cluster: ClusterSpec,
+    traffic: &TrafficSpec,
+    service: ServiceModel,
+    seed: u64,
+) -> ServingOutcome {
+    debug_assert!(table.covers(traffic, policy.max_batch()));
     let mut arrival_rng = StdRng::seed_from_u64(seed);
     let service_rng = StdRng::seed_from_u64(seed ^ 0xA5A5_5A5A_DEAD_BEEF);
     let gen = ArrivalGen::new(&traffic.process, &mut arrival_rng);

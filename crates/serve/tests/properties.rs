@@ -267,7 +267,7 @@ fn dynamic_batching_beats_immediate_p99_under_high_load() {
     let net = w.build();
     let s1 = accel
         .evaluate(
-            &w.with_batching(bpvec_sim::BatchRegime::fixed(1)),
+            &w.clone().with_batching(bpvec_sim::BatchRegime::fixed(1)),
             &net,
             &DramSpec::ddr4(),
         )

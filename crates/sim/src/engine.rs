@@ -12,8 +12,8 @@ use bpvec_dnn::{Network, NetworkId};
 use serde::{Deserialize, Serialize};
 
 use crate::accel::AcceleratorConfig;
+use crate::cost;
 use crate::memory::DramSpec;
-use crate::tiling;
 use crate::workload::BatchRegime;
 
 /// Whether a layer's time is dominated by compute or by the memory system.
@@ -123,48 +123,33 @@ impl NetworkResult {
 }
 
 /// Simulates a network on a platform; see the module docs for the model.
+///
+/// The per-layer arithmetic lives in [`crate::cost::layer_cost`] — this
+/// function is its uncached aggregation. Evaluating many cells (grids,
+/// serving cost tables, precision sweeps)? Share a
+/// [`CostModel`](crate::cost::CostModel) and call
+/// [`CostModel::simulate`](crate::cost::CostModel::simulate), which returns
+/// bit-identical results from the memo.
 #[must_use]
 pub fn simulate(network: &Network, config: &SimConfig) -> NetworkResult {
     let b = config.batching.batch_for(network.id);
-    let working = config.accel.scratchpad.working_bytes();
-    let core_power_w = (config.accel.core_power_mw + config.accel.sram_power_mw) * 1e-3;
-    let mut layers = Vec::new();
+    let mut layers = Vec::with_capacity(network.layers.len());
     let mut latency = 0.0f64;
     let mut energy = 0.0f64;
     for layer in &network.layers {
-        let macs = layer.macs() * b;
-        let traffic = tiling::layer_traffic(layer, working, b);
-        let compute_s = if macs == 0 {
-            0.0
-        } else {
-            macs as f64
-                / config
-                    .accel
-                    .macs_per_second(layer.act_bits, layer.weight_bits)
-        };
-        let memory_s = config.dram.transfer_time_s(traffic);
-        let latency_s = compute_s.max(memory_s);
-        let bound = if compute_s >= memory_s {
-            Boundedness::Compute
-        } else {
-            Boundedness::Memory
-        };
-        // The core burns its budget for the whole layer (clock tree, SRAM
-        // and leakage do not gate off while the layer waits on memory).
-        let core_energy_j = core_power_w * latency_s;
-        let dram_energy_j = config.dram.access_energy_j(traffic);
-        latency += latency_s;
-        energy += core_energy_j + dram_energy_j;
+        let c = cost::layer_cost(layer, &config.accel, &config.dram, b);
+        latency += c.latency_s;
+        energy += c.core_energy_j + c.dram_energy_j;
         layers.push(LayerResult {
             name: layer.name.clone(),
-            macs,
-            compute_s,
-            traffic_bytes: traffic,
-            memory_s,
-            latency_s,
-            bound,
-            core_energy_j,
-            dram_energy_j,
+            macs: c.macs,
+            compute_s: c.compute_s,
+            traffic_bytes: c.traffic_bytes,
+            memory_s: c.memory_s,
+            latency_s: c.latency_s,
+            bound: c.bound,
+            core_energy_j: c.core_energy_j,
+            dram_energy_j: c.dram_energy_j,
         });
     }
     NetworkResult {

@@ -63,6 +63,7 @@
 #![deny(missing_debug_implementations)]
 
 pub mod accel;
+pub mod cost;
 pub mod engine;
 pub mod executor;
 pub mod experiments;
@@ -74,10 +75,11 @@ pub mod tiling;
 pub mod workload;
 
 pub use accel::{AcceleratorConfig, Design};
+pub use cost::{layer_cost, CostModel, LayerCost};
 pub use engine::{geomean, simulate, Boundedness, LayerResult, NetworkResult, SimConfig};
 pub use executor::{ExecutionTrace, NetworkExecutor, WeightStore};
 pub use memory::{DramSpec, ScratchpadSpec};
-pub use roofline::{roofline, RooflinePoint};
+pub use roofline::{roofline, roofline_cached, RooflinePoint};
 pub use scenario::{
     Cell, CellRef, Comparison, ComparisonRow, Evaluator, Labeled, Measurement, PlatformSpec,
     Report, Scenario, ScenarioError, ScenarioSpec, Series, SeriesEntry,

@@ -13,10 +13,11 @@
 //! convert its compute into speedup.
 
 use bpvec_core::BitWidth;
-use bpvec_dnn::Network;
+use bpvec_dnn::{Layer, Network};
 use serde::Serialize;
 
 use crate::accel::AcceleratorConfig;
+use crate::cost::CostModel;
 use crate::memory::DramSpec;
 use crate::tiling;
 
@@ -61,13 +62,41 @@ pub fn roofline(
     b: u64,
 ) -> RooflinePoint {
     let working = accel.scratchpad.working_bytes();
+    roofline_from_traffic(network, accel, dram, b, |layer| {
+        tiling::layer_traffic(layer, working, b)
+    })
+}
+
+/// [`roofline`] with the per-layer traffic served from a shared, memoized
+/// [`CostModel`] — identical coordinates, no repeated tiling searches when
+/// many roofline points are plotted over one grid.
+#[must_use]
+pub fn roofline_cached(
+    network: &Network,
+    accel: &AcceleratorConfig,
+    dram: &DramSpec,
+    b: u64,
+    cost: &CostModel,
+) -> RooflinePoint {
+    roofline_from_traffic(network, accel, dram, b, |layer| {
+        cost.layer_cost(layer, accel, dram, b).traffic_bytes
+    })
+}
+
+fn roofline_from_traffic(
+    network: &Network,
+    accel: &AcceleratorConfig,
+    dram: &DramSpec,
+    b: u64,
+    mut layer_traffic: impl FnMut(&Layer) -> u64,
+) -> RooflinePoint {
     let mut macs = 0u64;
     let mut traffic = 0u64;
     let mut peak_weighted = 0.0f64;
     for layer in &network.layers {
         let layer_macs = layer.macs() * b;
         macs += layer_macs;
-        traffic += tiling::layer_traffic(layer, working, b);
+        traffic += layer_traffic(layer);
         peak_weighted +=
             layer_macs as f64 * accel.macs_per_second(layer.act_bits, layer.weight_bits);
     }

@@ -34,11 +34,12 @@
 use std::fmt;
 use std::sync::Arc;
 
-use bpvec_dnn::{Network, NetworkId};
+use bpvec_dnn::{Network, NetworkId, PrecisionPolicy};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use crate::accel::AcceleratorConfig;
+use crate::cost::CostModel;
 use crate::engine::{geomean, simulate, SimConfig};
 use crate::memory::DramSpec;
 use crate::workload::Workload;
@@ -64,6 +65,26 @@ pub trait Evaluator: Send + Sync {
     /// `workload.build()` (built once per workload by the scenario runner);
     /// platforms with no off-chip memory axis ignore `dram`.
     fn evaluate(&self, workload: &Workload, network: &Network, dram: &DramSpec) -> Measurement;
+
+    /// [`Evaluator::evaluate`] through a shared, memoized
+    /// [`CostModel`](crate::cost::CostModel).
+    ///
+    /// Grid runners ([`Scenario`], `bpvec-serve`) create one cost model per
+    /// run and thread it through every cell, so backends whose cost is a
+    /// pure per-layer function (the analytical accelerator) share layer
+    /// work across cells, batch sizes and replicas. The default forwards to
+    /// the uncached path — external backends need not care — and overriding
+    /// implementations must return bit-identical results to `evaluate`.
+    fn evaluate_with(
+        &self,
+        workload: &Workload,
+        network: &Network,
+        dram: &DramSpec,
+        cost: &CostModel,
+    ) -> Measurement {
+        let _ = cost;
+        self.evaluate(workload, network, dram)
+    }
 }
 
 impl Evaluator for AcceleratorConfig {
@@ -82,6 +103,28 @@ impl Evaluator for AcceleratorConfig {
             batching: workload.batching,
         };
         let r = simulate(network, &cfg);
+        Measurement {
+            latency_s: r.latency_s,
+            energy_j: r.energy_j,
+            macs: r.macs,
+            batch: r.batch,
+            gops_per_watt: r.gops_per_watt(),
+        }
+    }
+
+    fn evaluate_with(
+        &self,
+        workload: &Workload,
+        network: &Network,
+        dram: &DramSpec,
+        cost: &CostModel,
+    ) -> Measurement {
+        let cfg = SimConfig {
+            accel: *self,
+            dram: *dram,
+            batching: workload.batching,
+        };
+        let r = cost.simulate(network, &cfg);
         Measurement {
             latency_s: r.latency_s,
             energy_j: r.energy_j,
@@ -138,6 +181,16 @@ impl<E: Evaluator> Evaluator for Labeled<E> {
 
     fn evaluate(&self, workload: &Workload, network: &Network, dram: &DramSpec) -> Measurement {
         self.inner.evaluate(workload, network, dram)
+    }
+
+    fn evaluate_with(
+        &self,
+        workload: &Workload,
+        network: &Network,
+        dram: &DramSpec,
+        cost: &CostModel,
+    ) -> Measurement {
+        self.inner.evaluate_with(workload, network, dram, cost)
     }
 }
 
@@ -204,8 +257,32 @@ pub struct ScenarioSpec {
     pub workloads: Vec<Workload>,
     /// Memory systems, in insertion order.
     pub memories: Vec<DramSpec>,
+    /// The precision sweep axis. Empty (the default) means every workload
+    /// runs at its own declared policy; non-empty means each workload is
+    /// expanded into one variant per policy here (workload-major order),
+    /// overriding the workload's own policy.
+    pub precisions: Vec<PrecisionPolicy>,
     /// Normalization baseline; `None` means first platform + first memory.
     pub baseline: Option<CellRef>,
+}
+
+impl ScenarioSpec {
+    /// The workload list the run actually evaluates: the declared workloads
+    /// crossed with the precision axis when one is set.
+    #[must_use]
+    pub fn effective_workloads(&self) -> Vec<Workload> {
+        if self.precisions.is_empty() {
+            return self.workloads.clone();
+        }
+        self.workloads
+            .iter()
+            .flat_map(|w| {
+                self.precisions
+                    .iter()
+                    .map(|p| w.clone().with_policy(p.clone()))
+            })
+            .collect()
+    }
 }
 
 /// Errors from building or running a scenario.
@@ -270,6 +347,7 @@ impl Scenario {
                 platforms: Vec::new(),
                 workloads: Vec::new(),
                 memories: Vec::new(),
+                precisions: Vec::new(),
                 baseline: None,
             },
             evaluators: Vec::new(),
@@ -331,6 +409,23 @@ impl Scenario {
     #[must_use]
     pub fn memories(mut self, memories: impl IntoIterator<Item = DramSpec>) -> Self {
         self.spec.memories.extend(memories);
+        self
+    }
+
+    /// Adds one precision policy to the sweep axis. A non-empty axis
+    /// expands every workload into one variant per policy (overriding the
+    /// workload's declared policy), workload-major.
+    #[must_use]
+    pub fn precision(mut self, policy: impl Into<PrecisionPolicy>) -> Self {
+        self.spec.precisions.push(policy.into());
+        self
+    }
+
+    /// Adds a batch of precision policies (e.g.
+    /// [`PrecisionPolicy::paper_sweep`]).
+    #[must_use]
+    pub fn precisions(mut self, policies: impl IntoIterator<Item = PrecisionPolicy>) -> Self {
+        self.spec.precisions.extend(policies);
         self
     }
 
@@ -435,9 +530,12 @@ impl Scenario {
         }
         // Exact duplicates would double-weight a network in every geomean;
         // same-network workloads with different batching stay legal (batch
-        // sweeps).
-        for (i, w) in spec.workloads.iter().enumerate() {
-            if spec.workloads[..i].contains(w) {
+        // sweeps). The check runs on the precision-expanded list, so a
+        // sweep axis that collides with a workload's declared policy is
+        // caught too.
+        let workloads = spec.effective_workloads();
+        for (i, w) in workloads.iter().enumerate() {
+            if workloads[..i].contains(w) {
                 return Err(ScenarioError(format!(
                     "duplicate workload `{w}` (identical network, policy, and batching)"
                 )));
@@ -477,20 +575,32 @@ impl Scenario {
                 memory: spec.memories[0].name.to_string(),
             },
         };
-        // Instantiate each network once; every cell borrows it.
-        let networks: Vec<Network> = spec.workloads.iter().map(Workload::build).collect();
+        // Instantiate each network once; every cell borrows it. Precision
+        // validation surfaces here instead of panicking mid-grid.
+        let networks: Vec<Network> = workloads
+            .iter()
+            .map(|w| {
+                w.try_build()
+                    .map_err(|e| ScenarioError(format!("workload `{w}`: {e}")))
+            })
+            .collect::<Result<_, _>>()?;
+        // One memoized cost model for the whole grid: cells sharing layer
+        // shapes, precisions, batches and platform/memory numbers share the
+        // per-layer work (bit-identically; see `crate::cost`).
+        let cost = CostModel::new();
+        let n_workloads = workloads.len();
         let jobs: Vec<(usize, usize, usize)> = (0..spec.platforms.len())
             .flat_map(|p| {
-                (0..spec.memories.len())
-                    .flat_map(move |m| (0..spec.workloads.len()).map(move |w| (p, m, w)))
+                (0..spec.memories.len()).flat_map(move |m| (0..n_workloads).map(move |w| (p, m, w)))
             })
             .collect();
         let cells: Vec<Cell> = jobs
             .into_par_iter()
             .map(|(p, m, w)| {
-                let workload = spec.workloads[w];
+                let workload = workloads[w].clone();
                 let dram = spec.memories[m];
-                let measurement = evaluators[p].evaluate(&workload, &networks[w], &dram);
+                let measurement =
+                    evaluators[p].evaluate_with(&workload, &networks[w], &dram, &cost);
                 Cell {
                     platform: labels[p].clone(),
                     memory: dram.name.to_string(),
@@ -745,7 +855,10 @@ impl Report {
         }
     }
 
-    /// Renders every raw cell as CSV for downstream analysis.
+    /// Renders every raw cell as CSV for downstream analysis. The `policy`
+    /// column is the workload's precision policy in its compact
+    /// [`fmt::Display`] form (`Homogeneous8`, `uniform4`, `uniform8x2`,
+    /// `per-layer[n;tag]`), so precision sweeps are directly plottable.
     #[must_use]
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
@@ -753,7 +866,7 @@ impl Report {
         );
         for c in &self.cells {
             out.push_str(&format!(
-                "{},{},{},{:?},{},{:.6e},{:.6e},{},{:.4}\n",
+                "{},{},{},{},{},{:.6e},{:.6e},{},{:.4}\n",
                 c.platform,
                 c.memory,
                 c.workload.network.name(),
@@ -892,8 +1005,8 @@ mod tests {
         let err = Scenario::new("dup-workload")
             .platform(AcceleratorConfig::bpvec())
             .memory(DramSpec::ddr4())
-            .workload(w)
-            .workload(w)
+            .workload(w.clone())
+            .workload(w.clone())
             .try_run()
             .unwrap_err();
         assert!(err.to_string().contains("duplicate workload"));
@@ -901,7 +1014,7 @@ mod tests {
         let report = Scenario::new("batch-sweep")
             .platform(AcceleratorConfig::bpvec())
             .memory(DramSpec::ddr4())
-            .workload(w.with_batching(BatchRegime::fixed(1)))
+            .workload(w.clone().with_batching(BatchRegime::fixed(1)))
             .workload(w.with_batching(BatchRegime::fixed(64)))
             .run();
         assert_eq!(report.cells.len(), 2);
@@ -1017,6 +1130,91 @@ mod tests {
         assert_eq!(csv.trim().lines().count(), 1 + report.cells.len());
         assert!(csv.starts_with("platform,memory,network,policy,batch"));
         assert!(csv.contains("BPVeC,DDR4,AlexNet"));
+    }
+
+    #[test]
+    fn precision_axis_expands_every_workload() {
+        use bpvec_core::BitWidth;
+        let report = Scenario::new("precision sweep")
+            .platform(AcceleratorConfig::bpvec())
+            .memory(DramSpec::ddr4())
+            .workload(Workload::new(
+                NetworkId::ResNet18,
+                BitwidthPolicy::Homogeneous8,
+            ))
+            .precisions(PrecisionPolicy::paper_sweep())
+            .run();
+        assert_eq!(report.cells.len(), 4);
+        // The axis overrides the workload's declared policy...
+        let policies: Vec<String> = report
+            .cells
+            .iter()
+            .map(|c| c.workload.policy.to_string())
+            .collect();
+        assert_eq!(
+            policies,
+            vec!["uniform8", "uniform6", "uniform4", "uniform2"]
+        );
+        // ...narrower layers run strictly faster on the composable design...
+        let latencies: Vec<f64> = report
+            .cells
+            .iter()
+            .map(|c| c.measurement.latency_s)
+            .collect();
+        for pair in latencies.windows(2) {
+            assert!(pair[1] <= pair[0] * 1.0000001, "{latencies:?}");
+        }
+        // ...and the CSV policy column carries the precision.
+        let csv = report.to_csv();
+        assert!(csv.contains(",uniform2,"), "{csv}");
+        // A uniform-8 sweep point matches the preset bit-for-bit: same
+        // layer widths, same simulation.
+        let hom = Scenario::new("preset")
+            .platform(AcceleratorConfig::bpvec())
+            .memory(DramSpec::ddr4())
+            .workload(Workload::new(
+                NetworkId::ResNet18,
+                BitwidthPolicy::Homogeneous8,
+            ))
+            .run();
+        assert_eq!(
+            report.cells[0].measurement, hom.cells[0].measurement,
+            "uniform8 == Homogeneous8 numerically"
+        );
+        let _ = BitWidth::INT8;
+    }
+
+    #[test]
+    fn duplicate_precisions_in_the_axis_are_rejected() {
+        use bpvec_dnn::PrecisionPolicy;
+        let err = Scenario::new("dup precision")
+            .platform(AcceleratorConfig::bpvec())
+            .memory(DramSpec::ddr4())
+            .workload(Workload::new(
+                NetworkId::AlexNet,
+                BitwidthPolicy::Homogeneous8,
+            ))
+            .precision(PrecisionPolicy::heterogeneous())
+            .precision(PrecisionPolicy::heterogeneous())
+            .try_run()
+            .unwrap_err();
+        assert!(err.to_string().contains("duplicate workload"));
+    }
+
+    #[test]
+    fn invalid_per_layer_policy_is_a_scenario_error_not_a_panic() {
+        use bpvec_core::BitWidth;
+        use bpvec_dnn::LayerPrecision;
+        let err = Scenario::new("bad per-layer")
+            .platform(AcceleratorConfig::bpvec())
+            .memory(DramSpec::ddr4())
+            .workload(Workload::new(
+                NetworkId::AlexNet,
+                PrecisionPolicy::per_layer(vec![LayerPrecision::uniform(BitWidth::INT4); 2]),
+            ))
+            .try_run()
+            .unwrap_err();
+        assert!(err.to_string().contains("width pairs"), "{err}");
     }
 
     #[test]

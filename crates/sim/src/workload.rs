@@ -1,13 +1,15 @@
 //! Workload declarations: *what* gets evaluated, independent of *where*.
 //!
-//! A [`Workload`] bundles a Table I network, its bitwidth policy and the
-//! batching regime it is served under. Platforms ([`crate::scenario::Evaluator`]
-//! implementations) receive workloads and report measurements; the batching
-//! knobs that used to live on [`crate::SimConfig`] as loose `batch_cnn` /
-//! `batch_recurrent` fields now travel with the workload as a
-//! [`BatchRegime`].
+//! A [`Workload`] bundles a Table I network, its per-layer precision policy
+//! and the batching regime it is served under. Platforms
+//! ([`crate::scenario::Evaluator`] implementations) receive workloads and
+//! report measurements; the batching knobs that used to live on
+//! [`crate::SimConfig`] as loose `batch_cnn` / `batch_recurrent` fields now
+//! travel with the workload as a [`BatchRegime`], and precision travels as a
+//! [`PrecisionPolicy`] (the paper's presets, uniform `(bx, bw)` policies, or
+//! explicit per-layer assignments).
 
-use bpvec_dnn::{BitwidthPolicy, Network, NetworkId};
+use bpvec_dnn::{Network, NetworkId, PrecisionError, PrecisionPolicy};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -74,25 +76,27 @@ impl Default for BatchRegime {
     }
 }
 
-/// One unit of evaluated work: a network, its bitwidth policy, and the
+/// One unit of evaluated work: a network, its precision policy, and the
 /// batching regime it is served under.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Workload {
     /// The Table I network.
     pub network: NetworkId,
-    /// Layer bitwidths: homogeneous 8-bit or the paper's heterogeneous set.
-    pub policy: BitwidthPolicy,
+    /// Per-layer operand bitwidths: a preset ([`bpvec_dnn::BitwidthPolicy`]
+    /// converts directly), a uniform pair, or an explicit per-layer list.
+    pub policy: PrecisionPolicy,
     /// The batching regime.
     pub batching: BatchRegime,
 }
 
 impl Workload {
-    /// A workload under the default serving batches.
+    /// A workload under the default serving batches. Accepts a preset
+    /// (`BitwidthPolicy::Homogeneous8`) or any [`PrecisionPolicy`].
     #[must_use]
-    pub fn new(network: NetworkId, policy: BitwidthPolicy) -> Self {
+    pub fn new(network: NetworkId, policy: impl Into<PrecisionPolicy>) -> Self {
         Workload {
             network,
-            policy,
+            policy: policy.into(),
             batching: BatchRegime::paper_default(),
         }
     }
@@ -104,13 +108,22 @@ impl Workload {
         self
     }
 
+    /// Replaces the precision policy (builder style) — how precision sweeps
+    /// derive their workloads.
+    #[must_use]
+    pub fn with_policy(mut self, policy: impl Into<PrecisionPolicy>) -> Self {
+        self.policy = policy.into();
+        self
+    }
+
     /// All six Table I networks under one policy, in Table I order — the
     /// row set of every Figure 5–9 comparison.
     #[must_use]
-    pub fn table1(policy: BitwidthPolicy) -> Vec<Workload> {
+    pub fn table1(policy: impl Into<PrecisionPolicy>) -> Vec<Workload> {
+        let policy = policy.into();
         NetworkId::ALL
             .iter()
-            .map(|&id| Workload::new(id, policy))
+            .map(|&id| Workload::new(id, policy.clone()))
             .collect()
     }
 
@@ -121,9 +134,28 @@ impl Workload {
     }
 
     /// Instantiates the network (layer shapes + bitwidths).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a per-layer policy does not match the network's layer
+    /// count; [`Workload::try_build`] is the fallible form (scenario runners
+    /// use it and surface the error).
     #[must_use]
     pub fn build(&self) -> Network {
-        Network::build(self.network, self.policy)
+        match self.try_build() {
+            Ok(net) => net,
+            Err(e) => panic!("workload `{self}`: {e}"),
+        }
+    }
+
+    /// Instantiates the network, surfacing precision-validation errors.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`PrecisionError::LayerCountMismatch`] when a per-layer
+    /// policy's width list does not match the network's layer count.
+    pub fn try_build(&self) -> Result<Network, PrecisionError> {
+        Network::build_precise(self.network, &self.policy)
     }
 }
 
@@ -131,7 +163,7 @@ impl fmt::Display for Workload {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} ({:?}, batch {})",
+            "{} ({}, batch {})",
             self.network.name(),
             self.policy,
             self.batch()
@@ -142,6 +174,8 @@ impl fmt::Display for Workload {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bpvec_core::BitWidth;
+    use bpvec_dnn::BitwidthPolicy;
 
     #[test]
     fn default_regime_matches_the_seed_simconfig() {
@@ -176,5 +210,26 @@ mod tests {
         let net = w.build();
         assert_eq!(net.id, NetworkId::ResNet18);
         assert!(!net.layers.is_empty());
+    }
+
+    #[test]
+    fn with_policy_rewrites_precision_for_sweeps() {
+        let base = Workload::new(NetworkId::ResNet18, BitwidthPolicy::Homogeneous8)
+            .with_batching(BatchRegime::fixed(4));
+        let narrow = base
+            .clone()
+            .with_policy(PrecisionPolicy::uniform(BitWidth::INT2));
+        assert_eq!(narrow.batching, BatchRegime::fixed(4), "batching survives");
+        let net = narrow.build();
+        assert!(net.layers.iter().all(|l| l.weight_bits == BitWidth::INT2));
+    }
+
+    #[test]
+    fn invalid_per_layer_policy_surfaces_through_try_build() {
+        let w = Workload::new(
+            NetworkId::AlexNet,
+            PrecisionPolicy::per_layer(vec![bpvec_dnn::LayerPrecision::uniform(BitWidth::INT4); 2]),
+        );
+        assert!(w.try_build().is_err());
     }
 }

@@ -1,0 +1,242 @@
+//! Property tests over the shared cost model and per-layer precision:
+//!
+//! * a network's cost is exactly the sum of its per-layer costs under *any*
+//!   precision policy;
+//! * `CostModel`-cached results are bit-identical to the uncached engine
+//!   across random policies, batches, platforms, and memories;
+//! * shrinking any single layer's bitwidths never lowers the composable
+//!   design's compute throughput (and never raises whole-network latency).
+
+use bpvec_core::BitWidth;
+use bpvec_dnn::{LayerPrecision, Network, NetworkId, PrecisionPolicy};
+use bpvec_sim::{
+    layer_cost, simulate, AcceleratorConfig, BatchRegime, CostModel, DramSpec, SimConfig,
+};
+use proptest::prelude::*;
+
+fn arb_network_id() -> impl Strategy<Value = NetworkId> {
+    prop_oneof![
+        Just(NetworkId::AlexNet),
+        Just(NetworkId::InceptionV1),
+        Just(NetworkId::ResNet18),
+        Just(NetworkId::ResNet50),
+        Just(NetworkId::Rnn),
+        Just(NetworkId::Lstm),
+    ]
+}
+
+fn arb_width() -> impl Strategy<Value = BitWidth> {
+    (1u32..=8).prop_map(|b| BitWidth::new(b).expect("1..=8 is valid"))
+}
+
+/// A seeded per-layer assignment for `id` (splitmix over the seed, widths
+/// in 1..=8) — stands in for `proptest::collection`, which the offline
+/// shim does not provide.
+fn seeded_per_layer(id: NetworkId, seed: u64) -> PrecisionPolicy {
+    let layers = Network::build(id, bpvec_dnn::BitwidthPolicy::Homogeneous8)
+        .layers
+        .len();
+    let mut z = seed;
+    let mut next = move || {
+        z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut x = z;
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        BitWidth::new(1 + ((x ^ (x >> 31)) % 8) as u32).expect("1..=8")
+    };
+    PrecisionPolicy::per_layer(
+        (0..layers)
+            .map(|_| LayerPrecision::new(next(), next()))
+            .collect(),
+    )
+}
+
+fn arb_accel() -> impl Strategy<Value = AcceleratorConfig> {
+    prop_oneof![
+        Just(AcceleratorConfig::tpu_like()),
+        Just(AcceleratorConfig::bitfusion()),
+        Just(AcceleratorConfig::bpvec()),
+    ]
+}
+
+fn arb_dram() -> impl Strategy<Value = DramSpec> {
+    prop_oneof![Just(DramSpec::ddr4()), Just(DramSpec::hbm2())]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// (a) The network result under any precision policy is exactly the sum
+    /// of its per-layer costs — no hidden cross-layer terms.
+    #[test]
+    fn network_cost_is_the_sum_of_layer_costs(
+        id in arb_network_id(),
+        (act, weight) in (arb_width(), arb_width()),
+        per_layer_seed in proptest::num::u64::ANY,
+        use_per_layer in proptest::bool::ANY,
+        accel in arb_accel(),
+        dram in arb_dram(),
+        batch in 1u64..=32,
+    ) {
+        let policy = if use_per_layer {
+            seeded_per_layer(id, per_layer_seed)
+        } else {
+            PrecisionPolicy::uniform_xw(act, weight)
+        };
+        let net = Network::build_precise(id, &policy).expect("policy applies");
+        let mut cfg = SimConfig::new(accel, dram);
+        cfg.batching = BatchRegime::fixed(batch);
+        let r = simulate(&net, &cfg);
+        let mut latency = 0.0f64;
+        let mut energy = 0.0f64;
+        for layer in &net.layers {
+            let c = layer_cost(layer, &accel, &dram, batch);
+            latency += c.latency_s;
+            energy += c.core_energy_j + c.dram_energy_j;
+        }
+        // Same summation order as the engine: exactly equal, not just close.
+        prop_assert_eq!(r.latency_s, latency / batch as f64);
+        prop_assert_eq!(r.energy_j, energy / batch as f64);
+        prop_assert_eq!(r.layers.len(), net.layers.len());
+    }
+
+    /// (b) Cached and uncached evaluation agree bit-for-bit across random
+    /// policies, batches, platforms and memories — even when the cache is
+    /// warm from *other* configurations.
+    #[test]
+    fn cost_model_is_bit_identical_to_the_engine(
+        id in arb_network_id(),
+        policy_seed in 0u32..5,
+        per_layer_seed in proptest::num::u64::ANY,
+        accel in arb_accel(),
+        dram in arb_dram(),
+        batch in 1u64..=32,
+    ) {
+        let policy = match policy_seed {
+            0 => PrecisionPolicy::homogeneous8(),
+            1 => PrecisionPolicy::heterogeneous(),
+            2 => PrecisionPolicy::uniform(BitWidth::INT2),
+            3 => PrecisionPolicy::uniform_xw(BitWidth::INT8, BitWidth::new(3).unwrap()),
+            _ => seeded_per_layer(id, per_layer_seed),
+        };
+        let net = Network::build_precise(id, &policy).expect("policy applies");
+        let mut cfg = SimConfig::new(accel, dram);
+        cfg.batching = BatchRegime::fixed(batch);
+        let model = CostModel::new();
+        // Warm the cache with a different batch so hits and misses mix.
+        let mut other = cfg;
+        other.batching = BatchRegime::fixed(batch + 1);
+        let _ = model.simulate(&net, &other);
+        let cached = model.simulate(&net, &cfg);
+        let direct = simulate(&net, &cfg);
+        prop_assert_eq!(cached, direct);
+        // And a second, fully-warm pass still agrees.
+        let warm = model.simulate(&net, &cfg);
+        prop_assert_eq!(warm, simulate(&net, &cfg));
+    }
+
+    /// (b') A randomly shared model across policies never contaminates
+    /// entries: evaluating two different policies through one model gives
+    /// each its own uncached truth.
+    #[test]
+    fn shared_model_keeps_policies_separate(
+        id in arb_network_id(),
+        batch in 1u64..=16,
+    ) {
+        let model = CostModel::new();
+        let mut cfg = SimConfig::new(AcceleratorConfig::bpvec(), DramSpec::ddr4());
+        cfg.batching = BatchRegime::fixed(batch);
+        for policy in PrecisionPolicy::paper_sweep() {
+            let net = Network::build_precise(id, &policy).expect("uniform applies");
+            prop_assert_eq!(model.simulate(&net, &cfg), simulate(&net, &cfg));
+        }
+    }
+
+    /// (c) Shrinking any single layer's bitwidths never lowers compute
+    /// throughput on the composable design: per-layer compute time and
+    /// whole-network latency are monotone non-increasing in the width.
+    #[test]
+    fn throughput_is_monotone_as_one_layer_narrows(
+        id in arb_network_id(),
+        layer_frac in 0.0f64..1.0,
+        wide in 2u32..=8,
+        shrink in 1u32..=4,
+        batch in 1u64..=16,
+    ) {
+        let base = Network::build(id, bpvec_dnn::BitwidthPolicy::Homogeneous8);
+        let li = ((layer_frac * base.layers.len() as f64) as usize).min(base.layers.len() - 1);
+        let narrow = wide.saturating_sub(shrink).max(1);
+        let make = |bits: u32| {
+            let widths: Vec<LayerPrecision> = base
+                .layers
+                .iter()
+                .enumerate()
+                .map(|(i, _)| {
+                    if i == li {
+                        LayerPrecision::uniform(BitWidth::new(bits).unwrap())
+                    } else {
+                        LayerPrecision::uniform(BitWidth::INT8)
+                    }
+                })
+                .collect();
+            Network::build_precise(id, &PrecisionPolicy::per_layer(widths))
+                .expect("lengths match")
+        };
+        let accel = AcceleratorConfig::bpvec();
+        let dram = DramSpec::ddr4();
+        let wide_net = make(wide);
+        let narrow_net = make(narrow);
+        // Per-layer: compute time never rises when the layer narrows.
+        let cw = layer_cost(&wide_net.layers[li], &accel, &dram, batch);
+        let cn = layer_cost(&narrow_net.layers[li], &accel, &dram, batch);
+        prop_assert!(
+            cn.compute_s <= cw.compute_s * 1.0000001,
+            "layer {li}: {} -> {} bits raised compute {} -> {}",
+            wide, narrow, cw.compute_s, cn.compute_s
+        );
+        // Traffic (and so memory time) never rises either.
+        prop_assert!(cn.traffic_bytes <= cw.traffic_bytes);
+        // Whole network: latency never rises, so throughput (2·MACs/latency,
+        // MAC count unchanged) never falls.
+        let mut cfg = SimConfig::new(accel, dram);
+        cfg.batching = BatchRegime::fixed(batch);
+        let rw = simulate(&wide_net, &cfg);
+        let rn = simulate(&narrow_net, &cfg);
+        prop_assert!(rn.latency_s <= rw.latency_s * 1.0000001);
+        prop_assert!(rn.gops() >= rw.gops() * 0.9999999);
+    }
+}
+
+/// The full uniform sweep end-to-end: on BPVeC, whole-network throughput is
+/// monotone non-decreasing as every layer drops 8 → 2 bits (the paper's
+/// core scaling result), while the non-composable baseline is flat on the
+/// compute side.
+#[test]
+fn uniform_sweep_throughput_scales_on_the_composable_design_only() {
+    let dram = DramSpec::hbm2();
+    for id in [NetworkId::ResNet18, NetworkId::ResNet50] {
+        let mut last_bp = 0.0f64;
+        let mut first_tpu = None;
+        for policy in PrecisionPolicy::paper_sweep() {
+            let net = Network::build_precise(id, &policy).unwrap();
+            let bp = simulate(&net, &SimConfig::new(AcceleratorConfig::bpvec(), dram));
+            assert!(
+                bp.gops() >= last_bp * 0.9999999,
+                "{id}: throughput fell across the sweep"
+            );
+            last_bp = bp.gops();
+            let tpu = simulate(&net, &SimConfig::new(AcceleratorConfig::tpu_like(), dram));
+            let first = *first_tpu.get_or_insert(tpu.latency_s);
+            // The TPU-like design gains only traffic reduction, never the
+            // composition multiplier: its gain stays well under BPVeC's.
+            assert!(tpu.latency_s <= first * 1.0000001);
+        }
+        let wide = Network::build_precise(id, &PrecisionPolicy::uniform(BitWidth::INT8)).unwrap();
+        let bp_wide = simulate(&wide, &SimConfig::new(AcceleratorConfig::bpvec(), dram));
+        assert!(
+            last_bp > bp_wide.gops() * 2.0,
+            "{id}: 2-bit throughput {last_bp} should be well above 8-bit {}",
+            bp_wide.gops()
+        );
+    }
+}

@@ -28,11 +28,11 @@ fn main() {
     // the scratchpad tiles spill.
     println!("AlexNet on BPVeC + DDR4 — per-inference latency by batch size:");
     for b in [1u64, 4, 8, 16, 32] {
-        let m = accel.evaluate(&w.with_batching(BatchRegime::fixed(b)), &net, &dram);
+        let m = accel.evaluate(&w.clone().with_batching(BatchRegime::fixed(b)), &net, &dram);
         println!("  batch {b:>2}: {:>7.3} ms/inference", m.latency_s * 1e3);
     }
     let s1 = accel
-        .evaluate(&w.with_batching(BatchRegime::fixed(1)), &net, &dram)
+        .evaluate(&w.clone().with_batching(BatchRegime::fixed(1)), &net, &dram)
         .latency_s;
 
     // Load points relative to the *unbatched* capacity 1/s1: the top one is
@@ -47,7 +47,7 @@ fn main() {
             TrafficSpec::new(
                 format!("rho-{rho}"),
                 ArrivalProcess::poisson(rho / s1),
-                RequestMix::single(w),
+                RequestMix::single(w.clone()),
                 4_000,
             )
             .with_warmup(400)
