@@ -1,0 +1,136 @@
+//! Criterion bench of the packed bit-plane GEMM path against the seed
+//! per-element CVU path — the acceptance check for the packed-kernel
+//! refactor (target: ≥ 20× on identical operands, bit-identical outputs).
+//!
+//! Besides the criterion output, running this bench writes
+//! `BENCH_bittrue.json` at the workspace root with per-path timings and
+//! MACs/s (the requests-per-sec analog for GEMMs) plus the measured
+//! speedup, so CI can track it next to the other BENCH files.
+
+use std::time::Instant;
+
+use bpvec_core::{BitWidth, Signedness};
+use bpvec_dnn::Tensor;
+use bpvec_sim::systolic::{ArrayConfig, SystolicArray};
+use criterion::{black_box, criterion_group, Criterion, Throughput};
+
+/// Headline GEMM: one AlexNet conv1 row tile — all 64 output channels,
+/// im2col depth 3·11·11 = 363, a 64-pixel strip of output positions.
+const M: usize = 64;
+const K: usize = 363;
+const N: usize = 64;
+
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn matrix(m: usize, n: usize, bits: BitWidth, seed: u64) -> Tensor {
+    let (lo, hi) = bits.range(Signedness::Signed);
+    let span = (hi - lo + 1) as u64;
+    let mut i = 0u64;
+    Tensor::from_fn(&[m, n], |_| {
+        i += 1;
+        lo + (mix(seed ^ i) % span) as i32
+    })
+}
+
+/// Seed path: every output scalar through `Cvu::dot_product`, slicing
+/// elements one at a time.
+fn run_seed(arr: &SystolicArray, a: &Tensor, b: &Tensor, ba: BitWidth, bb: BitWidth) -> Tensor {
+    arr.gemm(a, b, ba, bb, Signedness::Signed)
+        .expect("seed gemm")
+        .output
+}
+
+/// Packed path, packing included: decompose both operands into bit planes,
+/// then stream the word-level kernels tile-by-tile.
+fn run_packed(arr: &SystolicArray, a: &Tensor, b: &Tensor, ba: BitWidth, bb: BitWidth) -> Tensor {
+    let sw = arr.config().cvu.slice_width;
+    let pa = a.pack_rows(ba, sw, Signedness::Signed).expect("pack rows");
+    let pb = b.pack_cols(bb, sw, Signedness::Signed).expect("pack cols");
+    arr.gemm_packed(&pa, &pb).expect("packed gemm").output
+}
+
+fn bench(c: &mut Criterion) {
+    let arr = SystolicArray::new(ArrayConfig::paper_default());
+    // A smaller tile keeps the slow seed path's criterion runs short.
+    let (sm, sk, sn) = (16, 128, 16);
+    let a = matrix(sm, sk, BitWidth::INT8, 1);
+    let b = matrix(sk, sn, BitWidth::INT8, 2);
+    let mut g = c.benchmark_group("bit_true");
+    g.throughput(Throughput::Elements((sm * sk * sn) as u64));
+    g.bench_function("seed_per_element", |bch| {
+        bch.iter(|| black_box(run_seed(&arr, &a, &b, BitWidth::INT8, BitWidth::INT8)))
+    });
+    g.bench_function("packed_planes", |bch| {
+        bch.iter(|| black_box(run_packed(&arr, &a, &b, BitWidth::INT8, BitWidth::INT8)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+
+fn best_of(reps: u32, mut f: impl FnMut() -> Tensor) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        black_box(f());
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    benches();
+    // Machine-readable summary for CI, written at the workspace root
+    // (cargo sets a bench's cwd to the package directory).
+    let arr = SystolicArray::new(ArrayConfig::paper_default());
+    let a = matrix(M, K, BitWidth::INT8, 3);
+    let b = matrix(K, N, BitWidth::INT8, 4);
+    let macs = (M * K * N) as u64;
+
+    // Bit-true guard: the two paths must agree exactly before timing means
+    // anything.
+    let seed_out = run_seed(&arr, &a, &b, BitWidth::INT8, BitWidth::INT8);
+    let packed_out = run_packed(&arr, &a, &b, BitWidth::INT8, BitWidth::INT8);
+    assert_eq!(seed_out, packed_out, "paths diverged; bench is meaningless");
+
+    let seed_s = best_of(3, || run_seed(&arr, &a, &b, BitWidth::INT8, BitWidth::INT8));
+    let packed_s = best_of(5, || {
+        run_packed(&arr, &a, &b, BitWidth::INT8, BitWidth::INT8)
+    });
+    // The paper's heterogeneous mode (8-bit activations × 2-bit weights):
+    // fewer planes, faster still.
+    let b2 = matrix(K, N, BitWidth::INT2, 5);
+    let packed_het_s = best_of(5, || {
+        run_packed(&arr, &a, &b2, BitWidth::INT8, BitWidth::INT2)
+    });
+
+    let speedup = seed_s / packed_s;
+    let per_sec = |s: f64| macs as f64 / s;
+    let json = format!(
+        "{{\n  \"bench\": \"bit_true\",\n  \"gemm\": \"alexnet conv1 tile [{M},{K}]x[{K},{N}]\",\n  \
+         \"macs\": {macs},\n  \"results\": [\n    \
+         {{\n      \"name\": \"seed_per_element_8x8\",\n      \"seconds_per_run\": {seed_s:.6},\n      \
+         \"macs_per_sec\": {:.1}\n    }},\n    \
+         {{\n      \"name\": \"packed_planes_8x8\",\n      \"seconds_per_run\": {packed_s:.6},\n      \
+         \"macs_per_sec\": {:.1}\n    }},\n    \
+         {{\n      \"name\": \"packed_planes_8x2_het\",\n      \"seconds_per_run\": {packed_het_s:.6},\n      \
+         \"macs_per_sec\": {:.1}\n    }}\n  ],\n  \
+         \"speedup_packed_vs_seed\": {speedup:.2}\n}}\n",
+        per_sec(seed_s),
+        per_sec(packed_s),
+        per_sec(packed_het_s),
+    );
+    let out_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_bittrue.json");
+    std::fs::write(out_path, &json).expect("write BENCH_bittrue.json");
+    print!("{json}");
+    assert!(
+        speedup >= 20.0,
+        "packed path must be at least 20x the per-element seed path, got {speedup:.2}x"
+    );
+    println!("wrote BENCH_bittrue.json");
+}

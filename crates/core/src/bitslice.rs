@@ -379,10 +379,41 @@ pub fn decompose_vector(
     slice_width: SliceWidth,
     signedness: Signedness,
 ) -> Result<Vec<SlicedValue>, CoreError> {
-    values
-        .iter()
-        .map(|&v| SlicedValue::decompose(v, width, slice_width, signedness))
-        .collect()
+    let mut out = Vec::new();
+    decompose_vector_into(values, width, slice_width, signedness, &mut out)?;
+    Ok(out)
+}
+
+/// [`decompose_vector`] into a caller-owned buffer, so hot loops (the CVU's
+/// per-chunk slicing, the scalar Equation 3/4 formulations) reuse one
+/// allocation across calls instead of growing a fresh `Vec` each time.
+///
+/// `out` is cleared first; on error it is left cleared and the first
+/// offending element is reported.
+///
+/// # Errors
+///
+/// Fails with [`CoreError::ValueOutOfRange`] on the first element that does
+/// not fit in `width`.
+pub fn decompose_vector_into(
+    values: &[i32],
+    width: BitWidth,
+    slice_width: SliceWidth,
+    signedness: Signedness,
+    out: &mut Vec<SlicedValue>,
+) -> Result<(), CoreError> {
+    out.clear();
+    out.reserve(values.len());
+    for &v in values {
+        match SlicedValue::decompose(v, width, slice_width, signedness) {
+            Ok(sv) => out.push(sv),
+            Err(e) => {
+                out.clear();
+                return Err(e);
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Extracts the `k`-th slice value of each element — the bit-sliced
@@ -395,7 +426,30 @@ pub fn decompose_vector(
 /// its output).
 #[must_use]
 pub fn subvector(sliced: &[SlicedValue], k: usize) -> Vec<i32> {
-    sliced.iter().map(|sv| sv.slices()[k].value).collect()
+    subvector_iter(sliced, k).collect()
+}
+
+/// Iterator form of [`subvector`]: the `k`-th slice value of each element,
+/// lazily, without materializing the sub-vector.
+///
+/// # Panics
+///
+/// As [`subvector`], panics (on consumption) if `k` is out of range for an
+/// element.
+pub fn subvector_iter(sliced: &[SlicedValue], k: usize) -> impl ExactSizeIterator<Item = i32> + '_ {
+    sliced.iter().map(move |sv| sv.slices()[k].value)
+}
+
+/// [`subvector`] into a caller-owned buffer: `out` is cleared and refilled,
+/// so per-significance extraction in a `(j, k)` loop reuses one allocation
+/// instead of materializing a fresh `Vec` per pair.
+///
+/// # Panics
+///
+/// As [`subvector`], panics if `k` is out of range for any element.
+pub fn subvector_into(sliced: &[SlicedValue], k: usize, out: &mut Vec<i32>) {
+    out.clear();
+    out.extend(subvector_iter(sliced, k));
 }
 
 #[cfg(test)]

@@ -12,7 +12,9 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::bitslice::{decompose_vector, subvector, BitWidth, Signedness, SliceWidth};
+use crate::bitslice::{
+    decompose_vector_into, subvector_into, BitWidth, Signedness, SliceWidth, SlicedValue,
+};
 use crate::compose::Composition;
 use crate::error::CoreError;
 use crate::nbve::{Nbve, ACCUMULATOR_BITS};
@@ -198,6 +200,9 @@ impl Cvu {
         let mut value = 0i64;
         let mut stats = ExecutionStats::new();
         let mut cycles = 0u64;
+        // Slicing scratch, reused across every chunk of the whole vector so
+        // the per-cycle loop does not grow fresh buffers each iteration.
+        let mut scratch = SliceScratch::default();
 
         for cycle_chunk in xs.chunks(chunk_per_cycle).zip(ws.chunks(chunk_per_cycle)) {
             let (xc, wc) = cycle_chunk;
@@ -209,7 +214,15 @@ impl Cvu {
             // Each cluster takes one L-sized sub-chunk of this cycle's chunk.
             for (xl, wl) in xc.chunks(lanes).zip(wc.chunks(lanes)) {
                 value = value
-                    .checked_add(self.cluster_dot(xl, wl, &composition, sx, sw, &mut stats)?)
+                    .checked_add(self.cluster_dot(
+                        xl,
+                        wl,
+                        &composition,
+                        sx,
+                        sw,
+                        &mut stats,
+                        &mut scratch,
+                    )?)
                     .ok_or(CoreError::AccumulatorOverflow {
                         required_bits: ACCUMULATOR_BITS + 1,
                         provided_bits: ACCUMULATOR_BITS,
@@ -234,6 +247,8 @@ impl Cvu {
 
     /// One cluster's work for one cycle: slice an `L`-chunk and run every
     /// (j, k) significance pair on one NBVE, shift-adding the outputs.
+    /// All slicing goes through `scratch`'s reused buffers.
+    #[allow(clippy::too_many_arguments)]
     fn cluster_dot(
         &self,
         xs: &[i32],
@@ -242,25 +257,50 @@ impl Cvu {
         sx: Signedness,
         sw: Signedness,
         stats: &mut ExecutionStats,
+        scratch: &mut SliceScratch,
     ) -> Result<i64, CoreError> {
-        let xsl = decompose_vector(xs, composition.x_width(), self.config.slice_width, sx)?;
-        let wsl = decompose_vector(ws, composition.w_width(), self.config.slice_width, sw)?;
+        decompose_vector_into(
+            xs,
+            composition.x_width(),
+            self.config.slice_width,
+            sx,
+            &mut scratch.xsl,
+        )?;
+        decompose_vector_into(
+            ws,
+            composition.w_width(),
+            self.config.slice_width,
+            sw,
+            &mut scratch.wsl,
+        )?;
         let mut cluster_sum = 0i64;
         for (j, k, shift) in composition.assignments() {
-            let xsub = subvector(&xsl, j as usize);
-            let wsub = subvector(&wsl, k as usize);
-            let out = self.nbve.dot(&xsub, &wsub)?;
+            subvector_into(&scratch.xsl, j as usize, &mut scratch.xsub);
+            subvector_into(&scratch.wsl, k as usize, &mut scratch.wsub);
+            let out = self.nbve.dot(&scratch.xsub, &scratch.wsub)?;
             stats.active_lane_slots += out.active_lanes as u64;
-            stats.slice_products += xsub.len() as u64;
-            stats.zero_slice_products += xsub
+            stats.slice_products += scratch.xsub.len() as u64;
+            stats.zero_slice_products += scratch
+                .xsub
                 .iter()
-                .zip(&wsub)
+                .zip(&scratch.wsub)
                 .filter(|&(&a, &b)| a == 0 || b == 0)
                 .count() as u64;
             cluster_sum += out.value << shift;
         }
         Ok(cluster_sum)
     }
+}
+
+/// Reusable slicing buffers for [`Cvu::dot_product_mixed`]'s inner loop:
+/// one decomposition and one sub-vector buffer per operand, cleared and
+/// refilled per chunk instead of reallocated.
+#[derive(Debug, Default)]
+struct SliceScratch {
+    xsl: Vec<SlicedValue>,
+    wsl: Vec<SlicedValue>,
+    xsub: Vec<i32>,
+    wsub: Vec<i32>,
 }
 
 impl Default for Cvu {

@@ -15,8 +15,9 @@
 //! All four produce identical results for all in-range inputs — property
 //! tests in this module and exhaustive tests in `tests/` assert it.
 
-use crate::bitslice::{decompose_vector, subvector, BitWidth, Signedness, SliceWidth};
+use crate::bitslice::{decompose_vector, subvector_into, BitWidth, Signedness, SliceWidth};
 use crate::error::CoreError;
+use crate::packed::PackedSliceMatrix;
 
 /// Exact 64-bit dot product: `Σᵢ xᵢ·wᵢ` (Equation 1).
 ///
@@ -136,10 +137,14 @@ pub fn dot_slice_clustered(
     let nx = alpha.slices_for(bwx) as usize;
     let nw = beta.slices_for(bww) as usize;
     let mut total = 0i64;
+    // Slice sub-vectors are re-extracted per significance pair, but into
+    // buffers reused across the whole (j, k) loop.
+    let mut xsub = Vec::new();
+    let mut wsub = Vec::new();
     for j in 0..nx {
-        let xsub = subvector(&xsl, j);
+        subvector_into(&xsl, j, &mut xsub);
         for k in 0..nw {
-            let wsub = subvector(&wsl, k);
+            subvector_into(&wsl, k, &mut wsub);
             // The narrow dot-product an NBVE computes...
             let narrow: i64 = xsub
                 .iter()
@@ -152,6 +157,31 @@ pub fn dot_slice_clustered(
         }
     }
     Ok(total)
+}
+
+/// Equation 4 through the packed bit-plane layout (`α = β = slice_width`):
+/// both operands are decomposed once into [`PackedSliceMatrix`] planes and
+/// every slice pair runs through the word-level kernel
+/// ([`crate::nbve::slice_dot_words`]) — the fast realization the systolic
+/// GEMM path uses, exposed here next to the scalar formulations so tests
+/// can pin their equivalence.
+///
+/// # Errors
+///
+/// Returns [`CoreError::LengthMismatch`] on unequal lengths or
+/// [`CoreError::ValueOutOfRange`] if any element exceeds its declared width.
+pub fn dot_packed(
+    xs: &[i32],
+    ws: &[i32],
+    bwx: BitWidth,
+    bww: BitWidth,
+    slice_width: SliceWidth,
+    signedness: Signedness,
+) -> Result<i64, CoreError> {
+    check_lengths(xs, ws)?;
+    let px = PackedSliceMatrix::pack(xs, bwx, slice_width, signedness)?;
+    let pw = PackedSliceMatrix::pack(ws, bww, slice_width, signedness)?;
+    Ok(px.dot(0, &pw, 0))
 }
 
 #[cfg(test)]

@@ -18,6 +18,11 @@
 //!   quantized mode), Figure 3b/3c.
 //! * [`dotprod`] — reference implementations of Equations 1–4 used to verify
 //!   every hardware path against exact integer arithmetic.
+//! * [`packed`] — the packed bit-plane operand layout
+//!   ([`PackedSliceMatrix`]): whole vectors decomposed once into contiguous
+//!   per-significance slice planes with word-level popcount/SWAR kernels —
+//!   the *fast* realization of slice clustering that makes bit-true
+//!   execution of full Table I networks practical.
 //!
 //! The model is *exact*: every CVU execution is checked (in tests) against a
 //! plain `i64` dot product, for signed and unsigned operands of any supported
@@ -61,6 +66,7 @@ pub mod cvu;
 pub mod dotprod;
 pub mod error;
 pub mod nbve;
+pub mod packed;
 pub mod stats;
 
 pub use bitserial::{BitSerialEngine, BitSerialOutput, SerialMode};
@@ -68,5 +74,6 @@ pub use bitslice::{BitWidth, Signedness, Slice, SliceWidth, SlicedValue};
 pub use compose::Composition;
 pub use cvu::{Cvu, CvuConfig, DotProductOutput};
 pub use error::CoreError;
-pub use nbve::{AdderTreeReport, Nbve, NbveOutput};
+pub use nbve::{slice_dot_words, AdderTreeReport, Nbve, NbveOutput};
+pub use packed::PackedSliceMatrix;
 pub use stats::ExecutionStats;

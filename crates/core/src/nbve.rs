@@ -146,6 +146,92 @@ impl Nbve {
     }
 }
 
+/// Sub-plane extraction mask: bit 0 of every `s`-bit field in a word set
+/// (`0x5555…` for 2-bit fields, `0x1111…` for 4-bit, `0x0101…` for 8-bit).
+#[inline]
+pub(crate) fn subplane_mask(s: u32) -> u64 {
+    u64::MAX / ((1u64 << s) - 1)
+}
+
+/// The word-level narrow dot-product an NBVE computes — the packed-plane
+/// kernel behind [`crate::PackedSliceMatrix`].
+///
+/// `a` and `b` are equal-length runs of `u64` words holding `slice_width`-bit
+/// slice fields packed little-endian (unused tail fields must be zero). The
+/// return value is `Σᵢ aᵢ·bᵢ` over the fields, with a plane flagged
+/// `*_signed_top` interpreted as two's-complement `s`-bit values (the
+/// most-significant slice of a signed operand) and everything else as
+/// unsigned `s`-bit magnitudes.
+///
+/// Kernel shapes (all allocation-free, word-streaming):
+///
+/// * **1-bit slices** — one `AND` + `popcount` per word; sign flags flip the
+///   result's sign (a set bit in a signed 1-bit top plane weighs −1).
+/// * **2/4/8-bit slices** — SWAR multiply-accumulate: each word's fields are
+///   split into `s` one-bit sub-planes with a mask (`(w >> p) & 0x5555…`),
+///   and every sub-plane pair contributes `2^(p+q) · popcount(aₚ & b_q)`.
+///   The top sub-plane of a signed plane carries weight `−2^(s−1)`, which is
+///   exactly two's complement, so no correction pass is needed.
+///
+/// # Panics
+///
+/// Panics if the word runs differ in length (callers pack operands for the
+/// same vector length).
+#[must_use]
+pub fn slice_dot_words(
+    a: &[u64],
+    b: &[u64],
+    slice_width: SliceWidth,
+    a_signed_top: bool,
+    b_signed_top: bool,
+) -> i64 {
+    assert_eq!(a.len(), b.len(), "packed slice planes differ in word count");
+    let s = slice_width.bits();
+    if s == 1 {
+        let mut count = 0u64;
+        for (&x, &y) in a.iter().zip(b) {
+            count += u64::from((x & y).count_ones());
+        }
+        // Signed 1-bit slices take values {0, -1}: each coincident bit pair
+        // contributes (-1)^(signs set).
+        let negate = a_signed_top != b_signed_top;
+        return if negate {
+            -(count as i64)
+        } else {
+            count as i64
+        };
+    }
+    let mask = subplane_mask(s);
+    let s = s as usize;
+    let mut wa = [0i64; 8];
+    let mut wb = [0i64; 8];
+    for p in 0..s {
+        wa[p] = 1i64 << p;
+        wb[p] = 1i64 << p;
+    }
+    if a_signed_top {
+        wa[s - 1] = -wa[s - 1];
+    }
+    if b_signed_top {
+        wb[s - 1] = -wb[s - 1];
+    }
+    let mut asub = [0u64; 8];
+    let mut bsub = [0u64; 8];
+    let mut acc = 0i64;
+    for (&x, &y) in a.iter().zip(b) {
+        for p in 0..s {
+            asub[p] = (x >> p) & mask;
+            bsub[p] = (y >> p) & mask;
+        }
+        for p in 0..s {
+            for q in 0..s {
+                acc += wa[p] * wb[q] * i64::from((asub[p] & bsub[q]).count_ones());
+            }
+        }
+    }
+    acc
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -208,7 +294,81 @@ mod tests {
         let _ = Nbve::new(SliceWidth::BIT2, 0);
     }
 
+    /// Packs slice values (each in the `s`-bit field domain) into words the
+    /// way `PackedSliceMatrix` lays them out, two's-complement per field.
+    fn pack_fields(vals: &[i32], s: u32) -> Vec<u64> {
+        let fpw = (64 / s) as usize;
+        let mut words = vec![0u64; vals.len().div_ceil(fpw)];
+        for (i, &v) in vals.iter().enumerate() {
+            let field = (v as u32 as u64) & ((1 << s) - 1);
+            words[i / fpw] |= field << ((i % fpw) as u32 * s);
+        }
+        words
+    }
+
+    #[test]
+    fn word_kernel_matches_scalar_dot_fixture() {
+        // 2-bit slices, mixed signed-top and unsigned planes.
+        let a = [3, 0, 2, 1, 3, 3, 0, 1];
+        let b = [1, 2, 3, 0, 2, 1, 3, 3];
+        let scalar: i64 = a.iter().zip(&b).map(|(&x, &y)| i64::from(x * y)).sum();
+        let aw = pack_fields(&a, 2);
+        let bw = pack_fields(&b, 2);
+        assert_eq!(
+            slice_dot_words(&aw, &bw, SliceWidth::BIT2, false, false),
+            scalar
+        );
+        // Signed-top planes: values in -2..=1.
+        let at = [-2, 1, 0, -1, 1, -2, 0, 1];
+        let scalar_t: i64 = at.iter().zip(&b).map(|(&x, &y)| i64::from(x * y)).sum();
+        let atw = pack_fields(&at, 2);
+        assert_eq!(
+            slice_dot_words(&atw, &bw, SliceWidth::BIT2, true, false),
+            scalar_t
+        );
+    }
+
+    #[test]
+    fn word_kernel_1bit_sign_combinations() {
+        let a = [1, 0, 1, 1, 0];
+        let b = [1, 1, 1, 0, 0];
+        let aw = pack_fields(&a, 1);
+        let bw = pack_fields(&b, 1);
+        // Two coincident set bits.
+        assert_eq!(slice_dot_words(&aw, &bw, SliceWidth::BIT1, false, false), 2);
+        assert_eq!(slice_dot_words(&aw, &bw, SliceWidth::BIT1, true, false), -2);
+        assert_eq!(slice_dot_words(&aw, &bw, SliceWidth::BIT1, false, true), -2);
+        // (-1)·(-1) = 1 per pair.
+        assert_eq!(slice_dot_words(&aw, &bw, SliceWidth::BIT1, true, true), 2);
+    }
+
     proptest! {
+        /// The word kernel agrees with `Nbve::dot` (the scalar narrow
+        /// dot-product) for every slice width and sign-flag combination.
+        #[test]
+        fn word_kernel_matches_nbve_dot(
+            s in prop_oneof![Just(1u32), Just(2), Just(4), Just(8)],
+            a_signed in proptest::bool::ANY,
+            b_signed in proptest::bool::ANY,
+            seed in proptest::num::u64::ANY,
+        ) {
+            use rand::{Rng, SeedableRng};
+            let sw = SliceWidth::new(s).unwrap();
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let n = rng.gen_range(0..200);
+            let range = |signed: bool| -> (i32, i32) {
+                if signed { (-(1 << (s - 1)), (1 << (s - 1)) - 1) } else { (0, (1 << s) - 1) }
+            };
+            let (alo, ahi) = range(a_signed);
+            let (blo, bhi) = range(b_signed);
+            let a: Vec<i32> = (0..n).map(|_| rng.gen_range(alo..=ahi)).collect();
+            let b: Vec<i32> = (0..n).map(|_| rng.gen_range(blo..=bhi)).collect();
+            let scalar = Nbve::new(sw, 16).dot(&a, &b).unwrap().value;
+            let aw = pack_fields(&a, s);
+            let bw = pack_fields(&b, s);
+            prop_assert_eq!(slice_dot_words(&aw, &bw, sw, a_signed, b_signed), scalar);
+        }
+
         /// The reported root width is always sufficient: no in-domain input
         /// of length <= L can exceed `sum_bits` (signed representation).
         #[test]

@@ -1,0 +1,564 @@
+//! Packed bit-plane operand layout — the software realization of slice
+//! clustering (paper §II, Equation 4) at word-level speed.
+//!
+//! [`crate::bitslice`] models the slicing algebra one scalar at a time: a
+//! `Vec<Slice>` per value, a re-materialized sub-vector per significance.
+//! That is the right shape for *proving* the algebra, and hopeless for
+//! *executing* it at Table I scale. This module stores the same
+//! decomposition the way the hardware conceptually does: all slices of
+//! equal significance `k`, across the whole vector, live in one contiguous
+//! **plane** of `s`-bit fields packed into `u64` words. Equation 4's inner
+//! narrow dot-product `Σᵢ xᵢ[αj..] · wᵢ[βk..]` then becomes a streaming
+//! word kernel ([`crate::nbve::slice_dot_words`]): a single AND + popcount
+//! per word for 1-bit slices, and a SWAR sub-plane popcount accumulation
+//! for 2/4/8-bit slices — no per-element allocation, branching or shifting.
+//!
+//! The layout is exact: packing validates every element against its
+//! declared width, planes reproduce [`crate::bitslice::SlicedValue`]'s
+//! two's-complement slice fields bit for bit (the top plane of a signed
+//! operand carries the sign), and [`PackedSliceMatrix::dot`] equals
+//! [`crate::dotprod::dot_exact`] for all in-range inputs — property tests
+//! in `tests/packed_properties.rs` pin this for every width × slicing ×
+//! signedness combination.
+
+use serde::{Deserialize, Serialize};
+
+use crate::bitslice::{BitWidth, Signedness, SliceWidth};
+use crate::error::CoreError;
+use crate::nbve::{slice_dot_words, subplane_mask};
+
+/// A batch of equal-length vectors decomposed once into packed slice planes.
+///
+/// Conceptually a `[num_vecs, len]` matrix of `width`-bit values, stored as
+/// `ceil(width / slice)` planes: plane `j` holds the `j`-th (significance
+/// `2^(s·j)`) slice of every element, as `s`-bit fields packed
+/// little-endian into `u64` words, one padded word run per vector. Tail
+/// fields beyond `len` are zero, so they contribute nothing to any dot
+/// product.
+///
+/// ```
+/// use bpvec_core::{BitWidth, PackedSliceMatrix, Signedness, SliceWidth};
+/// let xs = [-77i32, 5, 127, -128];
+/// let ws = [33i32, -2, -128, 127];
+/// let px = PackedSliceMatrix::pack(&xs, BitWidth::INT8, SliceWidth::BIT2, Signedness::Signed)?;
+/// let pw = PackedSliceMatrix::pack(&ws, BitWidth::INT8, SliceWidth::BIT2, Signedness::Signed)?;
+/// let exact: i64 = xs.iter().zip(&ws).map(|(&x, &w)| (x as i64) * (w as i64)).sum();
+/// assert_eq!(px.dot(0, &pw, 0), exact);
+/// # Ok::<(), bpvec_core::CoreError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PackedSliceMatrix {
+    /// `planes[j]` holds vector `i`'s words at
+    /// `[i * words_per_vec .. (i + 1) * words_per_vec]`.
+    planes: Vec<Vec<u64>>,
+    num_vecs: usize,
+    len: usize,
+    words_per_vec: usize,
+    width: BitWidth,
+    slice_width: SliceWidth,
+    signedness: Signedness,
+}
+
+impl PackedSliceMatrix {
+    /// Packs `num_vecs` row-major vectors of `len` elements each.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ValueOutOfRange`] on the first element that does
+    /// not fit the declared `width`/`signedness`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != num_vecs * len` (a programming error, not a
+    /// runtime condition).
+    pub fn pack_rows(
+        data: &[i32],
+        num_vecs: usize,
+        len: usize,
+        width: BitWidth,
+        slice_width: SliceWidth,
+        signedness: Signedness,
+    ) -> Result<Self, CoreError> {
+        assert_eq!(
+            data.len(),
+            num_vecs * len,
+            "packed data length {} does not match {num_vecs} vectors of {len}",
+            data.len()
+        );
+        Self::pack_from_fn(num_vecs, len, width, slice_width, signedness, |v, e| {
+            data[v * len + e]
+        })
+    }
+
+    /// Packs a single vector (a `1 × len` matrix).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`PackedSliceMatrix::pack_rows`].
+    pub fn pack(
+        values: &[i32],
+        width: BitWidth,
+        slice_width: SliceWidth,
+        signedness: Signedness,
+    ) -> Result<Self, CoreError> {
+        Self::pack_rows(values, 1, values.len(), width, slice_width, signedness)
+    }
+
+    /// Packs `num_vecs` vectors of `len` elements, reading element `e` of
+    /// vector `v` from `f(v, e)` — the gather-free entry point for packing
+    /// matrix columns or im2col patches without materializing a transpose.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ValueOutOfRange`] on the first element that does
+    /// not fit the declared `width`/`signedness`.
+    pub fn pack_from_fn(
+        num_vecs: usize,
+        len: usize,
+        width: BitWidth,
+        slice_width: SliceWidth,
+        signedness: Signedness,
+        mut f: impl FnMut(usize, usize) -> i32,
+    ) -> Result<Self, CoreError> {
+        let s = slice_width.bits();
+        let n_slices = slice_width.slices_for(width) as usize;
+        let fields_per_word = (64 / s) as usize;
+        let words_per_vec = len.div_ceil(fields_per_word);
+        let total_bits = n_slices as u32 * s;
+        let pattern_mask = if total_bits >= 32 {
+            u32::MAX
+        } else {
+            (1u32 << total_bits) - 1
+        };
+        let field_mask = (1u32 << s) - 1;
+        let mut planes = vec![vec![0u64; num_vecs * words_per_vec]; n_slices];
+        for v in 0..num_vecs {
+            for e in 0..len {
+                let value = f(v, e);
+                width.check(value, signedness)?;
+                // The same padded two's-complement pattern SlicedValue
+                // decomposes: slice j is bits [j*s, (j+1)*s).
+                let pattern = (value as u32) & pattern_mask;
+                let word = v * words_per_vec + e / fields_per_word;
+                let offset = ((e % fields_per_word) as u32) * s;
+                for (j, plane) in planes.iter_mut().enumerate() {
+                    let field = (pattern >> (j as u32 * s)) & field_mask;
+                    plane[word] |= u64::from(field) << offset;
+                }
+            }
+        }
+        Ok(PackedSliceMatrix {
+            planes,
+            num_vecs,
+            len,
+            words_per_vec,
+            width,
+            slice_width,
+            signedness,
+        })
+    }
+
+    /// Number of packed vectors.
+    #[must_use]
+    pub fn num_vecs(&self) -> usize {
+        self.num_vecs
+    }
+
+    /// Elements per vector.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the vectors have no elements (or there are no vectors).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0 || self.num_vecs == 0
+    }
+
+    /// The declared operand width.
+    #[must_use]
+    pub fn width(&self) -> BitWidth {
+        self.width
+    }
+
+    /// The slice width of the packed fields.
+    #[must_use]
+    pub fn slice_width(&self) -> SliceWidth {
+        self.slice_width
+    }
+
+    /// The declared signedness.
+    #[must_use]
+    pub fn signedness(&self) -> Signedness {
+        self.signedness
+    }
+
+    /// Number of slice planes (`ceil(width / slice)`).
+    #[must_use]
+    pub fn n_slices(&self) -> usize {
+        self.planes.len()
+    }
+
+    /// `u64` words per vector per plane.
+    #[must_use]
+    pub fn words_per_vec(&self) -> usize {
+        self.words_per_vec
+    }
+
+    /// Packed footprint in bytes over all planes — what a scratchpad holding
+    /// the operand in this layout would store.
+    #[must_use]
+    pub fn byte_len(&self) -> usize {
+        self.planes.len() * self.num_vecs * self.words_per_vec * 8
+    }
+
+    /// The packed words of vector `vec`'s slice plane `slice`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slice >= n_slices()` or `vec >= num_vecs()`.
+    #[must_use]
+    pub fn plane(&self, slice: usize, vec: usize) -> &[u64] {
+        assert!(vec < self.num_vecs, "vector {vec} out of range");
+        let lo = vec * self.words_per_vec;
+        &self.planes[slice][lo..lo + self.words_per_vec]
+    }
+
+    /// True if plane `slice` carries the sign (the most-significant slice of
+    /// a signed operand) — the only plane whose fields a kernel must weight
+    /// as two's complement.
+    #[must_use]
+    pub fn signed_top(&self, slice: usize) -> bool {
+        self.signedness == Signedness::Signed && slice + 1 == self.planes.len()
+    }
+
+    /// The narrow dot-product of one slice plane of `self[vec]` against one
+    /// slice plane of `other[ovec]` — what a single NBVE computes, via the
+    /// word kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics on plane/vector indices out of range, or if the two matrices
+    /// disagree in length or slice width (see [`PackedSliceMatrix::dot`]).
+    #[must_use]
+    pub fn slice_dot(
+        &self,
+        vec: usize,
+        slice: usize,
+        other: &PackedSliceMatrix,
+        ovec: usize,
+        oslice: usize,
+    ) -> i64 {
+        self.check_compatible(other);
+        slice_dot_words(
+            self.plane(slice, vec),
+            other.plane(oslice, ovec),
+            self.slice_width,
+            self.signed_top(slice),
+            other.signed_top(oslice),
+        )
+    }
+
+    /// The full Equation 4 dot-product of vector `vec` against `other`'s
+    /// vector `ovec`: every (j, k) slice-plane pair reduced through the
+    /// word-level kernels, shift-added by significance. Exactly equals
+    /// [`crate::dotprod::dot_exact`] of the original vectors.
+    ///
+    /// The hot loop is a *fused* form of the per-pair kernel
+    /// ([`slice_dot_words`], still exposed through
+    /// [`PackedSliceMatrix::slice_dot`]): since the sub-plane split of an
+    /// `s`-bit slice plane is just the 1-bit planes of the original value,
+    /// each word is decomposed once into its ≤ 8 bit planes per operand and
+    /// all bit-pair popcounts accumulate in one pass — every plane pair's
+    /// extraction and significance multiply is hoisted out of the word
+    /// stream, with the weighted reduction `Σᵢₗ ±2^(i+l)·countᵢₗ` applied
+    /// once per dot (the top bit of a signed operand weighs negative: two's
+    /// complement).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrices disagree in element count or slice width
+    /// (operands must be packed for the same hardware slicing), or on
+    /// vector indices out of range.
+    #[must_use]
+    pub fn dot(&self, vec: usize, other: &PackedSliceMatrix, ovec: usize) -> i64 {
+        self.check_compatible(other);
+        assert!(vec < self.num_vecs, "vector {vec} out of range");
+        assert!(ovec < other.num_vecs, "vector {ovec} out of range");
+        let s = self.slice_width.bits() as usize;
+        let mask = subplane_mask(self.slice_width.bits());
+        let (na, nb) = (self.planes.len(), other.planes.len());
+        let (abits, bbits) = (na * s, nb * s);
+        debug_assert!(abits <= 8 && bbits <= 8, "operands wider than 8 bits");
+        let wpv = self.words_per_vec;
+        let (alo, blo) = (vec * wpv, ovec * other.words_per_vec);
+        let mut counts = [[0u64; 8]; 8];
+        for widx in 0..wpv {
+            let mut asub = [0u64; 8];
+            for (j, plane) in self.planes.iter().enumerate() {
+                let w = plane[alo + widx];
+                for p in 0..s {
+                    asub[j * s + p] = (w >> p) & mask;
+                }
+            }
+            let mut bsub = [0u64; 8];
+            for (k, plane) in other.planes.iter().enumerate() {
+                let w = plane[blo + widx];
+                for q in 0..s {
+                    bsub[k * s + q] = (w >> q) & mask;
+                }
+            }
+            for (i, &ai) in asub.iter().enumerate().take(abits) {
+                let row = &mut counts[i];
+                for (l, &bl) in bsub.iter().enumerate().take(bbits) {
+                    row[l] += u64::from((ai & bl).count_ones());
+                }
+            }
+        }
+        // Weighted reduction: bit i of an operand weighs 2^i, except the top
+        // bit of a signed operand which weighs −2^(bits−1) — exactly two's
+        // complement over the padded `n·s`-bit pattern.
+        let bit_weight = |i: usize, bits: usize, signedness: Signedness| -> i64 {
+            let w = 1i64 << i;
+            if signedness == Signedness::Signed && i + 1 == bits {
+                -w
+            } else {
+                w
+            }
+        };
+        let mut total = 0i64;
+        for (i, row) in counts.iter().enumerate().take(abits) {
+            let wi = bit_weight(i, abits, self.signedness);
+            for (l, &count) in row.iter().enumerate().take(bbits) {
+                if count != 0 {
+                    total += wi * bit_weight(l, bbits, other.signedness) * count as i64;
+                }
+            }
+        }
+        total
+    }
+
+    fn check_compatible(&self, other: &PackedSliceMatrix) {
+        assert_eq!(
+            self.len, other.len,
+            "packed operands differ in length: {} vs {}",
+            self.len, other.len
+        );
+        assert_eq!(
+            self.slice_width, other.slice_width,
+            "packed operands differ in slice width: {} vs {}",
+            self.slice_width, other.slice_width
+        );
+    }
+
+    /// Unpacks element `e` of vector `vec` back to its original value — the
+    /// slices recombined by significance, sign-extended from the top plane.
+    /// Exact inverse of packing; used by round-trip tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vec`/`e` are out of range.
+    #[must_use]
+    pub fn get(&self, vec: usize, e: usize) -> i32 {
+        assert!(e < self.len, "element {e} out of range (len {})", self.len);
+        let s = self.slice_width.bits();
+        let fields_per_word = (64 / s) as usize;
+        let word = vec * self.words_per_vec + e / fields_per_word;
+        let offset = ((e % fields_per_word) as u32) * s;
+        let field_mask = (1u64 << s) - 1;
+        let mut value = 0i64;
+        for (j, plane) in self.planes.iter().enumerate() {
+            let raw = (plane[word] >> offset) & field_mask;
+            let field = if self.signed_top(j) && raw & (1 << (s - 1)) != 0 {
+                raw as i64 - (1i64 << s)
+            } else {
+                raw as i64
+            };
+            value += field << (j as u32 * s);
+        }
+        value as i32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitslice::{decompose_vector, subvector};
+    use crate::dotprod::dot_exact;
+
+    #[test]
+    fn pack_roundtrips_signed_int8_edges() {
+        let vals = [-128, 127, -1, 0, 1, -77, 100];
+        for sw in [
+            SliceWidth::BIT1,
+            SliceWidth::BIT2,
+            SliceWidth::BIT4,
+            SliceWidth::BIT8,
+        ] {
+            let p = PackedSliceMatrix::pack(&vals, BitWidth::INT8, sw, Signedness::Signed).unwrap();
+            for (e, &v) in vals.iter().enumerate() {
+                assert_eq!(p.get(0, e), v, "{sw} element {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn planes_match_scalar_decomposition() {
+        let vals = [-128, 127, -1, 0, 5, -3];
+        let sliced =
+            decompose_vector(&vals, BitWidth::INT8, SliceWidth::BIT2, Signedness::Signed).unwrap();
+        let p =
+            PackedSliceMatrix::pack(&vals, BitWidth::INT8, SliceWidth::BIT2, Signedness::Signed)
+                .unwrap();
+        assert_eq!(p.n_slices(), 4);
+        for j in 0..4 {
+            let lane = subvector(&sliced, j);
+            for (e, &want) in lane.iter().enumerate() {
+                // Raw packed field == unsigned slice value; the top plane's
+                // field is the two's-complement form of the signed slice.
+                let s = 2u32;
+                let field = (p.plane(j, 0)[e / 32] >> ((e % 32) as u32 * s)) & ((1 << s) - 1);
+                let got = if p.signed_top(j) && field & 0b10 != 0 {
+                    field as i64 - 4
+                } else {
+                    field as i64
+                };
+                assert_eq!(got, i64::from(want), "plane {j} element {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn dot_matches_exact_for_fixture() {
+        let xs = [-128, 127, -1, 0, 64, -64, 3, -3];
+        let ws = [127, -128, -1, -1, 3, -3, 100, 99];
+        let exact = dot_exact(&xs, &ws).unwrap();
+        for sw in [
+            SliceWidth::BIT1,
+            SliceWidth::BIT2,
+            SliceWidth::BIT4,
+            SliceWidth::BIT8,
+        ] {
+            let px = PackedSliceMatrix::pack(&xs, BitWidth::INT8, sw, Signedness::Signed).unwrap();
+            let pw = PackedSliceMatrix::pack(&ws, BitWidth::INT8, sw, Signedness::Signed).unwrap();
+            assert_eq!(px.dot(0, &pw, 0), exact, "{sw}");
+        }
+    }
+
+    #[test]
+    fn mixed_widths_pack_independently() {
+        // 8-bit activations against 2-bit weights (paper Figure 3c).
+        let xs = [-100, 77, 0, -1, 127, -128];
+        let ws = [1, -2, 0, 1, -1, -2];
+        let px = PackedSliceMatrix::pack(&xs, BitWidth::INT8, SliceWidth::BIT2, Signedness::Signed)
+            .unwrap();
+        let pw = PackedSliceMatrix::pack(&ws, BitWidth::INT2, SliceWidth::BIT2, Signedness::Signed)
+            .unwrap();
+        assert_eq!(px.n_slices(), 4);
+        assert_eq!(pw.n_slices(), 1);
+        assert_eq!(px.dot(0, &pw, 0), dot_exact(&xs, &ws).unwrap());
+    }
+
+    #[test]
+    fn unsigned_operands_have_no_signed_plane() {
+        let xs = [255, 0, 128, 17];
+        let p =
+            PackedSliceMatrix::pack(&xs, BitWidth::INT8, SliceWidth::BIT4, Signedness::Unsigned)
+                .unwrap();
+        assert!(!p.signed_top(p.n_slices() - 1));
+        let q =
+            PackedSliceMatrix::pack(&xs, BitWidth::INT8, SliceWidth::BIT4, Signedness::Unsigned)
+                .unwrap();
+        assert_eq!(p.dot(0, &q, 0), dot_exact(&xs, &xs).unwrap());
+    }
+
+    #[test]
+    fn tail_padding_is_inert() {
+        // Lengths straddling word boundaries: 2-bit slices -> 32 fields/word.
+        for n in [1usize, 31, 32, 33, 63, 64, 65] {
+            let xs: Vec<i32> = (0..n).map(|i| (i as i32 % 255) - 127).collect();
+            let ws: Vec<i32> = (0..n).map(|i| ((i as i32 * 7) % 255) - 127).collect();
+            let px =
+                PackedSliceMatrix::pack(&xs, BitWidth::INT8, SliceWidth::BIT2, Signedness::Signed)
+                    .unwrap();
+            let pw =
+                PackedSliceMatrix::pack(&ws, BitWidth::INT8, SliceWidth::BIT2, Signedness::Signed)
+                    .unwrap();
+            assert_eq!(px.dot(0, &pw, 0), dot_exact(&xs, &ws).unwrap(), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn multi_vector_rows_pack_and_dot_independently() {
+        let data: Vec<i32> = (0..24).map(|i| (i * 11 % 255) - 127).collect();
+        let m = PackedSliceMatrix::pack_rows(
+            &data,
+            4,
+            6,
+            BitWidth::INT8,
+            SliceWidth::BIT2,
+            Signedness::Signed,
+        )
+        .unwrap();
+        assert_eq!(m.num_vecs(), 4);
+        for i in 0..4 {
+            for j in 0..4 {
+                let a = &data[i * 6..(i + 1) * 6];
+                let b = &data[j * 6..(j + 1) * 6];
+                assert_eq!(m.dot(i, &m, j), dot_exact(a, b).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn empty_vectors_dot_to_zero() {
+        let p = PackedSliceMatrix::pack(&[], BitWidth::INT8, SliceWidth::BIT2, Signedness::Signed)
+            .unwrap();
+        assert!(p.is_empty());
+        assert_eq!(p.words_per_vec(), 0);
+        assert_eq!(p.dot(0, &p, 0), 0);
+    }
+
+    #[test]
+    fn out_of_range_value_is_rejected() {
+        assert!(matches!(
+            PackedSliceMatrix::pack(&[128], BitWidth::INT8, SliceWidth::BIT2, Signedness::Signed),
+            Err(CoreError::ValueOutOfRange { .. })
+        ));
+        assert!(matches!(
+            PackedSliceMatrix::pack(
+                &[-1],
+                BitWidth::INT4,
+                SliceWidth::BIT2,
+                Signedness::Unsigned
+            ),
+            Err(CoreError::ValueOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "differ in slice width")]
+    fn mismatched_slice_widths_panic() {
+        let a = PackedSliceMatrix::pack(&[1], BitWidth::INT4, SliceWidth::BIT2, Signedness::Signed)
+            .unwrap();
+        let b = PackedSliceMatrix::pack(&[1], BitWidth::INT4, SliceWidth::BIT1, Signedness::Signed)
+            .unwrap();
+        let _ = a.dot(0, &b, 0);
+    }
+
+    #[test]
+    fn byte_len_counts_all_planes() {
+        let p = PackedSliceMatrix::pack_rows(
+            &[0i32; 64],
+            2,
+            32,
+            BitWidth::INT4,
+            SliceWidth::BIT2,
+            Signedness::Signed,
+        )
+        .unwrap();
+        // 2 planes x 2 vectors x 1 word (32 2-bit fields) x 8 bytes.
+        assert_eq!(p.byte_len(), 2 * 2 * 8);
+    }
+}

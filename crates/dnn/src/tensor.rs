@@ -139,6 +139,38 @@ impl Tensor {
     pub fn max_abs(&self) -> i32 {
         self.data.iter().map(|v| v.abs()).max().unwrap_or(0)
     }
+
+    /// Packs this tensor's rows (dim 0 × flattened rest) into bit planes —
+    /// see [`crate::packing::pack_gemm_rows`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`bpvec_core::CoreError::ValueOutOfRange`] if an element does
+    /// not fit the declared width.
+    pub fn pack_rows(
+        &self,
+        bits: bpvec_core::BitWidth,
+        slice_width: bpvec_core::SliceWidth,
+        signedness: bpvec_core::Signedness,
+    ) -> Result<bpvec_core::PackedSliceMatrix, bpvec_core::CoreError> {
+        crate::packing::pack_gemm_rows(self, bits, slice_width, signedness)
+    }
+
+    /// Packs this `[k, n]` matrix's columns into bit planes — see
+    /// [`crate::packing::pack_gemm_cols`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`bpvec_core::CoreError::ValueOutOfRange`] if an element does
+    /// not fit the declared width.
+    pub fn pack_cols(
+        &self,
+        bits: bpvec_core::BitWidth,
+        slice_width: bpvec_core::SliceWidth,
+        signedness: bpvec_core::Signedness,
+    ) -> Result<bpvec_core::PackedSliceMatrix, bpvec_core::CoreError> {
+        crate::packing::pack_gemm_cols(self, bits, slice_width, signedness)
+    }
 }
 
 impl std::ops::Index<&[usize]> for Tensor {

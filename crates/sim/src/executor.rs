@@ -1,4 +1,5 @@
-//! Bit-true execution of whole (small) networks on the systolic CVU array.
+//! Bit-true execution of whole networks — up to full Table I models — on
+//! the systolic CVU array.
 //!
 //! The analytical engine ([`crate::engine`]) answers "how fast / how much
 //! energy"; this module answers "is the arithmetic actually right" for a
@@ -8,12 +9,21 @@
 //! between layers — exactly the integer pipeline a deployed quantized model
 //! runs — and validated against `bpvec-dnn`'s reference operators.
 //!
-//! Execution is intended for scaled-down networks (the full Table I models
-//! would take hours bit-true); the integration tests run multi-layer CNN
-//! and recurrent pipelines through it.
+//! Execution runs on the packed bit-plane path
+//! ([`SystolicArray::gemm_packed`]): each layer's weights and im2col
+//! patches are decomposed once into [`bpvec_core::PackedSliceMatrix`]
+//! planes at that layer's own `(activation, weight)` bitwidths — so
+//! mixed-precision networks execute without repacking to a uniform width —
+//! and every output tile (and, for recurrent layers, every timestep)
+//! reuses the packed operands through the word-level slice kernels. This
+//! is what makes complete Table I networks (e.g. AlexNet at 224×224)
+//! executable bit-true in seconds; the integration tests in
+//! `tests/bit_true_table1.rs` do exactly that against the reference
+//! pipeline.
 
-use bpvec_core::{BitWidth, CoreError, Signedness};
+use bpvec_core::{BitWidth, CoreError, PackedSliceMatrix, Signedness, SliceWidth};
 use bpvec_dnn::layer::{Layer, LayerKind};
+use bpvec_dnn::packing::{pack_gemm_cols, pack_gemm_rows};
 use bpvec_dnn::reference;
 use bpvec_dnn::Tensor;
 
@@ -147,6 +157,11 @@ impl NetworkExecutor {
         NetworkExecutor { array }
     }
 
+    /// The slice width operands must be packed at — the array's CVU slicing.
+    fn slice_width(&self) -> SliceWidth {
+        self.array.config().cvu.slice_width
+    }
+
     /// Executes `layers` on `input` with `weights`, bit-true.
     ///
     /// Convolutions/dense layers run as im2col GEMMs on the array, are
@@ -191,15 +206,22 @@ impl NetworkExecutor {
                     (q, cycles, shift)
                 }
                 LayerKind::FullyConnected { in_features, .. } => {
-                    let mut x = act.clone();
-                    x.reshape(&[in_features, 1]);
-                    let run = self.array.gemm(
+                    assert_eq!(act.len(), in_features, "fc input length");
+                    // Weights packed once for the layer; the activation is a
+                    // single packed vector (the lone GEMM column).
+                    let pw = pack_gemm_rows(
                         w,
-                        &x,
                         layer.weight_bits,
-                        layer.act_bits,
+                        self.slice_width(),
                         Signedness::Signed,
                     )?;
+                    let px = PackedSliceMatrix::pack(
+                        act.as_slice(),
+                        layer.act_bits,
+                        self.slice_width(),
+                        Signedness::Signed,
+                    )?;
+                    let run = self.array.gemm_packed(&pw, &px)?;
                     let mut acc = run.output;
                     acc.reshape(&[w.shape()[0]]);
                     let shift = requant_shift_for(&acc, out_bits);
@@ -324,16 +346,19 @@ impl NetworkExecutor {
                 act[&[c, iy as usize, ix as usize]]
             }
         });
-        let mut wmat = w.clone();
+        // Pack once per layer: OIHW weights row-pack with no reshape/clone
+        // (trailing dims flatten to the im2col row), the patch matrix
+        // column-packs at the layer's own activation width. Every output
+        // tile of the GEMM then reuses these planes.
         let oc = w.shape()[0];
-        wmat.reshape(&[oc, in_channels * kh * kw]);
-        let run = self.array.gemm(
-            &wmat,
+        let pw = pack_gemm_rows(w, layer.weight_bits, self.slice_width(), Signedness::Signed)?;
+        let pcols = pack_gemm_cols(
             &cols,
-            layer.weight_bits,
             layer.act_bits,
+            self.slice_width(),
             Signedness::Signed,
         )?;
+        let run = self.array.gemm_packed(&pw, &pcols)?;
         let mut out = run.output;
         out.reshape(&[oc, oh, ow]);
         Ok((out, run.cycles))
@@ -352,6 +377,9 @@ impl NetworkExecutor {
     ) -> Result<(Tensor, u64, u32), CoreError> {
         assert_eq!(act.shape(), &[seq_len, input_size], "recurrent input");
         let shift = recurrent_shift(layer, input_size, hidden_size);
+        // The gate weights are packed once and reused across every timestep
+        // of the sequence — only the (small) [x; h] vector repacks per step.
+        let pw = pack_gemm_rows(w, layer.weight_bits, self.slice_width(), Signedness::Signed)?;
         let mut h = Tensor::zeros(&[hidden_size]);
         let mut c = Tensor::zeros(&[hidden_size]);
         let mut outputs = Tensor::zeros(&[seq_len, hidden_size]);
@@ -360,14 +388,13 @@ impl NetworkExecutor {
             let mut xh = Vec::with_capacity(input_size + hidden_size);
             xh.extend((0..input_size).map(|i| act[&[t, i]]));
             xh.extend_from_slice(h.as_slice());
-            let xh = Tensor::from_data(&[input_size + hidden_size, 1], xh);
-            let run = self.array.gemm(
-                w,
+            let pxh = PackedSliceMatrix::pack(
                 &xh,
-                layer.weight_bits,
                 layer.act_bits,
+                self.slice_width(),
                 Signedness::Signed,
             )?;
+            let run = self.array.gemm_packed(&pw, &pxh)?;
             cycles += run.cycles;
             let mut pre = run.output;
             pre.reshape(&[gates * hidden_size]);

@@ -4,13 +4,22 @@
 //! The overall architecture is a 2-D array of CVUs: every CVU reads a vector
 //! of weights from its private scratchpad, input vectors are shared across
 //! the CVUs of a row, and scalar outputs aggregate down the columns into
-//! 64-bit accumulators. This module executes that dataflow exactly — every
-//! arithmetic result goes through [`bpvec_core::Cvu`] — so the analytical
-//! engine's cycle accounting can be validated against a faithful execution,
-//! and GEMM results can be checked against `bpvec-dnn`'s reference.
+//! 64-bit accumulators. This module executes that dataflow exactly, two
+//! ways:
+//!
+//! * [`SystolicArray::gemm`] — the element-at-a-time validation path: every
+//!   dot-product goes through [`bpvec_core::Cvu`], slicing scalars one by
+//!   one. Exact, slow, kept as the ground truth the fast path is pinned to.
+//! * [`SystolicArray::gemm_packed`] — the execution path: operands arrive
+//!   pre-decomposed as [`PackedSliceMatrix`] bit planes (packed once per
+//!   layer by the caller), and each output tile streams whole planes
+//!   through the word-level popcount/SWAR kernels. Identical outputs,
+//!   identical cycle accounting, orders of magnitude faster — fast enough
+//!   to run full Table I networks bit-true.
 
-use bpvec_core::{BitWidth, CoreError, Cvu, CvuConfig, Signedness};
+use bpvec_core::{BitWidth, CoreError, Cvu, CvuConfig, PackedSliceMatrix, Signedness};
 use bpvec_dnn::Tensor;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// Geometry of the systolic array: `rows × cols` CVUs.
@@ -150,6 +159,104 @@ impl SystolicArray {
             macs,
         })
     }
+
+    /// Executes `C[m,n] = A[m,k] · B[k,n]` bit-true from packed bit planes.
+    ///
+    /// `a` holds the `m` rows of `A` (e.g. output channels' weight vectors)
+    /// and `b` the `n` columns of `B` (e.g. im2col patches), both
+    /// decomposed once by the caller — via
+    /// [`PackedSliceMatrix::pack_rows`]/[`pack_from_fn`](PackedSliceMatrix::pack_from_fn)
+    /// or `bpvec-dnn`'s `pack_gemm_rows`/`pack_gemm_cols` — and reused
+    /// across every output tile here (and across calls: weights stay packed
+    /// for a whole layer, recurrent layers for the whole sequence).
+    ///
+    /// The array mapping and cycle accounting are identical to
+    /// [`SystolicArray::gemm`]: rows of `A` to CVU rows, columns of `B` to
+    /// CVU columns, `ceil(k / (clusters·L))` beats per tile pass plus
+    /// `rows + cols` systolic skew. Tile passes are independent, so the
+    /// tiled driver runs them rayon-parallel; each output scalar is
+    /// Equation 4 through the word-level slice kernels
+    /// ([`bpvec_core::slice_dot_words`]), bit-identical to the per-element
+    /// path (pinned by tests).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CoreError`] when the packed bitwidths cannot compose on
+    /// this CVU geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operands disagree in inner length, or were packed at a
+    /// slice width other than this array's CVU slicing (operands must be
+    /// packed for the hardware that consumes them).
+    pub fn gemm_packed(
+        &self,
+        a: &PackedSliceMatrix,
+        b: &PackedSliceMatrix,
+    ) -> Result<GemmRun, CoreError> {
+        assert_eq!(a.len(), b.len(), "inner dimensions must agree");
+        assert_eq!(
+            a.slice_width(),
+            self.config.cvu.slice_width,
+            "operands must be packed at the array's slice width"
+        );
+        assert_eq!(
+            b.slice_width(),
+            self.config.cvu.slice_width,
+            "operands must be packed at the array's slice width"
+        );
+        let composition = self.cvu.compose(a.width(), b.width())?;
+        let (m, k, n) = (a.num_vecs(), a.len(), b.num_vecs());
+        // Spans stay unclamped so a degenerate 0-row/0-column geometry
+        // behaves exactly like the per-element path (no CVUs, no work, only
+        // skew); the clamp applies to the tile count alone, as in `gemm`.
+        let (rows, cols) = (self.config.rows, self.config.cols);
+        let row_tiles = m.div_ceil(rows.max(1));
+        let col_tiles = n.div_ceil(cols.max(1));
+        // All CVUs of a pass run in lockstep: ceil(k / (clusters·L)) beats,
+        // plus fill/drain skew — exactly the per-element path's accounting
+        // (a pass with no active CVUs, from empty operands or a degenerate
+        // geometry, runs zero beats).
+        let chunk_per_cycle = composition.clusters() * self.config.cvu.lanes;
+        let beats = if k == 0 || rows == 0 || cols == 0 {
+            0
+        } else {
+            k.div_ceil(chunk_per_cycle) as u64
+        };
+        let cycles = (row_tiles * col_tiles) as u64 * (beats + (rows + cols) as u64);
+
+        // The tiled driver: every (row-tile, col-tile) pass is independent,
+        // consuming the same packed planes, so passes fan out in parallel.
+        let tiles: Vec<(usize, usize)> = (0..row_tiles)
+            .flat_map(|rt| (0..col_tiles).map(move |ct| (rt, ct)))
+            .collect();
+        let computed: Vec<Vec<(usize, usize, i32)>> = tiles
+            .into_par_iter()
+            .map(|(rt, ct)| {
+                let mut tile = Vec::with_capacity(rows * cols);
+                for i in (rt * rows)..(rt * rows + rows).min(m) {
+                    for j in (ct * cols)..(ct * cols + cols).min(n) {
+                        let value = a.dot(i, b, j);
+                        let value = i32::try_from(value).expect("quantized GEMM results fit i32");
+                        tile.push((i, j, value));
+                    }
+                }
+                tile
+            })
+            .collect();
+        // MACs are charged per *computed* output (matching `gemm`, which
+        // only counts outputs a CVU actually produced).
+        let macs = computed.iter().map(Vec::len).sum::<usize>() as u64 * k as u64;
+        let mut output = Tensor::zeros(&[m, n]);
+        for (i, j, value) in computed.into_iter().flatten() {
+            output[&[i, j]] = value;
+        }
+        Ok(GemmRun {
+            output,
+            cycles,
+            macs,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -255,6 +362,102 @@ mod tests {
             "sustained {sustained} too far from peak"
         );
         assert_eq!(run.output, reference::gemm(&a, &b));
+    }
+
+    /// Packs `a`'s rows and `b`'s columns at the array's slicing.
+    fn pack_operands(
+        arr: &SystolicArray,
+        a: &Tensor,
+        b: &Tensor,
+        bits_a: BitWidth,
+        bits_b: BitWidth,
+    ) -> (PackedSliceMatrix, PackedSliceMatrix) {
+        let sw = arr.config().cvu.slice_width;
+        let pa = a.pack_rows(bits_a, sw, Signedness::Signed).unwrap();
+        let pb = b.pack_cols(bits_b, sw, Signedness::Signed).unwrap();
+        (pa, pb)
+    }
+
+    #[test]
+    fn packed_gemm_is_bit_and_cycle_identical_to_per_element_path() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(12);
+        let arr = small_array();
+        // Shapes straddling tile boundaries, mixed operand widths.
+        for (m, k, n, ba, bb) in [
+            (9, 33, 10, BitWidth::INT8, BitWidth::INT8),
+            (5, 40, 6, BitWidth::INT8, BitWidth::INT2),
+            (4, 64, 4, BitWidth::INT4, BitWidth::INT4),
+            (1, 7, 13, BitWidth::INT2, BitWidth::INT8),
+            (
+                8,
+                16,
+                8,
+                BitWidth::new(3).unwrap(),
+                BitWidth::new(5).unwrap(),
+            ),
+        ] {
+            let (alo, ahi) = ba.range(Signedness::Signed);
+            let (blo, bhi) = bb.range(Signedness::Signed);
+            let a = random_matrix(&mut rng, m, k, alo, ahi);
+            let b = random_matrix(&mut rng, k, n, blo, bhi);
+            let slow = arr.gemm(&a, &b, ba, bb, Signedness::Signed).unwrap();
+            let (pa, pb) = pack_operands(&arr, &a, &b, ba, bb);
+            let fast = arr.gemm_packed(&pa, &pb).unwrap();
+            assert_eq!(fast.output, slow.output, "[{m},{k}]x[{k},{n}] {ba}x{bb}");
+            assert_eq!(fast.cycles, slow.cycles, "[{m},{k}]x[{k},{n}] {ba}x{bb}");
+            assert_eq!(fast.macs, slow.macs, "[{m},{k}]x[{k},{n}] {ba}x{bb}");
+        }
+    }
+
+    #[test]
+    fn packed_gemm_degenerate_shapes_match() {
+        let arr = small_array();
+        for (m, k, n) in [(3, 0, 2), (1, 1, 1)] {
+            let a = Tensor::zeros(&[m, k]);
+            let b = Tensor::zeros(&[k, n]);
+            let slow = arr
+                .gemm(&a, &b, BitWidth::INT8, BitWidth::INT8, Signedness::Signed)
+                .unwrap();
+            let (pa, pb) = pack_operands(&arr, &a, &b, BitWidth::INT8, BitWidth::INT8);
+            let fast = arr.gemm_packed(&pa, &pb).unwrap();
+            assert_eq!(fast, slow, "[{m},{k}]x[{k},{n}]");
+        }
+    }
+
+    #[test]
+    fn packed_gemm_degenerate_geometry_matches() {
+        // A 0-row (or 0-column) array computes nothing on either path —
+        // same all-zero output, same skew-only cycles, same zero MACs.
+        for (rows, cols) in [(0usize, 4usize), (4, 0)] {
+            let arr = SystolicArray::new(ArrayConfig {
+                rows,
+                cols,
+                cvu: CvuConfig::paper_default(),
+            });
+            let a = Tensor::from_fn(&[3, 8], |i| (i[0] + i[1]) as i32);
+            let b = Tensor::from_fn(&[8, 2], |i| (i[0] * 2 + i[1]) as i32);
+            let slow = arr
+                .gemm(&a, &b, BitWidth::INT8, BitWidth::INT8, Signedness::Signed)
+                .unwrap();
+            let (pa, pb) = pack_operands(&arr, &a, &b, BitWidth::INT8, BitWidth::INT8);
+            let fast = arr.gemm_packed(&pa, &pb).unwrap();
+            assert_eq!(fast, slow, "{rows}x{cols} array");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "packed at the array's slice width")]
+    fn packed_gemm_rejects_foreign_slicing() {
+        let arr = small_array(); // 2-bit slicing
+        let a = Tensor::zeros(&[2, 8]);
+        let pa = a
+            .pack_rows(
+                BitWidth::INT8,
+                bpvec_core::SliceWidth::BIT4,
+                Signedness::Signed,
+            )
+            .unwrap();
+        let _ = arr.gemm_packed(&pa, &pa);
     }
 
     #[test]
