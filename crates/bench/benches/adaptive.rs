@@ -1,0 +1,169 @@
+//! Criterion benches of the adaptive precision control plane.
+//!
+//! A synthetic precision-proportional backend isolates what the adaptive
+//! machinery itself costs on top of the static event loop: controller
+//! ticks, sliding sojourn windows, rung-table indirection, and autoscaler
+//! bookkeeping. The headline number is the overhead ratio of an adaptive
+//! run against the identical static configuration — asserted under 3× so
+//! the control plane can never quietly dominate the simulator.
+//!
+//! Besides the criterion output, running this bench writes
+//! `BENCH_adaptive.json` at the workspace root with requests-per-second
+//! figures for CI's perf-regression gate.
+
+use std::time::Instant;
+
+use bpvec_dnn::{BitwidthPolicy, Network, NetworkId, PrecisionPolicy};
+use bpvec_serve::{
+    run_serving, run_serving_adaptive, AdaptiveSpec, ArrivalProcess, AutoscalerConfig, BatchPolicy,
+    ClusterSpec, ControllerConfig, RequestMix, Router, ServiceModel, TrafficSpec,
+};
+use bpvec_sim::{DramSpec, Evaluator, Measurement, Workload};
+use criterion::{black_box, criterion_group, Criterion, Throughput};
+
+/// Per-inference latency proportional to the policy's narrowest weight
+/// width — a composable backend in miniature, cheap enough that the event
+/// loop and controller are all that gets measured.
+struct RungServer;
+
+const FULL_S: f64 = 1e-3;
+
+impl Evaluator for RungServer {
+    fn label(&self) -> String {
+        "rung".into()
+    }
+
+    fn evaluate(&self, workload: &Workload, network: &Network, _dram: &DramSpec) -> Measurement {
+        let bits = workload
+            .policy
+            .min_weight_bits()
+            .expect("non-empty policy")
+            .bits();
+        Measurement {
+            latency_s: FULL_S * f64::from(bits) / 8.0,
+            energy_j: 1e-3,
+            macs: network.total_macs(),
+            batch: workload.batch(),
+            gops_per_watt: 1.0,
+        }
+    }
+}
+
+const REQUESTS: u64 = 5_000;
+
+fn traffic() -> TrafficSpec {
+    TrafficSpec::new(
+        "bench",
+        // 1.5x the full-precision capacity: the controller has real work.
+        ArrivalProcess::poisson(1.5 / FULL_S),
+        RequestMix::single(Workload::new(NetworkId::Rnn, BitwidthPolicy::Homogeneous8)),
+        REQUESTS,
+    )
+}
+
+fn spec() -> AdaptiveSpec {
+    let ladder = PrecisionPolicy::degradation_ladder(
+        ["hom8", "int4", "int2"].map(|s| s.parse::<PrecisionPolicy>().expect("parses")),
+    )
+    .expect("narrows monotonically");
+    AdaptiveSpec::new(ladder)
+        .with_controller(ControllerConfig::new(4.0 * FULL_S).with_depths(2, 12))
+}
+
+fn run_static() -> bpvec_serve::ServingOutcome {
+    run_serving(
+        &RungServer,
+        &DramSpec::ddr4(),
+        BatchPolicy::deadline(8, 2.0 * FULL_S),
+        ClusterSpec::new(2, Router::JoinShortestQueue),
+        &traffic(),
+        ServiceModel::Deterministic,
+        17,
+    )
+}
+
+fn run_adaptive(autoscale: bool) -> bpvec_serve::ServingOutcome {
+    let mut s = spec();
+    if autoscale {
+        s = s.with_autoscaler(AutoscalerConfig::new(1, 4).with_depths(1.0, 8.0));
+    }
+    run_serving_adaptive(
+        &RungServer,
+        &DramSpec::ddr4(),
+        BatchPolicy::deadline(8, 2.0 * FULL_S),
+        ClusterSpec::new(2, Router::LeastDegraded),
+        &traffic(),
+        &s,
+        ServiceModel::Deterministic,
+        17,
+    )
+}
+
+fn adaptive_loop(c: &mut Criterion) {
+    let mut g = c.benchmark_group("adaptive_loop");
+    g.throughput(Throughput::Elements(REQUESTS));
+    g.bench_function("static_jsq_x2", |b| b.iter(|| black_box(run_static())));
+    g.bench_function("adaptive_ladder_x2", |b| {
+        b.iter(|| black_box(run_adaptive(false)))
+    });
+    g.bench_function("adaptive_autoscaled_1to4", |b| {
+        b.iter(|| black_box(run_adaptive(true)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, adaptive_loop);
+
+/// Best-of-5 wall time for one configuration, seconds.
+fn time_best(mut f: impl FnMut() -> bpvec_serve::ServingOutcome) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..5 {
+        let start = Instant::now();
+        black_box(f());
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+type Runner = Box<dyn FnMut() -> bpvec_serve::ServingOutcome>;
+
+fn main() {
+    benches();
+    let configs: [(&str, Runner); 3] = [
+        ("static_jsq_x2", Box::new(run_static)),
+        ("adaptive_ladder_x2", Box::new(|| run_adaptive(false))),
+        ("adaptive_autoscaled_1to4", Box::new(|| run_adaptive(true))),
+    ];
+    let mut rows = Vec::new();
+    let mut static_s = f64::NAN;
+    let mut adaptive_s = f64::NAN;
+    for (name, mut f) in configs {
+        let secs = time_best(&mut *f);
+        if name == "static_jsq_x2" {
+            static_s = secs;
+        }
+        if name == "adaptive_ladder_x2" {
+            adaptive_s = secs;
+        }
+        rows.push(format!(
+            "    {{\n      \"name\": \"{name}\",\n      \"requests\": {REQUESTS},\n      \
+             \"seconds_per_run\": {secs:.6},\n      \"requests_per_sec\": {:.1}\n    }}",
+            REQUESTS as f64 / secs
+        ));
+    }
+    let overhead = adaptive_s / static_s;
+    // Machine-readable summary for CI, written at the workspace root
+    // (cargo sets a bench's cwd to the package directory).
+    let out_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_adaptive.json");
+    let json = format!(
+        "{{\n  \"bench\": \"adaptive\",\n  \"results\": [\n{}\n  ],\n  \
+         \"adaptive_overhead_ratio\": {overhead:.3}\n}}\n",
+        rows.join(",\n")
+    );
+    std::fs::write(out_path, &json).expect("write BENCH_adaptive.json");
+    println!("wrote BENCH_adaptive.json (adaptive overhead {overhead:.2}x static)");
+    assert!(
+        overhead < 3.0,
+        "the adaptive control plane costs {overhead:.2}x the static event loop (must stay < 3x)"
+    );
+}

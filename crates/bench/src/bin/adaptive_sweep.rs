@@ -1,0 +1,108 @@
+//! Adaptive precision serving sweep: control policy × cluster over
+//! step-overload and bursty traffic on the BPVeC backend.
+//!
+//! The sweep self-calibrates against the backend's *batched* static-8b
+//! capacity on the traffic mix, then compares three control policies —
+//! static, the adaptive 8b→4b→2b ladder, and the same ladder with a 1–4
+//! replica autoscaler — across single-replica and least-degraded-routed
+//! clusters. Output is the `ServingReport` CSV, byte-deterministic under
+//! the fixed seed (CI runs it twice and diffs); pass `--json` for the full
+//! report and `--scale N` to multiply every request count by `N` (the
+//! nightly soak runs `--scale 10`).
+
+use bpvec_dnn::{BitwidthPolicy, NetworkId, PrecisionPolicy};
+use bpvec_serve::{
+    AdaptiveSpec, ArrivalProcess, AutoscalerConfig, BatchPolicy, ClusterSpec, ControllerConfig,
+    RequestMix, Router, ServingScenario, TrafficSpec,
+};
+use bpvec_sim::{AcceleratorConfig, BatchRegime, DramSpec, Evaluator, Workload};
+
+fn main() {
+    let mut scale: u64 = 1;
+    let mut json = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--scale" => {
+                scale = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&v| v >= 1)
+                    .expect("--scale takes a positive integer");
+            }
+            other => panic!("unknown argument `{other}` (expected --json or --scale N)"),
+        }
+    }
+
+    let accel = AcceleratorConfig::bpvec();
+    let dram = DramSpec::ddr4();
+    let cnn = Workload::new(NetworkId::AlexNet, BitwidthPolicy::Homogeneous8);
+    let rnn = Workload::new(NetworkId::Lstm, BitwidthPolicy::Homogeneous8);
+    let mix = RequestMix::new()
+        .and(cnn.clone(), 0.8)
+        .and(rnn.clone(), 0.2);
+
+    // Mean batched (16) service time over the mix -> static-8b capacity.
+    let s16 = |w: &Workload| {
+        let wb = w.clone().with_batching(BatchRegime::fixed(16));
+        accel.evaluate(&wb, &wb.build(), &dram).latency_s
+    };
+    let mean_s16 = 0.8 * s16(&cnn) + 0.2 * s16(&rnn);
+    let capacity_rps = 1.0 / mean_s16;
+    let sla_s = 16.0 * mean_s16;
+
+    let ladder = PrecisionPolicy::degradation_ladder(
+        ["hom8", "int4", "int2"].map(|s| s.parse::<PrecisionPolicy>().expect("parses")),
+    )
+    .expect("the ladder narrows monotonically");
+    let controller = ControllerConfig::new(12.0 * mean_s16)
+        .with_depths(4, 24)
+        .with_target_p99(sla_s);
+    let adaptive = AdaptiveSpec::new(ladder.clone()).with_controller(controller);
+    let autoscaled = adaptive
+        .clone()
+        .with_autoscaler(AutoscalerConfig::new(1, 4).with_depths(1.0, 16.0));
+
+    // Step overload: 0.6x capacity, a 2x burst, 0.6x recovery.
+    let (n_pre, n_over, n_post) = (800 * scale, 1_600 * scale, 800 * scale);
+    let lo_gap = 1.0 / (0.6 * capacity_rps);
+    let hi_gap = 1.0 / (2.0 * capacity_rps);
+    let gaps: Vec<f64> = std::iter::repeat_n(lo_gap, n_pre as usize)
+        .chain(std::iter::repeat_n(hi_gap, n_over as usize))
+        .chain(std::iter::repeat_n(lo_gap, n_post as usize))
+        .collect();
+
+    let report = ServingScenario::new("adaptive_sweep")
+        .platform(accel)
+        .policy(BatchPolicy::deadline(16, 4.0 * mean_s16))
+        .cluster(ClusterSpec::single())
+        .cluster(ClusterSpec::new(2, Router::LeastDegraded))
+        .traffic(TrafficSpec::new(
+            "step-2x",
+            ArrivalProcess::trace(gaps),
+            mix.clone(),
+            n_pre + n_over + n_post,
+        ))
+        .traffic(
+            TrafficSpec::new(
+                "bursty-hi",
+                ArrivalProcess::bursty(0.5 * capacity_rps, 2.5 * capacity_rps, 0.8, 0.2),
+                mix.clone(),
+                2_400 * scale,
+            )
+            .with_warmup(240 * scale),
+        )
+        .static_control()
+        .control(adaptive)
+        .control(autoscaled)
+        .sla_s(sla_s)
+        .seed(0xADA7)
+        .run();
+
+    if json {
+        println!("{}", report.to_json());
+    } else {
+        print!("{}", report.to_csv());
+    }
+}

@@ -41,6 +41,8 @@ pub mod tensor;
 pub use layer::{Layer, LayerKind};
 pub use models::{BitwidthPolicy, ModelQueryError, Network, NetworkId};
 pub use packing::PackedTensor;
-pub use precision::{LayerPrecision, PrecisionError, PrecisionPolicy};
+pub use precision::{
+    DegradationLadder, LadderError, LayerPrecision, PrecisionError, PrecisionPolicy,
+};
 pub use quant::QuantParams;
 pub use tensor::Tensor;

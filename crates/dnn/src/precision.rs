@@ -188,6 +188,34 @@ impl PrecisionPolicy {
         }
     }
 
+    /// The narrowest activation width any layer runs at (presets included:
+    /// homogeneous is 8-bit everywhere, heterogeneous bottoms out at 4-bit).
+    ///
+    /// Returns `None` only for an empty per-layer list.
+    #[must_use]
+    pub fn min_act_bits(&self) -> Option<BitWidth> {
+        match self {
+            PrecisionPolicy::Preset(BitwidthPolicy::Homogeneous8) => Some(BitWidth::INT8),
+            PrecisionPolicy::Preset(BitwidthPolicy::Heterogeneous) => Some(BitWidth::INT4),
+            PrecisionPolicy::Uniform(lp) => Some(lp.act),
+            PrecisionPolicy::PerLayer(v) => v.iter().map(|lp| lp.act).min(),
+        }
+    }
+
+    /// Validates `rungs` as a precision [`DegradationLadder`] (full
+    /// precision first, monotonically narrowing) — the constructor behind
+    /// `bpvec-serve`'s adaptive precision controller.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`LadderError`] when the ladder is empty, contains a
+    /// duplicate or empty rung, or widens anywhere on the way down.
+    pub fn degradation_ladder(
+        rungs: impl IntoIterator<Item = impl Into<PrecisionPolicy>>,
+    ) -> Result<DegradationLadder, LadderError> {
+        DegradationLadder::new(rungs.into_iter().map(Into::into).collect())
+    }
+
     /// Assigns this policy's widths to `layers` (a network's layer list, in
     /// order). Presets reproduce the seed's assignment exactly.
     ///
@@ -223,6 +251,206 @@ impl PrecisionPolicy {
                 Ok(())
             }
         }
+    }
+}
+
+/// Error from building a [`DegradationLadder`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LadderError {
+    /// A ladder needs at least one rung.
+    Empty,
+    /// A rung policy has no layers (an empty per-layer list), so it bounds
+    /// no widths.
+    EmptyRung {
+        /// Index of the offending rung.
+        index: usize,
+    },
+    /// Two rungs are the same policy; a switch between them would be a
+    /// no-op and the controller could oscillate without effect.
+    Duplicate {
+        /// Index of the second occurrence.
+        index: usize,
+    },
+    /// A rung is wider than its predecessor: descending the ladder must
+    /// never *raise* a minimum operand width.
+    WidensAt {
+        /// Index of the rung that widens.
+        index: usize,
+    },
+}
+
+impl fmt::Display for LadderError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LadderError::Empty => f.write_str("a degradation ladder needs at least one rung"),
+            LadderError::EmptyRung { index } => {
+                write!(f, "ladder rung {index} is an empty per-layer policy")
+            }
+            LadderError::Duplicate { index } => {
+                write!(f, "ladder rung {index} duplicates an earlier rung")
+            }
+            LadderError::WidensAt { index } => write!(
+                f,
+                "ladder rung {index} is wider than its predecessor (rungs must narrow monotonically)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LadderError {}
+
+/// A validated precision degradation ladder: rung 0 is full precision, and
+/// every later rung trades accuracy for throughput by narrowing operand
+/// widths.
+///
+/// The ladder contract, enforced at construction:
+///
+/// * at least one rung;
+/// * no duplicate rungs (a switch must always change the executed widths);
+/// * minimum operand widths are monotone non-increasing down the ladder;
+/// * no *per-layer* widening either: adjacent per-layer rungs of equal
+///   length are compared element-wise, and any rung following a uniform
+///   rung is bounded above by it — so degrading never widens any layer a
+///   policy can pin, and service time under a composable backend is
+///   non-increasing rung to rung. (Between two *presets* only the width
+///   bounds are comparable here; the presets' per-layer assignments are
+///   network-specific and both presets narrow monotonically in practice.)
+///
+/// Built via [`PrecisionPolicy::degradation_ladder`] (or
+/// [`DegradationLadder::paper`] for the canonical Table-I → uniform-4b →
+/// uniform-2b ladder) and consumed by `bpvec-serve`'s adaptive controller,
+/// which walks it one rung at a time under load feedback.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DegradationLadder {
+    rungs: Vec<PrecisionPolicy>,
+}
+
+impl DegradationLadder {
+    /// Validates and builds a ladder from full-precision rung 0 downward.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`LadderError`] when the ladder is empty, contains a
+    /// duplicate or empty rung, or widens anywhere on the way down.
+    pub fn new(rungs: Vec<PrecisionPolicy>) -> Result<Self, LadderError> {
+        if rungs.is_empty() {
+            return Err(LadderError::Empty);
+        }
+        let mut mins: Vec<(u32, u32)> = Vec::with_capacity(rungs.len());
+        for (index, rung) in rungs.iter().enumerate() {
+            if rungs[..index].contains(rung) {
+                return Err(LadderError::Duplicate { index });
+            }
+            let (Some(act), Some(weight)) = (rung.min_act_bits(), rung.min_weight_bits()) else {
+                return Err(LadderError::EmptyRung { index });
+            };
+            mins.push((act.bits(), weight.bits()));
+            if index > 0 {
+                let (pa, pw) = mins[index - 1];
+                let (a, w) = mins[index];
+                if a > pa || w > pw {
+                    return Err(LadderError::WidensAt { index });
+                }
+                if rung_widens(&rungs[index - 1], rung) {
+                    return Err(LadderError::WidensAt { index });
+                }
+            }
+        }
+        Ok(DegradationLadder { rungs })
+    }
+
+    /// The canonical ladder of the paper's quantization range: Table I
+    /// heterogeneous widths, then uniform 4-bit, then uniform 2-bit.
+    #[must_use]
+    pub fn paper() -> Self {
+        DegradationLadder::new(vec![
+            PrecisionPolicy::heterogeneous(),
+            PrecisionPolicy::uniform(BitWidth::INT4),
+            PrecisionPolicy::uniform(BitWidth::INT2),
+        ])
+        .expect("the paper ladder narrows monotonically")
+    }
+
+    /// The rungs, full precision first.
+    #[must_use]
+    pub fn rungs(&self) -> &[PrecisionPolicy] {
+        &self.rungs
+    }
+
+    /// Number of rungs (always at least 1).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rungs.len()
+    }
+
+    /// Always false — a validated ladder has at least one rung.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The policy at `rung`, if the ladder reaches that deep.
+    #[must_use]
+    pub fn get(&self, rung: usize) -> Option<&PrecisionPolicy> {
+        self.rungs.get(rung)
+    }
+}
+
+/// True when descending from `prev` to `next` would widen some *layer*
+/// even though the rung-level minimum widths narrow — the cases the min
+/// check alone cannot see. A uniform `prev` bounds every layer of `next`
+/// from above; equal-length per-layer rungs compare element-wise. Preset
+/// `prev` rungs assign widths per network, so only the min check applies
+/// to them (documented on [`DegradationLadder`]).
+fn rung_widens(prev: &PrecisionPolicy, next: &PrecisionPolicy) -> bool {
+    let max_pair = |p: &PrecisionPolicy| -> Option<(u32, u32)> {
+        match p {
+            PrecisionPolicy::Uniform(lp) => Some((lp.act.bits(), lp.weight.bits())),
+            PrecisionPolicy::PerLayer(v) => {
+                let act = v.iter().map(|lp| lp.act.bits()).max()?;
+                let weight = v.iter().map(|lp| lp.weight.bits()).max()?;
+                Some((act, weight))
+            }
+            PrecisionPolicy::Preset(_) => None,
+        }
+    };
+    // A preset's widest possible per-layer assignment is 8-bit (hom8
+    // everywhere; het's boundary layers).
+    let (na, nw) = max_pair(next).unwrap_or((8, 8));
+    match (prev, next) {
+        (PrecisionPolicy::Uniform(cap), _) => na > cap.act.bits() || nw > cap.weight.bits(),
+        (PrecisionPolicy::PerLayer(p), PrecisionPolicy::PerLayer(n)) if p.len() == n.len() => p
+            .iter()
+            .zip(n)
+            .any(|(a, b)| b.act.bits() > a.act.bits() || b.weight.bits() > a.weight.bits()),
+        (PrecisionPolicy::PerLayer(_), PrecisionPolicy::Preset(_)) => {
+            // The preset's network-specific alignment is unknowable here,
+            // so its widest possible layer must fit under *every* layer of
+            // the per-layer rung.
+            let (pa, pw) = (
+                prev.min_act_bits().map_or(0, |b| b.bits()),
+                prev.min_weight_bits().map_or(0, |b| b.bits()),
+            );
+            na > pa || nw > pw
+        }
+        // Preset-to-preset adjacency is covered by the minimum-width check
+        // (hom8 bounds every het layer from above; the reverse narrows the
+        // minimum and is already rejected).
+        _ => false,
+    }
+}
+
+/// Comma-free rendering for CSV columns: rung displays joined by `>`.
+impl fmt::Display for DegradationLadder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, r) in self.rungs.iter().enumerate() {
+            if i > 0 {
+                f.write_str(">")?;
+            }
+            write!(f, "{r}")?;
+        }
+        Ok(())
     }
 }
 
@@ -451,6 +679,125 @@ mod tests {
             PrecisionPolicy::uniform(BitWidth::INT8),
             BitwidthPolicy::Homogeneous8
         );
+    }
+
+    #[test]
+    fn paper_ladder_narrows_from_table1_to_2bit() {
+        let ladder = DegradationLadder::paper();
+        assert_eq!(ladder.len(), 3);
+        assert!(!ladder.is_empty());
+        assert_eq!(ladder.rungs()[0], PrecisionPolicy::heterogeneous());
+        assert_eq!(
+            ladder.get(2),
+            Some(&PrecisionPolicy::uniform(BitWidth::INT2))
+        );
+        assert_eq!(ladder.get(3), None);
+        assert_eq!(ladder.to_string(), "Heterogeneous>uniform4>uniform2");
+        assert!(!ladder.to_string().contains(','));
+    }
+
+    #[test]
+    fn ladder_constructor_validates() {
+        assert_eq!(
+            PrecisionPolicy::degradation_ladder(Vec::<PrecisionPolicy>::new()),
+            Err(LadderError::Empty)
+        );
+        let dup = PrecisionPolicy::degradation_ladder([
+            PrecisionPolicy::uniform(BitWidth::INT4),
+            PrecisionPolicy::uniform(BitWidth::INT4),
+        ]);
+        assert_eq!(dup, Err(LadderError::Duplicate { index: 1 }));
+        // uniform8x4 -> uniform4 narrows acts and holds weights: fine.
+        assert!(PrecisionPolicy::degradation_ladder([
+            PrecisionPolicy::uniform_xw(BitWidth::INT8, BitWidth::INT4),
+            PrecisionPolicy::uniform(BitWidth::INT4),
+        ])
+        .is_ok());
+        // uniform2 -> uniform4 widens: rejected.
+        let widen = PrecisionPolicy::degradation_ladder([
+            PrecisionPolicy::uniform(BitWidth::INT2),
+            PrecisionPolicy::uniform(BitWidth::INT4),
+        ]);
+        assert_eq!(widen, Err(LadderError::WidensAt { index: 1 }));
+        // Widening the *act* operand alone is also rejected.
+        let widen_act = PrecisionPolicy::degradation_ladder([
+            PrecisionPolicy::uniform(BitWidth::INT4),
+            PrecisionPolicy::uniform_xw(BitWidth::INT8, BitWidth::INT2),
+        ]);
+        assert_eq!(widen_act, Err(LadderError::WidensAt { index: 1 }));
+        let empty_rung = PrecisionPolicy::degradation_ladder([PrecisionPolicy::per_layer(vec![])]);
+        assert_eq!(empty_rung, Err(LadderError::EmptyRung { index: 0 }));
+        assert!(empty_rung.unwrap_err().to_string().contains("rung 0"));
+        // Per-layer widening that the rung-level minimums cannot see:
+        // [8,4] -> [2,8] narrows the minimum (4 -> 2) but widens layer 1.
+        let pl = |bits: [u32; 2]| {
+            PrecisionPolicy::per_layer(
+                bits.map(|b| LayerPrecision::uniform(BitWidth::new(b).unwrap()))
+                    .to_vec(),
+            )
+        };
+        assert_eq!(
+            PrecisionPolicy::degradation_ladder([pl([8, 4]), pl([2, 8])]),
+            Err(LadderError::WidensAt { index: 1 })
+        );
+        assert!(PrecisionPolicy::degradation_ladder([pl([8, 4]), pl([4, 2])]).is_ok());
+        // A uniform rung bounds every later layer from above.
+        assert_eq!(
+            PrecisionPolicy::degradation_ladder([
+                PrecisionPolicy::uniform(BitWidth::INT4),
+                pl([8, 2])
+            ]),
+            Err(LadderError::WidensAt { index: 1 })
+        );
+        // ...including a preset's possible 8-bit layers after a uniform or
+        // per-layer rung narrower than 8-bit anywhere.
+        assert_eq!(
+            PrecisionPolicy::degradation_ladder([
+                PrecisionPolicy::uniform(BitWidth::INT4),
+                PrecisionPolicy::heterogeneous(),
+            ]),
+            Err(LadderError::WidensAt { index: 1 })
+        );
+        assert_eq!(
+            PrecisionPolicy::degradation_ladder([pl([4, 4]), PrecisionPolicy::heterogeneous()]),
+            Err(LadderError::WidensAt { index: 1 })
+        );
+        // hom8 bounds every het layer from above, so that descent is fine.
+        assert!(PrecisionPolicy::degradation_ladder([
+            PrecisionPolicy::homogeneous8(),
+            PrecisionPolicy::heterogeneous(),
+        ])
+        .is_ok());
+    }
+
+    #[test]
+    fn ladder_accepts_presets_and_serializes() {
+        let ladder = PrecisionPolicy::degradation_ladder([
+            BitwidthPolicy::Homogeneous8,
+            BitwidthPolicy::Heterogeneous,
+        ])
+        .unwrap();
+        assert_eq!(ladder.to_string(), "Homogeneous8>Heterogeneous");
+        let json = serde_json::to_string(&ladder).unwrap();
+        let back: DegradationLadder = serde_json::from_str(&json).unwrap();
+        assert_eq!(ladder, back);
+    }
+
+    #[test]
+    fn min_act_bits_mirrors_min_weight_bits() {
+        assert_eq!(
+            PrecisionPolicy::homogeneous8().min_act_bits(),
+            Some(BitWidth::INT8)
+        );
+        assert_eq!(
+            PrecisionPolicy::heterogeneous().min_act_bits(),
+            Some(BitWidth::INT4)
+        );
+        assert_eq!(
+            PrecisionPolicy::uniform_xw(BitWidth::INT2, BitWidth::INT8).min_act_bits(),
+            Some(BitWidth::INT2)
+        );
+        assert_eq!(PrecisionPolicy::per_layer(vec![]).min_act_bits(), None);
     }
 
     #[test]

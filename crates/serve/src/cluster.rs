@@ -17,8 +17,18 @@ pub enum Router {
     JoinShortestQueue,
     /// Pin each network class to the replica `class mod replicas`, keeping
     /// every model's weights resident on one shard (no cross-replica batch
-    /// fragmentation, at the price of per-class load imbalance).
+    /// fragmentation, at the price of per-class load imbalance). Under an
+    /// autoscaler the mapping is over the *active* replicas in index
+    /// order, so a scale event re-pins classes; the implied weights
+    /// migration is not costed by the model.
     NetworkAffinity,
+    /// Precision-capability-aware routing for adaptive clusters: prefer the
+    /// replica at the *highest* active precision (lowest ladder rung), then
+    /// the fewest requests queued plus in service, then the lowest index —
+    /// keeping as much traffic as possible at full precision while the
+    /// controller degrades only the replicas that need it. Equivalent to
+    /// [`Router::JoinShortestQueue`] under static control (every rung is 0).
+    LeastDegraded,
 }
 
 impl fmt::Display for Router {
@@ -27,6 +37,7 @@ impl fmt::Display for Router {
             Router::RoundRobin => "rr",
             Router::JoinShortestQueue => "jsq",
             Router::NetworkAffinity => "affinity",
+            Router::LeastDegraded => "leastdeg",
         })
     }
 }
@@ -83,6 +94,10 @@ mod tests {
         assert_eq!(
             ClusterSpec::new(2, Router::NetworkAffinity).to_string(),
             "affinityx2"
+        );
+        assert_eq!(
+            ClusterSpec::new(4, Router::LeastDegraded).to_string(),
+            "leastdegx4"
         );
     }
 }

@@ -1,0 +1,309 @@
+//! The adaptive precision control plane: SLA-feedback precision switching
+//! and replica autoscaling.
+//!
+//! The paper's premise is bit-flexible hardware that trades precision for
+//! throughput on demand; this module closes that loop at *serving* time.
+//! Each replica carries an active rung on a validated
+//! [`DegradationLadder`] (rung 0 = full precision). A deterministic
+//! feedback controller ticks on simulated time and walks replicas down the
+//! ladder when they fall behind (queue depth above the high watermark, or
+//! the windowed p99 sojourn past the latency target) and back up when they
+//! have slack — with hysteresis from distinct watermarks, an upgrade
+//! margin, and a minimum dwell between switches, so the controller cannot
+//! oscillate on a single noisy signal.
+//!
+//! The same tick signals optionally drive a replica autoscaler
+//! ([`AutoscalerConfig`]): the cluster grows toward `max_replicas` when the
+//! per-replica backlog crosses the scale-up watermark and shrinks toward
+//! `min_replicas` when replicas go idle — precision degradation sheds load
+//! *immediately* on the next batch, autoscaling sheds it *structurally*.
+//!
+//! Everything here is plain state driven by the seeded event loop: no
+//! wall-clock, no randomness. Identical seeds and configurations produce
+//! byte-identical outcomes, switch logs included, preserving the paired-
+//! seed determinism contract the serving CSVs rely on.
+
+use bpvec_dnn::DegradationLadder;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The feedback controller's watermarks, latency target, and hysteresis.
+///
+/// The controller evaluates every replica each `interval_s` of simulated
+/// time and moves it at most one rung per decision:
+///
+/// * **degrade** (rung + 1) when the replica's queue depth is at or above
+///   `high_depth`, or its windowed p99 sojourn exceeds `target_p99_s`;
+/// * **upgrade** (rung − 1) when depth is at or below `low_depth` *and*
+///   the windowed p99 is under `upgrade_margin × target_p99_s`;
+/// * otherwise hold.
+///
+/// A replica must dwell `dwell_ticks` controller ticks between switches,
+/// and `low_depth < high_depth`, so the degrade and upgrade conditions are
+/// separated in both signal and time (hysteresis).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ControllerConfig {
+    /// Controller tick period, simulated seconds.
+    pub interval_s: f64,
+    /// Degrade when a replica's depth (queued + in service) reaches this.
+    pub high_depth: u64,
+    /// Upgrade only when depth is at or below this.
+    pub low_depth: u64,
+    /// Latency target for the windowed p99 sojourn; `None` disables the
+    /// latency signal and the controller runs on queue depth alone.
+    pub target_p99_s: Option<f64>,
+    /// Completions in each replica's sliding sojourn window.
+    pub window: usize,
+    /// Upgrades additionally require windowed p99 under
+    /// `upgrade_margin × target_p99_s` (ignored without a target).
+    pub upgrade_margin: f64,
+    /// Minimum controller ticks a replica holds a rung before switching
+    /// again.
+    pub dwell_ticks: u64,
+}
+
+impl ControllerConfig {
+    /// A controller ticking every `interval_s` with the default watermarks
+    /// (degrade at depth 16, upgrade at 2, window 64, margin 0.5, dwell 2)
+    /// and no latency target.
+    #[must_use]
+    pub fn new(interval_s: f64) -> Self {
+        ControllerConfig {
+            interval_s,
+            high_depth: 16,
+            low_depth: 2,
+            target_p99_s: None,
+            window: 64,
+            upgrade_margin: 0.5,
+            dwell_ticks: 2,
+        }
+    }
+
+    /// Replaces the queue-depth watermarks (builder style).
+    #[must_use]
+    pub fn with_depths(mut self, low_depth: u64, high_depth: u64) -> Self {
+        self.low_depth = low_depth;
+        self.high_depth = high_depth;
+        self
+    }
+
+    /// Sets the p99 latency target (builder style).
+    #[must_use]
+    pub fn with_target_p99(mut self, target_p99_s: f64) -> Self {
+        self.target_p99_s = Some(target_p99_s);
+        self
+    }
+
+    /// Replaces the dwell requirement (builder style).
+    #[must_use]
+    pub fn with_dwell(mut self, dwell_ticks: u64) -> Self {
+        self.dwell_ticks = dwell_ticks;
+        self
+    }
+}
+
+impl Default for ControllerConfig {
+    fn default() -> Self {
+        Self::new(0.010)
+    }
+}
+
+/// Replica autoscaling bounds and watermarks, driven by the same ticks as
+/// the precision controller.
+///
+/// At each tick the autoscaler reads the mean backlog per active replica
+/// (total depth ÷ active replicas). At or above `up_depth` it activates one
+/// standby replica (joining at the most-degraded rung currently active, so
+/// a scale-up never dilutes an overloaded cluster's precision decision); at
+/// or below `down_depth` it deactivates the highest-index *idle* replica.
+/// At most one scale action fires per `dwell_ticks` window.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AutoscalerConfig {
+    /// The cluster never shrinks below this many replicas.
+    pub min_replicas: u32,
+    /// The cluster never grows beyond this many replicas.
+    pub max_replicas: u32,
+    /// Scale up at/above this mean per-replica depth.
+    pub up_depth: f64,
+    /// Scale down at/below this mean per-replica depth (only idle replicas
+    /// are removed, so no queued request is ever stranded).
+    pub down_depth: f64,
+    /// Minimum controller ticks between scale actions.
+    pub dwell_ticks: u64,
+}
+
+impl AutoscalerConfig {
+    /// An autoscaler between `min_replicas` and `max_replicas` with the
+    /// default watermarks (up at 8, down at 1, dwell 2).
+    #[must_use]
+    pub fn new(min_replicas: u32, max_replicas: u32) -> Self {
+        AutoscalerConfig {
+            min_replicas,
+            max_replicas,
+            up_depth: 8.0,
+            down_depth: 1.0,
+            dwell_ticks: 2,
+        }
+    }
+
+    /// Replaces the per-replica depth watermarks (builder style).
+    #[must_use]
+    pub fn with_depths(mut self, down_depth: f64, up_depth: f64) -> Self {
+        self.down_depth = down_depth;
+        self.up_depth = up_depth;
+        self
+    }
+}
+
+/// A full adaptive control specification: the precision ladder, the
+/// feedback controller walking it, and an optional replica autoscaler.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdaptiveSpec {
+    /// The validated degradation ladder (rung 0 = full precision).
+    pub ladder: DegradationLadder,
+    /// The feedback controller's watermarks and hysteresis.
+    pub controller: ControllerConfig,
+    /// Optional replica autoscaling driven by the same signals.
+    pub autoscaler: Option<AutoscalerConfig>,
+}
+
+impl AdaptiveSpec {
+    /// An adaptive spec over `ladder` with the default controller and no
+    /// autoscaler.
+    #[must_use]
+    pub fn new(ladder: DegradationLadder) -> Self {
+        AdaptiveSpec {
+            ladder,
+            controller: ControllerConfig::default(),
+            autoscaler: None,
+        }
+    }
+
+    /// Replaces the controller configuration (builder style).
+    #[must_use]
+    pub fn with_controller(mut self, controller: ControllerConfig) -> Self {
+        self.controller = controller;
+        self
+    }
+
+    /// Enables replica autoscaling (builder style).
+    #[must_use]
+    pub fn with_autoscaler(mut self, autoscaler: AutoscalerConfig) -> Self {
+        self.autoscaler = Some(autoscaler);
+        self
+    }
+}
+
+/// Comma-free rendering for CSV columns: the ladder, plus the autoscaler
+/// bounds when one is set — `adaptive(Heterogeneous>uniform4>uniform2)` or
+/// `adaptive(uniform8>uniform2;scale1-4)`.
+impl fmt::Display for AdaptiveSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "adaptive({}", self.ladder)?;
+        if let Some(a) = &self.autoscaler {
+            write!(f, ";scale{}-{}", a.min_replicas, a.max_replicas)?;
+        }
+        f.write_str(")")
+    }
+}
+
+/// One entry of a [`crate::ServingScenario`]'s control axis: run every cell
+/// with a pinned precision (the classic static serving simulation), or
+/// under an adaptive controller.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ControlPolicy {
+    /// The request mix's declared precision, fixed for the whole run.
+    Static,
+    /// Runtime precision control (and optional autoscaling) over a ladder.
+    Adaptive(AdaptiveSpec),
+}
+
+impl ControlPolicy {
+    /// The adaptive spec, when this entry is adaptive.
+    #[must_use]
+    pub fn adaptive_spec(&self) -> Option<&AdaptiveSpec> {
+        match self {
+            ControlPolicy::Static => None,
+            ControlPolicy::Adaptive(spec) => Some(spec),
+        }
+    }
+}
+
+impl fmt::Display for ControlPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ControlPolicy::Static => f.write_str("static"),
+            ControlPolicy::Adaptive(spec) => write!(f, "{spec}"),
+        }
+    }
+}
+
+impl From<AdaptiveSpec> for ControlPolicy {
+    fn from(spec: AdaptiveSpec) -> Self {
+        ControlPolicy::Adaptive(spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_compact_and_comma_free() {
+        let spec = AdaptiveSpec::new(DegradationLadder::paper());
+        assert_eq!(
+            spec.to_string(),
+            "adaptive(Heterogeneous>uniform4>uniform2)"
+        );
+        let scaled = spec.clone().with_autoscaler(AutoscalerConfig::new(1, 4));
+        assert_eq!(
+            scaled.to_string(),
+            "adaptive(Heterogeneous>uniform4>uniform2;scale1-4)"
+        );
+        assert!(!scaled.to_string().contains(','));
+        assert_eq!(ControlPolicy::Static.to_string(), "static");
+        assert_eq!(
+            ControlPolicy::from(spec.clone()).to_string(),
+            spec.to_string()
+        );
+    }
+
+    #[test]
+    fn builders_compose() {
+        let cfg = ControllerConfig::new(0.002)
+            .with_depths(1, 8)
+            .with_target_p99(0.050)
+            .with_dwell(3);
+        assert_eq!(cfg.low_depth, 1);
+        assert_eq!(cfg.high_depth, 8);
+        assert_eq!(cfg.target_p99_s, Some(0.050));
+        assert_eq!(cfg.dwell_ticks, 3);
+        let spec = AdaptiveSpec::new(DegradationLadder::paper())
+            .with_controller(cfg)
+            .with_autoscaler(AutoscalerConfig::new(2, 6).with_depths(0.5, 12.0));
+        assert_eq!(spec.controller.interval_s, 0.002);
+        let a = spec.autoscaler.unwrap();
+        assert_eq!((a.min_replicas, a.max_replicas), (2, 6));
+        assert_eq!((a.down_depth, a.up_depth), (0.5, 12.0));
+    }
+
+    #[test]
+    fn control_policy_exposes_its_spec() {
+        assert!(ControlPolicy::Static.adaptive_spec().is_none());
+        let spec = AdaptiveSpec::new(DegradationLadder::paper());
+        let c = ControlPolicy::Adaptive(spec.clone());
+        assert_eq!(c.adaptive_spec(), Some(&spec));
+    }
+
+    #[test]
+    fn serde_round_trips() {
+        let spec = AdaptiveSpec::new(DegradationLadder::paper())
+            .with_controller(ControllerConfig::new(0.005).with_target_p99(0.1))
+            .with_autoscaler(AutoscalerConfig::new(1, 8));
+        for c in [ControlPolicy::Static, ControlPolicy::Adaptive(spec)] {
+            let json = serde_json::to_string(&c).unwrap();
+            let back: ControlPolicy = serde_json::from_str(&json).unwrap();
+            assert_eq!(c, back);
+        }
+    }
+}

@@ -26,15 +26,23 @@
 //!   costs come from the backend's `BatchRegime` latencies (so CNN
 //!   tile-spill effects shape the optimal batch);
 //! * [`cluster`] — N replicas behind a [`Router`]: round-robin,
-//!   join-shortest-queue, or network-affinity sharding;
-//! * [`sim`] — the event loop itself ([`run_serving`]): seeded,
-//!   deterministic, with paired arrival sequences across policies;
+//!   join-shortest-queue, network-affinity sharding, or precision-aware
+//!   least-degraded routing;
+//! * [`controller`] — the adaptive precision control plane: a
+//!   deterministic SLA-feedback controller walking each replica along a
+//!   validated [`bpvec_dnn::DegradationLadder`] (degrade under backlog or
+//!   p99 breach, upgrade with hysteresis), plus an optional replica
+//!   autoscaler driven by the same signals;
+//! * [`sim`] — the event loop itself ([`run_serving`] /
+//!   [`run_serving_adaptive`]): seeded, deterministic, with paired arrival
+//!   sequences across policies and per-replica active-precision state;
 //! * [`metrics`] — [`ServingMetrics`]: tail latencies, utilization, queue
-//!   depth, energy per request, goodput under an SLA;
+//!   depth, energy per request, goodput under an SLA, time-in-policy,
+//!   degraded-request share, switch counts;
 //! * [`scenario`] — the [`ServingScenario`] builder mirroring
 //!   [`bpvec_sim::Scenario`]: declare platforms × policies × clusters ×
-//!   traffics, run the grid rayon-parallel, render the [`ServingReport`]
-//!   to CSV/JSON.
+//!   traffics (× precisions) (× controls), run the grid rayon-parallel,
+//!   render the [`ServingReport`] to CSV/JSON.
 //!
 //! ## Declaring a serving experiment
 //!
@@ -66,6 +74,7 @@
 
 pub mod arrivals;
 pub mod cluster;
+pub mod controller;
 pub mod metrics;
 pub mod scenario;
 pub mod scheduler;
@@ -73,7 +82,11 @@ pub mod sim;
 
 pub use arrivals::{ArrivalProcess, MixEntry, RequestMix, TrafficSpec};
 pub use cluster::{ClusterSpec, Router};
+pub use controller::{AdaptiveSpec, AutoscalerConfig, ControlPolicy, ControllerConfig};
 pub use metrics::{LatencyHistogram, LatencyStats, ServingMetrics};
 pub use scenario::{ServingCell, ServingError, ServingReport, ServingScenario};
 pub use scheduler::BatchPolicy;
-pub use sim::{run_serving, RequestRecord, ServiceModel, ServingOutcome};
+pub use sim::{
+    run_serving, run_serving_adaptive, PolicySwitchEvent, RequestRecord, ScaleEvent, ServiceModel,
+    ServingOutcome,
+};

@@ -89,6 +89,22 @@ pub struct ServingMetrics {
     pub sla_attainment: f64,
     /// Throughput × SLA attainment: requests per second that met the SLA.
     pub goodput_rps: f64,
+    /// Fraction of measured requests served at ladder rung 0 (full
+    /// precision; 1.0 for a static run).
+    pub full_precision_share: f64,
+    /// Fraction of measured requests served at any degraded rung
+    /// (`1 − full_precision_share` whenever anything was measured).
+    pub degraded_share: f64,
+    /// Share of active replica-time spent at each ladder rung (index =
+    /// rung; sums to 1; a single entry under static control).
+    pub time_in_policy: Vec<f64>,
+    /// Precision switches the controller performed across all replicas.
+    pub policy_switches: u64,
+    /// Replica activations + deactivations the autoscaler performed.
+    pub scale_events: u64,
+    /// Time-averaged count of active replicas (equals the cluster size
+    /// without an autoscaler).
+    pub mean_active_replicas: f64,
 }
 
 /// `q`-quantile of an ascending-sorted slice (nearest-rank convention).
@@ -112,12 +128,16 @@ impl ServingMetrics {
         sla_s: Option<f64>,
     ) -> Self {
         let completed = outcome.records.len() as u64;
-        let mut sojourns: Vec<f64> = outcome
-            .records
-            .iter()
-            .filter(|r| r.id >= warmup)
-            .map(|r| r.sojourn_s())
-            .collect();
+        let mut sojourns: Vec<f64> = Vec::with_capacity(outcome.records.len());
+        let mut measured_full = 0u64;
+        for r in &outcome.records {
+            if r.id >= warmup {
+                sojourns.push(r.sojourn_s());
+                if r.rung == 0 {
+                    measured_full += 1;
+                }
+            }
+        }
         sojourns.sort_by(f64::total_cmp);
         let measured = sojourns.len() as u64;
         let mean_s = if sojourns.is_empty() {
@@ -147,6 +167,25 @@ impl ServingMetrics {
         } else {
             1.0
         };
+        let full_precision_share = if measured > 0 {
+            measured_full as f64 / measured as f64
+        } else {
+            1.0
+        };
+        // Without an autoscaler the active-replica integral is exactly
+        // `replicas × makespan`; hand-built outcomes (tests) may leave the
+        // integrals zeroed, so fall back to the static formula.
+        let active_integral_s = if outcome.active_integral_s > 0.0 {
+            outcome.active_integral_s
+        } else {
+            makespan_s * f64::from(replicas.max(1))
+        };
+        let rung_total: f64 = outcome.rung_time_s.iter().sum();
+        let time_in_policy = if rung_total > 0.0 {
+            outcome.rung_time_s.iter().map(|t| t / rung_total).collect()
+        } else {
+            vec![1.0]
+        };
         ServingMetrics {
             admitted: outcome.admitted,
             completed,
@@ -160,8 +199,8 @@ impl ServingMetrics {
             } else {
                 0.0
             },
-            utilization: if makespan_s > 0.0 {
-                outcome.busy_s / (makespan_s * f64::from(replicas.max(1)))
+            utilization: if active_integral_s > 0.0 {
+                outcome.busy_s / active_integral_s
             } else {
                 0.0
             },
@@ -177,6 +216,20 @@ impl ServingMetrics {
             },
             sla_attainment,
             goodput_rps: throughput_rps * sla_attainment,
+            full_precision_share,
+            degraded_share: if measured > 0 {
+                1.0 - full_precision_share
+            } else {
+                0.0
+            },
+            time_in_policy,
+            policy_switches: outcome.policy_switches.len() as u64,
+            scale_events: outcome.scale_events.len() as u64,
+            mean_active_replicas: if makespan_s > 0.0 {
+                active_integral_s / makespan_s
+            } else {
+                f64::from(replicas.max(1))
+            },
         }
     }
 }
@@ -195,6 +248,7 @@ mod tests {
             start_s: arrival_s,
             completion_s,
             batch: 1,
+            rung: 0,
         }
     }
 
@@ -211,6 +265,10 @@ mod tests {
             energy_j: records.len() as f64 * 0.5,
             batches: records.len() as u64,
             records,
+            active_integral_s: 0.0,
+            rung_time_s: Vec::new(),
+            policy_switches: Vec::new(),
+            scale_events: Vec::new(),
         }
     }
 
@@ -270,6 +328,55 @@ mod tests {
         // Overflow clamps into the last bin.
         assert_eq!(h.counts[LatencyHistogram::BINS - 1], 1);
         assert_eq!(h.total(), 4);
+    }
+
+    #[test]
+    fn adaptive_shares_and_time_in_policy() {
+        use crate::sim::{PolicySwitchEvent, ScaleEvent};
+        let records: Vec<RequestRecord> = (0..10)
+            .map(|i| {
+                let mut r = record(i, 0.0, 1.0);
+                if i >= 6 {
+                    r.rung = 1;
+                }
+                r
+            })
+            .collect();
+        let mut out = outcome(records);
+        out.rung_time_s = vec![3.0, 1.0];
+        out.active_integral_s = 2.0;
+        out.policy_switches = vec![PolicySwitchEvent {
+            time_s: 0.5,
+            replica: 0,
+            from_rung: 0,
+            to_rung: 1,
+        }];
+        out.scale_events = vec![ScaleEvent {
+            time_s: 0.6,
+            replica: 1,
+            up: true,
+        }];
+        let m = ServingMetrics::from_outcome(&out, 2, 0, None);
+        assert!((m.full_precision_share - 0.6).abs() < 1e-12);
+        assert!((m.degraded_share - 0.4).abs() < 1e-12);
+        assert_eq!(m.time_in_policy, vec![0.75, 0.25]);
+        assert_eq!(m.policy_switches, 1);
+        assert_eq!(m.scale_events, 1);
+        // ∫active dt = 2 replica-seconds over the 1 s makespan → mean 2.
+        assert!((m.mean_active_replicas - 2.0).abs() < 1e-12);
+        // busy = makespan/2 = 0.5 against 2 replica-seconds offered.
+        assert!((m.utilization - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn static_outcomes_report_full_precision() {
+        let m = ServingMetrics::from_outcome(&outcome(vec![record(0, 0.0, 1.0)]), 1, 0, None);
+        assert_eq!(m.full_precision_share, 1.0);
+        assert_eq!(m.degraded_share, 0.0);
+        assert_eq!(m.time_in_policy, vec![1.0]);
+        assert_eq!(m.policy_switches, 0);
+        assert_eq!(m.scale_events, 0);
+        assert_eq!(m.mean_active_replicas, 1.0);
     }
 
     #[test]

@@ -20,11 +20,14 @@ use bpvec_sim::{CostModel, DramSpec, Evaluator};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
+use bpvec_dnn::DegradationLadder;
+
 use crate::arrivals::{ArrivalProcess, TrafficSpec};
 use crate::cluster::ClusterSpec;
+use crate::controller::{AdaptiveSpec, ControlPolicy};
 use crate::metrics::ServingMetrics;
 use crate::scheduler::BatchPolicy;
-use crate::sim::{run_serving_with_table, CostTable, ServiceModel};
+use crate::sim::{build_rung_tables, run_serving_with_control, CostTable, ServiceModel};
 
 /// Errors from building or running a serving scenario.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -69,6 +72,70 @@ pub(crate) fn validate_policy(p: &BatchPolicy) -> Result<(), ServingError> {
 pub(crate) fn validate_cluster(c: &ClusterSpec) -> Result<(), ServingError> {
     if c.replicas == 0 {
         return Err(ServingError("a cluster needs at least one replica".into()));
+    }
+    Ok(())
+}
+
+/// Validates one adaptive control specification (cluster-independent part).
+pub(crate) fn validate_control(spec: &AdaptiveSpec) -> Result<(), ServingError> {
+    let c = &spec.controller;
+    if !positive(c.interval_s) {
+        return Err(ServingError(
+            "the controller tick interval must be positive".into(),
+        ));
+    }
+    if c.low_depth >= c.high_depth {
+        return Err(ServingError(format!(
+            "controller hysteresis needs low_depth < high_depth (got {} >= {})",
+            c.low_depth, c.high_depth
+        )));
+    }
+    if c.window == 0 {
+        return Err(ServingError(
+            "the controller's sojourn window needs at least one slot".into(),
+        ));
+    }
+    if !(c.upgrade_margin.is_finite() && c.upgrade_margin > 0.0 && c.upgrade_margin <= 1.0) {
+        return Err(ServingError("the upgrade margin must lie in (0, 1]".into()));
+    }
+    if let Some(t) = c.target_p99_s {
+        if !positive(t) {
+            return Err(ServingError(
+                "the controller's p99 target must be a positive latency".into(),
+            ));
+        }
+    }
+    if let Some(a) = &spec.autoscaler {
+        if a.min_replicas == 0 || a.min_replicas > a.max_replicas {
+            return Err(ServingError(format!(
+                "autoscaler bounds need 1 <= min <= max (got {}..={})",
+                a.min_replicas, a.max_replicas
+            )));
+        }
+        if !(non_negative(a.down_depth) && a.up_depth.is_finite() && a.down_depth < a.up_depth) {
+            return Err(ServingError(
+                "autoscaler watermarks need 0 <= down_depth < up_depth".into(),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Validates an adaptive spec against the cluster it will control: an
+/// autoscaled run starts at the cluster's replica count, which must lie
+/// within the autoscaler's bounds.
+pub(crate) fn validate_control_for_cluster(
+    spec: &AdaptiveSpec,
+    cluster: &ClusterSpec,
+) -> Result<(), ServingError> {
+    validate_control(spec)?;
+    if let Some(a) = &spec.autoscaler {
+        if cluster.replicas < a.min_replicas || cluster.replicas > a.max_replicas {
+            return Err(ServingError(format!(
+                "cluster `{cluster}` starts outside the autoscaler bounds {}..={}",
+                a.min_replicas, a.max_replicas
+            )));
+        }
     }
     Ok(())
 }
@@ -139,8 +206,8 @@ pub(crate) fn validate_traffic(t: &TrafficSpec) -> Result<(), ServingError> {
 }
 
 /// A declared serving experiment: platforms × policies × clusters ×
-/// traffics (× precisions) under one memory system, service model, seed,
-/// and optional SLA.
+/// traffics (× precisions) (× controls) under one memory system, service
+/// model, seed, and optional SLA.
 pub struct ServingScenario {
     name: String,
     platforms: Vec<(String, Arc<dyn Evaluator>)>,
@@ -148,6 +215,7 @@ pub struct ServingScenario {
     clusters: Vec<ClusterSpec>,
     traffics: Vec<TrafficSpec>,
     precisions: Vec<PrecisionPolicy>,
+    controls: Vec<ControlPolicy>,
     memory: DramSpec,
     service: ServiceModel,
     sla_s: Option<f64>,
@@ -166,6 +234,7 @@ impl fmt::Debug for ServingScenario {
             .field("clusters", &self.clusters)
             .field("traffics", &self.traffics)
             .field("precisions", &self.precisions)
+            .field("controls", &self.controls)
             .field("memory", &self.memory)
             .field("service", &self.service)
             .field("sla_s", &self.sla_s)
@@ -186,6 +255,7 @@ impl ServingScenario {
             clusters: Vec::new(),
             traffics: Vec::new(),
             precisions: Vec::new(),
+            controls: Vec::new(),
             memory: DramSpec::ddr4(),
             service: ServiceModel::Deterministic,
             sla_s: None,
@@ -262,6 +332,36 @@ impl ServingScenario {
         self
     }
 
+    /// Adds an adaptive-control entry to the control axis: every cell runs
+    /// under a runtime precision controller walking `ladder` (rung 0 first)
+    /// with the default [`crate::ControllerConfig`]. Combine with
+    /// [`ServingScenario::static_control`] to compare adaptive against
+    /// pinned-precision serving in one report; use
+    /// [`ServingScenario::control`] for a custom controller or autoscaler.
+    ///
+    /// An empty control axis means every cell is static (the classic
+    /// behavior). The control axis cannot be combined with a precision
+    /// sweep: the controller owns the mix's precision at runtime.
+    #[must_use]
+    pub fn adaptive(self, ladder: DegradationLadder) -> Self {
+        self.control(ControlPolicy::Adaptive(AdaptiveSpec::new(ladder)))
+    }
+
+    /// Adds a static-precision entry to the control axis (the mix's
+    /// declared policies, pinned for the whole run).
+    #[must_use]
+    pub fn static_control(self) -> Self {
+        self.control(ControlPolicy::Static)
+    }
+
+    /// Adds one control-axis entry ([`ControlPolicy::Static`] or a full
+    /// [`AdaptiveSpec`] with controller/autoscaler configuration).
+    #[must_use]
+    pub fn control(mut self, control: impl Into<ControlPolicy>) -> Self {
+        self.controls.push(control.into());
+        self
+    }
+
     /// Replaces the off-chip memory system (default DDR4).
     #[must_use]
     pub fn memory(mut self, memory: DramSpec) -> Self {
@@ -288,6 +388,16 @@ impl ServingScenario {
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
+    }
+
+    /// The derived arrival seed a scenario with base `seed` uses for its
+    /// `traffic_idx`-th declared traffic — pass it to
+    /// [`crate::run_serving`] / [`crate::run_serving_adaptive`] to replay
+    /// one cell's exact arrival sequence outside the grid (e.g. to inspect
+    /// raw [`crate::RequestRecord`]s).
+    #[must_use]
+    pub fn mix_seed_for(seed: u64, traffic_idx: u64) -> u64 {
+        mix_seed(seed, traffic_idx)
     }
 
     fn validate(&self) -> Result<(), ServingError> {
@@ -327,6 +437,31 @@ impl ServingScenario {
                     "duplicate precision policy `{p}` in the sweep axis"
                 )));
             }
+        }
+        for (i, c) in self.controls.iter().enumerate() {
+            if self.controls[..i].contains(c) {
+                return Err(ServingError(format!(
+                    "duplicate control policy `{c}` in the control axis"
+                )));
+            }
+            if let Some(spec) = c.adaptive_spec() {
+                validate_control(spec)?;
+                for cluster in &self.clusters {
+                    validate_control_for_cluster(spec, cluster)?;
+                }
+                // A ladder rung that cannot apply to some mix network (a
+                // per-layer list with the wrong layer count) surfaces from
+                // the rung-table build in `try_run`, which constructs each
+                // distinct ladder's networks exactly once.
+            }
+        }
+        if !self.precisions.is_empty() && self.controls.iter().any(|c| c.adaptive_spec().is_some())
+        {
+            return Err(ServingError(
+                "a precision sweep cannot be combined with adaptive control \
+                 (the controller owns the mix's precision at runtime)"
+                    .into(),
+            ));
         }
         if let Some(sla) = self.sla_s {
             if !positive(sla) {
@@ -380,22 +515,47 @@ impl ServingScenario {
     }
 
     /// Simulates the full platforms × policies × clusters × traffics
-    /// (× precisions) cross-product — rayon-parallel across cells — and
-    /// reports the results.
+    /// (× precisions) (× controls) cross-product — rayon-parallel across
+    /// cells — and reports the results.
     ///
     /// Batch cost tables are built once per (platform, traffic) through a
     /// single shared [`CostModel`] and handed to every policy × cluster
     /// cell behind an [`Arc`]: replicas, routers and batch caps all read
-    /// the same table instead of re-running the analytical model.
+    /// the same table instead of re-running the analytical model. Adaptive
+    /// control entries additionally get one table per ladder rung — built
+    /// once per distinct ladder (not per control entry) through the same
+    /// memo, and shared by every replica of every adaptive cell.
     ///
     /// # Errors
     ///
     /// Fails if an axis is empty, platform labels collide, or any policy,
-    /// cluster, traffic, or precision assignment is malformed (see
-    /// [`ServingError`]).
+    /// cluster, traffic, precision, or control assignment is malformed
+    /// (see [`ServingError`]).
     pub fn try_run(&self) -> Result<ServingReport, ServingError> {
         self.validate()?;
         let traffics = self.effective_traffics();
+        let controls: Vec<ControlPolicy> = if self.controls.is_empty() {
+            vec![ControlPolicy::Static]
+        } else {
+            self.controls.clone()
+        };
+        // Distinct ladders and each control's index into them (two adaptive
+        // entries differing only in controller tuning share rung tables).
+        let mut ladders: Vec<&DegradationLadder> = Vec::new();
+        let control_ladder: Vec<Option<usize>> = controls
+            .iter()
+            .map(|c| {
+                c.adaptive_spec().map(|spec| {
+                    ladders
+                        .iter()
+                        .position(|l| **l == spec.ladder)
+                        .unwrap_or_else(|| {
+                            ladders.push(&spec.ladder);
+                            ladders.len() - 1
+                        })
+                })
+            })
+            .collect();
         // Validate every mix workload's precision once, keeping the built
         // networks so the per-platform table builds below reuse them.
         let networks: Vec<Vec<bpvec_dnn::Network>> = traffics
@@ -445,21 +605,57 @@ impl ServingScenario {
                     .collect()
             })
             .collect();
+        // `rung_tables[l][p][tr][r]`: per distinct ladder, per platform ×
+        // traffic, one cost table per rung — all through the shared memo.
+        let rung_tables: Vec<Vec<Vec<Vec<Arc<CostTable>>>>> = ladders
+            .iter()
+            .map(|ladder| {
+                let probe = AdaptiveSpec::new((*ladder).clone());
+                self.platforms
+                    .par_iter()
+                    .map(|(_, backend)| {
+                        traffics
+                            .iter()
+                            .map(|(_, _, t)| {
+                                build_rung_tables(
+                                    backend.as_ref(),
+                                    &self.memory,
+                                    t,
+                                    &probe,
+                                    max_batch,
+                                    &cost,
+                                )
+                                .map_err(ServingError)
+                            })
+                            .collect::<Result<Vec<_>, _>>()
+                    })
+                    .collect::<Result<Vec<_>, _>>()
+            })
+            .collect::<Result<Vec<_>, _>>()?;
         let n_traffics = traffics.len();
-        let jobs: Vec<(usize, usize, usize, usize)> = (0..self.platforms.len())
+        let n_controls = controls.len();
+        let jobs: Vec<(usize, usize, usize, usize, usize)> = (0..self.platforms.len())
             .flat_map(|p| {
                 (0..self.policies.len()).flat_map(move |pol| {
-                    (0..self.clusters.len())
-                        .flat_map(move |cl| (0..n_traffics).map(move |tr| (p, pol, cl, tr)))
+                    (0..self.clusters.len()).flat_map(move |cl| {
+                        (0..n_traffics)
+                            .flat_map(move |tr| (0..n_controls).map(move |co| (p, pol, cl, tr, co)))
+                    })
                 })
             })
             .collect();
         let cells: Vec<ServingCell> = jobs
             .into_par_iter()
-            .map(|(p, pol, cl, tr)| {
+            .map(|(p, pol, cl, tr, co)| {
                 let (traffic_idx, precision, traffic) = &traffics[tr];
-                let outcome = run_serving_with_table(
-                    Arc::clone(&tables[p][tr]),
+                let spec = controls[co].adaptive_spec();
+                let cell_tables = match control_ladder[co] {
+                    None => vec![Arc::clone(&tables[p][tr])],
+                    Some(l) => rung_tables[l][p][tr].clone(),
+                };
+                let outcome = run_serving_with_control(
+                    cell_tables,
+                    spec,
                     self.policies[pol],
                     self.clusters[cl],
                     traffic,
@@ -477,7 +673,14 @@ impl ServingScenario {
                     policy: self.policies[pol],
                     cluster: self.clusters[cl],
                     traffic: traffic.label.clone(),
-                    precision: precision.clone(),
+                    precision: match spec {
+                        // An adaptive cell's precision is rung 0's policy;
+                        // the per-rung reality lives in the control column
+                        // and the time-in-policy / degraded-share metrics.
+                        Some(s) => s.ladder.rungs()[0].to_string(),
+                        None => precision.clone(),
+                    },
+                    control: controls[co].to_string(),
                     offered_rps: traffic.offered_rps().unwrap_or(0.0),
                     metrics,
                 }
@@ -525,8 +728,13 @@ pub struct ServingCell {
     /// The traffic spec's label.
     pub traffic: String,
     /// The precision the cell's request mix ran at: the sweep policy's
-    /// display form, or the mix's own (`+`-joined) policies without a sweep.
+    /// display form, or the mix's own (`+`-joined) policies without a
+    /// sweep. Adaptive cells report their ladder's rung 0 (the precision
+    /// the run *starts* at); see the `control` column for the ladder.
     pub precision: String,
+    /// The cell's control policy: `static`, or the adaptive ladder (and
+    /// autoscaler bounds) in display form.
+    pub control: String,
     /// Long-run offered rate (0 for closed-loop traffic, which adapts).
     pub offered_rps: f64,
     /// Everything measured.
@@ -565,24 +773,27 @@ impl ServingReport {
     }
 
     /// Renders every cell as a CSV row for downstream analysis. The
-    /// `precision` column carries the cell's precision policy, so precision
-    /// sweeps plot directly.
+    /// `precision` column carries the cell's precision policy and the
+    /// `control` column its control policy, so precision sweeps and
+    /// adaptive-vs-static comparisons plot directly.
     #[must_use]
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
-            "platform,policy,cluster,traffic,precision,offered_rps,throughput_rps,goodput_rps,\
-             p50_ms,p95_ms,p99_ms,mean_ms,max_ms,mean_queue_depth,utilization,\
-             mean_batch,energy_mj_per_req,sla_attainment\n",
+            "platform,policy,cluster,traffic,precision,control,offered_rps,throughput_rps,\
+             goodput_rps,p50_ms,p95_ms,p99_ms,mean_ms,max_ms,mean_queue_depth,utilization,\
+             mean_batch,energy_mj_per_req,sla_attainment,full_precision_share,policy_switches,\
+             mean_replicas\n",
         );
         for c in &self.cells {
             let m = &c.metrics;
             out.push_str(&format!(
-                "{},{},{},{},{},{:.3},{:.3},{:.3},{:.4},{:.4},{:.4},{:.4},{:.4},{:.3},{:.4},{:.3},{:.5},{:.4}\n",
+                "{},{},{},{},{},{},{:.3},{:.3},{:.3},{:.4},{:.4},{:.4},{:.4},{:.4},{:.3},{:.4},{:.3},{:.5},{:.4},{:.4},{},{:.3}\n",
                 c.platform,
                 c.policy,
                 c.cluster,
                 c.traffic,
                 c.precision,
+                c.control,
                 c.offered_rps,
                 m.throughput_rps,
                 m.goodput_rps,
@@ -596,6 +807,9 @@ impl ServingReport {
                 m.mean_batch,
                 m.energy_per_request_j * 1e3,
                 m.sla_attainment,
+                m.full_precision_share,
+                m.policy_switches,
+                m.mean_active_replicas,
             ));
         }
         out
@@ -759,7 +973,7 @@ mod tests {
             .lines()
             .next()
             .unwrap()
-            .contains("traffic,precision,offered_rps"));
+            .contains("traffic,precision,control,offered_rps"));
         assert!(csv.contains("steady,uniform2,"), "{csv}");
     }
 
@@ -778,6 +992,105 @@ mod tests {
     fn without_a_sweep_the_precision_column_names_the_mix_policies() {
         let report = small_scenario().run();
         assert!(report.cells.iter().all(|c| c.precision == "Homogeneous8"));
+    }
+
+    #[test]
+    fn control_axis_expands_cells_and_reports_control_column() {
+        use crate::controller::ControllerConfig;
+        use bpvec_dnn::DegradationLadder;
+        let spec = AdaptiveSpec::new(DegradationLadder::paper())
+            .with_controller(ControllerConfig::new(0.005).with_depths(1, 6));
+        let report = ServingScenario::new("control")
+            .platform(AcceleratorConfig::bpvec())
+            .policy(BatchPolicy::immediate())
+            .cluster(ClusterSpec::single())
+            .traffic(quick_traffic("steady", 50.0))
+            .static_control()
+            .control(spec)
+            .run();
+        assert_eq!(report.cells.len(), 2);
+        assert_eq!(report.cells[0].control, "static");
+        assert_eq!(
+            report.cells[1].control,
+            "adaptive(Heterogeneous>uniform4>uniform2)"
+        );
+        // Adaptive cells report their rung-0 precision.
+        assert_eq!(report.cells[1].precision, "Heterogeneous");
+        // Arrivals stay paired across the control axis.
+        assert_eq!(
+            report.cells[0].metrics.completed,
+            report.cells[1].metrics.completed
+        );
+        let header = report.to_csv().lines().next().unwrap().to_string();
+        assert!(header.contains("precision,control,offered_rps"), "{header}");
+        assert!(
+            header.ends_with("full_precision_share,policy_switches,mean_replicas"),
+            "{header}"
+        );
+    }
+
+    #[test]
+    fn adaptive_scenarios_are_deterministic() {
+        use bpvec_dnn::DegradationLadder;
+        let build = || {
+            ServingScenario::new("det")
+                .platform(AcceleratorConfig::bpvec())
+                .policy(BatchPolicy::deadline(4, 0.002))
+                .cluster(ClusterSpec::new(2, crate::Router::LeastDegraded))
+                .traffic(quick_traffic("steady", 120.0))
+                .adaptive(DegradationLadder::paper())
+                .sla_s(0.050)
+        };
+        let a = build().run();
+        let b = build().run();
+        assert_eq!(a, b);
+        assert_eq!(a.to_csv(), b.to_csv());
+    }
+
+    #[test]
+    fn malformed_controls_are_rejected() {
+        use crate::controller::{AutoscalerConfig, ControllerConfig};
+        use bpvec_dnn::DegradationLadder;
+        let base = || small_scenario();
+        // Duplicate control entries.
+        let err = base()
+            .static_control()
+            .static_control()
+            .try_run()
+            .unwrap_err();
+        assert!(err.to_string().contains("duplicate control"), "{err}");
+        // Inverted hysteresis watermarks.
+        let bad = AdaptiveSpec::new(DegradationLadder::paper())
+            .with_controller(ControllerConfig::new(0.01).with_depths(8, 8));
+        let err = base().control(bad).try_run().unwrap_err();
+        assert!(err.to_string().contains("low_depth < high_depth"), "{err}");
+        // Cluster outside the autoscaler bounds.
+        let scaled = AdaptiveSpec::new(DegradationLadder::paper())
+            .with_autoscaler(AutoscalerConfig::new(2, 4));
+        let err = base().control(scaled).try_run().unwrap_err();
+        assert!(err.to_string().contains("outside the autoscaler"), "{err}");
+        // Precision sweep × adaptive control.
+        let int4: PrecisionPolicy = "int4".parse().expect("parses");
+        let err = base()
+            .precision(int4.clone())
+            .adaptive(DegradationLadder::paper())
+            .try_run()
+            .unwrap_err();
+        assert!(err.to_string().contains("cannot be combined"), "{err}");
+        // A ladder rung that does not apply to the mix's network.
+        let lp = match &int4 {
+            PrecisionPolicy::Uniform(lp) => *lp,
+            _ => unreachable!("int4 parses to a uniform policy"),
+        };
+        let bad_rung = bpvec_dnn::PrecisionPolicy::degradation_ladder([
+            PrecisionPolicy::per_layer(vec![lp; 100]),
+        ])
+        .expect("valid ladder shape");
+        let err = base()
+            .control(AdaptiveSpec::new(bad_rung))
+            .try_run()
+            .unwrap_err();
+        assert!(err.to_string().contains("ladder rung 0"), "{err}");
     }
 
     #[test]

@@ -19,6 +19,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::arrivals::{ArrivalProcess, TrafficSpec};
 use crate::cluster::{ClusterSpec, Router};
+use crate::controller::AdaptiveSpec;
 use crate::scheduler::BatchPolicy;
 
 /// How dispatched batches' service times vary around the backend's
@@ -51,6 +52,9 @@ pub struct RequestRecord {
     pub completion_s: f64,
     /// Size of the batch the request was served in.
     pub batch: u64,
+    /// Ladder rung the serving replica held when the batch dispatched
+    /// (always 0 under static control: full precision).
+    pub rung: usize,
 }
 
 impl RequestRecord {
@@ -59,6 +63,30 @@ impl RequestRecord {
     pub fn sojourn_s(&self) -> f64 {
         self.completion_s - self.arrival_s
     }
+}
+
+/// One precision switch decided by the adaptive controller.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PolicySwitchEvent {
+    /// Simulated time of the switch, seconds.
+    pub time_s: f64,
+    /// The replica that switched.
+    pub replica: usize,
+    /// Rung held before the switch.
+    pub from_rung: usize,
+    /// Rung held after the switch (`from_rung ± 1`).
+    pub to_rung: usize,
+}
+
+/// One replica activation or deactivation decided by the autoscaler.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScaleEvent {
+    /// Simulated time of the action, seconds.
+    pub time_s: f64,
+    /// The replica activated or deactivated.
+    pub replica: usize,
+    /// True for a scale-up (activation).
+    pub up: bool,
 }
 
 /// Raw result of one simulation run; [`crate::ServingMetrics`] summarizes it.
@@ -78,6 +106,18 @@ pub struct ServingOutcome {
     pub energy_j: f64,
     /// Number of batches dispatched.
     pub batches: u64,
+    /// Time integral of the *active* replica count over the measured run
+    /// (up to `makespan_s`) — the capacity actually offered (constant
+    /// `replicas × makespan_s` without an autoscaler).
+    pub active_integral_s: f64,
+    /// Active replica-time spent at each ladder rung, seconds (one entry
+    /// per rung; a single entry under static control). Sums to
+    /// `active_integral_s`.
+    pub rung_time_s: Vec<f64>,
+    /// The controller's precision switches, in decision order.
+    pub policy_switches: Vec<PolicySwitchEvent>,
+    /// The autoscaler's activations/deactivations, in decision order.
+    pub scale_events: Vec<ScaleEvent>,
 }
 
 /// Whole-batch service time and energy per (class, batch size), precomputed
@@ -162,8 +202,15 @@ impl CostTable {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum EventKind {
     Arrival,
-    Completion { shard: usize },
-    DeadlineCheck { shard: usize },
+    Completion {
+        shard: usize,
+    },
+    DeadlineCheck {
+        shard: usize,
+    },
+    /// Adaptive control evaluation: every replica's rung, then the
+    /// autoscaler. Scheduled only when an [`AdaptiveSpec`] is in force.
+    ControllerTick,
 }
 
 /// Heap entry ordered by `(time, seq)` ascending; the sequence number makes
@@ -203,6 +250,9 @@ struct Request {
 struct InFlight {
     requests: Vec<Request>,
     start_s: f64,
+    /// Rung the batch dispatched at (its service time is already locked in;
+    /// a mid-service switch only affects subsequent batches).
+    rung: usize,
 }
 
 struct Shard {
@@ -211,14 +261,39 @@ struct Shard {
     /// Fire time of this shard's outstanding `DeadlineCheck`, if one is in
     /// the heap and still in the future (at most one is armed at a time).
     armed_check_s: Option<f64>,
+    /// Active ladder rung (0 = full precision; fixed at 0 under static
+    /// control).
+    rung: usize,
+    /// Whether the replica serves traffic (autoscaled replicas toggle this;
+    /// without an autoscaler every replica is always active).
+    active: bool,
+    /// Time the replica entered its current rung (for time-in-policy
+    /// accounting; only accrues while active).
+    rung_since_s: f64,
+    /// Controller ticks since this replica last switched rungs.
+    ticks_since_switch: u64,
+    /// Sliding window of recent sojourn times, completion order (the
+    /// controller's p99 signal; maintained only when a latency target is
+    /// set — depth-only controllers skip the bookkeeping entirely).
+    window: VecDeque<f64>,
+    /// Scratch for the selection behind [`Shard::window_p99`] (reused
+    /// across ticks to keep the controller allocation-free on the hot
+    /// path).
+    scratch: Vec<f64>,
 }
 
 impl Shard {
-    fn new(classes: usize) -> Self {
+    fn new(classes: usize, active: bool) -> Self {
         Shard {
             queues: (0..classes).map(|_| VecDeque::new()).collect(),
             in_flight: None,
             armed_check_s: None,
+            rung: 0,
+            active,
+            rung_since_s: 0.0,
+            ticks_since_switch: u64::MAX,
+            window: VecDeque::new(),
+            scratch: Vec::new(),
         }
     }
 
@@ -229,6 +304,24 @@ impl Shard {
                 .in_flight
                 .as_ref()
                 .map_or(0, |f| f.requests.len() as u64)
+    }
+
+    fn idle(&self) -> bool {
+        self.in_flight.is_none() && self.queues.iter().all(VecDeque::is_empty)
+    }
+
+    /// Nearest-rank p99 over the sojourn window, if any samples exist
+    /// (selection, not a sort: O(window) per tick).
+    fn window_p99(&mut self) -> Option<f64> {
+        if self.window.is_empty() {
+            return None;
+        }
+        self.scratch.clear();
+        self.scratch.extend(self.window.iter().copied());
+        let rank = (0.99 * self.scratch.len() as f64).ceil() as usize;
+        let idx = rank.clamp(1, self.scratch.len()) - 1;
+        let (_, p99, _) = self.scratch.select_nth_unstable_by(idx, f64::total_cmp);
+        Some(*p99)
     }
 }
 
@@ -326,7 +419,10 @@ impl ArrivalGen {
 struct Sim<'a> {
     policy: BatchPolicy,
     service: ServiceModel,
-    table: Arc<CostTable>,
+    /// Batch cost per ladder rung; static control sees a single entry.
+    tables: Vec<Arc<CostTable>>,
+    /// The adaptive control plane, when one is in force.
+    control: Option<&'a AdaptiveSpec>,
     traffic: &'a TrafficSpec,
     router: Router,
     shards: Vec<Shard>,
@@ -351,6 +447,23 @@ struct Sim<'a> {
     /// heap can outlive it by one armed deadline check firing on an empty
     /// system; that no-op must not stretch the measured run.)
     last_completion_s: f64,
+    /// Set (to the makespan) the moment all work is done: every request
+    /// admitted, nothing queued, nothing in flight. Trailing no-op events
+    /// (a stale deadline check, a final controller tick) process after
+    /// this point, and none of the time integrals may include them.
+    finished_s: Option<f64>,
+    /// Currently active replicas (constant without an autoscaler).
+    active_count: u32,
+    /// Time integral of `active_count`, up to `finished_s`.
+    active_integral: f64,
+    /// Active replica-time accrued per rung (finalized at run end).
+    rung_time_s: Vec<f64>,
+    /// Controller ticks fired so far.
+    ticks: u64,
+    /// Ticks since the autoscaler last acted.
+    ticks_since_scale: u64,
+    switch_log: Vec<PolicySwitchEvent>,
+    scale_log: Vec<ScaleEvent>,
 }
 
 impl Sim<'_> {
@@ -363,16 +476,49 @@ impl Sim<'_> {
     fn route(&mut self, class: usize) -> usize {
         let n = self.shards.len();
         match self.router {
-            Router::RoundRobin => {
+            Router::RoundRobin => loop {
                 let s = self.rr_next;
                 self.rr_next = (self.rr_next + 1) % n;
-                s
-            }
+                if self.shards[s].active {
+                    break s;
+                }
+            },
             Router::JoinShortestQueue => (0..n)
+                .filter(|&s| self.shards[s].active)
                 .min_by_key(|&s| (self.shards[s].depth(), s))
-                .expect("cluster has at least one replica"),
-            Router::NetworkAffinity => class % n,
+                .expect("cluster has at least one active replica"),
+            Router::NetworkAffinity => {
+                let active_n = self.active_count.max(1) as usize;
+                if active_n == n {
+                    // The common (non-autoscaled, or fully scaled) case:
+                    // the seed's allocation-free pinning.
+                    class % n
+                } else {
+                    // Map over the active replicas in index order. A scale
+                    // event shifts this mapping — the modeled weights
+                    // migration is not costed; see `Router::NetworkAffinity`.
+                    (0..n)
+                        .filter(|&s| self.shards[s].active)
+                        .nth(class % active_n)
+                        .expect("active_count active replicas exist")
+                }
+            }
+            Router::LeastDegraded => (0..n)
+                .filter(|&s| self.shards[s].active)
+                .min_by_key(|&s| (self.shards[s].rung, self.shards[s].depth(), s))
+                .expect("cluster has at least one active replica"),
         }
+    }
+
+    /// Accrues the replica's active time at its current rung, up to `now`
+    /// or the end of measured work, whichever comes first.
+    fn accrue_rung_time(&mut self, shard: usize) {
+        let end = self.finished_s.unwrap_or(self.now);
+        let s = &mut self.shards[shard];
+        if s.active && end > s.rung_since_s {
+            self.rung_time_s[s.rung] += end - s.rung_since_s;
+        }
+        s.rung_since_s = s.rung_since_s.max(end);
     }
 
     /// The non-empty class whose head request arrived earliest, restricted
@@ -464,17 +610,20 @@ impl Sim<'_> {
             requests.push(r);
         }
         self.queued -= take;
-        let base = self.table.service_s(class, take);
+        let rung = self.shards[shard].rung;
+        let table = &self.tables[rung];
+        let base = table.service_s(class, take);
         let svc = match self.service {
             ServiceModel::Deterministic => base,
             ServiceModel::ExponentialJitter => exp_sample(&mut self.service_rng, base),
         };
         self.busy_s += svc;
-        self.energy_j += self.table.energy_j(class, take);
+        self.energy_j += table.energy_j(class, take);
         self.batches += 1;
         self.shards[shard].in_flight = Some(InFlight {
             requests,
             start_s: self.now,
+            rung,
         });
         let t = self.now + svc;
         self.push(t, EventKind::Completion { shard });
@@ -509,6 +658,15 @@ impl Sim<'_> {
             .expect("completion without an in-flight batch");
         self.last_completion_s = self.now;
         let size = batch.requests.len() as u64;
+        // The sojourn window only feeds the controller's p99 signal, so
+        // depth-only controllers (no latency target) skip it.
+        let window_cap = self.control.map_or(0, |c| {
+            if c.controller.target_p99_s.is_some() {
+                c.controller.window
+            } else {
+                0
+            }
+        });
         for r in &batch.requests {
             self.records.push(RequestRecord {
                 id: r.id,
@@ -518,7 +676,15 @@ impl Sim<'_> {
                 start_s: batch.start_s,
                 completion_s: self.now,
                 batch: size,
+                rung: batch.rung,
             });
+            if window_cap > 0 {
+                let w = &mut self.shards[shard].window;
+                if w.len() == window_cap {
+                    w.pop_front();
+                }
+                w.push_back(self.now - r.arrival_s);
+            }
         }
         if let ArrivalProcess::ClosedLoop { think_s, .. } = self.traffic.process {
             // Each completed request's client thinks, then issues the next.
@@ -533,9 +699,151 @@ impl Sim<'_> {
         self.try_dispatch(shard, false);
     }
 
+    /// One adaptive control decision for replica `shard`. Returns the rung
+    /// delta it applied (for the switch log).
+    fn control_replica(&mut self, shard: usize) {
+        let spec = self.control.expect("ticks only fire under control");
+        let cfg = &spec.controller;
+        let s = &self.shards[shard];
+        if !s.active {
+            return;
+        }
+        let ticks = s.ticks_since_switch;
+        if ticks < cfg.dwell_ticks {
+            return;
+        }
+        let depth = s.depth();
+        let rung = s.rung;
+        let p99 = if cfg.target_p99_s.is_some() {
+            self.shards[shard].window_p99()
+        } else {
+            None
+        };
+        let tail_breach = matches!((cfg.target_p99_s, p99), (Some(t), Some(p)) if p > t);
+        let tail_clear = match (cfg.target_p99_s, p99) {
+            (Some(t), Some(p)) => p <= cfg.upgrade_margin * t,
+            (Some(_), None) => true, // no completions yet: nothing to hold us down
+            (None, _) => true,
+        };
+        let to_rung = if (depth >= cfg.high_depth || tail_breach) && rung + 1 < spec.ladder.len() {
+            rung + 1
+        } else if depth <= cfg.low_depth && tail_clear && rung > 0 {
+            rung - 1
+        } else {
+            return;
+        };
+        self.accrue_rung_time(shard);
+        let s = &mut self.shards[shard];
+        s.rung = to_rung;
+        s.ticks_since_switch = 0;
+        self.switch_log.push(PolicySwitchEvent {
+            time_s: self.now,
+            replica: shard,
+            from_rung: rung,
+            to_rung,
+        });
+    }
+
+    /// The autoscaler's tick: one activation or deactivation at most.
+    fn autoscale(&mut self) {
+        let Some(auto) = self.control.and_then(|c| c.autoscaler) else {
+            return;
+        };
+        if self.ticks_since_scale < auto.dwell_ticks {
+            return;
+        }
+        let total_depth: u64 = self
+            .shards
+            .iter()
+            .filter(|s| s.active)
+            .map(Shard::depth)
+            .sum();
+        let per_replica = total_depth as f64 / f64::from(self.active_count.max(1));
+        if per_replica >= auto.up_depth && self.active_count < auto.max_replicas {
+            // Activate the lowest-index standby, joining at the deepest
+            // rung currently active so a scale-up never second-guesses the
+            // precision controller's degradation decision.
+            let join_rung = self
+                .shards
+                .iter()
+                .filter(|s| s.active)
+                .map(|s| s.rung)
+                .max()
+                .unwrap_or(0);
+            let shard = self
+                .shards
+                .iter()
+                .position(|s| !s.active)
+                .expect("active_count < max_replicas implies a standby exists");
+            let s = &mut self.shards[shard];
+            s.active = true;
+            s.rung = join_rung;
+            s.rung_since_s = self.now;
+            s.ticks_since_switch = 0;
+            s.window.clear();
+            self.active_count += 1;
+            self.ticks_since_scale = 0;
+            self.scale_log.push(ScaleEvent {
+                time_s: self.now,
+                replica: shard,
+                up: true,
+            });
+        } else if per_replica <= auto.down_depth && self.active_count > auto.min_replicas {
+            // Deactivate the highest-index *idle* active replica; a busy
+            // replica is never drained, so no request is ever stranded.
+            let Some(shard) = self.shards.iter().rposition(|s| s.active && s.idle()) else {
+                return;
+            };
+            self.accrue_rung_time(shard);
+            self.shards[shard].active = false;
+            self.active_count -= 1;
+            self.ticks_since_scale = 0;
+            self.scale_log.push(ScaleEvent {
+                time_s: self.now,
+                replica: shard,
+                up: false,
+            });
+        }
+    }
+
+    fn on_tick(&mut self) {
+        // The run is over: no decision made now can serve a request, so a
+        // trailing tick (kept alive in the heap by a stale deadline check)
+        // must neither switch rungs nor scale — the logs and CSV switch
+        // counts only ever record decisions inside the measured run.
+        if self.finished_s.is_some() {
+            return;
+        }
+        self.ticks += 1;
+        self.ticks_since_scale = self.ticks_since_scale.saturating_add(1);
+        for s in 0..self.shards.len() {
+            self.shards[s].ticks_since_switch = self.shards[s].ticks_since_switch.saturating_add(1);
+        }
+        for s in 0..self.shards.len() {
+            self.control_replica(s);
+        }
+        self.autoscale();
+        // A rung switch can unblock a deadline decision immediately (the
+        // cheaper table shortens nothing retroactively, but an idle replica
+        // re-evaluates under its new costs on the next dispatch anyway);
+        // what *can* change now is routing, which the next arrival reads.
+        // The tick itself only reschedules while other events remain, so
+        // the controller can never keep a drained run alive.
+        if let Some(spec) = self.control {
+            if !self.heap.is_empty() {
+                let t = self.now + spec.controller.interval_s;
+                self.push(t, EventKind::ControllerTick);
+            }
+        }
+    }
+
     fn run(&mut self) {
         while let Some(ev) = self.heap.pop() {
-            self.depth_integral += self.queued as f64 * (ev.time - self.now);
+            let dt = ev.time - self.now;
+            self.depth_integral += self.queued as f64 * dt;
+            if self.finished_s.is_none() {
+                self.active_integral += f64::from(self.active_count) * dt;
+            }
             self.now = ev.time;
             match ev.kind {
                 EventKind::Arrival => self.on_arrival(),
@@ -544,6 +852,7 @@ impl Sim<'_> {
                     self.shards[shard].armed_check_s = None;
                     self.try_dispatch(shard, false);
                 }
+                EventKind::ControllerTick => self.on_tick(),
             }
             // Drain: no event can fill a batch any further, so flush the
             // partial batches (also rescues closed loops whose concurrency
@@ -553,6 +862,21 @@ impl Sim<'_> {
                     self.try_dispatch(s, true);
                 }
             }
+            // Once the last admitted request completes, only no-op events
+            // can remain in the heap; freeze the capacity accounting here
+            // so a stale deadline check or trailing controller tick cannot
+            // stretch the measured run.
+            if self.finished_s.is_none()
+                && self.admitted == self.traffic.requests
+                && self.queued == 0
+                && self.shards.iter().all(|s| s.in_flight.is_none())
+            {
+                self.finished_s = Some(self.now);
+            }
+        }
+        // Final time-in-policy accrual at the end of measured work.
+        for s in 0..self.shards.len() {
+            self.accrue_rung_time(s);
         }
     }
 }
@@ -599,32 +923,131 @@ pub fn run_serving(
         policy.max_batch(),
         &cost,
     ));
-    run_serving_with_table(table, policy, cluster, traffic, service, seed)
+    run_serving_with_control(vec![table], None, policy, cluster, traffic, service, seed)
 }
 
-/// The event loop behind [`run_serving`], driven by a prebuilt (usually
-/// shared) cost table. The table must cover the policy's max batch for
-/// every class of `traffic`'s mix.
-pub(crate) fn run_serving_with_table(
-    table: Arc<CostTable>,
+/// [`run_serving`] under an adaptive precision controller: replicas start
+/// at the ladder's rung 0 and the spec's feedback controller (plus optional
+/// autoscaler) moves them at runtime. The returned outcome's records carry
+/// the rung each request was served at, and its switch/scale logs record
+/// every control decision.
+///
+/// `cluster.replicas` is the *initial* replica count; with an autoscaler it
+/// must lie within the spec's `[min_replicas, max_replicas]`.
+///
+/// # Panics
+///
+/// Panics on a malformed configuration — everything [`run_serving`] checks,
+/// plus an invalid controller/autoscaler and a ladder rung that does not
+/// apply to one of the mix's networks. [`crate::ServingScenario`] performs
+/// the same checks up front and returns [`crate::ServingError`]s instead.
+#[must_use]
+#[allow(clippy::too_many_arguments)]
+pub fn run_serving_adaptive(
+    backend: &dyn Evaluator,
+    memory: &DramSpec,
+    policy: BatchPolicy,
+    cluster: ClusterSpec,
+    traffic: &TrafficSpec,
+    spec: &AdaptiveSpec,
+    service: ServiceModel,
+    seed: u64,
+) -> ServingOutcome {
+    for check in [
+        crate::scenario::validate_policy(&policy),
+        crate::scenario::validate_cluster(&cluster),
+        crate::scenario::validate_traffic(traffic),
+        crate::scenario::validate_control_for_cluster(spec, &cluster),
+    ] {
+        if let Err(e) = check {
+            panic!("run_serving_adaptive: {e}");
+        }
+    }
+    let cost = CostModel::new();
+    let tables = match build_rung_tables(backend, memory, traffic, spec, policy.max_batch(), &cost)
+    {
+        Ok(tables) => tables,
+        Err(e) => panic!("run_serving_adaptive: {e}"),
+    };
+    run_serving_with_control(tables, Some(spec), policy, cluster, traffic, service, seed)
+}
+
+/// Builds one [`CostTable`] per ladder rung: the traffic's whole mix
+/// re-assigned to the rung's precision policy, costed through the shared
+/// memoized `cost` model (repeated layer shapes across rungs, classes and
+/// platforms are computed once).
+pub(crate) fn build_rung_tables(
+    backend: &dyn Evaluator,
+    memory: &DramSpec,
+    traffic: &TrafficSpec,
+    spec: &AdaptiveSpec,
+    max_batch: u64,
+    cost: &CostModel,
+) -> Result<Vec<Arc<CostTable>>, String> {
+    spec.ladder
+        .rungs()
+        .iter()
+        .enumerate()
+        .map(|(r, rung_policy)| {
+            let mut variant = traffic.clone();
+            for entry in &mut variant.mix.entries {
+                entry.workload = entry.workload.clone().with_policy(rung_policy.clone());
+            }
+            let networks: Vec<bpvec_dnn::Network> = variant
+                .mix
+                .entries
+                .iter()
+                .map(|entry| {
+                    entry.workload.try_build().map_err(|e| {
+                        format!(
+                            "traffic `{}`: ladder rung {r} ({rung_policy}): {e}",
+                            traffic.label
+                        )
+                    })
+                })
+                .collect::<Result<_, _>>()?;
+            Ok(Arc::new(CostTable::build_with_networks(
+                backend, memory, &variant, &networks, max_batch, cost,
+            )))
+        })
+        .collect()
+}
+
+/// The event loop behind [`run_serving`] and [`run_serving_adaptive`],
+/// driven by prebuilt (usually shared) rung-indexed cost tables. Static
+/// control passes a single table and `None`; adaptive control passes one
+/// table per ladder rung. Every table must cover the policy's max batch
+/// for every class of `traffic`'s mix.
+pub(crate) fn run_serving_with_control(
+    tables: Vec<Arc<CostTable>>,
+    control: Option<&AdaptiveSpec>,
     policy: BatchPolicy,
     cluster: ClusterSpec,
     traffic: &TrafficSpec,
     service: ServiceModel,
     seed: u64,
 ) -> ServingOutcome {
-    debug_assert!(table.covers(traffic, policy.max_batch()));
+    debug_assert!(tables.iter().all(|t| t.covers(traffic, policy.max_batch())));
+    debug_assert_eq!(tables.len(), control.map_or(1, |c| c.ladder.len()));
     let mut arrival_rng = StdRng::seed_from_u64(seed);
     let service_rng = StdRng::seed_from_u64(seed ^ 0xA5A5_5A5A_DEAD_BEEF);
     let gen = ArrivalGen::new(&traffic.process, &mut arrival_rng);
+    let initial = cluster.replicas.max(1);
+    // With an autoscaler the shard pool is sized to the ceiling; replicas
+    // beyond the initial count start as standbys.
+    let pool = control
+        .and_then(|c| c.autoscaler)
+        .map_or(initial, |a| a.max_replicas.max(initial));
+    let rungs = tables.len();
     let mut sim = Sim {
         policy,
         service,
-        table,
+        tables,
+        control,
         traffic,
         router: cluster.router,
-        shards: (0..cluster.replicas.max(1))
-            .map(|_| Shard::new(traffic.mix.classes()))
+        shards: (0..pool)
+            .map(|i| Shard::new(traffic.mix.classes(), i < initial))
             .collect(),
         heap: BinaryHeap::new(),
         seq: 0,
@@ -642,6 +1065,14 @@ pub(crate) fn run_serving_with_table(
         energy_j: 0.0,
         batches: 0,
         last_completion_s: 0.0,
+        finished_s: None,
+        active_count: initial,
+        active_integral: 0.0,
+        rung_time_s: vec![0.0; rungs],
+        ticks: 0,
+        ticks_since_scale: u64::MAX,
+        switch_log: Vec::new(),
+        scale_log: Vec::new(),
     };
     if traffic.requests > 0 {
         match traffic.process {
@@ -658,6 +1089,9 @@ pub(crate) fn run_serving_with_table(
                 sim.scheduled = 1;
             }
         }
+        if let Some(spec) = control {
+            sim.push(spec.controller.interval_s, EventKind::ControllerTick);
+        }
     }
     sim.run();
     ServingOutcome {
@@ -668,6 +1102,10 @@ pub(crate) fn run_serving_with_table(
         makespan_s: sim.last_completion_s,
         energy_j: sim.energy_j,
         batches: sim.batches,
+        active_integral_s: sim.active_integral,
+        rung_time_s: sim.rung_time_s,
+        policy_switches: sim.switch_log,
+        scale_events: sim.scale_log,
     }
 }
 
@@ -907,6 +1345,214 @@ mod tests {
         for r in &out.records {
             assert_eq!(r.shard, r.class % 2);
         }
+    }
+
+    /// Backend whose per-inference latency scales with the workload
+    /// policy's narrowest weight width — a stand-in for a composable
+    /// bit-flexible accelerator (8b = `full_s`, 2b = `full_s/4`).
+    struct RungServer {
+        full_s: f64,
+    }
+
+    impl Evaluator for RungServer {
+        fn label(&self) -> String {
+            "rung".into()
+        }
+
+        fn evaluate(
+            &self,
+            workload: &Workload,
+            network: &bpvec_dnn::Network,
+            _dram: &DramSpec,
+        ) -> Measurement {
+            let bits = workload
+                .policy
+                .min_weight_bits()
+                .expect("non-empty policy")
+                .bits();
+            Measurement {
+                latency_s: self.full_s * f64::from(bits) / 8.0,
+                energy_j: 1e-3 * f64::from(bits) / 8.0,
+                macs: network.total_macs(),
+                batch: workload.batch(),
+                gops_per_watt: 1.0,
+            }
+        }
+    }
+
+    use crate::controller::{AutoscalerConfig, ControllerConfig};
+    use bpvec_dnn::{DegradationLadder, PrecisionPolicy};
+
+    fn uniform_ladder() -> DegradationLadder {
+        PrecisionPolicy::degradation_ladder(
+            ["int8", "int4", "int2"].map(|s| s.parse::<PrecisionPolicy>().expect("parses")),
+        )
+        .expect("narrows monotonically")
+    }
+
+    /// A step-overload trace: `pre` requests at a comfortable rate, then
+    /// `over` requests at twice the backend's full-precision capacity,
+    /// then `post` requests back at the comfortable rate.
+    fn step_trace(s1: f64, pre: usize, over: usize, post: usize) -> ArrivalProcess {
+        let lo = s1 / 0.5;
+        let hi = s1 / 2.0;
+        let gaps: Vec<f64> = std::iter::repeat_n(lo, pre)
+            .chain(std::iter::repeat_n(hi, over))
+            .chain(std::iter::repeat_n(lo, post))
+            .collect();
+        ArrivalProcess::trace(gaps)
+    }
+
+    fn adaptive_spec(s1: f64) -> crate::controller::AdaptiveSpec {
+        crate::controller::AdaptiveSpec::new(uniform_ladder()).with_controller(
+            ControllerConfig::new(4.0 * s1)
+                .with_depths(1, 6)
+                .with_dwell(2),
+        )
+    }
+
+    #[test]
+    fn adaptive_controller_degrades_under_overload_and_recovers() {
+        let s1 = 1e-3;
+        let t = TrafficSpec::new(
+            "step",
+            step_trace(s1, 300, 600, 300),
+            RequestMix::single(Workload::new(NetworkId::Rnn, BitwidthPolicy::Homogeneous8)),
+            1200,
+        );
+        let out = run_serving_adaptive(
+            &RungServer { full_s: s1 },
+            &DramSpec::ddr4(),
+            BatchPolicy::immediate(),
+            ClusterSpec::single(),
+            &t,
+            &adaptive_spec(s1),
+            ServiceModel::Deterministic,
+            5,
+        );
+        assert_eq!(out.records.len(), 1200);
+        // The overload forces degradation...
+        assert!(!out.policy_switches.is_empty());
+        let first = out.policy_switches[0];
+        assert_eq!(first.to_rung, first.from_rung + 1, "first switch degrades");
+        let degraded = out.records.iter().filter(|r| r.rung > 0).count();
+        assert!(degraded > 0, "some requests must be served degraded");
+        // ...and the post-overload lull brings the replica back up.
+        let last = out.policy_switches.last().unwrap();
+        assert_eq!(last.to_rung, 0, "the controller recovers to rung 0");
+        // Time-in-policy accounting is conservative.
+        let rung_sum: f64 = out.rung_time_s.iter().sum();
+        assert!(
+            (rung_sum - out.active_integral_s).abs() < 1e-9,
+            "{rung_sum} vs {}",
+            out.active_integral_s
+        );
+        assert_eq!(out.rung_time_s.len(), 3);
+        // Capacity accounting ends at the measured run (single replica:
+        // the integral is the makespan), never at trailing no-op events.
+        assert!(out.active_integral_s <= out.makespan_s + 1e-9);
+    }
+
+    #[test]
+    fn adaptive_runs_are_deterministic_switch_logs_included() {
+        let s1 = 1e-3;
+        let t = TrafficSpec::new(
+            "step",
+            step_trace(s1, 200, 400, 200),
+            RequestMix::single(Workload::new(NetworkId::Rnn, BitwidthPolicy::Homogeneous8)),
+            800,
+        );
+        let run = || {
+            run_serving_adaptive(
+                &RungServer { full_s: s1 },
+                &DramSpec::ddr4(),
+                BatchPolicy::deadline(4, 2.0 * s1),
+                ClusterSpec::new(2, Router::JoinShortestQueue),
+                &t,
+                &adaptive_spec(s1),
+                ServiceModel::Deterministic,
+                11,
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn autoscaler_stays_within_bounds_and_scales_both_ways() {
+        let s1 = 1e-3;
+        let t = TrafficSpec::new(
+            "step",
+            step_trace(s1, 300, 900, 600),
+            RequestMix::single(Workload::new(NetworkId::Rnn, BitwidthPolicy::Homogeneous8)),
+            1800,
+        );
+        // Depth-only autoscaler over a single-rung ladder: precision stays
+        // put, capacity comes from replicas alone.
+        let ladder = PrecisionPolicy::degradation_ladder([PrecisionPolicy::homogeneous8()])
+            .expect("one rung");
+        let spec = crate::controller::AdaptiveSpec::new(ladder)
+            .with_controller(ControllerConfig::new(4.0 * s1).with_depths(0, 1_000_000))
+            .with_autoscaler(AutoscalerConfig::new(1, 3).with_depths(0.5, 4.0));
+        let out = run_serving_adaptive(
+            &RungServer { full_s: s1 },
+            &DramSpec::ddr4(),
+            BatchPolicy::immediate(),
+            ClusterSpec::single(),
+            &t,
+            &spec,
+            ServiceModel::Deterministic,
+            7,
+        );
+        assert_eq!(out.records.len(), 1800);
+        let ups = out.scale_events.iter().filter(|e| e.up).count();
+        let downs = out.scale_events.iter().filter(|e| !e.up).count();
+        assert!(ups >= 1, "overload must trigger a scale-up");
+        assert!(downs >= 1, "the lull must trigger a scale-down");
+        assert!(out.records.iter().all(|r| r.shard < 3));
+        // Mean active replicas stays within the autoscaler's bounds.
+        let mean = out.active_integral_s / out.makespan_s;
+        assert!((1.0 - 1e-9..=3.0 + 1e-9).contains(&mean), "{mean}");
+    }
+
+    #[test]
+    fn static_outcomes_carry_trivial_control_state() {
+        let out = run(
+            BatchPolicy::immediate(),
+            ArrivalProcess::poisson(500.0),
+            200,
+        );
+        assert!(out.policy_switches.is_empty());
+        assert!(out.scale_events.is_empty());
+        assert_eq!(out.rung_time_s.len(), 1);
+        assert!(out.records.iter().all(|r| r.rung == 0));
+        assert!(
+            (out.active_integral_s - out.makespan_s).abs() < 1e-12,
+            "one replica: ∫active dt == makespan"
+        );
+    }
+
+    #[test]
+    fn least_degraded_router_matches_jsq_under_static_control() {
+        // Every rung is 0 in a static run, so (rung, depth, index) routing
+        // collapses to (depth, index) — the two routers must agree exactly.
+        let t = traffic(ArrivalProcess::poisson(3000.0), 1500);
+        let run_with = |router| {
+            run_serving(
+                &ConstServer {
+                    per_inference_s: 1e-3,
+                },
+                &DramSpec::ddr4(),
+                BatchPolicy::immediate(),
+                ClusterSpec::new(3, router),
+                &t,
+                ServiceModel::Deterministic,
+                13,
+            )
+        };
+        assert_eq!(
+            run_with(Router::JoinShortestQueue),
+            run_with(Router::LeastDegraded)
+        );
     }
 
     #[test]

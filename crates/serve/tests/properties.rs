@@ -13,10 +13,11 @@
 //! mean sojourn is `1/(μ−λ)`, and with deterministic service an M/D/1 with
 //! `S + ρS/(2(1−ρ))` — the simulator must land within 5% of both.
 
-use bpvec_dnn::{BitwidthPolicy, Network, NetworkId};
+use bpvec_dnn::{BitwidthPolicy, Network, NetworkId, PrecisionPolicy};
 use bpvec_serve::{
-    run_serving, ArrivalProcess, BatchPolicy, ClusterSpec, RequestMix, Router, ServiceModel,
-    ServingMetrics, ServingOutcome, TrafficSpec,
+    run_serving, run_serving_adaptive, AdaptiveSpec, ArrivalProcess, AutoscalerConfig, BatchPolicy,
+    ClusterSpec, ControllerConfig, RequestMix, Router, ServiceModel, ServingMetrics,
+    ServingOutcome, TrafficSpec,
 };
 use bpvec_sim::{DramSpec, Evaluator, Measurement, Workload};
 use proptest::prelude::*;
@@ -179,6 +180,146 @@ proptest! {
                 }
             }
         }
+    }
+}
+
+/// Backend whose per-inference latency scales with the workload policy's
+/// narrowest weight width — exercises rung-dependent service costs without
+/// the analytical model.
+struct RungServer {
+    full_s: f64,
+}
+
+impl Evaluator for RungServer {
+    fn label(&self) -> String {
+        "rung".into()
+    }
+
+    fn evaluate(&self, workload: &Workload, network: &Network, _dram: &DramSpec) -> Measurement {
+        let bits = workload
+            .policy
+            .min_weight_bits()
+            .expect("non-empty policy")
+            .bits();
+        Measurement {
+            latency_s: self.full_s * f64::from(bits) / 8.0,
+            energy_j: 1e-3,
+            macs: network.total_macs(),
+            batch: workload.batch(),
+            gops_per_watt: 1.0,
+        }
+    }
+}
+
+fn arb_adaptive() -> impl Strategy<Value = AdaptiveSpec> {
+    let ladder = PrecisionPolicy::degradation_ladder(
+        ["hom8", "int4", "int2"].map(|s| s.parse::<PrecisionPolicy>().expect("parses")),
+    )
+    .expect("narrows monotonically");
+    (
+        (0.001f64..0.02), // tick interval
+        (0u64..=2),       // low watermark
+        (4u64..=24),      // high watermark
+        (0u64..=3),       // dwell
+        // Optional autoscaler: (up_depth, max_replicas).
+        prop_oneof![Just(None), ((1.0f64..8.0), (2u32..=4)).prop_map(Some)],
+    )
+        .prop_map(move |(interval, low, high, dwell, auto)| {
+            let mut spec = AdaptiveSpec::new(ladder.clone()).with_controller(
+                ControllerConfig::new(interval)
+                    .with_depths(low, high)
+                    .with_dwell(dwell),
+            );
+            if let Some((up, max)) = auto {
+                spec = spec.with_autoscaler(AutoscalerConfig::new(1, max).with_depths(0.5, up));
+            }
+            spec
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// JSQ tie-breaking order: simultaneous arrivals into an idle cluster
+    /// with service too slow for anything to complete must land request
+    /// `i` on replica `i mod replicas` — exactly the pattern produced by
+    /// "lowest replica index wins ties", and broken by any other rule.
+    #[test]
+    fn jsq_ties_go_to_the_lowest_replica_index(
+        replicas in 1u32..=6,
+        rounds in 1u64..=5,
+        seed in 0u64..1000,
+    ) {
+        let requests = u64::from(replicas) * rounds;
+        let traffic = TrafficSpec::new(
+            "ties",
+            // A single zero gap replayed cyclically: every request arrives
+            // at t = 0, in admission order.
+            ArrivalProcess::trace(vec![0.0]),
+            RequestMix::single(Workload::new(NetworkId::Rnn, BitwidthPolicy::Homogeneous8)),
+            requests,
+        );
+        let out = run_serving(
+            &ConstServer { per_inference_s: 1e3 },
+            &DramSpec::ddr4(),
+            BatchPolicy::immediate(),
+            ClusterSpec::new(replicas, Router::JoinShortestQueue),
+            &traffic,
+            ServiceModel::Deterministic,
+            seed,
+        );
+        prop_assert_eq!(out.records.len() as u64, requests);
+        for r in &out.records {
+            prop_assert_eq!(
+                r.shard as u64,
+                r.id % u64::from(replicas),
+                "request {} landed on replica {} (depths tied at its arrival)",
+                r.id,
+                r.shard
+            );
+        }
+    }
+
+    /// Adaptive control never breaks the scheduler invariants: every
+    /// request still completes exactly once, switches walk the ladder one
+    /// rung at a time, records carry rungs the ladder actually has, and
+    /// the autoscaler stays within its bounds.
+    #[test]
+    fn adaptive_control_preserves_conservation_and_ladder_contract(
+        spec in arb_adaptive(),
+        policy in arb_policy(),
+        seed in 0u64..1000,
+    ) {
+        let traffic = TrafficSpec::new(
+            "prop",
+            ArrivalProcess::bursty(400.0, 3000.0, 0.05, 0.02),
+            RequestMix::single(Workload::new(NetworkId::Rnn, BitwidthPolicy::Homogeneous8)),
+            400,
+        );
+        let out = run_serving_adaptive(
+            &RungServer { full_s: 1e-3 },
+            &DramSpec::ddr4(),
+            policy,
+            ClusterSpec::single(),
+            &traffic,
+            &spec,
+            ServiceModel::Deterministic,
+            seed,
+        );
+        let mut ids: Vec<u64> = out.records.iter().map(|r| r.id).collect();
+        ids.sort_unstable();
+        prop_assert_eq!(ids, (0..400).collect::<Vec<u64>>());
+        let rungs = 3usize;
+        prop_assert!(out.records.iter().all(|r| r.rung < rungs));
+        for s in &out.policy_switches {
+            prop_assert!(s.to_rung < rungs);
+            prop_assert!(s.to_rung.abs_diff(s.from_rung) == 1, "one rung per decision");
+        }
+        let max_replicas = spec.autoscaler.map_or(1, |a| a.max_replicas);
+        prop_assert!(out.records.iter().all(|r| (r.shard as u32) < max_replicas));
+        // Time accounting stays conservative under switching and scaling.
+        let rung_sum: f64 = out.rung_time_s.iter().sum();
+        prop_assert!((rung_sum - out.active_integral_s).abs() < 1e-6 * out.active_integral_s.max(1.0));
     }
 }
 

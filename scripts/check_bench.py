@@ -1,0 +1,192 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate: compare fresh BENCH_*.json against committed
+baselines with a relative tolerance.
+
+Every criterion bench in this workspace writes a machine-readable
+`BENCH_<name>.json` at the repo root; known-good copies are committed
+under `benchmarks/baselines/`. This script walks both JSON trees in
+parallel and fails (exit 1) when any performance field regresses by more
+than the tolerance (default +/-30%):
+
+* higher-is-better fields: `*_per_sec`, `*_per_watt`, `speedup*` — fail
+  when fresh < baseline * (1 - tolerance);
+* lower-is-better fields: `*_s`, `seconds_per_run`, `*_ratio` — fail when
+  fresh > baseline * (1 + tolerance).
+
+Non-performance fields (names, request counts, MAC counts) are ignored.
+List entries carrying a `"name"` key are matched by name, so reordering
+rows never trips the gate; a baseline row or field missing from the fresh
+output *does* fail (structure changes require a deliberate baseline
+update).
+
+`--self-test` synthesizes a 50% slowdown from every committed baseline
+(throughput halved, times doubled) and asserts the gate rejects it, then
+asserts an identical copy passes — run in CI so the gate itself cannot
+silently rot.
+
+Stdlib only; no third-party imports.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def direction(key: str) -> str | None:
+    """'higher', 'lower', or None when the field is not a perf metric."""
+    if key.endswith("_per_sec") or key.endswith("_per_watt") or key.startswith("speedup"):
+        return "higher"
+    if key.endswith("_s") or key == "seconds_per_run" or key.endswith("_ratio"):
+        return "lower"
+    return None
+
+
+def compare(fresh, base, path: str, tolerance: float, failures: list[str]) -> None:
+    """Recursively compare `fresh` against `base`, appending regressions."""
+    if isinstance(base, dict):
+        if not isinstance(fresh, dict):
+            failures.append(f"{path}: baseline is an object, fresh is {type(fresh).__name__}")
+            return
+        for key, base_val in base.items():
+            if key not in fresh:
+                failures.append(f"{path}.{key}: present in baseline, missing from fresh output")
+                continue
+            compare(fresh[key], base_val, f"{path}.{key}", tolerance, failures)
+    elif isinstance(base, list):
+        if not isinstance(fresh, list):
+            failures.append(f"{path}: baseline is a list, fresh is {type(fresh).__name__}")
+            return
+        by_name = {row.get("name"): row for row in fresh if isinstance(row, dict) and "name" in row}
+        for i, base_row in enumerate(base):
+            if isinstance(base_row, dict) and "name" in base_row:
+                name = base_row["name"]
+                if name not in by_name:
+                    failures.append(f"{path}[{name}]: baseline row missing from fresh output")
+                    continue
+                compare(by_name[name], base_row, f"{path}[{name}]", tolerance, failures)
+            elif i < len(fresh):
+                compare(fresh[i], base_row, f"{path}[{i}]", tolerance, failures)
+            else:
+                failures.append(f"{path}[{i}]: baseline entry missing from fresh output")
+    elif isinstance(base, (int, float)) and not isinstance(base, bool):
+        key = path.rsplit(".", 1)[-1]
+        sense = direction(key)
+        if sense is None or not isinstance(fresh, (int, float)) or base <= 0:
+            return
+        if sense == "higher" and fresh < base * (1.0 - tolerance):
+            failures.append(
+                f"{path}: {fresh:g} is {100 * (1 - fresh / base):.0f}% below baseline {base:g}"
+            )
+        elif sense == "lower" and fresh > base * (1.0 + tolerance):
+            failures.append(
+                f"{path}: {fresh:g} is {100 * (fresh / base - 1):.0f}% above baseline {base:g}"
+            )
+
+
+def check_file(fresh_path: Path, base_path: Path, tolerance: float) -> list[str]:
+    base = json.loads(base_path.read_text())
+    if not fresh_path.exists():
+        return [f"{fresh_path.name}: fresh bench output not found (did the bench run?)"]
+    fresh = json.loads(fresh_path.read_text())
+    failures: list[str] = []
+    compare(fresh, base, fresh_path.stem, tolerance, failures)
+    return failures
+
+
+def degrade(node, factor: float):
+    """A copy of `node` that is `factor`x slower on every perf field."""
+    if isinstance(node, dict):
+        out = {}
+        for key, val in node.items():
+            sense = direction(key)
+            if sense and isinstance(val, (int, float)) and not isinstance(val, bool):
+                out[key] = val / factor if sense == "higher" else val * factor
+            else:
+                out[key] = degrade(val, factor)
+        return out
+    if isinstance(node, list):
+        return [degrade(v, factor) for v in node]
+    return node
+
+
+def self_test(baseline_dir: Path, tolerance: float) -> int:
+    """Verify the gate: identical JSON passes, a 50% slowdown fails."""
+    baselines = sorted(baseline_dir.glob("BENCH_*.json"))
+    if not baselines:
+        print(f"self-test: no baselines under {baseline_dir}", file=sys.stderr)
+        return 2
+    for base_path in baselines:
+        base = json.loads(base_path.read_text())
+        clean: list[str] = []
+        compare(base, base, base_path.stem, tolerance, clean)
+        if clean:
+            print(f"self-test FAILED: identical {base_path.name} flagged: {clean}", file=sys.stderr)
+            return 1
+        slowed = degrade(base, 2.0)  # 50% slowdown: throughput halves, times double
+        failures: list[str] = []
+        compare(slowed, base, base_path.stem, tolerance, failures)
+        if not failures:
+            print(
+                f"self-test FAILED: 50% slowdown of {base_path.name} passed the gate",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"self-test: {base_path.name}: slowdown caught ({len(failures)} regressions)")
+    print(f"self-test OK across {len(baselines)} baselines")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline-dir",
+        type=Path,
+        default=Path("benchmarks/baselines"),
+        help="directory of committed BENCH_*.json baselines",
+    )
+    parser.add_argument(
+        "--fresh-dir",
+        type=Path,
+        default=Path("."),
+        help="directory holding the freshly produced BENCH_*.json files",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.30,
+        help="allowed relative regression before failing (default 0.30)",
+    )
+    parser.add_argument(
+        "--self-test",
+        action="store_true",
+        help="verify the gate catches a synthetic 50%% slowdown, then exit",
+    )
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test(args.baseline_dir, args.tolerance)
+
+    baselines = sorted(args.baseline_dir.glob("BENCH_*.json"))
+    if not baselines:
+        print(f"no baselines under {args.baseline_dir}", file=sys.stderr)
+        return 2
+    total_failures: list[str] = []
+    for base_path in baselines:
+        failures = check_file(args.fresh_dir / base_path.name, base_path, args.tolerance)
+        status = "FAIL" if failures else "ok"
+        print(f"{base_path.name}: {status}")
+        total_failures.extend(failures)
+    if total_failures:
+        print(f"\n{len(total_failures)} perf regression(s) beyond ±{args.tolerance:.0%}:")
+        for f in total_failures:
+            print(f"  {f}")
+        return 1
+    print(f"all {len(baselines)} bench files within ±{args.tolerance:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

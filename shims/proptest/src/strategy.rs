@@ -132,3 +132,5 @@ impl_tuple_strategy!(0 A);
 impl_tuple_strategy!(0 A, 1 B);
 impl_tuple_strategy!(0 A, 1 B, 2 C);
 impl_tuple_strategy!(0 A, 1 B, 2 C, 3 D);
+impl_tuple_strategy!(0 A, 1 B, 2 C, 3 D, 4 E);
+impl_tuple_strategy!(0 A, 1 B, 2 C, 3 D, 4 E, 5 F);

@@ -13,8 +13,9 @@
 //! * [`sim`] — the BPVeC accelerator simulator plus the TPU-like and
 //!   BitFusion baselines (Figures 5–8).
 //! * [`serve`] — the discrete-event inference-serving simulator: arrival
-//!   processes, dynamic batching, sharded clusters, and tail-latency
-//!   metrics over any `Evaluator` backend.
+//!   processes, dynamic batching, sharded clusters, adaptive precision
+//!   control with replica autoscaling, and tail-latency metrics over any
+//!   `Evaluator` backend.
 //! * [`isa`] — the accelerator's instruction set, the network→program
 //!   lowering pass, and the instruction-level machine model.
 //! * [`gpumodel`] — the RTX 2080 Ti analytical comparison model (Figure 9).
