@@ -1,0 +1,149 @@
+//! Criterion bench of the attention-core kernels: packed QK^T and
+//! attention·V on a BERT-Base head tile, plus the analytical cost-model
+//! evaluation rate for a full BERT-Base stack.
+//!
+//! Besides the criterion output, running this bench writes
+//! `BENCH_attention.json` at the workspace root with per-kernel timings
+//! and MACs/s so CI can gate it next to the other BENCH files
+//! (`scripts/check_bench.py` auto-discovers the committed baseline).
+
+use std::time::Instant;
+
+use bpvec_core::dotprod::dot_exact;
+use bpvec_core::{BitWidth, Signedness};
+use bpvec_dnn::{BitwidthPolicy, Network, NetworkId, Tensor};
+use bpvec_sim::systolic::{ArrayConfig, SystolicArray};
+use bpvec_sim::{simulate, AcceleratorConfig, DramSpec, SimConfig};
+use criterion::{black_box, criterion_group, Criterion, Throughput};
+
+/// One BERT-Base attention head at a 64-token tile: queries [64, 64]
+/// against a 64-entry KV cache.
+const Q_LEN: usize = 64;
+const HEAD_DIM: usize = 64;
+const KV_LEN: usize = 64;
+
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn matrix(m: usize, n: usize, bits: BitWidth, signedness: Signedness, seed: u64) -> Tensor {
+    let (lo, hi) = bits.range(signedness);
+    let span = (hi - lo + 1) as u64;
+    let mut i = 0u64;
+    Tensor::from_fn(&[m, n], |_| {
+        i += 1;
+        lo + (mix(seed ^ i) % span) as i32
+    })
+}
+
+/// Packed QK^T: 8-bit signed activations against a 4-bit signed KV cache.
+fn run_qkt(arr: &SystolicArray, q: &Tensor, kt: &Tensor) -> Tensor {
+    let sw = arr.config().cvu.slice_width;
+    let pq = q
+        .pack_rows(BitWidth::INT8, sw, Signedness::Signed)
+        .expect("pack q");
+    let pk = kt
+        .pack_cols(BitWidth::INT4, sw, Signedness::Signed)
+        .expect("pack k^T");
+    arr.gemm_packed(&pq, &pk).expect("packed qkt").output
+}
+
+/// Packed attention·V: unsigned 8-bit probability rows against 4-bit V.
+fn run_av(arr: &SystolicArray, probs: &Tensor, v: &Tensor) -> Tensor {
+    let sw = arr.config().cvu.slice_width;
+    let pp = probs
+        .pack_rows(BitWidth::INT8, sw, Signedness::Unsigned)
+        .expect("pack probs");
+    let pv = v
+        .pack_cols(BitWidth::INT4, sw, Signedness::Signed)
+        .expect("pack v");
+    arr.gemm_packed(&pp, &pv).expect("packed av").output
+}
+
+fn bench(c: &mut Criterion) {
+    let arr = SystolicArray::new(ArrayConfig::paper_default());
+    let q = matrix(Q_LEN, HEAD_DIM, BitWidth::INT8, Signedness::Signed, 1);
+    let kt = matrix(HEAD_DIM, KV_LEN, BitWidth::INT4, Signedness::Signed, 2);
+    let probs = matrix(Q_LEN, KV_LEN, BitWidth::INT8, Signedness::Unsigned, 3);
+    let v = matrix(KV_LEN, HEAD_DIM, BitWidth::INT4, Signedness::Signed, 4);
+
+    let mut g = c.benchmark_group("attention");
+    g.throughput(Throughput::Elements((Q_LEN * HEAD_DIM * KV_LEN) as u64));
+    g.bench_function("packed_qkt_8x4", |bch| {
+        bch.iter(|| black_box(run_qkt(&arr, &q, &kt)))
+    });
+    g.bench_function("packed_av_8x4", |bch| {
+        bch.iter(|| black_box(run_av(&arr, &probs, &v)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+
+fn best_of<T>(reps: u32, mut f: impl FnMut() -> T) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        black_box(f());
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    benches();
+
+    let arr = SystolicArray::new(ArrayConfig::paper_default());
+    let q = matrix(Q_LEN, HEAD_DIM, BitWidth::INT8, Signedness::Signed, 1);
+    let kt = matrix(HEAD_DIM, KV_LEN, BitWidth::INT4, Signedness::Signed, 2);
+    let probs = matrix(Q_LEN, KV_LEN, BitWidth::INT8, Signedness::Unsigned, 3);
+    let v = matrix(KV_LEN, HEAD_DIM, BitWidth::INT4, Signedness::Signed, 4);
+    let macs = (Q_LEN * HEAD_DIM * KV_LEN) as u64;
+
+    // Bit-true guard: every packed QK^T score must equal the exact dot
+    // product before the timing means anything.
+    let scores = run_qkt(&arr, &q, &kt);
+    for i in 0..Q_LEN {
+        let qrow: Vec<i32> = (0..HEAD_DIM).map(|t| q[&[i, t]]).collect();
+        for j in 0..KV_LEN {
+            let kcol: Vec<i32> = (0..HEAD_DIM).map(|t| kt[&[t, j]]).collect();
+            assert_eq!(
+                i64::from(scores[&[i, j]]),
+                dot_exact(&qrow, &kcol).expect("exact dot"),
+                "packed QK^T diverged at ({i},{j}); bench is meaningless"
+            );
+        }
+    }
+
+    let qkt_s = best_of(5, || run_qkt(&arr, &q, &kt));
+    let av_s = best_of(5, || run_av(&arr, &probs, &v));
+
+    // Analytical side: how fast the cost model walks a full BERT-Base
+    // stack (121 layers, cold — no memoization).
+    let net = Network::build(NetworkId::BertBase, BitwidthPolicy::Homogeneous8);
+    let cfg = SimConfig::new(AcceleratorConfig::bpvec(), DramSpec::ddr4());
+    let eval_s = best_of(5, || simulate(&net, &cfg));
+
+    let per_sec = |s: f64| macs as f64 / s;
+    let json = format!(
+        "{{\n  \"bench\": \"attention\",\n  \
+         \"tile\": \"bert head [{Q_LEN},{HEAD_DIM}]x[{HEAD_DIM},{KV_LEN}]\",\n  \
+         \"macs\": {macs},\n  \"results\": [\n    \
+         {{\n      \"name\": \"packed_qkt_8x4\",\n      \"seconds_per_run\": {qkt_s:.6},\n      \
+         \"macs_per_sec\": {:.1}\n    }},\n    \
+         {{\n      \"name\": \"packed_av_8x4\",\n      \"seconds_per_run\": {av_s:.6},\n      \
+         \"macs_per_sec\": {:.1}\n    }},\n    \
+         {{\n      \"name\": \"bert_cost_eval\",\n      \"seconds_per_run\": {eval_s:.6},\n      \
+         \"evals_per_sec\": {:.1}\n    }}\n  ]\n}}\n",
+        per_sec(qkt_s),
+        per_sec(av_s),
+        1.0 / eval_s,
+    );
+    let out_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_attention.json");
+    std::fs::write(out_path, &json).expect("write BENCH_attention.json");
+    print!("{json}");
+    println!("wrote BENCH_attention.json");
+}

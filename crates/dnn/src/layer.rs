@@ -62,11 +62,62 @@ pub enum LayerKind {
         /// Sequence length the layer is evaluated over.
         seq_len: usize,
     },
+    /// Attention score GEMM: per head, `scores = Q · K^T`
+    /// (`q_len × head_dim` by `head_dim × kv_len`). Both operands are
+    /// activations; `act_bits` quantizes Q and `weight_bits` quantizes K,
+    /// so precision policies apply exactly as they do to weight GEMMs.
+    /// Prefill shapes have `q_len == kv_len`; decode steps have
+    /// `q_len == 1` with `kv_len` the KV-cache length.
+    MatMulQK {
+        /// Attention heads.
+        heads: usize,
+        /// Query sequence length.
+        q_len: usize,
+        /// Key/value sequence length (KV-cache length for decode).
+        kv_len: usize,
+        /// Per-head feature dimension.
+        head_dim: usize,
+    },
+    /// Row-wise fixed-point softmax over attention scores (no MACs; moves
+    /// the `rows × cols` score matrix through the core, like `Pool`).
+    Softmax {
+        /// Independent softmax rows (`heads × q_len` for attention).
+        rows: usize,
+        /// Elements reduced per row (`kv_len` for attention).
+        cols: usize,
+    },
+    /// Attention value GEMM: per head, `out = P · V`
+    /// (`q_len × kv_len` probabilities by `kv_len × head_dim` values).
+    /// `act_bits` quantizes P and `weight_bits` quantizes V.
+    AttentionV {
+        /// Attention heads.
+        heads: usize,
+        /// Query sequence length.
+        q_len: usize,
+        /// Key/value sequence length.
+        kv_len: usize,
+        /// Per-head feature dimension.
+        head_dim: usize,
+    },
+    /// Fixed-point layer normalization over the feature axis for each of
+    /// `tokens` positions (no MACs; byte-moving).
+    LayerNorm {
+        /// Features normalized per token.
+        features: usize,
+        /// Token positions.
+        tokens: usize,
+    },
+    /// Elementwise integer GELU activation (no MACs; byte-moving).
+    Gelu {
+        /// Elements transformed.
+        elems: usize,
+    },
 }
 
 impl LayerKind {
     /// Short kind name for diagnostics ("conv2d", "fully-connected",
-    /// "pool", "recurrent").
+    /// "pool", "recurrent", "matmul-qk", "softmax", "attention-v",
+    /// "layer-norm", "gelu").
     #[must_use]
     pub fn kind_name(&self) -> &'static str {
         match self {
@@ -74,6 +125,11 @@ impl LayerKind {
             LayerKind::FullyConnected { .. } => "fully-connected",
             LayerKind::Pool { .. } => "pool",
             LayerKind::Recurrent { .. } => "recurrent",
+            LayerKind::MatMulQK { .. } => "matmul-qk",
+            LayerKind::Softmax { .. } => "softmax",
+            LayerKind::AttentionV { .. } => "attention-v",
+            LayerKind::LayerNorm { .. } => "layer-norm",
+            LayerKind::Gelu { .. } => "gelu",
         }
     }
 }
@@ -162,6 +218,19 @@ impl Layer {
                 gates,
                 seq_len,
             } => (gates * hidden_size * (input_size + hidden_size) * seq_len) as u64,
+            LayerKind::MatMulQK {
+                heads,
+                q_len,
+                kv_len,
+                head_dim,
+            }
+            | LayerKind::AttentionV {
+                heads,
+                q_len,
+                kv_len,
+                head_dim,
+            } => (heads * q_len * kv_len * head_dim) as u64,
+            LayerKind::Softmax { .. } | LayerKind::LayerNorm { .. } | LayerKind::Gelu { .. } => 0,
         }
     }
 
@@ -187,6 +256,13 @@ impl Layer {
                 gates,
                 ..
             } => (gates * hidden_size * (input_size + hidden_size)) as u64,
+            // Attention GEMMs multiply two *activation* operands: no
+            // stored parameters.
+            LayerKind::MatMulQK { .. }
+            | LayerKind::AttentionV { .. }
+            | LayerKind::Softmax { .. }
+            | LayerKind::LayerNorm { .. }
+            | LayerKind::Gelu { .. } => 0,
         }
     }
 
@@ -208,6 +284,24 @@ impl Layer {
                 seq_len,
                 ..
             } => (input_size * seq_len) as u64,
+            // Consumes the stacked Q/K/V projection output: Q (`q_len`
+            // tokens) plus the K and V streams (`kv_len` tokens each).
+            LayerKind::MatMulQK {
+                heads,
+                q_len,
+                kv_len,
+                head_dim,
+            } => (heads * head_dim * (q_len + 2 * kv_len)) as u64,
+            LayerKind::Softmax { rows, cols } => (rows * cols) as u64,
+            // Probabilities plus the value stream.
+            LayerKind::AttentionV {
+                heads,
+                q_len,
+                kv_len,
+                head_dim,
+            } => (heads * (q_len * kv_len + kv_len * head_dim)) as u64,
+            LayerKind::LayerNorm { features, tokens } => (features * tokens) as u64,
+            LayerKind::Gelu { elems } => elems as u64,
         }
     }
 
@@ -229,6 +323,21 @@ impl Layer {
                 seq_len,
                 ..
             } => (hidden_size * seq_len) as u64,
+            LayerKind::MatMulQK {
+                heads,
+                q_len,
+                kv_len,
+                ..
+            } => (heads * q_len * kv_len) as u64,
+            LayerKind::Softmax { rows, cols } => (rows * cols) as u64,
+            LayerKind::AttentionV {
+                heads,
+                q_len,
+                head_dim,
+                ..
+            } => (heads * q_len * head_dim) as u64,
+            LayerKind::LayerNorm { features, tokens } => (features * tokens) as u64,
+            LayerKind::Gelu { elems } => elems as u64,
         }
     }
 
@@ -270,6 +379,9 @@ impl Layer {
                 hidden_size,
                 ..
             } => (input_size + hidden_size) as u64,
+            LayerKind::MatMulQK { head_dim, .. } => head_dim as u64,
+            LayerKind::AttentionV { kv_len, .. } => kv_len as u64,
+            LayerKind::Softmax { .. } | LayerKind::LayerNorm { .. } | LayerKind::Gelu { .. } => 0,
         }
     }
 
@@ -366,6 +478,111 @@ mod tests {
         assert_eq!(l8.weight_bytes(), l8.params());
         assert_eq!(l4.weight_bytes(), l8.params().div_ceil(2));
         assert_eq!(l4.input_bytes() * 2, l8.input_bytes());
+    }
+
+    #[test]
+    fn attention_gemms_are_weight_free_but_compute() {
+        let qk = Layer::new(
+            "qk",
+            LayerKind::MatMulQK {
+                heads: 12,
+                q_len: 128,
+                kv_len: 128,
+                head_dim: 64,
+            },
+        );
+        assert_eq!(qk.macs(), 12 * 128 * 128 * 64);
+        assert_eq!(qk.params(), 0);
+        assert!(qk.is_compute());
+        assert_eq!(qk.reduction_len(), 64);
+        // Q tokens plus K and V streams at the full hidden width.
+        assert_eq!(qk.input_elems(), 12 * 64 * (128 + 2 * 128));
+        assert_eq!(qk.output_elems(), 12 * 128 * 128);
+
+        let av = Layer::new(
+            "av",
+            LayerKind::AttentionV {
+                heads: 12,
+                q_len: 128,
+                kv_len: 128,
+                head_dim: 64,
+            },
+        );
+        assert_eq!(av.macs(), qk.macs());
+        assert_eq!(av.reduction_len(), 128);
+        assert_eq!(av.output_elems(), 12 * 128 * 64);
+    }
+
+    #[test]
+    fn decode_shapes_scale_with_kv_length() {
+        let decode = |kv: usize| {
+            Layer::new(
+                "qk",
+                LayerKind::MatMulQK {
+                    heads: 12,
+                    q_len: 1,
+                    kv_len: kv,
+                    head_dim: 64,
+                },
+            )
+        };
+        assert_eq!(decode(256).macs(), 2 * decode(128).macs());
+    }
+
+    #[test]
+    fn normalization_layers_move_bytes_without_macs() {
+        for kind in [
+            LayerKind::Softmax {
+                rows: 12 * 128,
+                cols: 128,
+            },
+            LayerKind::LayerNorm {
+                features: 768,
+                tokens: 128,
+            },
+            LayerKind::Gelu { elems: 128 * 3072 },
+        ] {
+            let l = Layer::new("norm", kind);
+            assert_eq!(l.macs(), 0, "{}", kind.kind_name());
+            assert!(!l.is_compute());
+            assert_eq!(l.params(), 0);
+            assert_eq!(l.input_elems(), l.output_elems());
+            assert!(l.input_elems() > 0);
+        }
+    }
+
+    #[test]
+    fn new_kind_names_are_stable() {
+        let qk = LayerKind::MatMulQK {
+            heads: 1,
+            q_len: 1,
+            kv_len: 1,
+            head_dim: 1,
+        };
+        assert_eq!(qk.kind_name(), "matmul-qk");
+        assert_eq!(
+            LayerKind::Softmax { rows: 1, cols: 1 }.kind_name(),
+            "softmax"
+        );
+        assert_eq!(
+            LayerKind::AttentionV {
+                heads: 1,
+                q_len: 1,
+                kv_len: 1,
+                head_dim: 1
+            }
+            .kind_name(),
+            "attention-v"
+        );
+        assert_eq!(
+            LayerKind::LayerNorm {
+                features: 1,
+                tokens: 1
+            }
+            .kind_name(),
+            "layer-norm"
+        );
+        assert_eq!(LayerKind::Gelu { elems: 1 }.kind_name(), "gelu");
     }
 
     #[test]

@@ -39,7 +39,7 @@ pub mod reference;
 pub mod tensor;
 
 pub use layer::{Layer, LayerKind};
-pub use models::{BitwidthPolicy, ModelQueryError, Network, NetworkId};
+pub use models::{transformer_block, BitwidthPolicy, ModelQueryError, Network, NetworkId};
 pub use packing::PackedTensor;
 pub use precision::{
     DegradationLadder, LadderError, LayerPrecision, PrecisionError, PrecisionPolicy,

@@ -30,10 +30,21 @@ pub enum NetworkId {
     Rnn,
     /// 2-layer LSTM, hidden size 880, sequence length 512.
     Lstm,
+    /// ViT-Base-class vision transformer: 16×16 patch embedding over a
+    /// 224×224 image (196 tokens), 12 encoder blocks of hidden 768 with 12
+    /// heads, classification head. Not part of the paper's Table I.
+    VitBase,
+    /// BERT-Base-class text transformer: 12 encoder blocks of hidden 768
+    /// with 12 heads, default sequence length 128, pooler head. Not part of
+    /// the paper's Table I.
+    BertBase,
 }
 
 impl NetworkId {
-    /// All six benchmarks in the paper's Table I order.
+    /// All six benchmarks in the paper's Table I order. The transformer
+    /// presets ([`NetworkId::VitBase`], [`NetworkId::BertBase`]) are
+    /// deliberately excluded: Table I figures and sweeps stay exactly the
+    /// paper's set.
     pub const ALL: [NetworkId; 6] = [
         NetworkId::AlexNet,
         NetworkId::InceptionV1,
@@ -42,6 +53,9 @@ impl NetworkId {
         NetworkId::Rnn,
         NetworkId::Lstm,
     ];
+
+    /// The transformer presets, in model-zoo order.
+    pub const TRANSFORMERS: [NetworkId; 2] = [NetworkId::VitBase, NetworkId::BertBase];
 
     /// The paper's display name.
     #[must_use]
@@ -53,6 +67,8 @@ impl NetworkId {
             NetworkId::ResNet50 => "ResNet-50",
             NetworkId::Rnn => "RNN",
             NetworkId::Lstm => "LSTM",
+            NetworkId::VitBase => "ViT-Base",
+            NetworkId::BertBase => "BERT-Base",
         }
     }
 
@@ -60,6 +76,19 @@ impl NetworkId {
     #[must_use]
     pub fn is_recurrent(self) -> bool {
         matches!(self, NetworkId::Rnn | NetworkId::Lstm)
+    }
+
+    /// True for the attention-based models.
+    #[must_use]
+    pub fn is_transformer(self) -> bool {
+        matches!(self, NetworkId::VitBase | NetworkId::BertBase)
+    }
+
+    /// True when the model's cost depends on a sequence-length dimension
+    /// (recurrent unroll length or transformer token count).
+    #[must_use]
+    pub fn has_sequence_dim(self) -> bool {
+        self.is_recurrent() || self.is_transformer()
     }
 }
 
@@ -153,13 +182,40 @@ impl Network {
     /// Fails with [`PrecisionError::LayerCountMismatch`] when a per-layer
     /// policy's width list does not match the network's layer count.
     pub fn build_precise(id: NetworkId, policy: &PrecisionPolicy) -> Result<Self, PrecisionError> {
+        Self::build_shaped(id, policy, None, None)
+    }
+
+    /// Builds a benchmark network under any [`PrecisionPolicy`], optionally
+    /// overriding its sequence dimension.
+    ///
+    /// `seq_len` replaces the recurrent unroll length (RNN/LSTM) or the
+    /// transformer token count (prefill shapes, `q_len == kv_len`).
+    /// `decode_kv` instead builds a transformer *decode* step: one query
+    /// token attending to a KV cache of that length (projections and FFN
+    /// run for the single new token). Both are ignored by networks without
+    /// a sequence dimension; `decode_kv` takes precedence over `seq_len`
+    /// for transformers and is ignored by recurrent models.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`PrecisionError::LayerCountMismatch`] when a per-layer
+    /// policy's width list does not match the network's layer count.
+    pub fn build_shaped(
+        id: NetworkId,
+        policy: &PrecisionPolicy,
+        seq_len: Option<usize>,
+        decode_kv: Option<usize>,
+    ) -> Result<Self, PrecisionError> {
+        let rec_seq = seq_len.unwrap_or(512);
         let mut layers = match id {
             NetworkId::AlexNet => alexnet(),
             NetworkId::InceptionV1 => inception_v1(),
             NetworkId::ResNet18 => resnet18(),
             NetworkId::ResNet50 => resnet50(),
-            NetworkId::Rnn => rnn(),
-            NetworkId::Lstm => lstm(),
+            NetworkId::Rnn => rnn(rec_seq),
+            NetworkId::Lstm => lstm(rec_seq),
+            NetworkId::VitBase => vit_base(seq_len.unwrap_or(196), decode_kv),
+            NetworkId::BertBase => bert_base(seq_len.unwrap_or(128), decode_kv),
         };
         policy.apply(id, &mut layers)?;
         Ok(Network {
@@ -210,15 +266,72 @@ impl Network {
     /// Fails with [`ModelQueryError::NoSuchLayer`] if the name is unknown,
     /// or [`ModelQueryError::WrongKind`] if the layer is not a `Conv2d`.
     pub fn conv2d(&self, name: &str) -> Result<&Layer, ModelQueryError> {
+        self.layer_of_kind(name, "conv2d", |k| matches!(k, LayerKind::Conv2d { .. }))
+    }
+
+    /// Looks up a layer by name, checking it is an attention-score GEMM.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`ModelQueryError::NoSuchLayer`] if the name is unknown,
+    /// or [`ModelQueryError::WrongKind`] if the layer is not a `MatMulQK`.
+    pub fn matmul_qk(&self, name: &str) -> Result<&Layer, ModelQueryError> {
+        self.layer_of_kind(name, "matmul-qk", |k| {
+            matches!(k, LayerKind::MatMulQK { .. })
+        })
+    }
+
+    /// Looks up a layer by name, checking it is an attention-value GEMM.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`ModelQueryError::NoSuchLayer`] if the name is unknown,
+    /// or [`ModelQueryError::WrongKind`] if the layer is not an
+    /// `AttentionV`.
+    pub fn attention_v(&self, name: &str) -> Result<&Layer, ModelQueryError> {
+        self.layer_of_kind(name, "attention-v", |k| {
+            matches!(k, LayerKind::AttentionV { .. })
+        })
+    }
+
+    /// Looks up a layer by name, checking it is a layer normalization.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`ModelQueryError::NoSuchLayer`] if the name is unknown,
+    /// or [`ModelQueryError::WrongKind`] if the layer is not a `LayerNorm`.
+    pub fn layer_norm(&self, name: &str) -> Result<&Layer, ModelQueryError> {
+        self.layer_of_kind(name, "layer-norm", |k| {
+            matches!(k, LayerKind::LayerNorm { .. })
+        })
+    }
+
+    /// Looks up a layer by name, checking it is a softmax.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`ModelQueryError::NoSuchLayer`] if the name is unknown,
+    /// or [`ModelQueryError::WrongKind`] if the layer is not a `Softmax`.
+    pub fn softmax(&self, name: &str) -> Result<&Layer, ModelQueryError> {
+        self.layer_of_kind(name, "softmax", |k| matches!(k, LayerKind::Softmax { .. }))
+    }
+
+    fn layer_of_kind(
+        &self,
+        name: &str,
+        expected: &'static str,
+        matches: impl Fn(&LayerKind) -> bool,
+    ) -> Result<&Layer, ModelQueryError> {
         let layer = self.layer(name)?;
-        match layer.kind {
-            LayerKind::Conv2d { .. } => Ok(layer),
-            _ => Err(ModelQueryError::WrongKind {
+        if matches(&layer.kind) {
+            Ok(layer)
+        } else {
+            Err(ModelQueryError::WrongKind {
                 network: self.id,
                 name: name.to_string(),
-                expected: "conv2d",
+                expected,
                 found: layer.kind.kind_name(),
-            }),
+            })
         }
     }
 
@@ -494,9 +607,10 @@ fn inception_v1() -> Vec<Layer> {
     layers
 }
 
-fn rnn() -> Vec<Layer> {
+fn rnn(seq_len: usize) -> Vec<Layer> {
     // A 2-layer vanilla RNN sized to Table I: 2 x (2048x2048 + 2048x2048)
-    // weights = 16.8M parameters = 16 MB INT8, unrolled over 512 timesteps.
+    // weights = 16.8M parameters = 16 MB INT8, unrolled over 512 timesteps
+    // by default.
     (0..2)
         .map(|i| {
             Layer::new(
@@ -505,16 +619,16 @@ fn rnn() -> Vec<Layer> {
                     input_size: 2048,
                     hidden_size: 2048,
                     gates: 1,
-                    seq_len: 512,
+                    seq_len,
                 },
             )
         })
         .collect()
 }
 
-fn lstm() -> Vec<Layer> {
+fn lstm(seq_len: usize) -> Vec<Layer> {
     // A 2-layer LSTM sized to Table I: 2 x 4 x 880 x 1760 = 12.4M parameters
-    // = 11.8 MB INT8, unrolled over 512 timesteps.
+    // = 11.8 MB INT8, unrolled over 512 timesteps by default.
     (0..2)
         .map(|i| {
             Layer::new(
@@ -523,11 +637,137 @@ fn lstm() -> Vec<Layer> {
                     input_size: 880,
                     hidden_size: 880,
                     gates: 4,
-                    seq_len: 512,
+                    seq_len,
                 },
             )
         })
         .collect()
+}
+
+/// Appends one pre-LN transformer encoder block to `layers`:
+/// LN → QKV projection → QK^T → softmax → attention·V → output projection
+/// → LN → FFN up (4×) → GELU → FFN down. Projections are 1×1 convolutions
+/// over a `(q_len, 1)` "image" — exactly one GEMM per token, reusing the
+/// conv tiling, lowering and packed-execution paths unchanged.
+///
+/// Prefill blocks have `q_len == kv_len`; a decode step has `q_len == 1`
+/// with `kv_len` the KV-cache length (projections and FFN then run for the
+/// single new token while the attention GEMMs span the whole cache).
+///
+/// # Panics
+///
+/// Panics unless `heads` divides `hidden` and all dimensions are non-zero.
+pub fn transformer_block(
+    layers: &mut Vec<Layer>,
+    prefix: &str,
+    hidden: usize,
+    heads: usize,
+    q_len: usize,
+    kv_len: usize,
+) {
+    assert!(hidden > 0 && heads > 0 && q_len > 0 && kv_len > 0);
+    assert_eq!(hidden % heads, 0, "heads must divide hidden");
+    let head_dim = hidden / heads;
+    let ffn = 4 * hidden;
+    let proj = |name: String, in_c: usize, out_c: usize| {
+        Layer::new(
+            name,
+            LayerKind::Conv2d {
+                in_channels: in_c,
+                out_channels: out_c,
+                kernel: (1, 1),
+                stride: (1, 1),
+                padding: (0, 0),
+                input_hw: (q_len, 1),
+            },
+        )
+    };
+    layers.push(Layer::new(
+        format!("{prefix}.ln1"),
+        LayerKind::LayerNorm {
+            features: hidden,
+            tokens: q_len,
+        },
+    ));
+    layers.push(proj(format!("{prefix}.qkv"), hidden, 3 * hidden));
+    layers.push(Layer::new(
+        format!("{prefix}.qk"),
+        LayerKind::MatMulQK {
+            heads,
+            q_len,
+            kv_len,
+            head_dim,
+        },
+    ));
+    layers.push(Layer::new(
+        format!("{prefix}.softmax"),
+        LayerKind::Softmax {
+            rows: heads * q_len,
+            cols: kv_len,
+        },
+    ));
+    layers.push(Layer::new(
+        format!("{prefix}.av"),
+        LayerKind::AttentionV {
+            heads,
+            q_len,
+            kv_len,
+            head_dim,
+        },
+    ));
+    layers.push(proj(format!("{prefix}.proj"), hidden, hidden));
+    layers.push(Layer::new(
+        format!("{prefix}.ln2"),
+        LayerKind::LayerNorm {
+            features: hidden,
+            tokens: q_len,
+        },
+    ));
+    layers.push(proj(format!("{prefix}.ffn1"), hidden, ffn));
+    layers.push(Layer::new(
+        format!("{prefix}.gelu"),
+        LayerKind::Gelu { elems: q_len * ffn },
+    ));
+    layers.push(proj(format!("{prefix}.ffn2"), ffn, hidden));
+}
+
+/// Stacks `blocks` transformer blocks; decode shapes (when `decode_kv` is
+/// set) use one query token against a `decode_kv`-long KV cache.
+fn transformer_stack(
+    layers: &mut Vec<Layer>,
+    blocks: usize,
+    hidden: usize,
+    heads: usize,
+    seq_len: usize,
+    decode_kv: Option<usize>,
+) {
+    let (q_len, kv_len) = match decode_kv {
+        Some(kv) => (1, kv),
+        None => (seq_len, seq_len),
+    };
+    for b in 0..blocks {
+        transformer_block(layers, &format!("block{b}"), hidden, heads, q_len, kv_len);
+    }
+}
+
+fn vit_base(seq_len: usize, decode_kv: Option<usize>) -> Vec<Layer> {
+    // ViT-Base/16: 224x224 image -> 14x14 = 196 patch tokens of hidden 768,
+    // 12 encoder blocks with 12 heads, linear classification head. The
+    // patch embedding is a 16x16/16 convolution (one GEMM per token).
+    let mut layers = vec![conv("patch_embed", 3, 768, 16, 16, 0, 224)];
+    transformer_stack(&mut layers, 12, 768, 12, seq_len, decode_kv);
+    layers.push(fc("head", 768, 1000));
+    layers
+}
+
+fn bert_base(seq_len: usize, decode_kv: Option<usize>) -> Vec<Layer> {
+    // BERT-Base: 12 encoder blocks of hidden 768 with 12 heads over a
+    // 128-token default sequence, pooler head. (The embedding lookup moves
+    // bytes but multiplies nothing, so it is not modeled as a layer.)
+    let mut layers = Vec::new();
+    transformer_stack(&mut layers, 12, 768, 12, seq_len, decode_kv);
+    layers.push(fc("pooler", 768, 768));
+    layers
 }
 
 #[cfg(test)]
@@ -700,5 +940,141 @@ mod tests {
         let s = n.to_string();
         assert!(s.contains("ResNet-18"));
         assert!(s.contains("GOps"));
+    }
+
+    #[test]
+    fn transformer_ids_stay_out_of_table1() {
+        assert_eq!(NetworkId::ALL.len(), 6);
+        for id in NetworkId::TRANSFORMERS {
+            assert!(!NetworkId::ALL.contains(&id));
+            assert!(id.is_transformer());
+            assert!(id.has_sequence_dim());
+            assert!(!id.is_recurrent());
+        }
+        assert!(NetworkId::Rnn.has_sequence_dim());
+        assert!(!NetworkId::AlexNet.has_sequence_dim());
+    }
+
+    #[test]
+    fn vit_base_matches_published_counts() {
+        let n = net(NetworkId::VitBase);
+        // ViT-Base: ~86M parameters (we model weights only, no embeddings'
+        // positional table), ~16-17 GMACs at 196 tokens.
+        let params = n.total_params();
+        assert!((84_000_000..88_000_000).contains(&params), "{params}");
+        let macs = n.total_macs();
+        assert!((15_000_000_000..18_500_000_000).contains(&macs), "{macs}");
+    }
+
+    #[test]
+    fn bert_base_matches_published_counts() {
+        let n = net(NetworkId::BertBase);
+        // BERT-Base encoder stack: ~85M weight parameters (embeddings are
+        // lookups, not GEMMs), ~11 GMACs at 128 tokens.
+        let params = n.total_params();
+        assert!((84_000_000..87_000_000).contains(&params), "{params}");
+        let macs = n.total_macs();
+        assert!((10_000_000_000..12_500_000_000).contains(&macs), "{macs}");
+    }
+
+    #[test]
+    fn transformer_block_composer_emits_the_canonical_ten_layers() {
+        let mut layers = Vec::new();
+        transformer_block(&mut layers, "b", 768, 12, 128, 128);
+        let kinds: Vec<&str> = layers.iter().map(|l| l.kind.kind_name()).collect();
+        assert_eq!(
+            kinds,
+            [
+                "layer-norm",
+                "conv2d",
+                "matmul-qk",
+                "softmax",
+                "attention-v",
+                "conv2d",
+                "layer-norm",
+                "conv2d",
+                "gelu",
+                "conv2d",
+            ]
+        );
+        // Attention GEMM MACs: heads * q * kv * head_dim, twice.
+        let attn_macs: u64 = layers
+            .iter()
+            .filter(|l| {
+                matches!(
+                    l.kind,
+                    LayerKind::MatMulQK { .. } | LayerKind::AttentionV { .. }
+                )
+            })
+            .map(Layer::macs)
+            .sum();
+        assert_eq!(attn_macs, 2 * 12 * 128 * 128 * 64);
+    }
+
+    #[test]
+    fn decode_shapes_use_one_query_token() {
+        let policy = PrecisionPolicy::homogeneous8();
+        let prefill = Network::build_shaped(NetworkId::BertBase, &policy, Some(128), None).unwrap();
+        let decode = Network::build_shaped(NetworkId::BertBase, &policy, None, Some(128)).unwrap();
+        assert_eq!(prefill.layers.len(), decode.layers.len());
+        let qk = decode.matmul_qk("block0.qk").unwrap();
+        if let LayerKind::MatMulQK { q_len, kv_len, .. } = qk.kind {
+            assert_eq!(q_len, 1);
+            assert_eq!(kv_len, 128);
+        }
+        // Decode FFN runs for one token: far fewer MACs than prefill.
+        assert!(decode.total_macs() * 32 < prefill.total_macs());
+        // Decode cost grows with KV length.
+        let longer = Network::build_shaped(NetworkId::BertBase, &policy, None, Some(1024)).unwrap();
+        assert!(longer.total_macs() > decode.total_macs());
+    }
+
+    #[test]
+    fn seq_len_override_rescales_transformers_and_recurrent_models() {
+        let policy = PrecisionPolicy::homogeneous8();
+        let short = Network::build_shaped(NetworkId::BertBase, &policy, Some(64), None).unwrap();
+        let long = Network::build_shaped(NetworkId::BertBase, &policy, Some(256), None).unwrap();
+        assert!(long.total_macs() > 3 * short.total_macs());
+        let rnn_short = Network::build_shaped(NetworkId::Rnn, &policy, Some(128), None).unwrap();
+        let rnn_default = Network::build_precise(NetworkId::Rnn, &policy).unwrap();
+        assert_eq!(rnn_default.total_macs(), 4 * rnn_short.total_macs());
+        // CNNs ignore the override entirely.
+        let cnn = Network::build_shaped(NetworkId::AlexNet, &policy, Some(64), None).unwrap();
+        assert_eq!(
+            cnn,
+            Network::build_precise(NetworkId::AlexNet, &policy).unwrap()
+        );
+    }
+
+    #[test]
+    fn typed_transformer_lookups_return_errors_not_aborts() {
+        let n = net(NetworkId::BertBase);
+        assert!(n.matmul_qk("block0.qk").is_ok());
+        assert!(n.attention_v("block0.av").is_ok());
+        assert!(n.layer_norm("block0.ln1").is_ok());
+        assert!(n.softmax("block0.softmax").is_ok());
+        let err = n.matmul_qk("block0.av").unwrap_err();
+        assert_eq!(
+            err,
+            ModelQueryError::WrongKind {
+                network: NetworkId::BertBase,
+                name: "block0.av".to_string(),
+                expected: "matmul-qk",
+                found: "attention-v",
+            }
+        );
+        assert!(matches!(
+            n.softmax("nope").unwrap_err(),
+            ModelQueryError::NoSuchLayer { .. }
+        ));
+    }
+
+    #[test]
+    fn heterogeneous_preset_covers_transformers() {
+        for id in NetworkId::TRANSFORMERS {
+            let n = Network::build(id, BitwidthPolicy::Heterogeneous);
+            // Transformers fall in the "all 4-bit" class, like ResNet-50.
+            assert!(n.layers.iter().all(|l| l.weight_bits == BitWidth::INT4));
+        }
     }
 }

@@ -167,6 +167,149 @@ pub fn requantize(t: &Tensor, shift: u32, bits: BitWidth, signedness: Signedness
     )
 }
 
+/// Fixed-point weight resolution of the softmax exponentials: each score
+/// `d` below the row maximum weighs `2^20 >> d` (a base-2 "exponential"
+/// that is exactly reproducible in integer arithmetic).
+const SOFTMAX_ONE: i64 = 1 << 20;
+
+/// Integer square root (floor), portable across toolchains.
+fn isqrt_u64(v: u64) -> u64 {
+    if v == 0 {
+        return 0;
+    }
+    let mut x = v;
+    let mut y = x.div_ceil(2);
+    while y < x {
+        x = y;
+        y = (x + v / x) / 2;
+    }
+    x
+}
+
+/// Division with round-half-away-from-zero, `d > 0`.
+fn div_round(n: i64, d: i64) -> i64 {
+    debug_assert!(d > 0);
+    if n >= 0 {
+        (n + d / 2) / d
+    } else {
+        -((-n + d / 2) / d)
+    }
+}
+
+/// Row-wise fixed-point softmax over a `[rows, cols]` score matrix.
+///
+/// Each output row holds unsigned probabilities that sum **exactly** to the
+/// fixed-point one `1 << (bits - 1)` (the unit the downstream attention·V
+/// GEMM consumes its probability operand at): per-row base-2 exponential
+/// weights `2^20 >> (max − x)` are normalized by largest-remainder
+/// apportionment, so no row ever gains or loses probability mass to
+/// rounding. Deterministic, exactly reproducible on any platform.
+///
+/// # Panics
+///
+/// Panics if `scores` is not rank 2 or a row is empty.
+#[must_use]
+pub fn softmax_fixed(scores: &Tensor, bits: BitWidth) -> Tensor {
+    let sh = scores.shape();
+    assert_eq!(sh.len(), 2, "scores must be [rows, cols]");
+    let (rows, cols) = (sh[0], sh[1]);
+    assert!(cols > 0, "softmax over an empty row");
+    let unit = 1i64 << (bits.bits() - 1);
+    let mut out = Tensor::zeros(&[rows, cols]);
+    let mut weights = vec![0i64; cols];
+    for r in 0..rows {
+        let row = &scores.as_slice()[r * cols..(r + 1) * cols];
+        let m = i64::from(*row.iter().max().expect("non-empty row"));
+        for (w, &x) in weights.iter_mut().zip(row) {
+            let d = m - i64::from(x);
+            *w = if d >= 63 { 0 } else { SOFTMAX_ONE >> d };
+        }
+        let total: i64 = weights.iter().sum();
+        // Largest-remainder apportionment of `unit` across the weights:
+        // floor quotients first, then the leftover units go to the largest
+        // remainders (ties to the lower index), making the row sum exact.
+        let out_row = &mut out.as_mut_slice()[r * cols..(r + 1) * cols];
+        let mut assigned = 0i64;
+        let mut remainders: Vec<(i64, usize)> = Vec::with_capacity(cols);
+        for (j, &w) in weights.iter().enumerate() {
+            let q = unit * w / total;
+            assigned += q;
+            out_row[j] = i32::try_from(q).expect("quotient fits i32");
+            remainders.push((unit * w % total, j));
+        }
+        remainders.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        for &(_, j) in remainders
+            .iter()
+            .take(usize::try_from(unit - assigned).expect("deficit is small and non-negative"))
+        {
+            out_row[j] += 1;
+        }
+    }
+    out
+}
+
+/// Fixed-point layer normalization over the leading (feature) axis.
+///
+/// The input is interpreted as `[features, tokens]` (higher ranks collapse
+/// their trailing dims into tokens — the executor's channel-major
+/// `[features, seq, 1]` layout normalizes per token without reshaping).
+/// Per token: the mean uses floor division (`div_euclid`), making the
+/// output exactly invariant to adding any constant `c` to every feature;
+/// the centered values are scaled by `hi/2` and divided by the integer
+/// standard deviation with round-half-away, then clamped to the signed
+/// `bits` range.
+///
+/// # Panics
+///
+/// Panics if the tensor is empty or its leading dimension is 0.
+#[must_use]
+pub fn layer_norm_fixed(t: &Tensor, bits: BitWidth) -> Tensor {
+    let sh = t.shape();
+    assert!(!sh.is_empty() && sh[0] > 0, "layer_norm needs features");
+    let features = sh[0];
+    let tokens: usize = sh[1..].iter().product::<usize>().max(1);
+    let (lo, hi) = bits.range(Signedness::Signed);
+    let scale = i64::from(hi / 2).max(1);
+    let mut out = Tensor::zeros(sh);
+    let data = t.as_slice();
+    for tok in 0..tokens {
+        let at = |f: usize| i64::from(data[f * tokens + tok]);
+        let sum: i64 = (0..features).map(at).sum();
+        let mean = sum.div_euclid(features as i64);
+        let var: i64 = (0..features).map(|f| (at(f) - mean).pow(2)).sum::<i64>() / features as i64;
+        let std = i64::try_from(isqrt_u64(var.unsigned_abs()))
+            .expect("std fits i64")
+            .max(1);
+        for f in 0..features {
+            let y = div_round((at(f) - mean) * scale, std).clamp(i64::from(lo), i64::from(hi));
+            out.as_mut_slice()[f * tokens + tok] = y as i32;
+        }
+    }
+    out
+}
+
+/// Elementwise integer GELU: `y = x · clamp(x + hi, 0, 2·hi) / (2·hi)`
+/// with round-half-away division — the hard-sigmoid gating form of GELU in
+/// the quantized domain (zero below `-hi`, identity above `hi`, smooth-ish
+/// ramp between). Output stays within the signed `bits` range whenever the
+/// input does.
+#[must_use]
+pub fn gelu_fixed(t: &Tensor, bits: BitWidth) -> Tensor {
+    let (_, hi) = bits.range(Signedness::Signed);
+    let two_hi = (2 * i64::from(hi)).max(1);
+    Tensor::from_data(
+        t.shape(),
+        t.as_slice()
+            .iter()
+            .map(|&v| {
+                let x = i64::from(v);
+                let gate = (x + i64::from(hi)).clamp(0, two_hi);
+                div_round(x * gate, two_hi) as i32
+            })
+            .collect(),
+    )
+}
+
 /// One vanilla-RNN step: `h' = clip(W_ih·x + W_hh·h)` requantized to
 /// `bits` (hard-tanh style integer nonlinearity).
 ///
@@ -377,6 +520,69 @@ mod tests {
             for &v in h.as_slice() {
                 assert!(v >= lo && v <= hi, "h {v} escaped range");
             }
+        }
+    }
+
+    #[test]
+    fn softmax_rows_sum_exactly_to_the_fixed_point_one() {
+        let scores = Tensor::from_data(&[3, 4], vec![5, 5, 5, 5, -3, 0, 7, 2, 100, -100, 0, 50]);
+        for bits in [BitWidth::INT8, BitWidth::INT4, BitWidth::INT2] {
+            let unit = 1i64 << (bits.bits() - 1);
+            let p = softmax_fixed(&scores, bits);
+            for r in 0..3 {
+                let sum: i64 = p.as_slice()[r * 4..(r + 1) * 4]
+                    .iter()
+                    .map(|&v| i64::from(v))
+                    .sum();
+                assert_eq!(sum, unit, "row {r} at {bits:?}");
+                assert!(p.as_slice()[r * 4..(r + 1) * 4].iter().all(|&v| v >= 0));
+            }
+        }
+    }
+
+    #[test]
+    fn softmax_puts_the_mass_on_the_maximum() {
+        let scores = Tensor::from_data(&[1, 3], vec![0, 30, 0]);
+        let p = softmax_fixed(&scores, BitWidth::INT8);
+        assert_eq!(p.as_slice(), &[0, 128, 0]);
+        let even = softmax_fixed(
+            &Tensor::from_data(&[1, 4], vec![9, 9, 9, 9]),
+            BitWidth::INT8,
+        );
+        assert_eq!(even.as_slice(), &[32, 32, 32, 32]);
+    }
+
+    #[test]
+    fn layer_norm_is_shift_invariant() {
+        let t = Tensor::from_data(&[4, 2], vec![10, -3, 25, 7, -14, 0, 3, 3]);
+        let shifted = Tensor::from_data(&[4, 2], t.as_slice().iter().map(|&v| v + 37).collect());
+        assert_eq!(
+            layer_norm_fixed(&t, BitWidth::INT8),
+            layer_norm_fixed(&shifted, BitWidth::INT8)
+        );
+    }
+
+    #[test]
+    fn layer_norm_centers_and_bounds_output() {
+        let t = Tensor::from_data(&[4, 1], vec![1000, -1000, 500, -500]);
+        let y = layer_norm_fixed(&t, BitWidth::INT8);
+        let (lo, hi) = BitWidth::INT8.range(Signedness::Signed);
+        for &v in y.as_slice() {
+            assert!(v >= lo && v <= hi);
+        }
+        assert!(y.as_slice()[0] > 0 && y.as_slice()[1] < 0);
+    }
+
+    #[test]
+    fn gelu_gates_like_the_real_thing() {
+        let (lo, hi) = BitWidth::INT8.range(Signedness::Signed);
+        let t = Tensor::from_data(&[5], vec![lo, -hi, 0, hi / 2, hi]);
+        let y = gelu_fixed(&t, BitWidth::INT8);
+        assert_eq!(y.as_slice()[0], 0, "far-negative inputs gate to zero");
+        assert_eq!(y.as_slice()[2], 0);
+        assert_eq!(y.as_slice()[4], hi, "large positives pass through");
+        for &v in y.as_slice() {
+            assert!(v >= lo && v <= hi);
         }
     }
 

@@ -96,6 +96,11 @@ pub fn utilization(id: NetworkId, precision: GpuPrecision) -> f64 {
         NetworkId::ResNet50 => 0.080,
         NetworkId::Rnn => 0.0028,
         NetworkId::Lstm => 0.0025,
+        // Transformers: large dense GEMMs keep tensor cores busier than the
+        // CNNs' tapered convolutions, but softmax/LayerNorm interludes and
+        // attention's short reductions cap the sustained fraction.
+        NetworkId::VitBase => 0.090,
+        NetworkId::BertBase => 0.110,
     };
     match precision {
         GpuPrecision::Int8 => base,

@@ -28,4 +28,6 @@ pub mod program;
 
 pub use inst::{DecodeInstructionError, Instruction, MemorySpace};
 pub use machine::{Machine, MachineConfig, RunReport};
-pub use program::{lower_layer, lower_network, Program};
+pub use program::{
+    lower_layer, lower_network, try_lower_layer, try_lower_network, LowerError, Program,
+};

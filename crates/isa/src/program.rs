@@ -84,11 +84,44 @@ fn bytes(elems: u64, bits: u32) -> u32 {
     u32::try_from((elems * u64::from(bits)).div_ceil(8)).expect("tile fits u32")
 }
 
+/// A layer kind the lowering pass cannot compile yet.
+///
+/// The attention-era kinds (`MatMulQK`, `Softmax`, `AttentionV`,
+/// `LayerNorm`, `Gelu`) are modeled, costed, and executed bit-true by
+/// `bpvec-sim`, but their ISA loop nests (per-head GEMM schedules, on-chip
+/// softmax/normalization) are not written yet. [`try_lower_layer`] surfaces
+/// that as this typed error instead of a panic, so mixed networks degrade
+/// gracefully.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LowerError {
+    /// The offending layer's name.
+    pub layer: String,
+    /// Its kind name (`matmul-qk`, `softmax`, ...).
+    pub kind: String,
+}
+
+impl fmt::Display for LowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "layer `{}`: kind `{}` is not yet lowered to the ISA \
+             (todo: attention loop nests)",
+            self.layer, self.kind
+        )
+    }
+}
+
+impl std::error::Error for LowerError {}
+
 /// Lowers one layer at batch `b` under `working_bytes` of scratchpad.
 ///
 /// Pooling layers become pure DMA (activations in, pooled activations out).
-#[must_use]
-pub fn lower_layer(layer: &Layer, working_bytes: u64, b: u64) -> Program {
+///
+/// # Errors
+///
+/// Returns [`LowerError`] for the attention-era kinds, whose loop nests are
+/// not implemented yet.
+pub fn try_lower_layer(layer: &Layer, working_bytes: u64, b: u64) -> Result<Program, LowerError> {
     let mut code = vec![Instruction::SetPrecision {
         act_bits: layer.act_bits,
         weight_bits: layer.weight_bits,
@@ -214,10 +247,34 @@ pub fn lower_layer(layer: &Layer, working_bytes: u64, b: u64) -> Program {
                 code.push(Instruction::Barrier);
             }
         }
+        LayerKind::MatMulQK { .. }
+        | LayerKind::Softmax { .. }
+        | LayerKind::AttentionV { .. }
+        | LayerKind::LayerNorm { .. }
+        | LayerKind::Gelu { .. } => {
+            return Err(LowerError {
+                layer: layer.name.clone(),
+                kind: layer.kind.kind_name().to_string(),
+            });
+        }
     }
-    Program {
+    Ok(Program {
         name: layer.name.clone(),
         instructions: code,
+    })
+}
+
+/// Infallible [`try_lower_layer`] for the classic kinds.
+///
+/// # Panics
+///
+/// Panics on a not-yet-lowerable kind (see [`LowerError`]); use
+/// [`try_lower_layer`] when the stack may contain attention layers.
+#[must_use]
+pub fn lower_layer(layer: &Layer, working_bytes: u64, b: u64) -> Program {
+    match try_lower_layer(layer, working_bytes, b) {
+        Ok(p) => p,
+        Err(e) => panic!("{e}"),
     }
 }
 
@@ -286,13 +343,33 @@ fn lower_conv_nest(code: &mut Vec<Instruction>, n: ConvNest) {
 }
 
 /// Lowers a whole network into one program per layer.
-#[must_use]
-pub fn lower_network(network: &Network, working_bytes: u64, b: u64) -> Vec<Program> {
+///
+/// # Errors
+///
+/// Returns the first [`LowerError`] — today, any attention-era layer.
+pub fn try_lower_network(
+    network: &Network,
+    working_bytes: u64,
+    b: u64,
+) -> Result<Vec<Program>, LowerError> {
     network
         .layers
         .iter()
-        .map(|l| lower_layer(l, working_bytes, b))
+        .map(|l| try_lower_layer(l, working_bytes, b))
         .collect()
+}
+
+/// Infallible [`try_lower_network`] for the classic kinds.
+///
+/// # Panics
+///
+/// Panics on a not-yet-lowerable kind (see [`LowerError`]).
+#[must_use]
+pub fn lower_network(network: &Network, working_bytes: u64, b: u64) -> Vec<Program> {
+    match try_lower_network(network, working_bytes, b) {
+        Ok(ps) => ps,
+        Err(e) => panic!("{e}"),
+    }
 }
 
 #[cfg(test)]
@@ -412,6 +489,30 @@ mod tests {
         assert_eq!(progs.len(), net.layers.len());
         let total_macs: u64 = progs.iter().map(Program::matmul_macs).sum();
         assert_eq!(total_macs, net.total_macs());
+    }
+
+    #[test]
+    fn attention_kinds_lower_to_a_typed_todo_error_not_a_panic() {
+        let mut layers = Vec::new();
+        bpvec_dnn::transformer_block(&mut layers, "b", 64, 4, 16, 16);
+        let qk = layers
+            .iter()
+            .find(|l| matches!(l.kind, LayerKind::MatMulQK { .. }))
+            .unwrap();
+        let err = try_lower_layer(qk, WORKING, 1).unwrap_err();
+        assert_eq!(err.kind, "matmul-qk");
+        assert!(err.to_string().contains("not yet lowered"), "{err}");
+        // A whole transformer network surfaces the same error (no panic),
+        // while classic networks still lower infallibly.
+        let net = Network::build(NetworkId::BertBase, BitwidthPolicy::Homogeneous8);
+        let err = try_lower_network(&net, WORKING, 1).unwrap_err();
+        assert_eq!(err.layer, "block0.ln1", "first unlowerable layer wins");
+        assert!(try_lower_network(
+            &Network::build(NetworkId::AlexNet, BitwidthPolicy::Homogeneous8),
+            WORKING,
+            1
+        )
+        .is_ok());
     }
 
     #[test]

@@ -141,6 +141,25 @@ pub struct MixEntry {
     pub weight: f64,
 }
 
+impl MixEntry {
+    /// A compact class name for reports: transformer workloads render as
+    /// `prefill{seq}` / `decode{kv}` (the two serving phases have different
+    /// cost shapes, so they are always distinct classes); everything else
+    /// renders as its network name.
+    #[must_use]
+    pub fn class_label(&self) -> String {
+        let w = &self.workload;
+        if w.network.is_transformer() {
+            return match (w.decode_kv, w.seq_len) {
+                (Some(kv), _) => format!("decode{kv}"),
+                (None, Some(s)) => format!("prefill{s}"),
+                (None, None) => "prefill".into(),
+            };
+        }
+        w.network.name().to_string()
+    }
+}
+
 /// The per-network request mix: which workload each arrival asks for.
 ///
 /// Every entry is its own *service class*: batches never mix networks, and
@@ -176,6 +195,24 @@ impl RequestMix {
     pub fn and(mut self, workload: Workload, weight: f64) -> Self {
         self.entries.push(MixEntry { workload, weight });
         self
+    }
+
+    /// The canonical transformer serving mix: a *prefill* class (class 0,
+    /// self-attention over `seq_len` tokens) and a *decode* class (class 1,
+    /// one query token over a `seq_len`-entry KV cache), each derived from
+    /// `base` and weighted separately. The two phases get distinct
+    /// cost-table entries, so batches never mix prefill with decode and the
+    /// decode class's cost grows with the KV length.
+    #[must_use]
+    pub fn prefill_decode(
+        base: Workload,
+        seq_len: usize,
+        prefill_weight: f64,
+        decode_weight: f64,
+    ) -> Self {
+        RequestMix::new()
+            .and(base.clone().with_seq_len(seq_len), prefill_weight)
+            .and(base.with_decode_kv(seq_len), decode_weight)
     }
 
     /// Number of service classes.
@@ -309,6 +346,37 @@ mod tests {
         for _ in 0..10 {
             assert_eq!(mix.sample(&mut rng), 0);
         }
+    }
+
+    #[test]
+    fn prefill_decode_mix_builds_two_distinct_classes() {
+        let base = w(NetworkId::BertBase);
+        let mix = RequestMix::prefill_decode(base, 128, 1.0, 3.0);
+        assert_eq!(mix.classes(), 2);
+        assert_eq!(mix.entries[0].class_label(), "prefill128");
+        assert_eq!(mix.entries[1].class_label(), "decode128");
+        assert_eq!(mix.entries[0].workload.seq_len, Some(128));
+        assert_eq!(mix.entries[0].workload.decode_kv, None);
+        assert_eq!(mix.entries[1].workload.decode_kv, Some(128));
+        assert!((mix.entries[1].weight - 3.0).abs() < 1e-12);
+        // Prefill does quadratically more work than a one-token decode step.
+        let p = mix.entries[0].workload.build().total_macs();
+        let d = mix.entries[1].workload.build().total_macs();
+        assert!(p > 16 * d, "prefill {p} vs decode {d}");
+    }
+
+    #[test]
+    fn class_labels_name_non_transformers_by_network() {
+        let cnn = MixEntry {
+            workload: w(NetworkId::AlexNet),
+            weight: 1.0,
+        };
+        assert_eq!(cnn.class_label(), "AlexNet");
+        let bare = MixEntry {
+            workload: w(NetworkId::VitBase),
+            weight: 1.0,
+        };
+        assert_eq!(bare.class_label(), "prefill");
     }
 
     #[test]

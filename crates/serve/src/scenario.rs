@@ -215,6 +215,7 @@ pub struct ServingScenario {
     clusters: Vec<ClusterSpec>,
     traffics: Vec<TrafficSpec>,
     precisions: Vec<PrecisionPolicy>,
+    seq_lens: Vec<usize>,
     controls: Vec<ControlPolicy>,
     memory: DramSpec,
     service: ServiceModel,
@@ -234,6 +235,7 @@ impl fmt::Debug for ServingScenario {
             .field("clusters", &self.clusters)
             .field("traffics", &self.traffics)
             .field("precisions", &self.precisions)
+            .field("seq_lens", &self.seq_lens)
             .field("controls", &self.controls)
             .field("memory", &self.memory)
             .field("service", &self.service)
@@ -255,6 +257,7 @@ impl ServingScenario {
             clusters: Vec::new(),
             traffics: Vec::new(),
             precisions: Vec::new(),
+            seq_lens: Vec::new(),
             controls: Vec::new(),
             memory: DramSpec::ddr4(),
             service: ServiceModel::Deterministic,
@@ -329,6 +332,26 @@ impl ServingScenario {
     #[must_use]
     pub fn precisions(mut self, policies: impl IntoIterator<Item = PrecisionPolicy>) -> Self {
         self.precisions.extend(policies);
+        self
+    }
+
+    /// Adds one sequence length to the sweep axis. A non-empty axis expands
+    /// every traffic spec whose mix contains a sequence-shaped network
+    /// (transformers, RNN/LSTM) into one variant per length: prefill and
+    /// recurrent classes take it as their token count, decode classes as
+    /// their KV-cache length. Traffics with no sequence-shaped class are
+    /// not expanded. Variants of one traffic keep the declared traffic's
+    /// arrival seed, so comparisons along the axis are paired.
+    #[must_use]
+    pub fn seq_len(mut self, seq_len: usize) -> Self {
+        self.seq_lens.push(seq_len);
+        self
+    }
+
+    /// Adds a batch of sequence lengths to the sweep axis.
+    #[must_use]
+    pub fn seq_lens(mut self, seq_lens: impl IntoIterator<Item = usize>) -> Self {
+        self.seq_lens.extend(seq_lens);
         self
     }
 
@@ -438,6 +461,18 @@ impl ServingScenario {
                 )));
             }
         }
+        for (i, s) in self.seq_lens.iter().enumerate() {
+            if *s == 0 {
+                return Err(ServingError(
+                    "sequence lengths in the sweep axis must be at least 1".into(),
+                ));
+            }
+            if self.seq_lens[..i].contains(s) {
+                return Err(ServingError(format!(
+                    "duplicate sequence length {s} in the sweep axis"
+                )));
+            }
+        }
         for (i, c) in self.controls.iter().enumerate() {
             if self.controls[..i].contains(c) {
                 return Err(ServingError(format!(
@@ -487,29 +522,61 @@ impl ServingScenario {
     }
 
     /// The traffic axis the run actually simulates: each declared traffic,
-    /// expanded per precision policy when a precision axis is set. Entries
-    /// are `(declared-traffic index, precision label, spec)`; the index
-    /// seeds arrivals, so precision variants of one traffic stay paired.
-    fn effective_traffics(&self) -> Vec<(usize, String, TrafficSpec)> {
-        if self.precisions.is_empty() {
-            return self
-                .traffics
+    /// expanded per precision policy when a precision axis is set, then per
+    /// sequence length when a sequence axis is set (only for traffics whose
+    /// mix has a sequence-shaped class). Entries are `(declared-traffic
+    /// index, precision label, sequence label, spec)`; the index seeds
+    /// arrivals, so every variant of one traffic stays paired.
+    fn effective_traffics(&self) -> Vec<(usize, String, String, TrafficSpec)> {
+        let swept: Vec<(usize, String, TrafficSpec)> = if self.precisions.is_empty() {
+            self.traffics
                 .iter()
                 .enumerate()
                 .map(|(i, t)| (i, mix_precision_label(t), t.clone()))
-                .collect();
-        }
-        self.traffics
-            .iter()
-            .enumerate()
-            .flat_map(|(i, t)| {
-                self.precisions.iter().map(move |p| {
-                    let mut variant = t.clone();
-                    for entry in &mut variant.mix.entries {
-                        entry.workload = entry.workload.clone().with_policy(p.clone());
-                    }
-                    (i, p.to_string(), variant)
+                .collect()
+        } else {
+            self.traffics
+                .iter()
+                .enumerate()
+                .flat_map(|(i, t)| {
+                    self.precisions.iter().map(move |p| {
+                        let mut variant = t.clone();
+                        for entry in &mut variant.mix.entries {
+                            entry.workload = entry.workload.clone().with_policy(p.clone());
+                        }
+                        (i, p.to_string(), variant)
+                    })
                 })
+                .collect()
+        };
+        swept
+            .into_iter()
+            .flat_map(|(i, precision, t)| {
+                let sequence_shaped = t
+                    .mix
+                    .entries
+                    .iter()
+                    .any(|e| e.workload.network.has_sequence_dim());
+                if self.seq_lens.is_empty() || !sequence_shaped {
+                    return vec![(i, precision, "-".to_string(), t)];
+                }
+                self.seq_lens
+                    .iter()
+                    .map(|&s| {
+                        let mut variant = t.clone();
+                        for entry in &mut variant.mix.entries {
+                            let w = entry.workload.clone();
+                            entry.workload = if w.decode_kv.is_some() {
+                                w.with_decode_kv(s)
+                            } else if w.network.has_sequence_dim() {
+                                w.with_seq_len(s)
+                            } else {
+                                w
+                            };
+                        }
+                        (i, precision.clone(), s.to_string(), variant)
+                    })
+                    .collect()
             })
             .collect()
     }
@@ -560,7 +627,7 @@ impl ServingScenario {
         // networks so the per-platform table builds below reuse them.
         let networks: Vec<Vec<bpvec_dnn::Network>> = traffics
             .iter()
-            .map(|(_, precision, t)| {
+            .map(|(_, precision, _, t)| {
                 t.mix
                     .entries
                     .iter()
@@ -592,7 +659,7 @@ impl ServingScenario {
                 traffics
                     .iter()
                     .zip(&networks)
-                    .map(|((_, _, t), nets)| {
+                    .map(|((_, _, _, t), nets)| {
                         Arc::new(CostTable::build_with_networks(
                             backend.as_ref(),
                             &self.memory,
@@ -616,7 +683,7 @@ impl ServingScenario {
                     .map(|(_, backend)| {
                         traffics
                             .iter()
-                            .map(|(_, _, t)| {
+                            .map(|(_, _, _, t)| {
                                 build_rung_tables(
                                     backend.as_ref(),
                                     &self.memory,
@@ -647,7 +714,7 @@ impl ServingScenario {
         let cells: Vec<ServingCell> = jobs
             .into_par_iter()
             .map(|(p, pol, cl, tr, co)| {
-                let (traffic_idx, precision, traffic) = &traffics[tr];
+                let (traffic_idx, precision, seq, traffic) = &traffics[tr];
                 let spec = controls[co].adaptive_spec();
                 let cell_tables = match control_ladder[co] {
                     None => vec![Arc::clone(&tables[p][tr])],
@@ -668,6 +735,22 @@ impl ServingScenario {
                     traffic.warmup,
                     self.sla_s,
                 );
+                // Post-warmup completions per service class, labelled so
+                // prefill/decode splits are visible per cell.
+                let mut class_counts = vec![0u64; traffic.mix.classes()];
+                for r in &outcome.records {
+                    if r.id >= traffic.warmup {
+                        class_counts[r.class] += 1;
+                    }
+                }
+                let classes = traffic
+                    .mix
+                    .entries
+                    .iter()
+                    .zip(&class_counts)
+                    .map(|(e, n)| format!("{}:{n}", e.class_label()))
+                    .collect::<Vec<_>>()
+                    .join("+");
                 ServingCell {
                     platform: self.platforms[p].0.clone(),
                     policy: self.policies[pol],
@@ -682,6 +765,8 @@ impl ServingScenario {
                     },
                     control: controls[co].to_string(),
                     offered_rps: traffic.offered_rps().unwrap_or(0.0),
+                    seq: seq.clone(),
+                    classes,
                     metrics,
                 }
             })
@@ -737,6 +822,14 @@ pub struct ServingCell {
     pub control: String,
     /// Long-run offered rate (0 for closed-loop traffic, which adapts).
     pub offered_rps: f64,
+    /// The sequence-axis value the cell ran at (`-` when the cell was not
+    /// produced by a sequence sweep): prefill/recurrent classes read it as
+    /// token count, decode classes as KV-cache length.
+    pub seq: String,
+    /// The mix's service classes with their post-warmup completion counts,
+    /// `+`-joined in class order (e.g. `prefill128:412+decode128:388`) —
+    /// the per-cell view of the prefill/decode split.
+    pub classes: String,
     /// Everything measured.
     pub metrics: ServingMetrics,
 }
@@ -775,19 +868,21 @@ impl ServingReport {
     /// Renders every cell as a CSV row for downstream analysis. The
     /// `precision` column carries the cell's precision policy and the
     /// `control` column its control policy, so precision sweeps and
-    /// adaptive-vs-static comparisons plot directly.
+    /// adaptive-vs-static comparisons plot directly; the trailing `seq` and
+    /// `classes` columns carry the sequence-axis value and the per-class
+    /// (e.g. prefill/decode) completion split.
     #[must_use]
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
             "platform,policy,cluster,traffic,precision,control,offered_rps,throughput_rps,\
              goodput_rps,p50_ms,p95_ms,p99_ms,mean_ms,max_ms,mean_queue_depth,utilization,\
              mean_batch,energy_mj_per_req,sla_attainment,full_precision_share,policy_switches,\
-             mean_replicas\n",
+             mean_replicas,seq,classes\n",
         );
         for c in &self.cells {
             let m = &c.metrics;
             out.push_str(&format!(
-                "{},{},{},{},{},{},{:.3},{:.3},{:.3},{:.4},{:.4},{:.4},{:.4},{:.4},{:.3},{:.4},{:.3},{:.5},{:.4},{:.4},{},{:.3}\n",
+                "{},{},{},{},{},{},{:.3},{:.3},{:.3},{:.4},{:.4},{:.4},{:.4},{:.4},{:.3},{:.4},{:.3},{:.5},{:.4},{:.4},{},{:.3},{},{}\n",
                 c.platform,
                 c.policy,
                 c.cluster,
@@ -810,6 +905,8 @@ impl ServingReport {
                 m.full_precision_share,
                 m.policy_switches,
                 m.mean_active_replicas,
+                c.seq,
+                c.classes,
             ));
         }
         out
@@ -978,6 +1075,86 @@ mod tests {
     }
 
     #[test]
+    fn prefill_decode_classes_sweep_the_sequence_axis() {
+        use crate::arrivals::RequestMix;
+        let bert = Workload::new(NetworkId::BertBase, BitwidthPolicy::Homogeneous8);
+        let build = || {
+            ServingScenario::new("transformer")
+                .platform(AcceleratorConfig::bpvec())
+                .policy(BatchPolicy::immediate())
+                .cluster(ClusterSpec::single())
+                .traffic(TrafficSpec::new(
+                    "chat",
+                    ArrivalProcess::poisson(20.0),
+                    RequestMix::prefill_decode(bert.clone(), 128, 1.0, 1.0),
+                    80,
+                ))
+                .traffic(TrafficSpec::new(
+                    "decode-only",
+                    ArrivalProcess::poisson(20.0),
+                    RequestMix::single(bert.clone().with_decode_kv(128)),
+                    80,
+                ))
+                .traffic(TrafficSpec::new(
+                    "cnn",
+                    ArrivalProcess::poisson(20.0),
+                    RequestMix::single(Workload::new(
+                        NetworkId::AlexNet,
+                        BitwidthPolicy::Homogeneous8,
+                    )),
+                    80,
+                ))
+                .seq_lens([64, 256])
+        };
+        let report = build().run();
+        // Sequence-shaped traffics expand per length; the CNN traffic
+        // stays a single cell with a `-` sequence value.
+        assert_eq!(report.cells.len(), 2 + 2 + 1);
+        let cell = |traffic: &str, seq: &str| {
+            report
+                .cells
+                .iter()
+                .find(|c| c.traffic == traffic && c.seq == seq)
+                .unwrap_or_else(|| panic!("no cell {traffic}/{seq}"))
+        };
+        // Prefill and decode ride as distinct classes with visible counts.
+        let chat = cell("chat", "64");
+        assert!(chat.classes.contains("prefill64:"), "{}", chat.classes);
+        assert!(chat.classes.contains("+decode64:"), "{}", chat.classes);
+        let counted: u64 = chat
+            .classes
+            .split('+')
+            .map(|c| c.split(':').nth(1).unwrap().parse::<u64>().unwrap())
+            .sum();
+        assert_eq!(counted, 80, "every admitted request lands in a class");
+        assert_eq!(cell("cnn", "-").classes, "AlexNet:80");
+        // Decode service cost grows with the KV-cache length, and arrivals
+        // stay paired along the axis, so so does the mean sojourn.
+        let d64 = cell("decode-only", "64").metrics.latency.mean_s;
+        let d256 = cell("decode-only", "256").metrics.latency.mean_s;
+        assert!(d256 > d64, "decode kv 256 {d256} vs kv 64 {d64}");
+        assert!(
+            cell("chat", "256").metrics.latency.mean_s > chat.metrics.latency.mean_s,
+            "longer prefill+decode sequences cost more"
+        );
+        // The CSV carries the trailing seq/classes columns byte-for-byte
+        // deterministically.
+        let csv = report.to_csv();
+        assert_eq!(csv, build().run().to_csv());
+        assert!(csv.contains(",256,prefill256:"), "{csv}");
+        assert!(csv.contains(",decode256:"), "{csv}");
+        assert!(csv.contains(",-,AlexNet:80"), "{csv}");
+    }
+
+    #[test]
+    fn duplicate_sequence_lengths_are_rejected() {
+        let err = small_scenario().seq_lens([128, 128]).try_run().unwrap_err();
+        assert!(err.to_string().contains("duplicate sequence"), "{err}");
+        let err = small_scenario().seq_len(0).try_run().unwrap_err();
+        assert!(err.to_string().contains("at least 1"), "{err}");
+    }
+
+    #[test]
     fn duplicate_precisions_in_the_axis_are_rejected() {
         let int4: PrecisionPolicy = "int4".parse().expect("parses");
         let err = small_scenario()
@@ -1024,7 +1201,7 @@ mod tests {
         let header = report.to_csv().lines().next().unwrap().to_string();
         assert!(header.contains("precision,control,offered_rps"), "{header}");
         assert!(
-            header.ends_with("full_precision_share,policy_switches,mean_replicas"),
+            header.ends_with("full_precision_share,policy_switches,mean_replicas,seq,classes"),
             "{header}"
         );
     }

@@ -1168,6 +1168,31 @@ mod tests {
     }
 
     #[test]
+    fn cost_table_gives_prefill_and_decode_distinct_entries() {
+        use bpvec_sim::{AcceleratorConfig, CostModel};
+        let bert = Workload::new(NetworkId::BertBase, BitwidthPolicy::Homogeneous8);
+        let t = |kv| {
+            TrafficSpec::new(
+                "pd",
+                ArrivalProcess::poisson(10.0),
+                RequestMix::prefill_decode(bert.clone(), kv, 1.0, 1.0),
+                10,
+            )
+        };
+        let backend = AcceleratorConfig::bpvec();
+        let cost = CostModel::new();
+        let short = CostTable::build(&backend, &DramSpec::ddr4(), &t(128), 1, &cost);
+        // Class 0 (prefill) runs self-attention over the whole sequence;
+        // class 1 (decode) serves one token. Distinct classes, distinct
+        // costs.
+        assert!(short.service_s(0, 1) > short.service_s(1, 1));
+        // The decode entry's cost grows with the KV-cache length (more
+        // stationary KV traffic and more attention MACs per step).
+        let long = CostTable::build(&backend, &DramSpec::ddr4(), &t(1024), 1, &cost);
+        assert!(long.service_s(1, 1) > short.service_s(1, 1));
+    }
+
+    #[test]
     fn every_request_completes_exactly_once() {
         let out = run(
             BatchPolicy::immediate(),

@@ -388,6 +388,57 @@ mod tests {
     }
 
     #[test]
+    fn transformer_stack_cost_is_the_sum_of_its_layer_costs() {
+        use bpvec_dnn::transformer_block;
+        // SplitMix64 over stack shapes: for *any* transformer stack —
+        // prefill or decode, any head geometry — the whole-network result
+        // must equal the per-layer costs summed in layer order, through
+        // both the direct engine and the memoized model.
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        let mut next = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let config = cfg();
+        for round in 0..8 {
+            let heads = 1usize << (next() % 4);
+            let head_dim = 8 * (1 + next() as usize % 8);
+            let hidden = heads * head_dim;
+            let decode = round % 2 == 1;
+            let kv_len = 1 + next() as usize % 256;
+            let q_len = if decode { 1 } else { kv_len };
+            let blocks = 1 + next() as usize % 3;
+            let mut layers = Vec::new();
+            for bi in 0..blocks {
+                transformer_block(&mut layers, &format!("b{bi}"), hidden, heads, q_len, kv_len);
+            }
+            let net = Network {
+                id: NetworkId::BertBase,
+                policy: PrecisionPolicy::homogeneous8(),
+                layers,
+            };
+            let b = config.batching.batch_for(net.id);
+            let direct = simulate(&net, &config);
+            let mut latency = 0.0f64;
+            let mut energy = 0.0f64;
+            for layer in &net.layers {
+                let c = layer_cost(layer, &config.accel, &config.dram, b);
+                latency += c.latency_s;
+                energy += c.core_energy_j + c.dram_energy_j;
+            }
+            let shape = format!("{heads}h×{head_dim} q{q_len} kv{kv_len} ×{blocks}");
+            assert_eq!(direct.latency_s, latency / b as f64, "{shape}");
+            assert_eq!(direct.energy_j, energy / b as f64, "{shape}");
+            let model = CostModel::new();
+            assert_eq!(model.simulate(&net, &config), direct, "{shape}");
+            assert_eq!(model.simulate(&net, &config), direct, "warm {shape}");
+        }
+    }
+
+    #[test]
     fn repeated_shapes_share_entries_within_one_network() {
         let net = Network::build(NetworkId::ResNet50, BitwidthPolicy::Homogeneous8);
         let model = CostModel::new();

@@ -71,7 +71,15 @@ impl WeightStore {
                     gates,
                     ..
                 } => vec![gates * hidden_size, input_size + hidden_size],
-                LayerKind::Pool { .. } => vec![0],
+                // Pooling and the attention-era ops have no stored
+                // parameters: attention GEMMs multiply two activation
+                // operands, normalization/activation ops just move bytes.
+                LayerKind::Pool { .. }
+                | LayerKind::MatMulQK { .. }
+                | LayerKind::Softmax { .. }
+                | LayerKind::AttentionV { .. }
+                | LayerKind::LayerNorm { .. }
+                | LayerKind::Gelu { .. } => vec![0],
             };
             let mut i = 0u64;
             let t = Tensor::from_fn(&shape, |_| {
@@ -137,6 +145,82 @@ fn output_bits(layers: &[Layer], li: usize) -> BitWidth {
         .map_or(layers[li].act_bits, |l| l.act_bits)
 }
 
+/// True when the layer's successor is an attention-era op. Projections
+/// feeding attention or normalization must keep their sign, so the usual
+/// inter-layer ReLU is suppressed (the block's nonlinearity is GELU).
+fn feeds_transformer_op(layers: &[Layer], li: usize) -> bool {
+    layers.get(li + 1).is_some_and(|l| {
+        matches!(
+            l.kind,
+            LayerKind::MatMulQK { .. }
+                | LayerKind::Softmax { .. }
+                | LayerKind::AttentionV { .. }
+                | LayerKind::LayerNorm { .. }
+                | LayerKind::Gelu { .. }
+        )
+    })
+}
+
+/// Splits a stacked `[3·hidden, q_len]` QKV projection output into its
+/// planes: Q stays at the QK layer's activation width, K requantizes
+/// (shift-only) to its weight width, and V to the *downstream*
+/// `AttentionV` layer's weight width. Both execution paths call this, so
+/// they see bit-identical operands.
+fn split_qkv(
+    layers: &[Layer],
+    li: usize,
+    act: &Tensor,
+    hidden: usize,
+    q_len: usize,
+) -> (Tensor, Tensor, Tensor) {
+    let layer = &layers[li];
+    let av_bits = layers[li + 1..]
+        .iter()
+        .find_map(|l| match l.kind {
+            LayerKind::AttentionV { .. } => Some(l.weight_bits),
+            _ => None,
+        })
+        .expect("MatMulQK requires a downstream AttentionV layer");
+    assert_eq!(act.len(), 3 * hidden * q_len, "stacked QKV input");
+    let data = act.as_slice();
+    let plane = |p: usize| {
+        Tensor::from_data(
+            &[hidden, q_len],
+            data[p * hidden * q_len..(p + 1) * hidden * q_len].to_vec(),
+        )
+    };
+    let in_bits = layer.act_bits.bits();
+    let k_shift = in_bits.saturating_sub(layer.weight_bits.bits());
+    let v_shift = in_bits.saturating_sub(av_bits.bits());
+    let k = reference::requantize(&plane(1), k_shift, layer.weight_bits, Signedness::Signed);
+    let v = reference::requantize(&plane(2), v_shift, av_bits, Signedness::Signed);
+    (plane(0), k, v)
+}
+
+/// Head `h` of the `QK^T` GEMM: `A = Q_h^T` (`q_len × head_dim`) against
+/// `B = K_h` (`head_dim × kv_len`).
+fn qk_head(q: &Tensor, k: &Tensor, h: usize, head_dim: usize) -> (Tensor, Tensor) {
+    let q_len = q.shape()[1];
+    let a = Tensor::from_fn(&[q_len, head_dim], |idx| {
+        q[&[h * head_dim + idx[1], idx[0]]]
+    });
+    let b = Tensor::from_fn(&[head_dim, q_len], |idx| {
+        k[&[h * head_dim + idx[0], idx[1]]]
+    });
+    (a, b)
+}
+
+/// Head `h` of the attention·V GEMM: `A = P_h` (`q_len × kv_len`) against
+/// `B = V_h^T` (`kv_len × head_dim`).
+fn av_head(p: &Tensor, v: &Tensor, h: usize, head_dim: usize, q_len: usize) -> (Tensor, Tensor) {
+    let kv_len = p.shape()[1];
+    let a = Tensor::from_fn(&[q_len, kv_len], |idx| p[&[h * q_len + idx[0], idx[1]]]);
+    let b = Tensor::from_fn(&[kv_len, head_dim], |idx| {
+        v[&[h * head_dim + idx[1], idx[0]]]
+    });
+    (a, b)
+}
+
 /// Chooses the smallest right-shift that brings `t`'s extremes into the
 /// signed `bits` range — the per-tensor fixed-point calibration step.
 fn requant_shift_for(t: &Tensor, bits: BitWidth) -> u32 {
@@ -186,8 +270,10 @@ impl NetworkExecutor {
     ) -> Result<ExecutionTrace, CoreError> {
         let mut act = input.clone();
         let mut traces = Vec::new();
+        let mut stashed_v: Option<Tensor> = None;
         for (li, layer) in layers.iter().enumerate() {
             let last = li == layers.len() - 1;
+            let no_relu = last || feeds_transformer_op(layers, li);
             let out_bits = output_bits(layers, li);
             let w = weights.layer(li);
             let (out, cycles, shift) = match layer.kind {
@@ -202,7 +288,7 @@ impl NetworkExecutor {
                         self.conv_on_array(layer, &act, w, in_channels, kernel, stride, padding)?;
                     let shift = requant_shift_for(&acc, out_bits);
                     let q = reference::requantize(&acc, shift, out_bits, Signedness::Signed);
-                    let q = if last { q } else { reference::relu(&q) };
+                    let q = if no_relu { q } else { reference::relu(&q) };
                     (q, cycles, shift)
                 }
                 LayerKind::FullyConnected { in_features, .. } => {
@@ -226,11 +312,110 @@ impl NetworkExecutor {
                     acc.reshape(&[w.shape()[0]]);
                     let shift = requant_shift_for(&acc, out_bits);
                     let q = reference::requantize(&acc, shift, out_bits, Signedness::Signed);
-                    let q = if last { q } else { reference::relu(&q) };
+                    let q = if no_relu { q } else { reference::relu(&q) };
                     (q, run.cycles, shift)
                 }
                 LayerKind::Pool { kernel, stride, .. } => {
                     (reference::maxpool2d(&act, kernel, stride), 0, 0)
+                }
+                LayerKind::MatMulQK {
+                    heads,
+                    q_len,
+                    kv_len,
+                    head_dim,
+                } => {
+                    assert_eq!(
+                        q_len, kv_len,
+                        "decode-shaped attention (q_len != kv_len) needs a KV cache; \
+                         the bit-true executor runs prefill shapes only"
+                    );
+                    let (qm, km, vm) = split_qkv(layers, li, &act, heads * head_dim, q_len);
+                    stashed_v = Some(vm);
+                    let mut scores = Tensor::zeros(&[heads * q_len, kv_len]);
+                    let mut cycles = 0u64;
+                    for h in 0..heads {
+                        let (a, bm) = qk_head(&qm, &km, h, head_dim);
+                        let pa = pack_gemm_rows(
+                            &a,
+                            layer.act_bits,
+                            self.slice_width(),
+                            Signedness::Signed,
+                        )?;
+                        let pb = pack_gemm_cols(
+                            &bm,
+                            layer.weight_bits,
+                            self.slice_width(),
+                            Signedness::Signed,
+                        )?;
+                        let run = self.array.gemm_packed(&pa, &pb)?;
+                        cycles += run.cycles;
+                        for qi in 0..q_len {
+                            for kj in 0..kv_len {
+                                scores[&[h * q_len + qi, kj]] =
+                                    run.output.as_slice()[qi * kv_len + kj];
+                            }
+                        }
+                    }
+                    let shift = requant_shift_for(&scores, out_bits);
+                    let q = reference::requantize(&scores, shift, out_bits, Signedness::Signed);
+                    (q, cycles, shift)
+                }
+                LayerKind::Softmax { rows, cols } => {
+                    assert_eq!(act.len(), rows * cols, "softmax input");
+                    let mut s = act.clone();
+                    s.reshape(&[rows, cols]);
+                    // Probabilities come out at the attention-V layer's
+                    // activation width (its `out_bits`), topping out at the
+                    // fixed-point one `1 << (bits-1)` — packed *unsigned*
+                    // downstream.
+                    (reference::softmax_fixed(&s, out_bits), 0, 0)
+                }
+                LayerKind::AttentionV {
+                    heads,
+                    q_len,
+                    kv_len,
+                    head_dim,
+                } => {
+                    let v = stashed_v
+                        .take()
+                        .expect("AttentionV requires the V operand of an upstream MatMulQK");
+                    assert_eq!(act.shape(), &[heads * q_len, kv_len], "attention probs");
+                    let mut ctx = Tensor::zeros(&[heads * head_dim, q_len, 1]);
+                    let mut cycles = 0u64;
+                    for h in 0..heads {
+                        let (a, bm) = av_head(&act, &v, h, head_dim, q_len);
+                        let pa = pack_gemm_rows(
+                            &a,
+                            layer.act_bits,
+                            self.slice_width(),
+                            Signedness::Unsigned,
+                        )?;
+                        let pb = pack_gemm_cols(
+                            &bm,
+                            layer.weight_bits,
+                            self.slice_width(),
+                            Signedness::Signed,
+                        )?;
+                        let run = self.array.gemm_packed(&pa, &pb)?;
+                        cycles += run.cycles;
+                        for qi in 0..q_len {
+                            for d in 0..head_dim {
+                                ctx[&[h * head_dim + d, qi, 0]] =
+                                    run.output.as_slice()[qi * head_dim + d];
+                            }
+                        }
+                    }
+                    let shift = requant_shift_for(&ctx, out_bits);
+                    let q = reference::requantize(&ctx, shift, out_bits, Signedness::Signed);
+                    (q, cycles, shift)
+                }
+                LayerKind::LayerNorm { features, tokens } => {
+                    assert_eq!(act.len(), features * tokens, "layer-norm input");
+                    (reference::layer_norm_fixed(&act, out_bits), 0, 0)
+                }
+                LayerKind::Gelu { elems } => {
+                    assert_eq!(act.len(), elems, "gelu input");
+                    (reference::gelu_fixed(&act, out_bits), 0, 0)
                 }
                 LayerKind::Recurrent {
                     input_size,
@@ -272,8 +457,10 @@ impl NetworkExecutor {
         weights: &WeightStore,
     ) -> Tensor {
         let mut act = input.clone();
+        let mut stashed_v: Option<Tensor> = None;
         for (li, layer) in layers.iter().enumerate() {
             let last = li == layers.len() - 1;
+            let no_relu = last || feeds_transformer_op(layers, li);
             let out_bits = output_bits(layers, li);
             let w = weights.layer(li);
             act = match layer.kind {
@@ -283,7 +470,7 @@ impl NetworkExecutor {
                     let acc = reference::conv2d(&act, w, stride, padding);
                     let shift = requant_shift_for(&acc, out_bits);
                     let q = reference::requantize(&acc, shift, out_bits, Signedness::Signed);
-                    if last {
+                    if no_relu {
                         q
                     } else {
                         reference::relu(&q)
@@ -293,7 +480,7 @@ impl NetworkExecutor {
                     let acc = reference::gemv(w, &act);
                     let shift = requant_shift_for(&acc, out_bits);
                     let q = reference::requantize(&acc, shift, out_bits, Signedness::Signed);
-                    if last {
+                    if no_relu {
                         q
                     } else {
                         reference::relu(&q)
@@ -301,6 +488,69 @@ impl NetworkExecutor {
                 }
                 LayerKind::Pool { kernel, stride, .. } => {
                     reference::maxpool2d(&act, kernel, stride)
+                }
+                LayerKind::MatMulQK {
+                    heads,
+                    q_len,
+                    kv_len,
+                    head_dim,
+                } => {
+                    assert_eq!(
+                        q_len, kv_len,
+                        "decode-shaped attention (q_len != kv_len) needs a KV cache; \
+                         the bit-true executor runs prefill shapes only"
+                    );
+                    let (qm, km, vm) = split_qkv(layers, li, &act, heads * head_dim, q_len);
+                    stashed_v = Some(vm);
+                    let mut scores = Tensor::zeros(&[heads * q_len, kv_len]);
+                    for h in 0..heads {
+                        let (a, bm) = qk_head(&qm, &km, h, head_dim);
+                        let out = reference::gemm(&a, &bm);
+                        for qi in 0..q_len {
+                            for kj in 0..kv_len {
+                                scores[&[h * q_len + qi, kj]] = out.as_slice()[qi * kv_len + kj];
+                            }
+                        }
+                    }
+                    let shift = requant_shift_for(&scores, out_bits);
+                    reference::requantize(&scores, shift, out_bits, Signedness::Signed)
+                }
+                LayerKind::Softmax { rows, cols } => {
+                    assert_eq!(act.len(), rows * cols, "softmax input");
+                    let mut s = act.clone();
+                    s.reshape(&[rows, cols]);
+                    reference::softmax_fixed(&s, out_bits)
+                }
+                LayerKind::AttentionV {
+                    heads,
+                    q_len,
+                    kv_len,
+                    head_dim,
+                } => {
+                    let v = stashed_v
+                        .take()
+                        .expect("AttentionV requires the V operand of an upstream MatMulQK");
+                    assert_eq!(act.shape(), &[heads * q_len, kv_len], "attention probs");
+                    let mut ctx = Tensor::zeros(&[heads * head_dim, q_len, 1]);
+                    for h in 0..heads {
+                        let (a, bm) = av_head(&act, &v, h, head_dim, q_len);
+                        let out = reference::gemm(&a, &bm);
+                        for qi in 0..q_len {
+                            for d in 0..head_dim {
+                                ctx[&[h * head_dim + d, qi, 0]] = out.as_slice()[qi * head_dim + d];
+                            }
+                        }
+                    }
+                    let shift = requant_shift_for(&ctx, out_bits);
+                    reference::requantize(&ctx, shift, out_bits, Signedness::Signed)
+                }
+                LayerKind::LayerNorm { features, tokens } => {
+                    assert_eq!(act.len(), features * tokens, "layer-norm input");
+                    reference::layer_norm_fixed(&act, out_bits)
+                }
+                LayerKind::Gelu { elems } => {
+                    assert_eq!(act.len(), elems, "gelu input");
+                    reference::gelu_fixed(&act, out_bits)
                 }
                 LayerKind::Recurrent {
                     input_size,
@@ -603,6 +853,83 @@ mod tests {
         let ex = executor();
         let trace = ex.execute(&layers, &x, &ws).unwrap();
         assert_eq!(trace.output, ex.execute_reference(&layers, &x, &ws));
+    }
+
+    #[test]
+    fn attention_block_matches_reference_bit_true() {
+        // The canonical ten-layer transformer block (ln → qkv → QK^T →
+        // softmax → attn·V → proj → ln → ffn → gelu → ffn), packed path vs
+        // reference, bit-for-bit.
+        let mut layers = Vec::new();
+        bpvec_dnn::transformer_block(&mut layers, "b", 32, 4, 8, 8);
+        let ws = WeightStore::synthesize(&layers, 77);
+        let x = input(32, 8, 5);
+        let x = Tensor::from_fn(&[32, 8, 1], |idx| x[&[idx[0], idx[1], 0]]);
+        let ex = executor();
+        let trace = ex.execute(&layers, &x, &ws).unwrap();
+        assert_eq!(trace.output, ex.execute_reference(&layers, &x, &ws));
+        assert_eq!(trace.output.shape(), &[32, 8, 1]);
+        assert_eq!(trace.layers.len(), 10);
+        // The attention GEMMs burn array cycles; softmax/norms do not.
+        assert!(trace.layers[2].cycles > 0, "QK^T runs on the array");
+        assert_eq!(trace.layers[3].cycles, 0, "softmax is not a GEMM");
+        assert!(trace.layers[4].cycles > 0, "attn-V runs on the array");
+    }
+
+    #[test]
+    fn quantized_attention_block_matches_reference() {
+        use bpvec_core::BitWidth;
+        let mut layers = Vec::new();
+        bpvec_dnn::transformer_block(&mut layers, "b", 16, 2, 4, 4);
+        for l in &mut layers {
+            *l = l.clone().with_bits(BitWidth::INT4, BitWidth::INT4);
+        }
+        let ws = WeightStore::synthesize(&layers, 88);
+        let x = Tensor::from_fn(&[16, 4, 1], |idx| {
+            (mix(777 ^ (idx[0] * 8 + idx[1]) as u64) % 15) as i32 - 7
+        });
+        let ex = executor();
+        let trace = ex.execute(&layers, &x, &ws).unwrap();
+        assert_eq!(trace.output, ex.execute_reference(&layers, &x, &ws));
+    }
+
+    #[test]
+    fn mixed_width_kv_attention_matches_reference() {
+        use bpvec_core::BitWidth;
+        // 8-bit activations, 4-bit K/V — the KV-quantization serving recipe.
+        let mut layers = Vec::new();
+        bpvec_dnn::transformer_block(&mut layers, "b", 16, 2, 4, 4);
+        for l in &mut layers {
+            if matches!(
+                l.kind,
+                LayerKind::MatMulQK { .. } | LayerKind::AttentionV { .. }
+            ) {
+                *l = l.clone().with_bits(BitWidth::INT8, BitWidth::INT4);
+            }
+        }
+        let ws = WeightStore::synthesize(&layers, 99);
+        let x = input(16, 4, 6);
+        let x = Tensor::from_fn(&[16, 4, 1], |idx| x[&[idx[0], idx[1], 0]]);
+        let ex = executor();
+        let trace = ex.execute(&layers, &x, &ws).unwrap();
+        assert_eq!(trace.output, ex.execute_reference(&layers, &x, &ws));
+    }
+
+    #[test]
+    #[should_panic(expected = "prefill")]
+    fn decode_attention_is_explicitly_unsupported() {
+        let layers = vec![Layer::new(
+            "qk",
+            LayerKind::MatMulQK {
+                heads: 2,
+                q_len: 1,
+                kv_len: 8,
+                head_dim: 4,
+            },
+        )];
+        let ws = WeightStore::synthesize(&layers, 1);
+        let x = Tensor::zeros(&[24, 1, 1]);
+        let _ = executor().execute(&layers, &x, &ws);
     }
 
     #[test]

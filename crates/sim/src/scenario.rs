@@ -262,6 +262,12 @@ pub struct ScenarioSpec {
     /// expanded into one variant per policy here (workload-major order),
     /// overriding the workload's own policy.
     pub precisions: Vec<PrecisionPolicy>,
+    /// The sequence-length sweep axis. Empty (the default) means every
+    /// workload keeps its own declared shape; non-empty expands each
+    /// workload *with a sequence dimension* (transformers, RNN/LSTM) into
+    /// one variant per length. Prefill workloads read the length as token
+    /// count, decode workloads as KV-cache length; CNNs are not expanded.
+    pub seq_lens: Vec<usize>,
     /// Normalization baseline; `None` means first platform + first memory.
     pub baseline: Option<CellRef>,
 }
@@ -271,15 +277,39 @@ impl ScenarioSpec {
     /// crossed with the precision axis when one is set.
     #[must_use]
     pub fn effective_workloads(&self) -> Vec<Workload> {
-        if self.precisions.is_empty() {
-            return self.workloads.clone();
+        let with_precision: Vec<Workload> = if self.precisions.is_empty() {
+            self.workloads.clone()
+        } else {
+            self.workloads
+                .iter()
+                .flat_map(|w| {
+                    self.precisions
+                        .iter()
+                        .map(|p| w.clone().with_policy(p.clone()))
+                })
+                .collect()
+        };
+        if self.seq_lens.is_empty() {
+            return with_precision;
         }
-        self.workloads
-            .iter()
+        with_precision
+            .into_iter()
             .flat_map(|w| {
-                self.precisions
+                if !w.network.has_sequence_dim() {
+                    return vec![w];
+                }
+                self.seq_lens
                     .iter()
-                    .map(|p| w.clone().with_policy(p.clone()))
+                    .map(|&s| {
+                        // Decode workloads sweep the KV-cache length,
+                        // everything else the token/timestep count.
+                        if w.decode_kv.is_some() {
+                            w.clone().with_decode_kv(s)
+                        } else {
+                            w.clone().with_seq_len(s)
+                        }
+                    })
+                    .collect()
             })
             .collect()
     }
@@ -348,6 +378,7 @@ impl Scenario {
                 workloads: Vec::new(),
                 memories: Vec::new(),
                 precisions: Vec::new(),
+                seq_lens: Vec::new(),
                 baseline: None,
             },
             evaluators: Vec::new(),
@@ -426,6 +457,23 @@ impl Scenario {
     #[must_use]
     pub fn precisions(mut self, policies: impl IntoIterator<Item = PrecisionPolicy>) -> Self {
         self.spec.precisions.extend(policies);
+        self
+    }
+
+    /// Adds one length to the sequence sweep axis. A non-empty axis expands
+    /// every workload with a sequence dimension into one variant per length
+    /// (decode workloads sweep the KV-cache length); CNN workloads are left
+    /// alone.
+    #[must_use]
+    pub fn seq_len(mut self, seq_len: usize) -> Self {
+        self.spec.seq_lens.push(seq_len);
+        self
+    }
+
+    /// Adds a batch of sequence lengths (e.g. a context-length sweep).
+    #[must_use]
+    pub fn seq_lens(mut self, seq_lens: impl IntoIterator<Item = usize>) -> Self {
+        self.spec.seq_lens.extend(seq_lens);
         self
     }
 
@@ -862,16 +910,25 @@ impl Report {
     #[must_use]
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
-            "platform,memory,network,policy,batch,latency_s,energy_j,macs,gops_per_watt\n",
+            "platform,memory,network,policy,batch,seq,latency_s,energy_j,macs,gops_per_watt\n",
         );
         for c in &self.cells {
+            // The `seq` column: decode workloads print their KV length as
+            // `decode<kv>`, prefill/recurrent ones the token count, and
+            // shape-free workloads `-`.
+            let seq = match (c.workload.decode_kv, c.workload.seq_len) {
+                (Some(kv), _) => format!("decode{kv}"),
+                (None, Some(s)) => s.to_string(),
+                (None, None) => "-".to_string(),
+            };
             out.push_str(&format!(
-                "{},{},{},{},{},{:.6e},{:.6e},{},{:.4}\n",
+                "{},{},{},{},{},{},{:.6e},{:.6e},{},{:.4}\n",
                 c.platform,
                 c.memory,
                 c.workload.network.name(),
                 c.workload.policy,
                 c.measurement.batch,
+                seq,
                 c.measurement.latency_s,
                 c.measurement.energy_j,
                 c.measurement.macs,
@@ -1215,6 +1272,55 @@ mod tests {
             .try_run()
             .unwrap_err();
         assert!(err.to_string().contains("width pairs"), "{err}");
+    }
+
+    #[test]
+    fn seq_axis_expands_sequence_workloads_only() {
+        let report = Scenario::new("context sweep")
+            .platform(AcceleratorConfig::bpvec())
+            .memory(DramSpec::ddr4())
+            .workload(Workload::new(
+                NetworkId::BertBase,
+                BitwidthPolicy::Homogeneous8,
+            ))
+            .workload(
+                Workload::new(NetworkId::BertBase, BitwidthPolicy::Homogeneous8).with_decode_kv(64),
+            )
+            .workload(Workload::new(
+                NetworkId::AlexNet,
+                BitwidthPolicy::Homogeneous8,
+            ))
+            .seq_lens([64, 256])
+            .run();
+        // 2 sequence workloads × 2 lengths + 1 CNN left alone.
+        assert_eq!(report.cells.len(), 5);
+        // Prefill cost grows superlinearly in tokens; decode grows with KV.
+        let lat = |seq: Option<usize>, kv: Option<usize>| {
+            report
+                .cells
+                .iter()
+                .find(|c| {
+                    c.workload.network == NetworkId::BertBase
+                        && c.workload.seq_len == seq
+                        && c.workload.decode_kv == kv
+                })
+                .expect("cell")
+                .measurement
+                .latency_s
+        };
+        assert!(lat(Some(256), None) > lat(Some(64), None));
+        assert!(lat(None, Some(256)) > lat(None, Some(64)));
+        assert!(
+            lat(Some(64), None) > lat(None, Some(64)),
+            "prefill > decode"
+        );
+        // The CSV carries the axis, byte-deterministically.
+        let csv = report.to_csv();
+        assert!(csv.starts_with("platform,memory,network,policy,batch,seq"));
+        assert!(csv.contains(",256,"), "{csv}");
+        assert!(csv.contains(",decode256,"), "{csv}");
+        assert!(csv.contains("AlexNet,Homogeneous8,16,-,"), "{csv}");
+        assert_eq!(csv, report.to_csv());
     }
 
     #[test]

@@ -364,6 +364,48 @@ mod tests {
         assert_eq!(run.output, reference::gemm(&a, &b));
     }
 
+    #[test]
+    fn packed_qkt_matches_dot_exact_for_every_width_and_signedness() {
+        use bpvec_core::dotprod::dot_exact;
+        // The attention score kernel QK^T, exhaustively: every operand
+        // BitWidth (1..=8) × Signedness combination on both sides, each
+        // output scalar checked against the exact dot product of the raw
+        // operand vectors.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+        let arr = small_array();
+        let sw = arr.config().cvu.slice_width;
+        let (q_len, head_dim, kv_len) = (5, 24, 6);
+        for wq in 1..=8u32 {
+            for wk in 1..=8u32 {
+                for sq in [Signedness::Signed, Signedness::Unsigned] {
+                    for sk in [Signedness::Signed, Signedness::Unsigned] {
+                        let bq = BitWidth::new(wq).unwrap();
+                        let bk = BitWidth::new(wk).unwrap();
+                        let (qlo, qhi) = bq.range(sq);
+                        let (klo, khi) = bk.range(sk);
+                        let q = random_matrix(&mut rng, q_len, head_dim, qlo, qhi);
+                        let kt = random_matrix(&mut rng, head_dim, kv_len, klo, khi);
+                        let pq = q.pack_rows(bq, sw, sq).unwrap();
+                        let pk = kt.pack_cols(bk, sw, sk).unwrap();
+                        let run = arr.gemm_packed(&pq, &pk).unwrap();
+                        for i in 0..q_len {
+                            for j in 0..kv_len {
+                                let qrow: Vec<i32> = (0..head_dim).map(|t| q[&[i, t]]).collect();
+                                let kcol: Vec<i32> = (0..head_dim).map(|t| kt[&[t, j]]).collect();
+                                let want = dot_exact(&qrow, &kcol).unwrap();
+                                assert_eq!(
+                                    i64::from(run.output[&[i, j]]),
+                                    want,
+                                    "Q {wq}b {sq:?} × K {wk}b {sk:?} at ({i},{j})"
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
     /// Packs `a`'s rows and `b`'s columns at the array's slicing.
     fn pack_operands(
         arr: &SystolicArray,

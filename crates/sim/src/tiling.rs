@@ -109,6 +109,46 @@ fn conv_tiling(
     })
 }
 
+/// Traffic for an attention GEMM (`QK^T` or `P·V`): per head, a streaming
+/// operand `[q_rows × red]` at `act_bits` meets a stationary operand
+/// `[kv_rows × kv_cols]` at `weight_bits`, producing `[q_rows × out_cols]`
+/// at `act_bits`. Unlike conv weights, the stationary operand is *per
+/// request* (each batch item has its own K/V), so batch never amortizes it.
+#[allow(clippy::too_many_arguments)]
+fn attention_gemm_tiling(
+    heads: usize,
+    q_rows: usize,
+    red: usize,
+    kv_rows: usize,
+    kv_cols: usize,
+    out_cols: usize,
+    act_bits: u32,
+    weight_bits: u32,
+    working_bytes: u64,
+    b: u64,
+) -> TilingChoice {
+    let stationary_total = bytes(b * (heads * kv_rows * kv_cols) as u64, weight_bits);
+    let stream_total = bytes(b * (heads * q_rows * red) as u64, act_bits);
+    let out_total = bytes(b * (heads * q_rows * out_cols) as u64, act_bits);
+    let stationary_head = bytes((kv_rows * kv_cols) as u64, weight_bits);
+    let half = (working_bytes / 2).max(1);
+    let (row_tile, passes) = if stationary_head <= half {
+        (q_rows, 1)
+    } else {
+        // K/V for one head exceeds its scratchpad half: stream it once per
+        // tile of query rows, sized so a row tile plus its output fits.
+        let row_bytes = bytes((red + out_cols) as u64, act_bits).max(1);
+        let rows = usize::try_from((half / row_bytes).max(1)).unwrap_or(1);
+        (rows.min(q_rows), q_rows.div_ceil(rows) as u64)
+    };
+    TilingChoice {
+        oc_tile: heads,
+        ic_tile: red,
+        oh_tile: row_tile,
+        traffic_bytes: stationary_total * passes + stream_total + out_total,
+    }
+}
+
 /// DRAM traffic (bytes) for one layer processed at batch `b`.
 ///
 /// Pooling layers move their activations through the core once.
@@ -170,6 +210,51 @@ pub fn layer_tiling(layer: &Layer, working_bytes: u64, b: u64) -> TilingChoice {
                 oc_tile: channels,
                 ic_tile: channels,
                 oh_tile: oh,
+                traffic_bytes: moved,
+            }
+        }
+        LayerKind::MatMulQK {
+            heads,
+            q_len,
+            kv_len,
+            head_dim,
+        } => attention_gemm_tiling(
+            heads,
+            q_len,
+            head_dim,
+            kv_len,
+            head_dim,
+            kv_len,
+            ab,
+            wb,
+            working_bytes,
+            b,
+        ),
+        LayerKind::AttentionV {
+            heads,
+            q_len,
+            kv_len,
+            head_dim,
+        } => attention_gemm_tiling(
+            heads,
+            q_len,
+            kv_len,
+            kv_len,
+            head_dim,
+            head_dim,
+            ab,
+            wb,
+            working_bytes,
+            b,
+        ),
+        LayerKind::Softmax { .. } | LayerKind::LayerNorm { .. } | LayerKind::Gelu { .. } => {
+            // Memory-bound normalization/activation ops: like `Pool`, the
+            // activations stream through the core exactly once, in and out.
+            let moved = bytes(b * (layer.input_elems() + layer.output_elems()), ab);
+            TilingChoice {
+                oc_tile: 1,
+                ic_tile: 1,
+                oh_tile: 1,
                 traffic_bytes: moved,
             }
         }
@@ -331,6 +416,93 @@ mod tests {
         let t = layer_traffic(&l, WORKING, 1);
         let w = (2 * 64 * 64) as u64;
         assert!(t < w + 100 * 3 * 64 + 1, "on-chip weights: {t}");
+    }
+
+    #[test]
+    fn attention_kv_never_amortizes_over_batch() {
+        // Each request carries its own K, so batch-8 traffic is ~8x batch-1
+        // (unlike FC weights, which are shared).
+        let l = Layer::new(
+            "qk",
+            LayerKind::MatMulQK {
+                heads: 12,
+                q_len: 128,
+                kv_len: 128,
+                head_dim: 64,
+            },
+        );
+        let t1 = layer_traffic(&l, WORKING, 1);
+        let t8 = layer_traffic(&l, WORKING, 8);
+        assert_eq!(t8, 8 * t1);
+    }
+
+    #[test]
+    fn long_context_attention_streams_kv_per_row_tile() {
+        let short = Layer::new(
+            "qk",
+            LayerKind::MatMulQK {
+                heads: 1,
+                q_len: 64,
+                kv_len: 64,
+                head_dim: 64,
+            },
+        );
+        let t = layer_tiling(&short, WORKING, 1);
+        // Everything fits: each operand moves exactly once.
+        assert_eq!(t.traffic_bytes, (64 * 64 + 64 * 64 + 64 * 64) as u64);
+        let long = Layer::new(
+            "qk-long",
+            LayerKind::MatMulQK {
+                heads: 1,
+                q_len: 4096,
+                kv_len: 4096,
+                head_dim: 64,
+            },
+        );
+        let tl = layer_tiling(&long, WORKING, 1);
+        // K (4096x64 bytes) exceeds half the scratchpad, so it streams more
+        // than once and traffic exceeds the move-once minimum.
+        let minimum = (4096 * 64 + 4096 * 64 + 4096 * 4096) as u64;
+        assert!(tl.traffic_bytes > minimum, "{}", tl.traffic_bytes);
+        assert!(tl.oh_tile < 4096);
+    }
+
+    #[test]
+    fn quantizing_kv_halves_the_stationary_traffic() {
+        let qk8 = Layer::new(
+            "qk",
+            LayerKind::AttentionV {
+                heads: 12,
+                q_len: 1,
+                kv_len: 2048,
+                head_dim: 64,
+            },
+        );
+        let qk4 = qk8.clone().with_bits(BitWidth::INT8, BitWidth::INT4);
+        let t8 = layer_traffic(&qk8, WORKING, 1);
+        let t4 = layer_traffic(&qk4, WORKING, 1);
+        // Decode is KV-dominated, so 4-bit V cuts traffic close to half.
+        assert!(t4 * 3 < t8 * 2, "t4 {t4} vs t8 {t8}");
+    }
+
+    #[test]
+    fn normalization_ops_move_bytes_once() {
+        for kind in [
+            LayerKind::Softmax {
+                rows: 128,
+                cols: 128,
+            },
+            LayerKind::LayerNorm {
+                features: 768,
+                tokens: 128,
+            },
+            LayerKind::Gelu { elems: 768 * 128 },
+        ] {
+            let l = Layer::new("norm", kind);
+            let t = layer_traffic(&l, WORKING, 1);
+            assert_eq!(t, l.input_elems() + l.output_elems());
+            assert_eq!(layer_traffic(&l, WORKING, 4), 4 * t);
+        }
     }
 
     #[test]

@@ -87,6 +87,14 @@ pub struct Workload {
     pub policy: PrecisionPolicy,
     /// The batching regime.
     pub batching: BatchRegime,
+    /// Sequence-length override for networks with a sequence dimension
+    /// (transformers: token count; RNN/LSTM: timesteps). `None` keeps each
+    /// model's default. Ignored by CNNs.
+    pub seq_len: Option<usize>,
+    /// When set, transformer networks build in *decode* shape: one query
+    /// token attending over a KV cache of this length. `None` means prefill
+    /// (self-attention over `seq_len` tokens).
+    pub decode_kv: Option<usize>,
 }
 
 impl Workload {
@@ -98,7 +106,25 @@ impl Workload {
             network,
             policy: policy.into(),
             batching: BatchRegime::paper_default(),
+            seq_len: None,
+            decode_kv: None,
         }
+    }
+
+    /// Overrides the sequence length (builder style). Transformers read it
+    /// as token count, RNN/LSTM as timesteps; CNNs ignore it.
+    #[must_use]
+    pub fn with_seq_len(mut self, seq_len: usize) -> Self {
+        self.seq_len = Some(seq_len);
+        self
+    }
+
+    /// Switches a transformer workload to decode shape: one query token
+    /// over a KV cache of `kv_len` entries (builder style).
+    #[must_use]
+    pub fn with_decode_kv(mut self, kv_len: usize) -> Self {
+        self.decode_kv = Some(kv_len);
+        self
     }
 
     /// Replaces the batching regime (builder style).
@@ -155,7 +181,7 @@ impl Workload {
     /// Fails with [`PrecisionError::LayerCountMismatch`] when a per-layer
     /// policy's width list does not match the network's layer count.
     pub fn try_build(&self) -> Result<Network, PrecisionError> {
-        Network::build_precise(self.network, &self.policy)
+        Network::build_shaped(self.network, &self.policy, self.seq_len, self.decode_kv)
     }
 }
 
@@ -163,11 +189,17 @@ impl fmt::Display for Workload {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} ({}, batch {})",
+            "{} ({}, batch {}",
             self.network.name(),
             self.policy,
             self.batch()
-        )
+        )?;
+        if let Some(kv) = self.decode_kv {
+            write!(f, ", decode kv {kv}")?;
+        } else if let Some(s) = self.seq_len {
+            write!(f, ", seq {s}")?;
+        }
+        write!(f, ")")
     }
 }
 
@@ -222,6 +254,25 @@ mod tests {
         assert_eq!(narrow.batching, BatchRegime::fixed(4), "batching survives");
         let net = narrow.build();
         assert!(net.layers.iter().all(|l| l.weight_bits == BitWidth::INT2));
+    }
+
+    #[test]
+    fn sequence_axis_reshapes_transformers_and_shows_in_display() {
+        let prefill = Workload::new(NetworkId::BertBase, BitwidthPolicy::Homogeneous8)
+            .with_seq_len(256)
+            .with_batching(BatchRegime::fixed(1));
+        let decode = prefill.clone().with_decode_kv(256);
+        let p = prefill.build();
+        let d = decode.build();
+        assert!(p.total_macs() > 16 * d.total_macs());
+        assert!(prefill.to_string().contains("seq 256"));
+        assert!(decode.to_string().contains("decode kv 256"));
+        // CNN workloads are unaffected by the axis.
+        let cnn = Workload::new(NetworkId::AlexNet, BitwidthPolicy::Homogeneous8);
+        assert_eq!(
+            cnn.clone().with_seq_len(999).build().total_macs(),
+            cnn.build().total_macs()
+        );
     }
 
     #[test]

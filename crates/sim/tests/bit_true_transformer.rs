@@ -1,0 +1,81 @@
+//! Bit-true execution of full transformer blocks — the attention-era
+//! counterpart to `bit_true_table1`.
+//!
+//! The executor-module unit tests cover toy-sized blocks; this integration
+//! test runs a two-block stack at real head dimensions (head_dim 64, the
+//! ViT/BERT choice) under the KV-quantized serving recipe (8-bit
+//! activations, 4-bit K/V and weights on every GEMM-shaped layer), packed
+//! path vs the reference integer pipeline, exact equality. Nightly CI runs
+//! it in release alongside the Table I suite; it is sized to stay well
+//! inside a debug-mode `cargo test` budget too.
+
+use std::time::Instant;
+
+use bpvec_core::{BitWidth, Signedness};
+use bpvec_dnn::layer::LayerKind;
+use bpvec_dnn::{transformer_block, Tensor};
+use bpvec_sim::systolic::{ArrayConfig, SystolicArray};
+use bpvec_sim::{NetworkExecutor, WeightStore};
+
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Two stacked transformer blocks at head_dim 64 (hidden 192, 3 heads,
+/// 32 tokens), mixed 8-bit-activation × 4-bit-weight/KV precision, executed
+/// bit-true on the packed systolic path and checked element-for-element
+/// against the reference.
+#[test]
+fn two_block_transformer_stack_is_bit_true_under_60s() {
+    let start = Instant::now();
+    let (hidden, heads, seq) = (192, 3, 32);
+    let mut layers = Vec::new();
+    transformer_block(&mut layers, "block0", hidden, heads, seq, seq);
+    transformer_block(&mut layers, "block1", hidden, heads, seq, seq);
+    assert_eq!(layers.len(), 20);
+    // The KV-quantization serving recipe: narrow every GEMM-shaped layer's
+    // second operand to 4 bits, leave the memory-bound ops at 8-bit.
+    for l in &mut layers {
+        if l.is_compute() {
+            *l = l.clone().with_bits(BitWidth::INT8, BitWidth::INT4);
+        }
+    }
+    assert!(layers
+        .iter()
+        .any(|l| matches!(l.kind, LayerKind::MatMulQK { .. }) && l.weight_bits == BitWidth::INT4));
+
+    let weights = WeightStore::synthesize(&layers, 0xBE27);
+    let (lo, hi) = layers[0].act_bits.range(Signedness::Signed);
+    let span = (hi - lo + 1) as u64;
+    let x = Tensor::from_fn(&[hidden, seq, 1], |idx| {
+        let i = (idx[0] * seq + idx[1]) as u64;
+        lo + (mix(0x7E57 ^ i) % span) as i32
+    });
+
+    let ex = NetworkExecutor::new(SystolicArray::new(ArrayConfig::paper_default()));
+    let trace = ex
+        .execute(&layers, &x, &weights)
+        .expect("transformer stack executes");
+    let reference = ex.execute_reference(&layers, &x, &weights);
+    assert_eq!(trace.output, reference, "transformer bit-true mismatch");
+    assert_eq!(trace.output.shape(), &[hidden, seq, 1]);
+    assert_eq!(trace.layers.len(), layers.len());
+
+    // GEMM-shaped layers burn array cycles; softmax/norm/GELU do not.
+    for (l, r) in layers.iter().zip(&trace.layers) {
+        let gemm = !matches!(
+            l.kind,
+            LayerKind::Softmax { .. } | LayerKind::LayerNorm { .. } | LayerKind::Gelu { .. }
+        );
+        assert_eq!(r.cycles > 0, gemm, "{}: cycles {}", l.name, r.cycles);
+    }
+
+    let elapsed = start.elapsed().as_secs_f64();
+    assert!(
+        elapsed < 60.0,
+        "transformer bit-true took {elapsed:.1}s, budget is 60s"
+    );
+}

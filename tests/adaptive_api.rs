@@ -117,7 +117,7 @@ fn adaptive_degrades_under_overload_and_beats_static_goodput() {
     let header = csv.lines().next().unwrap();
     assert!(header.contains("precision,control,"), "{header}");
     assert!(
-        header.ends_with("full_precision_share,policy_switches,mean_replicas"),
+        header.ends_with("full_precision_share,policy_switches,mean_replicas,seq,classes"),
         "{header}"
     );
     assert!(csv.contains(",static,"), "{csv}");

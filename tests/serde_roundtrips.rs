@@ -37,6 +37,24 @@ fn configs_serialize_to_valid_structures() {
     assert!(s.contains("ResNet18"));
     assert!(s.contains("conv1"));
 
+    // Transformer presets serialize with every attention-era layer kind
+    // present as a named variant.
+    let bert = Network::build(NetworkId::BertBase, BitwidthPolicy::Heterogeneous);
+    let s = mini_json::to_string(&bert);
+    assert!(s.contains("BertBase"));
+    assert!(s.contains("block0.qk"));
+    for kind in ["MatMulQK", "Softmax", "AttentionV", "LayerNorm", "Gelu"] {
+        assert!(s.contains(kind), "{kind} missing from {s:.200}");
+    }
+    assert!(s.contains("\"heads\":12"));
+
+    // The workload's sequence axis serializes alongside the policy.
+    let w = bpvec::sim::Workload::new(NetworkId::VitBase, BitwidthPolicy::Homogeneous8)
+        .with_seq_len(196);
+    let s = mini_json::to_string(&w);
+    assert!(s.contains("\"seq_len\":196"));
+    assert!(s.contains("\"decode_kv\":null"));
+
     let sv = SlicedValue::decompose(-77, BitWidth::INT8, SliceWidth::BIT2, Signedness::Signed)
         .expect("in range");
     let s = mini_json::to_string(&sv);
