@@ -1,0 +1,196 @@
+//! Criterion benches of the tracing instrumentation's overhead.
+//!
+//! The `bpvec-obs` contract is that instrumentation is *free when
+//! disabled*: every emission site in the serving event loop guards on a
+//! pre-normalized `Option<&dyn TraceSink>`, so a disabled sink costs one
+//! predictable branch. This bench pins that claim with a synthetic
+//! one-millisecond backend (the event loop is all that gets measured)
+//! driven three ways: the untraced entry point, the traced entry point
+//! with a disabled [`NullSink`], and a recording [`MemorySink`].
+//!
+//! Besides the criterion output, running this bench writes `BENCH_obs.json`
+//! at the workspace root for CI's perf-regression gate, and asserts the
+//! no-op-sink loop stays within 3% of the uninstrumented baseline.
+
+use std::time::Instant;
+
+use bpvec_dnn::{BitwidthPolicy, Network, NetworkId};
+use bpvec_obs::{MemorySink, NullSink};
+use bpvec_serve::{
+    run_serving, run_serving_traced, ArrivalProcess, BatchPolicy, ClusterSpec, RequestMix, Router,
+    ServiceModel, TrafficSpec,
+};
+use bpvec_sim::{DramSpec, Evaluator, Measurement, Workload};
+use criterion::{black_box, criterion_group, Criterion, Throughput};
+
+/// Fixed one-millisecond backend: cheap enough that the event loop (and
+/// any instrumentation inside it) dominates the measurement.
+struct FixedServer;
+
+const FULL_S: f64 = 1e-3;
+
+impl Evaluator for FixedServer {
+    fn label(&self) -> String {
+        "fixed".into()
+    }
+
+    fn evaluate(&self, workload: &Workload, network: &Network, _dram: &DramSpec) -> Measurement {
+        Measurement {
+            latency_s: FULL_S,
+            energy_j: 1e-3,
+            macs: network.total_macs(),
+            batch: workload.batch(),
+            gops_per_watt: 1.0,
+        }
+    }
+}
+
+const REQUESTS: u64 = 50_000;
+
+fn traffic() -> TrafficSpec {
+    TrafficSpec::new(
+        "bench",
+        // 0.8x the batch-1 capacity: busy queues, no runaway backlog.
+        ArrivalProcess::poisson(0.8 / FULL_S),
+        RequestMix::single(Workload::new(NetworkId::Rnn, BitwidthPolicy::Homogeneous8)),
+        REQUESTS,
+    )
+}
+
+/// One event-loop pass; `Mode` picks how the trace hook is wired.
+enum Mode {
+    Uninstrumented,
+    NoopSink,
+    MemorySink,
+}
+
+fn run(mode: &Mode) -> u64 {
+    let dram = DramSpec::ddr4();
+    // Immediate batch-1 dispatch maximizes events per request, making this
+    // the worst case for per-event overhead.
+    let policy = BatchPolicy::immediate();
+    let cluster = ClusterSpec::new(2, Router::JoinShortestQueue);
+    let outcome = match mode {
+        Mode::Uninstrumented => run_serving(
+            &FixedServer,
+            &dram,
+            policy,
+            cluster,
+            &traffic(),
+            ServiceModel::Deterministic,
+            17,
+        ),
+        Mode::NoopSink => run_serving_traced(
+            &FixedServer,
+            &dram,
+            policy,
+            cluster,
+            &traffic(),
+            ServiceModel::Deterministic,
+            17,
+            &NullSink,
+        ),
+        Mode::MemorySink => {
+            let sink = MemorySink::new();
+            let outcome = run_serving_traced(
+                &FixedServer,
+                &dram,
+                policy,
+                cluster,
+                &traffic(),
+                ServiceModel::Deterministic,
+                17,
+                &sink,
+            );
+            black_box(sink.len());
+            outcome
+        }
+    };
+    outcome.admitted
+}
+
+fn obs_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("obs_overhead");
+    g.throughput(Throughput::Elements(REQUESTS));
+    g.bench_function("event_loop_uninstrumented", |b| {
+        b.iter(|| black_box(run(&Mode::Uninstrumented)))
+    });
+    g.bench_function("event_loop_noop_sink", |b| {
+        b.iter(|| black_box(run(&Mode::NoopSink)))
+    });
+    g.bench_function("event_loop_memory_sink", |b| {
+        b.iter(|| black_box(run(&Mode::MemorySink)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, obs_overhead);
+
+/// Best-of-9 wall time for one configuration, seconds.
+fn time_best(mode: &Mode) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..9 {
+        let start = Instant::now();
+        black_box(run(mode));
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    benches();
+
+    // Event volume of one recorded pass, for the events-per-second figure.
+    let sink = MemorySink::new();
+    let _ = run_serving_traced(
+        &FixedServer,
+        &DramSpec::ddr4(),
+        BatchPolicy::immediate(),
+        ClusterSpec::new(2, Router::JoinShortestQueue),
+        &traffic(),
+        ServiceModel::Deterministic,
+        17,
+        &sink,
+    );
+    let events = sink.len() as f64;
+
+    let base_s = time_best(&Mode::Uninstrumented);
+    let noop_s = time_best(&Mode::NoopSink);
+    let mem_s = time_best(&Mode::MemorySink);
+    let overhead = noop_s / base_s;
+
+    let row = |name: &str, secs: f64| {
+        format!(
+            "    {{\n      \"name\": \"{name}\",\n      \"requests\": {REQUESTS},\n      \
+             \"seconds_per_run\": {secs:.6},\n      \"requests_per_sec\": {:.1}\n    }}",
+            REQUESTS as f64 / secs
+        )
+    };
+    let rows = [
+        row("event_loop_uninstrumented", base_s),
+        row("event_loop_noop_sink", noop_s),
+        format!(
+            "    {{\n      \"name\": \"event_loop_memory_sink\",\n      \"requests\": {REQUESTS},\n      \
+             \"seconds_per_run\": {mem_s:.6},\n      \"events_per_sec\": {:.1}\n    }}",
+            events / mem_s
+        ),
+    ];
+    // Machine-readable summary for CI, written at the workspace root
+    // (cargo sets a bench's cwd to the package directory).
+    let out_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_obs.json");
+    let json = format!(
+        "{{\n  \"bench\": \"obs\",\n  \"results\": [\n{}\n  ],\n  \
+         \"noop_overhead_ratio\": {overhead:.3}\n}}\n",
+        rows.join(",\n")
+    );
+    std::fs::write(out_path, &json).expect("write BENCH_obs.json");
+    println!(
+        "wrote BENCH_obs.json (no-op sink {overhead:.3}x uninstrumented, \
+         {:.0} events/s recorded)",
+        events / mem_s
+    );
+    assert!(
+        overhead < 1.03,
+        "a disabled trace sink costs {overhead:.3}x the uninstrumented loop (must stay < 1.03x)"
+    );
+}

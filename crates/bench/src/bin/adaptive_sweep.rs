@@ -7,10 +7,14 @@
 //! replica autoscaler — across single-replica and least-degraded-routed
 //! clusters. Output is the `ServingReport` CSV, byte-deterministic under
 //! the fixed seed (CI runs it twice and diffs); pass `--json` for the full
-//! report and `--scale N` to multiply every request count by `N` (the
-//! nightly soak runs `--scale 10`).
+//! report, `--scale N` to multiply every request count by `N` (the
+//! nightly soak runs `--scale 10`), and `--trace-out <path>` to write the
+//! grid's Chrome trace-event JSON (load it at <https://ui.perfetto.dev>).
+
+use std::sync::Arc;
 
 use bpvec_dnn::{BitwidthPolicy, NetworkId, PrecisionPolicy};
+use bpvec_obs::MemorySink;
 use bpvec_serve::{
     AdaptiveSpec, ArrivalProcess, AutoscalerConfig, BatchPolicy, ClusterSpec, ControllerConfig,
     RequestMix, Router, ServingScenario, TrafficSpec,
@@ -20,6 +24,7 @@ use bpvec_sim::{AcceleratorConfig, BatchRegime, DramSpec, Evaluator, Workload};
 fn main() {
     let mut scale: u64 = 1;
     let mut json = false;
+    let mut trace_out: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -31,7 +36,14 @@ fn main() {
                     .filter(|&v| v >= 1)
                     .expect("--scale takes a positive integer");
             }
-            other => panic!("unknown argument `{other}` (expected --json or --scale N)"),
+            "--trace-out" => {
+                trace_out = Some(args.next().expect("--trace-out takes a file path"));
+            }
+            other => {
+                panic!(
+                    "unknown argument `{other}` (expected --json, --scale N, or --trace-out PATH)"
+                )
+            }
         }
     }
 
@@ -73,7 +85,8 @@ fn main() {
         .chain(std::iter::repeat_n(lo_gap, n_post as usize))
         .collect();
 
-    let report = ServingScenario::new("adaptive_sweep")
+    let sink = trace_out.as_ref().map(|_| Arc::new(MemorySink::new()));
+    let mut scenario = ServingScenario::new("adaptive_sweep")
         .platform(accel)
         .policy(BatchPolicy::deadline(16, 4.0 * mean_s16))
         .cluster(ClusterSpec::single())
@@ -97,9 +110,15 @@ fn main() {
         .control(adaptive)
         .control(autoscaled)
         .sla_s(sla_s)
-        .seed(0xADA7)
-        .run();
+        .seed(0xADA7);
+    if let Some(sink) = &sink {
+        scenario = scenario.trace(sink.clone());
+    }
+    let report = scenario.run();
 
+    if let (Some(path), Some(sink)) = (&trace_out, &sink) {
+        std::fs::write(path, sink.to_chrome_json()).expect("trace file is writable");
+    }
     if json {
         println!("{}", report.to_json());
     } else {

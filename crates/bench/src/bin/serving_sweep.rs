@@ -7,15 +7,32 @@
 //! dispatch", and "over unbatched capacity — only batching or sharding
 //! survives". Output is the `ServingReport` CSV (deterministic under the
 //! fixed seed: two runs emit identical bytes); pass `--json` for the full
-//! report including latency histograms.
+//! report including latency histograms, and `--trace-out <path>` to write
+//! the grid's Chrome trace-event JSON (load it at <https://ui.perfetto.dev>).
+
+use std::sync::Arc;
 
 use bpvec_dnn::{BitwidthPolicy, NetworkId};
+use bpvec_obs::MemorySink;
 use bpvec_serve::{
     ArrivalProcess, BatchPolicy, ClusterSpec, RequestMix, Router, ServingScenario, TrafficSpec,
 };
 use bpvec_sim::{AcceleratorConfig, BatchRegime, DramSpec, Evaluator, Workload};
 
 fn main() {
+    let mut json = false;
+    let mut trace_out: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--trace-out" => {
+                trace_out = Some(args.next().expect("--trace-out takes a file path"));
+            }
+            other => panic!("unknown argument `{other}` (expected --json or --trace-out PATH)"),
+        }
+    }
+
     let accel = AcceleratorConfig::bpvec();
     let dram = DramSpec::ddr4();
     let cnn = Workload::new(NetworkId::AlexNet, BitwidthPolicy::Homogeneous8);
@@ -71,8 +88,16 @@ fn main() {
         .with_warmup(300),
     );
 
+    let sink = trace_out.as_ref().map(|_| Arc::new(MemorySink::new()));
+    if let Some(sink) = &sink {
+        scenario = scenario.trace(sink.clone());
+    }
+
     let report = scenario.run();
-    if std::env::args().any(|a| a == "--json") {
+    if let (Some(path), Some(sink)) = (&trace_out, &sink) {
+        std::fs::write(path, sink.to_chrome_json()).expect("trace file is writable");
+    }
+    if json {
         println!("{}", report.to_json());
     } else {
         print!("{}", report.to_csv());

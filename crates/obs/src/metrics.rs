@@ -1,0 +1,448 @@
+//! A thread-safe registry of named counters, gauges, and log-spaced
+//! histograms, snapshotted to deterministic JSON/CSV.
+//!
+//! The registry is the *aggregate* side of observability (the trace is the
+//! per-event side): cost-model hit/miss counters, packed-kernel MAC
+//! counts, request totals. Metrics live in a `BTreeMap`, so snapshots
+//! enumerate in name order and render byte-identically across runs.
+//!
+//! [`LogHistogram`] reuses the binning idiom of `bpvec-serve`'s
+//! `LatencyHistogram`: `bins` doubling buckets starting at `base`, with
+//! the first and last bins absorbing underflow and overflow.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Mutex;
+
+use serde::{Deserialize, Serialize};
+
+/// A log-spaced histogram: bin `i` counts observations in
+/// `[base * 2^i, base * 2^(i+1))`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LogHistogram {
+    /// Lower bound of bin 0; each bin doubles.
+    pub base: f64,
+    /// Sample count per bin.
+    pub counts: Vec<u64>,
+}
+
+impl LogHistogram {
+    /// Default bin count (with the default 1 µs base: 1 µs to ≈134 s).
+    pub const DEFAULT_BINS: usize = 28;
+    /// Default base (1 µs) — matches `bpvec-serve`'s `LatencyHistogram`.
+    pub const DEFAULT_BASE: f64 = 1e-6;
+
+    /// An empty histogram with the given base and bin count.
+    ///
+    /// # Panics
+    /// If `base` is not strictly positive or `bins` is zero.
+    #[must_use]
+    pub fn new(base: f64, bins: usize) -> Self {
+        assert!(base > 0.0, "histogram base must be positive, got {base}");
+        assert!(bins > 0, "histogram needs at least one bin");
+        LogHistogram {
+            base,
+            counts: vec![0; bins],
+        }
+    }
+
+    /// An empty histogram with the serve-latency defaults (1 µs doubling).
+    #[must_use]
+    pub fn with_defaults() -> Self {
+        Self::new(Self::DEFAULT_BASE, Self::DEFAULT_BINS)
+    }
+
+    /// Records one observation (underflow and overflow clamp into the
+    /// first and last bins).
+    pub fn observe(&mut self, value: f64) {
+        let bin = if value < self.base {
+            0
+        } else {
+            ((value / self.base).log2().floor() as usize).min(self.counts.len() - 1)
+        };
+        self.counts[bin] += 1;
+    }
+
+    /// Total samples across all bins.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Lower bound of each bin.
+    #[must_use]
+    pub fn lower_bounds(&self) -> Vec<f64> {
+        (0..self.counts.len())
+            .map(|i| self.base * (1u64 << i.min(63)) as f64)
+            .collect()
+    }
+}
+
+/// One registered metric.
+#[derive(Debug, Clone, PartialEq)]
+enum Metric {
+    Counter(u64),
+    Gauge(f64),
+    Histogram(LogHistogram),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// A thread-safe registry of named metrics.
+///
+/// Names are free-form dotted paths (`"cost.hits"`,
+/// `"serve.requests_completed"`). A name is bound to one metric kind on
+/// first use; mixing kinds under one name panics (it is a programming
+/// error, not an input error).
+#[derive(Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.lock().expect("metrics registry poisoned");
+        f.debug_struct("MetricsRegistry")
+            .field("metrics", &inner.len())
+            .finish()
+    }
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` to the named counter (created at zero on first use).
+    pub fn counter_add(&self, name: &str, delta: u64) {
+        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        match inner.entry(name.to_string()).or_insert(Metric::Counter(0)) {
+            Metric::Counter(v) => *v += delta,
+            other => panic!("metric `{name}` is a {}, not a counter", other.kind()),
+        }
+    }
+
+    /// Sets the named gauge to `value` (created on first use).
+    pub fn gauge_set(&self, name: &str, value: f64) {
+        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        match inner.entry(name.to_string()).or_insert(Metric::Gauge(0.0)) {
+            Metric::Gauge(v) => *v = value,
+            other => panic!("metric `{name}` is a {}, not a gauge", other.kind()),
+        }
+    }
+
+    /// Records one observation into the named histogram, creating it with
+    /// the serve-latency defaults (1 µs doubling, 28 bins) on first use.
+    pub fn observe(&self, name: &str, value: f64) {
+        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        match inner
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(LogHistogram::with_defaults()))
+        {
+            Metric::Histogram(h) => h.observe(value),
+            other => panic!("metric `{name}` is a {}, not a histogram", other.kind()),
+        }
+    }
+
+    /// Pre-registers a histogram with a custom base/bin count (for scales
+    /// where 1 µs doubling is wrong, e.g. per-layer MAC counts).
+    ///
+    /// # Panics
+    /// If the name is already bound to a different metric kind.
+    pub fn register_histogram(&self, name: &str, base: f64, bins: usize) {
+        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        match inner
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(LogHistogram::new(base, bins)))
+        {
+            Metric::Histogram(_) => {}
+            other => panic!("metric `{name}` is a {}, not a histogram", other.kind()),
+        }
+    }
+
+    /// Reads the named counter (`None` if absent or a different kind).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self
+            .inner
+            .lock()
+            .expect("metrics registry poisoned")
+            .get(name)
+        {
+            Some(Metric::Counter(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Reads the named gauge (`None` if absent or a different kind).
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        match self
+            .inner
+            .lock()
+            .expect("metrics registry poisoned")
+            .get(name)
+        {
+            Some(Metric::Gauge(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// A point-in-time copy of every metric, in name order.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.inner.lock().expect("metrics registry poisoned");
+        let mut counters = Vec::new();
+        let mut gauges = Vec::new();
+        let mut histograms = Vec::new();
+        for (name, metric) in inner.iter() {
+            match metric {
+                Metric::Counter(v) => counters.push(CounterSnapshot {
+                    name: name.clone(),
+                    value: *v,
+                }),
+                Metric::Gauge(v) => gauges.push(GaugeSnapshot {
+                    name: name.clone(),
+                    value: *v,
+                }),
+                Metric::Histogram(h) => histograms.push(HistogramSnapshot {
+                    name: name.clone(),
+                    base: h.base,
+                    counts: h.counts.clone(),
+                }),
+            }
+        }
+        MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+/// One counter in a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CounterSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Current count.
+    pub value: u64,
+}
+
+/// One gauge in a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GaugeSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Last value set.
+    pub value: f64,
+}
+
+/// One histogram in a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Lower bound of bin 0; each bin doubles.
+    pub base: f64,
+    /// Sample count per bin.
+    pub counts: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Total samples across all bins.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+}
+
+/// A point-in-time copy of a [`MetricsRegistry`], in name order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// All counters, by name.
+    pub counters: Vec<CounterSnapshot>,
+    /// All gauges, by name.
+    pub gauges: Vec<GaugeSnapshot>,
+    /// All histograms, by name.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+fn push_json_f64(v: f64, out: &mut String) {
+    if v.is_finite() {
+        out.push_str(&format!("{v}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+impl MetricsSnapshot {
+    /// Renders the snapshot as deterministic JSON (name order, fixed field
+    /// order, shortest-roundtrip float formatting).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counters\":[");
+        for (i, c) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"value\":{}}}",
+                c.name, c.value
+            ));
+        }
+        out.push_str("],\"gauges\":[");
+        for (i, g) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{{\"name\":\"{}\",\"value\":", g.name));
+            push_json_f64(g.value, &mut out);
+            out.push('}');
+        }
+        out.push_str("],\"histograms\":[");
+        for (i, h) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{{\"name\":\"{}\",\"base\":", h.name));
+            push_json_f64(h.base, &mut out);
+            out.push_str(",\"counts\":[");
+            for (j, c) in h.counts.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("{c}"));
+            }
+            out.push_str("]}");
+        }
+        out.push_str("]}\n");
+        out
+    }
+
+    /// Renders the snapshot as CSV: `kind,name,value` rows, where a
+    /// histogram's value is its total sample count.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("kind,name,value\n");
+        for c in &self.counters {
+            out.push_str(&format!("counter,{},{}\n", c.name, c.value));
+        }
+        for g in &self.gauges {
+            out.push_str(&format!("gauge,{},{}\n", g.name, g.value));
+        }
+        for h in &self.histograms {
+            out.push_str(&format!("histogram,{},{}\n", h.name, h.total()));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let reg = MetricsRegistry::new();
+        reg.counter_add("cost.hits", 3);
+        reg.counter_add("cost.hits", 4);
+        assert_eq!(reg.counter("cost.hits"), Some(7));
+        assert_eq!(reg.counter("missing"), None);
+    }
+
+    #[test]
+    fn gauges_overwrite() {
+        let reg = MetricsRegistry::new();
+        reg.gauge_set("queue_depth", 3.0);
+        reg.gauge_set("queue_depth", 1.5);
+        assert_eq!(reg.gauge("queue_depth"), Some(1.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "is a counter, not a gauge")]
+    fn kind_mismatch_panics() {
+        let reg = MetricsRegistry::new();
+        reg.counter_add("x", 1);
+        reg.gauge_set("x", 1.0);
+    }
+
+    #[test]
+    fn histogram_bins_match_serve_idiom() {
+        // Same binning as serve's LatencyHistogram: log2(v / 1 µs), clamped.
+        let mut h = LogHistogram::with_defaults();
+        h.observe(0.5e-6); // underflow -> bin 0
+        h.observe(1e-6); // bin 0
+        h.observe(3e-6); // bin 1 ([2 µs, 4 µs))
+        h.observe(1e9); // overflow -> last bin
+        assert_eq!(h.counts[0], 2);
+        assert_eq!(h.counts[1], 1);
+        assert_eq!(h.counts[LogHistogram::DEFAULT_BINS - 1], 1);
+        assert_eq!(h.total(), 4);
+    }
+
+    #[test]
+    fn custom_base_histograms() {
+        let reg = MetricsRegistry::new();
+        reg.register_histogram("macs", 1.0, 40);
+        reg.observe("macs", 1e9);
+        let snap = reg.snapshot();
+        assert_eq!(snap.histograms[0].counts.len(), 40);
+        assert_eq!(snap.histograms[0].total(), 1);
+    }
+
+    #[test]
+    fn snapshot_is_name_ordered_and_deterministic() {
+        let build = || {
+            let reg = MetricsRegistry::new();
+            reg.counter_add("b", 2);
+            reg.counter_add("a", 1);
+            reg.gauge_set("g", 0.25);
+            reg.observe("h", 1e-3);
+            reg.snapshot()
+        };
+        let s1 = build();
+        let s2 = build();
+        assert_eq!(s1, s2);
+        assert_eq!(s1.counters[0].name, "a");
+        assert_eq!(s1.counters[1].name, "b");
+        assert_eq!(s1.to_json(), s2.to_json());
+        assert_eq!(s1.to_csv(), s2.to_csv());
+    }
+
+    #[test]
+    fn json_snapshot_parses_and_round_trips() {
+        let reg = MetricsRegistry::new();
+        reg.counter_add("hits", 42);
+        reg.gauge_set("rate", 0.9375);
+        reg.observe("lat", 1e-3);
+        let snap = reg.snapshot();
+        let parsed: MetricsSnapshot = serde_json::from_str(&snap.to_json()).unwrap();
+        assert_eq!(parsed, snap);
+        // And the derive-side serializer agrees with the hand renderer's data.
+        let via_derive: MetricsSnapshot =
+            serde_json::from_str(&serde_json::to_string(&snap).unwrap()).unwrap();
+        assert_eq!(via_derive, snap);
+    }
+
+    #[test]
+    fn csv_has_one_row_per_metric() {
+        let reg = MetricsRegistry::new();
+        reg.counter_add("c", 1);
+        reg.gauge_set("g", 2.0);
+        reg.observe("h", 3.0);
+        let csv = reg.snapshot().to_csv();
+        assert_eq!(csv.lines().count(), 4); // header + 3 metrics
+        assert!(csv.starts_with("kind,name,value\n"));
+    }
+}

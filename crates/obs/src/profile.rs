@@ -1,0 +1,146 @@
+//! Wall-clock self-profiling — how long the *host* spends computing each
+//! sweep cell, as opposed to what the *simulated* clock says.
+//!
+//! This channel is deliberately separate from [`crate::trace`]: wall-clock
+//! readings differ run-to-run, so they must never leak into the
+//! deterministic trace (which is diffed byte-for-byte in CI). A
+//! [`WallProfiler`] aggregates per-label timings; its snapshot is for
+//! humans tuning sweep throughput, not for golden files.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Mutex;
+use std::time::Instant;
+
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+struct Agg {
+    count: u64,
+    total_s: f64,
+    max_s: f64,
+}
+
+/// Aggregated wall-clock timings, one entry per label.
+#[derive(Default)]
+pub struct WallProfiler {
+    inner: Mutex<BTreeMap<String, Agg>>,
+}
+
+impl fmt::Debug for WallProfiler {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.lock().expect("profiler poisoned");
+        f.debug_struct("WallProfiler")
+            .field("labels", &inner.len())
+            .finish()
+    }
+}
+
+/// One label's aggregated wall-clock timing in a profiler snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileEntry {
+    /// The label passed to [`WallProfiler::record`]/[`WallProfiler::time`].
+    pub label: String,
+    /// Number of recorded timings.
+    pub count: u64,
+    /// Sum of recorded durations, seconds.
+    pub total_s: f64,
+    /// Largest single duration, seconds.
+    pub max_s: f64,
+}
+
+impl WallProfiler {
+    /// An empty profiler.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one duration under `label`.
+    pub fn record(&self, label: &str, seconds: f64) {
+        let mut inner = self.inner.lock().expect("profiler poisoned");
+        let agg = inner.entry(label.to_string()).or_default();
+        agg.count += 1;
+        agg.total_s += seconds;
+        agg.max_s = agg.max_s.max(seconds);
+    }
+
+    /// Times `f` with a wall-clock [`Instant`] and records the duration
+    /// under `label`, returning `f`'s result.
+    pub fn time<T>(&self, label: &str, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let out = f();
+        self.record(label, start.elapsed().as_secs_f64());
+        out
+    }
+
+    /// A copy of every entry, in label order.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<ProfileEntry> {
+        self.inner
+            .lock()
+            .expect("profiler poisoned")
+            .iter()
+            .map(|(label, agg)| ProfileEntry {
+                label: label.clone(),
+                count: agg.count,
+                total_s: agg.total_s,
+                max_s: agg.max_s,
+            })
+            .collect()
+    }
+
+    /// Renders the snapshot as CSV: `label,count,total_s,mean_s,max_s`.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("label,count,total_s,mean_s,max_s\n");
+        for e in self.snapshot() {
+            let mean = if e.count > 0 {
+                e.total_s / e.count as f64
+            } else {
+                0.0
+            };
+            out.push_str(&format!(
+                "{},{},{},{},{}\n",
+                e.label, e.count, e.total_s, mean, e.max_s
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_aggregate_per_label() {
+        let prof = WallProfiler::new();
+        prof.record("cell", 0.5);
+        prof.record("cell", 1.5);
+        prof.record("build", 0.25);
+        let snap = prof.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].label, "build"); // name order
+        assert_eq!(snap[1].count, 2);
+        assert!((snap[1].total_s - 2.0).abs() < 1e-12);
+        assert!((snap[1].max_s - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_returns_the_closure_result() {
+        let prof = WallProfiler::new();
+        let out = prof.time("work", || 40 + 2);
+        assert_eq!(out, 42);
+        let snap = prof.snapshot();
+        assert_eq!(snap[0].count, 1);
+        assert!(snap[0].total_s >= 0.0);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let prof = WallProfiler::new();
+        prof.record("a", 1.0);
+        let csv = prof.to_csv();
+        assert!(csv.starts_with("label,count,total_s,mean_s,max_s\n"));
+        assert!(csv.contains("a,1,1,1,1\n"));
+    }
+}

@@ -1,0 +1,500 @@
+//! The event model and sinks: [`TraceEvent`], [`TraceSink`], and the two
+//! stock sinks ([`NullSink`], [`MemorySink`]).
+//!
+//! Events are stamped with **sim-time** — the deterministic clock of
+//! whatever simulation emits them — never wall-clock. The sink assigns
+//! each recorded event a monotone sequence number under its own lock, so a
+//! single-threaded emitter produces a byte-identical event stream on every
+//! run. (Multi-threaded emitters that need determinism buffer into one
+//! [`MemorySink`] per thread and forward in a fixed order; that is what
+//! `ServingScenario` does across its rayon grid.)
+
+use std::fmt;
+use std::sync::Mutex;
+
+/// Chrome trace-event phase of a [`TraceEvent`].
+///
+/// The variants map onto the trace-event format's single-character `ph`
+/// codes (see [`Phase::code`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Span start (`B`): opens a nested slice on its `(pid, tid)` track.
+    Begin,
+    /// Span end (`E`): closes the innermost open slice on its track.
+    End,
+    /// Instant event (`i`): a zero-duration marker.
+    Instant,
+    /// Complete event (`X`): a self-contained span carrying its duration.
+    Complete,
+    /// Counter sample (`C`): the `args` values plot as counter series.
+    Counter,
+    /// Metadata (`M`): names a process/thread track; timestamp ignored.
+    Meta,
+}
+
+impl Phase {
+    /// The trace-event format's `ph` character for this phase.
+    #[must_use]
+    pub fn code(self) -> char {
+        match self {
+            Phase::Begin => 'B',
+            Phase::End => 'E',
+            Phase::Instant => 'i',
+            Phase::Complete => 'X',
+            Phase::Counter => 'C',
+            Phase::Meta => 'M',
+        }
+    }
+}
+
+/// A typed argument value attached to a [`TraceEvent`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArgValue {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point.
+    F64(f64),
+    /// String.
+    Str(String),
+}
+
+impl From<u64> for ArgValue {
+    fn from(v: u64) -> Self {
+        ArgValue::U64(v)
+    }
+}
+
+impl From<u32> for ArgValue {
+    fn from(v: u32) -> Self {
+        ArgValue::U64(u64::from(v))
+    }
+}
+
+impl From<usize> for ArgValue {
+    fn from(v: usize) -> Self {
+        ArgValue::U64(v as u64)
+    }
+}
+
+impl From<i64> for ArgValue {
+    fn from(v: i64) -> Self {
+        ArgValue::I64(v)
+    }
+}
+
+impl From<f64> for ArgValue {
+    fn from(v: f64) -> Self {
+        ArgValue::F64(v)
+    }
+}
+
+impl From<&str> for ArgValue {
+    fn from(v: &str) -> Self {
+        ArgValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for ArgValue {
+    fn from(v: String) -> Self {
+        ArgValue::Str(v)
+    }
+}
+
+impl fmt::Display for ArgValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgValue::U64(v) => write!(f, "{v}"),
+            ArgValue::I64(v) => write!(f, "{v}"),
+            ArgValue::F64(v) => write!(f, "{v}"),
+            ArgValue::Str(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// One structured trace event, stamped with deterministic sim-time.
+///
+/// `ts_s` is in **simulated seconds** (the serving clock, or a modeled
+/// latency — never wall-clock). `seq` is assigned by the sink at record
+/// time and breaks ties between events sharing a timestamp, so a sorted
+/// event stream has exactly one order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Event name (e.g. `"exec"`, `"rung_switch"`).
+    pub name: String,
+    /// Category tag, used by trace viewers to filter (e.g. `"serve"`).
+    pub cat: String,
+    /// Phase: span begin/end, instant, complete, counter, or metadata.
+    pub ph: Phase,
+    /// Sim-time timestamp, seconds.
+    pub ts_s: f64,
+    /// Duration in seconds; present on [`Phase::Complete`] events only.
+    pub dur_s: Option<f64>,
+    /// Process id — one track group per replica (or per sweep column).
+    pub pid: u32,
+    /// Thread id — a lane within the `pid` track group.
+    pub tid: u32,
+    /// Monotone sequence number assigned by the sink; 0 until recorded.
+    pub seq: u64,
+    /// Typed key/value arguments, emitted in insertion order.
+    pub args: Vec<(String, ArgValue)>,
+}
+
+impl TraceEvent {
+    /// A new event with the given phase; no duration, no args, seq 0.
+    #[must_use]
+    pub fn new(ph: Phase, name: &str, ts_s: f64, pid: u32, tid: u32) -> Self {
+        TraceEvent {
+            name: name.to_string(),
+            cat: "bpvec".to_string(),
+            ph,
+            ts_s,
+            dur_s: None,
+            pid,
+            tid,
+            seq: 0,
+            args: Vec::new(),
+        }
+    }
+
+    /// A span-begin (`B`) event.
+    #[must_use]
+    pub fn begin(name: &str, ts_s: f64, pid: u32, tid: u32) -> Self {
+        Self::new(Phase::Begin, name, ts_s, pid, tid)
+    }
+
+    /// A span-end (`E`) event.
+    #[must_use]
+    pub fn end(name: &str, ts_s: f64, pid: u32, tid: u32) -> Self {
+        Self::new(Phase::End, name, ts_s, pid, tid)
+    }
+
+    /// An instant (`i`) event.
+    #[must_use]
+    pub fn instant(name: &str, ts_s: f64, pid: u32, tid: u32) -> Self {
+        Self::new(Phase::Instant, name, ts_s, pid, tid)
+    }
+
+    /// A complete (`X`) event spanning `[ts_s, ts_s + dur_s]`.
+    #[must_use]
+    pub fn complete(name: &str, ts_s: f64, dur_s: f64, pid: u32, tid: u32) -> Self {
+        let mut e = Self::new(Phase::Complete, name, ts_s, pid, tid);
+        e.dur_s = Some(dur_s);
+        e
+    }
+
+    /// A counter (`C`) sample: the viewer plots `value` as series `name`.
+    #[must_use]
+    pub fn counter(name: &str, ts_s: f64, pid: u32, tid: u32, value: f64) -> Self {
+        Self::new(Phase::Counter, name, ts_s, pid, tid).with_arg(name, value)
+    }
+
+    /// A `process_name` metadata event labelling the `pid` track group.
+    #[must_use]
+    pub fn process_name(pid: u32, name: &str) -> Self {
+        TraceEvent::new(Phase::Meta, "process_name", 0.0, pid, 0).with_arg("name", name)
+    }
+
+    /// A `thread_name` metadata event labelling one `(pid, tid)` lane.
+    #[must_use]
+    pub fn thread_name(pid: u32, tid: u32, name: &str) -> Self {
+        TraceEvent::new(Phase::Meta, "thread_name", 0.0, pid, tid).with_arg("name", name)
+    }
+
+    /// Sets the category tag (builder style).
+    #[must_use]
+    pub fn with_cat(mut self, cat: &str) -> Self {
+        cat.clone_into(&mut self.cat);
+        self
+    }
+
+    /// Appends one typed argument (builder style).
+    #[must_use]
+    pub fn with_arg(mut self, key: &str, value: impl Into<ArgValue>) -> Self {
+        self.args.push((key.to_string(), value.into()));
+        self
+    }
+}
+
+/// Where instrumented code sends its events.
+///
+/// The default methods make the disabled case free: a sink that keeps the
+/// default `enabled() == false` never has events constructed for it, and
+/// `record` is a no-op. Instrumented call sites hold an
+/// `Option<&dyn TraceSink>` normalized to `None` when the sink reports
+/// disabled, so the hot path pays one branch.
+pub trait TraceSink: Send + Sync {
+    /// Whether events should be constructed and recorded at all.
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    /// Records one event. The sink assigns the event's `seq`.
+    fn record(&self, event: TraceEvent) {
+        let _ = event;
+    }
+}
+
+impl fmt::Debug for dyn TraceSink + '_ {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dyn TraceSink {{ enabled: {} }}", self.enabled())
+    }
+}
+
+/// The no-op sink: disabled, records nothing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {}
+
+struct MemoryInner {
+    events: Vec<TraceEvent>,
+    seq: u64,
+}
+
+/// A sink that buffers events in memory, assigning each a monotone
+/// sequence number at record time.
+pub struct MemorySink {
+    inner: Mutex<MemoryInner>,
+}
+
+impl fmt::Debug for MemorySink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MemorySink")
+            .field("events", &self.len())
+            .finish()
+    }
+}
+
+impl Default for MemorySink {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MemorySink {
+    /// An empty sink.
+    #[must_use]
+    pub fn new() -> Self {
+        MemorySink {
+            inner: Mutex::new(MemoryInner {
+                events: Vec::new(),
+                seq: 0,
+            }),
+        }
+    }
+
+    /// A copy of the recorded events, in sequence order.
+    #[must_use]
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.inner
+            .lock()
+            .expect("trace sink poisoned")
+            .events
+            .clone()
+    }
+
+    /// Drains the recorded events, leaving the sink empty (the sequence
+    /// counter keeps counting, so later events still sort after).
+    #[must_use]
+    pub fn take(&self) -> Vec<TraceEvent> {
+        std::mem::take(&mut self.inner.lock().expect("trace sink poisoned").events)
+    }
+
+    /// Number of events recorded so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("trace sink poisoned").events.len()
+    }
+
+    /// Whether no events have been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Records a batch of already-ordered events, re-stamping each with
+    /// this sink's sequence counter. Used to forward per-cell buffers into
+    /// a shared sink in a deterministic order.
+    pub fn extend(&self, events: impl IntoIterator<Item = TraceEvent>) {
+        let mut inner = self.inner.lock().expect("trace sink poisoned");
+        for mut e in events {
+            e.seq = inner.seq;
+            inner.seq += 1;
+            inner.events.push(e);
+        }
+    }
+
+    /// Renders the buffered events as Chrome trace-event JSON
+    /// (see [`crate::chrome::to_chrome_json`]).
+    #[must_use]
+    pub fn to_chrome_json(&self) -> String {
+        crate::chrome::to_chrome_json(&self.inner.lock().expect("trace sink poisoned").events)
+    }
+}
+
+impl TraceSink for MemorySink {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn record(&self, mut event: TraceEvent) {
+        let mut inner = self.inner.lock().expect("trace sink poisoned");
+        event.seq = inner.seq;
+        inner.seq += 1;
+        inner.events.push(event);
+    }
+}
+
+/// Checks span-nesting discipline over an event stream.
+///
+/// Per `(pid, tid)` lane: every [`Phase::End`] must close a matching open
+/// [`Phase::Begin`] with the same name and a non-negative duration, and
+/// every lane's stack must be empty at the end. [`Phase::Complete`] events
+/// must carry a non-negative `dur_s`. Returns a description of the first
+/// violation found.
+pub fn validate_spans(events: &[TraceEvent]) -> Result<(), String> {
+    use std::collections::HashMap;
+    let mut stacks: HashMap<(u32, u32), Vec<(&str, f64)>> = HashMap::new();
+    for e in events {
+        let lane = (e.pid, e.tid);
+        match e.ph {
+            Phase::Begin => stacks.entry(lane).or_default().push((&e.name, e.ts_s)),
+            Phase::End => {
+                let Some((name, ts)) = stacks.entry(lane).or_default().pop() else {
+                    return Err(format!(
+                        "E \"{}\" at {}s on pid {} tid {} closes no open span",
+                        e.name, e.ts_s, e.pid, e.tid
+                    ));
+                };
+                if name != e.name {
+                    return Err(format!(
+                        "E \"{}\" at {}s on pid {} tid {} closes B \"{name}\"",
+                        e.name, e.ts_s, e.pid, e.tid
+                    ));
+                }
+                if e.ts_s < ts {
+                    return Err(format!(
+                        "span \"{name}\" on pid {} tid {} has negative duration ({ts}s .. {}s)",
+                        e.pid, e.tid, e.ts_s
+                    ));
+                }
+            }
+            Phase::Complete => match e.dur_s {
+                Some(d) if d >= 0.0 => {}
+                Some(d) => {
+                    return Err(format!(
+                        "X \"{}\" at {}s has negative duration {d}s",
+                        e.name, e.ts_s
+                    ));
+                }
+                None => {
+                    return Err(format!("X \"{}\" at {}s has no duration", e.name, e.ts_s));
+                }
+            },
+            Phase::Instant | Phase::Counter | Phase::Meta => {}
+        }
+    }
+    for ((pid, tid), stack) in &stacks {
+        if let Some((name, ts)) = stack.last() {
+            return Err(format!(
+                "B \"{name}\" at {ts}s on pid {pid} tid {tid} is never closed"
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_sink_is_disabled() {
+        let sink = NullSink;
+        assert!(!sink.enabled());
+        sink.record(TraceEvent::instant("x", 0.0, 0, 0)); // no-op
+    }
+
+    #[test]
+    fn memory_sink_assigns_monotone_seq() {
+        let sink = MemorySink::new();
+        for i in 0..5 {
+            sink.record(TraceEvent::instant("tick", f64::from(i), 0, 0));
+        }
+        let events = sink.events();
+        let seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn extend_restamps_sequence_numbers() {
+        let sink = MemorySink::new();
+        sink.record(TraceEvent::instant("a", 0.0, 0, 0));
+        let mut stale = TraceEvent::instant("b", 1.0, 0, 0);
+        stale.seq = 999;
+        sink.extend([stale]);
+        assert_eq!(sink.events()[1].seq, 1);
+    }
+
+    #[test]
+    fn well_formed_spans_validate() {
+        let events = vec![
+            TraceEvent::begin("outer", 0.0, 0, 0),
+            TraceEvent::begin("inner", 1.0, 0, 0),
+            TraceEvent::end("inner", 2.0, 0, 0),
+            TraceEvent::end("outer", 3.0, 0, 0),
+            TraceEvent::complete("x", 1.0, 0.5, 0, 1),
+        ];
+        assert!(validate_spans(&events).is_ok());
+    }
+
+    #[test]
+    fn unmatched_end_is_rejected() {
+        let events = vec![TraceEvent::end("orphan", 1.0, 0, 0)];
+        assert!(validate_spans(&events).unwrap_err().contains("orphan"));
+    }
+
+    #[test]
+    fn unclosed_begin_is_rejected() {
+        let events = vec![TraceEvent::begin("open", 1.0, 0, 0)];
+        assert!(validate_spans(&events)
+            .unwrap_err()
+            .contains("never closed"));
+    }
+
+    #[test]
+    fn negative_duration_is_rejected() {
+        let events = vec![
+            TraceEvent::begin("back", 2.0, 0, 0),
+            TraceEvent::end("back", 1.0, 0, 0),
+        ];
+        assert!(validate_spans(&events)
+            .unwrap_err()
+            .contains("negative duration"));
+        let x = vec![TraceEvent::complete("x", 0.0, -1.0, 0, 0)];
+        assert!(validate_spans(&x)
+            .unwrap_err()
+            .contains("negative duration"));
+    }
+
+    #[test]
+    fn mismatched_names_are_rejected() {
+        let events = vec![
+            TraceEvent::begin("a", 0.0, 0, 0),
+            TraceEvent::end("b", 1.0, 0, 0),
+        ];
+        assert!(validate_spans(&events).unwrap_err().contains("closes B"));
+    }
+
+    #[test]
+    fn lanes_are_independent() {
+        // A begin on one lane is not closable from another.
+        let events = vec![
+            TraceEvent::begin("a", 0.0, 0, 0),
+            TraceEvent::end("a", 1.0, 0, 1),
+        ];
+        assert!(validate_spans(&events).is_err());
+    }
+}

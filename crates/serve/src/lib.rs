@@ -35,14 +35,22 @@
 //!   autoscaler driven by the same signals;
 //! * [`sim`] — the event loop itself ([`run_serving`] /
 //!   [`run_serving_adaptive`]): seeded, deterministic, with paired arrival
-//!   sequences across policies and per-replica active-precision state;
+//!   sequences across policies and per-replica active-precision state; the
+//!   `_traced` variants ([`run_serving_traced`] /
+//!   [`run_serving_adaptive_traced`]) record request lifecycle spans,
+//!   queue-depth samples, and control-plane events into a
+//!   [`bpvec_obs::TraceSink`], stamped with sim-time so traces are
+//!   byte-identical across identically-seeded runs;
 //! * [`metrics`] — [`ServingMetrics`]: tail latencies, utilization, queue
 //!   depth, energy per request, goodput under an SLA, time-in-policy,
 //!   degraded-request share, switch counts;
 //! * [`scenario`] — the [`ServingScenario`] builder mirroring
 //!   [`bpvec_sim::Scenario`]: declare platforms × policies × clusters ×
 //!   traffics (× precisions) (× controls), run the grid rayon-parallel,
-//!   render the [`ServingReport`] to CSV/JSON.
+//!   render the [`ServingReport`] to CSV/JSON; observability rides along
+//!   via `.trace(sink)` (deterministic, cell-order forwarded),
+//!   `.profile(profiler)` (wall-clock, kept out of the trace), and
+//!   `.metrics(registry)` (cost-model and aggregate serving counters).
 //!
 //! ## Declaring a serving experiment
 //!
@@ -87,6 +95,6 @@ pub use metrics::{LatencyHistogram, LatencyStats, ServingMetrics};
 pub use scenario::{ServingCell, ServingError, ServingReport, ServingScenario};
 pub use scheduler::BatchPolicy;
 pub use sim::{
-    run_serving, run_serving_adaptive, PolicySwitchEvent, RequestRecord, ScaleEvent, ServiceModel,
-    ServingOutcome,
+    run_serving, run_serving_adaptive, run_serving_adaptive_traced, run_serving_traced,
+    PolicySwitchEvent, RequestRecord, ScaleEvent, ServiceModel, ServingOutcome,
 };

@@ -16,6 +16,9 @@ use std::fmt;
 use std::sync::Arc;
 
 use bpvec_dnn::PrecisionPolicy;
+use bpvec_obs::{
+    ArgValue, MemorySink, MetricsRegistry, Phase, TraceEvent, TraceSink, WallProfiler,
+};
 use bpvec_sim::{CostModel, DramSpec, Evaluator};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -221,6 +224,9 @@ pub struct ServingScenario {
     service: ServiceModel,
     sla_s: Option<f64>,
     seed: u64,
+    trace: Option<Arc<dyn TraceSink>>,
+    profile: Option<Arc<WallProfiler>>,
+    metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl fmt::Debug for ServingScenario {
@@ -241,6 +247,9 @@ impl fmt::Debug for ServingScenario {
             .field("service", &self.service)
             .field("sla_s", &self.sla_s)
             .field("seed", &self.seed)
+            .field("trace", &self.trace.is_some())
+            .field("profile", &self.profile.is_some())
+            .field("metrics", &self.metrics.is_some())
             .finish()
     }
 }
@@ -263,6 +272,9 @@ impl ServingScenario {
             service: ServiceModel::Deterministic,
             sla_s: None,
             seed: 0x5EED,
+            trace: None,
+            profile: None,
+            metrics: None,
         }
     }
 
@@ -410,6 +422,43 @@ impl ServingScenario {
     #[must_use]
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Attaches a trace sink: every cell's event loop records request
+    /// lifecycle, batch `exec` spans, queue-depth samples, and (for
+    /// adaptive cells) rung-switch/scale events into it.
+    ///
+    /// Cells simulate rayon-parallel, so each buffers into a private
+    /// in-memory sink; after the grid finishes, the buffers are forwarded
+    /// into `sink` **in cell order**, each cell's tracks remapped to a
+    /// disjoint `pid` range (cell `i` occupies `i*256 ..`) with the cell
+    /// index prefixed onto its track names. The forwarded stream is
+    /// therefore byte-deterministic regardless of rayon scheduling. A sink
+    /// whose `enabled()` is `false` disables all of this.
+    #[must_use]
+    pub fn trace(mut self, sink: Arc<dyn TraceSink>) -> Self {
+        self.trace = Some(sink);
+        self
+    }
+
+    /// Attaches a wall-clock self-profiler: each cell's *host* simulation
+    /// time is recorded under a `cell:…` label, and the table/rung-table
+    /// builds under `build:…` labels. This channel is deliberately
+    /// separate from [`ServingScenario::trace`] — wall-clock readings vary
+    /// run-to-run and must never contaminate the deterministic trace.
+    #[must_use]
+    pub fn profile(mut self, profiler: Arc<WallProfiler>) -> Self {
+        self.profile = Some(profiler);
+        self
+    }
+
+    /// Attaches a metrics registry: after the grid runs, the shared cost
+    /// model's hit/miss/entry counters (`cost.*`) and aggregate serving
+    /// totals (`serve.*`) are recorded into it.
+    #[must_use]
+    pub fn metrics(mut self, registry: Arc<MetricsRegistry>) -> Self {
+        self.metrics = Some(registry);
         self
     }
 
@@ -646,6 +695,7 @@ impl ServingScenario {
         // (platform, traffic) sized to the largest batch any policy asks
         // for — smaller-cap policies read a prefix of the same table.
         let cost = CostModel::new();
+        let build_started = self.profile.as_ref().map(|_| std::time::Instant::now());
         let max_batch = self
             .policies
             .iter()
@@ -699,6 +749,9 @@ impl ServingScenario {
                     .collect::<Result<Vec<_>, _>>()
             })
             .collect::<Result<Vec<_>, _>>()?;
+        if let (Some(prof), Some(t0)) = (&self.profile, build_started) {
+            prof.record("build:cost_tables", t0.elapsed().as_secs_f64());
+        }
         let n_traffics = traffics.len();
         let n_controls = controls.len();
         let jobs: Vec<(usize, usize, usize, usize, usize)> = (0..self.platforms.len())
@@ -711,7 +764,12 @@ impl ServingScenario {
                 })
             })
             .collect();
-        let cells: Vec<ServingCell> = jobs
+        // Cells run rayon-parallel, so a traced run buffers each cell's
+        // events into a private sink; the buffers are forwarded into the
+        // user's sink below, in cell order, so the final stream does not
+        // depend on scheduling.
+        let do_trace = self.trace.as_deref().is_some_and(TraceSink::enabled);
+        let cells_with_events: Vec<(ServingCell, Vec<TraceEvent>)> = jobs
             .into_par_iter()
             .map(|(p, pol, cl, tr, co)| {
                 let (traffic_idx, precision, seq, traffic) = &traffics[tr];
@@ -720,6 +778,12 @@ impl ServingScenario {
                     None => vec![Arc::clone(&tables[p][tr])],
                     Some(l) => rung_tables[l][p][tr].clone(),
                 };
+                let cell_sink = if do_trace {
+                    Some(MemorySink::new())
+                } else {
+                    None
+                };
+                let cell_started = self.profile.as_ref().map(|_| std::time::Instant::now());
                 let outcome = run_serving_with_control(
                     cell_tables,
                     spec,
@@ -728,7 +792,17 @@ impl ServingScenario {
                     traffic,
                     self.service,
                     mix_seed(self.seed, *traffic_idx as u64),
+                    cell_sink.as_ref().map(|s| s as &dyn TraceSink),
                 );
+                if let (Some(prof), Some(t0)) = (&self.profile, cell_started) {
+                    prof.record(
+                        &format!(
+                            "cell:{}:{}:pol{pol}:cl{cl}:{}",
+                            self.platforms[p].0, traffic.label, controls[co]
+                        ),
+                        t0.elapsed().as_secs_f64(),
+                    );
+                }
                 let metrics = ServingMetrics::from_outcome(
                     &outcome,
                     self.clusters[cl].replicas,
@@ -751,7 +825,7 @@ impl ServingScenario {
                     .map(|(e, n)| format!("{}:{n}", e.class_label()))
                     .collect::<Vec<_>>()
                     .join("+");
-                ServingCell {
+                let cell = ServingCell {
                     platform: self.platforms[p].0.clone(),
                     policy: self.policies[pol],
                     cluster: self.clusters[cl],
@@ -768,9 +842,46 @@ impl ServingScenario {
                     seq: seq.clone(),
                     classes,
                     metrics,
-                }
+                };
+                let events = cell_sink.map(|s| s.take()).unwrap_or_default();
+                (cell, events)
             })
             .collect();
+        // Forward the buffered traces in cell order: each cell's tracks
+        // move to a disjoint pid range and its track names gain the cell
+        // index, so one Perfetto view holds the whole grid.
+        let forward = self.trace.as_deref().filter(|t| t.enabled());
+        let mut cells = Vec::with_capacity(cells_with_events.len());
+        for (i, (cell, events)) in cells_with_events.into_iter().enumerate() {
+            if let Some(sink) = forward {
+                const CELL_PID_STRIDE: u32 = 256;
+                let base = u32::try_from(i).expect("cell count fits u32") * CELL_PID_STRIDE;
+                for mut e in events {
+                    e.pid += base;
+                    if e.ph == Phase::Meta && e.name == "process_name" {
+                        for (key, value) in &mut e.args {
+                            if key == "name" {
+                                if let ArgValue::Str(s) = value {
+                                    *s = format!("cell{i} {s}");
+                                }
+                            }
+                        }
+                    }
+                    sink.record(e);
+                }
+            }
+            cells.push(cell);
+        }
+        if let Some(reg) = &self.metrics {
+            cost.record_metrics(reg);
+            reg.counter_add("serve.cells", cells.len() as u64);
+            for cell in &cells {
+                reg.counter_add("serve.requests_completed", cell.metrics.completed);
+                reg.counter_add("serve.policy_switches", cell.metrics.policy_switches);
+                reg.counter_add("serve.scale_events", cell.metrics.scale_events);
+                reg.observe("serve.cell_makespan_s", cell.metrics.makespan_s);
+            }
+        }
         Ok(ServingReport {
             scenario: self.name.clone(),
             sla_s: self.sla_s,

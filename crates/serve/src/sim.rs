@@ -12,6 +12,7 @@ use std::cmp::Ordering;
 use std::collections::{BinaryHeap, VecDeque};
 use std::sync::Arc;
 
+use bpvec_obs::{TraceEvent, TraceSink};
 use bpvec_sim::{BatchRegime, CostModel, DramSpec, Evaluator};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -416,6 +417,13 @@ impl ArrivalGen {
     }
 }
 
+/// Trace lane carrying batch `exec` spans and `queue_depth` samples.
+const TID_BATCH: u32 = 0;
+/// Trace lane carrying per-request lifecycle events.
+const TID_REQ: u32 = 1;
+/// Trace lane carrying control-plane events (rung switches).
+const TID_CTRL: u32 = 2;
+
 struct Sim<'a> {
     policy: BatchPolicy,
     service: ServiceModel,
@@ -464,6 +472,12 @@ struct Sim<'a> {
     ticks_since_scale: u64,
     switch_log: Vec<PolicySwitchEvent>,
     scale_log: Vec<ScaleEvent>,
+    /// Trace sink, normalized at entry: `None` when tracing is disabled,
+    /// so the uninstrumented hot path pays one branch per emission site.
+    trace: Option<&'a dyn TraceSink>,
+    /// Class labels for trace args, precomputed once per traced run
+    /// (empty when tracing is disabled).
+    class_labels: Vec<String>,
 }
 
 impl Sim<'_> {
@@ -620,6 +634,29 @@ impl Sim<'_> {
         self.busy_s += svc;
         self.energy_j += table.energy_j(class, take);
         self.batches += 1;
+        if let Some(t) = self.trace {
+            // The batch-formation wait (oldest member's queueing time) rides
+            // as an arg on the exec span rather than as its own span: one
+            // lane, one in-flight batch per replica, so B/E nesting stays
+            // trivially well-formed.
+            let form_wait_s = self.now - requests[0].arrival_s;
+            t.record(TraceEvent::counter(
+                "queue_depth",
+                self.now,
+                shard as u32,
+                TID_BATCH,
+                self.queue_len(shard) as f64,
+            ));
+            t.record(
+                TraceEvent::begin("exec", self.now, shard as u32, TID_BATCH)
+                    .with_cat("serve")
+                    .with_arg("class", self.class_labels[class].as_str())
+                    .with_arg("batch", take)
+                    .with_arg("rung", rung)
+                    .with_arg("svc_s", svc)
+                    .with_arg("form_wait_s", form_wait_s),
+            );
+        }
         self.shards[shard].in_flight = Some(InFlight {
             requests,
             start_s: self.now,
@@ -627,6 +664,16 @@ impl Sim<'_> {
         });
         let t = self.now + svc;
         self.push(t, EventKind::Completion { shard });
+    }
+
+    /// Queue-only depth of one shard (in-flight work excluded) — the
+    /// quantity sampled onto the `queue_depth` counter track.
+    fn queue_len(&self, shard: usize) -> u64 {
+        self.shards[shard]
+            .queues
+            .iter()
+            .map(|q| q.len() as u64)
+            .sum()
     }
 
     fn on_arrival(&mut self) {
@@ -642,6 +689,21 @@ impl Sim<'_> {
             arrival_s,
         });
         self.queued += 1;
+        if let Some(t) = self.trace {
+            t.record(
+                TraceEvent::instant("arrive", arrival_s, shard as u32, TID_REQ)
+                    .with_cat("serve")
+                    .with_arg("id", id)
+                    .with_arg("class", self.class_labels[class].as_str()),
+            );
+            t.record(TraceEvent::counter(
+                "queue_depth",
+                arrival_s,
+                shard as u32,
+                TID_BATCH,
+                self.queue_len(shard) as f64,
+            ));
+        }
         if !self.traffic.process.is_closed() && self.scheduled < self.traffic.requests {
             self.scheduled += 1;
             let gap = self.gen.next_gap(&mut self.arrival_rng);
@@ -658,6 +720,31 @@ impl Sim<'_> {
             .expect("completion without an in-flight batch");
         self.last_completion_s = self.now;
         let size = batch.requests.len() as u64;
+        if let Some(t) = self.trace {
+            t.record(TraceEvent::end("exec", self.now, shard as u32, TID_BATCH).with_cat("serve"));
+            for r in &batch.requests {
+                // The queueing phase renders as a self-contained X span on
+                // the request lane (emitted at completion, but stamped with
+                // its own arrival-time window).
+                t.record(
+                    TraceEvent::complete(
+                        "queue",
+                        r.arrival_s,
+                        batch.start_s - r.arrival_s,
+                        shard as u32,
+                        TID_REQ,
+                    )
+                    .with_cat("serve")
+                    .with_arg("id", r.id),
+                );
+                t.record(
+                    TraceEvent::instant("complete", self.now, shard as u32, TID_REQ)
+                        .with_cat("serve")
+                        .with_arg("id", r.id)
+                        .with_arg("sojourn_s", self.now - r.arrival_s),
+                );
+            }
+        }
         // The sojourn window only feeds the controller's p99 signal, so
         // depth-only controllers (no latency target) skip it.
         let window_cap = self.control.map_or(0, |c| {
@@ -742,6 +829,21 @@ impl Sim<'_> {
             from_rung: rung,
             to_rung,
         });
+        if let Some(t) = self.trace {
+            t.record(
+                TraceEvent::instant("rung_switch", self.now, shard as u32, TID_CTRL)
+                    .with_cat("control")
+                    .with_arg("from", rung)
+                    .with_arg("to", to_rung),
+            );
+            t.record(TraceEvent::counter(
+                "rung",
+                self.now,
+                shard as u32,
+                TID_CTRL,
+                to_rung as f64,
+            ));
+        }
     }
 
     /// The autoscaler's tick: one activation or deactivation at most.
@@ -788,6 +890,7 @@ impl Sim<'_> {
                 replica: shard,
                 up: true,
             });
+            self.trace_scale("scale_up", shard);
         } else if per_replica <= auto.down_depth && self.active_count > auto.min_replicas {
             // Deactivate the highest-index *idle* active replica; a busy
             // replica is never drained, so no request is ever stranded.
@@ -803,6 +906,27 @@ impl Sim<'_> {
                 replica: shard,
                 up: false,
             });
+            self.trace_scale("scale_down", shard);
+        }
+    }
+
+    /// Emits one autoscaler decision onto the cluster track (pid = pool
+    /// size, past the last replica), plus an `active_replicas` sample.
+    fn trace_scale(&self, name: &str, shard: usize) {
+        if let Some(t) = self.trace {
+            let cluster_pid = self.shards.len() as u32;
+            t.record(
+                TraceEvent::instant(name, self.now, cluster_pid, 0)
+                    .with_cat("control")
+                    .with_arg("replica", shard),
+            );
+            t.record(TraceEvent::counter(
+                "active_replicas",
+                self.now,
+                cluster_pid,
+                0,
+                f64::from(self.active_count),
+            ));
         }
     }
 
@@ -923,7 +1047,67 @@ pub fn run_serving(
         policy.max_batch(),
         &cost,
     ));
-    run_serving_with_control(vec![table], None, policy, cluster, traffic, service, seed)
+    run_serving_with_control(
+        vec![table],
+        None,
+        policy,
+        cluster,
+        traffic,
+        service,
+        seed,
+        None,
+    )
+}
+
+/// [`run_serving`] with every event-loop decision recorded into `trace`:
+/// request lifecycle events (`arrive`, `queue`, `complete`), per-batch
+/// `exec` spans, and `queue_depth` counter samples, one trace process per
+/// replica. Timestamps are sim-time, so identically-seeded runs emit
+/// byte-identical traces. A sink whose `enabled()` is `false` reduces this
+/// to plain [`run_serving`].
+///
+/// # Panics
+///
+/// As [`run_serving`].
+#[must_use]
+#[allow(clippy::too_many_arguments)]
+pub fn run_serving_traced(
+    backend: &dyn Evaluator,
+    memory: &DramSpec,
+    policy: BatchPolicy,
+    cluster: ClusterSpec,
+    traffic: &TrafficSpec,
+    service: ServiceModel,
+    seed: u64,
+    trace: &dyn TraceSink,
+) -> ServingOutcome {
+    for check in [
+        crate::scenario::validate_policy(&policy),
+        crate::scenario::validate_cluster(&cluster),
+        crate::scenario::validate_traffic(traffic),
+    ] {
+        if let Err(e) = check {
+            panic!("run_serving_traced: {e}");
+        }
+    }
+    let cost = CostModel::new();
+    let table = Arc::new(CostTable::build(
+        backend,
+        memory,
+        traffic,
+        policy.max_batch(),
+        &cost,
+    ));
+    run_serving_with_control(
+        vec![table],
+        None,
+        policy,
+        cluster,
+        traffic,
+        service,
+        seed,
+        Some(trace),
+    )
 }
 
 /// [`run_serving`] under an adaptive precision controller: replicas start
@@ -969,7 +1153,66 @@ pub fn run_serving_adaptive(
         Ok(tables) => tables,
         Err(e) => panic!("run_serving_adaptive: {e}"),
     };
-    run_serving_with_control(tables, Some(spec), policy, cluster, traffic, service, seed)
+    run_serving_with_control(
+        tables,
+        Some(spec),
+        policy,
+        cluster,
+        traffic,
+        service,
+        seed,
+        None,
+    )
+}
+
+/// [`run_serving_adaptive`] with the event loop *and* the control plane
+/// recorded into `trace`: everything [`run_serving_traced`] emits, plus
+/// `rung_switch` instants (with a `rung` counter track) per replica and
+/// `scale_up`/`scale_down` instants (with an `active_replicas` counter)
+/// on a dedicated cluster track.
+///
+/// # Panics
+///
+/// As [`run_serving_adaptive`].
+#[must_use]
+#[allow(clippy::too_many_arguments)]
+pub fn run_serving_adaptive_traced(
+    backend: &dyn Evaluator,
+    memory: &DramSpec,
+    policy: BatchPolicy,
+    cluster: ClusterSpec,
+    traffic: &TrafficSpec,
+    spec: &AdaptiveSpec,
+    service: ServiceModel,
+    seed: u64,
+    trace: &dyn TraceSink,
+) -> ServingOutcome {
+    for check in [
+        crate::scenario::validate_policy(&policy),
+        crate::scenario::validate_cluster(&cluster),
+        crate::scenario::validate_traffic(traffic),
+        crate::scenario::validate_control_for_cluster(spec, &cluster),
+    ] {
+        if let Err(e) = check {
+            panic!("run_serving_adaptive_traced: {e}");
+        }
+    }
+    let cost = CostModel::new();
+    let tables = match build_rung_tables(backend, memory, traffic, spec, policy.max_batch(), &cost)
+    {
+        Ok(tables) => tables,
+        Err(e) => panic!("run_serving_adaptive_traced: {e}"),
+    };
+    run_serving_with_control(
+        tables,
+        Some(spec),
+        policy,
+        cluster,
+        traffic,
+        service,
+        seed,
+        Some(trace),
+    )
 }
 
 /// Builds one [`CostTable`] per ladder rung: the traffic's whole mix
@@ -1018,6 +1261,10 @@ pub(crate) fn build_rung_tables(
 /// control passes a single table and `None`; adaptive control passes one
 /// table per ladder rung. Every table must cover the policy's max batch
 /// for every class of `traffic`'s mix.
+///
+/// `trace` is normalized here: a disabled (or absent) sink becomes `None`,
+/// so every emission site in the loop costs exactly one branch when off.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_serving_with_control(
     tables: Vec<Arc<CostTable>>,
     control: Option<&AdaptiveSpec>,
@@ -1026,9 +1273,11 @@ pub(crate) fn run_serving_with_control(
     traffic: &TrafficSpec,
     service: ServiceModel,
     seed: u64,
+    trace: Option<&dyn TraceSink>,
 ) -> ServingOutcome {
     debug_assert!(tables.iter().all(|t| t.covers(traffic, policy.max_batch())));
     debug_assert_eq!(tables.len(), control.map_or(1, |c| c.ladder.len()));
+    let trace = trace.filter(|t| t.enabled());
     let mut arrival_rng = StdRng::seed_from_u64(seed);
     let service_rng = StdRng::seed_from_u64(seed ^ 0xA5A5_5A5A_DEAD_BEEF);
     let gen = ArrivalGen::new(&traffic.process, &mut arrival_rng);
@@ -1073,7 +1322,40 @@ pub(crate) fn run_serving_with_control(
         ticks_since_scale: u64::MAX,
         switch_log: Vec::new(),
         scale_log: Vec::new(),
+        trace,
+        class_labels: if trace.is_some() {
+            traffic
+                .mix
+                .entries
+                .iter()
+                .map(|e| e.class_label())
+                .collect()
+        } else {
+            Vec::new()
+        },
     };
+    if let Some(t) = trace {
+        // Metadata first: one named process track per replica (plus the
+        // cluster track), with the lanes labelled, so Perfetto renders the
+        // trace self-describing.
+        for i in 0..pool {
+            t.record(TraceEvent::process_name(i, &format!("replica{i}")));
+            t.record(TraceEvent::thread_name(i, TID_BATCH, "batches"));
+            t.record(TraceEvent::thread_name(i, TID_REQ, "requests"));
+            if control.is_some() {
+                t.record(TraceEvent::thread_name(i, TID_CTRL, "control"));
+            }
+        }
+        let cluster_pid = pool;
+        t.record(TraceEvent::process_name(cluster_pid, "cluster"));
+        t.record(TraceEvent::counter(
+            "active_replicas",
+            0.0,
+            cluster_pid,
+            0,
+            f64::from(initial),
+        ));
+    }
     if traffic.requests > 0 {
         match traffic.process {
             ArrivalProcess::ClosedLoop { concurrency, .. } => {

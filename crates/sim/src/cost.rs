@@ -352,6 +352,21 @@ impl CostModel {
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
     }
+
+    /// Records the memo's lookup counters into `registry` under `cost.*`:
+    /// `cost.hits`/`cost.misses` accumulate as counters (several models can
+    /// share one registry), `cost.entries` and `cost.hit_rate` are gauges
+    /// reflecting this model's current state.
+    pub fn record_metrics(&self, registry: &bpvec_obs::MetricsRegistry) {
+        let hits = self.hits();
+        let misses = self.misses();
+        registry.counter_add("cost.hits", hits);
+        registry.counter_add("cost.misses", misses);
+        registry.gauge_set("cost.entries", self.entries() as f64);
+        if hits + misses > 0 {
+            registry.gauge_set("cost.hit_rate", hits as f64 / (hits + misses) as f64);
+        }
+    }
 }
 
 #[cfg(test)]

@@ -127,6 +127,27 @@ impl ExecutionTrace {
     pub fn total_cycles(&self) -> u64 {
         self.layers.iter().map(|l| l.cycles).sum()
     }
+
+    /// Total operand-level MACs over all layers.
+    #[must_use]
+    pub fn total_macs(&self) -> u64 {
+        self.layers.iter().map(|l| l.macs).sum()
+    }
+
+    /// Records the execution's packed-kernel work into `registry` under
+    /// `exec.*`: `exec.layers`/`exec.macs`/`exec.cycles` accumulate as
+    /// counters across executions, and each layer's MAC count lands in the
+    /// `exec.layer_macs` log-histogram (base 1, so bin `i` covers
+    /// `[2^i, 2^(i+1))` MACs).
+    pub fn record_metrics(&self, registry: &bpvec_obs::MetricsRegistry) {
+        registry.counter_add("exec.layers", self.layers.len() as u64);
+        registry.counter_add("exec.macs", self.total_macs());
+        registry.counter_add("exec.cycles", self.total_cycles());
+        registry.register_histogram("exec.layer_macs", 1.0, 48);
+        for layer in &self.layers {
+            registry.observe("exec.layer_macs", layer.macs as f64);
+        }
+    }
 }
 
 /// Executes layer stacks bit-true on a systolic array of CVUs.
@@ -761,6 +782,28 @@ mod tests {
         let trace = ex.execute(&layers, &x, &ws).unwrap();
         assert_eq!(trace.output, ex.execute_reference(&layers, &x, &ws));
         assert!(trace.total_cycles() > 0);
+    }
+
+    #[test]
+    fn execution_trace_records_packed_kernel_work_into_registry() {
+        let layers = vec![conv("c1", 3, 8, 3, 1, 1, 8)];
+        let ws = WeightStore::synthesize(&layers, 11);
+        let trace = executor().execute(&layers, &input(3, 8, 1), &ws).unwrap();
+        let registry = bpvec_obs::MetricsRegistry::new();
+        trace.record_metrics(&registry);
+        assert_eq!(
+            registry.counter("exec.layers"),
+            Some(trace.layers.len() as u64)
+        );
+        assert_eq!(registry.counter("exec.macs"), Some(trace.total_macs()));
+        assert_eq!(registry.counter("exec.cycles"), Some(trace.total_cycles()));
+        let snap = registry.snapshot();
+        let hist = snap
+            .histograms
+            .iter()
+            .find(|h| h.name == "exec.layer_macs")
+            .expect("layer-MAC histogram registered");
+        assert_eq!(hist.total(), trace.layers.len() as u64);
     }
 
     #[test]

@@ -35,6 +35,7 @@ use std::fmt;
 use std::sync::Arc;
 
 use bpvec_dnn::{Network, NetworkId, PrecisionPolicy};
+use bpvec_obs::{MetricsRegistry, TraceEvent, TraceSink, WallProfiler};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -338,6 +339,12 @@ pub struct Scenario {
     /// One evaluator per spec platform; `None` marks a deserialized custom
     /// platform awaiting [`Scenario::attach`].
     evaluators: Vec<Option<Arc<dyn Evaluator>>>,
+    /// Observability attachments. Not part of the declaration: they do not
+    /// serialize, compare, or Debug-print (a deserialized scenario starts
+    /// with none attached).
+    trace: Option<Arc<dyn TraceSink>>,
+    profile: Option<Arc<WallProfiler>>,
+    metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl fmt::Debug for Scenario {
@@ -382,6 +389,9 @@ impl Scenario {
                 baseline: None,
             },
             evaluators: Vec::new(),
+            trace: None,
+            profile: None,
+            metrics: None,
         }
     }
 
@@ -398,7 +408,13 @@ impl Scenario {
                 PlatformSpec::Custom(_) => None,
             })
             .collect();
-        Scenario { spec, evaluators }
+        Scenario {
+            spec,
+            evaluators,
+            trace: None,
+            profile: None,
+            metrics: None,
+        }
     }
 
     /// The scenario's serializable declaration.
@@ -485,6 +501,37 @@ impl Scenario {
             platform: platform.into(),
             memory: memory.into(),
         });
+        self
+    }
+
+    /// Attaches a trace sink. Grid evaluation is analytical (no event
+    /// loop), so the run emits a **synthetic timeline**: one trace process
+    /// per (platform, memory) column, with each workload's modeled latency
+    /// laid out as a complete (`X`) span in workload order. Timestamps are
+    /// model outputs — never wall-clock — so the trace is byte-identical
+    /// across runs. Not part of the declaration: it does not serialize or
+    /// affect comparison.
+    #[must_use]
+    pub fn trace(mut self, sink: Arc<dyn TraceSink>) -> Self {
+        self.trace = Some(sink);
+        self
+    }
+
+    /// Attaches a wall-clock self-profiler recording how long the *host*
+    /// spends building networks (`build:networks`) and evaluating cells
+    /// (`cell`, one aggregate entry). Kept out of the deterministic trace.
+    #[must_use]
+    pub fn profile(mut self, profiler: Arc<WallProfiler>) -> Self {
+        self.profile = Some(profiler);
+        self
+    }
+
+    /// Attaches a metrics registry: after the grid runs, the shared cost
+    /// model's hit/miss/entry counters land under `cost.*`, plus a
+    /// `scenario.cells` total.
+    #[must_use]
+    pub fn metrics(mut self, registry: Arc<MetricsRegistry>) -> Self {
+        self.metrics = Some(registry);
         self
     }
 
@@ -625,6 +672,7 @@ impl Scenario {
         };
         // Instantiate each network once; every cell borrows it. Precision
         // validation surfaces here instead of panicking mid-grid.
+        let build_started = self.profile.as_ref().map(|_| std::time::Instant::now());
         let networks: Vec<Network> = workloads
             .iter()
             .map(|w| {
@@ -632,6 +680,9 @@ impl Scenario {
                     .map_err(|e| ScenarioError(format!("workload `{w}`: {e}")))
             })
             .collect::<Result<_, _>>()?;
+        if let (Some(prof), Some(t0)) = (&self.profile, build_started) {
+            prof.record("build:networks", t0.elapsed().as_secs_f64());
+        }
         // One memoized cost model for the whole grid: cells sharing layer
         // shapes, precisions, batches and platform/memory numbers share the
         // per-layer work (bit-identically; see `crate::cost`).
@@ -647,8 +698,14 @@ impl Scenario {
             .map(|(p, m, w)| {
                 let workload = workloads[w].clone();
                 let dram = spec.memories[m];
+                let cell_started = self.profile.as_ref().map(|_| std::time::Instant::now());
                 let measurement =
                     evaluators[p].evaluate_with(&workload, &networks[w], &dram, &cost);
+                if let (Some(prof), Some(t0)) = (&self.profile, cell_started) {
+                    // One aggregate label: count = cells, total/max across
+                    // the grid.
+                    prof.record("cell", t0.elapsed().as_secs_f64());
+                }
                 Cell {
                     platform: labels[p].clone(),
                     memory: dram.name.to_string(),
@@ -657,10 +714,44 @@ impl Scenario {
                 }
             })
             .collect();
+        // The synthetic trace: cells are already in deterministic
+        // platform-major order, so emitting sequentially here is
+        // byte-stable regardless of how rayon scheduled the grid.
+        if let Some(sink) = self.trace.as_deref().filter(|t| t.enabled()) {
+            let n_workloads = n_workloads.max(1);
+            let mut cursor = vec![0.0f64; spec.platforms.len() * spec.memories.len()];
+            let mut named = vec![false; cursor.len()];
+            for (i, cell) in cells.iter().enumerate() {
+                let col = i / n_workloads;
+                let pid = u32::try_from(col).expect("column count fits u32");
+                if !named[col] {
+                    named[col] = true;
+                    sink.record(TraceEvent::process_name(
+                        pid,
+                        &format!("{} + {}", cell.platform, cell.memory),
+                    ));
+                }
+                let dur = cell.measurement.latency_s;
+                sink.record(
+                    TraceEvent::complete(&cell.workload.to_string(), cursor[col], dur, pid, 0)
+                        .with_cat("model")
+                        .with_arg("macs", cell.measurement.macs)
+                        .with_arg("energy_j", cell.measurement.energy_j)
+                        .with_arg("batch", cell.measurement.batch),
+                );
+                cursor[col] += dur;
+            }
+        }
+        if let Some(reg) = &self.metrics {
+            cost.record_metrics(reg);
+            reg.counter_add("scenario.cells", cells.len() as u64);
+        }
         Ok(Report {
             scenario: spec.name.clone(),
             baseline,
             cells,
+            cache_hits: cost.hits(),
+            cache_misses: cost.misses(),
         })
     }
 }
@@ -751,9 +842,24 @@ pub struct Report {
     pub baseline: CellRef,
     /// Raw cells, ordered platform-major, then memory, then workload.
     pub cells: Vec<Cell>,
+    /// Cost-model lookups served from the shared memo during the run.
+    pub cache_hits: u64,
+    /// Cost-model lookups that had to compute during the run.
+    pub cache_misses: u64,
 }
 
 impl Report {
+    /// Fraction of cost-model lookups served from the memo (0 when the
+    /// run made no lookups).
+    #[must_use]
+    pub fn cache_hit_rate(&self) -> f64 {
+        let lookups = self.cache_hits + self.cache_misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / lookups as f64
+        }
+    }
     /// Cells of one (platform, memory) column, in workload order.
     fn column(&self, platform: &str, memory: &str) -> Vec<&Cell> {
         self.cells
@@ -1178,6 +1284,85 @@ mod tests {
         let json = report.to_json();
         let back: Report = serde_json::from_str(&json).unwrap();
         assert_eq!(report, back);
+    }
+
+    #[test]
+    fn warm_sweep_cache_hit_rate_exceeds_90_percent() {
+        // BERT's 12 identical transformer blocks repeat the same layer
+        // shapes, and the memory *name* is not part of the cost key (see
+        // `crate::cost`), so a twin of DDR4 under another name turns the
+        // whole second column into memo hits.
+        let report = Scenario::new("warm")
+            .platform(AcceleratorConfig::bpvec())
+            .memory(DramSpec::ddr4())
+            .memory(DramSpec::custom("DDR4-twin", 16.0, 15.0))
+            .workload(Workload::new(
+                NetworkId::BertBase,
+                BitwidthPolicy::Homogeneous8,
+            ))
+            .run();
+        assert!(report.cache_hits + report.cache_misses > 0);
+        assert!(
+            report.cache_hit_rate() > 0.9,
+            "warm sweep hit rate {} (hits {}, misses {})",
+            report.cache_hit_rate(),
+            report.cache_hits,
+            report.cache_misses
+        );
+        // The counters surface in the JSON report.
+        let json = report.to_json();
+        assert!(json.contains("\"cache_hits\""));
+        assert!(json.contains("\"cache_misses\""));
+    }
+
+    #[test]
+    fn observability_axes_record_trace_metrics_and_profile() {
+        use bpvec_obs::{validate_spans, MemorySink, MetricsRegistry, Phase, WallProfiler};
+        let sink = Arc::new(MemorySink::new());
+        let registry = Arc::new(MetricsRegistry::new());
+        let profiler = Arc::new(WallProfiler::new());
+        let report = fig5_scenario()
+            .trace(Arc::clone(&sink) as Arc<dyn TraceSink>)
+            .metrics(Arc::clone(&registry))
+            .profile(Arc::clone(&profiler))
+            .run();
+        // One synthetic X span per cell, one process-name meta per column.
+        let events = sink.events();
+        validate_spans(&events).unwrap();
+        let spans = events.iter().filter(|e| e.ph == Phase::Complete).count();
+        assert_eq!(spans, report.cells.len());
+        let metas = events.iter().filter(|e| e.ph == Phase::Meta).count();
+        assert_eq!(metas, 2); // two platforms × one memory
+                              // The registry saw the shared cost model and the cell count.
+        assert_eq!(
+            registry.counter("cost.hits"),
+            Some(report.cache_hits),
+            "registry mirrors the report's cache counters"
+        );
+        assert_eq!(
+            registry.counter("scenario.cells"),
+            Some(report.cells.len() as u64)
+        );
+        // The profiler recorded one aggregate entry per cell.
+        let cell_prof = profiler
+            .snapshot()
+            .into_iter()
+            .find(|e| e.label == "cell")
+            .expect("cell timings recorded");
+        assert_eq!(cell_prof.count, report.cells.len() as u64);
+    }
+
+    #[test]
+    fn traces_from_identical_runs_are_byte_identical() {
+        use bpvec_obs::MemorySink;
+        let run = || {
+            let sink = Arc::new(MemorySink::new());
+            let _ = fig5_scenario()
+                .trace(Arc::clone(&sink) as Arc<dyn TraceSink>)
+                .run();
+            sink.to_chrome_json()
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

@@ -18,15 +18,33 @@
 //! * **fidelity** — before the overload hits, at least 80% of requests are
 //!   served at full precision (the controller does not degrade a healthy
 //!   system).
+//! * **observability** — replaying the overload on a 1→3 autoscaled cluster
+//!   under a trace sink yields a well-formed Chrome trace that reaches all
+//!   three replicas and records rung-switch and scale instants. Pass
+//!   `--trace-out <path>` to write the trace JSON and load it at
+//!   <https://ui.perfetto.dev>.
 
 use bpvec::dnn::{BitwidthPolicy, NetworkId, PrecisionPolicy};
+use bpvec::obs::{validate_spans, MemorySink, Phase};
 use bpvec::serve::{
-    run_serving_adaptive, AdaptiveSpec, ArrivalProcess, BatchPolicy, ClusterSpec, ControllerConfig,
-    RequestMix, ServiceModel, ServingScenario, TrafficSpec,
+    run_serving_adaptive, run_serving_adaptive_traced, AdaptiveSpec, ArrivalProcess,
+    AutoscalerConfig, BatchPolicy, ClusterSpec, ControllerConfig, RequestMix, ServiceModel,
+    ServingScenario, TrafficSpec,
 };
 use bpvec::sim::{AcceleratorConfig, BatchRegime, DramSpec, Evaluator, Workload};
 
 fn main() {
+    let mut trace_out: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--trace-out" => {
+                trace_out = Some(args.next().expect("--trace-out takes a file path"));
+            }
+            other => panic!("unknown argument `{other}` (expected --trace-out PATH)"),
+        }
+    }
+
     let accel = AcceleratorConfig::bpvec();
     let dram = DramSpec::ddr4();
     let w = Workload::new(NetworkId::AlexNet, BitwidthPolicy::Homogeneous8);
@@ -165,5 +183,72 @@ fn main() {
         pre_share >= 0.80,
         "pre-overload full-precision share {pre_share:.3} must stay >= 0.80"
     );
+
+    // Replay a harsher overload on a 1→3 autoscaled cluster under a trace
+    // sink. The burst runs at 4× the single-replica static-8b capacity, so
+    // even a fully recruited 3-replica cluster cannot hold it at 8-bit:
+    // the autoscaler and the precision ladder must both engage, and the
+    // trace must carry the full request lifecycle plus both kinds of
+    // control-plane instants.
+    let gaps4: Vec<f64> = std::iter::repeat_n(lo_gap, n_pre)
+        .chain(std::iter::repeat_n(1.0 / (4.0 * cap0), n_over))
+        .chain(std::iter::repeat_n(lo_gap, n_post))
+        .collect();
+    let traffic4 = TrafficSpec::new(
+        "step-4x",
+        ArrivalProcess::trace(gaps4),
+        RequestMix::single(w.clone()),
+        (n_pre + n_over + n_post) as u64,
+    );
+    let autoscaled = spec.clone().with_autoscaler(AutoscalerConfig::new(1, 3));
+    let sink = MemorySink::new();
+    let outcome3 = run_serving_adaptive_traced(
+        &accel,
+        &dram,
+        policy,
+        cluster,
+        &traffic4,
+        &autoscaled,
+        ServiceModel::Deterministic,
+        bpvec::serve::ServingScenario::mix_seed_for(seed, 0),
+        &sink,
+    );
+    let mut active = 1i64;
+    let mut peak = active;
+    for e in &outcome3.scale_events {
+        active += if e.up { 1 } else { -1 };
+        peak = peak.max(active);
+    }
+    let events = sink.take();
+    validate_spans(&events).expect("every exec span opens and closes in order");
+    let named = |name: &str| events.iter().filter(|e| e.name == name).count();
+    println!(
+        "\nautoscaled replay (1..=3 replicas): peak {peak} active, {} scale events, \
+         {} rung switches; trace = {} events ({} exec spans, {} queue-depth samples)",
+        outcome3.scale_events.len(),
+        outcome3.policy_switches.len(),
+        events.len(),
+        events.iter().filter(|e| e.ph == Phase::Begin).count(),
+        named("queue_depth"),
+    );
+    assert!(
+        peak == 3,
+        "the 2x burst must recruit all 3 replicas (peak {peak})"
+    );
+    for name in [
+        "arrive",
+        "exec",
+        "queue",
+        "complete",
+        "queue_depth",
+        "rung_switch",
+        "scale_up",
+    ] {
+        assert!(named(name) > 0, "trace must contain `{name}` events");
+    }
+    if let Some(path) = &trace_out {
+        std::fs::write(path, bpvec::obs::to_chrome_json(&events)).expect("trace file is writable");
+        println!("wrote Chrome trace to {path}");
+    }
     println!("OK: adaptive ladder doubles SLA goodput and holds full precision until the burst");
 }

@@ -1,0 +1,193 @@
+#!/usr/bin/env python3
+"""CI trace validator: check a Chrome trace-event JSON file produced by
+`bpvec-obs` for structural well-formedness.
+
+The exporters in `crates/obs` promise Perfetto-loadable output. This script
+verifies the promise without a browser in the loop:
+
+* the file parses as JSON and carries a `traceEvents` list;
+* every event is an object with the required `ph`, `ts`, and `pid` fields,
+  a known phase code (B/E/i/X/C/M), and a non-negative finite timestamp;
+* complete (`X`) events carry a non-negative `dur`;
+* instant (`i`) events carry a scope `s`;
+* per `(pid, tid)` track, duration events nest properly: every `B` has a
+  matching same-name `E` at a timestamp no earlier than its begin, and no
+  track ends with an open span.
+
+`--self-test` validates an embedded known-good trace and asserts several
+embedded malformed traces are rejected — run in CI so the validator itself
+cannot silently rot.
+
+Stdlib only; no third-party imports.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+from pathlib import Path
+
+KNOWN_PHASES = {"B", "E", "i", "X", "C", "M"}
+
+
+def validate(doc) -> list[str]:
+    """All structural errors in a parsed trace document (empty = valid)."""
+    errors: list[str] = []
+    if not isinstance(doc, dict):
+        return [f"top level must be an object, got {type(doc).__name__}"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["`traceEvents` must be a list"]
+    stacks: dict[tuple, list[tuple[str, float]]] = {}
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            errors.append(f"{where}: event must be an object")
+            continue
+        ph = ev.get("ph")
+        if ph not in KNOWN_PHASES:
+            errors.append(f"{where}: unknown or missing phase {ph!r}")
+            continue
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)) or isinstance(ts, bool):
+            errors.append(f"{where}: missing numeric `ts`")
+            continue
+        if not math.isfinite(ts) or ts < 0:
+            errors.append(f"{where}: `ts` {ts!r} must be finite and non-negative")
+            continue
+        if not isinstance(ev.get("pid"), int):
+            errors.append(f"{where}: missing integer `pid`")
+            continue
+        name = ev.get("name")
+        if not isinstance(name, str) or not name:
+            errors.append(f"{where}: missing non-empty `name`")
+            continue
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or isinstance(dur, bool) or dur < 0:
+                errors.append(f"{where}: X event needs a non-negative `dur`, got {dur!r}")
+        elif ph == "i":
+            if not isinstance(ev.get("s"), str):
+                errors.append(f"{where}: instant event needs a scope `s`")
+        track = (ev["pid"], ev.get("tid", 0))
+        stack = stacks.setdefault(track, [])
+        if ph == "B":
+            stack.append((name, ts))
+        elif ph == "E":
+            if not stack:
+                errors.append(f"{where}: E `{name}` on track {track} with no open span")
+                continue
+            open_name, open_ts = stack.pop()
+            if open_name != name:
+                errors.append(
+                    f"{where}: E `{name}` closes span `{open_name}` on track {track}"
+                )
+            if ts < open_ts:
+                errors.append(
+                    f"{where}: span `{name}` on track {track} has negative duration "
+                    f"({open_ts} -> {ts})"
+                )
+    for track, stack in sorted(stacks.items()):
+        for name, ts in stack:
+            errors.append(f"track {track}: span `{name}` opened at {ts} never closes")
+    return errors
+
+
+def check_file(path: Path) -> list[str]:
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"{path}: {exc}"]
+    return validate(doc)
+
+
+GOOD = {
+    "displayTimeUnit": "ms",
+    "traceEvents": [
+        {"name": "process_name", "ph": "M", "ts": 0, "pid": 0, "tid": 0, "args": {"name": "r0"}},
+        {"name": "arrive", "ph": "i", "ts": 10.5, "pid": 0, "tid": 1, "s": "t", "args": {}},
+        {"name": "exec", "ph": "B", "ts": 11, "pid": 0, "tid": 0, "args": {}},
+        {"name": "exec", "ph": "E", "ts": 15, "pid": 0, "tid": 0, "args": {}},
+        {"name": "queue", "ph": "X", "ts": 10.5, "dur": 0.5, "pid": 0, "tid": 1, "args": {}},
+        {"name": "queue_depth", "ph": "C", "ts": 11, "pid": 0, "tid": 0, "args": {"queue_depth": 3}},
+    ],
+}
+
+BAD = [
+    ("unmatched begin", {"traceEvents": [{"name": "a", "ph": "B", "ts": 1, "pid": 0}]}),
+    ("stray end", {"traceEvents": [{"name": "a", "ph": "E", "ts": 1, "pid": 0}]}),
+    (
+        "name mismatch",
+        {
+            "traceEvents": [
+                {"name": "a", "ph": "B", "ts": 1, "pid": 0},
+                {"name": "b", "ph": "E", "ts": 2, "pid": 0},
+            ]
+        },
+    ),
+    (
+        "negative duration",
+        {
+            "traceEvents": [
+                {"name": "a", "ph": "B", "ts": 5, "pid": 0},
+                {"name": "a", "ph": "E", "ts": 1, "pid": 0},
+            ]
+        },
+    ),
+    ("missing ts", {"traceEvents": [{"name": "a", "ph": "i", "pid": 0, "s": "t"}]}),
+    ("missing pid", {"traceEvents": [{"name": "a", "ph": "i", "ts": 1, "s": "t"}]}),
+    ("unknown phase", {"traceEvents": [{"name": "a", "ph": "Z", "ts": 1, "pid": 0}]}),
+    ("X without dur", {"traceEvents": [{"name": "a", "ph": "X", "ts": 1, "pid": 0}]}),
+    ("events not a list", {"traceEvents": {}}),
+]
+
+
+def self_test() -> int:
+    errors = validate(GOOD)
+    if errors:
+        print(f"self-test FAILED: known-good trace rejected: {errors}", file=sys.stderr)
+        return 1
+    for label, doc in BAD:
+        if not validate(doc):
+            print(f"self-test FAILED: malformed trace ({label}) passed", file=sys.stderr)
+            return 1
+    print(f"self-test OK: good trace accepted, {len(BAD)} malformed traces rejected")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("traces", nargs="*", type=Path, help="trace JSON files to validate")
+    parser.add_argument(
+        "--self-test",
+        action="store_true",
+        help="verify the validator accepts/rejects embedded fixtures, then exit",
+    )
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if not args.traces:
+        print("no trace files given (pass paths or --self-test)", file=sys.stderr)
+        return 2
+    total = 0
+    for path in args.traces:
+        errors = check_file(path)
+        status = "FAIL" if errors else "ok"
+        print(f"{path}: {status}")
+        for e in errors[:20]:
+            print(f"  {e}")
+        if len(errors) > 20:
+            print(f"  ... and {len(errors) - 20} more")
+        total += len(errors)
+    if total:
+        print(f"\n{total} structural error(s)")
+        return 1
+    print(f"all {len(args.traces)} trace file(s) well-formed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

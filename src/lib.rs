@@ -19,6 +19,10 @@
 //! * [`isa`] — the accelerator's instruction set, the network→program
 //!   lowering pass, and the instruction-level machine model.
 //! * [`gpumodel`] — the RTX 2080 Ti analytical comparison model (Figure 9).
+//! * [`obs`] — deterministic tracing (Chrome trace-event / Perfetto export),
+//!   a thread-safe metrics registry, and wall-clock self-profiling; wired
+//!   through the serving and scenario layers via their `.trace(..)`,
+//!   `.metrics(..)`, and `.profile(..)` axes.
 //!
 //! ## Quickstart
 //!
@@ -50,5 +54,6 @@ pub use bpvec_dnn as dnn;
 pub use bpvec_gpumodel as gpumodel;
 pub use bpvec_hwmodel as hwmodel;
 pub use bpvec_isa as isa;
+pub use bpvec_obs as obs;
 pub use bpvec_serve as serve;
 pub use bpvec_sim as sim;
