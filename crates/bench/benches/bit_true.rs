@@ -1,14 +1,20 @@
 //! Criterion bench of the packed bit-plane GEMM path against the seed
 //! per-element CVU path — the acceptance check for the packed-kernel
-//! refactor (target: ≥ 20× on identical operands, bit-identical outputs).
+//! refactor (target: ≥ 20× on identical operands, bit-identical outputs)
+//! and for the SIMD dispatch tiers (target: ≥ 4× scalar on the AVX-512
+//! tier for the fused blocked GEMM, pre-packed operands).
 //!
 //! Besides the criterion output, running this bench writes
 //! `BENCH_bittrue.json` at the workspace root with per-path timings and
 //! MACs/s (the requests-per-sec analog for GEMMs) plus the measured
-//! speedup, so CI can track it next to the other BENCH files.
+//! speedups, so CI can track it next to the other BENCH files. The
+//! per-kernel rows (`packed_gemm_prepacked_scalar` vs `…_simd` vs the
+//! fused-tiled driver) isolate the kernel win from packing cost; the
+//! `kernel_tier` field records which dispatch tier `…_simd` actually ran.
 
 use std::time::Instant;
 
+use bpvec_core::kernels::{detected_tier, KernelTier};
 use bpvec_core::{BitWidth, Signedness};
 use bpvec_dnn::Tensor;
 use bpvec_sim::systolic::{ArrayConfig, SystolicArray};
@@ -73,7 +79,7 @@ fn bench(c: &mut Criterion) {
 
 criterion_group!(benches, bench);
 
-fn best_of(reps: u32, mut f: impl FnMut() -> Tensor) -> f64 {
+fn best_of<T>(reps: u32, mut f: impl FnMut() -> T) -> f64 {
     let mut best = f64::INFINITY;
     for _ in 0..reps {
         let start = Instant::now();
@@ -109,21 +115,47 @@ fn main() {
         run_packed(&arr, &a, &b2, BitWidth::INT8, BitWidth::INT2)
     });
 
+    // Per-kernel rows: the same GEMM compute with operands pre-packed
+    // (packing hoisted out of the timed region), per dispatch tier — the
+    // scalar reference kernel, the widest SIMD tier this host detects, and
+    // the full fused-tiled driver (dispatch + rayon macro-tiles).
+    let sw = arr.config().cvu.slice_width;
+    let pa = a.pack_rows(BitWidth::INT8, sw, Signedness::Signed).unwrap();
+    let pb = b.pack_cols(BitWidth::INT8, sw, Signedness::Signed).unwrap();
+    let tier = detected_tier();
+    let block = |t: KernelTier| {
+        let mut out = vec![0i64; M * N];
+        pa.dot_block_into(t, 0..M, &pb, &mut out);
+        out
+    };
+    let scalar_s = best_of(5, || block(KernelTier::Scalar));
+    let simd_s = best_of(9, || block(tier));
+    let fused_tiled_s = best_of(9, || arr.gemm_packed(&pa, &pb).expect("packed gemm").output);
+
     let speedup = seed_s / packed_s;
+    let simd_speedup = scalar_s / simd_s;
     let per_sec = |s: f64| macs as f64 / s;
+    let row = |name: &str, s: f64| {
+        format!(
+            "    {{\n      \"name\": \"{name}\",\n      \"seconds_per_run\": {s:.6},\n      \
+             \"macs_per_sec\": {:.1}\n    }}",
+            per_sec(s)
+        )
+    };
+    let rows = [
+        row("seed_per_element_8x8", seed_s),
+        row("packed_planes_8x8", packed_s),
+        row("packed_planes_8x2_het", packed_het_s),
+        row("packed_gemm_prepacked_scalar", scalar_s),
+        row("packed_gemm_prepacked_simd", simd_s),
+        row("fused_tiled_gemm_8x8", fused_tiled_s),
+    ]
+    .join(",\n");
     let json = format!(
         "{{\n  \"bench\": \"bit_true\",\n  \"gemm\": \"alexnet conv1 tile [{M},{K}]x[{K},{N}]\",\n  \
-         \"macs\": {macs},\n  \"results\": [\n    \
-         {{\n      \"name\": \"seed_per_element_8x8\",\n      \"seconds_per_run\": {seed_s:.6},\n      \
-         \"macs_per_sec\": {:.1}\n    }},\n    \
-         {{\n      \"name\": \"packed_planes_8x8\",\n      \"seconds_per_run\": {packed_s:.6},\n      \
-         \"macs_per_sec\": {:.1}\n    }},\n    \
-         {{\n      \"name\": \"packed_planes_8x2_het\",\n      \"seconds_per_run\": {packed_het_s:.6},\n      \
-         \"macs_per_sec\": {:.1}\n    }}\n  ],\n  \
-         \"speedup_packed_vs_seed\": {speedup:.2}\n}}\n",
-        per_sec(seed_s),
-        per_sec(packed_s),
-        per_sec(packed_het_s),
+         \"macs\": {macs},\n  \"kernel_tier\": \"{tier}\",\n  \"results\": [\n{rows}\n  ],\n  \
+         \"speedup_packed_vs_seed\": {speedup:.2},\n  \
+         \"speedup_simd_vs_scalar\": {simd_speedup:.2}\n}}\n",
     );
     let out_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_bittrue.json");
     std::fs::write(out_path, &json).expect("write BENCH_bittrue.json");
@@ -132,5 +164,16 @@ fn main() {
         speedup >= 20.0,
         "packed path must be at least 20x the per-element seed path, got {speedup:.2}x"
     );
+    // The ≥4x kernel acceptance gate runs where the native-popcount tier is
+    // available (the CI/baseline host); narrower hosts still track their
+    // own ratio through the committed baseline.
+    if tier == KernelTier::Avx512 {
+        assert!(
+            simd_speedup >= 4.0,
+            "avx512 kernel must be at least 4x the scalar packed kernel, got {simd_speedup:.2}x"
+        );
+    } else {
+        println!("kernel tier {tier}: simd-vs-scalar gate is informational ({simd_speedup:.2}x)");
+    }
     println!("wrote BENCH_bittrue.json");
 }

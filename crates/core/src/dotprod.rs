@@ -161,10 +161,15 @@ pub fn dot_slice_clustered(
 
 /// Equation 4 through the packed bit-plane layout (`α = β = slice_width`):
 /// both operands are decomposed once into [`PackedSliceMatrix`] planes and
-/// every slice pair runs through the word-level kernel
-/// ([`crate::nbve::slice_dot_words`]) — the fast realization the systolic
-/// GEMM path uses, exposed here next to the scalar formulations so tests
-/// can pin their equivalence.
+/// reduced by the fused multi-plane kernel ([`PackedSliceMatrix::dot`]),
+/// which weighs every slice pair in a single pass over the words. The
+/// kernel is picked from the runtime dispatch table in [`crate::kernels`]
+/// (AVX-512 / AVX2 where the CPU supports them, with the scalar reference
+/// as the always-correct fallback — `BPVEC_KERNEL=scalar` forces it); all
+/// tiers are bit-identical, so this is still the exact Equation 4 the
+/// scalar formulations above compute, just the fast realization the
+/// systolic GEMM path uses — exposed here so tests can pin the
+/// equivalence.
 ///
 /// # Errors
 ///

@@ -20,9 +20,17 @@
 //!   every hardware path against exact integer arithmetic.
 //! * [`packed`] — the packed bit-plane operand layout
 //!   ([`PackedSliceMatrix`]): whole vectors decomposed once into contiguous
-//!   per-significance slice planes with word-level popcount/SWAR kernels —
+//!   per-significance slice planes reduced by word-level popcount kernels —
 //!   the *fast* realization of slice clustering that makes bit-true
 //!   execution of full Table I networks practical.
+//! * [`kernels`] — the runtime-dispatched realizations of those kernels:
+//!   a `OnceLock`-cached dispatch table ([`kernels::active_tier`]) picks
+//!   AVX-512 `vpopcntq` or AVX2 vpshufb-popcount lanes when the CPU has
+//!   them, with the portable scalar popcount/SWAR kernel as the
+//!   always-correct fallback (`BPVEC_KERNEL=scalar` /
+//!   `BPVEC_FORCE_SCALAR=1` force it). Every tier is bit-identical —
+//!   property-pinned against `dot_exact` for all width × slicing ×
+//!   signedness combinations.
 //!
 //! The model is *exact*: every CVU execution is checked (in tests) against a
 //! plain `i64` dot product, for signed and unsigned operands of any supported
@@ -65,6 +73,7 @@ pub mod compose;
 pub mod cvu;
 pub mod dotprod;
 pub mod error;
+pub mod kernels;
 pub mod nbve;
 pub mod packed;
 pub mod stats;
@@ -74,6 +83,7 @@ pub use bitslice::{BitWidth, Signedness, Slice, SliceWidth, SlicedValue};
 pub use compose::Composition;
 pub use cvu::{Cvu, CvuConfig, DotProductOutput};
 pub use error::CoreError;
-pub use nbve::{slice_dot_words, AdderTreeReport, Nbve, NbveOutput};
+pub use kernels::KernelTier;
+pub use nbve::{slice_dot_words, slice_dot_words_with, AdderTreeReport, Nbve, NbveOutput};
 pub use packed::PackedSliceMatrix;
 pub use stats::ExecutionStats;

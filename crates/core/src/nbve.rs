@@ -146,13 +146,6 @@ impl Nbve {
     }
 }
 
-/// Sub-plane extraction mask: bit 0 of every `s`-bit field in a word set
-/// (`0x5555…` for 2-bit fields, `0x1111…` for 4-bit, `0x0101…` for 8-bit).
-#[inline]
-pub(crate) fn subplane_mask(s: u32) -> u64 {
-    u64::MAX / ((1u64 << s) - 1)
-}
-
 /// The word-level narrow dot-product an NBVE computes — the packed-plane
 /// kernel behind [`crate::PackedSliceMatrix`].
 ///
@@ -163,7 +156,13 @@ pub(crate) fn subplane_mask(s: u32) -> u64 {
 /// most-significant slice of a signed operand) and everything else as
 /// unsigned `s`-bit magnitudes.
 ///
-/// Kernel shapes (all allocation-free, word-streaming):
+/// This is a dispatched kernel: the realization is picked once per process
+/// by [`crate::kernels::active_tier`] — AVX-512 `vpopcntq` or AVX2
+/// vpshufb-popcount lanes where the CPU supports them, with the portable
+/// scalar kernel as the always-correct fallback (and `BPVEC_KERNEL=scalar` /
+/// `BPVEC_FORCE_SCALAR=1` forcing it). All tiers are bit-identical; see
+/// [`crate::kernels`] for the dispatch and fallback contract. The scalar
+/// shapes (allocation-free, word-streaming):
 ///
 /// * **1-bit slices** — one `AND` + `popcount` per word; sign flags flip the
 ///   result's sign (a set bit in a signed 1-bit top plane weighs −1).
@@ -185,51 +184,53 @@ pub fn slice_dot_words(
     a_signed_top: bool,
     b_signed_top: bool,
 ) -> i64 {
+    slice_dot_words_with(
+        crate::kernels::active_tier(),
+        a,
+        b,
+        slice_width,
+        a_signed_top,
+        b_signed_top,
+    )
+}
+
+/// [`slice_dot_words`] through an explicit kernel tier — the entry point
+/// dispatch-equality tests and benches use to pin every available tier
+/// against the scalar reference on the same inputs.
+///
+/// # Panics
+///
+/// Panics if the word runs differ in length, or if `tier` is not available
+/// on this CPU (see [`crate::kernels::available_tiers`]).
+#[must_use]
+pub fn slice_dot_words_with(
+    tier: crate::kernels::KernelTier,
+    a: &[u64],
+    b: &[u64],
+    slice_width: SliceWidth,
+    a_signed_top: bool,
+    b_signed_top: bool,
+) -> i64 {
     assert_eq!(a.len(), b.len(), "packed slice planes differ in word count");
-    let s = slice_width.bits();
-    if s == 1 {
-        let mut count = 0u64;
-        for (&x, &y) in a.iter().zip(b) {
-            count += u64::from((x & y).count_ones());
-        }
-        // Signed 1-bit slices take values {0, -1}: each coincident bit pair
-        // contributes (-1)^(signs set).
-        let negate = a_signed_top != b_signed_top;
-        return if negate {
-            -(count as i64)
-        } else {
-            count as i64
-        };
-    }
-    let mask = subplane_mask(s);
-    let s = s as usize;
-    let mut wa = [0i64; 8];
-    let mut wb = [0i64; 8];
-    for p in 0..s {
-        wa[p] = 1i64 << p;
-        wb[p] = 1i64 << p;
-    }
-    if a_signed_top {
-        wa[s - 1] = -wa[s - 1];
-    }
-    if b_signed_top {
-        wb[s - 1] = -wb[s - 1];
-    }
-    let mut asub = [0u64; 8];
-    let mut bsub = [0u64; 8];
-    let mut acc = 0i64;
-    for (&x, &y) in a.iter().zip(b) {
-        for p in 0..s {
-            asub[p] = (x >> p) & mask;
-            bsub[p] = (y >> p) & mask;
-        }
-        for p in 0..s {
-            for q in 0..s {
-                acc += wa[p] * wb[q] * i64::from((asub[p] & bsub[q]).count_ones());
-            }
-        }
-    }
-    acc
+    assert!(
+        tier <= crate::kernels::detected_tier(),
+        "kernel tier {tier} is not available on this CPU"
+    );
+    let a_planes = [a];
+    let b_planes = [b];
+    crate::kernels::weighted_dot(
+        tier,
+        &crate::kernels::PlanesRef {
+            planes: &a_planes,
+            s: slice_width.bits(),
+            neg_top: a_signed_top,
+        },
+        &crate::kernels::PlanesRef {
+            planes: &b_planes,
+            s: slice_width.bits(),
+            neg_top: b_signed_top,
+        },
+    )
 }
 
 #[cfg(test)]

@@ -25,7 +25,8 @@ use serde::{Deserialize, Serialize};
 
 use crate::bitslice::{BitWidth, Signedness, SliceWidth};
 use crate::error::CoreError;
-use crate::nbve::{slice_dot_words, subplane_mask};
+use crate::kernels::{self, KernelTier, PlanesRef};
+use crate::nbve::slice_dot_words;
 
 /// A batch of equal-length vectors decomposed once into packed slice planes.
 ///
@@ -276,6 +277,11 @@ impl PackedSliceMatrix {
     /// once per dot (the top bit of a signed operand weighs negative: two's
     /// complement).
     ///
+    /// The realization is dispatched once per process by
+    /// [`crate::kernels::active_tier`]: AVX-512 `vpopcntq` or AVX2
+    /// vpshufb-popcount lanes where available, portable scalar SWAR
+    /// otherwise or under `BPVEC_KERNEL=scalar` — all tiers bit-identical.
+    ///
     /// # Panics
     ///
     /// Panics if the matrices disagree in element count or slice width
@@ -283,60 +289,172 @@ impl PackedSliceMatrix {
     /// vector indices out of range.
     #[must_use]
     pub fn dot(&self, vec: usize, other: &PackedSliceMatrix, ovec: usize) -> i64 {
+        self.dot_with(kernels::active_tier(), vec, other, ovec)
+    }
+
+    /// [`PackedSliceMatrix::dot`] through an explicit kernel tier — the
+    /// entry point dispatch-equality tests and benches use to pin every
+    /// available tier against the scalar reference on the same operands.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`PackedSliceMatrix::dot`], plus if `tier` is not
+    /// available on this CPU (see [`crate::kernels::available_tiers`]).
+    #[must_use]
+    pub fn dot_with(
+        &self,
+        tier: KernelTier,
+        vec: usize,
+        other: &PackedSliceMatrix,
+        ovec: usize,
+    ) -> i64 {
         self.check_compatible(other);
         assert!(vec < self.num_vecs, "vector {vec} out of range");
         assert!(ovec < other.num_vecs, "vector {ovec} out of range");
+        assert!(
+            tier <= kernels::detected_tier(),
+            "kernel tier {tier} is not available on this CPU"
+        );
+        let (a_planes, a_ref) = self.planes_ref(vec);
+        let (b_planes, b_ref) = other.planes_ref(ovec);
+        kernels::weighted_dot(
+            tier,
+            &PlanesRef {
+                planes: &a_planes[..self.planes.len()],
+                ..a_ref
+            },
+            &PlanesRef {
+                planes: &b_planes[..other.planes.len()],
+                ..b_ref
+            },
+        )
+    }
+
+    /// Collects vector `vec`'s plane slices into a fixed array plus the
+    /// kernel-facing descriptor (with an empty placeholder `planes` field —
+    /// callers re-borrow the array at the right length).
+    fn planes_ref(&self, vec: usize) -> ([&[u64]; 8], PlanesRef<'_>) {
+        debug_assert!(self.planes.len() <= 8, "operands wider than 8 bits");
+        let mut arr: [&[u64]; 8] = [&[]; 8];
+        for (slot, j) in arr.iter_mut().zip(0..self.planes.len()) {
+            *slot = self.plane(j, vec);
+        }
+        (
+            arr,
+            PlanesRef {
+                planes: &[],
+                s: self.slice_width.bits(),
+                neg_top: self.signedness == Signedness::Signed,
+            },
+        )
+    }
+
+    /// Computes the dense dot-product block of rows `rows` of `self`
+    /// against **every** vector of `other`, writing
+    /// `out[r * other.num_vecs() + c] = self.dot(rows.start + r, other, c)`.
+    ///
+    /// This is the cache-blocked building block of the packed GEMM: `other`
+    /// (the stationary operand) is decomposed into one-bit sub-plane panels
+    /// sized for L1, each row of `self` is decomposed once per panel, and
+    /// the inner kernel then streams zero-padded, SIMD-aligned buffers with
+    /// no per-dot extraction work — on SIMD tiers this amortizes the slice
+    /// split across a whole panel of outputs. Results are bit-identical to
+    /// calling [`PackedSliceMatrix::dot`] per element on every tier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrices disagree in element count or slice width, if
+    /// `rows` is out of range, if `out.len() != rows.len() *
+    /// other.num_vecs()`, or if `tier` is not available on this CPU.
+    pub fn dot_block_into(
+        &self,
+        tier: KernelTier,
+        rows: core::ops::Range<usize>,
+        other: &PackedSliceMatrix,
+        out: &mut [i64],
+    ) {
+        self.check_compatible(other);
+        assert!(
+            rows.end <= self.num_vecs,
+            "row range {rows:?} out of range ({} vectors)",
+            self.num_vecs
+        );
+        assert!(
+            tier <= kernels::detected_tier(),
+            "kernel tier {tier} is not available on this CPU"
+        );
+        let n = other.num_vecs;
+        assert_eq!(
+            out.len(),
+            rows.len() * n,
+            "output block must hold rows × columns results"
+        );
+        if tier == KernelTier::Scalar {
+            // The scalar tier keeps the original per-dot fused loop: same
+            // operation count either way, and it keeps the fallback path
+            // byte-for-byte the pre-SIMD behavior.
+            for (ri, row) in rows.clone().enumerate() {
+                for col in 0..n {
+                    out[ri * n + col] = self.dot_with(tier, row, other, col);
+                }
+            }
+            return;
+        }
         let s = self.slice_width.bits() as usize;
-        let mask = subplane_mask(self.slice_width.bits());
-        let (na, nb) = (self.planes.len(), other.planes.len());
-        let (abits, bbits) = (na * s, nb * s);
-        debug_assert!(abits <= 8 && bbits <= 8, "operands wider than 8 bits");
+        let (abits, bbits) = (self.planes.len() * s, other.planes.len() * s);
         let wpv = self.words_per_vec;
-        let (alo, blo) = (vec * wpv, ovec * other.words_per_vec);
-        let mut counts = [[0u64; 8]; 8];
-        for widx in 0..wpv {
-            let mut asub = [0u64; 8];
-            for (j, plane) in self.planes.iter().enumerate() {
-                let w = plane[alo + widx];
-                for p in 0..s {
-                    asub[j * s + p] = (w >> p) & mask;
-                }
-            }
-            let mut bsub = [0u64; 8];
-            for (k, plane) in other.planes.iter().enumerate() {
-                let w = plane[blo + widx];
-                for q in 0..s {
-                    bsub[k * s + q] = (w >> q) & mask;
-                }
-            }
-            for (i, &ai) in asub.iter().enumerate().take(abits) {
-                let row = &mut counts[i];
-                for (l, &bl) in bsub.iter().enumerate().take(bbits) {
-                    row[l] += u64::from((ai & bl).count_ones());
-                }
-            }
+        if abits == 0 || bbits == 0 || wpv == 0 || n == 0 || rows.is_empty() {
+            out.fill(0);
+            return;
         }
-        // Weighted reduction: bit i of an operand weighs 2^i, except the top
-        // bit of a signed operand which weighs −2^(bits−1) — exactly two's
-        // complement over the padded `n·s`-bit pattern.
-        let bit_weight = |i: usize, bits: usize, signedness: Signedness| -> i64 {
-            let w = 1i64 << i;
-            if signedness == Signedness::Signed && i + 1 == bits {
-                -w
-            } else {
-                w
+        let wpad = kernels::pad_words(wpv);
+        let (neg_a, neg_b) = (
+            self.signedness == Signedness::Signed,
+            other.signedness == Signedness::Signed,
+        );
+        let panel = kernels::col_panel_len(bbits, wpad).min(n);
+        let col_stride = bbits * wpad;
+        let mut bbuf = vec![0u64; panel * col_stride];
+        let mut abuf = vec![0u64; abits * wpad];
+        let mut c0 = 0usize;
+        while c0 < n {
+            let pc = panel.min(n - c0);
+            for ci in 0..pc {
+                let (b_planes, b_ref) = other.planes_ref(c0 + ci);
+                kernels::extract_subplanes(
+                    &PlanesRef {
+                        planes: &b_planes[..other.planes.len()],
+                        ..b_ref
+                    },
+                    wpad,
+                    &mut bbuf[ci * col_stride..(ci + 1) * col_stride],
+                );
             }
-        };
-        let mut total = 0i64;
-        for (i, row) in counts.iter().enumerate().take(abits) {
-            let wi = bit_weight(i, abits, self.signedness);
-            for (l, &count) in row.iter().enumerate().take(bbits) {
-                if count != 0 {
-                    total += wi * bit_weight(l, bbits, other.signedness) * count as i64;
+            for (ri, row) in rows.clone().enumerate() {
+                let (a_planes, a_ref) = self.planes_ref(row);
+                kernels::extract_subplanes(
+                    &PlanesRef {
+                        planes: &a_planes[..self.planes.len()],
+                        ..a_ref
+                    },
+                    wpad,
+                    &mut abuf,
+                );
+                for ci in 0..pc {
+                    out[ri * n + c0 + ci] = kernels::dot_subplanes(
+                        tier,
+                        &abuf,
+                        &bbuf[ci * col_stride..(ci + 1) * col_stride],
+                        wpad,
+                        abits,
+                        bbits,
+                        neg_a,
+                        neg_b,
+                    );
                 }
             }
+            c0 += pc;
         }
-        total
     }
 
     fn check_compatible(&self, other: &PackedSliceMatrix) {

@@ -47,6 +47,18 @@ fn packed_equals_scalar_on_edge_vectors_for_all_combos() {
                 assert_eq!(packed, exact, "{bw} {sw} {s} packed vs exact");
                 let clustered = dot_slice_clustered(&xs, &ws, bw, bw, sw, sw, s).unwrap();
                 assert_eq!(packed, clustered, "{bw} {sw} {s} packed vs clustered");
+                // Every dispatch tier this host can run (scalar always, AVX2
+                // / AVX-512 where detected) produces the identical result —
+                // SIMD == scalar == dot_exact on all 64 combos.
+                let px = PackedSliceMatrix::pack(&xs, bw, sw, s).unwrap();
+                let pw = PackedSliceMatrix::pack(&ws, bw, sw, s).unwrap();
+                for tier in bpvec_core::kernels::available_tiers() {
+                    assert_eq!(
+                        px.dot_with(tier, 0, &pw, 0),
+                        exact,
+                        "{bw} {sw} {s} tier {tier}"
+                    );
+                }
             }
         }
     }

@@ -21,13 +21,13 @@
 //! `tests/bit_true_table1.rs` do exactly that against the reference
 //! pipeline.
 
-use bpvec_core::{BitWidth, CoreError, PackedSliceMatrix, Signedness, SliceWidth};
+use bpvec_core::{kernels, BitWidth, CoreError, PackedSliceMatrix, Signedness, SliceWidth};
 use bpvec_dnn::layer::{Layer, LayerKind};
 use bpvec_dnn::packing::{pack_gemm_cols, pack_gemm_rows};
 use bpvec_dnn::reference;
 use bpvec_dnn::Tensor;
 
-use crate::systolic::SystolicArray;
+use crate::systolic::{packed_tile_geometry, SystolicArray};
 
 /// Deterministic synthetic quantized weights for a layer stack.
 ///
@@ -99,6 +99,27 @@ impl WeightStore {
     }
 }
 
+/// Aggregate blocked-GEMM tiling work of one layer — how the packed GEMMs
+/// were cut across threads (macro row-tiles) and L1 (column panels). Zero
+/// for layers that run no array GEMM (pooling, softmax, norms).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TileTally {
+    /// Macro row-tiles fanned out across all the layer's packed GEMMs.
+    pub macro_tiles: u64,
+    /// L1 column-panel streams summed over all the layer's packed GEMMs
+    /// (each macro-tile streams every panel once).
+    pub col_panels: u64,
+}
+
+impl TileTally {
+    /// Tallies the tiling geometry of one `gemm_packed(a, b)` call.
+    fn add(&mut self, a: &PackedSliceMatrix, b: &PackedSliceMatrix) {
+        let g = packed_tile_geometry(a, b);
+        self.macro_tiles += g.macro_row_tiles;
+        self.col_panels += g.macro_row_tiles * g.col_panels;
+    }
+}
+
 /// Per-layer record of a bit-true execution.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LayerTrace {
@@ -110,6 +131,12 @@ pub struct LayerTrace {
     pub macs: u64,
     /// The requantization shift applied to the layer's accumulators.
     pub requant_shift: u32,
+    /// The dispatched kernel tier the layer's packed GEMMs actually ran on
+    /// ([`bpvec_core::kernels::active_tier`]), `"none"` for layers with no
+    /// array work.
+    pub kernel: &'static str,
+    /// Blocked-GEMM tiling work of the layer.
+    pub tiles: TileTally,
 }
 
 /// Result of executing a layer stack bit-true.
@@ -139,14 +166,35 @@ impl ExecutionTrace {
     /// counters across executions, and each layer's MAC count lands in the
     /// `exec.layer_macs` log-histogram (base 1, so bin `i` covers
     /// `[2^i, 2^(i+1))` MACs).
+    ///
+    /// Kernel-dispatch and tile-geometry work lands under `exec.kernel.*`:
+    /// `exec.kernel.dispatch.<tier>` counts GEMM layers executed on each
+    /// dispatched tier (`scalar`/`avx2`/`avx512`, so traces show which
+    /// kernel actually ran), `exec.kernel.macro_tiles` /
+    /// `exec.kernel.col_panels` accumulate the blocked driver's thread- and
+    /// L1-level tile counts, and the `exec.kernel.lane_words` gauge holds
+    /// the active tier's SIMD width in `u64` words.
     pub fn record_metrics(&self, registry: &bpvec_obs::MetricsRegistry) {
         registry.counter_add("exec.layers", self.layers.len() as u64);
         registry.counter_add("exec.macs", self.total_macs());
         registry.counter_add("exec.cycles", self.total_cycles());
         registry.register_histogram("exec.layer_macs", 1.0, 48);
+        let mut macro_tiles = 0u64;
+        let mut col_panels = 0u64;
         for layer in &self.layers {
             registry.observe("exec.layer_macs", layer.macs as f64);
+            if layer.kernel != "none" {
+                registry.counter_add(&format!("exec.kernel.dispatch.{}", layer.kernel), 1);
+            }
+            macro_tiles += layer.tiles.macro_tiles;
+            col_panels += layer.tiles.col_panels;
         }
+        registry.counter_add("exec.kernel.macro_tiles", macro_tiles);
+        registry.counter_add("exec.kernel.col_panels", col_panels);
+        registry.gauge_set(
+            "exec.kernel.lane_words",
+            kernels::active_tier().lane_words() as f64,
+        );
     }
 }
 
@@ -297,7 +345,7 @@ impl NetworkExecutor {
             let no_relu = last || feeds_transformer_op(layers, li);
             let out_bits = output_bits(layers, li);
             let w = weights.layer(li);
-            let (out, cycles, shift) = match layer.kind {
+            let (out, cycles, shift, tiles) = match layer.kind {
                 LayerKind::Conv2d {
                     in_channels,
                     kernel,
@@ -305,12 +353,12 @@ impl NetworkExecutor {
                     padding,
                     ..
                 } => {
-                    let (acc, cycles) =
+                    let (acc, cycles, tiles) =
                         self.conv_on_array(layer, &act, w, in_channels, kernel, stride, padding)?;
                     let shift = requant_shift_for(&acc, out_bits);
                     let q = reference::requantize(&acc, shift, out_bits, Signedness::Signed);
                     let q = if no_relu { q } else { reference::relu(&q) };
-                    (q, cycles, shift)
+                    (q, cycles, shift, tiles)
                 }
                 LayerKind::FullyConnected { in_features, .. } => {
                     assert_eq!(act.len(), in_features, "fc input length");
@@ -328,17 +376,22 @@ impl NetworkExecutor {
                         self.slice_width(),
                         Signedness::Signed,
                     )?;
+                    let mut tiles = TileTally::default();
+                    tiles.add(&pw, &px);
                     let run = self.array.gemm_packed(&pw, &px)?;
                     let mut acc = run.output;
                     acc.reshape(&[w.shape()[0]]);
                     let shift = requant_shift_for(&acc, out_bits);
                     let q = reference::requantize(&acc, shift, out_bits, Signedness::Signed);
                     let q = if no_relu { q } else { reference::relu(&q) };
-                    (q, run.cycles, shift)
+                    (q, run.cycles, shift, tiles)
                 }
-                LayerKind::Pool { kernel, stride, .. } => {
-                    (reference::maxpool2d(&act, kernel, stride), 0, 0)
-                }
+                LayerKind::Pool { kernel, stride, .. } => (
+                    reference::maxpool2d(&act, kernel, stride),
+                    0,
+                    0,
+                    TileTally::default(),
+                ),
                 LayerKind::MatMulQK {
                     heads,
                     q_len,
@@ -354,6 +407,7 @@ impl NetworkExecutor {
                     stashed_v = Some(vm);
                     let mut scores = Tensor::zeros(&[heads * q_len, kv_len]);
                     let mut cycles = 0u64;
+                    let mut tiles = TileTally::default();
                     for h in 0..heads {
                         let (a, bm) = qk_head(&qm, &km, h, head_dim);
                         let pa = pack_gemm_rows(
@@ -368,6 +422,7 @@ impl NetworkExecutor {
                             self.slice_width(),
                             Signedness::Signed,
                         )?;
+                        tiles.add(&pa, &pb);
                         let run = self.array.gemm_packed(&pa, &pb)?;
                         cycles += run.cycles;
                         for qi in 0..q_len {
@@ -379,7 +434,7 @@ impl NetworkExecutor {
                     }
                     let shift = requant_shift_for(&scores, out_bits);
                     let q = reference::requantize(&scores, shift, out_bits, Signedness::Signed);
-                    (q, cycles, shift)
+                    (q, cycles, shift, tiles)
                 }
                 LayerKind::Softmax { rows, cols } => {
                     assert_eq!(act.len(), rows * cols, "softmax input");
@@ -389,7 +444,12 @@ impl NetworkExecutor {
                     // activation width (its `out_bits`), topping out at the
                     // fixed-point one `1 << (bits-1)` — packed *unsigned*
                     // downstream.
-                    (reference::softmax_fixed(&s, out_bits), 0, 0)
+                    (
+                        reference::softmax_fixed(&s, out_bits),
+                        0,
+                        0,
+                        TileTally::default(),
+                    )
                 }
                 LayerKind::AttentionV {
                     heads,
@@ -403,6 +463,7 @@ impl NetworkExecutor {
                     assert_eq!(act.shape(), &[heads * q_len, kv_len], "attention probs");
                     let mut ctx = Tensor::zeros(&[heads * head_dim, q_len, 1]);
                     let mut cycles = 0u64;
+                    let mut tiles = TileTally::default();
                     for h in 0..heads {
                         let (a, bm) = av_head(&act, &v, h, head_dim, q_len);
                         let pa = pack_gemm_rows(
@@ -417,6 +478,7 @@ impl NetworkExecutor {
                             self.slice_width(),
                             Signedness::Signed,
                         )?;
+                        tiles.add(&pa, &pb);
                         let run = self.array.gemm_packed(&pa, &pb)?;
                         cycles += run.cycles;
                         for qi in 0..q_len {
@@ -428,15 +490,25 @@ impl NetworkExecutor {
                     }
                     let shift = requant_shift_for(&ctx, out_bits);
                     let q = reference::requantize(&ctx, shift, out_bits, Signedness::Signed);
-                    (q, cycles, shift)
+                    (q, cycles, shift, tiles)
                 }
                 LayerKind::LayerNorm { features, tokens } => {
                     assert_eq!(act.len(), features * tokens, "layer-norm input");
-                    (reference::layer_norm_fixed(&act, out_bits), 0, 0)
+                    (
+                        reference::layer_norm_fixed(&act, out_bits),
+                        0,
+                        0,
+                        TileTally::default(),
+                    )
                 }
                 LayerKind::Gelu { elems } => {
                     assert_eq!(act.len(), elems, "gelu input");
-                    (reference::gelu_fixed(&act, out_bits), 0, 0)
+                    (
+                        reference::gelu_fixed(&act, out_bits),
+                        0,
+                        0,
+                        TileTally::default(),
+                    )
                 }
                 LayerKind::Recurrent {
                     input_size,
@@ -458,6 +530,12 @@ impl NetworkExecutor {
                 cycles,
                 macs: layer.macs(),
                 requant_shift: shift,
+                kernel: if tiles.macro_tiles > 0 {
+                    kernels::active_tier().name()
+                } else {
+                    "none"
+                },
+                tiles,
             });
             act = out;
         }
@@ -594,7 +672,7 @@ impl NetworkExecutor {
         kernel: (usize, usize),
         stride: (usize, usize),
         padding: (usize, usize),
-    ) -> Result<(Tensor, u64), CoreError> {
+    ) -> Result<(Tensor, u64, TileTally), CoreError> {
         let (kh, kw) = kernel;
         let ish = act.shape();
         assert_eq!(ish[0], in_channels, "activation channels");
@@ -629,10 +707,12 @@ impl NetworkExecutor {
             self.slice_width(),
             Signedness::Signed,
         )?;
+        let mut tiles = TileTally::default();
+        tiles.add(&pw, &pcols);
         let run = self.array.gemm_packed(&pw, &pcols)?;
         let mut out = run.output;
         out.reshape(&[oc, oh, ow]);
-        Ok((out, run.cycles))
+        Ok((out, run.cycles, tiles))
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -645,7 +725,7 @@ impl NetworkExecutor {
         hidden_size: usize,
         gates: usize,
         seq_len: usize,
-    ) -> Result<(Tensor, u64, u32), CoreError> {
+    ) -> Result<(Tensor, u64, u32, TileTally), CoreError> {
         assert_eq!(act.shape(), &[seq_len, input_size], "recurrent input");
         let shift = recurrent_shift(layer, input_size, hidden_size);
         // The gate weights are packed once and reused across every timestep
@@ -655,6 +735,7 @@ impl NetworkExecutor {
         let mut c = Tensor::zeros(&[hidden_size]);
         let mut outputs = Tensor::zeros(&[seq_len, hidden_size]);
         let mut cycles = 0u64;
+        let mut tiles = TileTally::default();
         for t in 0..seq_len {
             let mut xh = Vec::with_capacity(input_size + hidden_size);
             xh.extend((0..input_size).map(|i| act[&[t, i]]));
@@ -665,6 +746,7 @@ impl NetworkExecutor {
                 self.slice_width(),
                 Signedness::Signed,
             )?;
+            tiles.add(&pw, &pxh);
             let run = self.array.gemm_packed(&pw, &pxh)?;
             cycles += run.cycles;
             let mut pre = run.output;
@@ -680,7 +762,7 @@ impl NetworkExecutor {
                 outputs[&[t, i]] = v;
             }
         }
-        Ok((outputs, cycles, shift))
+        Ok((outputs, cycles, shift, tiles))
     }
 }
 
@@ -804,6 +886,28 @@ mod tests {
             .find(|h| h.name == "exec.layer_macs")
             .expect("layer-MAC histogram registered");
         assert_eq!(hist.total(), trace.layers.len() as u64);
+        // The conv layer ran exactly one packed GEMM on the dispatched
+        // tier; its tile counts land under exec.kernel.*.
+        let tier = bpvec_core::kernels::active_tier();
+        assert_eq!(trace.layers[0].kernel, tier.name());
+        assert_eq!(
+            registry.counter(&format!("exec.kernel.dispatch.{tier}")),
+            Some(1)
+        );
+        assert_eq!(
+            registry.counter("exec.kernel.macro_tiles"),
+            Some(trace.layers[0].tiles.macro_tiles)
+        );
+        assert_eq!(
+            registry.counter("exec.kernel.col_panels"),
+            Some(trace.layers[0].tiles.col_panels)
+        );
+        assert!(trace.layers[0].tiles.macro_tiles > 0);
+        assert!(trace.layers[0].tiles.col_panels >= trace.layers[0].tiles.macro_tiles);
+        assert_eq!(
+            registry.gauge("exec.kernel.lane_words"),
+            Some(tier.lane_words() as f64)
+        );
     }
 
     #[test]

@@ -17,10 +17,47 @@
 //!   identical cycle accounting, orders of magnitude faster — fast enough
 //!   to run full Table I networks bit-true.
 
-use bpvec_core::{BitWidth, CoreError, Cvu, CvuConfig, PackedSliceMatrix, Signedness};
+use bpvec_core::{kernels, BitWidth, CoreError, Cvu, CvuConfig, PackedSliceMatrix, Signedness};
 use bpvec_dnn::Tensor;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+
+/// Rows of `A` per rayon macro-tile in the blocked packed GEMM driver —
+/// the outermost (thread-level) tier of the tiling hierarchy. Big enough
+/// that each task amortizes its stationary-operand panel extraction, small
+/// enough that row-heavy GEMMs still fan out.
+pub const MACRO_ROW_BLOCK: usize = 32;
+
+/// The tiling geometry the blocked packed GEMM driver uses for one operand
+/// pair — reported so execution traces can show how a layer was blocked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PackedTileGeometry {
+    /// Rows of `A` per rayon macro-tile ([`MACRO_ROW_BLOCK`], clamped).
+    pub row_block: usize,
+    /// Macro-tiles the GEMM fans out over threads.
+    pub macro_row_tiles: u64,
+    /// Columns of `B` per L1-resident sub-plane panel.
+    pub col_panel: usize,
+    /// Panels each macro-tile streams through L1.
+    pub col_panels: u64,
+}
+
+/// Computes the tiling geometry [`SystolicArray::gemm_packed`] will use for
+/// `a · b` — the macro-row fan-out and the L1 column-panel split.
+#[must_use]
+pub fn packed_tile_geometry(a: &PackedSliceMatrix, b: &PackedSliceMatrix) -> PackedTileGeometry {
+    let (m, n) = (a.num_vecs(), b.num_vecs());
+    let row_block = MACRO_ROW_BLOCK.min(m.max(1));
+    let bbits = b.n_slices() * b.slice_width().bits() as usize;
+    let wpad = kernels::pad_words(a.words_per_vec());
+    let col_panel = kernels::col_panel_len(bbits, wpad).min(n.max(1));
+    PackedTileGeometry {
+        row_block,
+        macro_row_tiles: m.div_ceil(row_block) as u64,
+        col_panel,
+        col_panels: n.div_ceil(col_panel) as u64,
+    }
+}
 
 /// Geometry of the systolic array: `rows × cols` CVUs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -173,11 +210,25 @@ impl SystolicArray {
     /// The array mapping and cycle accounting are identical to
     /// [`SystolicArray::gemm`]: rows of `A` to CVU rows, columns of `B` to
     /// CVU columns, `ceil(k / (clusters·L))` beats per tile pass plus
-    /// `rows + cols` systolic skew. Tile passes are independent, so the
-    /// tiled driver runs them rayon-parallel; each output scalar is
-    /// Equation 4 through the word-level slice kernels
-    /// ([`bpvec_core::slice_dot_words`]), bit-identical to the per-element
-    /// path (pinned by tests).
+    /// `rows + cols` systolic skew. The *compute* is driven by a
+    /// multi-level blocked schedule, decoupled from the modeled array tile
+    /// walk (the cycle model above is analytical, so the host-side schedule
+    /// is free to chase cache locality):
+    ///
+    /// * **register tier** — the dispatched sub-plane kernel
+    ///   ([`bpvec_core::kernels::active_tier`]: AVX-512 `vpopcntq`, AVX2
+    ///   vpshufb-popcount, or scalar SWAR) streams packed words in
+    ///   SIMD-width chunks, weights held in-register;
+    /// * **L1 tier** — `B` is decomposed into one-bit sub-plane panels of
+    ///   [`packed_tile_geometry`]`().col_panel` columns that stay L1-resident
+    ///   while every row of the macro-tile streams against them
+    ///   ([`PackedSliceMatrix::dot_block_into`]);
+    /// * **thread tier** — row macro-tiles of [`MACRO_ROW_BLOCK`] rows fan
+    ///   out rayon-parallel.
+    ///
+    /// Every output scalar is Equation 4 through the word-level slice
+    /// kernels, bit-identical to the per-element path on every dispatch
+    /// tier (pinned by tests).
     ///
     /// # Errors
     ///
@@ -225,32 +276,43 @@ impl SystolicArray {
         };
         let cycles = (row_tiles * col_tiles) as u64 * (beats + (rows + cols) as u64);
 
-        // The tiled driver: every (row-tile, col-tile) pass is independent,
-        // consuming the same packed planes, so passes fan out in parallel.
-        let tiles: Vec<(usize, usize)> = (0..row_tiles)
-            .flat_map(|rt| (0..col_tiles).map(move |ct| (rt, ct)))
+        let mut output = Tensor::zeros(&[m, n]);
+        // A degenerate 0-row/0-column geometry computes nothing on either
+        // path — all-zero output, zero MACs, skew-only cycles.
+        if rows == 0 || cols == 0 || m == 0 || n == 0 {
+            return Ok(GemmRun {
+                output,
+                cycles,
+                macs: 0,
+            });
+        }
+        // The blocked driver: macro-tiles of A rows fan out rayon-parallel,
+        // each streaming B's L1-resident sub-plane panels through the
+        // dispatched kernel (see the tiling tiers in the doc above).
+        let tier = kernels::active_tier();
+        let geo = packed_tile_geometry(a, b);
+        let blocks: Vec<(usize, usize)> = (0..geo.macro_row_tiles as usize)
+            .map(|t| (t * geo.row_block, ((t + 1) * geo.row_block).min(m)))
             .collect();
-        let computed: Vec<Vec<(usize, usize, i32)>> = tiles
-            .into_par_iter()
-            .map(|(rt, ct)| {
-                let mut tile = Vec::with_capacity(rows * cols);
-                for i in (rt * rows)..(rt * rows + rows).min(m) {
-                    for j in (ct * cols)..(ct * cols + cols).min(n) {
-                        let value = a.dot(i, b, j);
-                        let value = i32::try_from(value).expect("quantized GEMM results fit i32");
-                        tile.push((i, j, value));
-                    }
-                }
-                tile
+        let computed: Vec<Vec<i64>> = blocks
+            .par_iter()
+            .map(|&(lo, hi)| {
+                let mut block = vec![0i64; (hi - lo) * n];
+                a.dot_block_into(tier, lo..hi, b, &mut block);
+                block
             })
             .collect();
+        for ((lo, hi), block) in blocks.into_iter().zip(computed) {
+            for (ri, i) in (lo..hi).enumerate() {
+                for j in 0..n {
+                    output[&[i, j]] =
+                        i32::try_from(block[ri * n + j]).expect("quantized GEMM results fit i32");
+                }
+            }
+        }
         // MACs are charged per *computed* output (matching `gemm`, which
         // only counts outputs a CVU actually produced).
-        let macs = computed.iter().map(Vec::len).sum::<usize>() as u64 * k as u64;
-        let mut output = Tensor::zeros(&[m, n]);
-        for (i, j, value) in computed.into_iter().flatten() {
-            output[&[i, j]] = value;
-        }
+        let macs = (m * n) as u64 * k as u64;
         Ok(GemmRun {
             output,
             cycles,
