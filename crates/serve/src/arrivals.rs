@@ -50,6 +50,35 @@ pub enum ArrivalProcess {
         /// Think time between a completion and the client's next request.
         think_s: f64,
     },
+    /// Open-loop diurnal traffic: a non-homogeneous Poisson process whose
+    /// rate follows a raised-cosine day/night cycle from `base_rps`
+    /// (trough, at t = 0) up to `peak_rps` and back over each `period_s`.
+    /// Sampled by thinning against the peak rate, so it stays exactly
+    /// reproducible under a fixed seed.
+    Diurnal {
+        /// Trough arrival rate, requests per second.
+        base_rps: f64,
+        /// Peak arrival rate, requests per second.
+        peak_rps: f64,
+        /// Length of one full day/night cycle, seconds.
+        period_s: f64,
+    },
+    /// Open-loop flash crowd: steady `base_rps` until `start_s`, a linear
+    /// ramp to `flash_rps` over `ramp_s`, a hold of `hold_s`, then a
+    /// symmetric ramp back down to `base_rps`. A non-homogeneous Poisson
+    /// process sampled by thinning, like [`ArrivalProcess::Diurnal`].
+    FlashCrowd {
+        /// Background arrival rate, requests per second.
+        base_rps: f64,
+        /// Rate at the top of the flash, requests per second.
+        flash_rps: f64,
+        /// When the ramp up begins, seconds.
+        start_s: f64,
+        /// Ramp duration (both up and down), seconds.
+        ramp_s: f64,
+        /// How long the flash holds at `flash_rps`, seconds.
+        hold_s: f64,
+    },
 }
 
 impl ArrivalProcess {
@@ -85,6 +114,72 @@ impl ArrivalProcess {
         }
     }
 
+    /// Diurnal day/night traffic between `base_rps` and `peak_rps`.
+    #[must_use]
+    pub fn diurnal(base_rps: f64, peak_rps: f64, period_s: f64) -> Self {
+        ArrivalProcess::Diurnal {
+            base_rps,
+            peak_rps,
+            period_s,
+        }
+    }
+
+    /// A flash crowd over steady background traffic.
+    #[must_use]
+    pub fn flash_crowd(
+        base_rps: f64,
+        flash_rps: f64,
+        start_s: f64,
+        ramp_s: f64,
+        hold_s: f64,
+    ) -> Self {
+        ArrivalProcess::FlashCrowd {
+            base_rps,
+            flash_rps,
+            start_s,
+            ramp_s,
+            hold_s,
+        }
+    }
+
+    /// The instantaneous rate λ(t) of a non-homogeneous process, used by
+    /// the simulator's thinning sampler. Homogeneous processes return
+    /// their fixed rate.
+    #[must_use]
+    pub fn rate_at(&self, t_s: f64) -> f64 {
+        match self {
+            ArrivalProcess::Diurnal {
+                base_rps,
+                peak_rps,
+                period_s,
+            } => {
+                let phase = std::f64::consts::TAU * t_s / period_s;
+                base_rps + (peak_rps - base_rps) * 0.5 * (1.0 - phase.cos())
+            }
+            ArrivalProcess::FlashCrowd {
+                base_rps,
+                flash_rps,
+                start_s,
+                ramp_s,
+                hold_s,
+            } => {
+                let dt = t_s - start_s;
+                if dt < 0.0 || dt >= 2.0 * ramp_s + hold_s {
+                    *base_rps
+                } else if dt < *ramp_s {
+                    base_rps + (flash_rps - base_rps) * dt / ramp_s
+                } else if dt < ramp_s + hold_s {
+                    *flash_rps
+                } else {
+                    flash_rps - (flash_rps - base_rps) * (dt - ramp_s - hold_s) / ramp_s
+                }
+            }
+            ArrivalProcess::Poisson { rate_rps } => *rate_rps,
+            ArrivalProcess::Bursty { base_rps, .. } => *base_rps,
+            ArrivalProcess::Trace { .. } | ArrivalProcess::ClosedLoop { .. } => 0.0,
+        }
+    }
+
     /// True for closed-loop traffic (arrivals are completion-driven).
     #[must_use]
     pub fn is_closed(&self) -> bool {
@@ -111,6 +206,12 @@ impl ArrivalProcess {
                 (sum > 0.0).then(|| inter_arrival_s.len() as f64 / sum)
             }
             ArrivalProcess::ClosedLoop { .. } => None,
+            // Raised cosine averages to the midpoint over whole periods.
+            ArrivalProcess::Diurnal {
+                base_rps, peak_rps, ..
+            } => Some(0.5 * (base_rps + peak_rps)),
+            // The flash is a transient; the long-run rate is the background.
+            ArrivalProcess::FlashCrowd { base_rps, .. } => Some(*base_rps),
         }
     }
 }
@@ -128,6 +229,14 @@ impl fmt::Display for ArrivalProcess {
                 write!(f, "trace({} gaps)", inter_arrival_s.len())
             }
             ArrivalProcess::ClosedLoop { concurrency, .. } => write!(f, "closed({concurrency})"),
+            ArrivalProcess::Diurnal {
+                base_rps, peak_rps, ..
+            } => write!(f, "diurnal({base_rps:.0}-{peak_rps:.0}rps)"),
+            ArrivalProcess::FlashCrowd {
+                base_rps,
+                flash_rps,
+                ..
+            } => write!(f, "flash({base_rps:.0}->{flash_rps:.0}rps)"),
         }
     }
 }
@@ -324,6 +433,49 @@ mod tests {
     #[test]
     fn zero_length_trace_has_no_rate() {
         assert_eq!(ArrivalProcess::trace(vec![]).offered_rps(), None);
+    }
+
+    #[test]
+    fn diurnal_rate_cycles_between_base_and_peak() {
+        let d = ArrivalProcess::diurnal(100.0, 500.0, 60.0);
+        assert!((d.rate_at(0.0) - 100.0).abs() < 1e-9, "trough at t=0");
+        assert!(
+            (d.rate_at(30.0) - 500.0).abs() < 1e-9,
+            "peak at half period"
+        );
+        assert!((d.rate_at(60.0) - 100.0).abs() < 1e-9, "trough again");
+        assert!(
+            (d.rate_at(15.0) - 300.0).abs() < 1e-9,
+            "midpoint on the way up"
+        );
+        assert_eq!(d.offered_rps(), Some(300.0));
+        assert!(!d.is_closed());
+    }
+
+    #[test]
+    fn flash_crowd_rate_is_piecewise_linear() {
+        let fc = ArrivalProcess::flash_crowd(100.0, 900.0, 10.0, 4.0, 6.0);
+        assert_eq!(fc.rate_at(0.0), 100.0);
+        assert_eq!(fc.rate_at(9.999), 100.0);
+        assert!(
+            (fc.rate_at(12.0) - 500.0).abs() < 1e-9,
+            "halfway up the ramp"
+        );
+        assert_eq!(fc.rate_at(14.0), 900.0);
+        assert_eq!(fc.rate_at(19.999), 900.0);
+        assert!((fc.rate_at(22.0) - 500.0).abs() < 1e-9, "halfway down");
+        assert_eq!(fc.rate_at(24.0), 100.0);
+        assert_eq!(fc.rate_at(1000.0), 100.0);
+        assert_eq!(fc.offered_rps(), Some(100.0));
+    }
+
+    #[test]
+    fn zero_ramp_flash_is_a_step() {
+        let fc = ArrivalProcess::flash_crowd(50.0, 200.0, 5.0, 0.0, 2.0);
+        assert_eq!(fc.rate_at(4.999), 50.0);
+        assert_eq!(fc.rate_at(5.0), 200.0);
+        assert_eq!(fc.rate_at(6.999), 200.0);
+        assert_eq!(fc.rate_at(7.0), 50.0);
     }
 
     #[test]

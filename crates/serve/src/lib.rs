@@ -18,9 +18,10 @@
 //!                      utilization, energy/request, goodput under SLA)
 //! ```
 //!
-//! * [`arrivals`] — open-loop Poisson / bursty-MMPP / trace-replay and
-//!   closed-loop fixed-concurrency [`ArrivalProcess`]es, with per-network
-//!   [`RequestMix`]es bundled into [`TrafficSpec`]s;
+//! * [`arrivals`] — open-loop Poisson / bursty-MMPP / trace-replay /
+//!   diurnal / flash-crowd and closed-loop fixed-concurrency
+//!   [`ArrivalProcess`]es, with per-network [`RequestMix`]es bundled into
+//!   [`TrafficSpec`]s;
 //! * [`scheduler`] — the [`BatchPolicy`] spectrum: immediate dispatch,
 //!   fixed-size batching, and deadline-aware dynamic batching whose batch
 //!   costs come from the backend's `BatchRegime` latencies (so CNN
@@ -41,9 +42,21 @@
 //!   queue-depth samples, and control-plane events into a
 //!   [`bpvec_obs::TraceSink`], stamped with sim-time so traces are
 //!   byte-identical across identically-seeded runs;
+//! * [`queue`] — the engine's event queue: a binary-heap baseline and a
+//!   calendar queue with O(1) expected push/pop at fleet scale, selected
+//!   per run (or via `BPVEC_EVENT_QUEUE`) and bit-identical in pop order;
+//! * [`streaming`] — O(1)-memory streaming metrics ([`StreamingSummary`]):
+//!   a deterministic log-bucketed [`QuantileSketch`] (p50/p95/p99 within
+//!   ~1%), windowed peak throughput, and per-class/tenant/region rollups,
+//!   so 10M-request runs never retain per-request records;
+//! * [`fleet`] — fleet topology for [`run_fleet`]: regions → clusters →
+//!   replicas with spill-or-drop admission control, weighted
+//!   [`TenantClass`]es with per-tenant SLAs and in-flight quotas, and
+//!   inter-tier forwarding latency;
 //! * [`metrics`] — [`ServingMetrics`]: tail latencies, utilization, queue
 //!   depth, energy per request, goodput under an SLA, time-in-policy,
-//!   degraded-request share, switch counts;
+//!   degraded-request share, switch counts — summarized from exact records
+//!   or the streaming digest, whichever the run kept;
 //! * [`scenario`] — the [`ServingScenario`] builder mirroring
 //!   [`bpvec_sim::Scenario`]: declare platforms × policies × clusters ×
 //!   traffics (× precisions) (× controls), run the grid rayon-parallel,
@@ -83,18 +96,25 @@
 pub mod arrivals;
 pub mod cluster;
 pub mod controller;
+pub mod fleet;
 pub mod metrics;
+pub mod queue;
 pub mod scenario;
 pub mod scheduler;
 pub mod sim;
+pub mod streaming;
 
 pub use arrivals::{ArrivalProcess, MixEntry, RequestMix, TrafficSpec};
 pub use cluster::{ClusterSpec, Router};
 pub use controller::{AdaptiveSpec, AutoscalerConfig, ControlPolicy, ControllerConfig};
+pub use fleet::{run_fleet, run_fleet_traced, FleetSpec, RegionSpec, TenantClass};
 pub use metrics::{LatencyHistogram, LatencyStats, ServingMetrics};
+pub use queue::QueueKind;
 pub use scenario::{ServingCell, ServingError, ServingReport, ServingScenario};
 pub use scheduler::BatchPolicy;
 pub use sim::{
-    run_serving, run_serving_adaptive, run_serving_adaptive_traced, run_serving_traced,
-    PolicySwitchEvent, RequestRecord, ScaleEvent, ServiceModel, ServingOutcome,
+    run_serving, run_serving_adaptive, run_serving_adaptive_traced,
+    run_serving_adaptive_with_options, run_serving_traced, run_serving_with_options,
+    PolicySwitchEvent, RequestRecord, RunOptions, ScaleEvent, ServiceModel, ServingOutcome,
 };
+pub use streaming::{QuantileSketch, RegionRollup, StreamingSummary, TenantRollup};

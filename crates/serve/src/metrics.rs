@@ -36,20 +36,38 @@ impl LatencyHistogram {
     /// Number of bins (1 µs doubling to ≈134 s).
     pub const BINS: usize = 28;
 
+    /// Bin index for one sojourn sample (underflow → 0, overflow → last).
+    #[must_use]
+    pub fn bin(s: f64) -> usize {
+        if s < 1e-6 {
+            0
+        } else {
+            // log2(s / 1µs), clamped into range.
+            ((s / 1e-6).log2().floor() as usize).min(Self::BINS - 1)
+        }
+    }
+
     /// Builds the histogram from raw sojourn samples.
     #[must_use]
     pub fn from_samples(samples: &[f64]) -> Self {
-        let lower_s: Vec<f64> = (0..Self::BINS).map(|i| 1e-6 * f64::from(1 << i)).collect();
         let mut counts = vec![0u64; Self::BINS];
         for &s in samples {
-            let bin = if s < lower_s[0] {
-                0
-            } else {
-                // log2(s / 1µs), clamped into range.
-                ((s / 1e-6).log2().floor() as usize).min(Self::BINS - 1)
-            };
-            counts[bin] += 1;
+            counts[Self::bin(s)] += 1;
         }
+        Self::from_counts(counts)
+    }
+
+    /// Wraps pre-accumulated per-bin counts (indexed by [`Self::bin`]) —
+    /// the streaming path maintains counts incrementally and freezes them
+    /// here, bit-identical to [`Self::from_samples`] on the same stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `counts` has exactly [`Self::BINS`] entries.
+    #[must_use]
+    pub fn from_counts(counts: Vec<u64>) -> Self {
+        assert_eq!(counts.len(), Self::BINS, "one count per bin");
+        let lower_s: Vec<f64> = (0..Self::BINS).map(|i| 1e-6 * f64::from(1 << i)).collect();
         LatencyHistogram { lower_s, counts }
     }
 
@@ -65,8 +83,14 @@ impl LatencyHistogram {
 pub struct ServingMetrics {
     /// Requests admitted into the system.
     pub admitted: u64,
-    /// Requests completed (always equals `admitted`: the run drains).
+    /// Requests completed (equals `admitted`: the run drains what it admits).
     pub completed: u64,
+    /// Requests shed by admission control before entering the system
+    /// (0 outside fleet runs).
+    pub dropped: u64,
+    /// High-water count of per-request records held at once — 0 for a
+    /// streaming run, `completed` when retention is on.
+    pub peak_records_retained: u64,
     /// Requests included in the latency statistics (post-warmup).
     pub measured: u64,
     /// Simulated wall-clock length of the run, seconds.
@@ -107,19 +131,31 @@ pub struct ServingMetrics {
     pub mean_active_replicas: f64,
 }
 
-/// `q`-quantile of an ascending-sorted slice (nearest-rank convention).
-fn quantile(sorted: &[f64], q: f64) -> f64 {
-    if sorted.is_empty() {
+/// Nearest-rank quantile via O(n) selection — no full sort. Reorders `v`.
+fn select_quantile(v: &mut [f64], q: f64) -> f64 {
+    if v.is_empty() {
         return 0.0;
     }
-    let rank = (q * sorted.len() as f64).ceil() as usize;
-    sorted[rank.clamp(1, sorted.len()) - 1]
+    let rank = ((q * v.len() as f64).ceil() as usize).clamp(1, v.len());
+    *v.select_nth_unstable_by(rank - 1, f64::total_cmp)
+        .1
 }
+
+/// What either latency path (exact records or streaming digest) yields:
+/// `(measured, measured_full, latency, histogram, within_sla)`.
+type LatencySummary = (u64, u64, LatencyStats, LatencyHistogram, f64);
 
 impl ServingMetrics {
     /// Summarizes a raw outcome. `replicas` is the cluster size the outcome
     /// ran on (for utilization), `warmup` the number of leading admissions
     /// excluded from latency statistics, `sla_s` the latency objective.
+    ///
+    /// Outcomes with retained records get exact percentiles from the
+    /// records; streaming outcomes (no records) are summarized from
+    /// [`ServingOutcome::summary`], whose warmup cut was fixed at run time
+    /// (the `warmup` argument only filters the record path). On the
+    /// streaming path the SLA count is exact when `sla_s` matches the
+    /// SLA the run streamed with, else interpolated from the histogram.
     #[must_use]
     pub fn from_outcome(
         outcome: &ServingOutcome,
@@ -127,30 +163,16 @@ impl ServingMetrics {
         warmup: u64,
         sla_s: Option<f64>,
     ) -> Self {
-        let completed = outcome.records.len() as u64;
-        let mut sojourns: Vec<f64> = Vec::with_capacity(outcome.records.len());
-        let mut measured_full = 0u64;
-        for r in &outcome.records {
-            if r.id >= warmup {
-                sojourns.push(r.sojourn_s());
-                if r.rung == 0 {
-                    measured_full += 1;
-                }
-            }
-        }
-        sojourns.sort_by(f64::total_cmp);
-        let measured = sojourns.len() as u64;
-        let mean_s = if sojourns.is_empty() {
-            0.0
+        let streamed = outcome.records.is_empty() && outcome.completed > 0;
+        let completed = if streamed {
+            outcome.completed
         } else {
-            sojourns.iter().sum::<f64>() / sojourns.len() as f64
+            outcome.records.len() as u64
         };
-        let latency = LatencyStats {
-            mean_s,
-            p50_s: quantile(&sojourns, 0.50),
-            p95_s: quantile(&sojourns, 0.95),
-            p99_s: quantile(&sojourns, 0.99),
-            max_s: sojourns.last().copied().unwrap_or(0.0),
+        let (measured, measured_full, latency, histogram, within_sla) = if streamed {
+            Self::latency_from_stream(&outcome.summary, sla_s)
+        } else {
+            Self::latency_from_records(outcome, warmup, sla_s)
         };
         let makespan_s = outcome.makespan_s;
         let throughput_rps = if makespan_s > 0.0 {
@@ -158,12 +180,8 @@ impl ServingMetrics {
         } else {
             0.0
         };
-        let within_sla = match sla_s {
-            Some(sla) => sojourns.iter().filter(|&&s| s <= sla).count() as u64,
-            None => measured,
-        };
         let sla_attainment = if measured > 0 {
-            within_sla as f64 / measured as f64
+            within_sla / measured as f64
         } else {
             1.0
         };
@@ -189,10 +207,12 @@ impl ServingMetrics {
         ServingMetrics {
             admitted: outcome.admitted,
             completed,
+            dropped: outcome.dropped,
+            peak_records_retained: outcome.peak_records_retained,
             measured,
             makespan_s,
             throughput_rps,
-            histogram: LatencyHistogram::from_samples(&sojourns),
+            histogram,
             latency,
             mean_queue_depth: if makespan_s > 0.0 {
                 outcome.depth_integral / makespan_s
@@ -232,6 +252,91 @@ impl ServingMetrics {
             },
         }
     }
+
+    /// Exact latency summary from retained records: one pass gathers the
+    /// post-warmup sojourns while accumulating the mean, max, histogram,
+    /// SLA hits, and rung shares, then each quantile is an O(n) selection
+    /// instead of a full sort.
+    fn latency_from_records(
+        outcome: &ServingOutcome,
+        warmup: u64,
+        sla_s: Option<f64>,
+    ) -> LatencySummary {
+        let mut sojourns: Vec<f64> = Vec::with_capacity(outcome.records.len());
+        let mut measured_full = 0u64;
+        let mut sum_s = 0.0;
+        let mut max_s = 0.0f64;
+        let mut within = 0u64;
+        let mut counts = vec![0u64; LatencyHistogram::BINS];
+        for r in &outcome.records {
+            if r.id < warmup {
+                continue;
+            }
+            let s = r.sojourn_s();
+            sum_s += s;
+            max_s = max_s.max(s);
+            counts[LatencyHistogram::bin(s)] += 1;
+            if r.rung == 0 {
+                measured_full += 1;
+            }
+            if sla_s.is_none_or(|sla| s <= sla) {
+                within += 1;
+            }
+            sojourns.push(s);
+        }
+        let measured = sojourns.len() as u64;
+        let latency = LatencyStats {
+            mean_s: if measured == 0 {
+                0.0
+            } else {
+                sum_s / measured as f64
+            },
+            p50_s: select_quantile(&mut sojourns, 0.50),
+            p95_s: select_quantile(&mut sojourns, 0.95),
+            p99_s: select_quantile(&mut sojourns, 0.99),
+            max_s,
+        };
+        let histogram = LatencyHistogram::from_counts(counts);
+        (measured, measured_full, latency, histogram, within as f64)
+    }
+
+    /// Latency summary from the streaming digest of a record-free run.
+    fn latency_from_stream(
+        summary: &crate::streaming::StreamingSummary,
+        sla_s: Option<f64>,
+    ) -> LatencySummary {
+        let latency = LatencyStats {
+            mean_s: summary.mean_s,
+            p50_s: summary.p50_s,
+            p95_s: summary.p95_s,
+            p99_s: summary.p99_s,
+            max_s: summary.max_s,
+        };
+        // The stream counted SLA hits exactly against the SLA it ran with;
+        // any other target has to fall back on the histogram's resolution.
+        let within = if sla_s == summary.sla_s {
+            summary.sla_hits as f64
+        } else {
+            match sla_s {
+                None => summary.measured as f64,
+                Some(sla) => summary
+                    .histogram
+                    .counts
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, _)| LatencyHistogram::bin(sla) > i)
+                    .map(|(_, &c)| c as f64)
+                    .sum(),
+            }
+        };
+        (
+            summary.measured,
+            summary.measured_full,
+            latency,
+            summary.histogram.clone(),
+            within,
+        )
+    }
 }
 
 #[cfg(test)]
@@ -259,6 +364,11 @@ mod tests {
             .fold(0.0f64, f64::max);
         ServingOutcome {
             admitted: records.len() as u64,
+            completed: records.len() as u64,
+            dropped: 0,
+            peak_records_retained: records.len() as u64,
+            peak_in_system: records.len() as u64,
+            events: 0,
             busy_s: makespan_s / 2.0,
             depth_integral: makespan_s * 3.0,
             makespan_s,
@@ -269,17 +379,19 @@ mod tests {
             rung_time_s: Vec::new(),
             policy_switches: Vec::new(),
             scale_events: Vec::new(),
+            summary: crate::streaming::StreamingSummary::default(),
         }
     }
 
     #[test]
     fn quantiles_use_nearest_rank() {
-        let sorted: Vec<f64> = (1..=100).map(f64::from).collect();
-        assert_eq!(quantile(&sorted, 0.50), 50.0);
-        assert_eq!(quantile(&sorted, 0.95), 95.0);
-        assert_eq!(quantile(&sorted, 0.99), 99.0);
-        assert_eq!(quantile(&[7.0], 0.99), 7.0);
-        assert_eq!(quantile(&[], 0.5), 0.0);
+        // Shuffled input: selection must find the sorted-order statistic.
+        let mut v: Vec<f64> = (1..=100).rev().map(f64::from).collect();
+        assert_eq!(select_quantile(&mut v, 0.50), 50.0);
+        assert_eq!(select_quantile(&mut v, 0.95), 95.0);
+        assert_eq!(select_quantile(&mut v, 0.99), 99.0);
+        assert_eq!(select_quantile(&mut [7.0], 0.99), 7.0);
+        assert_eq!(select_quantile(&mut [], 0.5), 0.0);
     }
 
     #[test]

@@ -30,7 +30,9 @@ use crate::cluster::ClusterSpec;
 use crate::controller::{AdaptiveSpec, ControlPolicy};
 use crate::metrics::ServingMetrics;
 use crate::scheduler::BatchPolicy;
-use crate::sim::{build_rung_tables, run_serving_with_control, CostTable, ServiceModel};
+use crate::sim::{
+    build_rung_tables, run_serving_with_control, CostTable, RunOptions, ServiceModel,
+};
 
 /// Errors from building or running a serving scenario.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -204,6 +206,39 @@ pub(crate) fn validate_traffic(t: &TrafficSpec) -> Result<(), ServingError> {
             "traffic `{}`: closed loop needs concurrency >= 1 and think_s >= 0",
             t.label
         ))),
+        ArrivalProcess::Diurnal {
+            base_rps,
+            peak_rps,
+            period_s,
+        } if !(positive(*base_rps)
+            && positive(*period_s)
+            && peak_rps.is_finite()
+            && *peak_rps >= *base_rps) =>
+        {
+            Err(ServingError(format!(
+                "traffic `{}`: diurnal needs 0 < base_rps <= peak_rps and period_s > 0",
+                t.label
+            )))
+        }
+        ArrivalProcess::FlashCrowd {
+            base_rps,
+            flash_rps,
+            start_s,
+            ramp_s,
+            hold_s,
+        } if !(positive(*base_rps)
+            && flash_rps.is_finite()
+            && *flash_rps >= *base_rps
+            && non_negative(*start_s)
+            && non_negative(*ramp_s)
+            && non_negative(*hold_s)) =>
+        {
+            Err(ServingError(format!(
+                "traffic `{}`: flash crowd needs 0 < base_rps <= flash_rps and \
+                 non-negative start/ramp/hold",
+                t.label
+            )))
+        }
         _ => Ok(()),
     }
 }
@@ -793,6 +828,8 @@ impl ServingScenario {
                     self.service,
                     mix_seed(self.seed, *traffic_idx as u64),
                     cell_sink.as_ref().map(|s| s as &dyn TraceSink),
+                    RunOptions::retained().with_sla(self.sla_s),
+                    None,
                 );
                 if let (Some(prof), Some(t0)) = (&self.profile, cell_started) {
                     prof.record(
@@ -810,13 +847,9 @@ impl ServingScenario {
                     self.sla_s,
                 );
                 // Post-warmup completions per service class, labelled so
-                // prefill/decode splits are visible per cell.
-                let mut class_counts = vec![0u64; traffic.mix.classes()];
-                for r in &outcome.records {
-                    if r.id >= traffic.warmup {
-                        class_counts[r.class] += 1;
-                    }
-                }
+                // prefill/decode splits are visible per cell. The streaming
+                // digest counts these whether or not records are retained.
+                let class_counts = outcome.summary.class_completed.clone();
                 let classes = traffic
                     .mix
                     .entries

@@ -5,11 +5,19 @@
 //! over per-class FIFO queues, with batch service times looked up from the
 //! backend's `BatchRegime` latencies (so CNN tile-spill effects shape the
 //! cost of every batch size). Everything is driven by a single seeded RNG
-//! pair and a `(time, sequence)`-ordered event heap, so a fixed seed yields
-//! a bit-identical [`ServingOutcome`] on every run.
+//! pair and a `(time, sequence)`-ordered event queue (calendar queue by
+//! default, the original binary heap behind `BPVEC_EVENT_QUEUE=heap` —
+//! both pop the identical sequence), so a fixed seed yields a
+//! bit-identical [`ServingOutcome`] on every run.
+//!
+//! Memory contract: by default the loop streams — per-request
+//! [`RequestRecord`]s are *not* retained, and latency statistics come from
+//! the O(1) [`StreamingSummary`] digest. [`RunOptions::retained`] switches
+//! record retention back on (the debug/exact axis the scenario grids and
+//! CSV goldens use).
 
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 use bpvec_obs::{TraceEvent, TraceSink};
@@ -21,7 +29,10 @@ use serde::{Deserialize, Serialize};
 use crate::arrivals::{ArrivalProcess, TrafficSpec};
 use crate::cluster::{ClusterSpec, Router};
 use crate::controller::AdaptiveSpec;
+use crate::fleet::{FleetSpec, FleetState};
+use crate::queue::{EventQueue, QueueKind};
 use crate::scheduler::BatchPolicy;
+use crate::streaming::{StreamStats, StreamingSummary};
 
 /// How dispatched batches' service times vary around the backend's
 /// deterministic batch cost.
@@ -90,13 +101,109 @@ pub struct ScaleEvent {
     pub up: bool,
 }
 
+/// How one simulation run retains state and emits telemetry.
+///
+/// The default is the fleet-scale contract: streaming metrics only (no
+/// per-request record retention), every request traced, SLA accounting
+/// off, and the event queue picked by [`QueueKind::from_env`]. The legacy
+/// entry points ([`run_serving`] and friends) pass
+/// [`RunOptions::retained`] instead, so their exact record-based outputs
+/// are unchanged.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunOptions {
+    /// Retain a [`RequestRecord`] per request (O(n) memory; exact
+    /// percentiles). Off by default.
+    pub retain_records: bool,
+    /// SLA the streaming pipeline counts hits against as completions
+    /// stream through (exact, not sketched).
+    pub sla_s: Option<f64>,
+    /// Trace sampling stride: only requests with `id % trace_every == 0`
+    /// emit request-lane trace events (batch `exec` spans emit when they
+    /// carry at least one sampled request). `1` traces everything.
+    pub trace_every: u64,
+    /// Aggregation window for the streaming peak-throughput signal.
+    pub window_s: f64,
+    /// Event-queue implementation backing the run.
+    pub queue: QueueKind,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            retain_records: false,
+            sla_s: None,
+            trace_every: 1,
+            window_s: 1.0,
+            queue: QueueKind::from_env(),
+        }
+    }
+}
+
+impl RunOptions {
+    /// The legacy exact configuration: full record retention.
+    #[must_use]
+    pub fn retained() -> Self {
+        RunOptions {
+            retain_records: true,
+            ..RunOptions::default()
+        }
+    }
+
+    /// Sets the streaming SLA accounting target.
+    #[must_use]
+    pub fn with_sla(mut self, sla_s: Option<f64>) -> Self {
+        self.sla_s = sla_s;
+        self
+    }
+
+    /// Sets the trace sampling stride (must be ≥ 1).
+    #[must_use]
+    pub fn with_trace_every(mut self, every: u64) -> Self {
+        self.trace_every = every;
+        self
+    }
+
+    /// Sets the streaming aggregation window.
+    #[must_use]
+    pub fn with_window(mut self, window_s: f64) -> Self {
+        self.window_s = window_s;
+        self
+    }
+
+    /// Pins the event-queue implementation.
+    #[must_use]
+    pub fn with_queue(mut self, queue: QueueKind) -> Self {
+        self.queue = queue;
+        self
+    }
+}
+
 /// Raw result of one simulation run; [`crate::ServingMetrics`] summarizes it.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ServingOutcome {
-    /// Per-request lifecycle records, in completion order.
+    /// Per-request lifecycle records, in completion order. Empty unless
+    /// the run retained records ([`RunOptions::retain_records`]).
     pub records: Vec<RequestRecord>,
-    /// Requests admitted (equals the traffic spec's request count).
+    /// Requests admitted (the traffic spec's request count minus
+    /// `dropped`).
     pub admitted: u64,
+    /// Requests completed (equals `admitted` once the run drains).
+    pub completed: u64,
+    /// Requests shed by fleet admission control or region queue caps
+    /// (always 0 outside fleet runs).
+    pub dropped: u64,
+    /// High-water mark of `records.len()` — the bench gate's proof that a
+    /// streaming run held no per-request state (0 when retention is off).
+    pub peak_records_retained: u64,
+    /// High-water mark of requests simultaneously in the system (queued,
+    /// in flight, or in inter-tier transit).
+    pub peak_in_system: u64,
+    /// Total events popped from the event queue over the run.
+    pub events: u64,
+    /// The O(1)-memory streaming digest of the post-warmup latency
+    /// stream; always populated, and the only latency signal when record
+    /// retention is off.
+    pub summary: StreamingSummary,
     /// Total busy time summed across replicas, seconds.
     pub busy_s: f64,
     /// Time integral of the total queue depth (waiting requests only).
@@ -200,7 +307,10 @@ impl CostTable {
     }
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// Event payloads, ordered by the queue's `(time, seq)` key — the
+/// sequence number makes simultaneous events (and therefore the whole
+/// run) deterministic regardless of queue implementation.
+#[derive(Debug, Clone, Copy)]
 enum EventKind {
     Arrival,
     Completion {
@@ -212,40 +322,22 @@ enum EventKind {
     /// Adaptive control evaluation: every replica's rung, then the
     /// autoscaler. Scheduled only when an [`AdaptiveSpec`] is in force.
     ControllerTick,
-}
-
-/// Heap entry ordered by `(time, seq)` ascending; the sequence number makes
-/// simultaneous events (and therefore the whole run) deterministic.
-#[derive(Debug, Clone, Copy, PartialEq)]
-struct Event {
-    time: f64,
-    seq: u64,
-    kind: EventKind,
-}
-
-impl Eq for Event {}
-
-impl Ord for Event {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Inverted so std's max-heap pops the earliest event first.
-        other
-            .time
-            .total_cmp(&self.time)
-            .then(other.seq.cmp(&self.seq))
-    }
-}
-
-impl PartialOrd for Event {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
+    /// A fleet-routed request landing on its replica after the inter-tier
+    /// forward delay. Only scheduled when a fleet's `forward_delay_s` is
+    /// positive; zero-delay fleets enqueue directly at arrival.
+    Enqueue {
+        shard: usize,
+        req: Request,
+    },
 }
 
 #[derive(Debug, Clone, Copy)]
-struct Request {
-    id: u64,
-    class: usize,
-    arrival_s: f64,
+pub(crate) struct Request {
+    pub(crate) id: u64,
+    pub(crate) class: usize,
+    pub(crate) arrival_s: f64,
+    /// Tenant index within the fleet spec (0 outside fleet runs).
+    pub(crate) tenant: u32,
 }
 
 struct InFlight {
@@ -254,6 +346,10 @@ struct InFlight {
     /// Rung the batch dispatched at (its service time is already locked in;
     /// a mid-service switch only affects subsequent batches).
     rung: usize,
+    /// Whether this batch's `exec` span was emitted to the trace (it
+    /// carried at least one sampled request), so the matching end event
+    /// fires iff the begin did.
+    traced: bool,
 }
 
 struct Shard {
@@ -343,6 +439,14 @@ enum ArrivalGen {
         gaps: Vec<f64>,
         idx: usize,
     },
+    /// Non-homogeneous Poisson (diurnal / flash crowd), sampled by
+    /// thinning against the process's peak rate. Tracks its own arrival
+    /// clock so λ(t) is evaluated at candidate times.
+    Varying {
+        process: ArrivalProcess,
+        peak_rate: f64,
+        t_s: f64,
+    },
     Closed,
 }
 
@@ -372,6 +476,16 @@ impl ArrivalGen {
                 idx: 0,
             },
             ArrivalProcess::ClosedLoop { .. } => ArrivalGen::Closed,
+            ArrivalProcess::Diurnal { peak_rps, .. } => ArrivalGen::Varying {
+                process: process.clone(),
+                peak_rate: *peak_rps,
+                t_s: 0.0,
+            },
+            ArrivalProcess::FlashCrowd { flash_rps, .. } => ArrivalGen::Varying {
+                process: process.clone(),
+                peak_rate: *flash_rps,
+                t_s: 0.0,
+            },
         }
     }
 
@@ -412,6 +526,23 @@ impl ArrivalGen {
                 *idx += 1;
                 gap
             }
+            ArrivalGen::Varying {
+                process,
+                peak_rate,
+                t_s,
+            } => {
+                // Lewis–Shedler thinning: candidate gaps at the peak rate,
+                // each accepted with probability λ(t)/λ_peak.
+                let mut gap = 0.0;
+                loop {
+                    let e = exp_sample(rng, 1.0 / *peak_rate);
+                    gap += e;
+                    *t_s += e;
+                    if rng.gen_range(0.0f64..1.0) * *peak_rate <= process.rate_at(*t_s) {
+                        return gap;
+                    }
+                }
+            }
             ArrivalGen::Closed => unreachable!("closed-loop arrivals are completion-driven"),
         }
     }
@@ -434,13 +565,31 @@ struct Sim<'a> {
     traffic: &'a TrafficSpec,
     router: Router,
     shards: Vec<Shard>,
-    heap: BinaryHeap<Event>,
+    queue: EventQueue<EventKind>,
     seq: u64,
     arrival_rng: StdRng,
     service_rng: StdRng,
     gen: ArrivalGen,
-    /// Requests admitted so far (doubles as the next request id).
+    options: RunOptions,
+    /// Streaming accumulator; observes every post-warmup completion.
+    stream: StreamStats,
+    /// Fleet topology/routing/rollup state, when this is a fleet run.
+    fleet: Option<FleetState>,
+    /// Arrivals sampled so far (doubles as the next request id; includes
+    /// dropped requests).
     admitted: u64,
+    /// Requests shed by fleet admission control.
+    dropped: u64,
+    /// Requests completed so far.
+    completed: u64,
+    /// Requests admitted and not yet completed (queued, in flight, or in
+    /// inter-tier transit).
+    in_system: u64,
+    peak_in_system: u64,
+    /// High-water mark of `records.len()`.
+    peak_records: u64,
+    /// Events popped so far.
+    events: u64,
     /// Arrival events pushed so far (bounded by `traffic.requests`).
     scheduled: u64,
     rr_next: usize,
@@ -484,7 +633,13 @@ impl Sim<'_> {
     fn push(&mut self, time: f64, kind: EventKind) {
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Event { time, seq, kind });
+        self.queue.push(time, seq, kind);
+    }
+
+    /// Whether request `id` is in the trace sample (always true at the
+    /// default stride of 1).
+    fn sampled(&self, id: u64) -> bool {
+        id.is_multiple_of(self.options.trace_every)
     }
 
     fn route(&mut self, class: usize) -> usize {
@@ -634,33 +789,44 @@ impl Sim<'_> {
         self.busy_s += svc;
         self.energy_j += table.energy_j(class, take);
         self.batches += 1;
+        if let Some(fleet) = self.fleet.as_mut() {
+            fleet.note_busy(shard, svc);
+        }
+        // Sampled tracing: the batch's exec span emits iff it carries at
+        // least one sampled request, and `traced` remembers that so the
+        // matching end event pairs up exactly.
+        let mut traced = false;
         if let Some(t) = self.trace {
-            // The batch-formation wait (oldest member's queueing time) rides
-            // as an arg on the exec span rather than as its own span: one
-            // lane, one in-flight batch per replica, so B/E nesting stays
-            // trivially well-formed.
-            let form_wait_s = self.now - requests[0].arrival_s;
-            t.record(TraceEvent::counter(
-                "queue_depth",
-                self.now,
-                shard as u32,
-                TID_BATCH,
-                self.queue_len(shard) as f64,
-            ));
-            t.record(
-                TraceEvent::begin("exec", self.now, shard as u32, TID_BATCH)
-                    .with_cat("serve")
-                    .with_arg("class", self.class_labels[class].as_str())
-                    .with_arg("batch", take)
-                    .with_arg("rung", rung)
-                    .with_arg("svc_s", svc)
-                    .with_arg("form_wait_s", form_wait_s),
-            );
+            traced = requests.iter().any(|r| self.sampled(r.id));
+            if traced {
+                // The batch-formation wait (oldest member's queueing time)
+                // rides as an arg on the exec span rather than as its own
+                // span: one lane, one in-flight batch per replica, so B/E
+                // nesting stays trivially well-formed.
+                let form_wait_s = self.now - requests[0].arrival_s;
+                t.record(TraceEvent::counter(
+                    "queue_depth",
+                    self.now,
+                    shard as u32,
+                    TID_BATCH,
+                    self.queue_len(shard) as f64,
+                ));
+                t.record(
+                    TraceEvent::begin("exec", self.now, shard as u32, TID_BATCH)
+                        .with_cat("serve")
+                        .with_arg("class", self.class_labels[class].as_str())
+                        .with_arg("batch", take)
+                        .with_arg("rung", rung)
+                        .with_arg("svc_s", svc)
+                        .with_arg("form_wait_s", form_wait_s),
+                );
+            }
         }
         self.shards[shard].in_flight = Some(InFlight {
             requests,
             start_s: self.now,
             rung,
+            traced,
         });
         let t = self.now + svc;
         self.push(t, EventKind::Completion { shard });
@@ -681,34 +847,95 @@ impl Sim<'_> {
         let class = self.traffic.mix.sample(&mut self.arrival_rng);
         let id = self.admitted;
         self.admitted += 1;
-        let shard = self.route(class);
         let arrival_s = self.now;
-        self.shards[shard].queues[class].push_back(Request {
-            id,
-            class,
-            arrival_s,
-        });
-        self.queued += 1;
-        if let Some(t) = self.trace {
-            t.record(
-                TraceEvent::instant("arrive", arrival_s, shard as u32, TID_REQ)
-                    .with_cat("serve")
-                    .with_arg("id", id)
-                    .with_arg("class", self.class_labels[class].as_str()),
-            );
-            t.record(TraceEvent::counter(
-                "queue_depth",
-                arrival_s,
-                shard as u32,
-                TID_BATCH,
-                self.queue_len(shard) as f64,
-            ));
-        }
+        // Keep the arrival process running whether or not this request is
+        // admitted — drops shed load, they don't pause traffic.
         if !self.traffic.process.is_closed() && self.scheduled < self.traffic.requests {
             self.scheduled += 1;
             let gap = self.gen.next_gap(&mut self.arrival_rng);
             let t = self.now + gap;
             self.push(t, EventKind::Arrival);
+        }
+        if self.fleet.is_some() {
+            self.on_fleet_arrival(id, class, arrival_s);
+            return;
+        }
+        let shard = self.route(class);
+        self.in_system += 1;
+        self.peak_in_system = self.peak_in_system.max(self.in_system);
+        self.enqueue_request(
+            shard,
+            Request {
+                id,
+                class,
+                arrival_s,
+                tenant: 0,
+            },
+        );
+    }
+
+    /// Fleet admission + hierarchical routing for one arrival: tenant
+    /// sampling, quota/region-cap admission, region → cluster → replica
+    /// selection, and the optional inter-tier forward delay.
+    fn on_fleet_arrival(&mut self, id: u64, class: usize, arrival_s: f64) {
+        let fleet = self.fleet.as_mut().expect("fleet arrivals need a fleet");
+        let tenant = fleet.sample_tenant(&mut self.arrival_rng);
+        let Some(region) = fleet.admit(tenant) else {
+            self.dropped += 1;
+            if let Some(t) = self.trace {
+                if self.sampled(id) {
+                    t.record(
+                        TraceEvent::instant("drop", arrival_s, 0, TID_REQ)
+                            .with_cat("serve")
+                            .with_arg("id", id),
+                    );
+                }
+            }
+            return;
+        };
+        let shards = &self.shards;
+        let fleet = self.fleet.as_mut().expect("fleet is present");
+        let shard = fleet.pick_replica(region, class, |s| shards[s].depth());
+        let delay = fleet.forward_delay_s();
+        let req = Request {
+            id,
+            class,
+            arrival_s,
+            tenant: tenant as u32,
+        };
+        // Admitted: in the system from this instant, whether queued on the
+        // replica immediately or still in inter-tier transit.
+        self.in_system += 1;
+        self.peak_in_system = self.peak_in_system.max(self.in_system);
+        if delay > 0.0 {
+            let t = self.now + delay;
+            self.push(t, EventKind::Enqueue { shard, req });
+        } else {
+            self.enqueue_request(shard, req);
+        }
+    }
+
+    /// Lands a request on its replica's class queue and kicks the batcher.
+    /// The caller has already counted it in-system.
+    fn enqueue_request(&mut self, shard: usize, req: Request) {
+        self.shards[shard].queues[req.class].push_back(req);
+        self.queued += 1;
+        if let Some(t) = self.trace {
+            if self.sampled(req.id) {
+                t.record(
+                    TraceEvent::instant("arrive", req.arrival_s, shard as u32, TID_REQ)
+                        .with_cat("serve")
+                        .with_arg("id", req.id)
+                        .with_arg("class", self.class_labels[req.class].as_str()),
+                );
+                t.record(TraceEvent::counter(
+                    "queue_depth",
+                    self.now,
+                    shard as u32,
+                    TID_BATCH,
+                    self.queue_len(shard) as f64,
+                ));
+            }
         }
         self.try_dispatch(shard, false);
     }
@@ -720,9 +947,18 @@ impl Sim<'_> {
             .expect("completion without an in-flight batch");
         self.last_completion_s = self.now;
         let size = batch.requests.len() as u64;
+        self.completed += size;
+        self.in_system -= size;
         if let Some(t) = self.trace {
-            t.record(TraceEvent::end("exec", self.now, shard as u32, TID_BATCH).with_cat("serve"));
+            if batch.traced {
+                t.record(
+                    TraceEvent::end("exec", self.now, shard as u32, TID_BATCH).with_cat("serve"),
+                );
+            }
             for r in &batch.requests {
+                if !self.sampled(r.id) {
+                    continue;
+                }
                 // The queueing phase renders as a self-contained X span on
                 // the request lane (emitted at completion, but stamped with
                 // its own arrival-time window).
@@ -755,24 +991,40 @@ impl Sim<'_> {
             }
         });
         for r in &batch.requests {
-            self.records.push(RequestRecord {
-                id: r.id,
-                class: r.class,
-                shard,
-                arrival_s: r.arrival_s,
-                start_s: batch.start_s,
-                completion_s: self.now,
-                batch: size,
-                rung: batch.rung,
-            });
+            let sojourn_s = self.now - r.arrival_s;
+            if r.id >= self.traffic.warmup {
+                self.stream
+                    .observe(self.now, sojourn_s, r.class, batch.rung == 0);
+            }
+            if let Some(fleet) = self.fleet.as_mut() {
+                fleet.on_complete(
+                    shard,
+                    r.tenant as usize,
+                    sojourn_s,
+                    r.id >= self.traffic.warmup,
+                );
+            }
+            if self.options.retain_records {
+                self.records.push(RequestRecord {
+                    id: r.id,
+                    class: r.class,
+                    shard,
+                    arrival_s: r.arrival_s,
+                    start_s: batch.start_s,
+                    completion_s: self.now,
+                    batch: size,
+                    rung: batch.rung,
+                });
+            }
             if window_cap > 0 {
                 let w = &mut self.shards[shard].window;
                 if w.len() == window_cap {
                     w.pop_front();
                 }
-                w.push_back(self.now - r.arrival_s);
+                w.push_back(sojourn_s);
             }
         }
+        self.peak_records = self.peak_records.max(self.records.len() as u64);
         if let ArrivalProcess::ClosedLoop { think_s, .. } = self.traffic.process {
             // Each completed request's client thinks, then issues the next.
             for _ in 0..size {
@@ -954,7 +1206,7 @@ impl Sim<'_> {
         // The tick itself only reschedules while other events remain, so
         // the controller can never keep a drained run alive.
         if let Some(spec) = self.control {
-            if !self.heap.is_empty() {
+            if !self.queue.is_empty() {
                 let t = self.now + spec.controller.interval_s;
                 self.push(t, EventKind::ControllerTick);
             }
@@ -962,14 +1214,15 @@ impl Sim<'_> {
     }
 
     fn run(&mut self) {
-        while let Some(ev) = self.heap.pop() {
-            let dt = ev.time - self.now;
+        while let Some((time, _seq, kind)) = self.queue.pop() {
+            self.events += 1;
+            let dt = time - self.now;
             self.depth_integral += self.queued as f64 * dt;
             if self.finished_s.is_none() {
                 self.active_integral += f64::from(self.active_count) * dt;
             }
-            self.now = ev.time;
-            match ev.kind {
+            self.now = time;
+            match kind {
                 EventKind::Arrival => self.on_arrival(),
                 EventKind::Completion { shard } => self.on_completion(shard),
                 EventKind::DeadlineCheck { shard } => {
@@ -977,23 +1230,25 @@ impl Sim<'_> {
                     self.try_dispatch(shard, false);
                 }
                 EventKind::ControllerTick => self.on_tick(),
+                EventKind::Enqueue { shard, req } => self.enqueue_request(shard, req),
             }
             // Drain: no event can fill a batch any further, so flush the
             // partial batches (also rescues closed loops whose concurrency
             // is below a fixed batch size from deadlock).
-            if self.heap.is_empty() && self.queued > 0 {
+            if self.queue.is_empty() && self.queued > 0 {
                 for s in 0..self.shards.len() {
                     self.try_dispatch(s, true);
                 }
             }
             // Once the last admitted request completes, only no-op events
-            // can remain in the heap; freeze the capacity accounting here
-            // so a stale deadline check or trailing controller tick cannot
-            // stretch the measured run.
+            // can remain queued; freeze the capacity accounting here so a
+            // stale deadline check or trailing controller tick cannot
+            // stretch the measured run. (`in_system == 0` covers queued,
+            // in-flight, and in-transit work alike; dropped requests never
+            // enter the system.)
             if self.finished_s.is_none()
                 && self.admitted == self.traffic.requests
-                && self.queued == 0
-                && self.shards.iter().all(|s| s.in_flight.is_none())
+                && self.in_system == 0
             {
                 self.finished_s = Some(self.now);
             }
@@ -1056,6 +1311,60 @@ pub fn run_serving(
         service,
         seed,
         None,
+        RunOptions::retained(),
+        None,
+    )
+}
+
+/// [`run_serving`] with explicit [`RunOptions`] and an optional trace
+/// sink — the fleet-scale entry point. The default options stream
+/// (`records` stays empty and O(1) memory is held per run); pass
+/// [`RunOptions::retained`] to reproduce [`run_serving`] exactly.
+///
+/// # Panics
+///
+/// As [`run_serving`], plus a zero `trace_every`.
+#[must_use]
+#[allow(clippy::too_many_arguments)]
+pub fn run_serving_with_options(
+    backend: &dyn Evaluator,
+    memory: &DramSpec,
+    policy: BatchPolicy,
+    cluster: ClusterSpec,
+    traffic: &TrafficSpec,
+    service: ServiceModel,
+    seed: u64,
+    options: RunOptions,
+    trace: Option<&dyn TraceSink>,
+) -> ServingOutcome {
+    for check in [
+        crate::scenario::validate_policy(&policy),
+        crate::scenario::validate_cluster(&cluster),
+        crate::scenario::validate_traffic(traffic),
+    ] {
+        if let Err(e) = check {
+            panic!("run_serving_with_options: {e}");
+        }
+    }
+    let cost = CostModel::new();
+    let table = Arc::new(CostTable::build(
+        backend,
+        memory,
+        traffic,
+        policy.max_batch(),
+        &cost,
+    ));
+    run_serving_with_control(
+        vec![table],
+        None,
+        policy,
+        cluster,
+        traffic,
+        service,
+        seed,
+        trace,
+        options,
+        None,
     )
 }
 
@@ -1107,6 +1416,8 @@ pub fn run_serving_traced(
         service,
         seed,
         Some(trace),
+        RunOptions::retained(),
+        None,
     )
 }
 
@@ -1162,6 +1473,58 @@ pub fn run_serving_adaptive(
         service,
         seed,
         None,
+        RunOptions::retained(),
+        None,
+    )
+}
+
+/// [`run_serving_adaptive`] with explicit [`RunOptions`] and an optional
+/// trace sink, mirroring [`run_serving_with_options`].
+///
+/// # Panics
+///
+/// As [`run_serving_adaptive`], plus a zero `trace_every`.
+#[must_use]
+#[allow(clippy::too_many_arguments)]
+pub fn run_serving_adaptive_with_options(
+    backend: &dyn Evaluator,
+    memory: &DramSpec,
+    policy: BatchPolicy,
+    cluster: ClusterSpec,
+    traffic: &TrafficSpec,
+    spec: &AdaptiveSpec,
+    service: ServiceModel,
+    seed: u64,
+    options: RunOptions,
+    trace: Option<&dyn TraceSink>,
+) -> ServingOutcome {
+    for check in [
+        crate::scenario::validate_policy(&policy),
+        crate::scenario::validate_cluster(&cluster),
+        crate::scenario::validate_traffic(traffic),
+        crate::scenario::validate_control_for_cluster(spec, &cluster),
+    ] {
+        if let Err(e) = check {
+            panic!("run_serving_adaptive_with_options: {e}");
+        }
+    }
+    let cost = CostModel::new();
+    let tables = match build_rung_tables(backend, memory, traffic, spec, policy.max_batch(), &cost)
+    {
+        Ok(tables) => tables,
+        Err(e) => panic!("run_serving_adaptive_with_options: {e}"),
+    };
+    run_serving_with_control(
+        tables,
+        Some(spec),
+        policy,
+        cluster,
+        traffic,
+        service,
+        seed,
+        trace,
+        options,
+        None,
     )
 }
 
@@ -1212,6 +1575,8 @@ pub fn run_serving_adaptive_traced(
         service,
         seed,
         Some(trace),
+        RunOptions::retained(),
+        None,
     )
 }
 
@@ -1274,9 +1639,12 @@ pub(crate) fn run_serving_with_control(
     service: ServiceModel,
     seed: u64,
     trace: Option<&dyn TraceSink>,
+    options: RunOptions,
+    fleet: Option<&FleetSpec>,
 ) -> ServingOutcome {
     debug_assert!(tables.iter().all(|t| t.covers(traffic, policy.max_batch())));
     debug_assert_eq!(tables.len(), control.map_or(1, |c| c.ladder.len()));
+    assert!(options.trace_every >= 1, "trace_every must be >= 1");
     let trace = trace.filter(|t| t.enabled());
     let mut arrival_rng = StdRng::seed_from_u64(seed);
     let service_rng = StdRng::seed_from_u64(seed ^ 0xA5A5_5A5A_DEAD_BEEF);
@@ -1287,6 +1655,14 @@ pub(crate) fn run_serving_with_control(
     let pool = control
         .and_then(|c| c.autoscaler)
         .map_or(initial, |a| a.max_replicas.max(initial));
+    let fleet_state = fleet.map(|f| {
+        debug_assert_eq!(
+            f.total_replicas(),
+            u64::from(pool),
+            "cluster sized to fleet"
+        );
+        FleetState::new(f)
+    });
     let rungs = tables.len();
     let mut sim = Sim {
         policy,
@@ -1298,17 +1674,30 @@ pub(crate) fn run_serving_with_control(
         shards: (0..pool)
             .map(|i| Shard::new(traffic.mix.classes(), i < initial))
             .collect(),
-        heap: BinaryHeap::new(),
+        queue: EventQueue::new(options.queue),
         seq: 0,
         arrival_rng,
         service_rng,
         gen,
+        options,
+        stream: StreamStats::new(traffic.mix.classes(), options.sla_s, options.window_s),
+        fleet: fleet_state,
         admitted: 0,
+        dropped: 0,
+        completed: 0,
+        in_system: 0,
+        peak_in_system: 0,
+        peak_records: 0,
+        events: 0,
         scheduled: 0,
         rr_next: 0,
         queued: 0,
         now: 0.0,
-        records: Vec::with_capacity(traffic.requests as usize),
+        records: if options.retain_records {
+            Vec::with_capacity(traffic.requests as usize)
+        } else {
+            Vec::new()
+        },
         busy_s: 0.0,
         depth_integral: 0.0,
         energy_j: 0.0,
@@ -1376,9 +1765,21 @@ pub(crate) fn run_serving_with_control(
         }
     }
     sim.run();
+    let mut summary = sim.stream.finish();
+    if let Some(fleet) = sim.fleet {
+        let (tenants, regions) = fleet.finish();
+        summary.tenants = tenants;
+        summary.regions = regions;
+    }
     ServingOutcome {
         records: sim.records,
-        admitted: sim.admitted,
+        admitted: sim.admitted - sim.dropped,
+        completed: sim.completed,
+        dropped: sim.dropped,
+        peak_records_retained: sim.peak_records,
+        peak_in_system: sim.peak_in_system,
+        events: sim.events,
+        summary,
         busy_s: sim.busy_s,
         depth_integral: sim.depth_integral,
         makespan_s: sim.last_completion_s,

@@ -1,0 +1,144 @@
+//! Calendar-queue ⇔ binary-heap bit-identity.
+//!
+//! The event loop orders events by a strict `(time, seq)` total order, so
+//! any correct priority queue must pop the exact same sequence — the
+//! calendar queue is a performance change, not a semantic one. These tests
+//! pin that: static, adaptive, and autoscaled serving runs (and their
+//! traces) must be **bit-identical** under `QueueKind::Heap` and
+//! `QueueKind::Calendar` across every arrival process and policy shape the
+//! simulator supports.
+
+use bpvec_dnn::{BitwidthPolicy, DegradationLadder, Network, NetworkId, PrecisionPolicy};
+use bpvec_obs::{MemorySink, TraceSink};
+use bpvec_serve::{
+    run_serving_adaptive_with_options, run_serving_with_options, AdaptiveSpec, ArrivalProcess,
+    AutoscalerConfig, BatchPolicy, ClusterSpec, ControllerConfig, QueueKind, RequestMix, Router,
+    RunOptions, ServiceModel, ServingOutcome, TrafficSpec,
+};
+use bpvec_sim::{DramSpec, Evaluator, Measurement, Workload};
+
+/// Constant per-inference latency backend.
+struct ConstServer;
+
+impl Evaluator for ConstServer {
+    fn label(&self) -> String {
+        "const".into()
+    }
+
+    fn evaluate(&self, workload: &Workload, network: &Network, _dram: &DramSpec) -> Measurement {
+        Measurement {
+            latency_s: 1e-3,
+            energy_j: 1e-3,
+            macs: network.total_macs(),
+            batch: workload.batch(),
+            gops_per_watt: 1.0,
+        }
+    }
+}
+
+fn mix() -> RequestMix {
+    RequestMix::new()
+        .and(
+            Workload::new(NetworkId::ResNet18, BitwidthPolicy::Homogeneous8),
+            3.0,
+        )
+        .and(
+            Workload::new(NetworkId::Lstm, BitwidthPolicy::Homogeneous8),
+            1.0,
+        )
+}
+
+fn processes() -> Vec<ArrivalProcess> {
+    vec![
+        ArrivalProcess::poisson(1200.0),
+        ArrivalProcess::bursty(300.0, 2500.0, 0.02, 0.005),
+        ArrivalProcess::trace(vec![0.001, 0.0, 0.002, 0.0005, 0.0, 0.003]),
+        ArrivalProcess::closed_loop(5, 0.0005),
+        ArrivalProcess::diurnal(400.0, 1600.0, 2.0),
+        ArrivalProcess::flash_crowd(400.0, 4000.0, 0.5, 0.2, 1.0),
+    ]
+}
+
+fn run_static(process: &ArrivalProcess, policy: BatchPolicy, queue: QueueKind) -> ServingOutcome {
+    let traffic = TrafficSpec::new("eq", process.clone(), mix(), 2_000);
+    run_serving_with_options(
+        &ConstServer,
+        &DramSpec::ddr4(),
+        policy,
+        ClusterSpec::new(3, Router::JoinShortestQueue),
+        &traffic,
+        ServiceModel::ExponentialJitter,
+        0xC0FFEE,
+        RunOptions::retained().with_queue(queue),
+        None,
+    )
+}
+
+#[test]
+fn static_runs_are_bit_identical_across_queues() {
+    for process in processes() {
+        for policy in [
+            BatchPolicy::immediate(),
+            BatchPolicy::fixed(4),
+            BatchPolicy::deadline(8, 0.002),
+        ] {
+            let heap = run_static(&process, policy, QueueKind::Heap);
+            let cal = run_static(&process, policy, QueueKind::Calendar);
+            assert_eq!(heap, cal, "{process} / {policy}: queues diverged");
+        }
+    }
+}
+
+fn ladder() -> DegradationLadder {
+    PrecisionPolicy::degradation_ladder(
+        ["hom8", "int4"].map(|s| s.parse::<PrecisionPolicy>().expect("parses")),
+    )
+    .expect("narrows monotonically")
+}
+
+fn run_adaptive(autoscale: bool, queue: QueueKind) -> (ServingOutcome, String) {
+    let traffic = TrafficSpec::new(
+        "eq-adaptive",
+        ArrivalProcess::bursty(400.0, 3000.0, 0.02, 0.01),
+        mix(),
+        3_000,
+    );
+    let mut spec = AdaptiveSpec::new(ladder()).with_controller(
+        ControllerConfig::new(0.020)
+            .with_depths(4, 24)
+            .with_target_p99(0.01),
+    );
+    if autoscale {
+        spec = spec.with_autoscaler(AutoscalerConfig::new(1, 4));
+    }
+    let sink = MemorySink::new();
+    let out = run_serving_adaptive_with_options(
+        &ConstServer,
+        &DramSpec::ddr4(),
+        BatchPolicy::deadline(8, 0.002),
+        ClusterSpec::new(2, Router::LeastDegraded),
+        &traffic,
+        &spec,
+        ServiceModel::ExponentialJitter,
+        0xADA7,
+        RunOptions::retained().with_queue(queue),
+        Some(&sink as &dyn TraceSink),
+    );
+    (out, sink.to_chrome_json())
+}
+
+#[test]
+fn adaptive_and_autoscaled_runs_match_down_to_trace_bytes() {
+    for autoscale in [false, true] {
+        let (heap_out, heap_trace) = run_adaptive(autoscale, QueueKind::Heap);
+        let (cal_out, cal_trace) = run_adaptive(autoscale, QueueKind::Calendar);
+        assert_eq!(
+            heap_out, cal_out,
+            "autoscale={autoscale}: outcomes diverged"
+        );
+        assert_eq!(
+            heap_trace, cal_trace,
+            "autoscale={autoscale}: trace bytes diverged"
+        );
+    }
+}
