@@ -1,10 +1,19 @@
-//! Criterion benchmarks of the ISA layer: lowering throughput and
-//! instruction-level machine execution across precisions.
+//! Criterion benchmarks of the ISA layer: lowering throughput,
+//! instruction-level machine execution across precisions, and the
+//! three-way differential harness sweep rate.
+//!
+//! Besides the criterion output, running this bench writes
+//! `BENCH_isa.json` at the workspace root with lowering/execution/diff
+//! rates so CI can gate it next to the other BENCH files
+//! (`scripts/check_bench.py` auto-discovers the committed baseline).
+
+use std::time::Instant;
 
 use bpvec_core::BitWidth;
 use bpvec_dnn::layer::{Layer, LayerKind};
-use bpvec_isa::{lower_layer, Machine, MachineConfig};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bpvec_dnn::{BitwidthPolicy, Network, NetworkId};
+use bpvec_isa::{diff_network, lower_layer, Machine, MachineConfig};
+use criterion::{black_box, criterion_group, BenchmarkId, Criterion};
 
 fn resnet_layer(bits: u32) -> Layer {
     let bw = BitWidth::new(bits).expect("valid");
@@ -40,5 +49,75 @@ fn bench_machine_execution(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_lowering, bench_machine_execution);
-criterion_main!(benches);
+fn bench_differential(c: &mut Criterion) {
+    let net = Network::build(NetworkId::AlexNet, BitwidthPolicy::Heterogeneous);
+    c.bench_function("isa_diff_alexnet", |b| {
+        b.iter(|| black_box(diff_network(&net, MachineConfig::bpvec_ddr4(), 16)).mismatch_count())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_lowering,
+    bench_machine_execution,
+    bench_differential
+);
+
+fn best_of<T>(reps: u32, mut f: impl FnMut() -> T) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        black_box(f());
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    benches();
+
+    let layer = resnet_layer(8);
+    let program = lower_layer(&layer, 57_344, 4);
+    let net = Network::build(NetworkId::AlexNet, BitwidthPolicy::Heterogeneous);
+
+    // Correctness guard: the timings below are meaningless unless the
+    // machine reproduces the program totals and the harness runs clean.
+    let report = Machine::run_fresh(MachineConfig::bpvec_ddr4(), &program);
+    assert_eq!(report.macs, program.matmul_macs(), "machine lost MACs");
+    let d = diff_network(&net, MachineConfig::bpvec_ddr4(), 16);
+    assert!(d.is_clean(), "differential harness must be clean:\n{d}");
+
+    let lower_s = best_of(5, || {
+        for _ in 0..100 {
+            black_box(lower_layer(&layer, 57_344, 4));
+        }
+    }) / 100.0;
+    let exec_s = best_of(5, || {
+        for _ in 0..100 {
+            black_box(Machine::run_fresh(MachineConfig::bpvec_ddr4(), &program));
+        }
+    }) / 100.0;
+    let diff_s = best_of(5, || {
+        black_box(diff_network(&net, MachineConfig::bpvec_ddr4(), 16))
+    });
+
+    let json = format!(
+        "{{\n  \"bench\": \"isa\",\n  \
+         \"layer\": \"resnet18 layer2.0.conv1 b=4\",\n  \
+         \"program_instructions\": {},\n  \"results\": [\n    \
+         {{\n      \"name\": \"lower_resnet_layer\",\n      \"seconds_per_run\": {lower_s:.9},\n      \
+         \"lowers_per_sec\": {:.1}\n    }},\n    \
+         {{\n      \"name\": \"machine_execute_int8\",\n      \"seconds_per_run\": {exec_s:.9},\n      \
+         \"simulated_macs_per_sec\": {:.1}\n    }},\n    \
+         {{\n      \"name\": \"diff_alexnet_b16\",\n      \"seconds_per_run\": {diff_s:.6},\n      \
+         \"diffs_per_sec\": {:.2}\n    }}\n  ]\n}}\n",
+        program.len(),
+        1.0 / lower_s,
+        report.macs as f64 / exec_s,
+        1.0 / diff_s,
+    );
+    let out_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_isa.json");
+    std::fs::write(out_path, &json).expect("write BENCH_isa.json");
+    print!("{json}");
+    println!("wrote BENCH_isa.json");
+}

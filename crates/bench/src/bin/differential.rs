@@ -1,0 +1,60 @@
+//! Runs the three-way differential harness over the full paper grid —
+//! every Table I model plus the ViT/BERT presets, under both bitwidth
+//! policies, at the paper's batch sizes — and prints one CSV row per
+//! cell to stdout.
+//!
+//! The output is **byte-deterministic**: no clocks, no randomness, no
+//! host-dependent iteration order, so CI can diff two runs. Exits
+//! nonzero when any cell reports a mismatch, printing the typed
+//! per-layer reports to stderr.
+
+use bpvec_dnn::{BitwidthPolicy, Network, NetworkId};
+use bpvec_isa::{diff_network, MachineConfig};
+use bpvec_sim::BatchRegime;
+
+fn main() {
+    let grid = [
+        NetworkId::AlexNet,
+        NetworkId::InceptionV1,
+        NetworkId::ResNet18,
+        NetworkId::ResNet50,
+        NetworkId::Rnn,
+        NetworkId::Lstm,
+        NetworkId::VitBase,
+        NetworkId::BertBase,
+    ];
+    let policies = [BitwidthPolicy::Homogeneous8, BitwidthPolicy::Heterogeneous];
+    let batches = BatchRegime::paper_default();
+
+    println!(
+        "network,policy,batch,layers,model_latency_us,machine_latency_us,\
+         machine_pipelined_us,mismatches"
+    );
+    let mut dirty = 0u32;
+    for id in grid {
+        for policy in policies {
+            let net = Network::build(id, policy);
+            let b = batches.batch_for(id);
+            let d = diff_network(&net, MachineConfig::bpvec_ddr4(), b);
+            println!(
+                "{},{:?},{},{},{:.3},{:.3},{:.3},{}",
+                d.network,
+                policy,
+                d.batch,
+                d.layers.len(),
+                d.model_latency_s * 1e6,
+                d.machine_latency_s * 1e6,
+                d.machine_pipelined_s * 1e6,
+                d.mismatch_count()
+            );
+            if !d.is_clean() {
+                dirty += 1;
+                eprintln!("{d}");
+            }
+        }
+    }
+    if dirty > 0 {
+        eprintln!("{dirty} grid cell(s) reported mismatches");
+        std::process::exit(1);
+    }
+}

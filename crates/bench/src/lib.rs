@@ -17,10 +17,10 @@
 //! | `fig9`   | Figure 9 — performance-per-Watt vs RTX 2080 Ti |
 //!
 //! Every accelerator figure is a thin slice of a
-//! [`Scenario`](bpvec_sim::Scenario) (declared in
+//! [`Scenario`] (declared in
 //! `bpvec_sim::experiments`); [`figure9`] here declares the GPU comparison
 //! the same way, with [`GpuPlatform`] standing next to
-//! [`AcceleratorConfig`](bpvec_sim::AcceleratorConfig) as just another
+//! [`AcceleratorConfig`] as just another
 //! [`Evaluator`](bpvec_sim::Evaluator). The `--csv` / `--json` flags on the
 //! figure binaries emit machine-readable output for plotting pipelines.
 //!

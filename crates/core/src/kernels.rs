@@ -58,6 +58,12 @@ pub enum KernelTier {
 
 impl KernelTier {
     /// Stable lowercase name (used by `BPVEC_KERNEL` and metrics keys).
+    ///
+    /// ```
+    /// use bpvec_core::KernelTier;
+    /// assert_eq!(KernelTier::Scalar.name(), "scalar");
+    /// assert_eq!(KernelTier::Avx512.to_string(), "avx512");
+    /// ```
     #[must_use]
     pub fn name(self) -> &'static str {
         match self {
@@ -106,6 +112,13 @@ pub fn detected_tier() -> KernelTier {
 /// Every tier the host can run, narrowest first (always starts with
 /// `Scalar`). Tests iterate this to pin SIMD == scalar on whatever
 /// hardware they land on.
+///
+/// ```
+/// use bpvec_core::kernels::{available_tiers, KernelTier};
+/// let tiers = available_tiers();
+/// assert_eq!(tiers[0], KernelTier::Scalar);
+/// assert!(tiers.windows(2).all(|w| w[0] < w[1]), "narrowest first");
+/// ```
 #[must_use]
 pub fn available_tiers() -> Vec<KernelTier> {
     let best = detected_tier();
@@ -257,6 +270,14 @@ pub(crate) fn dot_subplanes(
 /// so every tier's chunked loop divides it exactly (zero-padded tails are
 /// inert under AND + popcount).
 #[inline]
+///
+/// ```
+/// use bpvec_core::kernels::pad_words;
+/// assert_eq!(pad_words(0), 0);
+/// assert_eq!(pad_words(1), 8);
+/// assert_eq!(pad_words(8), 8);
+/// assert_eq!(pad_words(9), 16);
+/// ```
 #[must_use]
 pub fn pad_words(words: usize) -> usize {
     words.div_ceil(8) * 8
@@ -266,6 +287,14 @@ pub fn pad_words(words: usize) -> usize {
 /// columns as keep the extracted sub-plane working set (`bbits × wpad`
 /// words per column) inside an L1-sized target, clamped to `[1, 64]`.
 /// Exposed so the executor can report the tile geometry it ran with.
+///
+/// ```
+/// use bpvec_core::kernels::col_panel_len;
+/// // Narrow, short operands fit many columns per panel...
+/// assert_eq!(col_panel_len(2, 8), 64);
+/// // ...wide, long ones fall back toward single-column panels.
+/// assert_eq!(col_panel_len(8, 4096), 1);
+/// ```
 #[must_use]
 pub fn col_panel_len(bbits: usize, wpad: usize) -> usize {
     const L1_TARGET_BYTES: usize = 16 * 1024;

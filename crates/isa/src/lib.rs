@@ -17,17 +17,25 @@
 //!   executes programs and reports cycles and DRAM traffic — and its
 //!   results are cross-validated against the analytical engine
 //!   (`bpvec-sim::engine`), closing the loop between the two abstraction
-//!   levels.
+//!   levels;
+//! * [`diff`] — the three-way differential harness: analytical
+//!   `CostModel` × bit-true packed execution × ISA machine, with typed
+//!   per-layer mismatch reports and explicit tolerance contracts.
 
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 
+pub mod diff;
 pub mod inst;
 pub mod machine;
 pub mod program;
 
+pub use diff::{
+    diff_execution, diff_network, diff_network_against, execution_probe, ExecDiff, ExecLayerDiff,
+    LayerDiff, MachineView, Mismatch, ModelView, NetworkDiff, Tolerance,
+};
 pub use inst::{DecodeInstructionError, Instruction, MemorySpace};
-pub use machine::{Machine, MachineConfig, RunReport};
+pub use machine::{Machine, MachineConfig, RunReport, Trap};
 pub use program::{
     lower_layer, lower_network, try_lower_layer, try_lower_network, LowerError, Program,
 };

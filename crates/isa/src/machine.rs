@@ -8,14 +8,74 @@
 //!
 //! The machine's aggregate results (cycles, traffic) are cross-validated
 //! against the analytical engine in `bpvec-sim` — the two models must agree
-//! for every Table I layer, or one of them is wrong.
+//! for every Table I layer, or one of them is wrong ([`crate::diff`] runs
+//! that comparison over the full paper grid).
+//!
+//! Lower a layer, run it, inspect cycles:
+//!
+//! ```
+//! use bpvec_dnn::{BitwidthPolicy, Network, NetworkId};
+//! use bpvec_isa::{try_lower_layer, Machine, MachineConfig};
+//!
+//! let config = MachineConfig::bpvec_ddr4();
+//! let net = Network::build(NetworkId::ResNet18, BitwidthPolicy::Heterogeneous);
+//! let working = config.accel.scratchpad.working_bytes();
+//!
+//! let program = try_lower_layer(&net.layers[0], working, /* batch */ 4)?;
+//! let report = Machine::new(config).try_run(&program)?;
+//!
+//! assert!(report.cycles > 0.0);
+//! assert_eq!(report.macs, net.layers[0].macs() * 4);
+//! assert_eq!(report.traffic_bytes, program.dma_bytes());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
 
 use bpvec_core::BitWidth;
 use bpvec_sim::{AcceleratorConfig, DramSpec};
 use serde::Serialize;
+use std::fmt;
 
 use crate::inst::Instruction;
 use crate::program::Program;
+
+/// A program fault the machine refuses to execute.
+///
+/// [`Machine::try_run`] validates a program before touching any machine
+/// state, so a trapped program leaves the machine exactly as it was.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Trap {
+    /// A DMA transfer extends past the double-buffered working set.
+    ScratchpadOverflow {
+        /// Index of the offending instruction within the program.
+        index: usize,
+        /// The transfer's scratchpad offset in bytes.
+        offset: u32,
+        /// The transfer's length in bytes.
+        bytes: u32,
+        /// The working-set limit the transfer exceeded.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for Trap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Trap::ScratchpadOverflow {
+                index,
+                offset,
+                bytes,
+                limit,
+            } => write!(
+                f,
+                "instruction {index}: DMA of {bytes} B at offset {offset} \
+                 exceeds the {limit}-byte working set"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for Trap {}
 
 /// Machine parameters: which accelerator executes and over which memory.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize)]
@@ -175,11 +235,70 @@ impl Machine {
         }
     }
 
+    /// Validates a program against the scratchpad bounds, then runs it.
+    ///
+    /// Validation happens before any state changes: on a [`Trap`] the
+    /// machine is untouched (timelines, accumulators and precision all keep
+    /// their prior values). Programs produced by
+    /// [`crate::try_lower_layer`] never trap — every lowered DMA transfer
+    /// fits the double-buffered working set (fuzzed in
+    /// `tests/machine_fuzz.rs`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Trap::ScratchpadOverflow`] for the first DMA instruction
+    /// whose `offset + bytes` extends past the accelerator's working set.
+    pub fn try_run(&mut self, program: &Program) -> Result<RunReport, Trap> {
+        let limit = self.config.accel.scratchpad.working_bytes();
+        for (index, inst) in program.instructions.iter().enumerate() {
+            if let Instruction::LoadTile {
+                dst_offset: offset,
+                bytes,
+                ..
+            }
+            | Instruction::StoreTile {
+                src_offset: offset,
+                bytes,
+                ..
+            } = *inst
+            {
+                if u64::from(offset) + u64::from(bytes) > limit {
+                    return Err(Trap::ScratchpadOverflow {
+                        index,
+                        offset,
+                        bytes,
+                        limit,
+                    });
+                }
+            }
+        }
+        Ok(self.run(program))
+    }
+
     /// Runs a program on a fresh machine with this machine's configuration.
     #[must_use]
     pub fn run_fresh(config: MachineConfig, program: &Program) -> RunReport {
         let mut m = Machine::new(config);
         m.run(program)
+    }
+
+    /// Instructions retired since construction.
+    #[must_use]
+    pub fn retired(&self) -> usize {
+        self.retired
+    }
+
+    /// The `(dma, compute)` timeline positions in cycles — both
+    /// monotonically non-decreasing across [`Machine::step`] calls.
+    #[must_use]
+    pub fn timelines(&self) -> (f64, f64) {
+        (self.dma_time, self.compute_time)
+    }
+
+    /// The current `(act_bits, weight_bits)` architectural precision.
+    #[must_use]
+    pub fn precision(&self) -> (BitWidth, BitWidth) {
+        (self.act_bits, self.weight_bits)
     }
 }
 
@@ -307,6 +426,35 @@ mod tests {
             "memory-bound run must take at least the DMA time"
         );
         assert!(r.dma_cycles > 5.0 * r.compute_cycles);
+    }
+
+    #[test]
+    fn try_run_traps_on_oversized_dma_without_touching_state() {
+        let mut m = Machine::new(MachineConfig::bpvec_ddr4());
+        let limit = m.config().accel.scratchpad.working_bytes();
+        let bad = Program {
+            name: "bad".into(),
+            instructions: vec![Instruction::LoadTile {
+                dst_offset: 0,
+                bytes: u32::try_from(limit).unwrap() + 1,
+                buffer: 0,
+            }],
+        };
+        let err = m.try_run(&bad).unwrap_err();
+        assert!(matches!(err, Trap::ScratchpadOverflow { index: 0, .. }));
+        assert_eq!(m.retired(), 0, "a trapped program must not execute");
+        assert_eq!(m.timelines(), (0.0, 0.0));
+    }
+
+    #[test]
+    fn lowered_programs_never_trap() {
+        let mut m = Machine::new(MachineConfig::bpvec_ddr4());
+        let working = m.config().accel.scratchpad.working_bytes();
+        let net = Network::build(NetworkId::AlexNet, BitwidthPolicy::Homogeneous8);
+        for p in lower_network(&net, working, 16) {
+            let report = m.try_run(&p).expect("lowered programs satisfy the bounds");
+            assert_eq!(report.traffic_bytes, p.dma_bytes());
+        }
     }
 
     #[test]

@@ -1,0 +1,263 @@
+//! Proptest-driven fuzzing of the ISA machine's invariants.
+//!
+//! Programs here are *randomly generated* — either instruction-by-
+//! instruction (any well-formed stream the encoder accepts) or by lowering
+//! random layer shapes — and the machine must uphold its contracts on all
+//! of them:
+//!
+//! * encode → decode round-trips every program exactly;
+//! * `run` reports are **additive**: splitting a program anywhere and
+//!   running the pieces on one continuing machine reproduces the
+//!   single-run totals;
+//! * the DMA and compute timelines (and the retired-instruction count)
+//!   are monotone across runs;
+//! * `try_run` equals `run` whenever every DMA transfer is in bounds, and
+//!   traps — without touching machine state — exactly when one is not;
+//! * `try_lower_layer` → `try_run` never traps, and the machine reproduces
+//!   the program's MAC and byte totals exactly.
+//!
+//! Case counts scale with the `BPVEC_FUZZ_CASES` environment variable
+//! (nightly CI raises it; the default keeps `cargo test` fast). Fuzz
+//! finds from these properties are pinned as deterministic tests in
+//! `regression_corpus.rs`.
+
+use bpvec_core::BitWidth;
+use bpvec_dnn::layer::{Layer, LayerKind};
+use bpvec_isa::{try_lower_layer, Instruction, Machine, MachineConfig, Program};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Bounded case count: `BPVEC_FUZZ_CASES` (nightly soak) or the default.
+fn cases(default: u32) -> u32 {
+    std::env::var("BPVEC_FUZZ_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn working_bytes() -> u64 {
+    MachineConfig::bpvec_ddr4().accel.scratchpad.working_bytes()
+}
+
+/// A random well-formed program whose every DMA stays inside the working
+/// set (so `try_run` must accept it).
+fn random_program(seed: u64) -> Program {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let working = working_bytes() as u32;
+    let mut instructions = vec![Instruction::SetPrecision {
+        act_bits: BitWidth::new(rng.gen_range(2..=8)).unwrap(),
+        weight_bits: BitWidth::new(rng.gen_range(2..=8)).unwrap(),
+    }];
+    for _ in 0..rng.gen_range(1..=40usize) {
+        let inst = match rng.gen_range(0..10u32) {
+            0..=3 => {
+                let bytes = rng.gen_range(1..=working / 4);
+                Instruction::LoadTile {
+                    dst_offset: rng.gen_range(0..=working - bytes),
+                    bytes,
+                    buffer: rng.gen_range(0..=1),
+                }
+            }
+            4..=5 => {
+                let bytes = rng.gen_range(1..=working / 4);
+                Instruction::StoreTile {
+                    src_offset: rng.gen_range(0..=working - bytes),
+                    bytes,
+                    buffer: rng.gen_range(0..=1),
+                }
+            }
+            6..=8 => Instruction::MatMul {
+                m: rng.gen_range(1..=64),
+                k: rng.gen_range(1..=64),
+                n: rng.gen_range(1..=64),
+            },
+            _ => Instruction::Barrier,
+        };
+        instructions.push(inst);
+    }
+    Program {
+        name: format!("fuzz-{seed:#x}"),
+        instructions,
+    }
+}
+
+/// A random layer of any kind the lowering supports, with bounded shape.
+fn random_layer(seed: u64) -> Layer {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x1a7e_2bad);
+    let kind = match rng.gen_range(0..9u32) {
+        0 => {
+            let k = if rng.gen_bool(0.5) { 3 } else { 1 };
+            let hw = rng.gen_range(k..=14usize);
+            LayerKind::Conv2d {
+                in_channels: rng.gen_range(1..=8),
+                out_channels: rng.gen_range(1..=16),
+                kernel: (k, k),
+                stride: (rng.gen_range(1..=2), rng.gen_range(1..=2)),
+                padding: (rng.gen_range(0..=1), rng.gen_range(0..=1)),
+                input_hw: (hw, hw),
+            }
+        }
+        1 => LayerKind::FullyConnected {
+            in_features: rng.gen_range(1..=512),
+            out_features: rng.gen_range(1..=256),
+        },
+        2 => {
+            let hw = rng.gen_range(2..=12usize) & !1;
+            LayerKind::Pool {
+                channels: rng.gen_range(1..=8),
+                kernel: (2, 2),
+                stride: (2, 2),
+                input_hw: (hw.max(2), hw.max(2)),
+            }
+        }
+        3 => LayerKind::Recurrent {
+            input_size: rng.gen_range(1..=64),
+            hidden_size: rng.gen_range(1..=64),
+            gates: [1, 3, 4][rng.gen_range(0..3usize)],
+            seq_len: rng.gen_range(1..=4),
+        },
+        4 => LayerKind::MatMulQK {
+            heads: rng.gen_range(1..=4),
+            q_len: rng.gen_range(1..=32),
+            kv_len: rng.gen_range(1..=32),
+            head_dim: rng.gen_range(1..=32),
+        },
+        5 => LayerKind::AttentionV {
+            heads: rng.gen_range(1..=4),
+            q_len: rng.gen_range(1..=32),
+            kv_len: rng.gen_range(1..=32),
+            head_dim: rng.gen_range(1..=32),
+        },
+        6 => LayerKind::Softmax {
+            rows: rng.gen_range(1..=64),
+            cols: rng.gen_range(1..=64),
+        },
+        7 => LayerKind::LayerNorm {
+            features: rng.gen_range(1..=256),
+            tokens: rng.gen_range(1..=16),
+        },
+        _ => LayerKind::Gelu {
+            elems: rng.gen_range(1..=4096),
+        },
+    };
+    let a = BitWidth::new(rng.gen_range(2..=8)).unwrap();
+    let w = BitWidth::new(rng.gen_range(2..=8)).unwrap();
+    Layer::new("fuzz".to_string(), kind).with_bits(a, w)
+}
+
+fn rel_eq(a: f64, b: f64) -> bool {
+    a == b || (a - b).abs() <= 1e-9 * a.abs().max(b.abs())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases(96)))]
+
+    /// Every generated program round-trips through the 128-bit encoding.
+    #[test]
+    fn programs_round_trip_through_the_binary_encoding(seed in proptest::num::u64::ANY) {
+        let program = random_program(seed);
+        let decoded: Vec<Instruction> = program
+            .encode()
+            .into_iter()
+            .map(|w| Instruction::decode(w).expect("encoder emits decodable words"))
+            .collect();
+        prop_assert_eq!(decoded, program.instructions);
+    }
+
+    /// Splitting a program at any point and running both halves on one
+    /// continuing machine reproduces the single-run report exactly
+    /// (cycles to round-off; bytes, MACs and instruction counts exactly).
+    #[test]
+    fn run_reports_are_additive_across_splits(seed in proptest::num::u64::ANY) {
+        let program = random_program(seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed);
+        let cut = rng.gen_range(0..=program.len());
+        let (head, tail) = program.instructions.split_at(cut);
+        let halves = [
+            Program { name: "head".into(), instructions: head.to_vec() },
+            Program { name: "tail".into(), instructions: tail.to_vec() },
+        ];
+
+        let whole = Machine::run_fresh(MachineConfig::bpvec_ddr4(), &program);
+        let mut split = Machine::new(MachineConfig::bpvec_ddr4());
+        let reports = halves.map(|h| split.run(&h));
+
+        let cycles: f64 = reports.iter().map(|r| r.cycles).sum();
+        prop_assert!(rel_eq(cycles, whole.cycles), "{cycles} != {}", whole.cycles);
+        prop_assert_eq!(
+            reports.iter().map(|r| r.traffic_bytes).sum::<u64>(),
+            whole.traffic_bytes
+        );
+        prop_assert_eq!(reports.iter().map(|r| r.macs).sum::<u64>(), whole.macs);
+        prop_assert_eq!(
+            reports.iter().map(|r| r.instructions).sum::<usize>(),
+            whole.instructions
+        );
+    }
+
+    /// Timelines and the retired-instruction count are monotone over any
+    /// sequence of runs on one machine.
+    #[test]
+    fn timelines_and_retirement_are_monotone(seed in proptest::num::u64::ANY) {
+        let mut machine = Machine::new(MachineConfig::bpvec_ddr4());
+        let mut prev = machine.timelines();
+        let mut prev_retired = machine.retired();
+        for i in 0..4u64 {
+            machine.run(&random_program(seed.wrapping_add(i)));
+            let now = machine.timelines();
+            prop_assert!(now.0 >= prev.0 && now.1 >= prev.1);
+            prop_assert!(machine.retired() >= prev_retired);
+            prev = now;
+            prev_retired = machine.retired();
+        }
+    }
+
+    /// `try_run` accepts every in-bounds program and reports exactly what
+    /// `run` reports.
+    #[test]
+    fn try_run_matches_run_on_in_bounds_programs(seed in proptest::num::u64::ANY) {
+        let program = random_program(seed);
+        let checked = Machine::new(MachineConfig::bpvec_ddr4())
+            .try_run(&program)
+            .expect("every generated DMA is in bounds");
+        let unchecked = Machine::new(MachineConfig::bpvec_ddr4()).run(&program);
+        prop_assert_eq!(checked, unchecked);
+    }
+
+    /// A single out-of-bounds DMA anywhere makes `try_run` trap and leaves
+    /// the machine in its pre-run state.
+    #[test]
+    fn out_of_bounds_dma_always_traps_without_side_effects(seed in proptest::num::u64::ANY) {
+        let mut program = random_program(seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x0ff5_1de5);
+        let working = working_bytes() as u32;
+        let at = rng.gen_range(0..=program.len());
+        program.instructions.insert(at, Instruction::LoadTile {
+            dst_offset: rng.gen_range(1..=working),
+            bytes: working,
+            buffer: 0,
+        });
+        let mut machine = Machine::new(MachineConfig::bpvec_ddr4());
+        prop_assert!(machine.try_run(&program).is_err());
+        prop_assert_eq!(machine.timelines(), (0.0, 0.0));
+        prop_assert_eq!(machine.retired(), 0);
+    }
+
+    /// Lowered layers never trap, and the machine reproduces the lowered
+    /// program's MAC and byte totals exactly.
+    #[test]
+    fn lowered_layers_never_trap(seed in proptest::num::u64::ANY) {
+        let layer = random_layer(seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xba7c4);
+        let b = rng.gen_range(1..=4u64);
+        let program = try_lower_layer(&layer, working_bytes(), b)
+            .expect("bounded shapes never overflow instruction fields");
+        let report = Machine::new(MachineConfig::bpvec_ddr4())
+            .try_run(&program)
+            .expect("lowered programs must not trap");
+        prop_assert_eq!(report.macs, program.matmul_macs());
+        prop_assert_eq!(report.traffic_bytes, program.dma_bytes());
+        prop_assert_eq!(report.macs, layer.macs() * b);
+    }
+}

@@ -1,0 +1,234 @@
+//! Deterministic regression corpus for the lowering pass and the machine.
+//!
+//! Each test pins one hazard found while building or fuzzing the
+//! differential harness (`machine_fuzz.rs` holds the generators). Unlike
+//! the fuzz suite these run identical inputs every time, so a regression
+//! bisects to the exact commit that reintroduced it.
+
+use bpvec_core::BitWidth;
+use bpvec_dnn::layer::{Layer, LayerKind};
+use bpvec_dnn::{BitwidthPolicy, Network, NetworkId};
+use bpvec_isa::{try_lower_layer, Instruction, LowerError, Machine, MachineConfig, Program};
+
+fn working_bytes() -> u64 {
+    MachineConfig::bpvec_ddr4().accel.scratchpad.working_bytes()
+}
+
+fn run_checked(layer: &Layer, b: u64) -> (Program, bpvec_isa::RunReport) {
+    let program = try_lower_layer(layer, working_bytes(), b).expect("corpus shapes lower");
+    let report = Machine::new(MachineConfig::bpvec_ddr4())
+        .try_run(&program)
+        .expect("corpus programs must not trap");
+    assert_eq!(report.macs, program.matmul_macs());
+    assert_eq!(report.traffic_bytes, program.dma_bytes());
+    (program, report)
+}
+
+/// Pool layers once emitted one monolithic `LoadTile` for the whole batch
+/// activation — AlexNet's first pool at batch 16 is ~3.1 MB against a
+/// 57 KB working set, an instant trap once `try_run` validated bounds.
+/// Chunked DMA fixed it; this pins the exact layer that exposed it.
+#[test]
+fn alexnet_pool1_at_batch_16_stays_inside_the_working_set() {
+    let net = Network::build(NetworkId::AlexNet, BitwidthPolicy::Homogeneous8);
+    let pool = net
+        .layers
+        .iter()
+        .find(|l| matches!(l.kind, LayerKind::Pool { .. }))
+        .expect("AlexNet has pool layers");
+    let (program, _) = run_checked(pool, 16);
+    let working = working_bytes();
+    for inst in &program.instructions {
+        if let Instruction::LoadTile { bytes, .. } | Instruction::StoreTile { bytes, .. } = inst {
+            assert!(
+                u64::from(*bytes) <= working,
+                "{inst} exceeds the working set"
+            );
+        }
+    }
+}
+
+/// Long-context attention: the KV slab no longer fits half the working
+/// set, forcing the row-tile loop to restream K per pass. The first
+/// lowering draft double-counted the stationary load; this pins the
+/// multi-pass shape with exact MAC bookkeeping.
+#[test]
+fn long_context_attention_restreams_without_trapping() {
+    let layer = Layer::new(
+        "qk-long".to_string(),
+        LayerKind::MatMulQK {
+            heads: 1,
+            q_len: 4096,
+            kv_len: 4096,
+            head_dim: 64,
+        },
+    );
+    let (_, report) = run_checked(&layer, 1);
+    assert_eq!(report.macs, layer.macs());
+}
+
+/// Decode-step attention (`q_len == 1` against a long KV cache) is the
+/// skinniest GEMM the lowering emits; it must still lower and run.
+#[test]
+fn decode_step_attention_lowers_and_runs() {
+    for kind in [
+        LayerKind::MatMulQK {
+            heads: 12,
+            q_len: 1,
+            kv_len: 2048,
+            head_dim: 64,
+        },
+        LayerKind::AttentionV {
+            heads: 12,
+            q_len: 1,
+            kv_len: 2048,
+            head_dim: 64,
+        },
+    ] {
+        let layer = Layer::new("decode".to_string(), kind);
+        let (_, report) = run_checked(&layer, 1);
+        assert_eq!(report.macs, layer.macs());
+    }
+}
+
+/// Sub-byte widths drive the byte-rounding paths in every DMA size
+/// computation; 2-bit operands once rounded a zero-byte transfer into the
+/// stream. All kinds must lower and run at the narrowest width.
+#[test]
+fn two_bit_layers_lower_and_run_for_every_kind() {
+    let b2 = BitWidth::new(2).unwrap();
+    let kinds = [
+        LayerKind::Conv2d {
+            in_channels: 3,
+            out_channels: 8,
+            kernel: (3, 3),
+            stride: (1, 1),
+            padding: (1, 1),
+            input_hw: (8, 8),
+        },
+        LayerKind::FullyConnected {
+            in_features: 37,
+            out_features: 11,
+        },
+        LayerKind::Pool {
+            channels: 4,
+            kernel: (2, 2),
+            stride: (2, 2),
+            input_hw: (6, 6),
+        },
+        LayerKind::Recurrent {
+            input_size: 5,
+            hidden_size: 7,
+            gates: 4,
+            seq_len: 3,
+        },
+        LayerKind::MatMulQK {
+            heads: 2,
+            q_len: 5,
+            kv_len: 5,
+            head_dim: 3,
+        },
+        LayerKind::Softmax { rows: 10, cols: 5 },
+        LayerKind::AttentionV {
+            heads: 2,
+            q_len: 5,
+            kv_len: 5,
+            head_dim: 3,
+        },
+        LayerKind::LayerNorm {
+            features: 9,
+            tokens: 4,
+        },
+        LayerKind::Gelu { elems: 33 },
+    ];
+    for kind in kinds {
+        let layer = Layer::new("narrow".to_string(), kind).with_bits(b2, b2);
+        let (program, report) = run_checked(&layer, 2);
+        assert_eq!(report.macs, layer.macs() * 2, "{}", layer.kind.kind_name());
+        for inst in &program.instructions {
+            if let Instruction::LoadTile { bytes, .. } | Instruction::StoreTile { bytes, .. } = inst
+            {
+                assert!(*bytes > 0, "zero-byte DMA in {}", layer.kind.kind_name());
+            }
+        }
+    }
+}
+
+/// Degenerate single-element shapes exercise the `max(1)` guards in the
+/// tiling arithmetic.
+#[test]
+fn single_element_shapes_lower_and_run() {
+    for kind in [
+        LayerKind::Conv2d {
+            in_channels: 1,
+            out_channels: 1,
+            kernel: (1, 1),
+            stride: (1, 1),
+            padding: (0, 0),
+            input_hw: (1, 1),
+        },
+        LayerKind::FullyConnected {
+            in_features: 1,
+            out_features: 1,
+        },
+        LayerKind::Recurrent {
+            input_size: 1,
+            hidden_size: 1,
+            gates: 1,
+            seq_len: 1,
+        },
+        LayerKind::MatMulQK {
+            heads: 1,
+            q_len: 1,
+            kv_len: 1,
+            head_dim: 1,
+        },
+    ] {
+        let layer = Layer::new("tiny".to_string(), kind);
+        let (_, report) = run_checked(&layer, 1);
+        assert_eq!(report.macs, layer.macs());
+    }
+}
+
+/// Operand sizes that overflow a 32-bit instruction field must surface as
+/// a typed [`LowerError::OperandTooLarge`], never a panic.
+#[test]
+fn oversized_operands_stay_typed_errors() {
+    let layer = Layer::new(
+        "huge".to_string(),
+        LayerKind::FullyConnected {
+            in_features: 1 << 20,
+            out_features: 1 << 20,
+        },
+    );
+    let err = try_lower_layer(&layer, u64::MAX / 4, 1).expect_err("must not lower");
+    assert!(matches!(err, LowerError::OperandTooLarge { .. }), "{err}");
+    assert_eq!(err.layer(), "huge");
+}
+
+/// Corrupt binary words decode to typed errors, never garbage
+/// instructions: an unknown opcode and an out-of-range buffer field.
+#[test]
+fn corrupt_words_decode_to_typed_errors() {
+    assert!(Instruction::decode([0xff, 0]).is_err(), "unknown opcode");
+    let valid = Instruction::LoadTile {
+        dst_offset: 0,
+        bytes: 64,
+        buffer: 0,
+    }
+    .encode();
+    let mut corrupt = valid;
+    corrupt[0] |= 0x03 << 8; // buffer field: 3 is not a double-buffer half
+    assert!(
+        Instruction::decode(corrupt).is_err(),
+        "buffer 3 must be rejected"
+    );
+    assert_eq!(
+        Instruction::decode(valid).unwrap(),
+        Instruction::LoadTile {
+            dst_offset: 0,
+            bytes: 64,
+            buffer: 0,
+        }
+    );
+}

@@ -137,8 +137,7 @@ fn select_quantile(v: &mut [f64], q: f64) -> f64 {
         return 0.0;
     }
     let rank = ((q * v.len() as f64).ceil() as usize).clamp(1, v.len());
-    *v.select_nth_unstable_by(rank - 1, f64::total_cmp)
-        .1
+    *v.select_nth_unstable_by(rank - 1, f64::total_cmp).1
 }
 
 /// What either latency path (exact records or streaming digest) yields:

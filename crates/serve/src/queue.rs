@@ -2,7 +2,7 @@
 //!
 //! The original event loop drove a flat `BinaryHeap`, whose O(log n) pops
 //! start to hurt once a fleet run pushes 10^7–10^8 events through it. The
-//! [`CalendarQueue`] here is the classic Brown calendar queue: events hash
+//! `CalendarQueue` here is the classic Brown calendar queue: events hash
 //! into time-bucketed "days" of a rotating "year", so push and pop are
 //! O(1) amortized while the bucket width tracks the mean event spacing.
 //!

@@ -2,7 +2,7 @@
 //!
 //! Every consumer of the analytical model — [`crate::engine::simulate`], the
 //! [`crate::scenario::Scenario`] grid runner, `bpvec-serve`'s batch cost
-//! tables, [`crate::roofline`] — ultimately asks the same question: *what
+//! tables, [`crate::roofline()`] — ultimately asks the same question: *what
 //! does one layer cost at one precision, batch size, platform and memory?*
 //! The answer is a pure function of those inputs, and the tiling search
 //! behind the traffic term is by far its most expensive part, so this module

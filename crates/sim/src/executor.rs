@@ -129,6 +129,12 @@ pub struct LayerTrace {
     pub cycles: u64,
     /// Operand-level MACs performed.
     pub macs: u64,
+    /// MACs the array's packed GEMMs actually issued, summed over the
+    /// layer's [`crate::systolic::GemmRun`]s — measured independently of
+    /// [`LayerTrace::macs`] (which is the layer's analytic count), so the
+    /// two can be differentially cross-checked. Zero for layers with no
+    /// array work.
+    pub array_macs: u64,
     /// The requantization shift applied to the layer's accumulators.
     pub requant_shift: u32,
     /// The dispatched kernel tier the layer's packed GEMMs actually ran on
@@ -159,6 +165,13 @@ impl ExecutionTrace {
     #[must_use]
     pub fn total_macs(&self) -> u64 {
         self.layers.iter().map(|l| l.macs).sum()
+    }
+
+    /// Total MACs the array's packed GEMMs actually issued — the measured
+    /// counterpart of [`ExecutionTrace::total_macs`].
+    #[must_use]
+    pub fn total_array_macs(&self) -> u64 {
+        self.layers.iter().map(|l| l.array_macs).sum()
     }
 
     /// Records the execution's packed-kernel work into `registry` under
@@ -345,7 +358,7 @@ impl NetworkExecutor {
             let no_relu = last || feeds_transformer_op(layers, li);
             let out_bits = output_bits(layers, li);
             let w = weights.layer(li);
-            let (out, cycles, shift, tiles) = match layer.kind {
+            let (out, cycles, array_macs, shift, tiles) = match layer.kind {
                 LayerKind::Conv2d {
                     in_channels,
                     kernel,
@@ -353,12 +366,12 @@ impl NetworkExecutor {
                     padding,
                     ..
                 } => {
-                    let (acc, cycles, tiles) =
+                    let (acc, cycles, macs, tiles) =
                         self.conv_on_array(layer, &act, w, in_channels, kernel, stride, padding)?;
                     let shift = requant_shift_for(&acc, out_bits);
                     let q = reference::requantize(&acc, shift, out_bits, Signedness::Signed);
                     let q = if no_relu { q } else { reference::relu(&q) };
-                    (q, cycles, shift, tiles)
+                    (q, cycles, macs, shift, tiles)
                 }
                 LayerKind::FullyConnected { in_features, .. } => {
                     assert_eq!(act.len(), in_features, "fc input length");
@@ -384,10 +397,11 @@ impl NetworkExecutor {
                     let shift = requant_shift_for(&acc, out_bits);
                     let q = reference::requantize(&acc, shift, out_bits, Signedness::Signed);
                     let q = if no_relu { q } else { reference::relu(&q) };
-                    (q, run.cycles, shift, tiles)
+                    (q, run.cycles, run.macs, shift, tiles)
                 }
                 LayerKind::Pool { kernel, stride, .. } => (
                     reference::maxpool2d(&act, kernel, stride),
+                    0,
                     0,
                     0,
                     TileTally::default(),
@@ -407,6 +421,7 @@ impl NetworkExecutor {
                     stashed_v = Some(vm);
                     let mut scores = Tensor::zeros(&[heads * q_len, kv_len]);
                     let mut cycles = 0u64;
+                    let mut macs = 0u64;
                     let mut tiles = TileTally::default();
                     for h in 0..heads {
                         let (a, bm) = qk_head(&qm, &km, h, head_dim);
@@ -425,6 +440,7 @@ impl NetworkExecutor {
                         tiles.add(&pa, &pb);
                         let run = self.array.gemm_packed(&pa, &pb)?;
                         cycles += run.cycles;
+                        macs += run.macs;
                         for qi in 0..q_len {
                             for kj in 0..kv_len {
                                 scores[&[h * q_len + qi, kj]] =
@@ -434,7 +450,7 @@ impl NetworkExecutor {
                     }
                     let shift = requant_shift_for(&scores, out_bits);
                     let q = reference::requantize(&scores, shift, out_bits, Signedness::Signed);
-                    (q, cycles, shift, tiles)
+                    (q, cycles, macs, shift, tiles)
                 }
                 LayerKind::Softmax { rows, cols } => {
                     assert_eq!(act.len(), rows * cols, "softmax input");
@@ -446,6 +462,7 @@ impl NetworkExecutor {
                     // downstream.
                     (
                         reference::softmax_fixed(&s, out_bits),
+                        0,
                         0,
                         0,
                         TileTally::default(),
@@ -463,6 +480,7 @@ impl NetworkExecutor {
                     assert_eq!(act.shape(), &[heads * q_len, kv_len], "attention probs");
                     let mut ctx = Tensor::zeros(&[heads * head_dim, q_len, 1]);
                     let mut cycles = 0u64;
+                    let mut macs = 0u64;
                     let mut tiles = TileTally::default();
                     for h in 0..heads {
                         let (a, bm) = av_head(&act, &v, h, head_dim, q_len);
@@ -481,6 +499,7 @@ impl NetworkExecutor {
                         tiles.add(&pa, &pb);
                         let run = self.array.gemm_packed(&pa, &pb)?;
                         cycles += run.cycles;
+                        macs += run.macs;
                         for qi in 0..q_len {
                             for d in 0..head_dim {
                                 ctx[&[h * head_dim + d, qi, 0]] =
@@ -490,12 +509,13 @@ impl NetworkExecutor {
                     }
                     let shift = requant_shift_for(&ctx, out_bits);
                     let q = reference::requantize(&ctx, shift, out_bits, Signedness::Signed);
-                    (q, cycles, shift, tiles)
+                    (q, cycles, macs, shift, tiles)
                 }
                 LayerKind::LayerNorm { features, tokens } => {
                     assert_eq!(act.len(), features * tokens, "layer-norm input");
                     (
                         reference::layer_norm_fixed(&act, out_bits),
+                        0,
                         0,
                         0,
                         TileTally::default(),
@@ -505,6 +525,7 @@ impl NetworkExecutor {
                     assert_eq!(act.len(), elems, "gelu input");
                     (
                         reference::gelu_fixed(&act, out_bits),
+                        0,
                         0,
                         0,
                         TileTally::default(),
@@ -529,6 +550,7 @@ impl NetworkExecutor {
                 name: layer.name.clone(),
                 cycles,
                 macs: layer.macs(),
+                array_macs,
                 requant_shift: shift,
                 kernel: if tiles.macro_tiles > 0 {
                     kernels::active_tier().name()
@@ -672,7 +694,7 @@ impl NetworkExecutor {
         kernel: (usize, usize),
         stride: (usize, usize),
         padding: (usize, usize),
-    ) -> Result<(Tensor, u64, TileTally), CoreError> {
+    ) -> Result<(Tensor, u64, u64, TileTally), CoreError> {
         let (kh, kw) = kernel;
         let ish = act.shape();
         assert_eq!(ish[0], in_channels, "activation channels");
@@ -712,7 +734,7 @@ impl NetworkExecutor {
         let run = self.array.gemm_packed(&pw, &pcols)?;
         let mut out = run.output;
         out.reshape(&[oc, oh, ow]);
-        Ok((out, run.cycles, tiles))
+        Ok((out, run.cycles, run.macs, tiles))
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -725,7 +747,7 @@ impl NetworkExecutor {
         hidden_size: usize,
         gates: usize,
         seq_len: usize,
-    ) -> Result<(Tensor, u64, u32, TileTally), CoreError> {
+    ) -> Result<(Tensor, u64, u64, u32, TileTally), CoreError> {
         assert_eq!(act.shape(), &[seq_len, input_size], "recurrent input");
         let shift = recurrent_shift(layer, input_size, hidden_size);
         // The gate weights are packed once and reused across every timestep
@@ -735,6 +757,7 @@ impl NetworkExecutor {
         let mut c = Tensor::zeros(&[hidden_size]);
         let mut outputs = Tensor::zeros(&[seq_len, hidden_size]);
         let mut cycles = 0u64;
+        let mut macs = 0u64;
         let mut tiles = TileTally::default();
         for t in 0..seq_len {
             let mut xh = Vec::with_capacity(input_size + hidden_size);
@@ -749,6 +772,7 @@ impl NetworkExecutor {
             tiles.add(&pw, &pxh);
             let run = self.array.gemm_packed(&pw, &pxh)?;
             cycles += run.cycles;
+            macs += run.macs;
             let mut pre = run.output;
             pre.reshape(&[gates * hidden_size]);
             h = if gates == 4 {
@@ -762,7 +786,7 @@ impl NetworkExecutor {
                 outputs[&[t, i]] = v;
             }
         }
-        Ok((outputs, cycles, shift, tiles))
+        Ok((outputs, cycles, macs, shift, tiles))
     }
 }
 

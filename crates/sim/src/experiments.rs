@@ -1,5 +1,5 @@
 //! The paper's accelerator-vs-accelerator experiments (Figures 5–8) as
-//! [`Scenario`](crate::Scenario) declarations.
+//! [`Scenario`] declarations.
 //!
 //! Each figure is one slice of a three-platform × two-memory grid: the
 //! homogeneous-8-bit grid powers Figures 5 and 6, the heterogeneous grid

@@ -68,7 +68,7 @@ pub trait Evaluator: Send + Sync {
     fn evaluate(&self, workload: &Workload, network: &Network, dram: &DramSpec) -> Measurement;
 
     /// [`Evaluator::evaluate`] through a shared, memoized
-    /// [`CostModel`](crate::cost::CostModel).
+    /// [`CostModel`].
     ///
     /// Grid runners ([`Scenario`], `bpvec-serve`) create one cost model per
     /// run and thread it through every cell, so backends whose cost is a

@@ -1,0 +1,121 @@
+//! Three-way differential validation over the full paper grid.
+//!
+//! `bpvec_isa::diff` cross-checks the analytical `CostModel`, the lowered
+//! ISA programs on the cycle-counting machine, and (on probe-sized
+//! windows) the bit-true packed executor. These tests run the harness the
+//! way CI gates it:
+//!
+//! * every Table I model **and** the ViT/BERT presets, under both
+//!   bitwidth policies, at the paper's batch sizes — every typed
+//!   tolerance contract must hold, attention layers included;
+//! * a packed-executor probe per network — bit-true output, identical MAC
+//!   counts across analytic/array/program views, array cycles inside the
+//!   contracted band over the machine's compute floor;
+//! * deliberately perturbed configurations — the harness must *fail*,
+//!   with the drift typed to the quantity that moved (the proof that
+//!   green runs mean something).
+
+use bpvec::dnn::{BitwidthPolicy, Network, NetworkId};
+use bpvec::isa::MachineConfig;
+use bpvec::isa::{diff_execution, diff_network, diff_network_against, execution_probe, Mismatch};
+use bpvec::sim::{BatchRegime, ScratchpadSpec};
+
+const GRID: [NetworkId; 8] = [
+    NetworkId::AlexNet,
+    NetworkId::InceptionV1,
+    NetworkId::ResNet18,
+    NetworkId::ResNet50,
+    NetworkId::Rnn,
+    NetworkId::Lstm,
+    NetworkId::VitBase,
+    NetworkId::BertBase,
+];
+
+const POLICIES: [BitwidthPolicy; 2] = [BitwidthPolicy::Homogeneous8, BitwidthPolicy::Heterogeneous];
+
+/// The model ↔ machine leg holds on the whole grid at paper batch sizes.
+#[test]
+fn cost_model_and_isa_machine_agree_across_the_paper_grid() {
+    let batches = BatchRegime::paper_default();
+    for id in GRID {
+        for policy in POLICIES {
+            let net = Network::build(id, policy);
+            let d = diff_network(&net, MachineConfig::bpvec_ddr4(), batches.batch_for(id));
+            assert!(d.is_clean(), "{policy:?}:\n{d}");
+            assert_eq!(
+                d.layers.len(),
+                net.layers.len(),
+                "{id:?}: every layer must be cross-checked"
+            );
+        }
+    }
+}
+
+/// Transformer presets are cross-checked through their attention GEMMs,
+/// not around them.
+#[test]
+fn transformer_grids_include_attention_kinds() {
+    for id in [NetworkId::VitBase, NetworkId::BertBase] {
+        let net = Network::build(id, BitwidthPolicy::Heterogeneous);
+        let d = diff_network(&net, MachineConfig::bpvec_ddr4(), 2);
+        assert!(d.is_clean(), "{d}");
+        for kind in ["matmul-qk", "attention-v", "softmax", "layer-norm"] {
+            assert!(
+                d.layers.iter().any(|l| l.kind == kind),
+                "{id:?} diff must cover {kind}"
+            );
+        }
+    }
+}
+
+/// The packed-executor leg: probe windows for every network run bit-true
+/// and agree with the other two views on MACs and cycle floors.
+#[test]
+fn packed_execution_probes_agree_for_every_network() {
+    for id in GRID {
+        for policy in POLICIES {
+            let (layers, input) = execution_probe(id, policy);
+            let name = format!("{id:?}-{policy:?}");
+            let d = diff_execution(&name, &layers, &input, MachineConfig::bpvec_ddr4())
+                .unwrap_or_else(|e| panic!("{name}: probe failed to execute: {e}"));
+            assert!(d.is_clean(), "{d}");
+            assert!(d.bit_true, "{name}: packed output must match reference");
+            assert!(!d.layers.is_empty(), "{name}: probe must cover layers");
+        }
+    }
+}
+
+/// A doubled compute rate in the model config is typed as `ComputeTime`.
+#[test]
+fn perturbed_compute_rate_is_detected() {
+    let net = Network::build(NetworkId::ResNet50, BitwidthPolicy::Homogeneous8);
+    let mut model_cfg = MachineConfig::bpvec_ddr4();
+    model_cfg.accel.mac_units *= 2;
+    let d = diff_network_against(&net, model_cfg, MachineConfig::bpvec_ddr4(), 16);
+    assert!(!d.is_clean());
+    assert!(d.layers.iter().any(|l| l
+        .mismatches
+        .iter()
+        .any(|m| matches!(m, Mismatch::ComputeTime { .. }))));
+}
+
+/// A shrunken model-side scratchpad changes the analytic tiling schedule;
+/// the program (lowered for the real machine) no longer tracks it, and the
+/// drift is typed as `ModelTraffic`.
+#[test]
+fn perturbed_scratchpad_is_detected_as_traffic_drift() {
+    let net = Network::build(NetworkId::BertBase, BitwidthPolicy::Homogeneous8);
+    let mut model_cfg = MachineConfig::bpvec_ddr4();
+    model_cfg.accel.scratchpad = ScratchpadSpec {
+        capacity_bytes: model_cfg.accel.scratchpad.capacity_bytes / 16,
+    };
+    let d = diff_network_against(&net, model_cfg, MachineConfig::bpvec_ddr4(), 16);
+    assert!(!d.is_clean(), "a 16x scratchpad drift must be detected");
+    assert!(
+        d.layers.iter().any(|l| l
+            .mismatches
+            .iter()
+            .any(|m| matches!(m, Mismatch::ModelTraffic { .. }))),
+        "the drift must be typed as ModelTraffic:\n{d}"
+    );
+}
